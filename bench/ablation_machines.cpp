@@ -1,0 +1,44 @@
+// Ablation: machine sensitivity. The same program compiled for three
+// machine profiles (CM-5-like, Paragon-like, SP-1-like) to show how the
+// convex allocation and the MPMD-vs-SPMD verdict shift with the
+// computation/communication balance.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace paradigm;
+  bench::banner("Machine-profile ablation",
+                "CM-5-like vs Paragon-like vs SP-1-like (64 processors)");
+
+  const mdg::Mdg graph = core::complex_matmul_mdg(64);
+  AsciiTable table("Complex MatMul 64x64 on p=64 by machine profile");
+  table.set_header({"machine", "Phi (s)", "T_psa (s)", "MPMD sim (s)",
+                    "SPMD sim (s)", "MPMD speedup", "SPMD speedup"});
+
+  for (const auto& [mc, name] :
+       {std::pair<sim::MachineConfig, const char*>{
+            sim::MachineConfig::cm5(64), "CM-5-like"},
+        {sim::MachineConfig::paragon(64), "Paragon-like"},
+        {sim::MachineConfig::sp1(64), "SP-1-like"}}) {
+    core::PipelineConfig pc = bench::standard_pipeline(64);
+    pc.machine = mc;
+    pc.machine.noise_sigma = 0.02;
+    pc.machine.noise_seed = 0x1994;
+    const core::Compiler compiler(pc);
+    const core::PipelineReport report = compiler.compile_and_run(graph);
+    table.add_row({name, AsciiTable::num(report.phi(), 4),
+                   AsciiTable::num(report.t_psa(), 4),
+                   AsciiTable::num(report.mpmd.simulated, 4),
+                   AsciiTable::num(report.spmd_run.simulated, 4),
+                   AsciiTable::num(report.mpmd_speedup(), 2),
+                   AsciiTable::num(report.spmd_speedup(), 2)});
+  }
+  std::cout << table.render() << "\n";
+  std::cout << "Cheaper message startups (Paragon-like) narrow the gap "
+               "MPMD pays for redistribution; faster processors "
+               "(SP-1-like) shrink kernel times relative to messages and "
+               "favor wider, less fragmented allocations.\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Ablation: the processor bound PB. Corollary 1 picks the PB minimizing
+// the Theorem-3 worst-case factor; this bench sweeps every power-of-two
+// PB and compares (a) the theoretical factor and (b) the *empirical*
+// T_psa it yields for the two test programs, showing how conservative
+// the bound is in practice.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "sched/bounds.hpp"
+#include "sched/psa.hpp"
+#include "solver/allocator.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+void sweep(const paradigm::mdg::Mdg& graph, const std::string& name,
+           std::uint64_t p) {
+  using namespace paradigm;
+  core::PipelineConfig pc = bench::standard_pipeline(p);
+  const core::Compiler compiler(pc);
+  const cost::CostModel model = compiler.build_cost_model(graph);
+  const solver::AllocationResult alloc =
+      solver::ConvexAllocator{}.allocate(model, static_cast<double>(p));
+  const std::uint64_t chosen = sched::optimal_processor_bound(p);
+
+  AsciiTable table(name + " on p=" + std::to_string(p) +
+                   " (Phi=" + AsciiTable::num(alloc.phi, 4) + " s)");
+  table.set_header({"PB", "Theorem-3 factor", "T_psa (s)",
+                    "T_psa/Phi", "Corollary-1 pick"});
+  for (std::uint64_t pb = 1; pb <= p; pb *= 2) {
+    sched::PsaConfig config;
+    config.pb_override = pb;
+    const sched::PsaResult result =
+        sched::prioritized_schedule(model, alloc.allocation, p, config);
+    table.add_row({std::to_string(pb),
+                   AsciiTable::num(sched::theorem3_factor(p, pb), 1),
+                   AsciiTable::num(result.finish_time, 4),
+                   AsciiTable::num(result.finish_time / alloc.phi, 3),
+                   pb == chosen ? "<==" : ""});
+  }
+  std::cout << table.render() << "\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace paradigm;
+  bench::banner("Processor-bound (PB) ablation",
+                "Corollary 1 / Theorems 1-3 (design-choice ablation)");
+  sweep(core::complex_matmul_mdg(64), "Complex Matrix Multiply", 64);
+  sweep(core::strassen_mdg(128), "Strassen Matrix Multiply", 64);
+  return 0;
+}

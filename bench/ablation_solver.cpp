@@ -1,0 +1,90 @@
+// Ablation: the convex allocator vs its alternatives — the exhaustive
+// power-of-two oracle (ground truth on small graphs), the greedy
+// doubling heuristic (the authors' earlier ICPP'93 approach), and the
+// naive all-processors allocation. Also reports solver convergence
+// statistics.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "mdg/random_mdg.hpp"
+#include "solver/allocator.hpp"
+#include "solver/lbfgs.hpp"
+#include "solver/oracle.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace paradigm;
+  bench::banner("Allocator ablation",
+                "convex program vs oracle / greedy heuristic / naive");
+
+  AsciiTable table("Phi by allocator (lower is better; p = 16)");
+  table.set_header({"graph", "nodes", "convex", "lbfgs", "oracle(pow2)",
+                    "greedy", "naive(all-p)", "convex iters",
+                    "lbfgs iters"});
+  Rng rng(7);
+  double convex_vs_oracle_worst = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    mdg::RandomMdgConfig config;
+    config.min_nodes = 3;
+    config.max_nodes = 6;
+    config.max_width = 3;
+    const mdg::Mdg graph = mdg::random_mdg(rng, config);
+    const cost::CostModel model(graph, cost::MachineParams{},
+                                cost::KernelCostTable{});
+    const double p = 16.0;
+    const solver::AllocationResult convex =
+        solver::ConvexAllocator{}.allocate(model, p);
+    const solver::AllocationResult lbfgs =
+        solver::LbfgsAllocator{}.allocate(model, p);
+    const solver::AllocationResult oracle =
+        solver::oracle_allocation(model, p);
+    const solver::AllocationResult greedy =
+        solver::greedy_doubling_allocation(model, p);
+    const solver::AllocationResult naive =
+        solver::naive_allocation(model, p);
+    convex_vs_oracle_worst =
+        std::max(convex_vs_oracle_worst, convex.phi / oracle.phi);
+    std::size_t loops = 0;
+    for (const auto& node : graph.nodes()) {
+      if (node.kind == mdg::NodeKind::kLoop) ++loops;
+    }
+    table.add_row({"random#" + std::to_string(i), std::to_string(loops),
+                   AsciiTable::num(convex.phi, 4),
+                   AsciiTable::num(lbfgs.phi, 4),
+                   AsciiTable::num(oracle.phi, 4),
+                   AsciiTable::num(greedy.phi, 4),
+                   AsciiTable::num(naive.phi, 4),
+                   std::to_string(convex.iterations),
+                   std::to_string(lbfgs.iterations)});
+  }
+  std::cout << table.render() << "\n";
+  std::cout << "worst convex/oracle ratio: " << convex_vs_oracle_worst
+            << " (<= 1 means the continuous optimum beat the power-of-two "
+               "grid, as expected)\n\n";
+
+  // Convergence behaviour on the two real programs.
+  AsciiTable conv("Convex solver convergence on the evaluation programs");
+  conv.set_header({"program", "p", "Phi", "iterations", "rounds",
+                   "converged"});
+  for (const std::uint64_t p : {16ull, 64ull}) {
+    core::PipelineConfig pc = bench::standard_pipeline(p);
+    const core::Compiler compiler(pc);
+    for (const auto& [name, graph] :
+         {std::pair<std::string, mdg::Mdg>{"Complex MatMul",
+                                           core::complex_matmul_mdg(64)},
+          std::pair<std::string, mdg::Mdg>{"Strassen",
+                                           core::strassen_mdg(128)}}) {
+      const cost::CostModel model = compiler.build_cost_model(graph);
+      const solver::AllocationResult r =
+          solver::ConvexAllocator{}.allocate(model,
+                                             static_cast<double>(p));
+      conv.add_row({name, std::to_string(p), AsciiTable::num(r.phi, 4),
+                    std::to_string(r.iterations),
+                    std::to_string(r.continuation_rounds),
+                    r.converged ? "yes" : "no"});
+    }
+  }
+  std::cout << conv.render();
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Shared helpers for the paper-reproduction bench binaries.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "core/programs.hpp"
+
+namespace paradigm::bench {
+
+/// The standard simulated machine used by every bench: 64 processors,
+/// mild measurement noise, fixed seed.
+inline sim::MachineConfig standard_machine(std::uint32_t size = 64) {
+  sim::MachineConfig mc;
+  mc.size = size;
+  mc.noise_sigma = 0.02;
+  mc.noise_seed = 0x1994;  // ICPP'94
+  return mc;
+}
+
+/// Pipeline config for a given machine size.
+inline core::PipelineConfig standard_pipeline(std::uint64_t p) {
+  core::PipelineConfig config;
+  config.processors = p;
+  config.machine = standard_machine(static_cast<std::uint32_t>(p));
+  config.calibration.repetitions = 3;
+  return config;
+}
+
+inline void banner(const std::string& title, const std::string& paper_ref) {
+  std::cout << "==============================================================\n"
+            << title << "\n"
+            << "Reproduces: " << paper_ref << "\n"
+            << "==============================================================\n";
+}
+
+}  // namespace paradigm::bench

@@ -1,0 +1,60 @@
+// Reproduces Figure 3: measured vs model-predicted processing cost
+// curves for the Matrix Add and Matrix Multiply loops across machine
+// sizes.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "calibrate/training.hpp"
+#include "support/ascii_plot.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+void show(const paradigm::calibrate::KernelFit& fit,
+          const std::string& name) {
+  using namespace paradigm;
+  AsciiTable table(name + ": measured vs predicted (seconds)");
+  table.set_header({"p", "measured", "predicted", "rel err (%)"});
+  PlotSeries measured{"measured", {}, {}};
+  PlotSeries predicted{"predicted", {}, {}};
+  for (const auto& s : fit.samples) {
+    table.add_row({std::to_string(s.processors),
+                   AsciiTable::num(s.measured, 6),
+                   AsciiTable::num(s.predicted, 6),
+                   AsciiTable::num(
+                       100.0 * (s.predicted - s.measured) /
+                           s.measured,
+                       2)});
+    measured.xs.push_back(s.processors);
+    measured.ys.push_back(s.measured);
+    predicted.xs.push_back(s.processors);
+    predicted.ys.push_back(s.predicted);
+  }
+  std::cout << table.render();
+  AsciiPlot plot(name + " cost vs processors", "processors", "seconds");
+  plot.set_x_log2(true);
+  plot.set_y_from_zero(true);
+  plot.add_series(std::move(measured));
+  plot.add_series(std::move(predicted));
+  std::cout << plot.render() << "\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace paradigm;
+  bench::banner("Processing cost model accuracy",
+                "Figure 3: actual vs predicted costs for processing");
+
+  const sim::MachineConfig machine = bench::standard_machine();
+  calibrate::CalibrationConfig config;
+  config.repetitions = 5;
+
+  show(calibrate::calibrate_kernel(machine, mdg::LoopOp::kAdd, 64, 64, 0,
+                                   config),
+       "Matrix Addition 64x64");
+  show(calibrate::calibrate_kernel(machine, mdg::LoopOp::kMul, 64, 64, 64,
+                                   config),
+       "Matrix Multiply 64x64");
+  return 0;
+}

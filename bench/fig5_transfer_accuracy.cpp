@@ -1,0 +1,57 @@
+// Reproduces Figure 5: measured vs model-predicted data transfer costs
+// for the 1D and 2D redistribution types across group sizes and byte
+// counts.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "calibrate/training.hpp"
+#include "support/ascii_plot.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace paradigm;
+  bench::banner("Data transfer cost model accuracy",
+                "Figure 5: actual vs predicted costs for data transfer");
+
+  const sim::MachineConfig machine = bench::standard_machine();
+  calibrate::CalibrationConfig config;
+  config.repetitions = 3;
+  const calibrate::TransferFit fit =
+      calibrate::calibrate_transfers(machine, config);
+
+  for (const mdg::TransferKind kind :
+       {mdg::TransferKind::k1D, mdg::TransferKind::k2D}) {
+    const std::string name =
+        kind == mdg::TransferKind::k1D ? "1D (ROW2ROW/COL2COL)"
+                                       : "2D (ROW2COL/COL2ROW)";
+    AsciiTable table(name + " transfers: measured vs predicted busy time");
+    table.set_header({"senders", "receivers", "KB", "send meas (ms)",
+                      "send pred (ms)", "recv meas (ms)",
+                      "recv pred (ms)"});
+    PlotSeries meas{"measured send+recv", {}, {}};
+    PlotSeries pred{"predicted send+recv", {}, {}};
+    for (const auto& s : fit.samples) {
+      if (s.kind != kind) continue;
+      table.add_row({std::to_string(s.senders),
+                     std::to_string(s.receivers),
+                     std::to_string(s.bytes / 1024),
+                     AsciiTable::num(s.send_busy * 1e3, 3),
+                     AsciiTable::num(s.send_predicted * 1e3, 3),
+                     AsciiTable::num(s.recv_busy * 1e3, 3),
+                     AsciiTable::num(s.recv_predicted * 1e3, 3)});
+      meas.xs.push_back(static_cast<double>(s.bytes));
+      meas.ys.push_back(s.send_busy + s.recv_busy);
+      pred.xs.push_back(static_cast<double>(s.bytes));
+      pred.ys.push_back(s.send_predicted + s.recv_predicted);
+    }
+    std::cout << table.render();
+    AsciiPlot plot(name + ": total endpoint cost vs bytes", "bytes",
+                   "seconds");
+    plot.set_x_log2(true);
+    plot.set_y_from_zero(true);
+    plot.add_series(std::move(meas));
+    plot.add_series(std::move(pred));
+    std::cout << plot.render() << "\n";
+  }
+  return 0;
+}

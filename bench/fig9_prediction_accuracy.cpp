@@ -1,0 +1,42 @@
+// Reproduces Figure 9: predicted vs actual (simulated) execution times
+// of the two test programs, normalized to the actual times.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+void run_program(const paradigm::mdg::Mdg& graph, const std::string& name) {
+  using namespace paradigm;
+  AsciiTable table(name + ": predicted vs actual (normalized to actual)");
+  table.set_header({"p", "predicted (s)", "refined (s)", "actual (s)",
+                    "predicted/actual", "refined/actual"});
+  for (const std::uint64_t p : {16ull, 32ull, 64ull}) {
+    const core::Compiler compiler(bench::standard_pipeline(p));
+    const core::PipelineReport report = compiler.compile_and_run(graph);
+    table.add_row(
+        {std::to_string(p), AsciiTable::num(report.mpmd.predicted, 4),
+         AsciiTable::num(report.mpmd.predicted_refined, 4),
+         AsciiTable::num(report.mpmd.simulated, 4),
+         AsciiTable::num(report.mpmd.predicted / report.mpmd.simulated, 3),
+         AsciiTable::num(
+             report.mpmd.predicted_refined / report.mpmd.simulated, 3)});
+  }
+  std::cout << table.render() << "\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace paradigm;
+  bench::banner("Cost model prediction accuracy",
+                "Figure 9 (MPMD versions, normalized to actual times)");
+  run_program(core::complex_matmul_mdg(64),
+              "Complex Matrix Multiply (64x64)");
+  run_program(core::strassen_mdg(128),
+              "Strassen Matrix Multiply (128x128)");
+  std::cout << "Paper claim: the two quantities are fairly close to each "
+               "other (ratios near 1.0).\n";
+  return 0;
+}

@@ -1,0 +1,167 @@
+// Google-benchmark microbenchmarks of the library's hot paths: the
+// convex allocator, the PSA list scheduler, cost-model evaluation, MPMD
+// code generation, and the discrete-event simulator.
+#include <benchmark/benchmark.h>
+
+#include "codegen/mpmd.hpp"
+#include "core/programs.hpp"
+#include "cost/model.hpp"
+#include "frontend/compile.hpp"
+#include "mdg/random_mdg.hpp"
+#include "mdg/textio.hpp"
+#include "sched/psa.hpp"
+#include "sim/simulator.hpp"
+#include "solver/allocator.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace paradigm;
+
+mdg::Mdg sized_graph(std::size_t nodes) {
+  Rng rng(nodes * 977 + 5);
+  mdg::RandomMdgConfig config;
+  config.min_nodes = nodes;
+  config.max_nodes = nodes;
+  config.max_width = 8;
+  return mdg::random_mdg(rng, config);
+}
+
+void BM_CostModelPhi(benchmark::State& state) {
+  const mdg::Mdg graph = sized_graph(static_cast<std::size_t>(state.range(0)));
+  const cost::CostModel model(graph, cost::MachineParams{},
+                              cost::KernelCostTable{});
+  const std::vector<double> alloc(graph.node_count(), 4.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.phi(alloc, 64.0));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CostModelPhi)->Arg(8)->Arg(32)->Arg(128)->Complexity();
+
+void BM_SmoothedObjectiveWithGradient(benchmark::State& state) {
+  const mdg::Mdg graph = sized_graph(static_cast<std::size_t>(state.range(0)));
+  const cost::CostModel model(graph, cost::MachineParams{},
+                              cost::KernelCostTable{});
+  const solver::ConvexAllocator allocator;
+  std::vector<double> x(graph.node_count(), 1.0);
+  std::vector<double> grad(x.size(), 0.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        allocator.smoothed_objective(model, 64.0, x, 0.1, 0.01, grad));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SmoothedObjectiveWithGradient)
+    ->Arg(8)
+    ->Arg(32)
+    ->Arg(128)
+    ->Complexity();
+
+void BM_ConvexAllocate(benchmark::State& state) {
+  const mdg::Mdg graph = sized_graph(static_cast<std::size_t>(state.range(0)));
+  const cost::CostModel model(graph, cost::MachineParams{},
+                              cost::KernelCostTable{});
+  const solver::ConvexAllocator allocator;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(allocator.allocate(model, 64.0));
+  }
+}
+BENCHMARK(BM_ConvexAllocate)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_PsaSchedule(benchmark::State& state) {
+  const mdg::Mdg graph = sized_graph(static_cast<std::size_t>(state.range(0)));
+  const cost::CostModel model(graph, cost::MachineParams{},
+                              cost::KernelCostTable{});
+  const solver::AllocationResult alloc =
+      solver::ConvexAllocator{}.allocate(model, 64.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sched::prioritized_schedule(model, alloc.allocation, 64));
+  }
+}
+BENCHMARK(BM_PsaSchedule)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_CodegenComplexMatmul(benchmark::State& state) {
+  const mdg::Mdg graph = core::complex_matmul_mdg(64);
+  cost::KernelCostTable table;
+  for (const auto& node : graph.nodes()) {
+    if (node.kind == mdg::NodeKind::kLoop &&
+        node.loop.op != mdg::LoopOp::kSynthetic) {
+      table.set(cost::KernelCostTable::key_for(graph, node),
+                cost::AmdahlParams{0.1, 0.1});
+    }
+  }
+  const cost::CostModel model(graph, cost::MachineParams{}, table);
+  const solver::AllocationResult alloc =
+      solver::ConvexAllocator{}.allocate(model, 16.0);
+  const sched::PsaResult psa =
+      sched::prioritized_schedule(model, alloc.allocation, 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codegen::generate_mpmd(graph, psa.schedule));
+  }
+}
+BENCHMARK(BM_CodegenComplexMatmul);
+
+void BM_SimulateComplexMatmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const mdg::Mdg graph = core::complex_matmul_mdg(n);
+  cost::KernelCostTable table;
+  for (const auto& node : graph.nodes()) {
+    if (node.kind == mdg::NodeKind::kLoop &&
+        node.loop.op != mdg::LoopOp::kSynthetic) {
+      table.set(cost::KernelCostTable::key_for(graph, node),
+                cost::AmdahlParams{0.1, 0.1});
+    }
+  }
+  const cost::CostModel model(graph, cost::MachineParams{}, table);
+  const solver::AllocationResult alloc =
+      solver::ConvexAllocator{}.allocate(model, 16.0);
+  const sched::PsaResult psa =
+      sched::prioritized_schedule(model, alloc.allocation, 16);
+  const codegen::GeneratedProgram generated =
+      codegen::generate_mpmd(graph, psa.schedule);
+  sim::MachineConfig mc;
+  mc.size = 16;
+  for (auto _ : state) {
+    sim::Simulator simulator(mc);
+    benchmark::DoNotOptimize(simulator.run(generated.program));
+  }
+}
+BENCHMARK(BM_SimulateComplexMatmul)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FrontendCompile(benchmark::State& state) {
+  // The expression front end on a Strassen-like source.
+  std::string source = "input A 64 64\ninput B 64 64\n";
+  std::string prev_a = "A";
+  std::string prev_b = "B";
+  for (int i = 0; i < 8; ++i) {
+    const std::string s = "S" + std::to_string(i);
+    source += s + " = (" + prev_a + " + " + prev_b + ") * transpose(" +
+              prev_a + " - " + prev_b + ")\n";
+    prev_b = prev_a;
+    prev_a = s;
+  }
+  source += "output " + prev_a + "\n";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(frontend::compile_source(source));
+  }
+}
+BENCHMARK(BM_FrontendCompile);
+
+void BM_MdgTextRoundTrip(benchmark::State& state) {
+  const mdg::Mdg graph = core::strassen_mdg(128);
+  const std::string text = mdg::write_mdg(graph);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mdg::parse_mdg(text));
+  }
+}
+BENCHMARK(BM_MdgTextRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

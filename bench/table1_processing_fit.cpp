@@ -1,0 +1,45 @@
+// Reproduces Table 1: fitted Amdahl parameters (alpha, tau) for the
+// Matrix Addition and Matrix Multiply (64x64) loops, obtained by the
+// training-sets methodology (measure on the machine, then linear
+// regression).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "calibrate/training.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace paradigm;
+  bench::banner("Processing cost calibration",
+                "Table 1: alpha and tau for MatAdd / MatMul 64x64");
+
+  const sim::MachineConfig machine = bench::standard_machine();
+  calibrate::CalibrationConfig config;
+  config.repetitions = 5;
+
+  const calibrate::KernelFit add =
+      calibrate::calibrate_kernel(machine, mdg::LoopOp::kAdd, 64, 64, 0,
+                                  config);
+  const calibrate::KernelFit mul =
+      calibrate::calibrate_kernel(machine, mdg::LoopOp::kMul, 64, 64, 64,
+                                  config);
+
+  AsciiTable table("Fitted Amdahl parameters (paper values in parens)");
+  table.set_header({"Node Name", "alpha (%)", "tau (mS)", "R^2"});
+  table.add_row({"Matrix Addition (64x64)   [paper: 6.7%, 3.73 mS]",
+                 AsciiTable::num(add.params.alpha * 100.0, 1),
+                 AsciiTable::num(add.params.tau * 1e3, 2),
+                 AsciiTable::num(add.fit.r_squared, 5)});
+  table.add_row({"Matrix Multiply (64x64)   [paper: 12.1%, 298.47 mS]",
+                 AsciiTable::num(mul.params.alpha * 100.0, 1),
+                 AsciiTable::num(mul.params.tau * 1e3, 2),
+                 AsciiTable::num(mul.fit.r_squared, 5)});
+  std::cout << table.render() << "\n";
+
+  std::cout << "Shape check: alpha(add) < alpha(mul): "
+            << (add.params.alpha < mul.params.alpha ? "YES" : "NO")
+            << "; tau(add) << tau(mul): "
+            << (add.params.tau * 10 < mul.params.tau ? "YES" : "NO")
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Reproduces Table 3: deviation of T_psa (the PSA's schedule finish
+// time after rounding and bounding) from Phi (the convex-programming
+// optimum) for both test programs at 16/32/64 processors.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "sched/bounds.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+void run_program(const paradigm::mdg::Mdg& graph, const std::string& name,
+                 paradigm::AsciiTable& table) {
+  using namespace paradigm;
+  for (const std::uint64_t p : {16ull, 32ull, 64ull}) {
+    core::PipelineConfig pc = bench::standard_pipeline(p);
+    pc.run_simulation = false;  // Table 3 compares predictions only
+    const core::Compiler compiler(pc);
+    const core::PipelineReport report = compiler.compile_and_run(graph);
+    const double change =
+        100.0 * (report.t_psa() - report.phi()) / report.phi();
+    table.add_row({name, std::to_string(p),
+                   AsciiTable::num(report.phi(), 4),
+                   AsciiTable::num(report.t_psa(), 4),
+                   (change >= 0 ? "+" : "") + AsciiTable::num(change, 1),
+                   AsciiTable::num(
+                       sched::theorem3_factor(p, report.psa->pb), 1)});
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace paradigm;
+  bench::banner("Deviation of T_psa from Phi",
+                "Table 3 (paper: -2.6% to +15.6%)");
+  AsciiTable table("T_psa vs Phi");
+  table.set_header({"Program", "System Size", "Phi (S)", "T_psa (S)",
+                    "Percent Change", "Theorem-3 bound factor"});
+  run_program(core::complex_matmul_mdg(64), "Complex Matrix Multiply",
+              table);
+  run_program(core::strassen_mdg(128), "Strassen Matrix Multiply", table);
+  std::cout << table.render() << "\n";
+  std::cout << "Paper's observation: the deviation is very small in "
+               "practice — far inside the worst-case Theorem 3 factor.\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Complex matrix multiply — the paper's first evaluation program — run
+// end to end at the paper's scale (64x64 on a 64-node machine), with
+// per-stage reporting and numerical verification.
+#include <cstdio>
+#include <iostream>
+
+#include "codegen/mpmd.hpp"
+#include "core/pipeline.hpp"
+#include "core/programs.hpp"
+#include "sim/simulator.hpp"
+
+int main() {
+  using namespace paradigm;
+  constexpr std::size_t kN = 64;
+  constexpr std::uint64_t kProcs = 64;
+
+  std::cout << "=== complex matrix multiply (" << kN << "x" << kN
+            << ") on " << kProcs << " simulated processors ===\n\n";
+  const mdg::Mdg graph = core::complex_matmul_mdg(kN);
+
+  core::PipelineConfig config;
+  config.processors = kProcs;
+  config.machine.size = kProcs;
+  config.machine.noise_sigma = 0.02;
+  const core::Compiler compiler(config);
+  const core::PipelineReport report = compiler.compile_and_run(graph);
+
+  std::cout << "Calibrated machine (training sets):\n";
+  std::printf("  t_ss=%.2f uS  t_ps=%.2f nS  t_sr=%.2f uS  t_pr=%.2f nS  "
+              "t_n=%.3f nS\n\n",
+              report.fitted_machine.t_ss * 1e6,
+              report.fitted_machine.t_ps * 1e9,
+              report.fitted_machine.t_sr * 1e6,
+              report.fitted_machine.t_pr * 1e9,
+              report.fitted_machine.t_n * 1e9);
+  std::cout << "Fitted kernels (Table-1 style):\n";
+  for (const auto& [key, params] : report.kernel_table.entries()) {
+    std::printf("  %-18s alpha=%5.1f%%  tau=%8.3f mS\n",
+                key.to_string().c_str(), params.alpha * 100.0,
+                params.tau * 1e3);
+  }
+
+  std::cout << "\nAllocation and schedule:\n";
+  for (const auto& node : graph.nodes()) {
+    if (node.kind != mdg::NodeKind::kLoop) continue;
+    const auto& sn = report.psa->schedule.placement(node.id);
+    std::printf("  %-10s p=%6.2f -> %3llu  start=%8.4f s  finish=%8.4f s\n",
+                node.name.c_str(), report.allocation.allocation[node.id],
+                static_cast<unsigned long long>(
+                    report.psa->allocation[node.id]),
+                sn.start, sn.finish);
+  }
+
+  std::cout << "\n" << report.summary() << "\n";
+  std::printf("T_psa deviates %.1f%% from Phi (paper Table 3: -2.6%%..+15.6%%)\n",
+              100.0 * (report.t_psa() - report.phi()) / report.phi());
+
+  // Numerical verification of the actual MPMD execution.
+  const codegen::GeneratedProgram generated =
+      codegen::generate_mpmd(graph, report.psa->schedule);
+  sim::Simulator simulator(config.machine);
+  simulator.run(generated.program);
+  const auto ref = core::complex_matmul_reference(kN);
+  const double err_r =
+      simulator.assemble_array("Cr", kN, kN).max_abs_diff(ref.cr);
+  const double err_i =
+      simulator.assemble_array("Ci", kN, kN).max_abs_diff(ref.ci);
+  std::printf("\nnumerical check vs sequential reference: |dCr|=%.3g  "
+              "|dCi|=%.3g\n",
+              err_r, err_i);
+  return (err_r < 1e-9 && err_i < 1e-9) ? 0 : 1;
+}

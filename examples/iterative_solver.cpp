@@ -1,0 +1,62 @@
+// Iterative refinement X_{k+1} = A X_k + B — a program whose MDG is a
+// long dependence chain with fan-out (A and B feed every iteration).
+// Chains have little functional parallelism, so the pipeline's verdict
+// here is instructive: the allocator keeps the chain wide rather than
+// splitting it, and SPMD-style execution is already near-optimal.
+#include <cstdio>
+#include <iostream>
+
+#include "codegen/mpmd.hpp"
+#include "core/pipeline.hpp"
+#include "core/programs.hpp"
+#include "sim/analysis.hpp"
+#include "sim/simulator.hpp"
+
+int main() {
+  using namespace paradigm;
+  constexpr std::size_t kN = 48;
+  constexpr std::size_t kIterations = 6;
+  constexpr std::uint64_t kProcs = 16;
+
+  std::cout << "=== iterative refinement X_{k+1} = A X_k + B (" << kN
+            << "x" << kN << ", " << kIterations << " iterations) on "
+            << kProcs << " processors ===\n\n";
+  const mdg::Mdg graph = core::iterative_mdg(kN, kIterations);
+  std::cout << "MDG: " << graph.node_count() << " nodes in a "
+            << kIterations << "-stage chain\n";
+
+  core::PipelineConfig config;
+  config.processors = kProcs;
+  config.machine.size = kProcs;
+  config.machine.noise_sigma = 0.02;
+  const core::Compiler compiler(config);
+  const core::PipelineReport report = compiler.compile_and_run(graph);
+  std::cout << report.summary() << "\n\n";
+
+  std::printf("Chain verdict: MPMD %.2fx vs SPMD %.2fx — with no "
+              "functional parallelism the two should be close, and the "
+              "allocator keeps every stage wide (p_i near %llu).\n",
+              report.mpmd_speedup(), report.spmd_speedup(),
+              static_cast<unsigned long long>(kProcs));
+  double widest = 0.0;
+  for (const auto& node : graph.nodes()) {
+    if (node.kind == mdg::NodeKind::kLoop) {
+      widest = std::max(widest, report.allocation.allocation[node.id]);
+    }
+  }
+  std::printf("widest continuous allocation: %.2f processors\n\n", widest);
+
+  // Verify the final iterate against the sequential loop.
+  const codegen::GeneratedProgram generated =
+      codegen::generate_mpmd(graph, report.psa->schedule);
+  sim::Simulator simulator(config.machine);
+  simulator.run(generated.program);
+  const std::string last = "X" + std::to_string(kIterations);
+  const double err =
+      simulator.assemble_array(last, kN, kN)
+          .max_abs_diff(core::iterative_reference(kN, kIterations));
+  std::cout << "numerical check |X_final - reference| = " << err << "\n";
+  std::cout << "execution profile: "
+            << sim::busy_breakdown(simulator).summary() << "\n";
+  return err < 1e-6 ? 0 : 1;
+}

@@ -1,0 +1,54 @@
+// Quickstart: run the whole pipeline — calibrate, allocate with the
+// convex program, schedule with the PSA, generate MPMD code, execute on
+// the simulated multicomputer, and verify the numerical result — on a
+// small complex matrix multiply.
+#include <cstdio>
+#include <iostream>
+
+#include "core/pipeline.hpp"
+#include "core/programs.hpp"
+
+int main() {
+  using namespace paradigm;
+
+  // A 32x32 complex matrix multiply on an 8-processor machine.
+  const mdg::Mdg graph = core::complex_matmul_mdg(32);
+
+  core::PipelineConfig config;
+  config.processors = 8;
+  config.machine.size = 8;
+  config.machine.noise_sigma = 0.02;  // realistic measurement jitter
+
+  const core::Compiler compiler(config);
+  const core::PipelineReport report = compiler.compile_and_run(graph);
+
+  std::cout << "=== quickstart: complex matrix multiply (32x32, p=8) ===\n";
+  std::cout << report.summary() << "\n\n";
+  std::cout << "Convex allocation (continuous -> rounded/bounded):\n";
+  for (const auto& node : graph.nodes()) {
+    if (node.kind != mdg::NodeKind::kLoop) continue;
+    std::printf("  %-10s p = %6.2f -> %llu\n", node.name.c_str(),
+                report.allocation.allocation[node.id],
+                static_cast<unsigned long long>(
+                    report.psa->allocation[node.id]));
+  }
+  std::cout << "\n" << report.psa->schedule.gantt() << "\n";
+
+  // Verify the MPMD execution numerically against a sequential
+  // reference.
+  const auto reference = core::complex_matmul_reference(32);
+  const codegen::GeneratedProgram program =
+      codegen::generate_mpmd(graph, report.psa->schedule);
+  sim::MachineConfig machine = config.machine;
+  sim::Simulator simulator(machine);
+  simulator.run(program.program);
+  const Matrix cr = simulator.assemble_array("Cr", 32, 32);
+  const Matrix ci = simulator.assemble_array("Ci", 32, 32);
+  std::cout << "numerical check: |Cr - ref| = "
+            << cr.max_abs_diff(reference.cr)
+            << ", |Ci - ref| = " << ci.max_abs_diff(reference.ci) << "\n";
+  std::cout << "MPMD speedup " << report.mpmd_speedup() << "x vs SPMD "
+            << report.spmd_speedup() << "x on " << report.processors
+            << " processors\n";
+  return 0;
+}

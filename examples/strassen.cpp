@@ -1,0 +1,72 @@
+// Strassen's matrix multiply (one level, 128x128) — the paper's second
+// evaluation program, with much richer functional parallelism (7
+// independent half-size multiplies). Shows the MDG structure, the mixed
+// schedule, and verifies the result against the direct product.
+#include <cstdio>
+#include <iostream>
+
+#include "codegen/mpmd.hpp"
+#include "core/pipeline.hpp"
+#include "core/programs.hpp"
+#include "mdg/dot.hpp"
+#include "sim/simulator.hpp"
+
+int main() {
+  using namespace paradigm;
+  constexpr std::size_t kN = 128;
+  constexpr std::size_t kH = kN / 2;
+  constexpr std::uint64_t kProcs = 64;
+
+  std::cout << "=== Strassen matrix multiply (" << kN << "x" << kN
+            << ", one level) on " << kProcs
+            << " simulated processors ===\n\n";
+  const mdg::Mdg graph = core::strassen_mdg(kN);
+  std::cout << "MDG: " << graph.node_count() << " nodes, "
+            << graph.edge_count() << " edges (see Figure 6; DOT export "
+            << "available via mdg::to_dot)\n";
+
+  core::PipelineConfig config;
+  config.processors = kProcs;
+  config.machine.size = kProcs;
+  config.machine.noise_sigma = 0.02;
+  const core::Compiler compiler(config);
+  const core::PipelineReport report = compiler.compile_and_run(graph);
+
+  // The interesting part: the seven multiplies M1..M7 should run
+  // concurrently on processor subsets.
+  std::cout << "\nThe seven Strassen products:\n";
+  for (const auto& node : graph.nodes()) {
+    if (node.kind != mdg::NodeKind::kLoop ||
+        node.loop.op != mdg::LoopOp::kMul) {
+      continue;
+    }
+    const auto& sn = report.psa->schedule.placement(node.id);
+    std::printf("  %-4s on %2zu procs  start=%7.4f s  finish=%7.4f s\n",
+                node.name.c_str(), sn.ranks.size(), sn.start, sn.finish);
+  }
+
+  std::cout << "\n" << report.summary() << "\n";
+  std::printf("MPMD/SPMD speedup ratio: %.2fx (paper: mixed parallelism "
+              "wins, and more so at larger p)\n",
+              report.mpmd_speedup() / report.spmd_speedup());
+
+  // Verify against the direct (non-Strassen) product.
+  const codegen::GeneratedProgram generated =
+      codegen::generate_mpmd(graph, report.psa->schedule);
+  sim::Simulator simulator(config.machine);
+  simulator.run(generated.program);
+  const auto ref = core::strassen_reference(kN);
+  double worst = 0.0;
+  for (const auto& [name, expected] :
+       {std::pair<const char*, const Matrix*>{"C11", &ref.c11},
+        {"C12", &ref.c12},
+        {"C21", &ref.c21},
+        {"C22", &ref.c22}}) {
+    const double err =
+        simulator.assemble_array(name, kH, kH).max_abs_diff(*expected);
+    worst = std::max(worst, err);
+    std::printf("numerical check %s vs direct product: |diff| = %.3g\n",
+                name, err);
+  }
+  return worst < 1e-8 ? 0 : 1;
+}

@@ -1,0 +1,116 @@
+#include "calibrate/paramsio.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace paradigm::calibrate {
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& message) {
+  PARADIGM_FAIL("calibration text line " << line_no << ": " << message);
+}
+
+double parse_kv_double(std::size_t line_no, const std::string& token,
+                       const std::string& key) {
+  const std::string prefix = key + "=";
+  if (token.rfind(prefix, 0) != 0) {
+    fail(line_no, "expected " + prefix + "<value>, got '" + token + "'");
+  }
+  const std::string value = token.substr(prefix.size());
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(value, &pos);
+    if (pos != value.size()) throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    fail(line_no, "not a number: '" + value + "'");
+  }
+}
+
+mdg::LoopOp parse_op(std::size_t line_no, const std::string& name) {
+  for (const mdg::LoopOp op :
+       {mdg::LoopOp::kInit, mdg::LoopOp::kAdd, mdg::LoopOp::kSub,
+        mdg::LoopOp::kMul, mdg::LoopOp::kTranspose}) {
+    if (name == mdg::to_string(op)) return op;
+  }
+  fail(line_no, "unknown kernel op '" + name + "'");
+}
+
+}  // namespace
+
+std::string write_calibration(const CalibrationBundle& bundle) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "# paradigm calibration\n";
+  os << "machine t_ss=" << bundle.machine.t_ss
+     << " t_ps=" << bundle.machine.t_ps << " t_sr=" << bundle.machine.t_sr
+     << " t_pr=" << bundle.machine.t_pr << " t_n=" << bundle.machine.t_n
+     << "\n";
+  for (const auto& [key, params] : bundle.kernels.entries()) {
+    os << "kernel " << mdg::to_string(key.op) << ' ' << key.rows << ' '
+       << key.cols << ' ' << key.inner << " alpha=" << params.alpha
+       << " tau=" << params.tau << "\n";
+  }
+  return os.str();
+}
+
+CalibrationBundle parse_calibration(const std::string& text) {
+  CalibrationBundle bundle;
+  bool saw_machine = false;
+
+  std::istringstream stream(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    std::istringstream is(line);
+    std::vector<std::string> tokens;
+    std::string token;
+    while (is >> token) {
+      if (token[0] == '#') break;
+      tokens.push_back(token);
+    }
+    if (tokens.empty()) continue;
+
+    if (tokens[0] == "machine") {
+      if (tokens.size() != 6) {
+        fail(line_no, "machine needs exactly 5 parameters");
+      }
+      bundle.machine.t_ss = parse_kv_double(line_no, tokens[1], "t_ss");
+      bundle.machine.t_ps = parse_kv_double(line_no, tokens[2], "t_ps");
+      bundle.machine.t_sr = parse_kv_double(line_no, tokens[3], "t_sr");
+      bundle.machine.t_pr = parse_kv_double(line_no, tokens[4], "t_pr");
+      bundle.machine.t_n = parse_kv_double(line_no, tokens[5], "t_n");
+      saw_machine = true;
+      continue;
+    }
+    if (tokens[0] == "kernel") {
+      if (tokens.size() != 7) {
+        fail(line_no,
+             "kernel needs: op rows cols inner alpha=<a> tau=<t>");
+      }
+      cost::KernelKey key;
+      key.op = parse_op(line_no, tokens[1]);
+      try {
+        key.rows = std::stoull(tokens[2]);
+        key.cols = std::stoull(tokens[3]);
+        key.inner = std::stoull(tokens[4]);
+      } catch (const std::exception&) {
+        fail(line_no, "bad kernel dimensions");
+      }
+      cost::AmdahlParams params;
+      params.alpha = parse_kv_double(line_no, tokens[5], "alpha");
+      params.tau = parse_kv_double(line_no, tokens[6], "tau");
+      bundle.kernels.set(key, params);
+      continue;
+    }
+    fail(line_no, "unknown directive '" + tokens[0] + "'");
+  }
+  PARADIGM_CHECK(saw_machine,
+                 "calibration text is missing the 'machine' line");
+  return bundle;
+}
+
+}  // namespace paradigm::calibrate

@@ -1,0 +1,32 @@
+// Persistence of calibration results.
+//
+// Training-set calibration is the most expensive pipeline stage, and on
+// real hardware it would involve actual machine time — the paper's
+// workflow measures once and reuses the fitted parameters. This module
+// serializes a calibration (machine parameters + kernel table) to a
+// line-oriented text file and back:
+//
+//   machine t_ss=<s> t_ps=<s> t_sr=<s> t_pr=<s> t_n=<s>
+//   kernel <op> <rows> <cols> <inner> alpha=<a> tau=<s>
+#pragma once
+
+#include <string>
+
+#include "cost/machine.hpp"
+
+namespace paradigm::calibrate {
+
+/// A complete calibration: message parameters + fitted kernels.
+struct CalibrationBundle {
+  cost::MachineParams machine;
+  cost::KernelCostTable kernels;
+};
+
+/// Serializes the bundle (stable ordering; round-trips exactly).
+std::string write_calibration(const CalibrationBundle& bundle);
+
+/// Parses the format above. Throws paradigm::Error with a line number
+/// on malformed input.
+CalibrationBundle parse_calibration(const std::string& text);
+
+}  // namespace paradigm::calibrate

@@ -1,0 +1,48 @@
+#include "calibrate/static_estimate.hpp"
+
+#include <set>
+
+#include "support/error.hpp"
+
+namespace paradigm::calibrate {
+
+cost::AmdahlParams static_kernel_params(const sim::MachineConfig& machine,
+                                        const cost::KernelKey& key) {
+  PARADIGM_CHECK(key.op != mdg::LoopOp::kSynthetic,
+                 "synthetic kernels have explicit parameters");
+  cost::AmdahlParams params;
+  params.tau =
+      machine.sequential_seconds(key.op, key.rows, key.cols, key.inner);
+  params.alpha = machine.timing_for(key.op).serial_fraction;
+  return params;
+}
+
+cost::MachineParams static_machine_params(
+    const sim::MachineConfig& machine) {
+  cost::MachineParams params;
+  params.t_ss = machine.send_startup;
+  params.t_ps = machine.send_per_byte;
+  params.t_sr = machine.recv_startup;
+  params.t_pr = machine.recv_per_byte;
+  params.t_n = 0.0;
+  return params;
+}
+
+cost::KernelCostTable static_table_for_graph(
+    const sim::MachineConfig& machine, const mdg::Mdg& graph) {
+  cost::KernelCostTable table;
+  std::set<cost::KernelKey> wanted;
+  for (const auto& node : graph.nodes()) {
+    if (node.kind != mdg::NodeKind::kLoop ||
+        node.loop.op == mdg::LoopOp::kSynthetic) {
+      continue;
+    }
+    wanted.insert(cost::KernelCostTable::key_for(graph, node));
+  }
+  for (const auto& key : wanted) {
+    table.set(key, static_kernel_params(machine, key));
+  }
+  return table;
+}
+
+}  // namespace paradigm::calibrate

@@ -1,0 +1,38 @@
+// Compile-time (static) cost estimation.
+//
+// The paper calibrates its cost models by *measurement* (training sets)
+// but notes it is "considering the use of static estimation techniques
+// developed by Gupta and Banerjee to try and eliminate the need for
+// some of the measurements". This module implements that alternative:
+// Amdahl and message parameters are derived directly from the machine
+// description (operation counts x advertised per-operation times), with
+// no micro-benchmark runs.
+//
+// Static estimates are cheaper but blind to effects only measurement
+// sees — here, the per-processor group-synchronization overhead — so
+// they are systematically slightly optimistic. The
+// `ablation_static_vs_trained` bench quantifies the resulting loss of
+// prediction accuracy.
+#pragma once
+
+#include "cost/machine.hpp"
+#include "mdg/mdg.hpp"
+#include "sim/config.hpp"
+
+namespace paradigm::calibrate {
+
+/// Amdahl parameters for one kernel derived from first principles:
+/// tau = operation count x per-operation time, alpha = the kernel
+/// class's serial fraction. Ignores group-synchronization overheads.
+cost::AmdahlParams static_kernel_params(const sim::MachineConfig& machine,
+                                        const cost::KernelKey& key);
+
+/// Message parameters read straight from the machine description
+/// (t_n = 0: receive-side pull, as on the CM-5).
+cost::MachineParams static_machine_params(const sim::MachineConfig& machine);
+
+/// Static kernel table covering every non-synthetic loop in `graph`.
+cost::KernelCostTable static_table_for_graph(
+    const sim::MachineConfig& machine, const mdg::Mdg& graph);
+
+}  // namespace paradigm::calibrate

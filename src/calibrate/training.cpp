@@ -1,0 +1,353 @@
+#include "calibrate/training.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <set>
+#include <string>
+
+#include "sim/redistribute.hpp"
+#include "sim/simulator.hpp"
+#include "support/error.hpp"
+
+namespace paradigm::calibrate {
+namespace {
+
+using sim::BlockRect;
+using sim::Distribution;
+using sim::IndexRange;
+
+std::vector<std::uint32_t> default_group_sizes(std::uint32_t machine_size) {
+  std::vector<std::uint32_t> sizes;
+  for (std::uint32_t g = 1; g <= machine_size; g *= 2) sizes.push_back(g);
+  return sizes;
+}
+
+std::vector<std::uint32_t> iota_group(std::uint32_t first,
+                                      std::uint32_t count) {
+  std::vector<std::uint32_t> g(count);
+  for (std::uint32_t i = 0; i < count; ++i) g[i] = first + i;
+  return g;
+}
+
+/// Wall time spanned by all busy intervals with the given label.
+double labeled_span(const sim::Simulator& simulator,
+                    const std::string& label) {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -lo;
+  for (const auto& rank_trace : simulator.trace()) {
+    for (const auto& interval : rank_trace) {
+      if (interval.label == label) {
+        lo = std::min(lo, interval.start);
+        hi = std::max(hi, interval.end);
+      }
+    }
+  }
+  PARADIGM_CHECK(std::isfinite(lo),
+                 "no trace intervals labeled '" << label << "'");
+  return hi - lo;
+}
+
+}  // namespace
+
+KernelFit calibrate_kernel(const sim::MachineConfig& machine,
+                           mdg::LoopOp op, std::size_t rows,
+                           std::size_t cols, std::size_t inner,
+                           const CalibrationConfig& config) {
+  PARADIGM_CHECK(op != mdg::LoopOp::kSynthetic,
+                 "synthetic kernels are not calibrated");
+  const std::vector<std::uint32_t> groups =
+      config.group_sizes.empty() ? default_group_sizes(machine.size)
+                                 : config.group_sizes;
+  PARADIGM_CHECK(!groups.empty(), "no group sizes to calibrate over");
+
+  KernelFit result;
+  result.key = cost::KernelKey{op, rows, cols,
+                               op == mdg::LoopOp::kMul ? inner : 0};
+
+  std::vector<std::vector<double>> regressors;
+  std::vector<double> measured;
+
+  for (const std::uint32_t g : groups) {
+    PARADIGM_CHECK(g >= 1 && g <= machine.size,
+                   "group size " << g << " outside machine");
+    // Micro-program: initialize inputs on the group, then run the kernel
+    // under test producing "K".
+    sim::MpmdProgram program(machine.size);
+    const std::vector<std::uint32_t> group = iota_group(0, g);
+
+    const auto emit = [&](const sim::GroupKernel& k) {
+      for (const std::uint32_t r : group) program.streams[r].push_back(k);
+    };
+    const auto init_kernel = [&](mdg::NodeId node, const std::string& name,
+                                 std::size_t r, std::size_t c) {
+      sim::GroupKernel k;
+      k.node = node;
+      k.op = mdg::LoopOp::kInit;
+      k.output = name;
+      k.out_rows = r;
+      k.out_cols = c;
+      k.init_tag = 11 + node;
+      k.group = group;
+      emit(k);
+    };
+
+    sim::GroupKernel kernel;
+    kernel.node = 100;
+    kernel.op = op;
+    kernel.output = "K";
+    kernel.out_rows = rows;
+    kernel.out_cols = cols;
+    kernel.group = group;
+    switch (op) {
+      case mdg::LoopOp::kInit:
+        kernel.init_tag = 99;
+        break;
+      case mdg::LoopOp::kAdd:
+      case mdg::LoopOp::kSub:
+        init_kernel(0, "A", rows, cols);
+        init_kernel(1, "B", rows, cols);
+        kernel.inputs = {"A", "B"};
+        break;
+      case mdg::LoopOp::kMul:
+        init_kernel(0, "A", rows, inner);
+        init_kernel(1, "B", inner, cols);
+        kernel.inputs = {"A", "B"};
+        kernel.inner = inner;
+        break;
+      case mdg::LoopOp::kTranspose:
+        init_kernel(0, "A", cols, rows);
+        kernel.inputs = {"A"};
+        break;
+      case mdg::LoopOp::kSynthetic:
+        PARADIGM_FAIL("unreachable");
+    }
+    emit(kernel);
+
+    double total = 0.0;
+    for (std::uint32_t rep = 0; rep < config.repetitions; ++rep) {
+      sim::MachineConfig mc = machine;
+      mc.noise_seed = machine.noise_seed + rep * 7919;
+      sim::Simulator simulator(mc);
+      simulator.run(program);
+      total += labeled_span(simulator, "K");
+    }
+    const double avg = total / config.repetitions;
+    regressors.push_back({1.0, 1.0 / static_cast<double>(g)});
+    measured.push_back(avg);
+    result.samples.push_back(KernelSample{g, avg, 0.0});
+  }
+
+  result.fit = least_squares_nonneg(regressors, measured);
+  const double c0 = result.fit.coefficients[0];  // alpha * tau
+  const double c1 = result.fit.coefficients[1];  // (1 - alpha) * tau
+  const double tau = c0 + c1;
+  PARADIGM_CHECK(tau > 0.0, "degenerate kernel fit (tau <= 0)");
+  result.params.tau = tau;
+  result.params.alpha = std::clamp(c0 / tau, 0.0, 1.0);
+  for (auto& sample : result.samples) {
+    sample.predicted = result.params.time(sample.processors);
+  }
+  return result;
+}
+
+TransferFit calibrate_transfers(const sim::MachineConfig& machine,
+                                const CalibrationConfig& config) {
+  TransferFit result;
+  std::vector<std::vector<double>> send_rows;
+  std::vector<double> send_y;
+  std::vector<std::vector<double>> recv_rows;
+  std::vector<double> recv_y;
+  std::vector<std::vector<double>> net_rows;
+  std::vector<double> net_y;
+
+  // Group-size pairs: symmetric and asymmetric, both directions.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  for (std::uint32_t a = 1; a * 2 <= machine.size; a *= 2) {
+    pairs.emplace_back(a, a);
+    if (a > 1) {
+      pairs.emplace_back(a, 1);
+      pairs.emplace_back(1, a);
+    }
+    if (a > 2) {
+      pairs.emplace_back(a, 2);
+      pairs.emplace_back(2, a);
+    }
+  }
+
+  for (const mdg::TransferKind kind :
+       {mdg::TransferKind::k1D, mdg::TransferKind::k2D}) {
+    for (const auto& [pi, pj] : pairs) {
+      if (pi + pj > machine.size) continue;
+      for (const std::size_t bytes : config.transfer_bytes) {
+        const std::size_t elems = std::max<std::size_t>(
+            std::max<std::size_t>(pi, pj) * 2, bytes / sizeof(double));
+        std::size_t rows;
+        std::size_t cols;
+        if (kind == mdg::TransferKind::k1D) {
+          rows = elems;
+          cols = 1;
+        } else {
+          rows = static_cast<std::size_t>(
+              std::max(2.0, std::round(std::sqrt(
+                                static_cast<double>(elems)))));
+          cols = rows;
+        }
+        const Distribution dst_dist = (kind == mdg::TransferKind::k1D)
+                                          ? Distribution::kRow
+                                          : Distribution::kCol;
+        const std::vector<std::uint32_t> src = iota_group(0, pi);
+        const std::vector<std::uint32_t> dst = iota_group(pi, pj);
+        const sim::RedistPlan plan = sim::plan_redistribution(
+            rows, cols, src, Distribution::kRow, dst, dst_dist);
+        if (plan.messages.empty()) continue;
+
+        sim::MpmdProgram program(machine.size);
+        for (std::uint32_t si = 0; si < pi; ++si) {
+          program.streams[src[si]].push_back(sim::AllocBlock{
+              "X", sim::owned_block(rows, cols, Distribution::kRow, pi,
+                                    si)});
+        }
+        for (std::uint32_t di = 0; di < pj; ++di) {
+          program.streams[dst[di]].push_back(sim::AllocBlock{
+              "Y", sim::owned_block(rows, cols, dst_dist, pj, di)});
+        }
+        std::size_t per_sender_msgs_max = 0;
+        std::size_t per_sender_bytes_max = 0;
+        std::size_t per_recv_msgs_max = 0;
+        std::size_t per_recv_bytes_max = 0;
+        {
+          std::map<std::uint32_t, std::pair<std::size_t, std::size_t>> s_agg;
+          std::map<std::uint32_t, std::pair<std::size_t, std::size_t>> r_agg;
+          for (const auto& piece : plan.messages) {
+            s_agg[piece.src_rank].first += 1;
+            s_agg[piece.src_rank].second += piece.rect.bytes();
+            r_agg[piece.dst_rank].first += 1;
+            r_agg[piece.dst_rank].second += piece.rect.bytes();
+          }
+          for (const auto& [r, agg] : s_agg) {
+            per_sender_msgs_max = std::max(per_sender_msgs_max, agg.first);
+            per_sender_bytes_max =
+                std::max(per_sender_bytes_max, agg.second);
+          }
+          for (const auto& [r, agg] : r_agg) {
+            per_recv_msgs_max = std::max(per_recv_msgs_max, agg.first);
+            per_recv_bytes_max = std::max(per_recv_bytes_max, agg.second);
+          }
+        }
+        for (std::size_t mi = 0; mi < plan.messages.size(); ++mi) {
+          const auto& piece = plan.messages[mi];
+          program.streams[piece.src_rank].push_back(
+              sim::SendBlock{piece.dst_rank, mi + 1, "X", piece.rect});
+          program.streams[piece.dst_rank].push_back(
+              sim::RecvBlock{piece.src_rank, mi + 1, "Y", piece.rect});
+        }
+
+        double send_busy = 0.0;
+        double recv_busy = 0.0;
+        double gap = 0.0;
+        double wall = 0.0;
+        for (std::uint32_t rep = 0; rep < config.repetitions; ++rep) {
+          sim::MachineConfig mc = machine;
+          mc.noise_seed = machine.noise_seed + 131 * rep + 17;
+          sim::Simulator simulator(mc);
+          const sim::SimResult run = simulator.run(program);
+          double sb = 0.0;
+          double rb = 0.0;
+          double first_send_end = std::numeric_limits<double>::infinity();
+          double first_recv_start = first_send_end;
+          for (std::uint32_t r = 0; r < machine.size; ++r) {
+            double busy = 0.0;
+            for (const auto& interval : simulator.trace()[r]) {
+              busy += interval.end - interval.start;
+              if (interval.label.rfind("send", 0) == 0) {
+                first_send_end = std::min(first_send_end, interval.end);
+              }
+              if (interval.label.rfind("recv", 0) == 0) {
+                first_recv_start = std::min(first_recv_start,
+                                            interval.start);
+              }
+            }
+            if (r < pi) {
+              sb = std::max(sb, busy);
+            } else if (r < pi + pj) {
+              rb = std::max(rb, busy);
+            }
+          }
+          send_busy += sb;
+          recv_busy += rb;
+          gap += std::max(0.0, first_recv_start - first_send_end);
+          wall += run.finish_time;
+        }
+        send_busy /= config.repetitions;
+        recv_busy /= config.repetitions;
+        gap /= config.repetitions;
+        wall /= config.repetitions;
+
+        TransferSample sample;
+        sample.senders = pi;
+        sample.receivers = pj;
+        sample.bytes = rows * cols * sizeof(double);
+        sample.kind = kind;
+        sample.send_busy = send_busy;
+        sample.recv_busy = recv_busy;
+        sample.network_gap = gap;
+        sample.total_wall = wall;
+        result.samples.push_back(sample);
+
+        send_rows.push_back({static_cast<double>(per_sender_msgs_max),
+                             static_cast<double>(per_sender_bytes_max)});
+        send_y.push_back(send_busy);
+        recv_rows.push_back({static_cast<double>(per_recv_msgs_max),
+                             static_cast<double>(per_recv_bytes_max)});
+        recv_y.push_back(recv_busy);
+        net_rows.push_back(
+            {1.0, static_cast<double>(plan.messages.front().rect.bytes())});
+        net_y.push_back(gap);
+      }
+    }
+  }
+
+  PARADIGM_CHECK(send_rows.size() >= 4, "not enough transfer samples");
+  result.send_fit = least_squares_nonneg(send_rows, send_y);
+  result.recv_fit = least_squares_nonneg(recv_rows, recv_y);
+  result.net_fit = least_squares_nonneg(net_rows, net_y);
+
+  result.params.t_ss = result.send_fit.coefficients[0];
+  result.params.t_ps = result.send_fit.coefficients[1];
+  result.params.t_sr = result.recv_fit.coefficients[0];
+  result.params.t_pr = result.recv_fit.coefficients[1];
+  result.params.t_n = result.net_fit.coefficients[1];
+
+  for (std::size_t i = 0; i < result.samples.size(); ++i) {
+    auto& sample = result.samples[i];
+    sample.send_predicted = send_rows[i][0] * result.params.t_ss +
+                            send_rows[i][1] * result.params.t_ps;
+    sample.recv_predicted = recv_rows[i][0] * result.params.t_sr +
+                            recv_rows[i][1] * result.params.t_pr;
+  }
+  return result;
+}
+
+cost::KernelCostTable calibrate_for_graph(const sim::MachineConfig& machine,
+                                          const mdg::Mdg& graph,
+                                          const CalibrationConfig& config) {
+  cost::KernelCostTable table;
+  std::set<cost::KernelKey> wanted;
+  for (const auto& node : graph.nodes()) {
+    if (node.kind != mdg::NodeKind::kLoop ||
+        node.loop.op == mdg::LoopOp::kSynthetic) {
+      continue;
+    }
+    wanted.insert(cost::KernelCostTable::key_for(graph, node));
+  }
+  for (const auto& key : wanted) {
+    const KernelFit fit = calibrate_kernel(machine, key.op, key.rows,
+                                           key.cols, key.inner, config);
+    table.set(key, fit.params);
+  }
+  return table;
+}
+
+}  // namespace paradigm::calibrate

@@ -1,0 +1,91 @@
+// Training-sets calibration (Section 4; methodology of Balasundaram et
+// al.). Runs micro-benchmarks on the simulated machine and fits the
+// cost-model parameters by least squares:
+//
+//   * per-kernel Amdahl parameters (alpha, tau)  — Table 1 / Figure 3,
+//   * message parameters (t_ss, t_ps, t_sr, t_pr, t_n) — Table 2 /
+//     Figure 5.
+//
+// The simulator's "true" behaviour includes group-synchronization
+// overheads and (optionally) noise, so the fits are close but not exact,
+// as in the paper's figures.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cost/machine.hpp"
+#include "mdg/mdg.hpp"
+#include "sim/config.hpp"
+#include "support/stats.hpp"
+
+namespace paradigm::calibrate {
+
+/// One measured kernel timing.
+struct KernelSample {
+  std::uint32_t processors = 0;
+  double measured = 0.0;   ///< Seconds (averaged over repetitions).
+  double predicted = 0.0;  ///< From the fitted Amdahl model.
+};
+
+/// Fitted Amdahl parameters for one kernel shape.
+struct KernelFit {
+  cost::KernelKey key;
+  cost::AmdahlParams params;
+  OlsFit fit;
+  std::vector<KernelSample> samples;
+};
+
+/// One measured transfer timing decomposed into the model's components.
+struct TransferSample {
+  std::uint32_t senders = 0;
+  std::uint32_t receivers = 0;
+  std::size_t bytes = 0;
+  mdg::TransferKind kind = mdg::TransferKind::k1D;
+  double send_busy = 0.0;     ///< Max per-sender busy seconds.
+  double recv_busy = 0.0;     ///< Max per-receiver busy seconds.
+  double network_gap = 0.0;   ///< First-arrival minus last-send-finish.
+  double total_wall = 0.0;    ///< End-to-end transfer wall time.
+  double send_predicted = 0.0;
+  double recv_predicted = 0.0;
+};
+
+/// Fitted message parameters (the reproduction of Table 2).
+struct TransferFit {
+  cost::MachineParams params;
+  OlsFit send_fit;
+  OlsFit recv_fit;
+  OlsFit net_fit;
+  std::vector<TransferSample> samples;
+};
+
+/// Calibration knobs.
+struct CalibrationConfig {
+  std::uint32_t repetitions = 3;  ///< Averaging runs (varying noise seed).
+  /// Group sizes used for kernel measurements (defaults to the powers of
+  /// two up to the machine size).
+  std::vector<std::uint32_t> group_sizes;
+  /// Transfer byte sizes for the message micro-benchmarks.
+  std::vector<std::size_t> transfer_bytes = {8u << 10, 32u << 10,
+                                             128u << 10, 512u << 10};
+};
+
+/// Measures one kernel shape across group sizes and fits Amdahl
+/// parameters (linear regression on the basis {1, 1/p}).
+KernelFit calibrate_kernel(const sim::MachineConfig& machine,
+                           mdg::LoopOp op, std::size_t rows,
+                           std::size_t cols, std::size_t inner,
+                           const CalibrationConfig& config = {});
+
+/// Measures 1D and 2D transfers across group-size / byte-count
+/// combinations and fits the five message parameters.
+TransferFit calibrate_transfers(const sim::MachineConfig& machine,
+                                const CalibrationConfig& config = {});
+
+/// Builds the kernel cost table needed by `graph`: one calibration per
+/// distinct (op, shape) among the graph's non-synthetic loop nodes.
+cost::KernelCostTable calibrate_for_graph(const sim::MachineConfig& machine,
+                                          const mdg::Mdg& graph,
+                                          const CalibrationConfig& config = {});
+
+}  // namespace paradigm::calibrate

@@ -1,0 +1,252 @@
+#include "codegen/mpmd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/redistribute.hpp"
+#include "support/error.hpp"
+
+namespace paradigm::codegen {
+namespace {
+
+using mdg::LoopOp;
+using mdg::NodeKind;
+using sim::BlockRect;
+using sim::Distribution;
+using sim::IndexRange;
+
+/// Dimensions and identity of one array moving over one edge.
+struct ArrayShape {
+  std::string canonical;  ///< Storage name of the producer's copy.
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  bool synthetic = false;
+  mdg::TransferKind kind = mdg::TransferKind::k1D;
+};
+
+/// Shape used for a synthetic transfer of `bytes`: 1D transfers use a
+/// column vector (rows split block-wise); 2D transfers use a near-square
+/// matrix so a row->col redistribution produces the all-pairs pattern.
+ArrayShape synthetic_shape(mdg::EdgeId edge, std::size_t array_index,
+                           std::size_t bytes, mdg::TransferKind kind) {
+  ArrayShape shape;
+  shape.canonical =
+      "$e" + std::to_string(edge) + "." + std::to_string(array_index);
+  shape.synthetic = true;
+  shape.kind = kind;
+  const std::size_t elems = std::max<std::size_t>(1, bytes / sizeof(double));
+  if (kind == mdg::TransferKind::k1D) {
+    shape.rows = elems;
+    shape.cols = 1;
+  } else {
+    const auto side = static_cast<std::size_t>(
+        std::max(1.0, std::round(std::sqrt(static_cast<double>(elems)))));
+    shape.rows = side;
+    shape.cols = side;
+  }
+  return shape;
+}
+
+/// One planned redistribution for one array over one edge.
+struct EdgeArrayPlan {
+  ArrayShape shape;
+  std::string consumer_name;  ///< Name the consumer kernel reads.
+  bool noop = false;
+  Distribution src_dist = Distribution::kRow;
+  Distribution dst_dist = Distribution::kRow;
+  sim::RedistPlan plan;
+  std::uint64_t tag_base = 0;
+};
+
+Distribution to_distribution(mdg::Layout layout) {
+  return layout == mdg::Layout::kRow ? Distribution::kRow
+                                     : Distribution::kCol;
+}
+
+}  // namespace
+
+GeneratedProgram generate_mpmd(const mdg::Mdg& graph,
+                               const sched::Schedule& schedule) {
+  PARADIGM_CHECK(graph.finalized(), "codegen requires a finalized MDG");
+  PARADIGM_CHECK(&schedule.graph() == &graph,
+                 "schedule bound to a different MDG");
+
+  GeneratedProgram out;
+  out.program = sim::MpmdProgram(
+      static_cast<std::uint32_t>(schedule.machine_size()));
+  auto& streams = out.program.streams;
+
+  const auto group_of = [&](mdg::NodeId id) {
+    return schedule.placement(id).ranks;  // sorted by Schedule::place
+  };
+
+  // ---- pass 1: plan every edge's redistributions, assign tags --------
+  std::uint64_t next_tag = 1;
+  std::map<mdg::EdgeId, std::vector<EdgeArrayPlan>> edge_plans;
+  for (const auto& edge : graph.edges()) {
+    if (edge.transfers.empty()) continue;
+    const auto& src_group = group_of(edge.src);
+    const auto& dst_group = group_of(edge.dst);
+    std::vector<EdgeArrayPlan> plans;
+    for (std::size_t ai = 0; ai < edge.transfers.size(); ++ai) {
+      const auto& transfer = edge.transfers[ai];
+      EdgeArrayPlan eap;
+      if (transfer.array.empty()) {
+        eap.shape = synthetic_shape(edge.id, ai, transfer.bytes,
+                                    transfer.kind);
+      } else {
+        const auto& info = graph.array(transfer.array);
+        eap.shape.canonical = transfer.array;
+        eap.shape.rows = info.rows;
+        eap.shape.cols = info.cols;
+        eap.shape.kind = transfer.kind;
+      }
+      // Named arrays are laid out per their producer's layout and land
+      // in the consumer's layout (finalize derived the transfer kind
+      // from the same pair, so the cost model agrees). Synthetic
+      // payloads are materialized row-blocked and land row- or
+      // col-blocked depending on the declared kind.
+      if (eap.shape.synthetic) {
+        eap.src_dist = Distribution::kRow;
+        eap.dst_dist = (eap.shape.kind == mdg::TransferKind::k1D)
+                           ? Distribution::kRow
+                           : Distribution::kCol;
+      } else {
+        eap.src_dist =
+            to_distribution(graph.node(edge.src).loop.layout);
+        eap.dst_dist =
+            to_distribution(graph.node(edge.dst).loop.layout);
+      }
+      if (!eap.shape.synthetic &&
+          sim::is_noop_redistribution(src_group, eap.src_dist, dst_group,
+                                      eap.dst_dist)) {
+        eap.noop = true;
+        eap.consumer_name = eap.shape.canonical;
+        ++out.skipped_noop_redistributions;
+      } else {
+        eap.consumer_name = eap.shape.canonical + "#" +
+                            std::to_string(edge.dst);
+        eap.plan = sim::plan_redistribution(
+            eap.shape.rows, eap.shape.cols, src_group, eap.src_dist,
+            dst_group, eap.dst_dist);
+        eap.tag_base = next_tag;
+        next_tag += eap.plan.messages.size();
+        out.planned_messages += eap.plan.messages.size();
+        out.planned_bytes += eap.plan.message_bytes();
+      }
+      plans.push_back(std::move(eap));
+    }
+    edge_plans[edge.id] = std::move(plans);
+  }
+
+  // ---- pass 2: emit sections in schedule start order ------------------
+  for (const auto& placement : schedule.placements_in_start_order()) {
+    const auto& node = graph.node(placement.node);
+    if (node.kind != NodeKind::kLoop) continue;
+    const auto& group = placement.ranks;
+    PARADIGM_CHECK(!group.empty(),
+                   "loop node '" << node.name << "' scheduled on no ranks");
+
+    // Receive side: views, local copies, receives.
+    // Maps each kernel input array to the name the kernel should read.
+    std::map<std::string, std::string> input_names;
+    for (const mdg::EdgeId e : node.in_edges) {
+      const auto it = edge_plans.find(e);
+      if (it == edge_plans.end()) continue;
+      for (const auto& eap : it->second) {
+        if (eap.noop) {
+          input_names[eap.shape.canonical] = eap.consumer_name;
+          continue;
+        }
+        input_names[eap.shape.canonical] = eap.consumer_name;
+        // Allocate each member's view block.
+        for (std::size_t gi = 0; gi < group.size(); ++gi) {
+          const BlockRect rect = sim::owned_block(
+              eap.shape.rows, eap.shape.cols, eap.dst_dist, group.size(),
+              gi);
+          if (rect.rows.empty() || rect.cols.empty()) continue;
+          streams[group[gi]].push_back(
+              sim::AllocBlock{eap.consumer_name, rect});
+        }
+        // Local pieces: copy from the producer's block already on rank.
+        for (const auto& piece : eap.plan.local_pieces) {
+          streams[piece.dst_rank].push_back(sim::CopyBlock{
+              eap.shape.canonical, eap.consumer_name, piece.rect});
+        }
+        // Cross-rank pieces: receives here, matching sends in the
+        // producer's section.
+        for (std::size_t mi = 0; mi < eap.plan.messages.size(); ++mi) {
+          const auto& piece = eap.plan.messages[mi];
+          streams[piece.dst_rank].push_back(
+              sim::RecvBlock{piece.src_rank, eap.tag_base + mi,
+                             eap.consumer_name, piece.rect});
+        }
+      }
+    }
+
+    // Compute: the node's loop nest as a group kernel.
+    sim::GroupKernel kernel;
+    kernel.node = node.id;
+    kernel.op = node.loop.op;
+    kernel.group.assign(group.begin(), group.end());
+    if (node.loop.op == LoopOp::kSynthetic) {
+      const double g = static_cast<double>(group.size());
+      kernel.cost_override =
+          (node.loop.synth_alpha + (1.0 - node.loop.synth_alpha) / g) *
+          node.loop.synth_tau;
+    } else {
+      const auto& info = graph.array(node.loop.output);
+      kernel.output = node.loop.output;
+      kernel.out_layout = node.loop.layout;
+      kernel.out_rows = info.rows;
+      kernel.out_cols = info.cols;
+      kernel.init_tag = info.init_tag;
+      if (node.loop.op == LoopOp::kMul) {
+        kernel.inner = graph.array(node.loop.inputs[0]).cols;
+      }
+      for (const auto& in : node.loop.inputs) {
+        const auto it = input_names.find(in);
+        PARADIGM_CHECK(it != input_names.end(),
+                       "node '" << node.name << "' input '" << in
+                                << "' has no planned arrival");
+        kernel.inputs.push_back(it->second);
+      }
+    }
+    for (const std::uint32_t r : group) {
+      streams[r].push_back(kernel);
+    }
+
+    // Send side: allocate+send synthetic payloads, send real arrays.
+    for (const mdg::EdgeId e : node.out_edges) {
+      const auto it = edge_plans.find(e);
+      if (it == edge_plans.end()) continue;
+      for (const auto& eap : it->second) {
+        if (eap.noop) continue;
+        if (eap.shape.synthetic) {
+          // Materialize the dummy payload row-blocked over this group.
+          for (std::size_t gi = 0; gi < group.size(); ++gi) {
+            const BlockRect rect =
+                sim::owned_block(eap.shape.rows, eap.shape.cols,
+                                 Distribution::kRow, group.size(), gi);
+            if (rect.rows.empty() || rect.cols.empty()) continue;
+            streams[group[gi]].push_back(
+                sim::AllocBlock{eap.shape.canonical, rect});
+          }
+        }
+        for (std::size_t mi = 0; mi < eap.plan.messages.size(); ++mi) {
+          const auto& piece = eap.plan.messages[mi];
+          streams[piece.src_rank].push_back(
+              sim::SendBlock{piece.dst_rank, eap.tag_base + mi,
+                             eap.shape.canonical, piece.rect});
+        }
+      }
+    }
+  }
+
+  return out;
+}
+
+}  // namespace paradigm::codegen

@@ -1,0 +1,148 @@
+#include "core/json_export.hpp"
+
+namespace paradigm::core {
+namespace {
+
+const char* node_kind_name(mdg::NodeKind kind) {
+  switch (kind) {
+    case mdg::NodeKind::kStart: return "start";
+    case mdg::NodeKind::kLoop: return "loop";
+    case mdg::NodeKind::kStop: return "stop";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Json mdg_to_json(const mdg::Mdg& graph) {
+  Json nodes = Json::array();
+  for (const auto& node : graph.nodes()) {
+    Json j = Json::object();
+    j.set("id", Json::integer(static_cast<std::int64_t>(node.id)));
+    j.set("name", Json::string(node.name));
+    j.set("kind", Json::string(node_kind_name(node.kind)));
+    if (node.kind == mdg::NodeKind::kLoop) {
+      j.set("op", Json::string(mdg::to_string(node.loop.op)));
+      j.set("layout", Json::string(node.loop.layout == mdg::Layout::kRow
+                                       ? "row"
+                                       : "col"));
+      if (node.loop.op == mdg::LoopOp::kSynthetic) {
+        j.set("alpha", Json::number(node.loop.synth_alpha));
+        j.set("tau", Json::number(node.loop.synth_tau));
+      } else {
+        j.set("output", Json::string(node.loop.output));
+        Json inputs = Json::array();
+        for (const auto& in : node.loop.inputs) {
+          inputs.push_back(Json::string(in));
+        }
+        j.set("inputs", std::move(inputs));
+      }
+    }
+    nodes.push_back(std::move(j));
+  }
+
+  Json edges = Json::array();
+  for (const auto& edge : graph.edges()) {
+    Json j = Json::object();
+    j.set("src", Json::integer(static_cast<std::int64_t>(edge.src)));
+    j.set("dst", Json::integer(static_cast<std::int64_t>(edge.dst)));
+    Json transfers = Json::array();
+    for (const auto& t : edge.transfers) {
+      Json tj = Json::object();
+      if (!t.array.empty()) tj.set("array", Json::string(t.array));
+      tj.set("kind", Json::string(t.kind == mdg::TransferKind::k1D ? "1D"
+                                                                   : "2D"));
+      tj.set("bytes", Json::integer(static_cast<std::int64_t>(t.bytes)));
+      transfers.push_back(std::move(tj));
+    }
+    j.set("transfers", std::move(transfers));
+    edges.push_back(std::move(j));
+  }
+
+  Json out = Json::object();
+  out.set("nodes", std::move(nodes));
+  out.set("edges", std::move(edges));
+  return out;
+}
+
+Json allocation_to_json(const solver::AllocationResult& result) {
+  Json alloc = Json::array();
+  for (const double a : result.allocation) alloc.push_back(Json::number(a));
+  Json out = Json::object();
+  out.set("allocation", std::move(alloc));
+  out.set("phi", Json::number(result.phi));
+  out.set("average_time", Json::number(result.average_time));
+  out.set("critical_path", Json::number(result.critical_path));
+  out.set("iterations",
+          Json::integer(static_cast<std::int64_t>(result.iterations)));
+  out.set("converged", Json::boolean(result.converged));
+  return out;
+}
+
+Json schedule_to_json(const sched::Schedule& schedule) {
+  Json placements = Json::array();
+  for (const auto& sn : schedule.placements_in_start_order()) {
+    Json j = Json::object();
+    j.set("node", Json::integer(static_cast<std::int64_t>(sn.node)));
+    j.set("name", Json::string(schedule.graph().node(sn.node).name));
+    j.set("start", Json::number(sn.start));
+    j.set("finish", Json::number(sn.finish));
+    Json ranks = Json::array();
+    for (const std::uint32_t r : sn.ranks) {
+      ranks.push_back(Json::integer(r));
+    }
+    j.set("ranks", std::move(ranks));
+    placements.push_back(std::move(j));
+  }
+  Json out = Json::object();
+  out.set("machine_size", Json::integer(static_cast<std::int64_t>(
+                              schedule.machine_size())));
+  out.set("makespan", Json::number(schedule.makespan()));
+  out.set("efficiency", Json::number(schedule.efficiency()));
+  out.set("placements", std::move(placements));
+  return out;
+}
+
+Json report_to_json(const PipelineReport& report) {
+  Json out = Json::object();
+  out.set("processors",
+          Json::integer(static_cast<std::int64_t>(report.processors)));
+  Json machine = Json::object();
+  machine.set("t_ss", Json::number(report.fitted_machine.t_ss));
+  machine.set("t_ps", Json::number(report.fitted_machine.t_ps));
+  machine.set("t_sr", Json::number(report.fitted_machine.t_sr));
+  machine.set("t_pr", Json::number(report.fitted_machine.t_pr));
+  machine.set("t_n", Json::number(report.fitted_machine.t_n));
+  out.set("fitted_machine", std::move(machine));
+
+  Json kernels = Json::array();
+  for (const auto& [key, params] : report.kernel_table.entries()) {
+    Json j = Json::object();
+    j.set("kernel", Json::string(key.to_string()));
+    j.set("alpha", Json::number(params.alpha));
+    j.set("tau", Json::number(params.tau));
+    kernels.push_back(std::move(j));
+  }
+  out.set("kernels", std::move(kernels));
+
+  out.set("allocation", allocation_to_json(report.allocation));
+  if (report.psa) {
+    out.set("psa_schedule", schedule_to_json(report.psa->schedule));
+    out.set("pb", Json::integer(static_cast<std::int64_t>(report.psa->pb)));
+  }
+  if (report.spmd) {
+    out.set("spmd_schedule", schedule_to_json(*report.spmd));
+  }
+  Json exec = Json::object();
+  exec.set("mpmd_predicted", Json::number(report.mpmd.predicted));
+  exec.set("mpmd_simulated", Json::number(report.mpmd.simulated));
+  exec.set("spmd_predicted", Json::number(report.spmd_run.predicted));
+  exec.set("spmd_simulated", Json::number(report.spmd_run.simulated));
+  exec.set("serial_seconds", Json::number(report.serial_seconds));
+  exec.set("mpmd_speedup", Json::number(report.mpmd_speedup()));
+  exec.set("spmd_speedup", Json::number(report.spmd_speedup()));
+  out.set("execution", std::move(exec));
+  return out;
+}
+
+}  // namespace paradigm::core

@@ -1,0 +1,27 @@
+// JSON export of the pipeline's data structures for downstream tooling
+// (plotting, diffing, CI dashboards).
+#pragma once
+
+#include "core/pipeline.hpp"
+#include "mdg/mdg.hpp"
+#include "sched/schedule.hpp"
+#include "solver/allocator.hpp"
+#include "support/json.hpp"
+
+namespace paradigm::core {
+
+/// Structure of an MDG: nodes (op, name, Amdahl params for synthetic
+/// nodes) and edges (endpoints, per-array kind/bytes).
+Json mdg_to_json(const mdg::Mdg& graph);
+
+/// Continuous allocation with Phi / A_p / C_p and solver statistics.
+Json allocation_to_json(const solver::AllocationResult& result);
+
+/// Placements: per-node start/finish/ranks plus makespan/efficiency.
+Json schedule_to_json(const sched::Schedule& schedule);
+
+/// The full pipeline report (nested allocation + schedule + execution
+/// outcomes + fitted parameters).
+Json report_to_json(const PipelineReport& report);
+
+}  // namespace paradigm::core

@@ -1,0 +1,130 @@
+#include "core/pipeline.hpp"
+
+#include <sstream>
+
+#include "calibrate/static_estimate.hpp"
+#include "sched/bounds.hpp"
+#include "sched/refine.hpp"
+#include "support/error.hpp"
+#include "support/log.hpp"
+#include "support/pow2.hpp"
+
+namespace paradigm::core {
+
+std::string PipelineReport::summary() const {
+  std::ostringstream os;
+  os << "p=" << processors << "  Phi=" << phi() << "s  T_psa=" << t_psa()
+     << "s  MPMD sim=" << mpmd.simulated << "s  SPMD sim="
+     << spmd_run.simulated << "s  serial=" << serial_seconds
+     << "s  speedup MPMD=" << mpmd_speedup() << " SPMD=" << spmd_speedup();
+  return os.str();
+}
+
+Compiler::Compiler(PipelineConfig config) : config_(std::move(config)) {
+  PARADIGM_CHECK(is_pow2(config_.processors),
+                 "processor count must be a power of two, got "
+                     << config_.processors);
+  PARADIGM_CHECK(config_.machine.size >= config_.processors,
+                 "machine size " << config_.machine.size
+                                 << " smaller than target p "
+                                 << config_.processors);
+}
+
+std::pair<cost::MachineParams, cost::KernelCostTable>
+Compiler::fit_parameters(const mdg::Mdg& graph) const {
+  if (config_.preset_calibration) {
+    return {config_.preset_calibration->machine,
+            config_.preset_calibration->kernels};
+  }
+  if (config_.calibration_mode == CalibrationMode::kStatic) {
+    return {calibrate::static_machine_params(config_.machine),
+            calibrate::static_table_for_graph(config_.machine, graph)};
+  }
+  // Training sets: fit kernel Amdahl curves and message parameters by
+  // measuring on the simulated machine.
+  const calibrate::TransferFit transfer =
+      calibrate::calibrate_transfers(config_.machine, config_.calibration);
+  return {transfer.params,
+          calibrate::calibrate_for_graph(config_.machine, graph,
+                                         config_.calibration)};
+}
+
+cost::CostModel Compiler::build_cost_model(const mdg::Mdg& graph) const {
+  auto [machine, table] = fit_parameters(graph);
+  return cost::CostModel(graph, machine, std::move(table));
+}
+
+ExecutionOutcome Compiler::execute_schedule(
+    const mdg::Mdg& graph, const sched::Schedule& schedule) const {
+  ExecutionOutcome outcome;
+  outcome.predicted = schedule.makespan();
+  if (!config_.run_simulation) return outcome;
+  const codegen::GeneratedProgram generated =
+      codegen::generate_mpmd(graph, schedule);
+  sim::MachineConfig machine = config_.machine;
+  machine.size = static_cast<std::uint32_t>(schedule.machine_size());
+  sim::Simulator simulator(machine);
+  outcome.run = simulator.run(generated.program);
+  outcome.simulated = outcome.run.finish_time;
+  return outcome;
+}
+
+double Compiler::measure_serial(const mdg::Mdg& graph) const {
+  const cost::CostModel model = build_cost_model(graph);
+  const sched::Schedule schedule = sched::spmd_schedule(model, 1);
+  return execute_schedule(graph, schedule).simulated;
+}
+
+PipelineReport Compiler::compile_and_run(const mdg::Mdg& graph) const {
+  const std::uint64_t p = config_.processors;
+
+  // 1. Calibration (training sets or static estimation).
+  auto [machine_params, table] = fit_parameters(graph);
+  const cost::CostModel model(graph, machine_params, table);
+
+  // 2. Convex allocation.
+  const solver::ConvexAllocator allocator(config_.solver);
+  solver::AllocationResult allocation = allocator.allocate(
+      model, static_cast<double>(p));
+  log_info("allocation: ", allocation.summary());
+
+  // 3. PSA scheduling (+ SPMD baseline). The SPMD baseline is predicted
+  // with a transfer-free cost model: with every node on the same full
+  // processor group, arrays never move (the code generator elides those
+  // redistributions), exactly as a hand-coded SPMD program behaves.
+  sched::PsaResult psa = sched::prioritized_schedule(
+      model, allocation.allocation, p, config_.psa);
+  psa.schedule.validate(model);
+  cost::MachineParams free_transfers;
+  free_transfers.t_ss = free_transfers.t_ps = 0.0;
+  free_transfers.t_sr = free_transfers.t_pr = 0.0;
+  free_transfers.t_n = 0.0;
+  const cost::CostModel spmd_model(graph, free_transfers, table);
+  sched::Schedule spmd = sched::spmd_schedule(spmd_model, p);
+  spmd.validate(spmd_model);
+
+  // 4-5. Codegen + simulated execution.
+  PipelineReport report;
+  report.processors = p;
+  report.fitted_machine = machine_params;
+  report.kernel_table = std::move(table);
+  report.mpmd = execute_schedule(graph, psa.schedule);
+  report.spmd_run = execute_schedule(graph, spmd);
+  report.mpmd.predicted_refined =
+      sched::refine_prediction(model, psa.schedule).makespan;
+  report.spmd_run.predicted_refined =
+      sched::refine_prediction(model, spmd).makespan;
+  report.allocation = std::move(allocation);
+  report.psa = std::move(psa);
+  report.spmd = std::move(spmd);
+  if (config_.run_simulation) {
+    const cost::CostModel serial_model(graph, machine_params,
+                                       report.kernel_table);
+    const sched::Schedule serial = sched::spmd_schedule(serial_model, 1);
+    report.serial_seconds = execute_schedule(graph, serial).simulated;
+  }
+  log_info("pipeline: ", report.summary());
+  return report;
+}
+
+}  // namespace paradigm::core

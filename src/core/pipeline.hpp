@@ -1,0 +1,120 @@
+// The end-to-end PARADIGM-style pipeline (Section 1.2):
+//
+//   MDG  -> training-sets calibration on the simulated machine
+//        -> convex allocation (Section 2)
+//        -> PSA scheduling (Section 3)
+//        -> MPMD code generation (steps 4-5)
+//        -> simulated execution + SPMD baseline + serial baseline.
+//
+// This is the facade the examples and benchmark binaries use.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "calibrate/paramsio.hpp"
+#include "calibrate/training.hpp"
+#include "codegen/mpmd.hpp"
+#include "cost/model.hpp"
+#include "mdg/mdg.hpp"
+#include "sched/psa.hpp"
+#include "sim/simulator.hpp"
+#include "solver/allocator.hpp"
+
+namespace paradigm::core {
+
+/// How cost-model parameters are obtained.
+enum class CalibrationMode {
+  kTrainingSets,  ///< Measure on the machine and regress (the paper).
+  kStatic,        ///< Derive from the machine description (Gupta-
+                  ///< Banerjee-style static estimation; no runs).
+};
+
+/// Pipeline configuration.
+struct PipelineConfig {
+  std::uint64_t processors = 64;  ///< Target p (power of two).
+  sim::MachineConfig machine;     ///< Simulated hardware description.
+  CalibrationMode calibration_mode = CalibrationMode::kTrainingSets;
+  calibrate::CalibrationConfig calibration;
+  /// When set, skips calibration entirely and uses these parameters
+  /// (e.g. loaded from a saved calibration file).
+  std::optional<calibrate::CalibrationBundle> preset_calibration;
+  solver::ConvexAllocatorConfig solver;
+  sched::PsaConfig psa;
+  bool run_simulation = true;  ///< Disable to get predictions only.
+};
+
+/// One executed schedule: its model prediction and its simulated
+/// reality.
+struct ExecutionOutcome {
+  double predicted = 0.0;  ///< Schedule makespan from the cost model.
+  /// Schedule-aware refinement: same-rank-set 1D transfers elided
+  /// (sched::refine_prediction). 0 if not computed.
+  double predicted_refined = 0.0;
+  double simulated = 0.0;  ///< Simulator finish time (0 if not run).
+  sim::SimResult run;      ///< Full simulation statistics.
+};
+
+/// Everything the pipeline produces for one (MDG, p) pair.
+///
+/// LIFETIME: the embedded schedules reference the MDG passed to
+/// compile_and_run; the report must not outlive that graph.
+struct PipelineReport {
+  std::uint64_t processors = 0;
+  cost::MachineParams fitted_machine;      ///< Table-2-style fit.
+  cost::KernelCostTable kernel_table;      ///< Table-1-style fits.
+  solver::AllocationResult allocation;     ///< Convex optimum (Phi).
+  std::optional<sched::PsaResult> psa;     ///< Rounded/bounded schedule.
+  std::optional<sched::Schedule> spmd;     ///< All-p baseline schedule.
+  ExecutionOutcome mpmd;                   ///< Mixed-parallel execution.
+  ExecutionOutcome spmd_run;               ///< Pure data-parallel execution.
+  double serial_seconds = 0.0;  ///< Simulated single-processor time.
+
+  double phi() const { return allocation.phi; }
+  double t_psa() const { return psa ? psa->finish_time : 0.0; }
+  double mpmd_speedup() const {
+    return mpmd.simulated > 0.0 ? serial_seconds / mpmd.simulated : 0.0;
+  }
+  double spmd_speedup() const {
+    return spmd_run.simulated > 0.0 ? serial_seconds / spmd_run.simulated
+                                    : 0.0;
+  }
+  double mpmd_efficiency() const {
+    return mpmd_speedup() / static_cast<double>(processors);
+  }
+  double spmd_efficiency() const {
+    return spmd_speedup() / static_cast<double>(processors);
+  }
+
+  std::string summary() const;
+};
+
+/// The compiler pipeline. Construct once per machine configuration;
+/// compile_and_run may be called for several MDGs / processor counts.
+class Compiler {
+ public:
+  explicit Compiler(PipelineConfig config);
+
+  /// Runs the full pipeline on `graph`. Throws paradigm::Error on any
+  /// invalid intermediate state.
+  PipelineReport compile_and_run(const mdg::Mdg& graph) const;
+
+  /// Individual stages, exposed for tests, benches, and custom drivers.
+  cost::CostModel build_cost_model(const mdg::Mdg& graph) const;
+  ExecutionOutcome execute_schedule(const mdg::Mdg& graph,
+                                    const sched::Schedule& schedule) const;
+  /// Simulated single-processor execution time of the whole program.
+  double measure_serial(const mdg::Mdg& graph) const;
+
+  const PipelineConfig& config() const { return config_; }
+
+ private:
+  /// Obtains machine + kernel parameters per the calibration mode.
+  std::pair<cost::MachineParams, cost::KernelCostTable> fit_parameters(
+      const mdg::Mdg& graph) const;
+
+  PipelineConfig config_;
+};
+
+}  // namespace paradigm::core

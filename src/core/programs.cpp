@@ -1,0 +1,368 @@
+#include "core/programs.hpp"
+
+#include <map>
+#include <string>
+
+#include "support/error.hpp"
+
+namespace paradigm::core {
+
+mdg::Mdg figure1_example() {
+  mdg::Mdg graph;
+  // Derivation of the parameters: with t(p) = (a + (1-a)/p) * tau,
+  //   naive  = t1(4) + t2(4) + t3(4) = 15.6 s
+  //   mixed  = t1(4) + t2(2)        = 14.3 s   (N2, N3 identical)
+  // The gap is 2*t2(4) - t2(2) = a2*tau2 = 1.3 s. Choosing tau2 = 10 s
+  // gives a2 = 0.13 and t2(4) = 3.475 s, hence t1(4) = 8.65 s, realized
+  // by tau1 = 30 s, a1 = 23/450 = 0.051111...
+  const mdg::NodeId n1 = graph.add_synthetic("N1", 23.0 / 450.0, 30.0);
+  const mdg::NodeId n2 = graph.add_synthetic("N2", 0.13, 10.0);
+  const mdg::NodeId n3 = graph.add_synthetic("N3", 0.13, 10.0);
+  graph.add_synthetic_dependence(n1, n2, 0);
+  graph.add_synthetic_dependence(n1, n3, 0);
+  graph.finalize();
+  return graph;
+}
+
+namespace {
+
+mdg::Mdg build_complex_matmul(std::size_t n, mdg::Layout combine_layout) {
+  PARADIGM_CHECK(n >= 2, "complex matmul needs n >= 2");
+  mdg::Mdg graph;
+  graph.add_array("Ar", n, n, tags::kAr);
+  graph.add_array("Ai", n, n, tags::kAi);
+  graph.add_array("Br", n, n, tags::kBr);
+  graph.add_array("Bi", n, n, tags::kBi);
+  graph.add_array("T1", n, n);  // Ar*Br
+  graph.add_array("T2", n, n);  // Ai*Bi
+  graph.add_array("T3", n, n);  // Ar*Bi
+  graph.add_array("T4", n, n);  // Ai*Br
+  graph.add_array("Cr", n, n);
+  graph.add_array("Ci", n, n);
+
+  const auto init = [&](const std::string& name) {
+    mdg::LoopSpec spec;
+    spec.op = mdg::LoopOp::kInit;
+    spec.output = name;
+    return graph.add_loop("init_" + name, spec);
+  };
+  const auto binop = [&](mdg::LoopOp op, const std::string& name,
+                         const std::string& a, const std::string& b,
+                         mdg::Layout layout = mdg::Layout::kRow) {
+    mdg::LoopSpec spec;
+    spec.op = op;
+    spec.inputs = {a, b};
+    spec.output = name;
+    spec.layout = layout;
+    return graph.add_loop(name, spec);
+  };
+
+  const mdg::NodeId iar = init("Ar");
+  const mdg::NodeId iai = init("Ai");
+  const mdg::NodeId ibr = init("Br");
+  const mdg::NodeId ibi = init("Bi");
+  const mdg::NodeId m1 = binop(mdg::LoopOp::kMul, "T1", "Ar", "Br");
+  const mdg::NodeId m2 = binop(mdg::LoopOp::kMul, "T2", "Ai", "Bi");
+  const mdg::NodeId m3 = binop(mdg::LoopOp::kMul, "T3", "Ar", "Bi");
+  const mdg::NodeId m4 = binop(mdg::LoopOp::kMul, "T4", "Ai", "Br");
+  const mdg::NodeId cr =
+      binop(mdg::LoopOp::kSub, "Cr", "T1", "T2", combine_layout);
+  const mdg::NodeId ci =
+      binop(mdg::LoopOp::kAdd, "Ci", "T3", "T4", combine_layout);
+
+  graph.add_dependence(iar, m1, {"Ar"});
+  graph.add_dependence(ibr, m1, {"Br"});
+  graph.add_dependence(iai, m2, {"Ai"});
+  graph.add_dependence(ibi, m2, {"Bi"});
+  graph.add_dependence(iar, m3, {"Ar"});
+  graph.add_dependence(ibi, m3, {"Bi"});
+  graph.add_dependence(iai, m4, {"Ai"});
+  graph.add_dependence(ibr, m4, {"Br"});
+  graph.add_dependence(m1, cr, {"T1"});
+  graph.add_dependence(m2, cr, {"T2"});
+  graph.add_dependence(m3, ci, {"T3"});
+  graph.add_dependence(m4, ci, {"T4"});
+  graph.finalize();
+  return graph;
+}
+
+}  // namespace
+
+mdg::Mdg complex_matmul_mdg(std::size_t n) {
+  return build_complex_matmul(n, mdg::Layout::kRow);
+}
+
+mdg::Mdg complex_matmul_mdg_mixed_layout(std::size_t n) {
+  return build_complex_matmul(n, mdg::Layout::kCol);
+}
+
+mdg::Mdg matmul_transposed_mdg(std::size_t n) {
+  PARADIGM_CHECK(n >= 2, "matmul_transposed needs n >= 2");
+  mdg::Mdg graph;
+  graph.add_array("A", n, n, tags::kAr);
+  graph.add_array("B", n, n, tags::kBr);
+  graph.add_array("Bt", n, n);
+  graph.add_array("C", n, n);
+
+  mdg::LoopSpec init_a;
+  init_a.op = mdg::LoopOp::kInit;
+  init_a.output = "A";
+  const mdg::NodeId ia = graph.add_loop("init_A", init_a);
+  mdg::LoopSpec init_b;
+  init_b.op = mdg::LoopOp::kInit;
+  init_b.output = "B";
+  const mdg::NodeId ib = graph.add_loop("init_B", init_b);
+
+  mdg::LoopSpec transpose;
+  transpose.op = mdg::LoopOp::kTranspose;
+  transpose.inputs = {"B"};
+  transpose.output = "Bt";
+  const mdg::NodeId tb = graph.add_loop("transpose_B", transpose);
+
+  mdg::LoopSpec mul;
+  mul.op = mdg::LoopOp::kMul;
+  mul.inputs = {"A", "Bt"};
+  mul.output = "C";
+  const mdg::NodeId mc = graph.add_loop("mul_C", mul);
+
+  graph.add_dependence(ib, tb, {"B"});
+  graph.add_dependence(ia, mc, {"A"});
+  graph.add_dependence(tb, mc, {"Bt"});
+  graph.finalize();
+  return graph;
+}
+
+Matrix matmul_transposed_reference(std::size_t n) {
+  const Matrix a = Matrix::deterministic(n, n, tags::kAr);
+  const Matrix b = Matrix::deterministic(n, n, tags::kBr);
+  return a * b.transposed();
+}
+
+mdg::Mdg strassen_mdg(std::size_t n) {
+  PARADIGM_CHECK(n >= 4 && n % 2 == 0, "Strassen needs even n >= 4");
+  const std::size_t h = n / 2;
+  mdg::Mdg graph;
+
+  const char* quads[8] = {"A11", "A12", "A21", "A22",
+                          "B11", "B12", "B21", "B22"};
+  const std::uint64_t quad_tags[8] = {tags::kA11, tags::kA12, tags::kA21,
+                                      tags::kA22, tags::kB11, tags::kB12,
+                                      tags::kB21, tags::kB22};
+  std::map<std::string, mdg::NodeId> producer;
+  for (int i = 0; i < 8; ++i) {
+    graph.add_array(quads[i], h, h, quad_tags[i]);
+    mdg::LoopSpec spec;
+    spec.op = mdg::LoopOp::kInit;
+    spec.output = quads[i];
+    producer[quads[i]] = graph.add_loop(std::string("init_") + quads[i],
+                                        spec);
+  }
+
+  const auto binop = [&](mdg::LoopOp op, const std::string& name,
+                         const std::string& a, const std::string& b) {
+    graph.add_array(name, h, h);
+    mdg::LoopSpec spec;
+    spec.op = op;
+    spec.inputs = {a, b};
+    spec.output = name;
+    const mdg::NodeId id = graph.add_loop(name, spec);
+    graph.add_dependence(producer.at(a), id, {a});
+    graph.add_dependence(producer.at(b), id, {b});
+    producer[name] = id;
+    return id;
+  };
+  const auto add = [&](const std::string& name, const std::string& a,
+                       const std::string& b) {
+    return binop(mdg::LoopOp::kAdd, name, a, b);
+  };
+  const auto sub = [&](const std::string& name, const std::string& a,
+                       const std::string& b) {
+    return binop(mdg::LoopOp::kSub, name, a, b);
+  };
+  const auto mul = [&](const std::string& name, const std::string& a,
+                       const std::string& b) {
+    return binop(mdg::LoopOp::kMul, name, a, b);
+  };
+
+  // Pre-additions (Winograd-free classic Strassen).
+  add("S1", "A11", "A22");
+  add("S2", "B11", "B22");
+  add("S3", "A21", "A22");
+  sub("S4", "B12", "B22");
+  sub("S5", "B21", "B11");
+  add("S6", "A11", "A12");
+  sub("S7", "A21", "A11");
+  add("S8", "B11", "B12");
+  sub("S9", "A12", "A22");
+  add("S10", "B21", "B22");
+
+  // The seven products.
+  mul("M1", "S1", "S2");
+  mul("M2", "S3", "B11");
+  mul("M3", "A11", "S4");
+  mul("M4", "A22", "S5");
+  mul("M5", "S6", "B22");
+  mul("M6", "S7", "S8");
+  mul("M7", "S9", "S10");
+
+  // Combine: C11 = M1 + M4 - M5 + M7; C12 = M3 + M5;
+  //          C21 = M2 + M4;           C22 = M1 - M2 + M3 + M6.
+  add("U1", "M1", "M4");
+  sub("U2", "U1", "M5");
+  add("C11", "U2", "M7");
+  add("C12", "M3", "M5");
+  add("C21", "M2", "M4");
+  sub("V1", "M1", "M2");
+  add("V2", "V1", "M3");
+  add("C22", "V2", "M6");
+
+  graph.finalize();
+  return graph;
+}
+
+mdg::Mdg iterative_mdg(std::size_t n, std::size_t iterations) {
+  PARADIGM_CHECK(n >= 2 && iterations >= 1,
+                 "iterative program needs n >= 2, iterations >= 1");
+  mdg::Mdg graph;
+  graph.add_array("A", n, n, tags::kIterA);
+  graph.add_array("X0", n, n, tags::kIterX0);
+  graph.add_array("B", n, n, tags::kIterB);
+
+  const auto init = [&](const std::string& name) {
+    mdg::LoopSpec spec;
+    spec.op = mdg::LoopOp::kInit;
+    spec.output = name;
+    return graph.add_loop("init_" + name, spec);
+  };
+  const mdg::NodeId ia = init("A");
+  const mdg::NodeId ix = init("X0");
+  const mdg::NodeId ib = init("B");
+
+  std::string x_prev = "X0";
+  mdg::NodeId x_prev_node = ix;
+  for (std::size_t k = 1; k <= iterations; ++k) {
+    const std::string m = "M" + std::to_string(k);
+    const std::string x = "X" + std::to_string(k);
+    graph.add_array(m, n, n);
+    graph.add_array(x, n, n);
+    mdg::LoopSpec mul;
+    mul.op = mdg::LoopOp::kMul;
+    mul.inputs = {"A", x_prev};
+    mul.output = m;
+    const mdg::NodeId mul_node = graph.add_loop(m, mul);
+    graph.add_dependence(ia, mul_node, {"A"});
+    graph.add_dependence(x_prev_node, mul_node, {x_prev});
+    mdg::LoopSpec add;
+    add.op = mdg::LoopOp::kAdd;
+    add.inputs = {m, "B"};
+    add.output = x;
+    const mdg::NodeId add_node = graph.add_loop(x, add);
+    graph.add_dependence(mul_node, add_node, {m});
+    graph.add_dependence(ib, add_node, {"B"});
+    x_prev = x;
+    x_prev_node = add_node;
+  }
+  graph.finalize();
+  return graph;
+}
+
+Matrix iterative_reference(std::size_t n, std::size_t iterations) {
+  const Matrix a = Matrix::deterministic(n, n, tags::kIterA);
+  const Matrix b = Matrix::deterministic(n, n, tags::kIterB);
+  Matrix x = Matrix::deterministic(n, n, tags::kIterX0);
+  for (std::size_t k = 0; k < iterations; ++k) {
+    x = a * x + b;
+  }
+  return x;
+}
+
+mdg::Mdg filter_chain_mdg(std::size_t n, std::size_t stages) {
+  PARADIGM_CHECK(n >= 2 && stages >= 1,
+                 "filter chain needs n >= 2, stages >= 1");
+  mdg::Mdg graph;
+  graph.add_array("X0", n, n, tags::kFilterX0);
+  mdg::LoopSpec init_x;
+  init_x.op = mdg::LoopOp::kInit;
+  init_x.output = "X0";
+  mdg::NodeId x_prev_node = graph.add_loop("init_X0", init_x);
+  std::string x_prev = "X0";
+
+  for (std::size_t s = 1; s <= stages; ++s) {
+    const std::string f = "F" + std::to_string(s);
+    const std::string y = "Y" + std::to_string(s);
+    const std::string x = "X" + std::to_string(s);
+    graph.add_array(f, n, n, tags::kFilterBase + s);
+    graph.add_array(y, n, n);
+    graph.add_array(x, n, n);
+    mdg::LoopSpec init_f;
+    init_f.op = mdg::LoopOp::kInit;
+    init_f.output = f;
+    const mdg::NodeId f_node = graph.add_loop("init_" + f, init_f);
+    mdg::LoopSpec mul;
+    mul.op = mdg::LoopOp::kMul;
+    mul.inputs = {f, x_prev};
+    mul.output = y;
+    const mdg::NodeId y_node = graph.add_loop(y, mul);
+    graph.add_dependence(f_node, y_node, {f});
+    graph.add_dependence(x_prev_node, y_node, {x_prev});
+    mdg::LoopSpec transpose;
+    transpose.op = mdg::LoopOp::kTranspose;
+    transpose.inputs = {y};
+    transpose.output = x;
+    const mdg::NodeId x_node = graph.add_loop(x, transpose);
+    graph.add_dependence(y_node, x_node, {y});
+    x_prev = x;
+    x_prev_node = x_node;
+  }
+  graph.finalize();
+  return graph;
+}
+
+Matrix filter_chain_reference(std::size_t n, std::size_t stages) {
+  Matrix x = Matrix::deterministic(n, n, tags::kFilterX0);
+  for (std::size_t s = 1; s <= stages; ++s) {
+    const Matrix f = Matrix::deterministic(n, n, tags::kFilterBase + s);
+    x = (f * x).transposed();
+  }
+  return x;
+}
+
+namespace {
+
+Matrix quad(std::uint64_t tag, std::size_t h) {
+  return Matrix::deterministic(h, h, tag);
+}
+
+}  // namespace
+
+ComplexMatmulReference complex_matmul_reference(std::size_t n) {
+  const Matrix ar = Matrix::deterministic(n, n, tags::kAr);
+  const Matrix ai = Matrix::deterministic(n, n, tags::kAi);
+  const Matrix br = Matrix::deterministic(n, n, tags::kBr);
+  const Matrix bi = Matrix::deterministic(n, n, tags::kBi);
+  ComplexMatmulReference ref;
+  ref.cr = ar * br - ai * bi;
+  ref.ci = ar * bi + ai * br;
+  return ref;
+}
+
+StrassenReference strassen_reference(std::size_t n) {
+  PARADIGM_CHECK(n >= 4 && n % 2 == 0, "Strassen needs even n >= 4");
+  const std::size_t h = n / 2;
+  const Matrix a11 = quad(tags::kA11, h);
+  const Matrix a12 = quad(tags::kA12, h);
+  const Matrix a21 = quad(tags::kA21, h);
+  const Matrix a22 = quad(tags::kA22, h);
+  const Matrix b11 = quad(tags::kB11, h);
+  const Matrix b12 = quad(tags::kB12, h);
+  const Matrix b21 = quad(tags::kB21, h);
+  const Matrix b22 = quad(tags::kB22, h);
+  StrassenReference ref;
+  ref.c11 = a11 * b11 + a12 * b21;
+  ref.c12 = a11 * b12 + a12 * b22;
+  ref.c21 = a21 * b11 + a22 * b21;
+  ref.c22 = a21 * b12 + a22 * b22;
+  return ref;
+}
+
+}  // namespace paradigm::core

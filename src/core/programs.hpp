@@ -1,0 +1,92 @@
+// The paper's benchmark MDGs (Figure 6) and the Figure-1 motivating
+// example, plus sequential reference computations used to verify the
+// simulated MPMD executions numerically.
+#pragma once
+
+#include <cstddef>
+
+#include "mdg/mdg.hpp"
+#include "support/matrix.hpp"
+
+namespace paradigm::core {
+
+/// The 3-node example of Figure 1: N1 fans out to N2 and N3, with
+/// Amdahl parameters chosen so that on 4 processors the naive
+/// all-processors schedule takes 15.6 s and the mixed schedule
+/// (N1 on 4, then N2 || N3 on 2 each) takes 14.3 s — the paper's exact
+/// numbers. No data transfer costs (edges carry zero bytes).
+mdg::Mdg figure1_example();
+
+/// Complex matrix multiply C = (Ar + i Ai)(Br + i Bi) on n x n
+/// matrices: 4 init nodes, 4 real multiplies, 1 subtract (Cr) and 1 add
+/// (Ci). All transfers are 1D. The paper evaluates n = 64.
+mdg::Mdg complex_matmul_mdg(std::size_t n);
+
+/// Variant of the complex matrix multiply whose combine loops (Cr, Ci)
+/// use a column-blocked layout, so the four T -> combine transfers are
+/// the 2D (ROW2COL) pattern of Figure 4. Used to exercise 2D
+/// redistribution end to end with real data.
+mdg::Mdg complex_matmul_mdg_mixed_layout(std::size_t n);
+
+/// C = A * B^T on n x n matrices: init A, init B, transpose B, multiply.
+/// Exercises the transpose kernel end to end.
+mdg::Mdg matmul_transposed_mdg(std::size_t n);
+
+/// Sequential reference for matmul_transposed_mdg.
+Matrix matmul_transposed_reference(std::size_t n);
+
+/// One level of Strassen's algorithm on n x n matrices (n even):
+/// 8 quadrant inits, 10 pre-additions S1..S10, 7 half-size multiplies
+/// M1..M7, and the combine tree producing C11, C12, C21, C22. All
+/// transfers are 1D. The paper evaluates n = 128.
+mdg::Mdg strassen_mdg(std::size_t n);
+
+/// Sequential references. Matrices are generated with the same
+/// deterministic fill the simulator's init kernels use, so the values
+/// are directly comparable.
+struct ComplexMatmulReference {
+  Matrix cr;  ///< Ar*Br - Ai*Bi
+  Matrix ci;  ///< Ar*Bi + Ai*Br
+};
+ComplexMatmulReference complex_matmul_reference(std::size_t n);
+
+struct StrassenReference {
+  Matrix c11;
+  Matrix c12;
+  Matrix c21;
+  Matrix c22;
+};
+/// Computed by the *direct* product of the assembled A and B, so a
+/// correct Strassen execution must agree with it.
+StrassenReference strassen_reference(std::size_t n);
+
+/// Iterative refinement X_{k+1} = A * X_k + B for `iterations` steps —
+/// a long dependence chain of multiply/add pairs with data reuse (the
+/// same A and B feed every iteration, so fan-out edges carry them to
+/// many consumers). n x n matrices.
+mdg::Mdg iterative_mdg(std::size_t n, std::size_t iterations);
+
+/// Sequential reference: the final X after `iterations` steps.
+Matrix iterative_reference(std::size_t n, std::size_t iterations);
+
+/// A filter chain: X_s = transpose(F_s * X_{s-1}) for `stages` stages
+/// (each stage multiplies by its own filter matrix and transposes).
+/// Exercises multiply + transpose pipelines.
+mdg::Mdg filter_chain_mdg(std::size_t n, std::size_t stages);
+
+/// Sequential reference: the final X after `stages` stages.
+Matrix filter_chain_reference(std::size_t n, std::size_t stages);
+
+/// Init tags used by the builders (exposed so references and tests
+/// construct identical input matrices).
+namespace tags {
+inline constexpr std::uint64_t kAr = 101, kAi = 102, kBr = 103, kBi = 104;
+inline constexpr std::uint64_t kA11 = 201, kA12 = 202, kA21 = 203,
+                               kA22 = 204, kB11 = 205, kB12 = 206,
+                               kB21 = 207, kB22 = 208;
+inline constexpr std::uint64_t kIterA = 301, kIterX0 = 302, kIterB = 303;
+inline constexpr std::uint64_t kFilterBase = 400;  // + stage index
+inline constexpr std::uint64_t kFilterX0 = 399;
+}  // namespace tags
+
+}  // namespace paradigm::core

@@ -1,0 +1,197 @@
+#include "core/strassen_multi.hpp"
+
+#include <map>
+
+#include "support/error.hpp"
+
+namespace paradigm::core {
+namespace {
+
+using Grid = std::vector<std::vector<std::string>>;
+
+/// Incrementally builds the expanded recursion: every temporary is a
+/// base-block array with a producing add/sub/mul node, wired to its two
+/// operand producers.
+class Builder {
+ public:
+  Builder(mdg::Mdg& graph, std::size_t block)
+      : graph_(graph), block_(block) {}
+
+  std::string init_block(const std::string& name, std::uint64_t tag) {
+    graph_.add_array(name, block_, block_, tag);
+    mdg::LoopSpec spec;
+    spec.op = mdg::LoopOp::kInit;
+    spec.output = name;
+    producer_[name] = graph_.add_loop("init_" + name, spec);
+    return name;
+  }
+
+  std::string binop(mdg::LoopOp op, const std::string& a,
+                    const std::string& b) {
+    const std::string name = "t" + std::to_string(next_tmp_++);
+    graph_.add_array(name, block_, block_);
+    mdg::LoopSpec spec;
+    spec.op = op;
+    spec.inputs = {a, b};
+    spec.output = name;
+    const mdg::NodeId id = graph_.add_loop(name, spec);
+    graph_.add_dependence(producer_.at(a), id, {a});
+    graph_.add_dependence(producer_.at(b), id, {b});
+    producer_[name] = id;
+    return name;
+  }
+
+  Grid grid_binop(mdg::LoopOp op, const Grid& a, const Grid& b) {
+    PARADIGM_CHECK(a.size() == b.size(), "grid shape mismatch");
+    Grid out(a.size(), std::vector<std::string>(a.size()));
+    for (std::size_t r = 0; r < a.size(); ++r) {
+      for (std::size_t c = 0; c < a.size(); ++c) {
+        out[r][c] = binop(op, a[r][c], b[r][c]);
+      }
+    }
+    return out;
+  }
+
+  /// One of the four quadrant sub-grids (qr, qc in {0, 1}).
+  static Grid quadrant(const Grid& g, std::size_t qr, std::size_t qc) {
+    const std::size_t h = g.size() / 2;
+    Grid out(h, std::vector<std::string>(h));
+    for (std::size_t r = 0; r < h; ++r) {
+      for (std::size_t c = 0; c < h; ++c) {
+        out[r][c] = g[qr * h + r][qc * h + c];
+      }
+    }
+    return out;
+  }
+
+  /// Pastes quadrants back into a full grid.
+  static Grid compose(const Grid& c11, const Grid& c12, const Grid& c21,
+                      const Grid& c22) {
+    const std::size_t h = c11.size();
+    Grid out(2 * h, std::vector<std::string>(2 * h));
+    for (std::size_t r = 0; r < h; ++r) {
+      for (std::size_t c = 0; c < h; ++c) {
+        out[r][c] = c11[r][c];
+        out[r][h + c] = c12[r][c];
+        out[h + r][c] = c21[r][c];
+        out[h + r][h + c] = c22[r][c];
+      }
+    }
+    return out;
+  }
+
+  /// The expanded Strassen recursion: grids of base-block names in,
+  /// grid of result base-block names out.
+  Grid strassen(const Grid& a, const Grid& b) {
+    if (a.size() == 1) {
+      return {{binop(mdg::LoopOp::kMul, a[0][0], b[0][0])}};
+    }
+    const Grid a11 = quadrant(a, 0, 0), a12 = quadrant(a, 0, 1);
+    const Grid a21 = quadrant(a, 1, 0), a22 = quadrant(a, 1, 1);
+    const Grid b11 = quadrant(b, 0, 0), b12 = quadrant(b, 0, 1);
+    const Grid b21 = quadrant(b, 1, 0), b22 = quadrant(b, 1, 1);
+
+    using mdg::LoopOp;
+    const Grid m1 = strassen(grid_binop(LoopOp::kAdd, a11, a22),
+                             grid_binop(LoopOp::kAdd, b11, b22));
+    const Grid m2 = strassen(grid_binop(LoopOp::kAdd, a21, a22), b11);
+    const Grid m3 = strassen(a11, grid_binop(LoopOp::kSub, b12, b22));
+    const Grid m4 = strassen(a22, grid_binop(LoopOp::kSub, b21, b11));
+    const Grid m5 = strassen(grid_binop(LoopOp::kAdd, a11, a12), b22);
+    const Grid m6 = strassen(grid_binop(LoopOp::kSub, a21, a11),
+                             grid_binop(LoopOp::kAdd, b11, b12));
+    const Grid m7 = strassen(grid_binop(LoopOp::kSub, a12, a22),
+                             grid_binop(LoopOp::kAdd, b21, b22));
+
+    const Grid c11 = grid_binop(
+        LoopOp::kAdd,
+        grid_binop(LoopOp::kSub, grid_binop(LoopOp::kAdd, m1, m4), m5),
+        m7);
+    const Grid c12 = grid_binop(LoopOp::kAdd, m3, m5);
+    const Grid c21 = grid_binop(LoopOp::kAdd, m2, m4);
+    const Grid c22 = grid_binop(
+        LoopOp::kAdd,
+        grid_binop(LoopOp::kAdd, grid_binop(LoopOp::kSub, m1, m2), m3),
+        m6);
+    return compose(c11, c12, c21, c22);
+  }
+
+ private:
+  mdg::Mdg& graph_;
+  std::size_t block_;
+  std::map<std::string, mdg::NodeId> producer_;
+  std::size_t next_tmp_ = 0;
+};
+
+}  // namespace
+
+std::size_t StrassenProgram::multiply_count() const {
+  std::size_t count = 0;
+  for (const auto& node : graph.nodes()) {
+    if (node.kind == mdg::NodeKind::kLoop &&
+        node.loop.op == mdg::LoopOp::kMul) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+StrassenProgram strassen_program(std::size_t n, unsigned levels) {
+  PARADIGM_CHECK(levels >= 1 && levels <= 4,
+                 "levels must be in [1, 4], got " << levels);
+  const std::size_t grid = std::size_t{1} << levels;
+  PARADIGM_CHECK(n % grid == 0 && n / grid >= 2,
+                 "n = " << n << " not divisible into 2x2-or-larger base "
+                        << "blocks at " << levels << " levels");
+  StrassenProgram program;
+  program.n = n;
+  program.grid = grid;
+  program.block = n / grid;
+
+  Builder builder(program.graph, program.block);
+  Grid a(grid, std::vector<std::string>(grid));
+  Grid b(grid, std::vector<std::string>(grid));
+  for (std::size_t r = 0; r < grid; ++r) {
+    for (std::size_t c = 0; c < grid; ++c) {
+      a[r][c] = builder.init_block(
+          "A" + std::to_string(r) + "_" + std::to_string(c),
+          1000 + r * grid + c);
+      b[r][c] = builder.init_block(
+          "B" + std::to_string(r) + "_" + std::to_string(c),
+          2000 + r * grid + c);
+    }
+  }
+  program.a_blocks = a;
+  program.b_blocks = b;
+  program.c_blocks = builder.strassen(a, b);
+  program.graph.finalize();
+  return program;
+}
+
+namespace {
+
+Matrix assemble_input(const StrassenProgram& program,
+                      std::uint64_t tag_base) {
+  Matrix full(program.n, program.n);
+  for (std::size_t r = 0; r < program.grid; ++r) {
+    for (std::size_t c = 0; c < program.grid; ++c) {
+      full.set_block(r * program.block, c * program.block,
+                     Matrix::deterministic(program.block, program.block,
+                                           tag_base + r * program.grid +
+                                               c));
+    }
+  }
+  return full;
+}
+
+}  // namespace
+
+Matrix strassen_program_input_a(const StrassenProgram& program) {
+  return assemble_input(program, 1000);
+}
+
+Matrix strassen_program_input_b(const StrassenProgram& program) {
+  return assemble_input(program, 2000);
+}
+
+}  // namespace paradigm::core

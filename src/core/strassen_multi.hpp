@@ -1,0 +1,47 @@
+// Multi-level Strassen MDGs.
+//
+// The paper evaluates one level of Strassen's algorithm; this builder
+// generalizes to L levels by fully expanding the recursion over base
+// blocks of size (n / 2^L): every operation in the MDG is an add, sub,
+// or multiply of base blocks, so the whole recursion becomes one large
+// loop-nest DAG (7^L base multiplies). Level 1 with generated names is
+// structurally equivalent to the paper's Figure 6 graph; level 2 on
+// 128x128 matrices yields a ~280-node MDG that stress-tests allocation,
+// scheduling, and code generation.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "mdg/mdg.hpp"
+#include "support/matrix.hpp"
+
+namespace paradigm::core {
+
+/// A fully-expanded L-level Strassen multiply C = A * B.
+struct StrassenProgram {
+  mdg::Mdg graph;
+  std::size_t n = 0;          ///< Full matrix dimension.
+  std::size_t block = 0;      ///< Base block dimension (n / 2^levels).
+  std::size_t grid = 0;       ///< Blocks per side (2^levels).
+  /// Base-block array names of A, B (initialized deterministically) and
+  /// of the result C, indexed [block_row][block_col].
+  std::vector<std::vector<std::string>> a_blocks;
+  std::vector<std::vector<std::string>> b_blocks;
+  std::vector<std::vector<std::string>> c_blocks;
+
+  /// Number of base multiplies in the graph (7^levels).
+  std::size_t multiply_count() const;
+};
+
+/// Builds the fully-expanded program. Requires n divisible by 2^levels
+/// with base blocks of at least 2x2, and levels >= 1.
+StrassenProgram strassen_program(std::size_t n, unsigned levels);
+
+/// Assembles the full A and B inputs the program's init nodes produce
+/// (for computing a reference product).
+Matrix strassen_program_input_a(const StrassenProgram& program);
+Matrix strassen_program_input_b(const StrassenProgram& program);
+
+}  // namespace paradigm::core

@@ -1,0 +1,142 @@
+#include "core/topologies.hpp"
+
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace paradigm::core {
+namespace {
+
+/// Deterministic node factory: parameters drawn from the seed.
+class NodeFactory {
+ public:
+  NodeFactory(mdg::Mdg& graph, const TopologyParams& params)
+      : graph_(graph), params_(params), rng_(params.seed) {}
+
+  mdg::NodeId make(const std::string& name) {
+    const double alpha = rng_.uniform(params_.alpha_min, params_.alpha_max);
+    const double tau = rng_.uniform(params_.tau_min, params_.tau_max);
+    return graph_.add_synthetic(name, alpha, tau);
+  }
+
+  void link(mdg::NodeId src, mdg::NodeId dst) {
+    graph_.add_synthetic_dependence(src, dst, params_.transfer_bytes);
+  }
+
+ private:
+  mdg::Mdg& graph_;
+  const TopologyParams& params_;
+  Rng rng_;
+};
+
+}  // namespace
+
+mdg::Mdg chain_mdg(std::size_t length, const TopologyParams& params) {
+  PARADIGM_CHECK(length >= 1, "chain needs length >= 1");
+  mdg::Mdg graph;
+  NodeFactory factory(graph, params);
+  mdg::NodeId prev = factory.make("stage0");
+  for (std::size_t i = 1; i < length; ++i) {
+    const mdg::NodeId cur = factory.make("stage" + std::to_string(i));
+    factory.link(prev, cur);
+    prev = cur;
+  }
+  graph.finalize();
+  return graph;
+}
+
+mdg::Mdg fork_join_mdg(std::size_t width, std::size_t depth,
+                       const TopologyParams& params) {
+  PARADIGM_CHECK(width >= 1 && depth >= 1, "fork_join needs width, depth >= 1");
+  mdg::Mdg graph;
+  NodeFactory factory(graph, params);
+  const mdg::NodeId fork = factory.make("fork");
+  const mdg::NodeId join = factory.make("join");
+  for (std::size_t b = 0; b < width; ++b) {
+    mdg::NodeId prev = fork;
+    for (std::size_t d = 0; d < depth; ++d) {
+      const mdg::NodeId cur = factory.make(
+          "b" + std::to_string(b) + "_s" + std::to_string(d));
+      factory.link(prev, cur);
+      prev = cur;
+    }
+    factory.link(prev, join);
+  }
+  graph.finalize();
+  return graph;
+}
+
+mdg::Mdg butterfly_mdg(std::size_t stages, const TopologyParams& params) {
+  PARADIGM_CHECK(stages >= 1 && stages <= 8,
+                 "butterfly needs 1 <= stages <= 8");
+  const std::size_t lanes = std::size_t{1} << stages;
+  mdg::Mdg graph;
+  NodeFactory factory(graph, params);
+
+  std::vector<mdg::NodeId> prev(lanes);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    prev[l] = factory.make("in" + std::to_string(l));
+  }
+  for (std::size_t s = 0; s < stages; ++s) {
+    const std::size_t stride = std::size_t{1} << s;
+    std::vector<mdg::NodeId> cur(lanes);
+    for (std::size_t l = 0; l < lanes; ++l) {
+      cur[l] = factory.make("s" + std::to_string(s) + "_l" +
+                            std::to_string(l));
+      factory.link(prev[l], cur[l]);
+      factory.link(prev[l ^ stride], cur[l]);
+    }
+    prev = std::move(cur);
+  }
+  graph.finalize();
+  return graph;
+}
+
+mdg::Mdg in_tree_mdg(std::size_t levels, const TopologyParams& params) {
+  PARADIGM_CHECK(levels >= 1 && levels <= 8,
+                 "in_tree needs 1 <= levels <= 8");
+  mdg::Mdg graph;
+  NodeFactory factory(graph, params);
+  std::vector<mdg::NodeId> frontier;
+  const std::size_t leaves = std::size_t{1} << levels;
+  for (std::size_t l = 0; l < leaves; ++l) {
+    frontier.push_back(factory.make("leaf" + std::to_string(l)));
+  }
+  std::size_t level = 0;
+  while (frontier.size() > 1) {
+    std::vector<mdg::NodeId> next;
+    for (std::size_t i = 0; i + 1 < frontier.size(); i += 2) {
+      const mdg::NodeId parent = factory.make(
+          "n" + std::to_string(level) + "_" + std::to_string(i / 2));
+      factory.link(frontier[i], parent);
+      factory.link(frontier[i + 1], parent);
+      next.push_back(parent);
+    }
+    frontier = std::move(next);
+    ++level;
+  }
+  graph.finalize();
+  return graph;
+}
+
+mdg::Mdg diamond_grid_mdg(std::size_t size, const TopologyParams& params) {
+  PARADIGM_CHECK(size >= 2 && size <= 24, "diamond_grid needs 2 <= size <= 24");
+  mdg::Mdg graph;
+  NodeFactory factory(graph, params);
+  std::vector<std::vector<mdg::NodeId>> grid(
+      size, std::vector<mdg::NodeId>(size));
+  for (std::size_t r = 0; r < size; ++r) {
+    for (std::size_t c = 0; c < size; ++c) {
+      grid[r][c] = factory.make("g" + std::to_string(r) + "_" +
+                                std::to_string(c));
+      if (r > 0) factory.link(grid[r - 1][c], grid[r][c]);
+      if (c > 0) factory.link(grid[r][c - 1], grid[r][c]);
+    }
+  }
+  graph.finalize();
+  return graph;
+}
+
+}  // namespace paradigm::core

@@ -1,0 +1,49 @@
+// Structured synthetic MDG families.
+//
+// The paper evaluates two hand-built programs; these generators produce
+// the classic task-graph shapes used in the scheduling literature the
+// paper builds on (Sarkar; Gerasoulis & Yang; Belkhale & Banerjee), so
+// the allocator and scheduler can be studied on controlled topologies:
+//
+//   chain      — a linear pipeline (pure critical path, no task
+//                parallelism: the allocator should go wide),
+//   fork_join  — START-like fan-out to `width` independent branches of
+//                `depth` stages, then a join (the Figure-1 shape scaled
+//                up),
+//   butterfly  — an FFT-style graph: `2^stages` lanes with pairwise
+//                exchanges each stage,
+//   in_tree    — a reduction tree of `levels` levels,
+//   diamond_grid — a `size` x `size` dependence grid (wavefront
+//                parallelism that widens then narrows).
+//
+// All nodes are synthetic with Amdahl parameters drawn deterministically
+// from the seed; all transfers are synthetic 1D byte counts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "mdg/mdg.hpp"
+
+namespace paradigm::core {
+
+/// Parameters shared by the topology builders.
+struct TopologyParams {
+  double alpha_min = 0.03;
+  double alpha_max = 0.20;
+  double tau_min = 0.2;
+  double tau_max = 2.0;
+  std::size_t transfer_bytes = 256u << 10;
+  std::uint64_t seed = 1;
+};
+
+mdg::Mdg chain_mdg(std::size_t length, const TopologyParams& params = {});
+mdg::Mdg fork_join_mdg(std::size_t width, std::size_t depth,
+                       const TopologyParams& params = {});
+mdg::Mdg butterfly_mdg(std::size_t stages,
+                       const TopologyParams& params = {});
+mdg::Mdg in_tree_mdg(std::size_t levels, const TopologyParams& params = {});
+mdg::Mdg diamond_grid_mdg(std::size_t size,
+                          const TopologyParams& params = {});
+
+}  // namespace paradigm::core

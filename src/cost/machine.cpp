@@ -1,0 +1,64 @@
+#include "cost/machine.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace paradigm::cost {
+
+MachineParams MachineParams::cm5_paper() { return MachineParams{}; }
+
+std::string KernelKey::to_string() const {
+  std::ostringstream os;
+  os << mdg::to_string(op) << '(' << rows << 'x' << cols;
+  if (inner > 0) os << ", k=" << inner;
+  os << ')';
+  return os.str();
+}
+
+void KernelCostTable::set(const KernelKey& key, AmdahlParams params) {
+  PARADIGM_CHECK(params.alpha >= 0.0 && params.alpha <= 1.0,
+                 "alpha out of [0,1] for " << key.to_string() << ": "
+                                           << params.alpha);
+  PARADIGM_CHECK(params.tau >= 0.0,
+                 "tau negative for " << key.to_string() << ": " << params.tau);
+  table_[key] = params;
+}
+
+bool KernelCostTable::contains(const KernelKey& key) const {
+  return table_.count(key) != 0;
+}
+
+const AmdahlParams& KernelCostTable::get(const KernelKey& key) const {
+  const auto it = table_.find(key);
+  PARADIGM_CHECK(it != table_.end(),
+                 "no fitted cost for kernel " << key.to_string()
+                                              << " (run calibration?)");
+  return it->second;
+}
+
+KernelKey KernelCostTable::key_for(const mdg::Mdg& graph,
+                                   const mdg::Node& node) {
+  PARADIGM_CHECK(node.kind == mdg::NodeKind::kLoop,
+                 "kernel key requested for non-loop node '" << node.name
+                                                            << "'");
+  PARADIGM_CHECK(node.loop.op != mdg::LoopOp::kSynthetic,
+                 "synthetic node '" << node.name
+                                    << "' does not use the kernel table");
+  const auto& out = graph.array(node.loop.output);
+  KernelKey key;
+  key.op = node.loop.op;
+  key.rows = out.rows;
+  key.cols = out.cols;
+  if (node.loop.op == mdg::LoopOp::kMul) {
+    PARADIGM_CHECK(node.loop.inputs.size() == 2,
+                   "multiply node '" << node.name << "' needs 2 inputs");
+    key.inner = graph.array(node.loop.inputs[0]).cols;
+  } else if (node.loop.op == mdg::LoopOp::kTranspose) {
+    PARADIGM_CHECK(node.loop.inputs.size() == 1,
+                   "transpose node '" << node.name << "' needs 1 input");
+  }
+  return key;
+}
+
+}  // namespace paradigm::cost

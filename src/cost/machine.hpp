@@ -1,0 +1,82 @@
+// Machine and kernel cost parameters (Section 4 of the paper).
+//
+// MachineParams carries the five message-cost parameters of Table 2;
+// KernelCostTable carries fitted Amdahl parameters per loop kind and
+// problem size (Table 1). Both are normally produced by the calibration
+// library (training-sets methodology) but can be constructed directly.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <tuple>
+
+#include "mdg/mdg.hpp"
+
+namespace paradigm::cost {
+
+/// Message-passing cost parameters (Table 2). All times in seconds.
+struct MachineParams {
+  double t_ss = 777.56e-6;   ///< Send startup.
+  double t_ps = 486.98e-9;   ///< Send cost per byte.
+  double t_sr = 465.58e-6;   ///< Receive startup.
+  double t_pr = 426.25e-9;   ///< Receive cost per byte.
+  double t_n = 0.0;          ///< Network delay per byte (0 on the CM-5:
+                             ///< data moves at receive time).
+
+  /// The paper's fitted CM-5 values (Table 2), which are also the struct
+  /// defaults.
+  static MachineParams cm5_paper();
+};
+
+/// Amdahl's-law parameters for one loop nest: t(p) = (alpha +
+/// (1-alpha)/p) * tau (Equation 1).
+struct AmdahlParams {
+  double alpha = 0.0;  ///< Serial fraction in [0, 1].
+  double tau = 0.0;    ///< Single-processor execution time (seconds).
+
+  double time(double p) const { return (alpha + (1.0 - alpha) / p) * tau; }
+};
+
+/// Lookup key for fitted kernel costs: the loop op plus its problem
+/// shape (rows x cols of the output; for multiply, `inner` is the
+/// contraction length).
+struct KernelKey {
+  mdg::LoopOp op = mdg::LoopOp::kSynthetic;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::size_t inner = 0;
+
+  auto tie() const { return std::tie(op, rows, cols, inner); }
+  bool operator<(const KernelKey& other) const { return tie() < other.tie(); }
+  bool operator==(const KernelKey& other) const {
+    return tie() == other.tie();
+  }
+
+  std::string to_string() const;
+};
+
+/// Fitted Amdahl parameters per kernel key (Table 1).
+class KernelCostTable {
+ public:
+  /// Registers (or replaces) the parameters for a key.
+  void set(const KernelKey& key, AmdahlParams params);
+
+  /// True iff the key has an entry.
+  bool contains(const KernelKey& key) const;
+
+  /// Looks up parameters; throws paradigm::Error if missing.
+  const AmdahlParams& get(const KernelKey& key) const;
+
+  std::size_t size() const { return table_.size(); }
+  const std::map<KernelKey, AmdahlParams>& entries() const { return table_; }
+
+  /// Derives the lookup key for a loop node of `graph` (synthetic nodes
+  /// do not use the table; calling this for one is an error).
+  static KernelKey key_for(const mdg::Mdg& graph, const mdg::Node& node);
+
+ private:
+  std::map<KernelKey, AmdahlParams> table_;
+};
+
+}  // namespace paradigm::cost

@@ -1,0 +1,363 @@
+#include "cost/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace paradigm::cost {
+
+void SparseGrad::add(std::size_t var, double d) {
+  if (d == 0.0) return;
+  for (auto& [v, g] : entries_) {
+    if (v == var) {
+      g += d;
+      return;
+    }
+  }
+  entries_.emplace_back(var, d);
+}
+
+void SparseGrad::add_scaled(const SparseGrad& other, double scale) {
+  for (const auto& [v, g] : other.entries_) add(v, scale * g);
+}
+
+void SparseGrad::scatter(double scale, std::span<double> dense) const {
+  for (const auto& [v, g] : entries_) {
+    PARADIGM_CHECK(v < dense.size(), "gradient variable out of range");
+    dense[v] += scale * g;
+  }
+}
+
+SoftMax2 soft_max2(double a, double b, double mu) {
+  SoftMax2 out;
+  if (mu <= 0.0) {
+    // Exact max with a one-hot subgradient (ties resolve to `a`).
+    if (a >= b) {
+      out.value = a;
+      out.wa = 1.0;
+    } else {
+      out.value = b;
+      out.wb = 1.0;
+    }
+    return out;
+  }
+  const double hi = std::max(a, b);
+  const double ea = std::exp((a - hi) / mu);
+  const double eb = std::exp((b - hi) / mu);
+  out.value = hi + mu * std::log(ea + eb);
+  out.wa = ea / (ea + eb);
+  out.wb = eb / (ea + eb);
+  return out;
+}
+
+namespace {
+
+void check_alloc_entry(double p, mdg::NodeId id) {
+  PARADIGM_CHECK(p >= 1.0 - 1e-9,
+                 "allocation for node " << id << " must be >= 1, got " << p);
+}
+
+}  // namespace
+
+CostModel::CostModel(const mdg::Mdg& graph, MachineParams machine,
+                     KernelCostTable kernels)
+    : graph_(&graph), machine_(machine), kernels_(std::move(kernels)) {
+  PARADIGM_CHECK(graph.finalized(), "CostModel requires a finalized MDG");
+  node_amdahl_.resize(graph.node_count());
+  for (const auto& node : graph.nodes()) {
+    if (node.kind != mdg::NodeKind::kLoop) {
+      node_amdahl_[node.id] = AmdahlParams{0.0, 0.0};
+    } else if (node.loop.op == mdg::LoopOp::kSynthetic) {
+      node_amdahl_[node.id] =
+          AmdahlParams{node.loop.synth_alpha, node.loop.synth_tau};
+    } else {
+      node_amdahl_[node.id] =
+          kernels_.get(KernelCostTable::key_for(graph, node));
+    }
+  }
+
+  edge_bytes_.resize(graph.edge_count());
+  for (const auto& edge : graph.edges()) {
+    EdgeBytes eb;
+    for (const auto& t : edge.transfers) {
+      if (t.bytes == 0) continue;
+      if (t.kind == mdg::TransferKind::k1D) {
+        eb.n1 += 1.0;
+        eb.l1 += static_cast<double>(t.bytes);
+      } else {
+        eb.n2 += 1.0;
+        eb.l2 += static_cast<double>(t.bytes);
+      }
+    }
+    edge_bytes_[edge.id] = eb;
+  }
+}
+
+const AmdahlParams& CostModel::amdahl(mdg::NodeId id) const {
+  PARADIGM_CHECK(id < node_amdahl_.size(), "node id out of range");
+  return node_amdahl_[id];
+}
+
+const CostModel::EdgeBytes& CostModel::edge_bytes(mdg::EdgeId id) const {
+  PARADIGM_CHECK(id < edge_bytes_.size(), "edge id out of range");
+  return edge_bytes_[id];
+}
+
+double CostModel::processing_cost(mdg::NodeId id, double pi) const {
+  check_alloc_entry(pi, id);
+  return amdahl(id).time(pi);
+}
+
+double CostModel::send_cost_parts(mdg::EdgeId id, double pi, double pj,
+                                  bool include_1d, bool include_2d) const {
+  const EdgeBytes& eb = edge_bytes(id);
+  if (eb.empty()) return 0.0;
+  const double mx = std::max(pi, pj);
+  double cost = 0.0;
+  if (include_1d) {
+    cost +=
+        eb.n1 * (mx / pi) * machine_.t_ss + (eb.l1 / pi) * machine_.t_ps;
+  }
+  if (include_2d) {
+    cost += eb.n2 * pj * machine_.t_ss + (eb.l2 / pi) * machine_.t_ps;
+  }
+  return cost;
+}
+
+double CostModel::recv_cost_parts(mdg::EdgeId id, double pi, double pj,
+                                  bool include_1d, bool include_2d) const {
+  const EdgeBytes& eb = edge_bytes(id);
+  if (eb.empty()) return 0.0;
+  const double mx = std::max(pi, pj);
+  double cost = 0.0;
+  if (include_1d) {
+    cost +=
+        eb.n1 * (mx / pj) * machine_.t_sr + (eb.l1 / pj) * machine_.t_pr;
+  }
+  if (include_2d) {
+    cost += eb.n2 * pi * machine_.t_sr + (eb.l2 / pj) * machine_.t_pr;
+  }
+  return cost;
+}
+
+double CostModel::edge_delay_parts(mdg::EdgeId id, double pi, double pj,
+                                   bool include_1d,
+                                   bool include_2d) const {
+  const EdgeBytes& eb = edge_bytes(id);
+  if (eb.empty() || machine_.t_n == 0.0) return 0.0;
+  const double mx = std::max(pi, pj);
+  double cost = 0.0;
+  if (include_1d) cost += (eb.l1 / mx) * machine_.t_n;
+  if (include_2d) cost += (eb.l2 / (pi * pj)) * machine_.t_n;
+  return cost;
+}
+
+double CostModel::send_cost(mdg::EdgeId id, double pi, double pj) const {
+  return send_cost_parts(id, pi, pj, true, true);
+}
+
+double CostModel::recv_cost(mdg::EdgeId id, double pi, double pj) const {
+  return recv_cost_parts(id, pi, pj, true, true);
+}
+
+double CostModel::edge_delay(mdg::EdgeId id, double pi, double pj) const {
+  return edge_delay_parts(id, pi, pj, true, true);
+}
+
+double CostModel::node_weight(mdg::NodeId id,
+                              std::span<const double> alloc) const {
+  PARADIGM_CHECK(alloc.size() == graph_->node_count(),
+                 "allocation size mismatch");
+  const auto& node = graph_->node(id);
+  const double pi = alloc[id];
+  double total = processing_cost(id, pi);
+  for (const mdg::EdgeId e : node.in_edges) {
+    total += recv_cost(e, alloc[graph_->edge(e).src], pi);
+  }
+  for (const mdg::EdgeId e : node.out_edges) {
+    total += send_cost(e, pi, alloc[graph_->edge(e).dst]);
+  }
+  return total;
+}
+
+double CostModel::average_finish_time(std::span<const double> alloc,
+                                      double p) const {
+  PARADIGM_CHECK(p >= 1.0, "machine size must be >= 1");
+  double area = 0.0;
+  for (const auto& node : graph_->nodes()) {
+    area += node_weight(node.id, alloc) * alloc[node.id];
+  }
+  return area / p;
+}
+
+double CostModel::critical_path_time(std::span<const double> alloc) const {
+  const auto finish = graph_->longest_path(
+      [&](mdg::NodeId id) { return node_weight(id, alloc); },
+      [&](mdg::EdgeId e) {
+        const auto& edge = graph_->edge(e);
+        return edge_delay(e, alloc[edge.src], alloc[edge.dst]);
+      });
+  return finish[graph_->stop()];
+}
+
+double CostModel::phi(std::span<const double> alloc, double p) const {
+  return std::max(average_finish_time(alloc, p), critical_path_time(alloc));
+}
+
+Diff CostModel::smooth_node_weight(mdg::NodeId id, std::span<const double> x,
+                                   double mu) const {
+  PARADIGM_CHECK(x.size() == graph_->node_count(), "x size mismatch");
+  const auto& node = graph_->node(id);
+  const double xi = x[id];
+  Diff out;
+
+  // Processing cost: alpha*tau + (1-alpha)*tau*exp(-xi).
+  const AmdahlParams& ap = amdahl(id);
+  const double par = (1.0 - ap.alpha) * ap.tau * std::exp(-xi);
+  out.value += ap.alpha * ap.tau + par;
+  out.grad.add(id, -par);
+
+  // Receive components of in-edges (this node is the destination).
+  for (const mdg::EdgeId e : node.in_edges) {
+    const EdgeBytes& eb = edge_bytes(e);
+    if (eb.empty()) continue;
+    const mdg::NodeId src = graph_->edge(e).src;
+    const double xs = x[src];
+    const SoftMax2 m = soft_max2(xs, xi, mu);
+    // n1 * exp(m - xi) * t_sr
+    {
+      const double v = eb.n1 * std::exp(m.value - xi) * machine_.t_sr;
+      out.value += v;
+      out.grad.add(src, v * m.wa);
+      out.grad.add(id, v * (m.wb - 1.0));
+    }
+    // l1 * exp(-xi) * t_pr
+    {
+      const double v = eb.l1 * std::exp(-xi) * machine_.t_pr;
+      out.value += v;
+      out.grad.add(id, -v);
+    }
+    // n2 * exp(xs) * t_sr
+    {
+      const double v = eb.n2 * std::exp(xs) * machine_.t_sr;
+      out.value += v;
+      out.grad.add(src, v);
+    }
+    // l2 * exp(-xi) * t_pr
+    {
+      const double v = eb.l2 * std::exp(-xi) * machine_.t_pr;
+      out.value += v;
+      out.grad.add(id, -v);
+    }
+  }
+
+  // Send components of out-edges (this node is the source).
+  for (const mdg::EdgeId e : node.out_edges) {
+    const EdgeBytes& eb = edge_bytes(e);
+    if (eb.empty()) continue;
+    const mdg::NodeId dst = graph_->edge(e).dst;
+    const double xd = x[dst];
+    const SoftMax2 m = soft_max2(xi, xd, mu);
+    // n1 * exp(m - xi) * t_ss
+    {
+      const double v = eb.n1 * std::exp(m.value - xi) * machine_.t_ss;
+      out.value += v;
+      out.grad.add(id, v * (m.wa - 1.0));
+      out.grad.add(dst, v * m.wb);
+    }
+    // l1 * exp(-xi) * t_ps
+    {
+      const double v = eb.l1 * std::exp(-xi) * machine_.t_ps;
+      out.value += v;
+      out.grad.add(id, -v);
+    }
+    // n2 * exp(xd) * t_ss
+    {
+      const double v = eb.n2 * std::exp(xd) * machine_.t_ss;
+      out.value += v;
+      out.grad.add(dst, v);
+    }
+    // l2 * exp(-xi) * t_ps
+    {
+      const double v = eb.l2 * std::exp(-xi) * machine_.t_ps;
+      out.value += v;
+      out.grad.add(id, -v);
+    }
+  }
+
+  return out;
+}
+
+Diff CostModel::smooth_node_area(mdg::NodeId id, std::span<const double> x,
+                                 double mu) const {
+  // area = T_i * p_i = T_i * exp(x_i); product rule in log space.
+  const Diff weight = smooth_node_weight(id, x, mu);
+  const double pi = std::exp(x[id]);
+  Diff out;
+  out.value = weight.value * pi;
+  out.grad.add_scaled(weight.grad, pi);
+  out.grad.add(id, weight.value * pi);
+  return out;
+}
+
+Diff CostModel::smooth_edge_delay(mdg::EdgeId id, std::span<const double> x,
+                                  double mu) const {
+  Diff out;
+  const EdgeBytes& eb = edge_bytes(id);
+  if (eb.empty() || machine_.t_n == 0.0) return out;
+  const auto& edge = graph_->edge(id);
+  const double xs = x[edge.src];
+  const double xd = x[edge.dst];
+  // l1 / max(p_i, p_j) is NOT log-convex (its log is concave), so the
+  // optimizer uses the standard geometric-programming monomial surrogate
+  // l1 / sqrt(p_i p_j) — an upper bound that is exact when p_i = p_j and
+  // within sqrt(max/min) otherwise. The exact evaluator keeps the true
+  // max; `mu` is unused here because the surrogate is already smooth.
+  (void)mu;
+  {
+    const double v = eb.l1 * std::exp(-0.5 * (xs + xd)) * machine_.t_n;
+    out.value += v;
+    out.grad.add(edge.src, -0.5 * v);
+    out.grad.add(edge.dst, -0.5 * v);
+  }
+  {
+    const double v = eb.l2 * std::exp(-xs - xd) * machine_.t_n;
+    out.value += v;
+    out.grad.add(edge.src, -v);
+    out.grad.add(edge.dst, -v);
+  }
+  return out;
+}
+
+Posynomial CostModel::processing_posynomial(mdg::NodeId id) const {
+  const AmdahlParams& ap = amdahl(id);
+  Posynomial p = Posynomial::constant(ap.alpha * ap.tau);
+  p += Posynomial::monomial((1.0 - ap.alpha) * ap.tau, id, -1.0);
+  return p;
+}
+
+Posynomial CostModel::send_2d_posynomial(mdg::EdgeId id) const {
+  const EdgeBytes& eb = edge_bytes(id);
+  const auto& edge = graph_->edge(id);
+  Posynomial p = Posynomial::monomial(eb.n2 * machine_.t_ss, edge.dst, 1.0);
+  p += Posynomial::monomial(eb.l2 * machine_.t_ps, edge.src, -1.0);
+  return p;
+}
+
+Posynomial CostModel::recv_2d_posynomial(mdg::EdgeId id) const {
+  const EdgeBytes& eb = edge_bytes(id);
+  const auto& edge = graph_->edge(id);
+  Posynomial p = Posynomial::monomial(eb.n2 * machine_.t_sr, edge.src, 1.0);
+  p += Posynomial::monomial(eb.l2 * machine_.t_pr, edge.dst, -1.0);
+  return p;
+}
+
+Posynomial CostModel::delay_2d_posynomial(mdg::EdgeId id) const {
+  const EdgeBytes& eb = edge_bytes(id);
+  const auto& edge = graph_->edge(id);
+  return Posynomial::monomial2(eb.l2 * machine_.t_n, edge.src, -1.0,
+                               edge.dst, -1.0);
+}
+
+}  // namespace paradigm::cost

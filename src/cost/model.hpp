@@ -1,0 +1,167 @@
+// Cost model for an MDG on a p-processor machine (Sections 2 and 4).
+//
+// Exact evaluators compute the paper's quantities for a concrete
+// allocation p_1..p_n:
+//
+//   t_i^C     Amdahl processing cost (Eq. 1)
+//   t_ij^S/D/R  1D and 2D transfer components (Eqs. 2-3)
+//   T_i       node weight = sum of receive costs + processing + send costs
+//   A_p       average finish time = (1/p) sum T_i p_i
+//   C_p       critical path time via y_i = max_m(y_m + tD_mi) + T_i
+//   Phi       max(A_p, C_p)
+//
+// Smoothed evaluators compute the same quantities as functions of
+// x_i = ln p_i with the max(p_i, p_j) inside the 1D transfer replaced by
+// a log-sum-exp soft max with temperature mu (mu = 0 reproduces the
+// exact value with a subgradient). Every smoothed quantity is convex in
+// x and upper-bounds its exact counterpart, which is what the convex
+// allocator optimizes.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "cost/machine.hpp"
+#include "cost/posynomial.hpp"
+#include "mdg/mdg.hpp"
+
+namespace paradigm::cost {
+
+/// Sparse gradient: a small set of (variable, derivative) pairs. Cost
+/// components touch at most two variables, node weights at most
+/// 1 + degree.
+class SparseGrad {
+ public:
+  void add(std::size_t var, double d);
+  void add_scaled(const SparseGrad& other, double scale);
+  /// Scatters `scale * this` into a dense gradient vector.
+  void scatter(double scale, std::span<double> dense) const;
+  const std::vector<std::pair<std::size_t, double>>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::vector<std::pair<std::size_t, double>> entries_;
+};
+
+/// Value plus sparse gradient with respect to x = ln p.
+struct Diff {
+  double value = 0.0;
+  SparseGrad grad;
+
+  Diff& operator+=(const Diff& other) {
+    value += other.value;
+    grad.add_scaled(other.grad, 1.0);
+    return *this;
+  }
+};
+
+/// Smooth max of two scalars: mu * log(exp(a/mu) + exp(b/mu)).
+/// Returns the value and the softmax weights (partials wrt a and b).
+/// mu = 0 degenerates to the exact max with a one-hot subgradient.
+struct SoftMax2 {
+  double value = 0.0;
+  double wa = 0.0;
+  double wb = 0.0;
+};
+SoftMax2 soft_max2(double a, double b, double mu);
+
+/// Cost model binding an MDG to machine parameters and fitted kernel
+/// costs. All allocation spans are indexed by node id and must cover
+/// every node (entries for START/STOP are ignored but must be >= 1).
+class CostModel {
+ public:
+  CostModel(const mdg::Mdg& graph, MachineParams machine,
+            KernelCostTable kernels);
+
+  const mdg::Mdg& graph() const { return *graph_; }
+  const MachineParams& machine() const { return machine_; }
+
+  /// Amdahl parameters in effect for a node (zero for START/STOP).
+  const AmdahlParams& amdahl(mdg::NodeId id) const;
+
+  // ---- exact evaluators ---------------------------------------------------
+
+  /// t_i^C(p_i), Equation 1.
+  double processing_cost(mdg::NodeId id, double pi) const;
+
+  /// t_ij^S: sending cost at the edge's source (Eqs. 2-3 summed over the
+  /// edge's 1D and 2D arrays).
+  double send_cost(mdg::EdgeId id, double pi, double pj) const;
+
+  /// t_ij^R: receiving cost at the edge's destination.
+  double recv_cost(mdg::EdgeId id, double pi, double pj) const;
+
+  /// t_ij^D: network delay (the edge weight).
+  double edge_delay(mdg::EdgeId id, double pi, double pj) const;
+
+  /// Component-selectable variants: include only the edge's 1D and/or
+  /// 2D arrays. Used by schedule-aware prediction refinement, which
+  /// elides the 1D portion of an edge when producer and consumer run on
+  /// the identical rank set (the code generator emits no messages for
+  /// it).
+  double send_cost_parts(mdg::EdgeId id, double pi, double pj,
+                         bool include_1d, bool include_2d) const;
+  double recv_cost_parts(mdg::EdgeId id, double pi, double pj,
+                         bool include_1d, bool include_2d) const;
+  double edge_delay_parts(mdg::EdgeId id, double pi, double pj,
+                          bool include_1d, bool include_2d) const;
+
+  /// T_i: node weight under the full allocation (Section 2).
+  double node_weight(mdg::NodeId id, std::span<const double> alloc) const;
+
+  /// A_p = (1/p) sum_i T_i p_i.
+  double average_finish_time(std::span<const double> alloc, double p) const;
+
+  /// C_p = y_STOP under the critical-path recurrence.
+  double critical_path_time(std::span<const double> alloc) const;
+
+  /// Phi = max(A_p, C_p): the allocation objective.
+  double phi(std::span<const double> alloc, double p) const;
+
+  // ---- smoothed evaluators (functions of x = ln p) ------------------------
+
+  /// T_i with soft maxes at temperature mu; gradient wrt x.
+  Diff smooth_node_weight(mdg::NodeId id, std::span<const double> x,
+                          double mu) const;
+
+  /// T_i * p_i (the node's processor-time area contribution).
+  Diff smooth_node_area(mdg::NodeId id, std::span<const double> x,
+                        double mu) const;
+
+  /// t_ij^D with soft maxes.
+  Diff smooth_edge_delay(mdg::EdgeId id, std::span<const double> x,
+                         double mu) const;
+
+  // ---- posynomial forms (for Lemma 1/2 verification) ----------------------
+
+  /// t_i^C as a posynomial in variable `id` (Lemma 1).
+  Posynomial processing_posynomial(mdg::NodeId id) const;
+
+  /// The 2D components of an edge as posynomials in (src, dst) variables
+  /// (part of Lemma 2; the 1D components involve max(p_i, p_j) and are
+  /// generalized posynomials, checked numerically in tests).
+  Posynomial send_2d_posynomial(mdg::EdgeId id) const;
+  Posynomial recv_2d_posynomial(mdg::EdgeId id) const;
+  Posynomial delay_2d_posynomial(mdg::EdgeId id) const;
+
+  /// Per-edge transfer aggregates (counts and summed bytes by kind).
+  struct EdgeBytes {
+    double n1 = 0.0;  ///< Number of 1D arrays on the edge.
+    double l1 = 0.0;  ///< Total 1D bytes.
+    double n2 = 0.0;  ///< Number of 2D arrays.
+    double l2 = 0.0;  ///< Total 2D bytes.
+    bool empty() const { return n1 == 0.0 && n2 == 0.0; }
+  };
+  const EdgeBytes& edge_bytes(mdg::EdgeId id) const;
+
+ private:
+  const mdg::Mdg* graph_;
+  MachineParams machine_;
+  KernelCostTable kernels_;
+  std::vector<AmdahlParams> node_amdahl_;  // indexed by node id
+  std::vector<EdgeBytes> edge_bytes_;      // indexed by edge id
+};
+
+}  // namespace paradigm::cost

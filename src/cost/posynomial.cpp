@@ -1,0 +1,170 @@
+#include "cost/posynomial.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace paradigm::cost {
+namespace {
+
+void normalize(std::vector<std::pair<std::size_t, double>>& exps) {
+  std::sort(exps.begin(), exps.end());
+  std::vector<std::pair<std::size_t, double>> merged;
+  for (const auto& [var, e] : exps) {
+    if (!merged.empty() && merged.back().first == var) {
+      merged.back().second += e;
+    } else {
+      merged.emplace_back(var, e);
+    }
+  }
+  std::erase_if(merged, [](const auto& p) { return p.second == 0.0; });
+  exps = std::move(merged);
+}
+
+}  // namespace
+
+Posynomial Posynomial::constant(double c) {
+  PARADIGM_CHECK(c >= 0.0, "posynomial constant must be >= 0, got " << c);
+  Posynomial p;
+  if (c > 0.0) p.terms_.push_back(Monomial{c, {}});
+  return p;
+}
+
+Posynomial Posynomial::monomial(double c, std::size_t var, double exponent) {
+  PARADIGM_CHECK(c >= 0.0, "monomial coefficient must be >= 0, got " << c);
+  Posynomial p;
+  if (c > 0.0) {
+    Monomial m{c, {{var, exponent}}};
+    normalize(m.exponents);
+    p.terms_.push_back(std::move(m));
+  }
+  return p;
+}
+
+Posynomial Posynomial::monomial2(double c, std::size_t var1, double e1,
+                                 std::size_t var2, double e2) {
+  PARADIGM_CHECK(c >= 0.0, "monomial coefficient must be >= 0, got " << c);
+  Posynomial p;
+  if (c > 0.0) {
+    Monomial m{c, {{var1, e1}, {var2, e2}}};
+    normalize(m.exponents);
+    p.terms_.push_back(std::move(m));
+  }
+  return p;
+}
+
+Posynomial& Posynomial::operator+=(const Posynomial& other) {
+  terms_.insert(terms_.end(), other.terms_.begin(), other.terms_.end());
+  return *this;
+}
+
+Posynomial operator*(const Posynomial& lhs, const Posynomial& rhs) {
+  Posynomial out;
+  for (const auto& a : lhs.terms_) {
+    for (const auto& b : rhs.terms_) {
+      Monomial m;
+      m.coeff = a.coeff * b.coeff;
+      m.exponents = a.exponents;
+      m.exponents.insert(m.exponents.end(), b.exponents.begin(),
+                         b.exponents.end());
+      normalize(m.exponents);
+      out.terms_.push_back(std::move(m));
+    }
+  }
+  return out;
+}
+
+Posynomial Posynomial::scaled(double c) const {
+  PARADIGM_CHECK(c >= 0.0, "scale must be >= 0, got " << c);
+  Posynomial out;
+  if (c == 0.0) return out;
+  out.terms_ = terms_;
+  for (auto& t : out.terms_) t.coeff *= c;
+  return out;
+}
+
+double Posynomial::eval(std::span<const double> values) const {
+  double total = 0.0;
+  for (const auto& term : terms_) {
+    double v = term.coeff;
+    for (const auto& [var, e] : term.exponents) {
+      PARADIGM_CHECK(var < values.size(),
+                     "posynomial variable " << var << " out of range");
+      PARADIGM_CHECK(values[var] > 0.0,
+                     "posynomial evaluated at non-positive variable " << var);
+      v *= std::pow(values[var], e);
+    }
+    total += v;
+  }
+  return total;
+}
+
+double Posynomial::eval_log(std::span<const double> x, double scale,
+                            std::span<double> grad) const {
+  double total = 0.0;
+  for (const auto& term : terms_) {
+    double log_v = std::log(term.coeff);
+    for (const auto& [var, e] : term.exponents) {
+      PARADIGM_CHECK(var < x.size(),
+                     "posynomial variable " << var << " out of range");
+      log_v += e * x[var];
+    }
+    const double v = std::exp(log_v);
+    total += v;
+    if (!grad.empty()) {
+      for (const auto& [var, e] : term.exponents) {
+        grad[var] += scale * v * e;
+      }
+    }
+  }
+  return total;
+}
+
+std::size_t Posynomial::variable_count() const {
+  std::size_t n = 0;
+  for (const auto& term : terms_) {
+    for (const auto& [var, e] : term.exponents) {
+      (void)e;
+      n = std::max(n, var + 1);
+    }
+  }
+  return n;
+}
+
+std::string Posynomial::to_string() const {
+  if (terms_.empty()) return "0";
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& term : terms_) {
+    if (!first) os << " + ";
+    first = false;
+    os << term.coeff;
+    for (const auto& [var, e] : term.exponents) {
+      os << "*v" << var << '^' << e;
+    }
+  }
+  return os.str();
+}
+
+double worst_midpoint_convexity_violation(
+    const std::vector<std::vector<double>>& xa,
+    const std::vector<std::vector<double>>& xb,
+    const std::vector<double>& fa, const std::vector<double>& fb,
+    const std::vector<double>& fmid) {
+  PARADIGM_CHECK(xa.size() == xb.size() && fa.size() == fb.size() &&
+                     fa.size() == fmid.size() && xa.size() == fa.size(),
+                 "convexity check input size mismatch");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    PARADIGM_CHECK(fa[i] > 0.0 && fb[i] > 0.0 && fmid[i] > 0.0,
+                   "log-convexity check needs positive values");
+    const double lhs = std::log(fmid[i]);
+    const double rhs = 0.5 * (std::log(fa[i]) + std::log(fb[i]));
+    worst = std::max(worst, lhs - rhs);
+  }
+  return worst;
+}
+
+}  // namespace paradigm::cost

@@ -1,0 +1,88 @@
+// Posynomial algebra (Section 2 / Lemmas 1 and 2 of the paper).
+//
+// A posynomial is a sum of terms c * prod_k v_k^{a_k} with c > 0 and
+// real exponents over positive variables. Posynomials are exactly the
+// functions that become convex under the geometric-programming log
+// transform v_k = exp(x_k), which is what makes the paper's allocation
+// formulation a convex program. This class is used to express the cost
+// models symbolically, to verify the Lemma 1/2 posynomiality claims in
+// tests, and to cross-check the hand-differentiated evaluators in
+// src/cost/model.cpp.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace paradigm::cost {
+
+/// One term c * prod v_k^{a_k}; c must be positive (or zero, meaning
+/// the term vanishes).
+struct Monomial {
+  double coeff = 0.0;
+  /// Sorted, unique (variable index, exponent) pairs.
+  std::vector<std::pair<std::size_t, double>> exponents;
+};
+
+/// Sum of monomials with positive coefficients.
+class Posynomial {
+ public:
+  Posynomial() = default;
+
+  /// The constant posynomial c (c >= 0).
+  static Posynomial constant(double c);
+
+  /// c * v^e (c >= 0).
+  static Posynomial monomial(double c, std::size_t var, double exponent);
+
+  /// c * v1^e1 * v2^e2.
+  static Posynomial monomial2(double c, std::size_t var1, double e1,
+                              std::size_t var2, double e2);
+
+  Posynomial& operator+=(const Posynomial& other);
+  friend Posynomial operator+(Posynomial lhs, const Posynomial& rhs) {
+    lhs += rhs;
+    return lhs;
+  }
+
+  /// Product of posynomials (still a posynomial).
+  friend Posynomial operator*(const Posynomial& lhs, const Posynomial& rhs);
+
+  /// Scales by a non-negative constant.
+  Posynomial scaled(double c) const;
+
+  /// Evaluates at positive variable values (indexed by variable id).
+  double eval(std::span<const double> values) const;
+
+  /// Evaluates in log space: values are x with v = exp(x). Also
+  /// accumulates scale * dP/dx into `grad` when grad is non-null.
+  double eval_log(std::span<const double> x, double scale = 1.0,
+                  std::span<double> grad = {}) const;
+
+  /// Number of terms.
+  std::size_t term_count() const { return terms_.size(); }
+  const std::vector<Monomial>& terms() const { return terms_; }
+
+  /// Largest variable index referenced (+1); 0 for constants.
+  std::size_t variable_count() const;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<Monomial> terms_;
+};
+
+/// Numerically checks log-convexity of `f` along random segments: for
+/// posynomials, g(x) = log f(exp(x)) must be convex, so the midpoint
+/// inequality g((a+b)/2) <= (g(a)+g(b))/2 must hold. Returns the worst
+/// violation found (<= tolerance means "looks convex"). Used in tests
+/// to validate Lemmas 1 and 2 and the solver's objective.
+double worst_midpoint_convexity_violation(
+    const std::vector<std::vector<double>>& xa,
+    const std::vector<std::vector<double>>& xb,
+    const std::vector<double>& fa, const std::vector<double>& fb,
+    const std::vector<double>& fmid);
+
+}  // namespace paradigm::cost

@@ -1,0 +1,56 @@
+// AST for the matrix-expression language.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace paradigm::frontend {
+
+/// Expression node kinds.
+enum class ExprKind { kVar, kAdd, kSub, kMul, kTranspose };
+
+/// An expression tree node. Binary nodes own both children; transpose
+/// owns one; variables are leaves.
+struct Expr {
+  ExprKind kind = ExprKind::kVar;
+  std::string name;  // kVar only
+  std::unique_ptr<Expr> lhs;
+  std::unique_ptr<Expr> rhs;  // binary ops only
+  std::size_t line = 0;
+
+  /// Canonical structural key (used for common-subexpression reuse).
+  std::string key() const;
+};
+
+/// `input NAME rows cols [tag]` — declares and initializes a matrix.
+struct InputDecl {
+  std::string name;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::uint64_t tag = 0;
+  std::size_t line = 0;
+};
+
+/// `NAME = expr` — computes and names a matrix.
+struct Assignment {
+  std::string name;
+  std::unique_ptr<Expr> value;
+  std::size_t line = 0;
+};
+
+/// `output NAME` — marks a program result.
+struct OutputDecl {
+  std::string name;
+  std::size_t line = 0;
+};
+
+/// A whole program: inputs, assignments (in order), outputs.
+struct Program {
+  std::vector<InputDecl> inputs;
+  std::vector<Assignment> assignments;
+  std::vector<OutputDecl> outputs;
+};
+
+}  // namespace paradigm::frontend

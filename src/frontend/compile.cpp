@@ -1,0 +1,182 @@
+#include "frontend/compile.hpp"
+
+#include "frontend/parser.hpp"
+#include "support/error.hpp"
+
+namespace paradigm::frontend {
+namespace {
+
+/// Default deterministic tag for inputs declared without one, stable by
+/// declaration order — the interpreter applies the same rule, so both
+/// paths see identical input values.
+std::uint64_t default_tag(std::size_t input_index) {
+  return 5000 + input_index;
+}
+
+struct Value {
+  std::string array;  // MDG array name
+  mdg::NodeId producer = 0;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+};
+
+class Lowerer {
+ public:
+  explicit Lowerer(const Program& program) : program_(program) {}
+
+  CompiledProgram run() {
+    CompiledProgram out;
+    for (std::size_t i = 0; i < program_.inputs.size(); ++i) {
+      const InputDecl& input = program_.inputs[i];
+      const std::uint64_t tag =
+          input.tag != 0 ? input.tag : default_tag(i);
+      graph_.add_array(input.name, input.rows, input.cols, tag);
+      mdg::LoopSpec spec;
+      spec.op = mdg::LoopOp::kInit;
+      spec.output = input.name;
+      const mdg::NodeId node =
+          graph_.add_loop("init_" + input.name, spec);
+      bindings_[input.name] =
+          Value{input.name, node, input.rows, input.cols};
+      memo_[input.name] = bindings_[input.name];
+    }
+
+    for (const Assignment& assignment : program_.assignments) {
+      const Value value =
+          lower(*assignment.value, /*preferred_name=*/assignment.name);
+      bindings_[assignment.name] = value;
+      // Future expressions referring to this name reuse the value.
+      memo_[assignment.name] = value;
+    }
+
+    for (const OutputDecl& output : program_.outputs) {
+      const Value& value = bindings_.at(output.name);
+      out.outputs.push_back(
+          OutputInfo{output.name, value.array, value.rows, value.cols});
+    }
+
+    graph_.finalize();
+    out.graph = std::move(graph_);
+    out.cse_hits = cse_hits_;
+    return out;
+  }
+
+ private:
+  Value lower(const Expr& expr, const std::string& preferred_name) {
+    if (expr.kind == ExprKind::kVar) {
+      // Pure reference (possibly a whole-assignment alias `X = Y`).
+      return bindings_.at(expr.name);
+    }
+    const std::string key = expr.key();
+    const auto memo_it = memo_.find(key);
+    if (memo_it != memo_.end()) {
+      ++cse_hits_;
+      return memo_it->second;
+    }
+
+    const Value lhs = lower(*expr.lhs, "");
+    Value rhs;
+    if (expr.rhs) rhs = lower(*expr.rhs, "");
+
+    Value result;
+    mdg::LoopSpec spec;
+    switch (expr.kind) {
+      case ExprKind::kAdd:
+      case ExprKind::kSub:
+        PARADIGM_CHECK(lhs.rows == rhs.rows && lhs.cols == rhs.cols,
+                       "source line "
+                           << expr.line
+                           << ": elementwise operands differ in shape ("
+                           << lhs.rows << "x" << lhs.cols << " vs "
+                           << rhs.rows << "x" << rhs.cols << ")");
+        spec.op = expr.kind == ExprKind::kAdd ? mdg::LoopOp::kAdd
+                                              : mdg::LoopOp::kSub;
+        spec.inputs = {lhs.array, rhs.array};
+        result.rows = lhs.rows;
+        result.cols = lhs.cols;
+        break;
+      case ExprKind::kMul:
+        PARADIGM_CHECK(lhs.cols == rhs.rows,
+                       "source line "
+                           << expr.line
+                           << ": multiply inner dimensions differ ("
+                           << lhs.rows << "x" << lhs.cols << " times "
+                           << rhs.rows << "x" << rhs.cols << ")");
+        spec.op = mdg::LoopOp::kMul;
+        spec.inputs = {lhs.array, rhs.array};
+        result.rows = lhs.rows;
+        result.cols = rhs.cols;
+        break;
+      case ExprKind::kTranspose:
+        spec.op = mdg::LoopOp::kTranspose;
+        spec.inputs = {lhs.array};
+        result.rows = lhs.cols;
+        result.cols = lhs.rows;
+        break;
+      case ExprKind::kVar:
+        PARADIGM_FAIL("unreachable");
+    }
+
+    result.array = preferred_name.empty()
+                       ? "_t" + std::to_string(next_temp_++)
+                       : preferred_name;
+    spec.output = result.array;
+    graph_.add_array(result.array, result.rows, result.cols);
+    result.producer = graph_.add_loop(result.array, spec);
+    graph_.add_dependence(lhs.producer, result.producer, {lhs.array});
+    if (expr.rhs) {
+      graph_.add_dependence(rhs.producer, result.producer, {rhs.array});
+    }
+    memo_[key] = result;
+    return result;
+  }
+
+  const Program& program_;
+  mdg::Mdg graph_;
+  std::map<std::string, Value> bindings_;  // source name -> value
+  std::map<std::string, Value> memo_;      // expr key -> value (CSE)
+  std::size_t next_temp_ = 0;
+  std::size_t cse_hits_ = 0;
+};
+
+Matrix evaluate(const Expr& expr,
+                const std::map<std::string, Matrix>& env) {
+  switch (expr.kind) {
+    case ExprKind::kVar: return env.at(expr.name);
+    case ExprKind::kAdd:
+      return evaluate(*expr.lhs, env) + evaluate(*expr.rhs, env);
+    case ExprKind::kSub:
+      return evaluate(*expr.lhs, env) - evaluate(*expr.rhs, env);
+    case ExprKind::kMul:
+      return evaluate(*expr.lhs, env) * evaluate(*expr.rhs, env);
+    case ExprKind::kTranspose:
+      return evaluate(*expr.lhs, env).transposed();
+  }
+  PARADIGM_FAIL("unreachable expression kind");
+}
+
+}  // namespace
+
+CompiledProgram compile_source(const std::string& source) {
+  const Program program = parse_program(source);
+  return Lowerer(program).run();
+}
+
+std::map<std::string, Matrix> interpret_source(const std::string& source) {
+  const Program program = parse_program(source);
+  std::map<std::string, Matrix> env;
+  for (std::size_t i = 0; i < program.inputs.size(); ++i) {
+    const InputDecl& input = program.inputs[i];
+    const std::uint64_t tag = input.tag != 0 ? input.tag : 5000 + i;
+    env[input.name] =
+        Matrix::deterministic(input.rows, input.cols, tag);
+  }
+  for (const Assignment& assignment : program.assignments) {
+    // Shape errors surface here as Matrix op failures; the compiler
+    // path reports them with line numbers instead.
+    env[assignment.name] = evaluate(*assignment.value, env);
+  }
+  return env;
+}
+
+}  // namespace paradigm::frontend

@@ -1,0 +1,58 @@
+// Lowering of parsed matrix-expression programs to MDGs, plus a
+// reference interpreter.
+//
+// Lowering rules:
+//   * every `input` becomes an init loop producing its matrix,
+//   * every operator in an expression becomes one loop node (add / sub /
+//     mul / transpose) producing a materialized array — named after the
+//     assignment target for the top of the tree, or a fresh temporary
+//     `_tN` for inner nodes,
+//   * identical subexpressions are computed once (structural common-
+//     subexpression elimination): reusing `A * B` twice yields a single
+//     multiply node feeding both consumers,
+//   * dependences follow def-use: the producer of every operand gets an
+//     edge (carrying the operand array) to the consuming node.
+//
+// Dimension checking is performed during lowering (elementwise ops need
+// equal shapes; multiplication needs matching inner dimensions).
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "frontend/ast.hpp"
+#include "mdg/mdg.hpp"
+#include "support/matrix.hpp"
+
+namespace paradigm::frontend {
+
+/// One declared output: the source-level name, the MDG array that
+/// realizes it (they differ when the value was shared via CSE or a pure
+/// alias like `X = Y`), and its shape.
+struct OutputInfo {
+  std::string name;
+  std::string array;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+};
+
+/// A compiled program: the MDG plus its declared outputs.
+struct CompiledProgram {
+  mdg::Mdg graph;
+  std::vector<OutputInfo> outputs;  ///< In declaration order.
+  std::size_t cse_hits = 0;  ///< Subexpressions reused instead of rebuilt.
+};
+
+/// Parses and lowers `source`. Throws paradigm::Error on syntax,
+/// definition, or dimension errors (with source line numbers).
+CompiledProgram compile_source(const std::string& source);
+
+/// Reference interpreter: evaluates the program sequentially with the
+/// same deterministic input fills the init kernels use, returning every
+/// named (input or assigned) matrix. Used to verify compiled + scheduled
+/// + simulated executions.
+std::map<std::string, Matrix> interpret_source(const std::string& source);
+
+}  // namespace paradigm::frontend

@@ -1,0 +1,104 @@
+#include "frontend/lexer.hpp"
+
+#include <cctype>
+
+#include "support/error.hpp"
+
+namespace paradigm::frontend {
+
+const char* to_string(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kNumber: return "number";
+    case TokenKind::kAssign: return "'='";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kNewline: return "end of line";
+    case TokenKind::kEnd: return "end of input";
+  }
+  return "?";
+}
+
+std::vector<Token> tokenize(const std::string& source) {
+  std::vector<Token> tokens;
+  std::size_t line = 1;
+  std::size_t column = 1;
+  std::size_t i = 0;
+
+  const auto push = [&](TokenKind kind, std::string text,
+                        std::uint64_t number = 0) {
+    // Collapse consecutive newlines and suppress leading ones.
+    if (kind == TokenKind::kNewline &&
+        (tokens.empty() || tokens.back().kind == TokenKind::kNewline)) {
+      return;
+    }
+    tokens.push_back(Token{kind, std::move(text), number, line, column});
+  };
+
+  while (i < source.size()) {
+    const char c = source[i];
+    if (c == '\n') {
+      push(TokenKind::kNewline, "\\n");
+      ++i;
+      ++line;
+      column = 1;
+      continue;
+    }
+    if (c == '#') {
+      while (i < source.size() && source[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      ++column;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      const std::size_t start = i;
+      while (i < source.size() &&
+             (std::isalnum(static_cast<unsigned char>(source[i])) ||
+              source[i] == '_')) {
+        ++i;
+      }
+      push(TokenKind::kIdentifier, source.substr(start, i - start));
+      column += i - start;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      const std::size_t start = i;
+      std::uint64_t value = 0;
+      while (i < source.size() &&
+             std::isdigit(static_cast<unsigned char>(source[i]))) {
+        value = value * 10 + static_cast<std::uint64_t>(source[i] - '0');
+        ++i;
+      }
+      push(TokenKind::kNumber, source.substr(start, i - start), value);
+      column += i - start;
+      continue;
+    }
+    TokenKind kind;
+    switch (c) {
+      case '=': kind = TokenKind::kAssign; break;
+      case '+': kind = TokenKind::kPlus; break;
+      case '-': kind = TokenKind::kMinus; break;
+      case '*': kind = TokenKind::kStar; break;
+      case '(': kind = TokenKind::kLParen; break;
+      case ')': kind = TokenKind::kRParen; break;
+      default:
+        PARADIGM_FAIL("source line " << line << ", column " << column
+                                     << ": unexpected character '" << c
+                                     << "'");
+    }
+    push(kind, std::string(1, c));
+    ++i;
+    ++column;
+  }
+  push(TokenKind::kNewline, "\\n");
+  tokens.push_back(Token{TokenKind::kEnd, "", 0, line, column});
+  return tokens;
+}
+
+}  // namespace paradigm::frontend

@@ -1,0 +1,41 @@
+// Lexer for the matrix-expression source language (see parser.hpp for
+// the grammar). Produces a token stream with line/column positions for
+// error reporting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace paradigm::frontend {
+
+enum class TokenKind {
+  kIdentifier,  // names and keywords (keyword-ness decided by parser)
+  kNumber,      // unsigned integer literal
+  kAssign,      // =
+  kPlus,        // +
+  kMinus,       // -
+  kStar,        // *
+  kLParen,      // (
+  kRParen,      // )
+  kNewline,     // statement separator
+  kEnd,         // end of input
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  std::uint64_t number = 0;
+  std::size_t line = 0;
+  std::size_t column = 0;
+};
+
+/// Tokenizes the whole source. '#' starts a comment to end of line.
+/// Consecutive newlines collapse into one kNewline token; the stream
+/// always ends with kEnd. Throws paradigm::Error on unknown characters.
+std::vector<Token> tokenize(const std::string& source);
+
+/// Human-readable token kind (for error messages).
+const char* to_string(TokenKind kind);
+
+}  // namespace paradigm::frontend

@@ -1,0 +1,216 @@
+#include "frontend/parser.hpp"
+
+#include <set>
+
+#include "frontend/lexer.hpp"
+#include "support/error.hpp"
+
+namespace paradigm::frontend {
+
+std::string Expr::key() const {
+  switch (kind) {
+    case ExprKind::kVar: return name;
+    case ExprKind::kAdd: return "(+ " + lhs->key() + " " + rhs->key() + ")";
+    case ExprKind::kSub: return "(- " + lhs->key() + " " + rhs->key() + ")";
+    case ExprKind::kMul: return "(* " + lhs->key() + " " + rhs->key() + ")";
+    case ExprKind::kTranspose: return "(T " + lhs->key() + ")";
+  }
+  return "?";
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& source) : tokens_(tokenize(source)) {}
+
+  Program parse() {
+    Program program;
+    while (peek().kind != TokenKind::kEnd) {
+      if (accept(TokenKind::kNewline)) continue;
+      const Token& head = peek();
+      PARADIGM_CHECK(head.kind == TokenKind::kIdentifier,
+                     "source line " << head.line << ": " << "expected a statement, got "
+                              << to_string(head.kind));
+      if (head.text == "input") {
+        program.inputs.push_back(parse_input());
+      } else if (head.text == "output") {
+        program.outputs.push_back(parse_output());
+      } else {
+        program.assignments.push_back(parse_assignment());
+      }
+      expect(TokenKind::kNewline, "after the statement");
+    }
+    validate(program);
+    return program;
+  }
+
+ private:
+  const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t idx = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[idx];
+  }
+  const Token& advance() { return tokens_[pos_++]; }
+  bool accept(TokenKind kind) {
+    if (peek().kind == kind) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  const Token& expect(TokenKind kind, const char* context) {
+    const Token& token = peek();
+    PARADIGM_CHECK(token.kind == kind,
+                   "source line " << token.line << ": " << "expected " << to_string(kind) << " "
+                             << context << ", got " << to_string(token.kind)
+                             << (token.text.empty() ? "" : " '" + token.text +
+                                                               "'"));
+    return advance();
+  }
+
+  InputDecl parse_input() {
+    const Token& kw = advance();  // "input"
+    InputDecl decl;
+    decl.line = kw.line;
+    decl.name = expect(TokenKind::kIdentifier, "as the input name").text;
+    decl.rows = static_cast<std::size_t>(
+        expect(TokenKind::kNumber, "as the row count").number);
+    decl.cols = static_cast<std::size_t>(
+        expect(TokenKind::kNumber, "as the column count").number);
+    PARADIGM_CHECK(decl.rows > 0 && decl.cols > 0,
+                   "source line " << kw.line << ": " << "input '" << decl.name
+                          << "' needs positive dimensions");
+    if (peek().kind == TokenKind::kNumber) {
+      decl.tag = advance().number;
+    }
+    return decl;
+  }
+
+  OutputDecl parse_output() {
+    const Token& kw = advance();  // "output"
+    OutputDecl decl;
+    decl.line = kw.line;
+    decl.name = expect(TokenKind::kIdentifier, "as the output name").text;
+    return decl;
+  }
+
+  Assignment parse_assignment() {
+    Assignment assignment;
+    const Token& name = advance();
+    assignment.name = name.text;
+    assignment.line = name.line;
+    PARADIGM_CHECK(assignment.name != "transpose",
+                   "source line " << name.line << ": " << "'transpose' is reserved");
+    expect(TokenKind::kAssign, "in the assignment");
+    assignment.value = parse_expr();
+    return assignment;
+  }
+
+  std::unique_ptr<Expr> parse_expr() {
+    std::unique_ptr<Expr> left = parse_term();
+    while (peek().kind == TokenKind::kPlus ||
+           peek().kind == TokenKind::kMinus) {
+      const Token& op = advance();
+      auto node = std::make_unique<Expr>();
+      node->kind = op.kind == TokenKind::kPlus ? ExprKind::kAdd
+                                               : ExprKind::kSub;
+      node->line = op.line;
+      node->lhs = std::move(left);
+      node->rhs = parse_term();
+      left = std::move(node);
+    }
+    return left;
+  }
+
+  std::unique_ptr<Expr> parse_term() {
+    std::unique_ptr<Expr> left = parse_factor();
+    while (peek().kind == TokenKind::kStar) {
+      const Token& op = advance();
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kMul;
+      node->line = op.line;
+      node->lhs = std::move(left);
+      node->rhs = parse_factor();
+      left = std::move(node);
+    }
+    return left;
+  }
+
+  std::unique_ptr<Expr> parse_factor() {
+    const Token& token = peek();
+    if (token.kind == TokenKind::kLParen) {
+      advance();
+      auto inner = parse_expr();
+      expect(TokenKind::kRParen, "to close the parenthesis");
+      return inner;
+    }
+    PARADIGM_CHECK(token.kind == TokenKind::kIdentifier,
+                   "source line " << token.line << ": " << "expected a matrix name, 'transpose', or "
+                                "'(' in the expression, got "
+                             << to_string(token.kind));
+    if (token.text == "transpose") {
+      advance();
+      expect(TokenKind::kLParen, "after 'transpose'");
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kTranspose;
+      node->line = token.line;
+      node->lhs = parse_expr();
+      expect(TokenKind::kRParen, "to close 'transpose('");
+      return node;
+    }
+    advance();
+    auto node = std::make_unique<Expr>();
+    node->kind = ExprKind::kVar;
+    node->name = token.text;
+    node->line = token.line;
+    return node;
+  }
+
+  static void check_defined(const Expr& expr,
+                            const std::set<std::string>& defined) {
+    if (expr.kind == ExprKind::kVar) {
+      PARADIGM_CHECK(defined.count(expr.name) != 0,
+                     "source line " << expr.line << ": '" << expr.name
+                                    << "' used before definition");
+      return;
+    }
+    check_defined(*expr.lhs, defined);
+    if (expr.rhs) check_defined(*expr.rhs, defined);
+  }
+
+  static void validate(const Program& program) {
+    std::set<std::string> defined;
+    for (const auto& input : program.inputs) {
+      PARADIGM_CHECK(defined.insert(input.name).second,
+                     "source line " << input.line << ": duplicate name '"
+                                    << input.name << "'");
+    }
+    for (const auto& assignment : program.assignments) {
+      check_defined(*assignment.value, defined);
+      PARADIGM_CHECK(defined.insert(assignment.name).second,
+                     "source line " << assignment.line
+                                    << ": duplicate name '"
+                                    << assignment.name << "'");
+    }
+    PARADIGM_CHECK(!program.outputs.empty(),
+                   "program has no 'output' statement");
+    for (const auto& output : program.outputs) {
+      PARADIGM_CHECK(defined.count(output.name) != 0,
+                     "source line " << output.line << ": output '"
+                                    << output.name << "' is undefined");
+    }
+    PARADIGM_CHECK(!program.assignments.empty(),
+                   "program has no assignments (nothing to compute)");
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Program parse_program(const std::string& source) {
+  return Parser(source).parse();
+}
+
+}  // namespace paradigm::frontend

@@ -1,0 +1,32 @@
+// Recursive-descent parser for the matrix-expression language — the
+// front end of Section 1.2 step 1 (the paper defers MDG identification
+// to future work, citing Girkar & Polychronopoulos; this is a small
+// concrete stand-in for regular matrix programs).
+//
+// Grammar (one statement per line; '#' comments):
+//
+//   program    := { statement NEWLINE }
+//   statement  := input | assignment | output
+//   input      := "input" IDENT NUMBER NUMBER [NUMBER]   (rows cols [tag])
+//   output     := "output" IDENT
+//   assignment := IDENT "=" expr
+//   expr       := term { ("+" | "-") term }
+//   term       := factor { "*" factor }
+//   factor     := IDENT | "transpose" "(" expr ")" | "(" expr ")"
+//
+// '*' is matrix multiplication; '+'/'-' are elementwise. Every name
+// must be defined (input or assignment) before use; assignments are
+// single-assignment (no redefinition).
+#pragma once
+
+#include <string>
+
+#include "frontend/ast.hpp"
+
+namespace paradigm::frontend {
+
+/// Parses the source. Throws paradigm::Error with line positions on
+/// syntax errors, undefined/duplicate names, or malformed declarations.
+Program parse_program(const std::string& source);
+
+}  // namespace paradigm::frontend

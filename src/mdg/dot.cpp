@@ -1,0 +1,53 @@
+#include "mdg/dot.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace paradigm::mdg {
+
+std::string to_dot(const Mdg& graph, const std::vector<double>& allocation) {
+  PARADIGM_CHECK(allocation.empty() || allocation.size() == graph.node_count(),
+                 "allocation size mismatch in to_dot");
+  std::ostringstream os;
+  os << "digraph mdg {\n";
+  os << "  rankdir=TB;\n  node [shape=box, fontsize=10];\n";
+  for (const auto& node : graph.nodes()) {
+    os << "  n" << node.id << " [label=\"" << node.name;
+    if (node.kind == NodeKind::kLoop) {
+      os << "\\n" << to_string(node.loop.op);
+      if (!node.loop.output.empty()) os << " -> " << node.loop.output;
+    }
+    if (!allocation.empty()) {
+      os << "\\np=" << std::fixed << std::setprecision(2)
+         << allocation[node.id];
+    }
+    os << "\"";
+    if (node.kind != NodeKind::kLoop) os << ", style=dashed";
+    os << "];\n";
+  }
+  for (const auto& edge : graph.edges()) {
+    os << "  n" << edge.src << " -> n" << edge.dst;
+    if (!edge.transfers.empty()) {
+      os << " [label=\"";
+      bool first = true;
+      for (const auto& t : edge.transfers) {
+        if (!first) os << ", ";
+        first = false;
+        if (!t.array.empty()) {
+          os << t.array;
+        } else {
+          os << t.bytes << "B";
+        }
+        os << (t.kind == TransferKind::k1D ? " (1D)" : " (2D)");
+      }
+      os << "\"]";
+    }
+    os << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace paradigm::mdg

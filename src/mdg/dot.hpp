@@ -1,0 +1,19 @@
+// Graphviz DOT export of an MDG, optionally annotated with a processor
+// allocation. Used by the fig6 bench and the examples so the paper's
+// Figure 6 graphs can be inspected.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mdg/mdg.hpp"
+
+namespace paradigm::mdg {
+
+/// Renders the MDG in DOT syntax. If `allocation` is non-empty it must
+/// have one entry per node and each node label is annotated with its
+/// processor count.
+std::string to_dot(const Mdg& graph,
+                   const std::vector<double>& allocation = {});
+
+}  // namespace paradigm::mdg

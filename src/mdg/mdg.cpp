@@ -1,0 +1,315 @@
+#include "mdg/mdg.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "support/error.hpp"
+
+namespace paradigm::mdg {
+
+const char* to_string(LoopOp op) {
+  switch (op) {
+    case LoopOp::kInit: return "init";
+    case LoopOp::kAdd: return "add";
+    case LoopOp::kSub: return "sub";
+    case LoopOp::kMul: return "mul";
+    case LoopOp::kTranspose: return "transpose";
+    case LoopOp::kSynthetic: return "synthetic";
+  }
+  return "?";
+}
+
+const std::string& Mdg::add_array(std::string name, std::size_t rows,
+                                  std::size_t cols, std::uint64_t init_tag) {
+  PARADIGM_CHECK(!finalized_, "add_array after finalize");
+  PARADIGM_CHECK(!name.empty(), "array name must be non-empty");
+  PARADIGM_CHECK(rows > 0 && cols > 0,
+                 "array '" << name << "' must have positive dimensions");
+  PARADIGM_CHECK(!has_array(name), "duplicate array '" << name << "'");
+  arrays_.push_back(ArrayInfo{std::move(name), rows, cols, init_tag});
+  return arrays_.back().name;
+}
+
+NodeId Mdg::add_node(std::string name, NodeKind kind, LoopSpec spec) {
+  PARADIGM_CHECK(!finalized_, "add node after finalize");
+  Node node;
+  node.id = nodes_.size();
+  node.name = std::move(name);
+  node.kind = kind;
+  node.loop = std::move(spec);
+  nodes_.push_back(std::move(node));
+  return nodes_.back().id;
+}
+
+NodeId Mdg::add_loop(std::string name, LoopSpec spec) {
+  PARADIGM_CHECK(spec.op != LoopOp::kSynthetic || spec.synth_tau >= 0.0,
+                 "synthetic loop must have non-negative tau");
+  return add_node(std::move(name), NodeKind::kLoop, std::move(spec));
+}
+
+NodeId Mdg::add_synthetic(std::string name, double alpha,
+                          double tau_seconds, Layout layout) {
+  PARADIGM_CHECK(alpha >= 0.0 && alpha <= 1.0,
+                 "synthetic alpha must be in [0, 1], got " << alpha);
+  PARADIGM_CHECK(tau_seconds >= 0.0,
+                 "synthetic tau must be >= 0, got " << tau_seconds);
+  LoopSpec spec;
+  spec.op = LoopOp::kSynthetic;
+  spec.layout = layout;
+  spec.synth_alpha = alpha;
+  spec.synth_tau = tau_seconds;
+  return add_node(std::move(name), NodeKind::kLoop, std::move(spec));
+}
+
+EdgeId Mdg::add_dependence(NodeId src, NodeId dst,
+                           std::vector<std::string> arrays) {
+  PARADIGM_CHECK(!finalized_, "add_dependence after finalize");
+  PARADIGM_CHECK(src < nodes_.size() && dst < nodes_.size(),
+                 "edge endpoint out of range");
+  PARADIGM_CHECK(src != dst, "self edge on node " << src);
+  Edge edge;
+  edge.id = edges_.size();
+  edge.src = src;
+  edge.dst = dst;
+  // The transfer kind is derived from the endpoint layouts: same layout
+  // on both sides is the 1D pattern, differing layouts the 2D pattern.
+  const TransferKind kind =
+      (nodes_[src].loop.layout == nodes_[dst].loop.layout)
+          ? TransferKind::k1D
+          : TransferKind::k2D;
+  for (auto& a : arrays) {
+    PARADIGM_CHECK(has_array(a), "edge references unknown array '" << a
+                                                                   << "'");
+    Transfer t;
+    t.array = std::move(a);
+    t.kind = kind;
+    t.bytes = array(t.array).bytes();
+    edge.transfers.push_back(std::move(t));
+  }
+  nodes_[src].out_edges.push_back(edge.id);
+  nodes_[dst].in_edges.push_back(edge.id);
+  edges_.push_back(std::move(edge));
+  return edges_.back().id;
+}
+
+EdgeId Mdg::add_synthetic_dependence(NodeId src, NodeId dst,
+                                     std::size_t bytes, TransferKind kind) {
+  PARADIGM_CHECK(!finalized_, "add_synthetic_dependence after finalize");
+  PARADIGM_CHECK(src < nodes_.size() && dst < nodes_.size(),
+                 "edge endpoint out of range");
+  PARADIGM_CHECK(src != dst, "self edge on node " << src);
+  Edge edge;
+  edge.id = edges_.size();
+  edge.src = src;
+  edge.dst = dst;
+  if (bytes > 0) {
+    Transfer t;
+    t.kind = kind;
+    t.bytes = bytes;
+    edge.transfers.push_back(std::move(t));
+  }
+  nodes_[src].out_edges.push_back(edge.id);
+  nodes_[dst].in_edges.push_back(edge.id);
+  edges_.push_back(std::move(edge));
+  return edges_.back().id;
+}
+
+void Mdg::set_processor_cap(NodeId id, std::size_t cap) {
+  PARADIGM_CHECK(!finalized_, "set_processor_cap after finalize");
+  PARADIGM_CHECK(id < nodes_.size(), "node id out of range");
+  PARADIGM_CHECK(nodes_[id].kind == NodeKind::kLoop,
+                 "processor caps apply to loop nodes only");
+  nodes_[id].loop.max_processors = cap;
+}
+
+void Mdg::insert_start_stop() {
+  // Collect sources and sinks among the user's loop nodes.
+  std::vector<NodeId> sources;
+  std::vector<NodeId> sinks;
+  for (const auto& node : nodes_) {
+    if (node.in_edges.empty()) sources.push_back(node.id);
+    if (node.out_edges.empty()) sinks.push_back(node.id);
+  }
+  PARADIGM_CHECK(!nodes_.empty(), "finalize of empty MDG");
+  PARADIGM_CHECK(!sources.empty() && !sinks.empty(),
+                 "MDG has no source or no sink (cycle?)");
+
+  const NodeId start = add_node("START", NodeKind::kStart, LoopSpec{});
+  const NodeId stop = add_node("STOP", NodeKind::kStop, LoopSpec{});
+  for (const NodeId s : sources) {
+    if (s != start && s != stop) add_synthetic_dependence(start, s, 0);
+  }
+  for (const NodeId s : sinks) {
+    if (s != start && s != stop) add_synthetic_dependence(s, stop, 0);
+  }
+}
+
+void Mdg::compute_topological_order() {
+  std::vector<std::size_t> indegree(nodes_.size(), 0);
+  for (const auto& node : nodes_) {
+    indegree[node.id] = node.in_edges.size();
+  }
+  // Deterministic Kahn: lowest-id-first among ready nodes.
+  std::priority_queue<NodeId, std::vector<NodeId>, std::greater<>> ready;
+  for (const auto& node : nodes_) {
+    if (indegree[node.id] == 0) ready.push(node.id);
+  }
+  topo_.clear();
+  topo_.reserve(nodes_.size());
+  while (!ready.empty()) {
+    const NodeId id = ready.top();
+    ready.pop();
+    topo_.push_back(id);
+    for (const EdgeId e : nodes_[id].out_edges) {
+      const NodeId dst = edges_[e].dst;
+      if (--indegree[dst] == 0) ready.push(dst);
+    }
+  }
+  PARADIGM_CHECK(topo_.size() == nodes_.size(),
+                 "MDG contains a cycle: only " << topo_.size() << " of "
+                                               << nodes_.size()
+                                               << " nodes ordered");
+}
+
+void Mdg::validate_dataflow() const {
+  // Each named input of a loop must be the output of some direct
+  // predecessor, and each named transfer on an edge must be produced by
+  // the edge's source.
+  std::unordered_map<std::string, NodeId> producer;
+  for (const auto& node : nodes_) {
+    if (node.kind != NodeKind::kLoop) continue;
+    const auto& out = node.loop.output;
+    if (out.empty()) continue;
+    PARADIGM_CHECK(has_array(out),
+                   "node '" << node.name << "' outputs unknown array '"
+                            << out << "'");
+    const auto [it, inserted] = producer.emplace(out, node.id);
+    PARADIGM_CHECK(inserted, "array '" << out << "' produced by both '"
+                                       << nodes_[it->second].name
+                                       << "' and '" << node.name << "'");
+  }
+
+  for (const auto& edge : edges_) {
+    for (const auto& t : edge.transfers) {
+      if (t.array.empty()) continue;  // synthetic transfer
+      const auto it = producer.find(t.array);
+      PARADIGM_CHECK(it != producer.end() && it->second == edge.src,
+                     "edge " << nodes_[edge.src].name << " -> "
+                             << nodes_[edge.dst].name
+                             << " carries array '" << t.array
+                             << "' not produced by its source");
+    }
+  }
+
+  for (const auto& node : nodes_) {
+    if (node.kind != NodeKind::kLoop) continue;
+    for (const auto& in : node.loop.inputs) {
+      bool found = false;
+      for (const EdgeId e : node.in_edges) {
+        for (const auto& t : edges_[e].transfers) {
+          if (t.array == in) {
+            found = true;
+            break;
+          }
+        }
+        if (found) break;
+      }
+      // An input may also be produced by the node itself only for Init
+      // (which has no inputs), so any unmatched input is an error.
+      PARADIGM_CHECK(found, "node '" << node.name << "' input '" << in
+                                     << "' does not arrive on any in-edge");
+    }
+  }
+}
+
+void Mdg::finalize() {
+  PARADIGM_CHECK(!finalized_, "finalize called twice");
+  insert_start_stop();
+  compute_topological_order();
+  validate_dataflow();
+  finalized_ = true;
+}
+
+const Node& Mdg::node(NodeId id) const {
+  PARADIGM_CHECK(id < nodes_.size(), "node id " << id << " out of range");
+  return nodes_[id];
+}
+
+const Edge& Mdg::edge(EdgeId id) const {
+  PARADIGM_CHECK(id < edges_.size(), "edge id " << id << " out of range");
+  return edges_[id];
+}
+
+NodeId Mdg::start() const {
+  PARADIGM_CHECK(finalized_, "start() before finalize()");
+  for (const auto& node : nodes_) {
+    if (node.kind == NodeKind::kStart) return node.id;
+  }
+  PARADIGM_FAIL("no START node");
+}
+
+NodeId Mdg::stop() const {
+  PARADIGM_CHECK(finalized_, "stop() before finalize()");
+  for (const auto& node : nodes_) {
+    if (node.kind == NodeKind::kStop) return node.id;
+  }
+  PARADIGM_FAIL("no STOP node");
+}
+
+std::vector<NodeId> Mdg::predecessors(NodeId id) const {
+  std::vector<NodeId> out;
+  for (const EdgeId e : node(id).in_edges) out.push_back(edges_[e].src);
+  return out;
+}
+
+std::vector<NodeId> Mdg::successors(NodeId id) const {
+  std::vector<NodeId> out;
+  for (const EdgeId e : node(id).out_edges) out.push_back(edges_[e].dst);
+  return out;
+}
+
+const std::vector<NodeId>& Mdg::topological_order() const {
+  PARADIGM_CHECK(finalized_, "topological_order() before finalize()");
+  return topo_;
+}
+
+bool Mdg::has_array(const std::string& name) const {
+  return std::any_of(arrays_.begin(), arrays_.end(),
+                     [&](const ArrayInfo& a) { return a.name == name; });
+}
+
+const ArrayInfo& Mdg::array(const std::string& name) const {
+  for (const auto& a : arrays_) {
+    if (a.name == name) return a;
+  }
+  PARADIGM_FAIL("unknown array '" << name << "'");
+}
+
+NodeId Mdg::producer_of(const std::string& array_name) const {
+  for (const auto& node : nodes_) {
+    if (node.kind == NodeKind::kLoop && node.loop.output == array_name) {
+      return node.id;
+    }
+  }
+  PARADIGM_FAIL("array '" << array_name << "' has no producer");
+}
+
+std::vector<double> Mdg::longest_path(
+    const std::function<double(NodeId)>& node_weight,
+    const std::function<double(EdgeId)>& edge_weight) const {
+  PARADIGM_CHECK(finalized_, "longest_path() before finalize()");
+  std::vector<double> finish(nodes_.size(), 0.0);
+  for (const NodeId id : topo_) {
+    double start_time = 0.0;
+    for (const EdgeId e : nodes_[id].in_edges) {
+      start_time =
+          std::max(start_time, finish[edges_[e].src] + edge_weight(e));
+    }
+    finish[id] = start_time + node_weight(id);
+  }
+  return finish;
+}
+
+}  // namespace paradigm::mdg

@@ -1,0 +1,200 @@
+// Macro Dataflow Graph (MDG) representation — Section 1.1 of the paper.
+//
+// An MDG is a weighted directed acyclic graph whose nodes correspond to
+// loop nests and whose edges are precedence constraints carrying data
+// redistribution requirements. Node/edge *weights* are not stored here:
+// they are functions of the processor allocation and are computed by the
+// cost model (src/cost). This module owns only structure and loop/array
+// metadata.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace paradigm::mdg {
+
+using NodeId = std::size_t;
+using EdgeId = std::size_t;
+
+/// Role of a node in the MDG. START precedes every node and STOP
+/// succeeds every node (Section 2); they are dummy FORK/JOIN markers
+/// with zero cost.
+enum class NodeKind { kStart, kLoop, kStop };
+
+/// The loop-nest body a node stands for. The three concrete matrix ops
+/// are what the paper's two test programs are built from; kSynthetic
+/// nodes carry explicit Amdahl parameters and are used by the Figure-1
+/// example and the random property-test graphs.
+enum class LoopOp { kInit, kAdd, kSub, kMul, kTranspose, kSynthetic };
+
+/// Returns a short human-readable name for a loop op.
+const char* to_string(LoopOp op);
+
+/// Which dimension a loop blocks its output array along (Section 4's
+/// "distributed along only one of its dimensions in a blocked manner").
+/// When a producer's layout differs from its consumer's, the transfer
+/// between them is the 2D (ROW2COL / COL2ROW) pattern of Figure 4.
+enum class Layout { kRow, kCol };
+
+/// A logical 2-D array (matrix) flowing through the MDG.
+struct ArrayInfo {
+  std::string name;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  /// Seed tag for deterministic initialization (kInit kernels).
+  std::uint64_t init_tag = 0;
+
+  std::size_t bytes() const { return rows * cols * sizeof(double); }
+};
+
+/// The loop nest executed by a kLoop node.
+struct LoopSpec {
+  LoopOp op = LoopOp::kSynthetic;
+  /// Input array names; produced by predecessor nodes.
+  std::vector<std::string> inputs;
+  /// Output array name; empty for synthetic nodes.
+  std::string output;
+  /// Block layout of the output array (and of the node's input views).
+  Layout layout = Layout::kRow;
+  /// Explicit Amdahl parameters, used only when op == kSynthetic.
+  double synth_alpha = 0.0;
+  double synth_tau = 0.0;  // seconds on one processor
+  /// Optional upper bound on processors for this loop (0 = machine
+  /// limit). Models per-loop constraints such as memory capacity or a
+  /// maximum exploitable iteration count.
+  std::size_t max_processors = 0;
+};
+
+/// How an array is redistributed across an edge (Figure 4). 1D covers
+/// ROW2ROW / COL2COL (same distribution dimension on both sides); 2D
+/// covers ROW2COL / COL2ROW.
+enum class TransferKind { k1D, k2D };
+
+/// One array carried by an edge.
+struct Transfer {
+  std::string array;   ///< Name in the MDG array table ("" for synthetic).
+  TransferKind kind = TransferKind::k1D;
+  /// Bytes moved; for named arrays this is derived from the array table,
+  /// for synthetic transfers it is given explicitly.
+  std::size_t bytes = 0;
+};
+
+struct Node {
+  NodeId id = 0;
+  std::string name;
+  NodeKind kind = NodeKind::kLoop;
+  LoopSpec loop;
+  std::vector<EdgeId> in_edges;
+  std::vector<EdgeId> out_edges;
+};
+
+struct Edge {
+  EdgeId id = 0;
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::vector<Transfer> transfers;
+
+  std::size_t total_bytes() const {
+    std::size_t total = 0;
+    for (const auto& t : transfers) total += t.bytes;
+    return total;
+  }
+};
+
+/// The Macro Dataflow Graph. Build with the add_* methods, then call
+/// finalize() exactly once; finalize inserts the dummy START/STOP nodes,
+/// validates the structure, and computes the topological order.
+class Mdg {
+ public:
+  // ---- construction -----------------------------------------------------
+
+  /// Registers a logical array; returns its name for chaining.
+  const std::string& add_array(std::string name, std::size_t rows,
+                               std::size_t cols, std::uint64_t init_tag = 0);
+
+  /// Adds a loop node computing `spec`. Inputs must name registered
+  /// arrays (checked at finalize); returns the node id.
+  NodeId add_loop(std::string name, LoopSpec spec);
+
+  /// Adds a synthetic node with explicit Amdahl parameters. The layout
+  /// only matters when the node consumes named arrays (it decides the
+  /// 1D/2D kind of those transfers).
+  NodeId add_synthetic(std::string name, double alpha, double tau_seconds,
+                       Layout layout = Layout::kRow);
+
+  /// Adds a precedence edge src -> dst carrying the named arrays (byte
+  /// counts filled from the array table at finalize). The transfer kind
+  /// of each named array is *derived* at finalize from the producer and
+  /// consumer layouts (same layout -> 1D, different -> 2D), so the cost
+  /// model and the code generator can never disagree.
+  EdgeId add_dependence(NodeId src, NodeId dst,
+                        std::vector<std::string> arrays);
+
+  /// Adds a precedence edge with an explicit synthetic byte count
+  /// (possibly zero for pure control dependence).
+  EdgeId add_synthetic_dependence(NodeId src, NodeId dst, std::size_t bytes,
+                                  TransferKind kind = TransferKind::k1D);
+
+  /// Sets a per-node processor cap (before finalize). 0 clears it.
+  void set_processor_cap(NodeId id, std::size_t cap);
+
+  /// Inserts START/STOP, validates (acyclic, inputs produced by a
+  /// predecessor, arrays known), computes topological order. Throws
+  /// paradigm::Error on an invalid graph.
+  void finalize();
+
+  bool finalized() const { return finalized_; }
+
+  // ---- structure queries ------------------------------------------------
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t edge_count() const { return edges_.size(); }
+  const Node& node(NodeId id) const;
+  const Edge& edge(EdgeId id) const;
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  NodeId start() const;
+  NodeId stop() const;
+
+  /// Predecessor / successor node ids of `id`.
+  std::vector<NodeId> predecessors(NodeId id) const;
+  std::vector<NodeId> successors(NodeId id) const;
+
+  /// Topological order (finalize() must have run). START is first and
+  /// STOP last.
+  const std::vector<NodeId>& topological_order() const;
+
+  /// The array table.
+  const ArrayInfo& array(const std::string& name) const;
+  bool has_array(const std::string& name) const;
+  const std::vector<ArrayInfo>& arrays() const { return arrays_; }
+
+  /// Producer node of an array (the unique loop whose output it is).
+  NodeId producer_of(const std::string& array) const;
+
+  /// Longest path from START to STOP under caller-supplied weights;
+  /// returns per-node finish times y_i (y_START = node_weight(START)).
+  /// This is the critical-path recurrence of Section 2 with arbitrary
+  /// weight functions.
+  std::vector<double> longest_path(
+      const std::function<double(NodeId)>& node_weight,
+      const std::function<double(EdgeId)>& edge_weight) const;
+
+ private:
+  NodeId add_node(std::string name, NodeKind kind, LoopSpec spec);
+  void insert_start_stop();
+  void compute_topological_order();
+  void validate_dataflow() const;
+
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+  std::vector<ArrayInfo> arrays_;
+  std::vector<NodeId> topo_;
+  bool finalized_ = false;
+};
+
+}  // namespace paradigm::mdg

@@ -1,0 +1,91 @@
+#include "mdg/random_mdg.hpp"
+
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace paradigm::mdg {
+
+Mdg random_mdg(Rng& rng, const RandomMdgConfig& config) {
+  PARADIGM_CHECK(config.min_nodes >= 1 &&
+                     config.max_nodes >= config.min_nodes,
+                 "invalid random MDG node range");
+  const auto n_nodes = static_cast<std::size_t>(rng.uniform_int(
+      static_cast<std::int64_t>(config.min_nodes),
+      static_cast<std::int64_t>(config.max_nodes)));
+
+  Mdg graph;
+
+  // Assign nodes to layers.
+  std::vector<std::vector<NodeId>> layers;
+  std::size_t placed = 0;
+  while (placed < n_nodes) {
+    const auto width = static_cast<std::size_t>(rng.uniform_int(
+        1, static_cast<std::int64_t>(
+               std::min(config.max_width, n_nodes - placed))));
+    std::vector<NodeId> layer;
+    for (std::size_t i = 0; i < width; ++i) {
+      const double alpha = rng.uniform(config.alpha_min, config.alpha_max);
+      const double tau = rng.uniform(config.tau_min, config.tau_max);
+      layer.push_back(graph.add_synthetic(
+          "n" + std::to_string(placed + i), alpha, tau));
+    }
+    placed += width;
+    layers.push_back(std::move(layer));
+  }
+
+  const auto add_edge = [&](NodeId src, NodeId dst) {
+    if (rng.chance(config.zero_transfer_fraction)) {
+      graph.add_synthetic_dependence(src, dst, 0);
+      return;
+    }
+    const auto bytes = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<std::int64_t>(config.bytes_min),
+        static_cast<std::int64_t>(config.bytes_max)));
+    const TransferKind kind = rng.chance(config.two_d_fraction)
+                                  ? TransferKind::k2D
+                                  : TransferKind::k1D;
+    graph.add_synthetic_dependence(src, dst, bytes, kind);
+  };
+
+  // Adjacent-layer edges; guarantee each non-first-layer node has at
+  // least one predecessor in the previous layer so the graph is not a
+  // trivially wide independent set.
+  for (std::size_t li = 1; li < layers.size(); ++li) {
+    for (const NodeId dst : layers[li]) {
+      bool any = false;
+      for (const NodeId src : layers[li - 1]) {
+        if (rng.chance(config.edge_density)) {
+          add_edge(src, dst);
+          any = true;
+        }
+      }
+      if (!any) {
+        const auto& prev = layers[li - 1];
+        const auto pick = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(prev.size()) - 1));
+        add_edge(prev[pick], dst);
+      }
+    }
+  }
+
+  // Long-range edges (skipping layers) for less regular shapes.
+  for (std::size_t li = 0; li + 2 < layers.size(); ++li) {
+    for (const NodeId src : layers[li]) {
+      for (std::size_t lj = li + 2; lj < layers.size(); ++lj) {
+        for (const NodeId dst : layers[lj]) {
+          if (rng.chance(config.long_edge_density /
+                         static_cast<double>(lj - li))) {
+            add_edge(src, dst);
+          }
+        }
+      }
+    }
+  }
+
+  graph.finalize();
+  return graph;
+}
+
+}  // namespace paradigm::mdg

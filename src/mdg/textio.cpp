@@ -1,0 +1,283 @@
+#include "mdg/textio.hpp"
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace paradigm::mdg {
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string token;
+  while (is >> token) {
+    if (token[0] == '#') break;
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+/// "key=value" accessor; returns false if the token has no such prefix.
+bool key_value(const std::string& token, const std::string& key,
+               std::string& value) {
+  if (token.rfind(key + "=", 0) != 0) return false;
+  value = token.substr(key.size() + 1);
+  return true;
+}
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& message) {
+  PARADIGM_FAIL("mdg text line " << line_no << ": " << message);
+}
+
+double parse_double(std::size_t line_no, const std::string& s) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    if (pos != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    fail(line_no, "not a number: '" + s + "'");
+  }
+}
+
+std::uint64_t parse_u64(std::size_t line_no, const std::string& s) {
+  try {
+    std::size_t pos = 0;
+    const unsigned long long v = std::stoull(s, &pos);
+    if (pos != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    fail(line_no, "not an unsigned integer: '" + s + "'");
+  }
+}
+
+Layout parse_layout(std::size_t line_no, const std::string& s) {
+  if (s == "row") return Layout::kRow;
+  if (s == "col") return Layout::kCol;
+  fail(line_no, "layout must be row or col, got '" + s + "'");
+}
+
+}  // namespace
+
+Mdg parse_mdg(const std::string& text) {
+  Mdg graph;
+  std::map<std::string, NodeId> loops;
+
+  std::istringstream stream(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    const std::vector<std::string> tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    const std::string& directive = tokens[0];
+
+    if (directive == "array") {
+      if (tokens.size() < 4) fail(line_no, "array needs: name rows cols");
+      std::uint64_t tag = 0;
+      for (std::size_t i = 4; i < tokens.size(); ++i) {
+        std::string value;
+        if (key_value(tokens[i], "tag", value)) {
+          tag = parse_u64(line_no, value);
+        } else {
+          fail(line_no, "unknown array attribute '" + tokens[i] + "'");
+        }
+      }
+      graph.add_array(tokens[1], parse_u64(line_no, tokens[2]),
+                      parse_u64(line_no, tokens[3]), tag);
+      continue;
+    }
+
+    if (directive == "loop") {
+      if (tokens.size() < 3) fail(line_no, "loop needs: name op ...");
+      const std::string& name = tokens[1];
+      if (loops.count(name) != 0) {
+        fail(line_no, "duplicate loop '" + name + "'");
+      }
+      const std::string& op_name = tokens[2];
+
+      if (op_name == "synthetic") {
+        double alpha = -1.0;
+        double tau = -1.0;
+        Layout layout = Layout::kRow;
+        std::size_t cap = 0;
+        for (std::size_t i = 3; i < tokens.size(); ++i) {
+          std::string value;
+          if (key_value(tokens[i], "alpha", value)) {
+            alpha = parse_double(line_no, value);
+          } else if (key_value(tokens[i], "tau", value)) {
+            tau = parse_double(line_no, value);
+          } else if (key_value(tokens[i], "layout", value)) {
+            layout = parse_layout(line_no, value);
+          } else if (key_value(tokens[i], "cap", value)) {
+            cap = parse_u64(line_no, value);
+          } else {
+            fail(line_no, "unknown synthetic attribute '" + tokens[i] + "'");
+          }
+        }
+        if (alpha < 0.0 || tau < 0.0) {
+          fail(line_no, "synthetic loop needs alpha= and tau=");
+        }
+        loops[name] = graph.add_synthetic(name, alpha, tau, layout);
+        if (cap > 0) graph.set_processor_cap(loops[name], cap);
+        continue;
+      }
+
+      LoopSpec spec;
+      if (op_name == "init") {
+        spec.op = LoopOp::kInit;
+      } else if (op_name == "add") {
+        spec.op = LoopOp::kAdd;
+      } else if (op_name == "sub") {
+        spec.op = LoopOp::kSub;
+      } else if (op_name == "mul") {
+        spec.op = LoopOp::kMul;
+      } else if (op_name == "transpose") {
+        spec.op = LoopOp::kTranspose;
+      } else {
+        fail(line_no, "unknown loop op '" + op_name + "'");
+      }
+
+      // inputs... -> output [layout=...]
+      std::size_t i = 3;
+      for (; i < tokens.size() && tokens[i] != "->"; ++i) {
+        spec.inputs.push_back(tokens[i]);
+      }
+      if (i >= tokens.size()) fail(line_no, "loop is missing '-> output'");
+      ++i;  // skip ->
+      if (i >= tokens.size()) fail(line_no, "loop is missing output name");
+      spec.output = tokens[i++];
+      std::size_t cap = 0;
+      for (; i < tokens.size(); ++i) {
+        std::string value;
+        if (key_value(tokens[i], "layout", value)) {
+          spec.layout = parse_layout(line_no, value);
+        } else if (key_value(tokens[i], "cap", value)) {
+          cap = parse_u64(line_no, value);
+        } else {
+          fail(line_no, "unknown loop attribute '" + tokens[i] + "'");
+        }
+      }
+      const std::size_t expected_inputs =
+          (spec.op == LoopOp::kInit)        ? 0
+          : (spec.op == LoopOp::kTranspose) ? 1
+                                            : 2;
+      if (spec.inputs.size() != expected_inputs) {
+        fail(line_no, "op '" + op_name + "' expects " +
+                          std::to_string(expected_inputs) + " inputs, got " +
+                          std::to_string(spec.inputs.size()));
+      }
+      loops[name] = graph.add_loop(name, spec);
+      if (cap > 0) graph.set_processor_cap(loops[name], cap);
+      continue;
+    }
+
+    if (directive == "dep") {
+      if (tokens.size() < 3) fail(line_no, "dep needs: src dst ...");
+      const auto src = loops.find(tokens[1]);
+      if (src == loops.end()) {
+        fail(line_no, "unknown loop '" + tokens[1] + "'");
+      }
+      const auto dst = loops.find(tokens[2]);
+      if (dst == loops.end()) {
+        fail(line_no, "unknown loop '" + tokens[2] + "'");
+      }
+      std::vector<std::string> arrays;
+      std::size_t bytes = 0;
+      bool has_bytes = false;
+      TransferKind kind = TransferKind::k1D;
+      for (std::size_t i = 3; i < tokens.size(); ++i) {
+        std::string value;
+        if (key_value(tokens[i], "bytes", value)) {
+          bytes = parse_u64(line_no, value);
+          has_bytes = true;
+        } else if (key_value(tokens[i], "kind", value)) {
+          if (value == "1d") {
+            kind = TransferKind::k1D;
+          } else if (value == "2d") {
+            kind = TransferKind::k2D;
+          } else {
+            fail(line_no, "kind must be 1d or 2d, got '" + value + "'");
+          }
+        } else {
+          arrays.push_back(tokens[i]);
+        }
+      }
+      if (!arrays.empty() && has_bytes) {
+        fail(line_no, "dep cannot carry both arrays and bytes=");
+      }
+      if (!arrays.empty()) {
+        graph.add_dependence(src->second, dst->second, std::move(arrays));
+      } else {
+        graph.add_synthetic_dependence(src->second, dst->second, bytes,
+                                       kind);
+      }
+      continue;
+    }
+
+    fail(line_no, "unknown directive '" + directive + "'");
+  }
+
+  graph.finalize();
+  return graph;
+}
+
+std::string write_mdg(const Mdg& graph) {
+  PARADIGM_CHECK(graph.finalized(), "write_mdg requires a finalized MDG");
+  std::ostringstream os;
+  os << "# MDG: " << graph.node_count() << " nodes, " << graph.edge_count()
+     << " edges (START/STOP implicit)\n";
+  for (const auto& array : graph.arrays()) {
+    os << "array " << array.name << ' ' << array.rows << ' ' << array.cols;
+    if (array.init_tag != 0) os << " tag=" << array.init_tag;
+    os << '\n';
+  }
+  for (const auto& node : graph.nodes()) {
+    if (node.kind != NodeKind::kLoop) continue;
+    os << "loop " << node.name << ' ';
+    if (node.loop.op == LoopOp::kSynthetic) {
+      os << "synthetic alpha=" << node.loop.synth_alpha
+         << " tau=" << node.loop.synth_tau;
+    } else {
+      os << to_string(node.loop.op);
+      for (const auto& in : node.loop.inputs) os << ' ' << in;
+      os << " -> " << node.loop.output;
+    }
+    if (node.loop.layout == Layout::kCol) os << " layout=col";
+    if (node.loop.max_processors > 0) {
+      os << " cap=" << node.loop.max_processors;
+    }
+    os << '\n';
+  }
+  for (const auto& edge : graph.edges()) {
+    const auto& src = graph.node(edge.src);
+    const auto& dst = graph.node(edge.dst);
+    if (src.kind != NodeKind::kLoop || dst.kind != NodeKind::kLoop) {
+      continue;  // START/STOP edges are implicit
+    }
+    os << "dep " << src.name << ' ' << dst.name;
+    bool synthetic_bytes = false;
+    TransferKind synthetic_kind = TransferKind::k1D;
+    std::size_t bytes = 0;
+    for (const auto& t : edge.transfers) {
+      if (!t.array.empty()) {
+        os << ' ' << t.array;
+      } else {
+        synthetic_bytes = true;
+        bytes += t.bytes;
+        synthetic_kind = t.kind;
+      }
+    }
+    if (synthetic_bytes) {
+      os << " bytes=" << bytes;
+      if (synthetic_kind == TransferKind::k2D) os << " kind=2d";
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace paradigm::mdg

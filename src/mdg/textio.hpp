@@ -1,0 +1,35 @@
+// Textual MDG format: a line-oriented description of arrays, loop
+// nests, and dependences — the boundary where a real front end (the
+// PARADIGM compiler's FORTRAN analysis, Section 1.2 steps 1-2) would
+// hand the graph to allocation and scheduling. Lets users drive the
+// pipeline from a file without writing C++.
+//
+//   # comment, blank lines ignored
+//   array <name> <rows> <cols> [tag=<u64>]
+//   loop <name> init              -> <array> [layout=row|col]
+//   loop <name> add|sub|mul <in1> <in2> -> <array> [layout=row|col]
+//   loop <name> synthetic alpha=<a> tau=<t> [layout=row|col]
+//   dep <src-loop> <dst-loop> [<array>...] [bytes=<n>] [kind=1d|2d]
+//
+// `dep` with array names carries those arrays (their transfer kind is
+// derived from the endpoint layouts); `dep` with bytes= is a synthetic
+// transfer; `dep` with neither is a pure control dependence.
+#pragma once
+
+#include <string>
+
+#include "mdg/mdg.hpp"
+
+namespace paradigm::mdg {
+
+/// Parses the format above and finalizes the resulting graph. Throws
+/// paradigm::Error with a line number on malformed input.
+Mdg parse_mdg(const std::string& text);
+
+/// Writes a finalized graph back into the text format (START/STOP and
+/// their control edges are implicit and omitted). parse_mdg(write_mdg(g))
+/// reproduces an isomorphic graph, and the writer's output is a fixed
+/// point: write(parse(write(g))) == write(g).
+std::string write_mdg(const Mdg& graph);
+
+}  // namespace paradigm::mdg

@@ -1,0 +1,44 @@
+#include "sched/bounds.hpp"
+
+#include "support/error.hpp"
+#include "support/pow2.hpp"
+
+namespace paradigm::sched {
+
+double theorem1_factor(std::uint64_t p, std::uint64_t pb) {
+  PARADIGM_CHECK(p >= 1 && pb >= 1 && pb <= p,
+                 "theorem1_factor requires 1 <= PB <= p (p=" << p << ", PB="
+                                                             << pb << ")");
+  const double pd = static_cast<double>(p);
+  const double pbd = static_cast<double>(pb);
+  return 1.0 + pd / (pd - pbd + 1.0);
+}
+
+double theorem2_factor(std::uint64_t p, std::uint64_t pb) {
+  PARADIGM_CHECK(p >= 1 && pb >= 1 && pb <= p,
+                 "theorem2_factor requires 1 <= PB <= p (p=" << p << ", PB="
+                                                             << pb << ")");
+  const double ratio = static_cast<double>(p) / static_cast<double>(pb);
+  return (9.0 / 4.0) * ratio * ratio;
+}
+
+double theorem3_factor(std::uint64_t p, std::uint64_t pb) {
+  return theorem1_factor(p, pb) * theorem2_factor(p, pb);
+}
+
+std::uint64_t optimal_processor_bound(std::uint64_t p) {
+  PARADIGM_CHECK(is_pow2(p), "machine size must be a power of two, got "
+                                 << p);
+  std::uint64_t best_pb = 1;
+  double best = theorem3_factor(p, 1);
+  for (std::uint64_t pb = 2; pb <= p; pb *= 2) {
+    const double factor = theorem3_factor(p, pb);
+    if (factor < best) {
+      best = factor;
+      best_pb = pb;
+    }
+  }
+  return best_pb;
+}
+
+}  // namespace paradigm::sched

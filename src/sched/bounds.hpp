@@ -1,0 +1,26 @@
+// Optimality-bound arithmetic from Section 5 of the paper.
+//
+//   Theorem 1:  T_psa    <= (1 + p / (p - PB + 1)) * T_opt^PB
+//   Theorem 2:  T_opt^PB <= (3/2)^2 * (p/PB)^2 * Phi
+//   Theorem 3:  T_psa    <= product of the two factors * Phi
+//   Corollary 1: PB is the power of two minimizing the Theorem-3 factor.
+#pragma once
+
+#include <cstdint>
+
+namespace paradigm::sched {
+
+/// Theorem 1 factor: list-scheduling loss given the processor bound PB.
+double theorem1_factor(std::uint64_t p, std::uint64_t pb);
+
+/// Theorem 2 factor: loss from the rounding-off and bounding steps.
+double theorem2_factor(std::uint64_t p, std::uint64_t pb);
+
+/// Theorem 3 factor: end-to-end bound of T_psa relative to Phi.
+double theorem3_factor(std::uint64_t p, std::uint64_t pb);
+
+/// Corollary 1: the power of two PB in [1, p] minimizing
+/// theorem3_factor(p, PB). `p` must be a power of two.
+std::uint64_t optimal_processor_bound(std::uint64_t p);
+
+}  // namespace paradigm::sched

@@ -1,0 +1,258 @@
+#include "sched/psa.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <set>
+
+#include "sched/bounds.hpp"
+#include "support/error.hpp"
+#include "support/log.hpp"
+#include "support/pow2.hpp"
+
+namespace paradigm::sched {
+
+std::vector<std::uint64_t> round_allocation(std::span<const double> alloc,
+                                            std::uint64_t p) {
+  PARADIGM_CHECK(is_pow2(p), "machine size must be a power of two, got "
+                                 << p);
+  std::vector<std::uint64_t> out;
+  out.reserve(alloc.size());
+  for (const double a : alloc) {
+    PARADIGM_CHECK(a >= 1.0 - 1e-9 &&
+                       a <= static_cast<double>(p) * (1.0 + 1e-9),
+                   "allocation entry " << a << " outside [1, " << p << "]");
+    const std::uint64_t rounded =
+        round_to_pow2(std::clamp(a, 1.0, static_cast<double>(p)));
+    out.push_back(std::min(rounded, p));
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> apply_processor_caps(
+    std::vector<std::uint64_t> alloc, const mdg::Mdg& graph) {
+  for (const auto& node : graph.nodes()) {
+    if (node.kind != mdg::NodeKind::kLoop ||
+        node.loop.max_processors == 0) {
+      continue;
+    }
+    // Rounding up must not break the cap: clamp to the largest power of
+    // two inside it.
+    alloc[node.id] = std::min(
+        alloc[node.id],
+        floor_pow2(static_cast<std::uint64_t>(node.loop.max_processors)));
+  }
+  return alloc;
+}
+
+std::vector<std::uint64_t> bound_allocation(std::vector<std::uint64_t> alloc,
+                                            std::uint64_t pb) {
+  PARADIGM_CHECK(is_pow2(pb), "PB must be a power of two, got " << pb);
+  for (auto& a : alloc) a = std::min(a, pb);
+  return alloc;
+}
+
+Schedule list_schedule(const cost::CostModel& model,
+                       std::span<const std::uint64_t> allocation,
+                       std::uint64_t p, ListPriority priority,
+                       GroupPolicy groups) {
+  if (groups == GroupPolicy::kAlignedBlocks) {
+    for (std::size_t i = 0; i < allocation.size(); ++i) {
+      PARADIGM_CHECK(is_pow2(allocation[i]),
+                     "aligned groups require power-of-two allocations; "
+                     "node "
+                         << i << " has " << allocation[i]);
+    }
+  }
+  const mdg::Mdg& graph = model.graph();
+  const std::size_t n = graph.node_count();
+  PARADIGM_CHECK(allocation.size() == n, "allocation size mismatch");
+  for (std::size_t i = 0; i < n; ++i) {
+    PARADIGM_CHECK(allocation[i] >= 1 && allocation[i] <= p,
+                   "allocation for node " << i << " outside [1, " << p
+                                          << "]: " << allocation[i]);
+  }
+
+  // Weights under the final (integer) allocation — Step 3 of the PSA.
+  std::vector<double> alloc_d(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    alloc_d[i] = static_cast<double>(allocation[i]);
+  }
+  std::vector<double> weight(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    weight[i] = (graph.node(i).kind == mdg::NodeKind::kLoop)
+                    ? model.node_weight(i, alloc_d)
+                    : 0.0;
+  }
+  std::vector<double> delay(graph.edge_count());
+  for (const auto& edge : graph.edges()) {
+    delay[edge.id] =
+        model.edge_delay(edge.id, alloc_d[edge.src], alloc_d[edge.dst]);
+  }
+
+  // Bottom levels (longest remaining path to STOP) for the kBottomLevel
+  // policy.
+  std::vector<double> bottom(n, 0.0);
+  if (priority == ListPriority::kBottomLevel) {
+    const auto& topo = graph.topological_order();
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+      const mdg::NodeId id = *it;
+      double best = 0.0;
+      for (const mdg::EdgeId e : graph.node(id).out_edges) {
+        best = std::max(best, delay[e] + bottom[graph.edge(e).dst]);
+      }
+      bottom[id] = weight[id] + best;
+    }
+  }
+
+  // Priority key: lower sorts first.
+  const auto priority_key = [&](mdg::NodeId id, double node_est) {
+    switch (priority) {
+      case ListPriority::kLowestEst: return node_est;
+      case ListPriority::kLargestWeight: return -weight[id];
+      case ListPriority::kBottomLevel: return -bottom[id];
+    }
+    return node_est;
+  };
+
+  Schedule schedule(graph, p);
+  std::vector<double> proc_available(p, 0.0);
+  std::vector<double> finish(n, 0.0);
+  std::vector<std::size_t> unplaced_preds(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    unplaced_preds[i] = graph.node(i).in_edges.size();
+  }
+
+  // Ready queue ordered by (priority key, node id).
+  std::set<std::pair<double, mdg::NodeId>> ready;
+  std::vector<double> est(n, 0.0);
+  ready.emplace(priority_key(graph.start(), 0.0), graph.start());
+
+  std::size_t placed_count = 0;
+  while (!ready.empty()) {
+    const auto [key, id] = *ready.begin();
+    ready.erase(ready.begin());
+    const double node_est = est[id];
+    const auto& node = graph.node(id);
+
+    ScheduledNode sn;
+    sn.node = id;
+    if (node.kind == mdg::NodeKind::kLoop) {
+      const auto k = static_cast<std::size_t>(allocation[id]);
+      double pst = 0.0;
+      if (groups == GroupPolicy::kAlignedBlocks) {
+        // Among the p/k aligned blocks, pick the one whose busiest
+        // member frees earliest (deterministic tie-break by block id).
+        std::size_t best_block = 0;
+        double best_free = std::numeric_limits<double>::infinity();
+        for (std::size_t block = 0; block * k < p; ++block) {
+          double block_free = 0.0;
+          for (std::size_t r = block * k; r < (block + 1) * k; ++r) {
+            block_free = std::max(block_free, proc_available[r]);
+          }
+          if (block_free < best_free) {
+            best_free = block_free;
+            best_block = block;
+          }
+        }
+        pst = best_free;
+        sn.ranks.clear();
+        for (std::size_t r = best_block * k; r < (best_block + 1) * k;
+             ++r) {
+          sn.ranks.push_back(static_cast<std::uint32_t>(r));
+        }
+      } else {
+        // Processor Satisfaction Time: when the k earliest-free
+        // processors are all free. Pick the k ranks with smallest
+        // availability (deterministic tie-break by rank id).
+        std::vector<std::uint32_t> order(p);
+        std::iota(order.begin(), order.end(), 0);
+        std::partial_sort(order.begin(),
+                          order.begin() + static_cast<std::ptrdiff_t>(k),
+                          order.end(),
+                          [&](std::uint32_t a, std::uint32_t b) {
+                            return std::tie(proc_available[a], a) <
+                                   std::tie(proc_available[b], b);
+                          });
+        pst = proc_available[order[k - 1]];
+        sn.ranks.assign(order.begin(),
+                        order.begin() + static_cast<std::ptrdiff_t>(k));
+      }
+      sn.start = std::max(node_est, pst);
+      sn.finish = sn.start + weight[id];
+      for (const std::uint32_t r : sn.ranks) {
+        proc_available[r] = sn.finish;
+      }
+    } else {
+      // START/STOP markers occupy no processors and no time.
+      sn.start = node_est;
+      sn.finish = node_est;
+    }
+    finish[id] = sn.finish;
+    schedule.place(std::move(sn));
+    ++placed_count;
+
+    // Release successors whose precedence constraints are now all met.
+    for (const mdg::EdgeId e : node.out_edges) {
+      const mdg::NodeId dst = graph.edge(e).dst;
+      est[dst] = std::max(est[dst], finish[id] + delay[e]);
+      if (--unplaced_preds[dst] == 0) {
+        ready.emplace(priority_key(dst, est[dst]), dst);
+      }
+    }
+  }
+
+  PARADIGM_CHECK(placed_count == n,
+                 "list scheduler placed " << placed_count << " of " << n
+                                          << " nodes (cycle?)");
+  return schedule;
+}
+
+PsaResult prioritized_schedule(const cost::CostModel& model,
+                               std::span<const double> continuous_alloc,
+                               std::uint64_t p, const PsaConfig& config) {
+  PARADIGM_CHECK(is_pow2(p), "machine size must be a power of two, got "
+                                 << p);
+
+  // Step 1: rounding-off.
+  std::vector<std::uint64_t> alloc;
+  if (config.apply_rounding) {
+    alloc = round_allocation(continuous_alloc, p);
+  } else {
+    alloc.reserve(continuous_alloc.size());
+    for (const double a : continuous_alloc) {
+      const auto v = static_cast<std::uint64_t>(std::llround(a));
+      PARADIGM_CHECK(v >= 1 && v <= p && is_pow2(v),
+                     "with rounding disabled, allocations must already be "
+                     "powers of two in [1, p]; got "
+                         << a);
+      alloc.push_back(v);
+    }
+  }
+
+  alloc = apply_processor_caps(std::move(alloc), model.graph());
+
+  // Step 2: bounding.
+  std::uint64_t pb = p;
+  if (config.apply_bounding) {
+    pb = config.pb_override.value_or(optimal_processor_bound(p));
+    PARADIGM_CHECK(is_pow2(pb) && pb <= p,
+                   "PB must be a power of two <= p, got " << pb);
+    alloc = bound_allocation(std::move(alloc), pb);
+  }
+
+  // Steps 3-7: recompute weights and list-schedule.
+  Schedule schedule = list_schedule(model, alloc, p);
+  PsaResult result{std::move(alloc), pb, std::move(schedule), 0.0};
+  result.finish_time = result.schedule.makespan();
+  log_debug("PSA: p=", p, " PB=", pb, " T_psa=", result.finish_time);
+  return result;
+}
+
+Schedule spmd_schedule(const cost::CostModel& model, std::uint64_t p) {
+  const std::vector<std::uint64_t> alloc(model.graph().node_count(), p);
+  return list_schedule(model, alloc, p);
+}
+
+}  // namespace paradigm::sched

@@ -1,0 +1,96 @@
+// The Prioritized Scheduling Algorithm (PSA) — Section 3 of the paper.
+//
+// Steps: (1) round the continuous allocation to the nearest power of two
+// (arithmetic midpoint, so each p_i changes by at most a factor in
+// [2/3, 4/3]); (2) clamp to the processor bound PB chosen by Corollary 1;
+// (3) recompute node/edge weights; (4) list-schedule by lowest Earliest
+// Start Time, starting each node at max(EST, PST) where PST is the time
+// its processor requirement can be met.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "cost/model.hpp"
+#include "sched/schedule.hpp"
+
+namespace paradigm::sched {
+
+/// Configuration of the PSA pipeline.
+struct PsaConfig {
+  bool apply_rounding = true;  ///< Step 1 (disable only for ablations).
+  bool apply_bounding = true;  ///< Step 2.
+  /// Overrides Corollary 1's PB (must be a power of two <= p).
+  std::optional<std::uint64_t> pb_override;
+};
+
+/// Output of the PSA pipeline.
+struct PsaResult {
+  /// Integer allocation after rounding and bounding (indexed by node).
+  std::vector<std::uint64_t> allocation;
+  std::uint64_t pb = 0;    ///< Processor bound used.
+  Schedule schedule;       ///< Placements for every node.
+  double finish_time = 0;  ///< T_psa == schedule.makespan().
+};
+
+/// Step 1: rounds each entry to the nearest power of two (arithmetic
+/// midpoint) and clamps into [1, p]. p must be a power of two.
+std::vector<std::uint64_t> round_allocation(std::span<const double> alloc,
+                                            std::uint64_t p);
+
+/// Clamps each entry to the largest power of two within its node's
+/// per-loop processor cap (no-op for uncapped nodes). Applied between
+/// the rounding and bounding steps by prioritized_schedule.
+std::vector<std::uint64_t> apply_processor_caps(
+    std::vector<std::uint64_t> alloc, const mdg::Mdg& graph);
+
+/// Step 2: clamps entries above `pb` down to `pb` (pb must be a power of
+/// two, matching the paper's feasibility argument).
+std::vector<std::uint64_t> bound_allocation(std::vector<std::uint64_t> alloc,
+                                            std::uint64_t pb);
+
+/// Runs the full PSA on a continuous allocation (typically the convex
+/// allocator's result). p must be a power of two.
+PsaResult prioritized_schedule(const cost::CostModel& model,
+                               std::span<const double> continuous_alloc,
+                               std::uint64_t p, const PsaConfig& config = {});
+
+/// Which ready node a list scheduler picks next. The PSA uses
+/// kLowestEst (Step 4's prioritization); the other two are classic LSA
+/// variants (cf. Graham-style largest-first and critical-path/HLF
+/// policies) kept for ablation.
+enum class ListPriority {
+  kLowestEst,      ///< Lowest earliest start time (the paper's PSA).
+  kLargestWeight,  ///< Largest node weight T_i first.
+  kBottomLevel,    ///< Longest remaining path to STOP first.
+};
+
+/// How concrete ranks are chosen for a node's group.
+enum class GroupPolicy {
+  /// The k earliest-available ranks, wherever they are (classic list
+  /// scheduling; groups may be scattered).
+  kEarliestAvailable,
+  /// Buddy-style aligned blocks: a power-of-two node of size k runs on
+  /// ranks [m*k, (m+1)*k) — the layout the paper's rounding step is
+  /// designed to enable ("makes the final code generation very easy",
+  /// and on real machines keeps groups topologically compact). The
+  /// block whose last member frees earliest is chosen.
+  kAlignedBlocks,
+};
+
+/// Runs the PSA's list-scheduling core on an already-integral allocation
+/// (no rounding/bounding). Exposed for tests and ablations.
+Schedule list_schedule(const cost::CostModel& model,
+                       std::span<const std::uint64_t> allocation,
+                       std::uint64_t p,
+                       ListPriority priority = ListPriority::kLowestEst,
+                       GroupPolicy groups = GroupPolicy::kEarliestAvailable);
+
+/// The SPMD baseline: every node uses all p processors, which serializes
+/// the program (pure data parallelism). Equivalent to list_schedule with
+/// an all-p allocation.
+Schedule spmd_schedule(const cost::CostModel& model, std::uint64_t p);
+
+}  // namespace paradigm::sched

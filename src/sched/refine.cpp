@@ -1,0 +1,77 @@
+#include "sched/refine.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace paradigm::sched {
+
+RefinedPrediction refine_prediction(const cost::CostModel& model,
+                                    const Schedule& schedule) {
+  const mdg::Mdg& graph = model.graph();
+  PARADIGM_CHECK(&schedule.graph() == &graph,
+                 "schedule bound to a different MDG");
+  const std::size_t n = graph.node_count();
+  const std::vector<double> alloc = schedule.implied_allocation();
+
+  // Which edges keep their 1D portion: only those whose endpoints run
+  // on different rank sets.
+  std::vector<bool> keep_1d(graph.edge_count(), true);
+  RefinedPrediction out;
+  for (const auto& edge : graph.edges()) {
+    if (edge.transfers.empty()) continue;
+    const auto& src = schedule.placement(edge.src);
+    const auto& dst = schedule.placement(edge.dst);
+    if (src.ranks == dst.ranks && !src.ranks.empty()) {
+      keep_1d[edge.id] = false;
+      ++out.elided_edges;
+    }
+  }
+
+  // Refined node weights.
+  std::vector<double> weight(n, 0.0);
+  for (const auto& node : graph.nodes()) {
+    if (node.kind != mdg::NodeKind::kLoop) continue;
+    double w = model.processing_cost(node.id, alloc[node.id]);
+    for (const mdg::EdgeId e : node.in_edges) {
+      const auto& edge = graph.edge(e);
+      w += model.recv_cost_parts(e, alloc[edge.src], alloc[edge.dst],
+                                 keep_1d[e], true);
+    }
+    for (const mdg::EdgeId e : node.out_edges) {
+      const auto& edge = graph.edge(e);
+      w += model.send_cost_parts(e, alloc[edge.src], alloc[edge.dst],
+                                 keep_1d[e], true);
+    }
+    weight[node.id] = w;
+  }
+
+  // Re-time the placements in their original start order, preserving
+  // rank assignments (and therefore per-rank execution order).
+  out.start.assign(n, 0.0);
+  out.finish.assign(n, 0.0);
+  std::vector<double> rank_available(schedule.machine_size(), 0.0);
+  for (const auto& placement : schedule.placements_in_start_order()) {
+    const mdg::NodeId id = placement.node;
+    double est = 0.0;
+    for (const mdg::EdgeId e : graph.node(id).in_edges) {
+      const auto& edge = graph.edge(e);
+      est = std::max(est, out.finish[edge.src] +
+                              model.edge_delay_parts(e, alloc[edge.src],
+                                                     alloc[edge.dst],
+                                                     keep_1d[e], true));
+    }
+    for (const std::uint32_t r : placement.ranks) {
+      est = std::max(est, rank_available[r]);
+    }
+    out.start[id] = est;
+    out.finish[id] = est + weight[id];
+    for (const std::uint32_t r : placement.ranks) {
+      rank_available[r] = out.finish[id];
+    }
+  }
+  out.makespan = out.finish[graph.stop()];
+  return out;
+}
+
+}  // namespace paradigm::sched

@@ -1,0 +1,35 @@
+// Schedule-aware prediction refinement.
+//
+// The Section-2 cost model charges every edge its full redistribution
+// cost, but once a schedule has fixed concrete rank sets the code
+// generator elides 1D transfers whose producer and consumer run on the
+// *identical* rank set (the data is already laid out correctly). This
+// pass recomputes the schedule's timing with those costs removed,
+// keeping rank assignments and per-rank execution order fixed — a
+// tighter prediction of what the generated MPMD program actually does.
+// SPMD schedules collapse to pure kernel time, matching hand-coded SPMD
+// programs.
+#pragma once
+
+#include "cost/model.hpp"
+#include "sched/schedule.hpp"
+
+namespace paradigm::sched {
+
+/// Result of the refinement pass.
+struct RefinedPrediction {
+  double makespan = 0.0;
+  /// Refined start/finish per node id.
+  std::vector<double> start;
+  std::vector<double> finish;
+  /// Edges whose 1D portion was elided.
+  std::size_t elided_edges = 0;
+};
+
+/// Recomputes the schedule's timing with same-rank-set 1D transfers
+/// free. The result is never larger than the original makespan-with-
+/// full-costs recomputed under the same ordering.
+RefinedPrediction refine_prediction(const cost::CostModel& model,
+                                    const Schedule& schedule);
+
+}  // namespace paradigm::sched

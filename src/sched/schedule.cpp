@@ -1,0 +1,198 @@
+#include "sched/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace paradigm::sched {
+
+Schedule::Schedule(const mdg::Mdg& graph, std::uint64_t machine_size)
+    : graph_(&graph),
+      machine_size_(machine_size),
+      by_node_(graph.node_count()),
+      placed_(graph.node_count(), false) {
+  PARADIGM_CHECK(graph.finalized(), "Schedule requires a finalized MDG");
+  PARADIGM_CHECK(machine_size >= 1, "machine size must be >= 1");
+}
+
+void Schedule::place(ScheduledNode placement) {
+  const mdg::NodeId id = placement.node;
+  PARADIGM_CHECK(id < by_node_.size(), "placement node id out of range");
+  PARADIGM_CHECK(!placed_[id],
+                 "node '" << graph_->node(id).name << "' placed twice");
+  PARADIGM_CHECK(placement.finish >= placement.start,
+                 "node '" << graph_->node(id).name
+                          << "' finishes before it starts");
+  auto& ranks = placement.ranks;
+  std::sort(ranks.begin(), ranks.end());
+  PARADIGM_CHECK(std::adjacent_find(ranks.begin(), ranks.end()) ==
+                     ranks.end(),
+                 "duplicate ranks for node '" << graph_->node(id).name
+                                              << "'");
+  for (const std::uint32_t r : ranks) {
+    PARADIGM_CHECK(r < machine_size_,
+                   "rank " << r << " out of range for machine of size "
+                           << machine_size_);
+  }
+  by_node_[id] = std::move(placement);
+  placed_[id] = true;
+}
+
+bool Schedule::is_placed(mdg::NodeId id) const {
+  PARADIGM_CHECK(id < placed_.size(), "node id out of range");
+  return placed_[id];
+}
+
+const ScheduledNode& Schedule::placement(mdg::NodeId id) const {
+  PARADIGM_CHECK(is_placed(id),
+                 "node '" << graph_->node(id).name << "' not placed");
+  return by_node_[id];
+}
+
+std::vector<ScheduledNode> Schedule::placements_in_start_order() const {
+  std::vector<ScheduledNode> out;
+  for (std::size_t i = 0; i < by_node_.size(); ++i) {
+    if (placed_[i]) out.push_back(by_node_[i]);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ScheduledNode& a, const ScheduledNode& b) {
+              return std::tie(a.start, a.node) < std::tie(b.start, b.node);
+            });
+  return out;
+}
+
+double Schedule::makespan() const { return placement(graph_->stop()).finish; }
+
+double Schedule::efficiency() const {
+  const double span = makespan();
+  if (span <= 0.0) return 1.0;
+  double busy = 0.0;
+  for (std::size_t i = 0; i < by_node_.size(); ++i) {
+    if (!placed_[i]) continue;
+    busy += by_node_[i].duration() *
+            static_cast<double>(by_node_[i].ranks.size());
+  }
+  return busy / (span * static_cast<double>(machine_size_));
+}
+
+std::vector<double> Schedule::implied_allocation() const {
+  std::vector<double> alloc(by_node_.size(), 1.0);
+  for (std::size_t i = 0; i < by_node_.size(); ++i) {
+    if (placed_[i] && !by_node_[i].ranks.empty()) {
+      alloc[i] = static_cast<double>(by_node_[i].ranks.size());
+    }
+  }
+  return alloc;
+}
+
+void Schedule::validate(const cost::CostModel& model,
+                        double tolerance) const {
+  PARADIGM_CHECK(&model.graph() == graph_,
+                 "cost model bound to a different MDG");
+  for (std::size_t i = 0; i < by_node_.size(); ++i) {
+    PARADIGM_CHECK(placed_[i],
+                   "node '" << graph_->node(i).name << "' never placed");
+    const auto& node = graph_->node(i);
+    if (node.kind == mdg::NodeKind::kLoop) {
+      PARADIGM_CHECK(!by_node_[i].ranks.empty(),
+                     "loop node '" << node.name << "' has no processors");
+    }
+  }
+
+  const std::vector<double> alloc = implied_allocation();
+
+  // Durations match node weights.
+  for (const auto& node : graph_->nodes()) {
+    const auto& sn = by_node_[node.id];
+    const double expected =
+        (node.kind == mdg::NodeKind::kLoop)
+            ? model.node_weight(node.id, alloc)
+            : 0.0;
+    PARADIGM_CHECK(
+        std::abs(sn.duration() - expected) <=
+            tolerance * (1.0 + std::abs(expected)),
+        "node '" << node.name << "' duration " << sn.duration()
+                 << " != weight " << expected);
+  }
+
+  // Precedence with network delays.
+  for (const auto& edge : graph_->edges()) {
+    const auto& src = by_node_[edge.src];
+    const auto& dst = by_node_[edge.dst];
+    const double delay =
+        model.edge_delay(edge.id, alloc[edge.src], alloc[edge.dst]);
+    PARADIGM_CHECK(dst.start + tolerance * (1.0 + std::abs(dst.start)) >=
+                       src.finish + delay,
+                   "edge " << graph_->node(edge.src).name << " -> "
+                           << graph_->node(edge.dst).name
+                           << " violated: dst starts at " << dst.start
+                           << " but src finishes at " << src.finish
+                           << " + delay " << delay);
+  }
+
+  // No processor oversubscription.
+  std::map<std::uint32_t, std::vector<std::pair<double, double>>> usage;
+  for (std::size_t i = 0; i < by_node_.size(); ++i) {
+    const auto& sn = by_node_[i];
+    if (sn.duration() <= 0.0) continue;
+    for (const std::uint32_t r : sn.ranks) {
+      usage[r].emplace_back(sn.start, sn.finish);
+    }
+  }
+  for (auto& [rank, intervals] : usage) {
+    std::sort(intervals.begin(), intervals.end());
+    for (std::size_t k = 1; k < intervals.size(); ++k) {
+      PARADIGM_CHECK(
+          intervals[k].first >=
+              intervals[k - 1].second -
+                  tolerance * (1.0 + std::abs(intervals[k - 1].second)),
+          "processor " << rank << " oversubscribed: interval starting at "
+                       << intervals[k].first << " overlaps one ending at "
+                       << intervals[k - 1].second);
+    }
+  }
+}
+
+std::string Schedule::gantt(int width) const {
+  PARADIGM_CHECK(width >= 20, "gantt width too small");
+  const double span = makespan();
+  std::ostringstream os;
+  os << "Gantt chart (" << machine_size_ << " processors, makespan "
+     << span << "s)\n";
+  if (span <= 0.0) return os.str();
+
+  static const char* kLabels =
+      "123456789ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz";
+  const std::size_t n_labels = 61;
+
+  std::vector<std::string> rows(
+      machine_size_, std::string(static_cast<std::size_t>(width), '.'));
+  for (std::size_t i = 0; i < by_node_.size(); ++i) {
+    if (!placed_[i] || by_node_[i].duration() <= 0.0) continue;
+    const auto& sn = by_node_[i];
+    const int c0 = static_cast<int>(sn.start / span * (width - 1));
+    int c1 = static_cast<int>(sn.finish / span * (width - 1));
+    c1 = std::max(c1, c0);
+    const char label = kLabels[i % n_labels];
+    for (const std::uint32_t r : sn.ranks) {
+      for (int c = c0; c <= c1 && c < width; ++c) {
+        rows[r][static_cast<std::size_t>(c)] = label;
+      }
+    }
+  }
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    os << "  P" << r << (r < 10 ? " " : "") << " |" << rows[r] << "|\n";
+  }
+  os << "  legend:";
+  for (std::size_t i = 0; i < by_node_.size(); ++i) {
+    if (!placed_[i] || by_node_[i].duration() <= 0.0) continue;
+    os << ' ' << kLabels[i % n_labels] << '=' << graph_->node(i).name;
+  }
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace paradigm::sched

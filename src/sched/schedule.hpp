@@ -1,0 +1,73 @@
+// Schedule representation: per-node start/finish times and concrete
+// processor (rank) assignments, with validation and Gantt rendering.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cost/model.hpp"
+#include "mdg/mdg.hpp"
+
+namespace paradigm::sched {
+
+/// Placement of one MDG node.
+struct ScheduledNode {
+  mdg::NodeId node = 0;
+  double start = 0.0;
+  double finish = 0.0;
+  /// Processor ranks executing the node (sorted, unique). Empty only for
+  /// zero-duration START/STOP markers.
+  std::vector<std::uint32_t> ranks;
+
+  double duration() const { return finish - start; }
+};
+
+/// A complete schedule of an MDG on a p-processor machine.
+class Schedule {
+ public:
+  Schedule(const mdg::Mdg& graph, std::uint64_t machine_size);
+
+  std::uint64_t machine_size() const { return machine_size_; }
+  const mdg::Mdg& graph() const { return *graph_; }
+
+  /// Records the placement of a node (each node exactly once).
+  void place(ScheduledNode placement);
+
+  bool is_placed(mdg::NodeId id) const;
+  const ScheduledNode& placement(mdg::NodeId id) const;
+  std::vector<ScheduledNode> placements_in_start_order() const;
+
+  /// Finish time of the STOP node (== predicted program finish time).
+  double makespan() const;
+
+  /// Sum over nodes of duration * |ranks| divided by (makespan * p):
+  /// the fraction of processor-time the schedule keeps busy.
+  double efficiency() const;
+
+  /// Validates the schedule against the cost model:
+  ///  * every node placed, with 1 <= |ranks| <= p and valid rank ids,
+  ///  * no processor runs two nodes at once,
+  ///  * for every edge, start(dst) >= finish(src) + t^D(src, dst),
+  ///  * every node's duration equals its weight T_i under the implied
+  ///    allocation (within tolerance).
+  /// Throws paradigm::Error with a precise message on the first
+  /// violation.
+  void validate(const cost::CostModel& model, double tolerance = 1e-9) const;
+
+  /// The allocation implied by the placements (|ranks| per node; 1 for
+  /// START/STOP).
+  std::vector<double> implied_allocation() const;
+
+  /// ASCII Gantt chart (one row per processor), reproducing the style of
+  /// the paper's Figure 7.
+  std::string gantt(int width = 72) const;
+
+ private:
+  const mdg::Mdg* graph_;
+  std::uint64_t machine_size_;
+  std::vector<ScheduledNode> by_node_;  // indexed by node id
+  std::vector<bool> placed_;
+};
+
+}  // namespace paradigm::sched

@@ -1,0 +1,41 @@
+#include "sim/analysis.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace paradigm::sim {
+
+std::string BusyBreakdown::summary() const {
+  std::ostringstream os;
+  os.precision(4);
+  os << "finish " << finish << "s on " << ranks
+     << " ranks: compute " << compute << "s, send " << send << "s, recv "
+     << recv << "s, copy " << copy << "s, idle " << idle
+     << "s (compute fraction " << compute_fraction() << ")";
+  return os.str();
+}
+
+BusyBreakdown busy_breakdown(const Simulator& simulator) {
+  BusyBreakdown out;
+  const auto& trace = simulator.trace();
+  out.ranks = static_cast<std::uint32_t>(trace.size());
+  for (const auto& rank_trace : trace) {
+    for (const auto& interval : rank_trace) {
+      const double span = interval.end - interval.start;
+      out.finish = std::max(out.finish, interval.end);
+      if (interval.label.rfind("send ", 0) == 0) {
+        out.send += span;
+      } else if (interval.label.rfind("recv ", 0) == 0) {
+        out.recv += span;
+      } else if (interval.label.rfind("copy ", 0) == 0) {
+        out.copy += span;
+      } else {
+        out.compute += span;
+      }
+    }
+  }
+  out.idle = out.finish * static_cast<double>(out.ranks) - out.busy();
+  return out;
+}
+
+}  // namespace paradigm::sim

@@ -1,0 +1,39 @@
+// Post-run analysis of simulation traces: where did the processor-time
+// go? Used by benches and the CLI to break a run into computation,
+// send, receive, and copy time — the decomposition behind the paper's
+// efficiency discussion.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace paradigm::sim {
+
+/// Processor-time totals by activity class, plus idle time.
+struct BusyBreakdown {
+  double compute = 0.0;  ///< Group-kernel execution.
+  double send = 0.0;
+  double recv = 0.0;
+  double copy = 0.0;
+  double idle = 0.0;  ///< ranks * finish - all busy time.
+  double finish = 0.0;
+  std::uint32_t ranks = 0;
+
+  double busy() const { return compute + send + recv + copy; }
+  /// Fraction of processor-time spent computing.
+  double compute_fraction() const {
+    const double total = busy() + idle;
+    return total > 0.0 ? compute / total : 0.0;
+  }
+
+  std::string summary() const;
+};
+
+/// Classifies every trace interval by its label prefix ("send ",
+/// "recv ", "copy "; everything else is compute).
+BusyBreakdown busy_breakdown(const Simulator& simulator);
+
+}  // namespace paradigm::sim

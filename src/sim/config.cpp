@@ -1,0 +1,84 @@
+#include "sim/config.hpp"
+
+#include "support/error.hpp"
+
+namespace paradigm::sim {
+
+MachineConfig MachineConfig::cm5(std::uint32_t size) {
+  MachineConfig mc;
+  mc.size = size;
+  return mc;
+}
+
+MachineConfig MachineConfig::paragon(std::uint32_t size) {
+  MachineConfig mc;
+  mc.size = size;
+  mc.send_startup = 120e-6;
+  mc.send_per_byte = 15e-9;
+  mc.recv_startup = 80e-6;
+  mc.recv_per_byte = 15e-9;
+  mc.net_latency = 1e-6;
+  mc.flop_time = 400e-9;
+  mc.elem_touch_time = 45e-9;
+  return mc;
+}
+
+MachineConfig MachineConfig::sp1(std::uint32_t size) {
+  MachineConfig mc;
+  mc.size = size;
+  mc.send_startup = 300e-6;
+  mc.send_per_byte = 110e-9;
+  mc.recv_startup = 250e-6;
+  mc.recv_per_byte = 100e-9;
+  mc.net_latency = 2e-6;
+  mc.flop_time = 120e-9;
+  mc.elem_touch_time = 25e-9;
+  return mc;
+}
+
+const KernelTiming& MachineConfig::timing_for(mdg::LoopOp op) const {
+  switch (op) {
+    case mdg::LoopOp::kInit: return init_timing;
+    case mdg::LoopOp::kAdd:
+    case mdg::LoopOp::kSub: return add_timing;
+    case mdg::LoopOp::kMul: return mul_timing;
+    case mdg::LoopOp::kTranspose: return transpose_timing;
+    case mdg::LoopOp::kSynthetic: break;
+  }
+  PARADIGM_FAIL("synthetic kernels have no machine timing");
+}
+
+double MachineConfig::sequential_seconds(mdg::LoopOp op, std::size_t rows,
+                                         std::size_t cols,
+                                         std::size_t inner) const {
+  const auto elems = static_cast<double>(rows) * static_cast<double>(cols);
+  switch (op) {
+    case mdg::LoopOp::kInit:
+      return elems * elem_touch_time;
+    case mdg::LoopOp::kTranspose:
+      // Strided reads make a transpose slower per element than an init.
+      return 2.0 * elems * elem_touch_time;
+    case mdg::LoopOp::kAdd:
+    case mdg::LoopOp::kSub:
+      return elems * flop_time;
+    case mdg::LoopOp::kMul:
+      return 2.0 * elems * static_cast<double>(inner) * flop_time;
+    case mdg::LoopOp::kSynthetic:
+      break;
+  }
+  PARADIGM_FAIL("synthetic kernels have no sequential time");
+}
+
+double MachineConfig::kernel_seconds(mdg::LoopOp op, std::size_t rows,
+                                     std::size_t cols, std::size_t inner,
+                                     std::uint32_t group_size) const {
+  PARADIGM_CHECK(group_size >= 1, "kernel group must be non-empty");
+  const KernelTiming& kt = timing_for(op);
+  const double seq = sequential_seconds(op, rows, cols, inner);
+  const double serial = kt.serial_fraction * seq;
+  const double parallel = (1.0 - kt.serial_fraction) * seq;
+  return serial + parallel / static_cast<double>(group_size) +
+         kt.per_proc_overhead * static_cast<double>(group_size - 1);
+}
+
+}  // namespace paradigm::sim

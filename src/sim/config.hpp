@@ -1,0 +1,95 @@
+// Simulated machine description.
+//
+// The simulator stands in for the paper's 64-node CM-5. Its "true"
+// hardware behaviour is parameterized here; the calibration library
+// must *recover* the message parameters and per-kernel Amdahl curves by
+// measurement, exactly as the paper's training-sets methodology did on
+// real hardware. Defaults are chosen so the recovered values land near
+// the paper's Tables 1 and 2.
+//
+// CM-5 artifact reproduced deliberately: message payloads effectively
+// move when the receive is posted (the receiver pays the per-byte cost),
+// so a measured network-delay-per-byte fits to ~0 (Table 2's t_n = 0).
+#pragma once
+
+#include <cstdint>
+
+#include "mdg/mdg.hpp"
+
+namespace paradigm::sim {
+
+/// Timing behaviour of one loop-kernel class on the simulated machine.
+/// Executing the kernel on a g-processor group costs
+///   serial + parallel / g + per_proc_overhead * (g - 1)
+/// seconds (times noise), where serial/parallel derive from the flop
+/// count and the serial fraction. The per-processor overhead models
+/// group synchronization and is what keeps a pure Amdahl fit from being
+/// exact (the residuals visible in the paper's Figure 3).
+struct KernelTiming {
+  double serial_fraction = 0.05;
+  double per_proc_overhead = 20e-6;  ///< Seconds per extra group member.
+};
+
+/// Full machine configuration.
+struct MachineConfig {
+  std::uint32_t size = 64;  ///< Number of processors.
+
+  // Message passing (seconds). Sender is busy for
+  // send_startup + bytes * send_per_byte; the message becomes available
+  // net_latency later; the receiver is busy for
+  // recv_startup + bytes * recv_per_byte once it is available.
+  double send_startup = 760e-6;
+  double send_per_byte = 480e-9;
+  double recv_startup = 450e-6;
+  double recv_per_byte = 420e-9;
+  double net_latency = 4e-6;  ///< Per-message, not per-byte (CM-5 pull).
+  /// Optional receiver-NIC contention: when > 0, messages destined for
+  /// the same rank serialize through its interface at this many seconds
+  /// per byte (many-to-one traffic arrives later). 0 disables (the
+  /// paper's contention-free assumption).
+  double nic_per_byte = 0.0;
+
+  // Computation.
+  double flop_time = 560e-9;      ///< Seconds per floating point op.
+  double elem_touch_time = 60e-9; ///< Seconds per element for init/copy.
+
+  // Serial fractions and per-processor overheads sized so the fitted
+  // Amdahl parameters land near the paper's Table 1 (add less serial
+  // than multiply): cheap kernels get small absolute overheads so the
+  // overhead term does not dominate their fitted serial fraction.
+  KernelTiming init_timing{0.030, 2e-6};
+  KernelTiming add_timing{0.045, 2e-6};
+  KernelTiming mul_timing{0.120, 25e-6};
+  KernelTiming transpose_timing{0.035, 2e-6};
+
+  // Multiplicative lognormal noise on every charged cost; 0 disables.
+  double noise_sigma = 0.0;
+  std::uint64_t noise_seed = 0x5eed;
+
+  // ---- presets -----------------------------------------------------------
+  // Synthetic approximations of early-90s distributed-memory machines
+  // (the paper's introduction names all three). Absolute values are
+  // plausible, not vendor-measured; what matters is their *relative*
+  // profile: the CM-5 has expensive message startups, the Paragon a
+  // much faster network per byte, the SP-1 faster processors.
+
+  /// CM-5-like machine (the defaults above).
+  static MachineConfig cm5(std::uint32_t size = 64);
+  /// Intel-Paragon-like machine: cheaper startups, fast network.
+  static MachineConfig paragon(std::uint32_t size = 64);
+  /// IBM-SP-1-like machine: fast processors, mid-range network.
+  static MachineConfig sp1(std::uint32_t size = 64);
+
+  const KernelTiming& timing_for(mdg::LoopOp op) const;
+
+  /// Total flops / element touches for a kernel producing an
+  /// rows x cols output (inner = contraction length for multiply).
+  double sequential_seconds(mdg::LoopOp op, std::size_t rows,
+                            std::size_t cols, std::size_t inner) const;
+
+  /// Noise-free cost of running the kernel on a g-processor group.
+  double kernel_seconds(mdg::LoopOp op, std::size_t rows, std::size_t cols,
+                        std::size_t inner, std::uint32_t group_size) const;
+};
+
+}  // namespace paradigm::sim

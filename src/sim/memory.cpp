@@ -1,0 +1,52 @@
+#include "sim/memory.hpp"
+
+#include "support/error.hpp"
+
+namespace paradigm::sim {
+
+void RankMemory::alloc(const std::string& array, const BlockRect& rect) {
+  PARADIGM_CHECK(!rect.rows.empty() && !rect.cols.empty(),
+                 "alloc of empty block for '" << array << "'");
+  LocalBlock block;
+  block.rect = rect;
+  block.data = Matrix(rect.rows.size(), rect.cols.size(), 0.0);
+  blocks_[array] = std::move(block);
+}
+
+bool RankMemory::has(const std::string& array) const {
+  return blocks_.count(array) != 0;
+}
+
+const LocalBlock& RankMemory::block(const std::string& array) const {
+  const auto it = blocks_.find(array);
+  PARADIGM_CHECK(it != blocks_.end(),
+                 "no local block for array '" << array << "'");
+  return it->second;
+}
+
+void RankMemory::write(const std::string& array, const BlockRect& rect,
+                       const Matrix& values) {
+  const auto it = blocks_.find(array);
+  PARADIGM_CHECK(it != blocks_.end(),
+                 "write to unallocated array '" << array << "'");
+  LocalBlock& block = it->second;
+  PARADIGM_CHECK(block.rect.contains(rect),
+                 "write rect outside local block of '" << array << "'");
+  PARADIGM_CHECK(values.rows() == rect.rows.size() &&
+                     values.cols() == rect.cols.size(),
+                 "write payload shape mismatch for '" << array << "'");
+  block.data.set_block(rect.rows.lo - block.rect.rows.lo,
+                       rect.cols.lo - block.rect.cols.lo, values);
+}
+
+Matrix RankMemory::read(const std::string& array,
+                        const BlockRect& rect) const {
+  const LocalBlock& blk = block(array);
+  PARADIGM_CHECK(blk.rect.contains(rect),
+                 "read rect outside local block of '" << array << "'");
+  return blk.data.block(rect.rows.lo - blk.rect.rows.lo,
+                        rect.cols.lo - blk.rect.cols.lo, rect.rows.size(),
+                        rect.cols.size());
+}
+
+}  // namespace paradigm::sim

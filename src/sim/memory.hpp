@@ -1,0 +1,42 @@
+// Per-rank local memories: each rank holds one rectangular block per
+// logical array, addressed in global coordinates.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "sim/program.hpp"
+#include "support/matrix.hpp"
+
+namespace paradigm::sim {
+
+/// One rank's local piece of a logical array.
+struct LocalBlock {
+  BlockRect rect;
+  Matrix data;  ///< rect.rows.size() x rect.cols.size().
+};
+
+/// A rank's local memory: array name -> block.
+class RankMemory {
+ public:
+  /// Allocates (or replaces) the block covering `rect`, zero-filled.
+  void alloc(const std::string& array, const BlockRect& rect);
+
+  bool has(const std::string& array) const;
+  const LocalBlock& block(const std::string& array) const;
+
+  /// Writes `values` (shaped like `rect`) into the local block of
+  /// `array`; rect must be inside the allocated block.
+  void write(const std::string& array, const BlockRect& rect,
+             const Matrix& values);
+
+  /// Reads the rectangle (must be inside the allocated block).
+  Matrix read(const std::string& array, const BlockRect& rect) const;
+
+  const std::map<std::string, LocalBlock>& blocks() const { return blocks_; }
+
+ private:
+  std::map<std::string, LocalBlock> blocks_;
+};
+
+}  // namespace paradigm::sim

@@ -1,0 +1,45 @@
+// Block partitioning of an index range across a processor group — the
+// "distributed evenly ... along only one of its dimensions in a blocked
+// manner" assumption of Section 4.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "support/error.hpp"
+
+namespace paradigm::sim {
+
+/// Half-open index range [lo, hi).
+struct IndexRange {
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+
+  std::size_t size() const { return hi - lo; }
+  bool empty() const { return hi <= lo; }
+  bool contains(const IndexRange& other) const {
+    return other.lo >= lo && other.hi <= hi;
+  }
+  friend bool operator==(const IndexRange&, const IndexRange&) = default;
+};
+
+/// The `part`-th of `parts` block pieces of [0, total). Uses the exact
+/// floor partition (piece i is [i*total/parts, (i+1)*total/parts)), so
+/// pieces differ in size by at most one and nest across power-of-two
+/// group sizes.
+inline IndexRange block_range(std::size_t total, std::size_t parts,
+                              std::size_t part) {
+  PARADIGM_CHECK(parts >= 1, "block_range with zero parts");
+  PARADIGM_CHECK(part < parts,
+                 "block_range part " << part << " out of " << parts);
+  return IndexRange{total * part / parts, total * (part + 1) / parts};
+}
+
+/// Intersection of two ranges (possibly empty).
+inline IndexRange intersect(const IndexRange& a, const IndexRange& b) {
+  const std::size_t lo = a.lo > b.lo ? a.lo : b.lo;
+  const std::size_t hi = a.hi < b.hi ? a.hi : b.hi;
+  return (hi > lo) ? IndexRange{lo, hi} : IndexRange{lo, lo};
+}
+
+}  // namespace paradigm::sim

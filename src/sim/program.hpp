@@ -1,0 +1,113 @@
+// MPMD program representation executed by the simulator.
+//
+// Each processor (rank) runs its own instruction stream — this is the
+// Multiple Program Multiple Data model of Section 1.2 Step 5. Streams
+// are built by the code generator (src/codegen) or directly by the
+// calibration micro-benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "mdg/mdg.hpp"
+#include "sim/partition.hpp"
+
+namespace paradigm::sim {
+
+/// Rectangle of a logical array in *global* coordinates.
+struct BlockRect {
+  IndexRange rows;
+  IndexRange cols;
+
+  std::size_t elements() const { return rows.size() * cols.size(); }
+  std::size_t bytes() const { return elements() * sizeof(double); }
+  bool contains(const BlockRect& other) const {
+    return rows.contains(other.rows) && cols.contains(other.cols);
+  }
+  friend bool operator==(const BlockRect&, const BlockRect&) = default;
+};
+
+/// Allocates the rank's local block of `array` covering `rect`
+/// (zero simulated time).
+struct AllocBlock {
+  std::string array;
+  BlockRect rect;
+};
+
+/// Copies a rectangle between two local blocks (charged at memory touch
+/// speed). Used when a redistribution piece stays on the same rank.
+struct CopyBlock {
+  std::string src_array;
+  std::string dst_array;
+  BlockRect rect;  ///< Global coordinates; must be inside both blocks.
+};
+
+/// Sends a rectangle of a local block to another rank. The sender is
+/// busy for startup + bytes * per_byte.
+struct SendBlock {
+  std::uint32_t dst = 0;
+  std::uint64_t tag = 0;
+  std::string array;
+  BlockRect rect;
+};
+
+/// Receives a rectangle into a local block of `array` (which must
+/// already be allocated and contain the rectangle). Blocks until the
+/// matching send has executed; the receiver is then busy for
+/// startup + bytes * per_byte.
+struct RecvBlock {
+  std::uint32_t src = 0;
+  std::uint64_t tag = 0;
+  std::string array;
+  BlockRect rect;
+};
+
+/// Group-collective execution of one MDG loop nest. All ranks listed in
+/// `group` must reach their GroupKernel for the same `node` before any
+/// proceeds (a barrier); each is then busy for the kernel's group cost.
+/// Each rank computes its own output block; input arrays are assembled
+/// from the group members' blocks (their *time* to move inside the group
+/// is part of the kernel cost model, per the paper's definition of
+/// processing cost as "all computation and communication costs
+/// incurred" by the loop).
+struct GroupKernel {
+  mdg::NodeId node = 0;
+  mdg::LoopOp op = mdg::LoopOp::kSynthetic;
+  std::vector<std::string> inputs;
+  std::string output;
+  /// Block layout of the output across the group.
+  mdg::Layout out_layout = mdg::Layout::kRow;
+  /// Full output array shape and contraction length (multiply only).
+  std::size_t out_rows = 0;
+  std::size_t out_cols = 0;
+  std::size_t inner = 0;
+  /// Deterministic-fill tag (init only).
+  std::uint64_t init_tag = 0;
+  /// Ranks cooperating on this node (sorted).
+  std::vector<std::uint32_t> group;
+  /// For synthetic nodes: explicit per-rank busy seconds (>= 0) instead
+  /// of the machine kernel model.
+  double cost_override = -1.0;
+};
+
+using Instruction =
+    std::variant<AllocBlock, CopyBlock, SendBlock, RecvBlock, GroupKernel>;
+
+/// One instruction stream per rank.
+struct MpmdProgram {
+  std::vector<std::vector<Instruction>> streams;
+
+  explicit MpmdProgram(std::uint32_t ranks = 0) : streams(ranks) {}
+  std::uint32_t ranks() const {
+    return static_cast<std::uint32_t>(streams.size());
+  }
+  std::size_t total_instructions() const {
+    std::size_t n = 0;
+    for (const auto& s : streams) n += s.size();
+    return n;
+  }
+};
+
+}  // namespace paradigm::sim

@@ -1,0 +1,57 @@
+#include "sim/redistribute.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace paradigm::sim {
+
+BlockRect owned_block(std::size_t rows, std::size_t cols, Distribution dist,
+                      std::size_t group_size, std::size_t member_index) {
+  if (dist == Distribution::kRow) {
+    return BlockRect{block_range(rows, group_size, member_index),
+                     IndexRange{0, cols}};
+  }
+  return BlockRect{IndexRange{0, rows},
+                   block_range(cols, group_size, member_index)};
+}
+
+RedistPlan plan_redistribution(std::size_t rows, std::size_t cols,
+                               std::span<const std::uint32_t> src_group,
+                               Distribution src_dist,
+                               std::span<const std::uint32_t> dst_group,
+                               Distribution dst_dist) {
+  PARADIGM_CHECK(!src_group.empty() && !dst_group.empty(),
+                 "redistribution with an empty group");
+  RedistPlan plan;
+  for (std::size_t si = 0; si < src_group.size(); ++si) {
+    const BlockRect src_rect =
+        owned_block(rows, cols, src_dist, src_group.size(), si);
+    if (src_rect.rows.empty() || src_rect.cols.empty()) continue;
+    for (std::size_t di = 0; di < dst_group.size(); ++di) {
+      const BlockRect dst_rect =
+          owned_block(rows, cols, dst_dist, dst_group.size(), di);
+      const BlockRect piece{intersect(src_rect.rows, dst_rect.rows),
+                            intersect(src_rect.cols, dst_rect.cols)};
+      if (piece.rows.empty() || piece.cols.empty()) continue;
+      RedistPiece rp{src_group[si], dst_group[di], piece};
+      if (rp.src_rank == rp.dst_rank) {
+        plan.local_pieces.push_back(rp);
+      } else {
+        plan.messages.push_back(rp);
+      }
+    }
+  }
+  return plan;
+}
+
+bool is_noop_redistribution(std::span<const std::uint32_t> src_group,
+                            Distribution src_dist,
+                            std::span<const std::uint32_t> dst_group,
+                            Distribution dst_dist) {
+  return src_dist == dst_dist &&
+         std::equal(src_group.begin(), src_group.end(), dst_group.begin(),
+                    dst_group.end());
+}
+
+}  // namespace paradigm::sim

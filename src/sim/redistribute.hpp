@@ -1,0 +1,67 @@
+// Block redistribution planning between processor groups — the transfer
+// patterns of the paper's Figure 4.
+//
+// An array distributed block-wise along one dimension over a source
+// group must be re-laid-out block-wise (possibly along the other
+// dimension) over a destination group. The plan enumerates the point-to-
+// point pieces: ROW2ROW / COL2COL ("1D") produce max(p_i, p_j) messages
+// total with nested ranges; ROW2COL / COL2ROW ("2D") produce p_i * p_j
+// messages. This is exactly the message structure the Section-4 cost
+// functions count.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/program.hpp"
+
+namespace paradigm::sim {
+
+/// Distribution dimension of a block layout.
+enum class Distribution { kRow, kCol };
+
+/// One piece of a redistribution: the sub-rectangle moving from one
+/// source rank to one destination rank (global coordinates).
+struct RedistPiece {
+  std::uint32_t src_rank = 0;
+  std::uint32_t dst_rank = 0;
+  BlockRect rect;
+};
+
+/// A complete redistribution plan, split into pieces that must cross
+/// ranks (messages) and pieces that stay local (copies).
+struct RedistPlan {
+  std::vector<RedistPiece> messages;
+  std::vector<RedistPiece> local_pieces;
+
+  std::size_t message_bytes() const {
+    std::size_t b = 0;
+    for (const auto& m : messages) b += m.rect.bytes();
+    return b;
+  }
+};
+
+/// The block a group member owns under a distribution.
+BlockRect owned_block(std::size_t rows, std::size_t cols,
+                      Distribution dist, std::size_t group_size,
+                      std::size_t member_index);
+
+/// Plans the redistribution of a rows x cols array from `src_group`
+/// (distributed along `src_dist`) to `dst_group` (along `dst_dist`).
+/// Ranks may appear in both groups; overlapping ownership becomes a
+/// local piece. Empty pieces are omitted.
+RedistPlan plan_redistribution(std::size_t rows, std::size_t cols,
+                               std::span<const std::uint32_t> src_group,
+                               Distribution src_dist,
+                               std::span<const std::uint32_t> dst_group,
+                               Distribution dst_dist);
+
+/// True iff the redistribution is a no-op (identical groups, identical
+/// distribution): every destination rank already owns its block.
+bool is_noop_redistribution(std::span<const std::uint32_t> src_group,
+                            Distribution src_dist,
+                            std::span<const std::uint32_t> dst_group,
+                            Distribution dst_dist);
+
+}  // namespace paradigm::sim

@@ -1,0 +1,305 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace paradigm::sim {
+
+Simulator::Simulator(MachineConfig config) : config_(config) {
+  PARADIGM_CHECK(config_.size >= 1, "machine must have >= 1 processor");
+}
+
+double Simulator::noise(std::uint32_t rank, std::size_t pc) const {
+  if (config_.noise_sigma <= 0.0) return 1.0;
+  Rng rng(config_.noise_seed);
+  Rng event = rng.fork(static_cast<std::uint64_t>(rank) * 0x100000 + pc);
+  return event.lognormal_unit(config_.noise_sigma);
+}
+
+void Simulator::charge(std::uint32_t rank, double seconds,
+                       const std::string& label) {
+  PARADIGM_CHECK(seconds >= 0.0, "negative charge on rank " << rank);
+  if (seconds > 0.0) {
+    trace_[rank].push_back(
+        BusyInterval{clock_[rank], clock_[rank] + seconds, label});
+    stats_.total_busy += seconds;
+  }
+  clock_[rank] += seconds;
+}
+
+Matrix Simulator::gather_from_group(const std::vector<std::uint32_t>& group,
+                                    const std::string& array,
+                                    const BlockRect& rect) const {
+  Matrix out(rect.rows.size(), rect.cols.size(), 0.0);
+  std::vector<std::vector<bool>> covered(
+      rect.rows.size(), std::vector<bool>(rect.cols.size(), false));
+  for (const std::uint32_t r : group) {
+    const RankMemory& mem = memories_[r];
+    if (!mem.has(array)) continue;
+    const LocalBlock& blk = mem.block(array);
+    const IndexRange rows = intersect(blk.rect.rows, rect.rows);
+    const IndexRange cols = intersect(blk.rect.cols, rect.cols);
+    if (rows.empty() || cols.empty()) continue;
+    const Matrix piece =
+        mem.read(array, BlockRect{rows, cols});
+    out.set_block(rows.lo - rect.rows.lo, cols.lo - rect.cols.lo, piece);
+    for (std::size_t i = rows.lo; i < rows.hi; ++i) {
+      for (std::size_t j = cols.lo; j < cols.hi; ++j) {
+        covered[i - rect.rows.lo][j - rect.cols.lo] = true;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < covered.size(); ++i) {
+    for (std::size_t j = 0; j < covered[i].size(); ++j) {
+      PARADIGM_CHECK(covered[i][j],
+                     "array '" << array << "' element (" << rect.rows.lo + i
+                               << ", " << rect.cols.lo + j
+                               << ") not present in the group");
+    }
+  }
+  return out;
+}
+
+void Simulator::execute_group_kernel(const GroupKernel& kernel) {
+  const auto g = static_cast<std::uint32_t>(kernel.group.size());
+  PARADIGM_CHECK(g >= 1, "empty group kernel");
+
+  // Barrier: all members start at the latest member's clock.
+  double start = 0.0;
+  for (const std::uint32_t r : kernel.group) {
+    start = std::max(start, clock_[r]);
+  }
+  const double busy =
+      (kernel.cost_override >= 0.0)
+          ? kernel.cost_override
+          : config_.kernel_seconds(kernel.op, kernel.out_rows,
+                                   kernel.out_cols, kernel.inner, g);
+
+  // Compute each member's output block from real data.
+  for (std::uint32_t idx = 0; idx < g; ++idx) {
+    const std::uint32_t rank = kernel.group[idx];
+    if (!kernel.output.empty()) {
+      // The member's owned rectangle under the node's output layout.
+      const BlockRect my_rect =
+          (kernel.out_layout == mdg::Layout::kRow)
+              ? BlockRect{block_range(kernel.out_rows, g, idx),
+                          IndexRange{0, kernel.out_cols}}
+              : BlockRect{IndexRange{0, kernel.out_rows},
+                          block_range(kernel.out_cols, g, idx)};
+      if (!my_rect.rows.empty() && !my_rect.cols.empty()) {
+        Matrix result;
+        switch (kernel.op) {
+          case mdg::LoopOp::kInit:
+            result = Matrix::deterministic(
+                my_rect.rows.size(), my_rect.cols.size(), kernel.init_tag,
+                my_rect.rows.lo, my_rect.cols.lo);
+            break;
+          case mdg::LoopOp::kAdd:
+          case mdg::LoopOp::kSub: {
+            PARADIGM_CHECK(kernel.inputs.size() == 2,
+                           "add/sub kernel needs 2 inputs");
+            Matrix a = gather_from_group(kernel.group, kernel.inputs[0],
+                                         my_rect);
+            const Matrix b = gather_from_group(kernel.group,
+                                               kernel.inputs[1], my_rect);
+            if (kernel.op == mdg::LoopOp::kAdd) {
+              a += b;
+            } else {
+              a -= b;
+            }
+            result = std::move(a);
+            break;
+          }
+          case mdg::LoopOp::kTranspose: {
+            PARADIGM_CHECK(kernel.inputs.size() == 1,
+                           "transpose kernel needs 1 input");
+            // out[r][c] = in[c][r]: gather the transposed rectangle of
+            // the input and flip it locally.
+            const Matrix in = gather_from_group(
+                kernel.group, kernel.inputs[0],
+                BlockRect{my_rect.cols, my_rect.rows});
+            result = in.transposed();
+            break;
+          }
+          case mdg::LoopOp::kMul: {
+            PARADIGM_CHECK(kernel.inputs.size() == 2,
+                           "mul kernel needs 2 inputs");
+            // C = A * B: a row-block of C needs the matching row-block
+            // of A and all of B; a col-block of C needs all of A and
+            // the matching col-block of B.
+            const Matrix a = gather_from_group(
+                kernel.group, kernel.inputs[0],
+                BlockRect{my_rect.rows, IndexRange{0, kernel.inner}});
+            const Matrix b = gather_from_group(
+                kernel.group, kernel.inputs[1],
+                BlockRect{IndexRange{0, kernel.inner}, my_rect.cols});
+            result = a * b;
+            break;
+          }
+          case mdg::LoopOp::kSynthetic:
+            PARADIGM_FAIL("synthetic kernel with an output array");
+        }
+        memories_[rank].alloc(kernel.output, my_rect);
+        memories_[rank].write(kernel.output, my_rect, result);
+      }
+    }
+
+    const double jitter = noise(rank, pc_[rank]);
+    const double t0 = clock_[rank];
+    clock_[rank] = start;  // barrier wait (idle, not busy)
+    (void)t0;
+    charge(rank, busy * jitter,
+           kernel.output.empty() ? "synthetic" : kernel.output);
+    ++pc_[rank];
+    ++stats_.instructions;
+  }
+}
+
+bool Simulator::try_execute(const MpmdProgram& program, std::uint32_t rank) {
+  const auto& stream = program.streams[rank];
+  if (pc_[rank] >= stream.size()) return false;
+  const Instruction& instr = stream[pc_[rank]];
+
+  if (const auto* alloc = std::get_if<AllocBlock>(&instr)) {
+    memories_[rank].alloc(alloc->array, alloc->rect);
+    ++pc_[rank];
+    ++stats_.instructions;
+    return true;
+  }
+
+  if (const auto* copy = std::get_if<CopyBlock>(&instr)) {
+    const Matrix data = memories_[rank].read(copy->src_array, copy->rect);
+    memories_[rank].write(copy->dst_array, copy->rect, data);
+    charge(rank,
+           static_cast<double>(copy->rect.elements()) *
+               config_.elem_touch_time * noise(rank, pc_[rank]),
+           "copy " + copy->dst_array);
+    ++pc_[rank];
+    ++stats_.instructions;
+    return true;
+  }
+
+  if (const auto* send = std::get_if<SendBlock>(&instr)) {
+    PARADIGM_CHECK(send->dst < config_.size,
+                   "send to rank " << send->dst << " outside machine");
+    Message msg;
+    msg.array = send->array;
+    msg.rect = send->rect;
+    msg.payload = memories_[rank].read(send->array, send->rect);
+    const double bytes = static_cast<double>(send->rect.bytes());
+    charge(rank,
+           (config_.send_startup + bytes * config_.send_per_byte) *
+               noise(rank, pc_[rank]),
+           "send " + send->array);
+    double available = clock_[rank] + config_.net_latency;
+    if (config_.nic_per_byte > 0.0) {
+      // Receiver-NIC contention: deliveries to one rank serialize.
+      available = std::max(available, nic_free_[send->dst]) +
+                  bytes * config_.nic_per_byte;
+      nic_free_[send->dst] = available;
+    }
+    msg.available = available;
+    mailboxes_[{rank, send->dst, send->tag}].push_back(std::move(msg));
+    ++pc_[rank];
+    ++stats_.instructions;
+    return true;
+  }
+
+  if (const auto* recv = std::get_if<RecvBlock>(&instr)) {
+    const auto key = MailboxKey{recv->src, rank, recv->tag};
+    const auto it = mailboxes_.find(key);
+    if (it == mailboxes_.end() || it->second.empty()) return false;
+    Message msg = std::move(it->second.front());
+    it->second.erase(it->second.begin());
+    // The sender names its own (canonical) block while the receiver
+    // names its local view, so only the rectangle must agree.
+    PARADIGM_CHECK(msg.rect == recv->rect,
+                   "message rectangle mismatch on tag "
+                       << recv->tag << " (src array '" << msg.array
+                       << "', dst array '" << recv->array << "')");
+    clock_[rank] = std::max(clock_[rank], msg.available);
+    const double bytes = static_cast<double>(recv->rect.bytes());
+    charge(rank,
+           (config_.recv_startup + bytes * config_.recv_per_byte) *
+               noise(rank, pc_[rank]),
+           "recv " + recv->array);
+    memories_[rank].write(recv->array, recv->rect, msg.payload);
+    ++stats_.messages;
+    stats_.message_bytes += recv->rect.bytes();
+    ++pc_[rank];
+    ++stats_.instructions;
+    return true;
+  }
+
+  const auto& kernel = std::get<GroupKernel>(instr);
+  // Barrier readiness: every group member's next instruction must be a
+  // GroupKernel for the same node.
+  for (const std::uint32_t r : kernel.group) {
+    PARADIGM_CHECK(r < config_.size,
+                   "group rank " << r << " outside machine");
+    const auto& peer_stream = program.streams[r];
+    if (pc_[r] >= peer_stream.size()) return false;
+    const auto* peer = std::get_if<GroupKernel>(&peer_stream[pc_[r]]);
+    if (peer == nullptr || peer->node != kernel.node) return false;
+  }
+  execute_group_kernel(kernel);
+  return true;
+}
+
+SimResult Simulator::run(const MpmdProgram& program) {
+  PARADIGM_CHECK(program.ranks() <= config_.size,
+                 "program uses " << program.ranks()
+                                 << " ranks on a machine of size "
+                                 << config_.size);
+  const std::uint32_t ranks = config_.size;
+  memories_.assign(ranks, RankMemory{});
+  clock_.assign(ranks, 0.0);
+  pc_.assign(ranks, 0);
+  mailboxes_.clear();
+  nic_free_.assign(ranks, 0.0);
+  trace_.assign(ranks, {});
+  stats_ = SimResult{};
+
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (std::uint32_t r = 0; r < program.ranks(); ++r) {
+      while (try_execute(program, r)) progressed = true;
+    }
+  }
+
+  // All streams must have drained; otherwise report the deadlock.
+  std::ostringstream stuck;
+  bool deadlocked = false;
+  for (std::uint32_t r = 0; r < program.ranks(); ++r) {
+    if (pc_[r] < program.streams[r].size()) {
+      deadlocked = true;
+      stuck << " rank " << r << " at instruction " << pc_[r] << "/"
+            << program.streams[r].size();
+    }
+  }
+  PARADIGM_CHECK(!deadlocked, "simulation deadlock:" << stuck.str());
+
+  stats_.rank_clock = clock_;
+  stats_.finish_time = *std::max_element(clock_.begin(), clock_.end());
+  return stats_;
+}
+
+const RankMemory& Simulator::memory(std::uint32_t rank) const {
+  PARADIGM_CHECK(rank < memories_.size(), "rank out of range");
+  return memories_[rank];
+}
+
+Matrix Simulator::assemble_array(const std::string& array, std::size_t rows,
+                                 std::size_t cols) const {
+  std::vector<std::uint32_t> all;
+  for (std::uint32_t r = 0; r < memories_.size(); ++r) all.push_back(r);
+  return gather_from_group(all, array,
+                           BlockRect{IndexRange{0, rows},
+                                     IndexRange{0, cols}});
+}
+
+}  // namespace paradigm::sim

@@ -1,0 +1,57 @@
+#include "sim/trace_gantt.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace paradigm::sim {
+
+std::string trace_gantt(const Simulator& simulator, int width) {
+  PARADIGM_CHECK(width >= 20, "trace gantt width too small");
+  const auto& trace = simulator.trace();
+
+  double span = 0.0;
+  for (const auto& rank_trace : trace) {
+    for (const auto& interval : rank_trace) {
+      span = std::max(span, interval.end);
+    }
+  }
+  std::ostringstream os;
+  os << "Execution trace (" << trace.size() << " ranks, span " << span
+     << "s)\n";
+  if (span <= 0.0) return os.str();
+
+  static const char* kGlyphs =
+      "123456789ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz";
+  const std::size_t n_glyphs = 61;
+  std::map<std::string, char> legend;
+  const auto glyph_for = [&](const std::string& label) {
+    const auto it = legend.find(label);
+    if (it != legend.end()) return it->second;
+    const char g = kGlyphs[legend.size() % n_glyphs];
+    legend.emplace(label, g);
+    return g;
+  };
+
+  for (std::size_t r = 0; r < trace.size(); ++r) {
+    std::string row(static_cast<std::size_t>(width), '.');
+    for (const auto& interval : trace[r]) {
+      const int c0 = static_cast<int>(interval.start / span * (width - 1));
+      const int c1 = std::max(
+          c0, static_cast<int>(interval.end / span * (width - 1)));
+      const char g = glyph_for(interval.label);
+      for (int c = c0; c <= c1 && c < width; ++c) {
+        row[static_cast<std::size_t>(c)] = g;
+      }
+    }
+    os << "  P" << r << (r < 10 ? " " : "") << " |" << row << "|\n";
+  }
+  os << "  legend:";
+  for (const auto& [label, g] : legend) os << ' ' << g << '=' << label;
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace paradigm::sim

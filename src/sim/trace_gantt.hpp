@@ -1,0 +1,17 @@
+// Rendering of a simulation's busy-interval trace as an ASCII Gantt
+// chart — the "actual execution" counterpart of the schedule's
+// predicted Gantt (paper Figure 7).
+#pragma once
+
+#include <string>
+
+#include "sim/simulator.hpp"
+
+namespace paradigm::sim {
+
+/// Renders one row per rank; busy intervals are drawn with a glyph per
+/// distinct label (kernel output / send / recv), idle time as dots. A
+/// legend maps glyphs back to labels.
+std::string trace_gantt(const Simulator& simulator, int width = 72);
+
+}  // namespace paradigm::sim

@@ -1,0 +1,297 @@
+#include "solver/allocator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/log.hpp"
+
+namespace paradigm::solver {
+namespace {
+
+/// n-ary log-sum-exp max: value and softmax weights. mu = 0 gives the
+/// exact max with a one-hot (sub)gradient.
+double lse_max(std::span<const double> values, double mu,
+               std::span<double> weights) {
+  PARADIGM_CHECK(!values.empty(), "lse_max of empty set");
+  PARADIGM_CHECK(weights.size() == values.size(), "lse_max weights size");
+  std::size_t argmax = 0;
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    if (values[i] > values[argmax]) argmax = i;
+  }
+  if (mu <= 0.0) {
+    std::fill(weights.begin(), weights.end(), 0.0);
+    weights[argmax] = 1.0;
+    return values[argmax];
+  }
+  const double hi = values[argmax];
+  double denom = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    weights[i] = std::exp((values[i] - hi) / mu);
+    denom += weights[i];
+  }
+  for (double& w : weights) w /= denom;
+  return hi + mu * std::log(denom);
+}
+
+std::vector<double> exp_all(std::span<const double> x) {
+  std::vector<double> p(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) p[i] = std::exp(x[i]);
+  return p;
+}
+
+AllocationResult finish_result(const cost::CostModel& model, double p,
+                               std::vector<double> allocation) {
+  AllocationResult result;
+  result.allocation = std::move(allocation);
+  result.average_time = model.average_finish_time(result.allocation, p);
+  result.critical_path = model.critical_path_time(result.allocation);
+  result.phi = std::max(result.average_time, result.critical_path);
+  return result;
+}
+
+}  // namespace
+
+std::string AllocationResult::summary() const {
+  std::ostringstream os;
+  os << "phi=" << phi << "s (A_p=" << average_time
+     << "s, C_p=" << critical_path << "s), " << iterations << " iters, "
+     << continuation_rounds << " rounds, "
+     << (converged ? "converged" : "NOT converged");
+  return os.str();
+}
+
+double ConvexAllocator::smoothed_objective(const cost::CostModel& model,
+                                           double p,
+                                           std::span<const double> x,
+                                           double mu_x, double mu_t,
+                                           std::span<double> grad) const {
+  const mdg::Mdg& graph = model.graph();
+  const std::size_t n = graph.node_count();
+  PARADIGM_CHECK(x.size() == n, "x size mismatch");
+  PARADIGM_CHECK(grad.empty() || grad.size() == n, "grad size mismatch");
+  std::fill(grad.begin(), grad.end(), 0.0);
+
+  // Forward pass: per-node weights/areas and per-edge delays as Diffs,
+  // then the finish-time recurrence with LSE maxes.
+  std::vector<cost::Diff> node_weight(n);
+  std::vector<cost::Diff> node_area(n);
+  std::vector<cost::Diff> edge_delay(graph.edge_count());
+  for (const auto& node : graph.nodes()) {
+    node_weight[node.id] = model.smooth_node_weight(node.id, x, mu_x);
+    node_area[node.id] = model.smooth_node_area(node.id, x, mu_x);
+  }
+  for (const auto& edge : graph.edges()) {
+    edge_delay[edge.id] = model.smooth_edge_delay(edge.id, x, mu_x);
+  }
+
+  std::vector<double> y(n, 0.0);
+  // Softmax weight of each in-edge within its destination's LSE.
+  std::vector<double> in_edge_weight(graph.edge_count(), 0.0);
+  for (const mdg::NodeId id : graph.topological_order()) {
+    const auto& node = graph.node(id);
+    double start_time = 0.0;
+    if (!node.in_edges.empty()) {
+      std::vector<double> candidates;
+      candidates.reserve(node.in_edges.size());
+      for (const mdg::EdgeId e : node.in_edges) {
+        candidates.push_back(y[graph.edge(e).src] + edge_delay[e].value);
+      }
+      std::vector<double> weights(candidates.size());
+      start_time = lse_max(candidates, mu_t, weights);
+      for (std::size_t k = 0; k < node.in_edges.size(); ++k) {
+        in_edge_weight[node.in_edges[k]] = weights[k];
+      }
+    }
+    y[id] = start_time + node_weight[id].value;
+  }
+
+  double avg = 0.0;
+  for (std::size_t i = 0; i < n; ++i) avg += node_area[i].value;
+  avg /= p;
+
+  const double outer[2] = {avg, y[graph.stop()]};
+  double outer_w[2];
+  const double objective = lse_max(outer, mu_t, outer_w);
+
+  if (grad.empty()) return objective;
+
+  // Reverse pass. u[i] = d(objective)/d(y_i).
+  std::vector<double> u(n, 0.0);
+  u[graph.stop()] = outer_w[1];
+  const auto& topo = graph.topological_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const mdg::NodeId id = *it;
+    if (u[id] == 0.0) continue;
+    node_weight[id].grad.scatter(u[id], grad);
+    for (const mdg::EdgeId e : graph.node(id).in_edges) {
+      const double w = u[id] * in_edge_weight[e];
+      if (w == 0.0) continue;
+      u[graph.edge(e).src] += w;
+      edge_delay[e].grad.scatter(w, grad);
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    node_area[i].grad.scatter(outer_w[0] / p, grad);
+  }
+  return objective;
+}
+
+AllocationResult ConvexAllocator::allocate(const cost::CostModel& model,
+                                           double p) const {
+  PARADIGM_CHECK(p >= 1.0, "machine size must be >= 1, got " << p);
+  const mdg::Mdg& graph = model.graph();
+  const std::size_t n = graph.node_count();
+  const double x_max = std::log(p);
+
+  // Per-variable upper bounds: the machine size, tightened by any
+  // per-node processor caps.
+  std::vector<double> x_hi(n, x_max);
+  for (const auto& node : graph.nodes()) {
+    if (node.kind == mdg::NodeKind::kLoop &&
+        node.loop.max_processors > 0) {
+      x_hi[node.id] = std::min(
+          x_max, std::log(static_cast<double>(node.loop.max_processors)));
+      PARADIGM_CHECK(x_hi[node.id] >= 0.0,
+                     "processor cap for node '" << node.name
+                                                << "' must be >= 1");
+    }
+  }
+
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = 0.5 * x_hi[i];
+  std::vector<double> grad(n, 0.0);
+  std::vector<double> x_next(n, 0.0);
+
+  double mu_x = config_.mu_x_initial;
+  double mu_t_rel = config_.mu_t_rel_initial;
+  std::size_t total_iterations = 0;
+  bool last_round_converged = false;
+  double last_pg_norm = 0.0;
+
+  const auto clamp_box = [&](std::size_t i, double v) {
+    return std::clamp(v, 0.0, x_hi[i]);
+  };
+
+  for (std::size_t round = 0; round < config_.continuation_rounds; ++round) {
+    const double scale = model.phi(exp_all(x), p);
+    const double mu_t = mu_t_rel * std::max(scale, 1e-12);
+
+    double f = smoothed_objective(model, p, x, mu_x, mu_t, grad);
+    double step = config_.initial_step;
+    last_round_converged = false;
+
+    for (std::size_t iter = 0; iter < config_.max_inner_iterations; ++iter) {
+      ++total_iterations;
+
+      // Normalize the step by the objective scale so descent behaves
+      // uniformly whether Phi is milliseconds or minutes.
+      const double gscale = std::max(f, 1e-12);
+
+      // Projected-gradient stationarity measure: the unit-step projected
+      // move, relative to the box width.
+      double pg_norm = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        pg_norm = std::max(
+            pg_norm,
+            std::abs(x[i] - clamp_box(i, x[i] - grad[i] / gscale)));
+      }
+      last_pg_norm = pg_norm;
+      if (pg_norm <= config_.gradient_tolerance * (1.0 + x_max)) {
+        last_round_converged = true;
+        break;
+      }
+
+      // Backtracking line search on the projected step.
+      bool accepted = false;
+      for (std::size_t bt = 0; bt < config_.max_backtracks; ++bt) {
+        double decrease_bound = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          x_next[i] = clamp_box(i, x[i] - step * grad[i] / gscale);
+          decrease_bound += grad[i] * (x[i] - x_next[i]);
+        }
+        const double f_next =
+            smoothed_objective(model, p, x_next, mu_x, mu_t, {});
+        if (f_next <= f - config_.armijo_c * decrease_bound) {
+          x.swap(x_next);
+          f = smoothed_objective(model, p, x, mu_x, mu_t, grad);
+          step = std::min(step * 2.0, 16.0);
+          accepted = true;
+          break;
+        }
+        step *= config_.backtrack_factor;
+      }
+      if (!accepted) {
+        // Line search stalled: we are at numerical stationarity for this
+        // temperature.
+        last_round_converged = true;
+        break;
+      }
+    }
+
+    mu_x *= config_.continuation_factor;
+    mu_t_rel *= config_.continuation_factor;
+  }
+
+  AllocationResult result = finish_result(model, p, exp_all(x));
+  for (double& a : result.allocation) a = std::clamp(a, 1.0, p);
+  result.iterations = total_iterations;
+  result.continuation_rounds = config_.continuation_rounds;
+  result.converged = last_round_converged;
+  result.final_gradient_norm = last_pg_norm;
+  log_debug("convex allocation: ", result.summary());
+  return result;
+}
+
+AllocationResult naive_allocation(const cost::CostModel& model, double p) {
+  PARADIGM_CHECK(p >= 1.0, "machine size must be >= 1");
+  AllocationResult result = finish_result(
+      model, p, std::vector<double>(model.graph().node_count(), p));
+  result.converged = true;
+  return result;
+}
+
+AllocationResult serial_node_allocation(const cost::CostModel& model,
+                                        double p) {
+  PARADIGM_CHECK(p >= 1.0, "machine size must be >= 1");
+  AllocationResult result = finish_result(
+      model, p, std::vector<double>(model.graph().node_count(), 1.0));
+  result.converged = true;
+  return result;
+}
+
+AllocationResult greedy_doubling_allocation(const cost::CostModel& model,
+                                            double p) {
+  PARADIGM_CHECK(p >= 1.0, "machine size must be >= 1");
+  const std::size_t n = model.graph().node_count();
+  std::vector<double> alloc(n, 1.0);
+  double best_phi = model.phi(alloc, p);
+  std::size_t iterations = 0;
+
+  while (true) {
+    ++iterations;
+    std::size_t best_node = n;
+    double best_candidate = best_phi;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (alloc[i] * 2.0 > p) continue;
+      alloc[i] *= 2.0;
+      const double candidate = model.phi(alloc, p);
+      alloc[i] /= 2.0;
+      if (candidate < best_candidate - 1e-15) {
+        best_candidate = candidate;
+        best_node = i;
+      }
+    }
+    if (best_node == n) break;
+    alloc[best_node] *= 2.0;
+    best_phi = best_candidate;
+  }
+
+  AllocationResult result = finish_result(model, p, std::move(alloc));
+  result.iterations = iterations;
+  result.converged = true;
+  return result;
+}
+
+}  // namespace paradigm::solver

@@ -1,0 +1,184 @@
+#include "solver/lbfgs.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "support/error.hpp"
+#include "support/log.hpp"
+
+namespace paradigm::solver {
+namespace {
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) total += a[i] * b[i];
+  return total;
+}
+
+std::vector<double> exp_all(const std::vector<double>& x) {
+  std::vector<double> p(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) p[i] = std::exp(x[i]);
+  return p;
+}
+
+/// L-BFGS two-loop recursion: d = -H g from the stored pairs.
+std::vector<double> lbfgs_direction(
+    const std::deque<std::pair<std::vector<double>, std::vector<double>>>&
+        pairs,
+    const std::vector<double>& grad) {
+  std::vector<double> q = grad;
+  std::vector<double> alphas(pairs.size(), 0.0);
+  for (std::size_t k = pairs.size(); k-- > 0;) {
+    const auto& [s, y] = pairs[k];
+    const double rho = 1.0 / dot(y, s);
+    alphas[k] = rho * dot(s, q);
+    for (std::size_t i = 0; i < q.size(); ++i) q[i] -= alphas[k] * y[i];
+  }
+  // Initial scaling: gamma = s'y / y'y of the most recent pair.
+  double gamma = 1.0;
+  if (!pairs.empty()) {
+    const auto& [s, y] = pairs.back();
+    gamma = dot(s, y) / dot(y, y);
+  }
+  for (double& qi : q) qi *= gamma;
+  for (std::size_t k = 0; k < pairs.size(); ++k) {
+    const auto& [s, y] = pairs[k];
+    const double rho = 1.0 / dot(y, s);
+    const double beta = rho * dot(y, q);
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      q[i] += s[i] * (alphas[k] - beta);
+    }
+  }
+  for (double& qi : q) qi = -qi;
+  return q;
+}
+
+}  // namespace
+
+AllocationResult LbfgsAllocator::allocate(const cost::CostModel& model,
+                                          double p) const {
+  PARADIGM_CHECK(p >= 1.0, "machine size must be >= 1, got " << p);
+  const mdg::Mdg& graph = model.graph();
+  const std::size_t n = graph.node_count();
+  const double x_max = std::log(p);
+  const ConvexAllocator evaluator;  // reuses its smoothed objective
+
+  std::vector<double> x_hi(n, x_max);
+  for (const auto& node : graph.nodes()) {
+    if (node.kind == mdg::NodeKind::kLoop &&
+        node.loop.max_processors > 0) {
+      x_hi[node.id] = std::min(
+          x_max, std::log(static_cast<double>(node.loop.max_processors)));
+    }
+  }
+
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = 0.5 * x_hi[i];
+  std::vector<double> grad(n, 0.0);
+  std::vector<double> grad_next(n, 0.0);
+  std::vector<double> x_next(n, 0.0);
+
+  double mu_x = config_.mu_x_initial;
+  double mu_t_rel = config_.mu_t_rel_initial;
+  std::size_t total_iterations = 0;
+  bool converged = false;
+  double last_pg = 0.0;
+
+  const auto clamp_box = [&](std::size_t i, double v) {
+    return std::clamp(v, 0.0, x_hi[i]);
+  };
+
+  for (std::size_t round = 0; round < config_.continuation_rounds;
+       ++round) {
+    const double scale = model.phi(exp_all(x), p);
+    const double mu_t = mu_t_rel * std::max(scale, 1e-12);
+    std::deque<std::pair<std::vector<double>, std::vector<double>>> pairs;
+
+    double f = evaluator.smoothed_objective(model, p, x, mu_x, mu_t, grad);
+    converged = false;
+
+    for (std::size_t iter = 0; iter < config_.max_inner_iterations;
+         ++iter) {
+      ++total_iterations;
+
+      const double gscale = std::max(f, 1e-12);
+      double pg = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        pg = std::max(
+            pg, std::abs(x[i] - clamp_box(i, x[i] - grad[i] / gscale)));
+      }
+      last_pg = pg;
+      if (pg <= config_.gradient_tolerance * (1.0 + x_max)) {
+        converged = true;
+        break;
+      }
+
+      std::vector<double> direction = lbfgs_direction(pairs, grad);
+      // Safeguard: fall back to steepest descent if the direction is
+      // not a descent direction (can happen right after continuation
+      // changes the objective under the stored pairs).
+      if (dot(direction, grad) > -1e-18) {
+        pairs.clear();
+        direction = grad;
+        for (double& d : direction) d = -d / gscale;
+      }
+
+      bool accepted = false;
+      double step = 1.0;
+      for (std::size_t bt = 0; bt < config_.max_backtracks; ++bt) {
+        double decrease_bound = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          x_next[i] = clamp_box(i, x[i] + step * direction[i]);
+          decrease_bound += grad[i] * (x[i] - x_next[i]);
+        }
+        const double f_next =
+            evaluator.smoothed_objective(model, p, x_next, mu_x, mu_t, {});
+        if (f_next <= f - config_.armijo_c * decrease_bound &&
+            decrease_bound >= 0.0) {
+          const double f_new = evaluator.smoothed_objective(
+              model, p, x_next, mu_x, mu_t, grad_next);
+          // Curvature update.
+          std::vector<double> s(n);
+          std::vector<double> yv(n);
+          for (std::size_t i = 0; i < n; ++i) {
+            s[i] = x_next[i] - x[i];
+            yv[i] = grad_next[i] - grad[i];
+          }
+          if (dot(s, yv) > 1e-18) {
+            pairs.emplace_back(std::move(s), std::move(yv));
+            if (pairs.size() > config_.history) pairs.pop_front();
+          }
+          x.swap(x_next);
+          grad.swap(grad_next);
+          f = f_new;
+          accepted = true;
+          break;
+        }
+        step *= config_.backtrack_factor;
+      }
+      if (!accepted) {
+        converged = true;  // numerically stationary at this temperature
+        break;
+      }
+    }
+
+    mu_x *= config_.continuation_factor;
+    mu_t_rel *= config_.continuation_factor;
+  }
+
+  AllocationResult result;
+  result.allocation = exp_all(x);
+  for (double& a : result.allocation) a = std::clamp(a, 1.0, p);
+  result.average_time = model.average_finish_time(result.allocation, p);
+  result.critical_path = model.critical_path_time(result.allocation);
+  result.phi = std::max(result.average_time, result.critical_path);
+  result.iterations = total_iterations;
+  result.continuation_rounds = config_.continuation_rounds;
+  result.converged = converged;
+  result.final_gradient_norm = last_pg;
+  log_debug("lbfgs allocation: ", result.summary());
+  return result;
+}
+
+}  // namespace paradigm::solver

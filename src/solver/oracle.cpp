@@ -1,0 +1,84 @@
+#include "solver/oracle.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace paradigm::solver {
+
+std::vector<double> oracle_grid(double p, const OracleConfig& config) {
+  PARADIGM_CHECK(p >= 1.0, "machine size must be >= 1");
+  std::vector<double> grid;
+  if (config.grid_points == 0) {
+    for (double v = 1.0; v <= p * (1.0 + 1e-12); v *= 2.0) grid.push_back(v);
+    if (grid.back() < p) grid.push_back(p);
+  } else {
+    PARADIGM_CHECK(config.grid_points >= 2, "need at least 2 grid points");
+    const double step =
+        std::log(p) / static_cast<double>(config.grid_points - 1);
+    for (std::size_t i = 0; i < config.grid_points; ++i) {
+      grid.push_back(std::exp(step * static_cast<double>(i)));
+    }
+  }
+  return grid;
+}
+
+AllocationResult oracle_allocation(const cost::CostModel& model, double p,
+                                   const OracleConfig& config) {
+  const mdg::Mdg& graph = model.graph();
+  const std::size_t n = graph.node_count();
+  const std::vector<double> grid = oracle_grid(p, config);
+
+  // Only loop nodes are free; START/STOP pinned to 1.
+  std::vector<std::size_t> free_nodes;
+  for (const auto& node : graph.nodes()) {
+    if (node.kind == mdg::NodeKind::kLoop) free_nodes.push_back(node.id);
+  }
+
+  double combos = 1.0;
+  for (std::size_t i = 0; i < free_nodes.size(); ++i) {
+    combos *= static_cast<double>(grid.size());
+    PARADIGM_CHECK(combos <= static_cast<double>(config.max_combinations),
+                   "oracle search space too large: " << free_nodes.size()
+                                                     << " nodes x "
+                                                     << grid.size()
+                                                     << " grid points");
+  }
+
+  std::vector<std::size_t> index(free_nodes.size(), 0);
+  std::vector<double> alloc(n, 1.0);
+  std::vector<double> best_alloc = alloc;
+  double best_phi = std::numeric_limits<double>::infinity();
+
+  while (true) {
+    for (std::size_t k = 0; k < free_nodes.size(); ++k) {
+      alloc[free_nodes[k]] = grid[index[k]];
+    }
+    const double phi = model.phi(alloc, p);
+    if (phi < best_phi) {
+      best_phi = phi;
+      best_alloc = alloc;
+    }
+
+    // Odometer increment.
+    std::size_t pos = 0;
+    while (pos < index.size()) {
+      if (++index[pos] < grid.size()) break;
+      index[pos] = 0;
+      ++pos;
+    }
+    if (pos == index.size()) break;
+  }
+
+  AllocationResult result;
+  result.allocation = std::move(best_alloc);
+  result.phi = best_phi;
+  result.average_time = model.average_finish_time(result.allocation, p);
+  result.critical_path = model.critical_path_time(result.allocation);
+  result.converged = true;
+  return result;
+}
+
+}  // namespace paradigm::solver

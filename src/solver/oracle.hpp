@@ -1,0 +1,34 @@
+// Exhaustive-search oracle for the allocation problem.
+//
+// Enumerates every allocation on a geometric grid and returns the best
+// exact Phi. Exponential in the number of loop nodes — usable only on
+// small MDGs — but it gives the tests a ground-truth optimum to compare
+// the convex allocator against.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cost/model.hpp"
+#include "solver/allocator.hpp"
+
+namespace paradigm::solver {
+
+struct OracleConfig {
+  /// Grid points per variable on a geometric scale from 1 to p
+  /// (inclusive). 0 means "powers of two only".
+  std::size_t grid_points = 0;
+  /// Hard cap on enumerated combinations (throws if exceeded).
+  std::size_t max_combinations = 50'000'000;
+};
+
+/// Grid values used by the oracle for a p-processor machine.
+std::vector<double> oracle_grid(double p, const OracleConfig& config = {});
+
+/// Exhaustive search over the grid; returns the best allocation found.
+/// START/STOP nodes are pinned to 1 processor (their costs are zero, so
+/// this loses nothing and shrinks the search space).
+AllocationResult oracle_allocation(const cost::CostModel& model, double p,
+                                   const OracleConfig& config = {});
+
+}  // namespace paradigm::solver

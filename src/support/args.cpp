@@ -1,0 +1,128 @@
+#include "support/args.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace paradigm {
+
+ArgParser::ArgParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void ArgParser::add_option(const std::string& name,
+                           std::string default_value, std::string help) {
+  PARADIGM_CHECK(options_.count(name) == 0,
+                 "duplicate option --" << name);
+  Option opt;
+  opt.value = default_value;
+  opt.default_value = std::move(default_value);
+  opt.help = std::move(help);
+  options_[name] = std::move(opt);
+  declaration_order_.push_back(name);
+}
+
+void ArgParser::add_flag(const std::string& name, std::string help) {
+  PARADIGM_CHECK(options_.count(name) == 0,
+                 "duplicate option --" << name);
+  Option opt;
+  opt.is_flag = true;
+  opt.help = std::move(help);
+  options_[name] = std::move(opt);
+  declaration_order_.push_back(name);
+}
+
+void ArgParser::parse(const std::vector<std::string>& args) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    const std::size_t eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    const auto it = options_.find(name);
+    PARADIGM_CHECK(it != options_.end(),
+                   "unknown option --" << name << "\n" << usage());
+    Option& opt = it->second;
+    if (opt.is_flag) {
+      PARADIGM_CHECK(!has_value, "flag --" << name << " takes no value");
+      opt.flag_set = true;
+      continue;
+    }
+    if (!has_value) {
+      PARADIGM_CHECK(i + 1 < args.size(),
+                     "option --" << name << " needs a value");
+      value = args[++i];
+    }
+    opt.value = std::move(value);
+  }
+}
+
+const std::string& ArgParser::get(const std::string& name) const {
+  const auto it = options_.find(name);
+  PARADIGM_CHECK(it != options_.end() && !it->second.is_flag,
+                 "undeclared option --" << name);
+  return it->second.value;
+}
+
+bool ArgParser::get_flag(const std::string& name) const {
+  const auto it = options_.find(name);
+  PARADIGM_CHECK(it != options_.end() && it->second.is_flag,
+                 "undeclared flag --" << name);
+  return it->second.flag_set;
+}
+
+std::int64_t ArgParser::get_int(const std::string& name) const {
+  const std::string& s = get(name);
+  try {
+    std::size_t pos = 0;
+    const std::int64_t v = std::stoll(s, &pos);
+    PARADIGM_CHECK(pos == s.size(), "trailing characters");
+    return v;
+  } catch (const Error&) {
+    throw;
+  } catch (const std::exception&) {
+    PARADIGM_FAIL("option --" << name << " is not an integer: '" << s
+                              << "'");
+  }
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  const std::string& s = get(name);
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    PARADIGM_CHECK(pos == s.size(), "trailing characters");
+    return v;
+  } catch (const Error&) {
+    throw;
+  } catch (const std::exception&) {
+    PARADIGM_FAIL("option --" << name << " is not a number: '" << s << "'");
+  }
+}
+
+std::string ArgParser::usage() const {
+  std::ostringstream os;
+  os << description_ << "\n\noptions:\n";
+  for (const auto& name : declaration_order_) {
+    const Option& opt = options_.at(name);
+    os << "  --" << name;
+    if (!opt.is_flag) {
+      os << "=<value>";
+      if (!opt.default_value.empty()) {
+        os << " (default: " << opt.default_value << ")";
+      }
+    }
+    os << "\n      " << opt.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace paradigm

@@ -1,0 +1,53 @@
+// Minimal command-line flag parser for the tools/ binaries.
+//
+// Supports `--key=value`, `--key value`, boolean `--flag`, and
+// positional arguments; generates usage text from the declarations.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace paradigm {
+
+class ArgParser {
+ public:
+  explicit ArgParser(std::string program_description);
+
+  /// Declares a string option with a default.
+  void add_option(const std::string& name, std::string default_value,
+                  std::string help);
+
+  /// Declares a boolean flag (default false).
+  void add_flag(const std::string& name, std::string help);
+
+  /// Parses argv-style input (excluding argv[0]). Throws
+  /// paradigm::Error on unknown options or missing values.
+  void parse(const std::vector<std::string>& args);
+
+  /// Accessors (after parse). Throw on undeclared names.
+  const std::string& get(const std::string& name) const;
+  bool get_flag(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Usage text assembled from the declarations.
+  std::string usage() const;
+
+ private:
+  struct Option {
+    std::string value;
+    std::string default_value;
+    std::string help;
+    bool is_flag = false;
+    bool flag_set = false;
+  };
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> declaration_order_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace paradigm

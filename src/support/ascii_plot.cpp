@@ -1,0 +1,98 @@
+#include "support/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace paradigm {
+namespace {
+
+constexpr char kGlyphs[] = {'*', 'o', '+', 'x', '#', '@', '%', '&'};
+
+}  // namespace
+
+AsciiPlot::AsciiPlot(std::string title, std::string x_label,
+                     std::string y_label, int width, int height)
+    : title_(std::move(title)),
+      x_label_(std::move(x_label)),
+      y_label_(std::move(y_label)),
+      width_(width),
+      height_(height) {
+  PARADIGM_CHECK(width_ >= 16 && height_ >= 4, "plot too small");
+}
+
+void AsciiPlot::add_series(PlotSeries series) {
+  PARADIGM_CHECK(series.xs.size() == series.ys.size(),
+                 "series '" << series.name << "' has mismatched x/y sizes");
+  series_.push_back(std::move(series));
+}
+
+std::string AsciiPlot::render() const {
+  double xmin = std::numeric_limits<double>::infinity();
+  double xmax = -xmin;
+  double ymin = std::numeric_limits<double>::infinity();
+  double ymax = -ymin;
+  const auto xmap = [&](double x) { return x_log2_ ? std::log2(x) : x; };
+
+  for (const auto& s : series_) {
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      xmin = std::min(xmin, xmap(s.xs[i]));
+      xmax = std::max(xmax, xmap(s.xs[i]));
+      ymin = std::min(ymin, s.ys[i]);
+      ymax = std::max(ymax, s.ys[i]);
+    }
+  }
+  if (!std::isfinite(xmin)) {
+    return title_ + "\n(no data)\n";
+  }
+  if (y_from_zero_) ymin = std::min(0.0, ymin);
+  if (xmax - xmin < 1e-12) xmax = xmin + 1.0;
+  if (ymax - ymin < 1e-12) ymax = ymin + 1.0;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height_),
+                                std::string(static_cast<std::size_t>(width_),
+                                            ' '));
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    const char glyph = kGlyphs[si % sizeof(kGlyphs)];
+    const auto& s = series_[si];
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      const double fx = (xmap(s.xs[i]) - xmin) / (xmax - xmin);
+      const double fy = (s.ys[i] - ymin) / (ymax - ymin);
+      const int cx = std::clamp(static_cast<int>(std::lround(
+                                    fx * (width_ - 1))),
+                                0, width_ - 1);
+      const int cy = std::clamp(static_cast<int>(std::lround(
+                                    fy * (height_ - 1))),
+                                0, height_ - 1);
+      grid[static_cast<std::size_t>(height_ - 1 - cy)]
+          [static_cast<std::size_t>(cx)] = glyph;
+    }
+  }
+
+  std::ostringstream os;
+  os << title_ << "\n";
+  os << "  y: " << y_label_ << "   x: " << x_label_
+     << (x_log2_ ? " (log2 scale)" : "") << "\n";
+  os << std::setprecision(4);
+  for (int r = 0; r < height_; ++r) {
+    const double yv = ymax - (ymax - ymin) * r / (height_ - 1);
+    os << std::setw(10) << yv << " |"
+       << grid[static_cast<std::size_t>(r)] << "\n";
+  }
+  os << std::string(11, ' ') << '+' << std::string(
+      static_cast<std::size_t>(width_), '-') << "\n";
+  os << std::string(12, ' ') << (x_log2_ ? std::exp2(xmin) : xmin)
+     << std::string(static_cast<std::size_t>(width_) - 16, ' ')
+     << (x_log2_ ? std::exp2(xmax) : xmax) << "\n";
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    os << "  " << kGlyphs[si % sizeof(kGlyphs)] << " = "
+       << series_[si].name << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace paradigm

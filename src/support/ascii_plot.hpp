@@ -1,0 +1,46 @@
+// ASCII line/series plotting for reproducing the paper's figures in
+// terminal output (actual-vs-predicted cost curves, speedup curves).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace paradigm {
+
+/// One named series of (x, y) points.
+struct PlotSeries {
+  std::string name;
+  std::vector<double> xs;
+  std::vector<double> ys;
+};
+
+/// Renders a fixed-size character plot of several series with a shared
+/// axis range. Each series gets a distinct glyph; points are plotted (not
+/// interpolated), which is enough to read off crossings and trends.
+class AsciiPlot {
+ public:
+  AsciiPlot(std::string title, std::string x_label, std::string y_label,
+            int width = 72, int height = 20);
+
+  void add_series(PlotSeries series);
+
+  /// Force y-axis to start at zero (default: tight fit).
+  void set_y_from_zero(bool from_zero) { y_from_zero_ = from_zero; }
+
+  /// Use log2 scaling on the x axis (natural for processor counts).
+  void set_x_log2(bool log2) { x_log2_ = log2; }
+
+  std::string render() const;
+
+ private:
+  std::string title_;
+  std::string x_label_;
+  std::string y_label_;
+  int width_;
+  int height_;
+  bool y_from_zero_ = false;
+  bool x_log2_ = false;
+  std::vector<PlotSeries> series_;
+};
+
+}  // namespace paradigm

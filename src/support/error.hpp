@@ -1,0 +1,53 @@
+// Error handling primitives shared by every paradigm library.
+//
+// The libraries throw `paradigm::Error` for precondition violations and
+// unrecoverable internal states; the CHECK macros build a message with
+// source location so failures in deep pipeline stages are attributable.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace paradigm {
+
+/// Exception type thrown by all paradigm libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_error(const char* file, int line,
+                                     const char* cond,
+                                     const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed";
+  if (cond != nullptr && cond[0] != '\0') os << " (" << cond << ')';
+  if (!msg.empty()) os << ": " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace paradigm
+
+/// Throws paradigm::Error with `msg` if `cond` is false.
+#define PARADIGM_CHECK(cond, msg)                                          \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::std::ostringstream paradigm_check_os_;                             \
+      paradigm_check_os_ << msg; /* NOLINT */                              \
+      ::paradigm::detail::throw_error(__FILE__, __LINE__, #cond,           \
+                                      paradigm_check_os_.str());           \
+    }                                                                      \
+  } while (false)
+
+/// Unconditional failure with a message.
+#define PARADIGM_FAIL(msg)                                                 \
+  do {                                                                     \
+    ::std::ostringstream paradigm_check_os_;                               \
+    paradigm_check_os_ << msg; /* NOLINT */                                \
+    ::paradigm::detail::throw_error(__FILE__, __LINE__, "",                \
+                                    paradigm_check_os_.str());             \
+  } while (false)

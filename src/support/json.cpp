@@ -1,0 +1,154 @@
+#include "support/json.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace paradigm {
+
+Json Json::boolean(bool b) {
+  Json j;
+  j.value_ = b;
+  return j;
+}
+
+Json Json::number(double v) {
+  Json j;
+  PARADIGM_CHECK(std::isfinite(v), "JSON numbers must be finite, got " << v);
+  j.value_ = v;
+  return j;
+}
+
+Json Json::integer(std::int64_t v) {
+  Json j;
+  j.value_ = v;
+  return j;
+}
+
+Json Json::string(std::string s) {
+  Json j;
+  j.value_ = std::move(s);
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.value_ = Array{};
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.value_ = Object{};
+  return j;
+}
+
+bool Json::is_array() const {
+  return std::holds_alternative<Array>(value_);
+}
+
+bool Json::is_object() const {
+  return std::holds_alternative<Object>(value_);
+}
+
+Json& Json::push_back(Json v) {
+  PARADIGM_CHECK(is_array(), "push_back on a non-array JSON value");
+  std::get<Array>(value_).push_back(std::move(v));
+  return *this;
+}
+
+Json& Json::set(const std::string& key, Json v) {
+  PARADIGM_CHECK(is_object(), "set on a non-object JSON value");
+  std::get<Object>(value_)[key] = std::move(v);
+  return *this;
+}
+
+namespace {
+
+void escape_into(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void newline_indent(std::string& out, int indent, int depth) {
+  if (indent < 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent * depth), ' ');
+}
+
+}  // namespace
+
+void Json::write(std::string& out, int indent, int depth) const {
+  if (std::holds_alternative<std::nullptr_t>(value_)) {
+    out += "null";
+  } else if (const auto* b = std::get_if<bool>(&value_)) {
+    out += *b ? "true" : "false";
+  } else if (const auto* d = std::get_if<double>(&value_)) {
+    std::ostringstream os;
+    os.precision(17);
+    os << *d;
+    out += os.str();
+  } else if (const auto* i = std::get_if<std::int64_t>(&value_)) {
+    out += std::to_string(*i);
+  } else if (const auto* s = std::get_if<std::string>(&value_)) {
+    escape_into(out, *s);
+  } else if (const auto* arr = std::get_if<Array>(&value_)) {
+    if (arr->empty()) {
+      out += "[]";
+      return;
+    }
+    out += '[';
+    bool first = true;
+    for (const auto& item : *arr) {
+      if (!first) out += ',';
+      first = false;
+      newline_indent(out, indent, depth + 1);
+      item.write(out, indent, depth + 1);
+    }
+    newline_indent(out, indent, depth);
+    out += ']';
+  } else if (const auto* obj = std::get_if<Object>(&value_)) {
+    if (obj->empty()) {
+      out += "{}";
+      return;
+    }
+    out += '{';
+    bool first = true;
+    for (const auto& [key, item] : *obj) {
+      if (!first) out += ',';
+      first = false;
+      newline_indent(out, indent, depth + 1);
+      escape_into(out, key);
+      out += indent < 0 ? ":" : ": ";
+      item.write(out, indent, depth + 1);
+    }
+    newline_indent(out, indent, depth);
+    out += '}';
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  write(out, indent, 0);
+  return out;
+}
+
+}  // namespace paradigm

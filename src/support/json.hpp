@@ -1,0 +1,57 @@
+// Minimal JSON writer (no external dependencies).
+//
+// Used to export MDGs, allocations, schedules, and pipeline reports in
+// a machine-readable form for downstream tooling (plotting the paper's
+// figures, diffing runs). Writer-only by design: the library never needs
+// to parse JSON.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace paradigm {
+
+/// A JSON value: null, bool, number, string, array, or object.
+/// Construct with the static factories, compose with `push_back` /
+/// `set`, and serialize with `dump`.
+class Json {
+ public:
+  Json() : value_(nullptr) {}
+
+  static Json null() { return Json(); }
+  static Json boolean(bool b);
+  static Json number(double v);
+  static Json integer(std::int64_t v);
+  static Json string(std::string s);
+  static Json array();
+  static Json object();
+
+  /// Appends to an array (value must be an array).
+  Json& push_back(Json v);
+
+  /// Sets a key on an object (value must be an object).
+  Json& set(const std::string& key, Json v);
+
+  bool is_array() const;
+  bool is_object() const;
+
+  /// Serializes with deterministic key order (std::map) and proper
+  /// escaping. `indent` < 0 means compact output.
+  std::string dump(int indent = 2) const;
+
+ private:
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;
+  std::variant<std::nullptr_t, bool, double, std::int64_t, std::string,
+               Array, Object>
+      value_;
+
+  void write(std::string& out, int indent, int depth) const;
+};
+
+}  // namespace paradigm

@@ -1,0 +1,55 @@
+// Minimal leveled logger. Quiet by default so test and bench output stays
+// readable; raise the level with `set_log_level` or the PARADIGM_LOG env var
+// (trace|debug|info|warn|error).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace paradigm {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Sets the global minimum level that will be emitted.
+void set_log_level(LogLevel level);
+
+/// Current global minimum level.
+LogLevel log_level();
+
+/// Emits one line to stderr if `level` passes the global threshold.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+
+template <typename... Args>
+void log_fmt(LogLevel level, const Args&... args) {
+  if (level < log_level()) return;
+  std::ostringstream os;
+  (os << ... << args);
+  log_line(level, os.str());
+}
+
+}  // namespace detail
+
+template <typename... Args>
+void log_trace(const Args&... args) {
+  detail::log_fmt(LogLevel::kTrace, args...);
+}
+template <typename... Args>
+void log_debug(const Args&... args) {
+  detail::log_fmt(LogLevel::kDebug, args...);
+}
+template <typename... Args>
+void log_info(const Args&... args) {
+  detail::log_fmt(LogLevel::kInfo, args...);
+}
+template <typename... Args>
+void log_warn(const Args&... args) {
+  detail::log_fmt(LogLevel::kWarn, args...);
+}
+template <typename... Args>
+void log_error(const Args&... args) {
+  detail::log_fmt(LogLevel::kError, args...);
+}
+
+}  // namespace paradigm

@@ -1,0 +1,132 @@
+#include "support/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "support/error.hpp"
+
+namespace paradigm {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  PARADIGM_CHECK(r < rows_ && c < cols_,
+                 "matrix index (" << r << ", " << c << ") out of bounds for "
+                                  << rows_ << "x" << cols_);
+  return data_[r * cols_ + c];
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  PARADIGM_CHECK(r < rows_ && c < cols_,
+                 "matrix index (" << r << ", " << c << ") out of bounds for "
+                                  << rows_ << "x" << cols_);
+  return data_[r * cols_ + c];
+}
+
+Matrix Matrix::block(std::size_t r0, std::size_t c0, std::size_t nr,
+                     std::size_t nc) const {
+  PARADIGM_CHECK(r0 + nr <= rows_ && c0 + nc <= cols_,
+                 "block [" << r0 << "+" << nr << ", " << c0 << "+" << nc
+                           << "] out of bounds for " << rows_ << "x" << cols_);
+  Matrix out(nr, nc);
+  for (std::size_t r = 0; r < nr; ++r) {
+    const double* src = data_.data() + (r0 + r) * cols_ + c0;
+    std::copy(src, src + nc, out.data_.data() + r * nc);
+  }
+  return out;
+}
+
+void Matrix::set_block(std::size_t r0, std::size_t c0, const Matrix& src) {
+  PARADIGM_CHECK(r0 + src.rows_ <= rows_ && c0 + src.cols_ <= cols_,
+                 "set_block target out of bounds");
+  for (std::size_t r = 0; r < src.rows_; ++r) {
+    const double* in = src.data_.data() + r * src.cols_;
+    std::copy(in, in + src.cols_, data_.data() + (r0 + r) * cols_ + c0);
+  }
+}
+
+double Matrix::max_abs_diff(const Matrix& other) const {
+  PARADIGM_CHECK(rows_ == other.rows_ && cols_ == other.cols_,
+                 "max_abs_diff shape mismatch");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    worst = std::max(worst, std::abs(data_[i] - other.data_[i]));
+  }
+  return worst;
+}
+
+double Matrix::frobenius_norm() const {
+  double acc = 0.0;
+  for (const double v : data_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  PARADIGM_CHECK(rows_ == other.rows_ && cols_ == other.cols_,
+                 "operator+= shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  PARADIGM_CHECK(rows_ == other.rows_ && cols_ == other.cols_,
+                 "operator-= shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix operator*(const Matrix& lhs, const Matrix& rhs) {
+  PARADIGM_CHECK(lhs.cols_ == rhs.rows_,
+                 "operator* inner dimension mismatch: " << lhs.cols_ << " vs "
+                                                        << rhs.rows_);
+  Matrix out(lhs.rows_, rhs.cols_, 0.0);
+  for (std::size_t i = 0; i < lhs.rows_; ++i) {
+    for (std::size_t k = 0; k < lhs.cols_; ++k) {
+      const double a = lhs.data_[i * lhs.cols_ + k];
+      if (a == 0.0) continue;
+      const double* brow = rhs.data_.data() + k * rhs.cols_;
+      double* crow = out.data_.data() + i * out.cols_;
+      for (std::size_t j = 0; j < rhs.cols_; ++j) crow[j] += a * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      out.data_[c * rows_ + r] = data_[r * cols_ + c];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix out(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) out.at(i, i) = 1.0;
+  return out;
+}
+
+Matrix Matrix::deterministic(std::size_t rows, std::size_t cols,
+                             std::uint64_t tag, std::size_t row_offset,
+                             std::size_t col_offset) {
+  Matrix out(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      std::uint64_t z = tag * 0x9e3779b97f4a7c15ULL +
+                        (row_offset + r) * 0xbf58476d1ce4e5b9ULL +
+                        (col_offset + c) * 0x94d049bb133111ebULL;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      z ^= z >> 31;
+      // Map to [-1, 1) to keep products well conditioned.
+      out.at(r, c) = static_cast<double>(z >> 11) * 0x1.0p-52 - 1.0;
+    }
+  }
+  return out;
+}
+
+}  // namespace paradigm

@@ -1,0 +1,80 @@
+// Dense row-major double matrix.
+//
+// The simulator's distributed kernels operate on real data so that the
+// MPMD programs generated from a schedule can be verified numerically
+// against sequential references (complex matrix multiply, Strassen).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace paradigm {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+  std::size_t size_bytes() const { return data_.size() * sizeof(double); }
+
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  /// Extracts the sub-matrix [r0, r0+nr) x [c0, c0+nc).
+  Matrix block(std::size_t r0, std::size_t c0, std::size_t nr,
+               std::size_t nc) const;
+
+  /// Writes `src` into this matrix at offset (r0, c0).
+  void set_block(std::size_t r0, std::size_t c0, const Matrix& src);
+
+  /// Max absolute elementwise difference; both matrices must match in shape.
+  double max_abs_diff(const Matrix& other) const;
+
+  /// Frobenius norm.
+  double frobenius_norm() const;
+
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+
+  friend Matrix operator+(Matrix lhs, const Matrix& rhs) {
+    lhs += rhs;
+    return lhs;
+  }
+  friend Matrix operator-(Matrix lhs, const Matrix& rhs) {
+    lhs -= rhs;
+    return lhs;
+  }
+
+  /// Naive triple-loop product (the sequential reference).
+  friend Matrix operator*(const Matrix& lhs, const Matrix& rhs);
+
+  /// Transposed copy.
+  Matrix transposed() const;
+
+  /// Identity matrix.
+  static Matrix identity(std::size_t n);
+
+  /// Deterministically filled matrix: element (r, c) of a matrix tagged
+  /// `tag` is a fixed mixing of (tag, r, c), so any two ranks
+  /// initializing disjoint blocks of the same logical matrix agree with
+  /// a sequential initialization.
+  static Matrix deterministic(std::size_t rows, std::size_t cols,
+                              std::uint64_t tag,
+                              std::size_t row_offset = 0,
+                              std::size_t col_offset = 0);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace paradigm

@@ -1,0 +1,48 @@
+// Power-of-two arithmetic used by the scheduler's rounding and bounding
+// steps (Section 3 of the paper) and by the buddy processor allocator.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "support/error.hpp"
+
+namespace paradigm {
+
+/// True iff `x` is a positive power of two.
+constexpr bool is_pow2(std::uint64_t x) {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+/// Largest power of two <= x (x must be >= 1).
+inline std::uint64_t floor_pow2(std::uint64_t x) {
+  PARADIGM_CHECK(x >= 1, "floor_pow2 requires x >= 1, got " << x);
+  return std::uint64_t{1} << (63 - std::countl_zero(x));
+}
+
+/// Smallest power of two >= x (x must be >= 1).
+inline std::uint64_t ceil_pow2(std::uint64_t x) {
+  PARADIGM_CHECK(x >= 1, "ceil_pow2 requires x >= 1, got " << x);
+  return std::bit_ceil(x);
+}
+
+/// Rounds a positive real to the *nearest* power of two using the
+/// arithmetic midpoint, exactly as in Step 1 of the PSA: for x in
+/// [f, 2f] the result is f when x < 1.5 f and 2f otherwise. This bounds
+/// the change to [2/3, 4/3] of the original value, the factors used in
+/// the proof of Theorem 2.
+inline std::uint64_t round_to_pow2(double x) {
+  PARADIGM_CHECK(x >= 1.0, "round_to_pow2 requires x >= 1, got " << x);
+  std::uint64_t f = 1;
+  while (static_cast<double>(f * 2) <= x) f *= 2;
+  // x lies in [f, 2f).
+  return (x < 1.5 * static_cast<double>(f)) ? f : f * 2;
+}
+
+/// log2 of a power of two.
+inline int log2_pow2(std::uint64_t x) {
+  PARADIGM_CHECK(is_pow2(x), "log2_pow2 requires a power of two, got " << x);
+  return std::countr_zero(x);
+}
+
+}  // namespace paradigm

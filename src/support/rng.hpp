@@ -1,0 +1,77 @@
+// Deterministic, seed-stable random number generation.
+//
+// Simulator noise, random-DAG property tests, and workload generation all
+// share this RNG so that every experiment is reproducible from a single
+// seed. splitmix64 is used instead of std::mt19937 because its output is
+// specified bit-for-bit and cheap to seed.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+namespace paradigm {
+
+/// splitmix64-based generator with convenience distributions.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  /// Next raw 64-bit value (splitmix64).
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    const auto span = static_cast<std::uint64_t>(hi - lo + 1);
+    return lo + static_cast<std::int64_t>(next_u64() % span);
+  }
+
+  /// Standard normal via Box-Muller.
+  double normal() {
+    // Avoid log(0) by mapping uniform() into (0, 1].
+    const double u1 = 1.0 - uniform();
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev) {
+    return mean + stddev * normal();
+  }
+
+  /// Lognormal multiplicative factor with E[X] = 1 and the given sigma of
+  /// the underlying normal. Used as a noise multiplier on simulated costs.
+  double lognormal_unit(double sigma) {
+    if (sigma <= 0.0) return 1.0;
+    return std::exp(normal(-0.5 * sigma * sigma, sigma));
+  }
+
+  /// Bernoulli trial.
+  bool chance(double probability) { return uniform() < probability; }
+
+  /// Derives an independent child generator (stable for a given tag).
+  Rng fork(std::uint64_t tag) {
+    Rng child(state_ ^ (0xd1342543de82ef95ULL * (tag + 1)));
+    child.next_u64();
+    return child;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace paradigm

@@ -1,0 +1,167 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace paradigm {
+
+double mean(const std::vector<double>& xs) {
+  PARADIGM_CHECK(!xs.empty(), "mean of empty vector");
+  double sum = 0.0;
+  for (const double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double ss = 0.0;
+  for (const double x : xs) ss += (x - m) * (x - m);
+  return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+std::vector<double> solve_linear_system(std::vector<std::vector<double>> a,
+                                        std::vector<double> b) {
+  const std::size_t n = a.size();
+  PARADIGM_CHECK(b.size() == n, "system dimension mismatch");
+  for (const auto& row : a) {
+    PARADIGM_CHECK(row.size() == n, "system matrix is not square");
+  }
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+    }
+    PARADIGM_CHECK(std::abs(a[pivot][col]) > 1e-14,
+                   "singular linear system at column " << col);
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a[r][col] / a[col][col];
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a[r][c] -= factor * a[col][c];
+      b[r] -= factor * b[col];
+    }
+  }
+
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ri = n; ri-- > 0;) {
+    double acc = b[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) acc -= a[ri][c] * x[c];
+    x[ri] = acc / a[ri][ri];
+  }
+  return x;
+}
+
+namespace {
+
+OlsFit finish_fit(const std::vector<std::vector<double>>& rows,
+                  const std::vector<double>& y,
+                  std::vector<double> coefficients) {
+  OlsFit fit;
+  fit.coefficients = std::move(coefficients);
+
+  const double y_mean = mean(y);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    double pred = 0.0;
+    for (std::size_t j = 0; j < fit.coefficients.size(); ++j) {
+      pred += rows[i][j] * fit.coefficients[j];
+    }
+    const double res = y[i] - pred;
+    ss_res += res * res;
+    ss_tot += (y[i] - y_mean) * (y[i] - y_mean);
+    fit.max_abs_residual = std::max(fit.max_abs_residual, std::abs(res));
+    if (std::abs(y[i]) > 1e-300) {
+      fit.max_rel_residual =
+          std::max(fit.max_rel_residual, std::abs(res) / std::abs(y[i]));
+    }
+  }
+  fit.r_squared = (ss_tot > 0.0) ? 1.0 - ss_res / ss_tot
+                                 : (ss_res == 0.0 ? 1.0 : 0.0);
+  return fit;
+}
+
+std::vector<double> normal_equation_solve(
+    const std::vector<std::vector<double>>& rows, const std::vector<double>& y,
+    const std::vector<std::size_t>& support) {
+  const std::size_t k = support.size();
+  std::vector<std::vector<double>> xtx(k, std::vector<double>(k, 0.0));
+  std::vector<double> xty(k, 0.0);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (std::size_t a = 0; a < k; ++a) {
+      const double xa = rows[i][support[a]];
+      xty[a] += xa * y[i];
+      for (std::size_t b = 0; b < k; ++b) {
+        xtx[a][b] += xa * rows[i][support[b]];
+      }
+    }
+  }
+  // Tiny ridge term keeps nearly collinear training sets solvable without
+  // visibly biasing the fitted cost parameters.
+  for (std::size_t a = 0; a < k; ++a) xtx[a][a] += 1e-12 * (1.0 + xtx[a][a]);
+  return solve_linear_system(std::move(xtx), std::move(xty));
+}
+
+}  // namespace
+
+OlsFit least_squares(const std::vector<std::vector<double>>& rows,
+                     const std::vector<double>& y) {
+  PARADIGM_CHECK(!rows.empty(), "least_squares with no samples");
+  PARADIGM_CHECK(rows.size() == y.size(),
+                 "least_squares sample count mismatch: " << rows.size()
+                                                         << " vs " << y.size());
+  const std::size_t k = rows.front().size();
+  PARADIGM_CHECK(k >= 1, "least_squares with no regressors");
+  for (const auto& row : rows) {
+    PARADIGM_CHECK(row.size() == k, "ragged regressor rows");
+  }
+  PARADIGM_CHECK(rows.size() >= k,
+                 "under-determined fit: " << rows.size() << " samples for "
+                                          << k << " parameters");
+
+  std::vector<std::size_t> support(k);
+  for (std::size_t j = 0; j < k; ++j) support[j] = j;
+  return finish_fit(rows, y, normal_equation_solve(rows, y, support));
+}
+
+OlsFit least_squares_nonneg(const std::vector<std::vector<double>>& rows,
+                            const std::vector<double>& y) {
+  PARADIGM_CHECK(!rows.empty(), "least_squares_nonneg with no samples");
+  const std::size_t k = rows.front().size();
+
+  std::vector<std::size_t> support(k);
+  for (std::size_t j = 0; j < k; ++j) support[j] = j;
+
+  // Iteratively drop the most negative coefficient and re-solve on the
+  // remaining support. Terminates because the support strictly shrinks.
+  while (!support.empty()) {
+    const std::vector<double> partial = normal_equation_solve(rows, y, support);
+    std::size_t worst = support.size();
+    double worst_val = -1e-12;
+    for (std::size_t a = 0; a < support.size(); ++a) {
+      if (partial[a] < worst_val) {
+        worst_val = partial[a];
+        worst = a;
+      }
+    }
+    if (worst == support.size()) {
+      std::vector<double> full(k, 0.0);
+      for (std::size_t a = 0; a < support.size(); ++a) {
+        full[support[a]] = std::max(0.0, partial[a]);
+      }
+      return finish_fit(rows, y, std::move(full));
+    }
+    support.erase(support.begin() + static_cast<std::ptrdiff_t>(worst));
+  }
+
+  return finish_fit(rows, y, std::vector<double>(k, 0.0));
+}
+
+}  // namespace paradigm

@@ -1,0 +1,48 @@
+// Descriptive statistics and ordinary least squares.
+//
+// OLS is the engine behind the paper's "Training Sets" calibration: the
+// Amdahl parameters (alpha, tau) of Table 1 and the message-cost
+// parameters (t_ss, t_ps, t_sr, t_pr, t_n) of Table 2 are both fitted by
+// linear regression on measured costs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace paradigm {
+
+/// Arithmetic mean. Requires a non-empty input.
+double mean(const std::vector<double>& xs);
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than 2 points.
+double stddev(const std::vector<double>& xs);
+
+/// Result of a least-squares fit.
+struct OlsFit {
+  std::vector<double> coefficients;  ///< One per regressor column.
+  double r_squared = 0.0;            ///< Coefficient of determination.
+  double max_abs_residual = 0.0;     ///< Worst-case absolute error.
+  double max_rel_residual = 0.0;     ///< Worst-case |residual| / |y|.
+};
+
+/// Solves min ||X b - y||_2 by normal equations with partial-pivot
+/// Gaussian elimination. `rows` holds one regressor vector per sample
+/// (all the same length); include a constant-1 column for an intercept.
+/// Throws paradigm::Error on dimension mismatch or a singular system.
+OlsFit least_squares(const std::vector<std::vector<double>>& rows,
+                     const std::vector<double>& y);
+
+/// Non-negative least squares via active-set projection: solves the OLS
+/// problem with all coefficients constrained to be >= 0. Used for cost
+/// parameters that are physically non-negative (startup and per-byte
+/// times). Falls back to zeroing negative coefficients and re-solving on
+/// the remaining support until the fit is feasible.
+OlsFit least_squares_nonneg(const std::vector<std::vector<double>>& rows,
+                            const std::vector<double>& y);
+
+/// Solves the square linear system A x = b with partial pivoting.
+/// Throws paradigm::Error if the matrix is singular.
+std::vector<double> solve_linear_system(std::vector<std::vector<double>> a,
+                                        std::vector<double> b);
+
+}  // namespace paradigm

@@ -1,0 +1,65 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace paradigm {
+
+void AsciiTable::set_header(std::vector<std::string> header) {
+  PARADIGM_CHECK(!header.empty(), "table header must be non-empty");
+  header_ = std::move(header);
+}
+
+void AsciiTable::add_row(std::vector<std::string> row) {
+  PARADIGM_CHECK(row.size() == header_.size(),
+                 "row has " << row.size() << " cells, header has "
+                            << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string AsciiTable::num(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string AsciiTable::render() const {
+  PARADIGM_CHECK(!header_.empty(), "render() before set_header()");
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto rule = [&]() {
+    std::string s = "+";
+    for (const std::size_t w : widths) s += std::string(w + 2, '-') + "+";
+    return s + "\n";
+  };
+  const auto line = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      s += " " + cells[c] + std::string(widths[c] - cells[c].size(), ' ') +
+           " |";
+    }
+    return s + "\n";
+  };
+
+  std::string out;
+  if (!title_.empty()) out += title_ + "\n";
+  out += rule();
+  out += line(header_);
+  out += rule();
+  for (const auto& row : rows_) out += line(row);
+  out += rule();
+  return out;
+}
+
+}  // namespace paradigm

@@ -1,0 +1,34 @@
+// ASCII table rendering for the benchmark harness: each bench binary
+// reproduces one of the paper's tables or figures and prints it in a
+// format directly comparable with the paper's rows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace paradigm {
+
+/// Column-aligned ASCII table with a title, header row, and data rows.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the header row (defines the column count).
+  void set_header(std::vector<std::string> header);
+
+  /// Appends one data row; must match the header's column count.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats a double with the given precision.
+  static std::string num(double value, int precision = 3);
+
+  /// Renders the table.
+  std::string render() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace paradigm

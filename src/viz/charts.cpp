@@ -1,0 +1,210 @@
+#include "viz/charts.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "viz/svg.hpp"
+
+namespace paradigm::viz {
+namespace {
+
+constexpr double kLaneHeight = 24.0;
+constexpr double kMarginLeft = 60.0;
+constexpr double kMarginTop = 40.0;
+constexpr double kMarginBottom = 40.0;
+constexpr double kMarginRight = 20.0;
+
+std::string format_seconds(double v) {
+  std::ostringstream os;
+  os.precision(4);
+  os << v;
+  return os.str();
+}
+
+/// Shared Gantt framing: lanes for `ranks` processors over [0, span].
+struct GanttFrame {
+  SvgDocument doc;
+  double span;
+  double plot_width;
+  std::size_t ranks;
+
+  GanttFrame(std::size_t rank_count, double span_seconds, double width,
+             const std::string& title)
+      : doc(width,
+            kMarginTop + kLaneHeight * static_cast<double>(rank_count) +
+                kMarginBottom),
+        span(span_seconds),
+        plot_width(width - kMarginLeft - kMarginRight),
+        ranks(rank_count) {
+    doc.text(kMarginLeft, 22.0, title, 14.0);
+    for (std::size_t r = 0; r < rank_count; ++r) {
+      const double y = kMarginTop + kLaneHeight * static_cast<double>(r);
+      doc.text(kMarginLeft - 8.0, y + kLaneHeight * 0.7,
+               "P" + std::to_string(r), 11.0, "end");
+      doc.line(kMarginLeft, y + kLaneHeight, kMarginLeft + plot_width,
+               y + kLaneHeight, "#dddddd", 0.5);
+    }
+    // Time axis.
+    const double axis_y =
+        kMarginTop + kLaneHeight * static_cast<double>(rank_count);
+    for (int tick = 0; tick <= 4; ++tick) {
+      const double frac = tick / 4.0;
+      const double x = kMarginLeft + frac * plot_width;
+      doc.line(x, axis_y, x, axis_y + 4.0, "#888888", 1.0);
+      doc.text(x, axis_y + 18.0, format_seconds(frac * span_seconds) + "s",
+               10.0, "middle");
+    }
+  }
+
+  double x_of(double t) const {
+    return kMarginLeft + (span > 0.0 ? t / span : 0.0) * plot_width;
+  }
+  double y_of(std::size_t rank) const {
+    return kMarginTop + kLaneHeight * static_cast<double>(rank);
+  }
+
+  void block(std::size_t rank, double t0, double t1,
+             const std::string& color, const std::string& label) {
+    const double x0 = x_of(t0);
+    const double x1 = x_of(t1);
+    doc.rect(x0, y_of(rank) + 2.0, std::max(x1 - x0, 0.5),
+             kLaneHeight - 4.0, color, "#555555", 0.4);
+    if (x1 - x0 > 10.0 * static_cast<double>(label.size())) {
+      doc.text(0.5 * (x0 + x1), y_of(rank) + kLaneHeight * 0.68, label,
+               10.0, "middle", "#ffffff");
+    }
+  }
+};
+
+}  // namespace
+
+std::string schedule_gantt_svg(const sched::Schedule& schedule,
+                               double width) {
+  const double span = schedule.makespan();
+  GanttFrame frame(schedule.machine_size(), span, width,
+                   "Predicted schedule (makespan " +
+                       format_seconds(span) + "s)");
+  std::size_t color_index = 0;
+  for (const auto& sn : schedule.placements_in_start_order()) {
+    if (sn.duration() <= 0.0) continue;
+    const std::string color = palette_color(color_index++);
+    const std::string& name = schedule.graph().node(sn.node).name;
+    for (const std::uint32_t r : sn.ranks) {
+      frame.block(r, sn.start, sn.finish, color, name);
+    }
+  }
+  return frame.doc.str();
+}
+
+std::string trace_gantt_svg(const sim::Simulator& simulator, double width) {
+  const auto& trace = simulator.trace();
+  double span = 0.0;
+  for (const auto& rank_trace : trace) {
+    for (const auto& interval : rank_trace) {
+      span = std::max(span, interval.end);
+    }
+  }
+  GanttFrame frame(trace.size(), span, width,
+                   "Simulated execution (finish " + format_seconds(span) +
+                       "s)");
+  std::map<std::string, std::string> colors;
+  for (std::size_t r = 0; r < trace.size(); ++r) {
+    for (const auto& interval : trace[r]) {
+      auto [it, inserted] =
+          colors.emplace(interval.label, palette_color(colors.size()));
+      frame.block(r, interval.start, interval.end, it->second,
+                  interval.label);
+    }
+  }
+  return frame.doc.str();
+}
+
+std::string line_chart_svg(const std::string& title,
+                           const std::string& x_label,
+                           const std::string& y_label,
+                           const std::vector<ChartSeries>& series,
+                           bool x_log2, double width, double height) {
+  PARADIGM_CHECK(!series.empty(), "line chart needs at least one series");
+  SvgDocument doc(width, height);
+  const double plot_x0 = 60.0;
+  const double plot_y0 = 40.0;
+  const double plot_x1 = width - 140.0;  // room for the legend
+  const double plot_y1 = height - 50.0;
+
+  const auto xmap = [&](double x) {
+    PARADIGM_CHECK(!x_log2 || x > 0.0, "log2 axis needs positive x");
+    return x_log2 ? std::log2(x) : x;
+  };
+
+  double xmin = std::numeric_limits<double>::infinity();
+  double xmax = -xmin;
+  double ymin = 0.0;  // charts anchored at zero, like the paper's
+  double ymax = -std::numeric_limits<double>::infinity();
+  for (const auto& s : series) {
+    PARADIGM_CHECK(s.xs.size() == s.ys.size(),
+                   "series '" << s.name << "' size mismatch");
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      xmin = std::min(xmin, xmap(s.xs[i]));
+      xmax = std::max(xmax, xmap(s.xs[i]));
+      ymax = std::max(ymax, s.ys[i]);
+    }
+  }
+  PARADIGM_CHECK(std::isfinite(xmin) && std::isfinite(ymax),
+                 "line chart has no data points");
+  if (xmax - xmin < 1e-12) xmax = xmin + 1.0;
+  if (ymax <= ymin) ymax = ymin + 1.0;
+
+  const auto px = [&](double x) {
+    return plot_x0 + (xmap(x) - xmin) / (xmax - xmin) * (plot_x1 - plot_x0);
+  };
+  const auto py = [&](double y) {
+    return plot_y1 - (y - ymin) / (ymax - ymin) * (plot_y1 - plot_y0);
+  };
+
+  // Frame, title, labels.
+  doc.text(plot_x0, 24.0, title, 14.0);
+  doc.line(plot_x0, plot_y1, plot_x1, plot_y1, "#222222", 1.0);
+  doc.line(plot_x0, plot_y0, plot_x0, plot_y1, "#222222", 1.0);
+  doc.text(0.5 * (plot_x0 + plot_x1), height - 14.0, x_label, 11.0,
+           "middle");
+  doc.text(16.0, 0.5 * (plot_y0 + plot_y1), y_label, 11.0, "middle");
+
+  // Ticks.
+  for (int tick = 0; tick <= 4; ++tick) {
+    const double fy = ymin + (ymax - ymin) * tick / 4.0;
+    doc.line(plot_x0 - 4.0, py(fy), plot_x0, py(fy), "#222222", 1.0);
+    doc.text(plot_x0 - 8.0, py(fy) + 4.0, format_seconds(fy), 10.0, "end");
+    doc.line(plot_x0, py(fy), plot_x1, py(fy), "#eeeeee", 0.5);
+  }
+  for (int tick = 0; tick <= 4; ++tick) {
+    const double fx = xmin + (xmax - xmin) * tick / 4.0;
+    const double raw = x_log2 ? std::exp2(fx) : fx;
+    const double x = plot_x0 + (fx - xmin) / (xmax - xmin) *
+                                   (plot_x1 - plot_x0);
+    doc.line(x, plot_y1, x, plot_y1 + 4.0, "#222222", 1.0);
+    doc.text(x, plot_y1 + 16.0, format_seconds(raw), 10.0, "middle");
+  }
+
+  // Series: polylines with circle markers and a legend.
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const std::string& color = palette_color(si);
+    const auto& s = series[si];
+    for (std::size_t i = 1; i < s.xs.size(); ++i) {
+      doc.line(px(s.xs[i - 1]), py(s.ys[i - 1]), px(s.xs[i]), py(s.ys[i]),
+               color, 1.8);
+    }
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      doc.circle(px(s.xs[i]), py(s.ys[i]), 3.0, color);
+    }
+    const double ly = plot_y0 + 18.0 * static_cast<double>(si);
+    doc.rect(plot_x1 + 12.0, ly - 8.0, 12.0, 12.0, color);
+    doc.text(plot_x1 + 30.0, ly + 2.0, s.name, 11.0);
+  }
+  return doc.str();
+}
+
+}  // namespace paradigm::viz

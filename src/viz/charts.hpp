@@ -1,0 +1,39 @@
+// SVG renderings of the paper's figure types: schedule Gantt charts
+// (Figure 7) and XY line charts (Figures 3, 5, 8, 9).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/schedule.hpp"
+#include "sim/simulator.hpp"
+
+namespace paradigm::viz {
+
+/// A predicted schedule as a Gantt chart: one lane per processor, one
+/// colored block per node, labeled when wide enough.
+std::string schedule_gantt_svg(const sched::Schedule& schedule,
+                               double width = 800.0);
+
+/// A simulation's busy-interval trace in the same style (compute, send,
+/// and receive intervals colored by label).
+std::string trace_gantt_svg(const sim::Simulator& simulator,
+                            double width = 800.0);
+
+/// One named series for a line chart.
+struct ChartSeries {
+  std::string name;
+  std::vector<double> xs;
+  std::vector<double> ys;
+};
+
+/// XY line chart with markers, axes, ticks, and a legend. x_log2 plots
+/// x on a log2 axis (natural for processor counts).
+std::string line_chart_svg(const std::string& title,
+                           const std::string& x_label,
+                           const std::string& y_label,
+                           const std::vector<ChartSeries>& series,
+                           bool x_log2 = false, double width = 640.0,
+                           double height = 400.0);
+
+}  // namespace paradigm::viz

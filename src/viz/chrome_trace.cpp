@@ -1,0 +1,48 @@
+#include "viz/chrome_trace.hpp"
+
+#include "support/json.hpp"
+
+namespace paradigm::viz {
+namespace {
+
+Json event(const std::string& name, std::uint32_t rank, double start_s,
+           double duration_s) {
+  Json e = Json::object();
+  e.set("name", Json::string(name));
+  e.set("ph", Json::string("X"));
+  e.set("pid", Json::integer(0));
+  e.set("tid", Json::integer(rank));
+  e.set("ts", Json::number(start_s * 1e6));
+  e.set("dur", Json::number(duration_s * 1e6));
+  return e;
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const sim::Simulator& simulator) {
+  Json events = Json::array();
+  const auto& trace = simulator.trace();
+  for (std::uint32_t rank = 0; rank < trace.size(); ++rank) {
+    for (const auto& interval : trace[rank]) {
+      events.push_back(event(interval.label, rank, interval.start,
+                             interval.end - interval.start));
+    }
+  }
+  return events.dump(-1);
+}
+
+std::string chrome_trace_json(const sched::Schedule& schedule) {
+  Json events = Json::array();
+  for (const auto& placement : schedule.placements_in_start_order()) {
+    if (placement.duration() <= 0.0) continue;
+    const std::string& name =
+        schedule.graph().node(placement.node).name;
+    for (const std::uint32_t rank : placement.ranks) {
+      events.push_back(
+          event(name, rank, placement.start, placement.duration()));
+    }
+  }
+  return events.dump(-1);
+}
+
+}  // namespace paradigm::viz

@@ -1,0 +1,22 @@
+// Chrome-tracing (chrome://tracing / Perfetto) export of simulation
+// traces and schedules: each busy interval becomes a complete ("X")
+// event on its processor's track, so executions can be inspected
+// interactively in a standard trace viewer.
+#pragma once
+
+#include <string>
+
+#include "sched/schedule.hpp"
+#include "sim/simulator.hpp"
+
+namespace paradigm::viz {
+
+/// Serializes the simulator's busy intervals as a Chrome trace (JSON
+/// array format). Times are exported in microseconds.
+std::string chrome_trace_json(const sim::Simulator& simulator);
+
+/// Serializes a predicted schedule the same way (one event per node per
+/// rank).
+std::string chrome_trace_json(const sched::Schedule& schedule);
+
+}  // namespace paradigm::viz

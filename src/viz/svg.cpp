@@ -1,0 +1,94 @@
+#include "viz/svg.hpp"
+
+#include <array>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace paradigm::viz {
+
+SvgDocument::SvgDocument(double width, double height)
+    : width_(width), height_(height) {
+  PARADIGM_CHECK(width > 0 && height > 0, "SVG dimensions must be positive");
+}
+
+std::string xml_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+const std::string& palette_color(std::size_t index) {
+  static const std::array<std::string, 10> kPalette = {
+      "#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#76b7b2",
+      "#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac"};
+  return kPalette[index % kPalette.size()];
+}
+
+void SvgDocument::rect(double x, double y, double w, double h,
+                       const std::string& fill, const std::string& stroke,
+                       double stroke_width, double opacity) {
+  std::ostringstream os;
+  os << "  <rect x=\"" << x << "\" y=\"" << y << "\" width=\"" << w
+     << "\" height=\"" << h << "\" fill=\"" << fill << "\"";
+  if (stroke != "none") {
+    os << " stroke=\"" << stroke << "\" stroke-width=\"" << stroke_width
+       << "\"";
+  }
+  if (opacity < 1.0) os << " fill-opacity=\"" << opacity << "\"";
+  os << "/>\n";
+  body_ += os.str();
+}
+
+void SvgDocument::line(double x1, double y1, double x2, double y2,
+                       const std::string& stroke, double stroke_width,
+                       bool dashed) {
+  std::ostringstream os;
+  os << "  <line x1=\"" << x1 << "\" y1=\"" << y1 << "\" x2=\"" << x2
+     << "\" y2=\"" << y2 << "\" stroke=\"" << stroke
+     << "\" stroke-width=\"" << stroke_width << "\"";
+  if (dashed) os << " stroke-dasharray=\"4 3\"";
+  os << "/>\n";
+  body_ += os.str();
+}
+
+void SvgDocument::text(double x, double y, const std::string& content,
+                       double font_size, const std::string& anchor,
+                       const std::string& fill) {
+  std::ostringstream os;
+  os << "  <text x=\"" << x << "\" y=\"" << y << "\" font-size=\""
+     << font_size << "\" text-anchor=\"" << anchor
+     << "\" font-family=\"Helvetica, Arial, sans-serif\" fill=\"" << fill
+     << "\">" << xml_escape(content) << "</text>\n";
+  body_ += os.str();
+}
+
+void SvgDocument::circle(double cx, double cy, double r,
+                         const std::string& fill) {
+  std::ostringstream os;
+  os << "  <circle cx=\"" << cx << "\" cy=\"" << cy << "\" r=\"" << r
+     << "\" fill=\"" << fill << "\"/>\n";
+  body_ += os.str();
+}
+
+std::string SvgDocument::str() const {
+  std::ostringstream os;
+  os << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+     << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width_
+     << "\" height=\"" << height_ << "\" viewBox=\"0 0 " << width_ << ' '
+     << height_ << "\">\n"
+     << "  <rect width=\"100%\" height=\"100%\" fill=\"#ffffff\"/>\n"
+     << body_ << "</svg>\n";
+  return os.str();
+}
+
+}  // namespace paradigm::viz

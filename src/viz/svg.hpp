@@ -1,0 +1,43 @@
+// Minimal SVG document builder (no external dependencies) used to
+// render the paper's figures as vector graphics.
+#pragma once
+
+#include <string>
+
+namespace paradigm::viz {
+
+/// Accumulates SVG elements and serializes a standalone document.
+class SvgDocument {
+ public:
+  SvgDocument(double width, double height);
+
+  void rect(double x, double y, double w, double h,
+            const std::string& fill, const std::string& stroke = "none",
+            double stroke_width = 0.0, double opacity = 1.0);
+  void line(double x1, double y1, double x2, double y2,
+            const std::string& stroke, double stroke_width = 1.0,
+            bool dashed = false);
+  void text(double x, double y, const std::string& content,
+            double font_size = 12.0, const std::string& anchor = "start",
+            const std::string& fill = "#222222");
+  void circle(double cx, double cy, double r, const std::string& fill);
+
+  double width() const { return width_; }
+  double height() const { return height_; }
+
+  /// Serializes the full <svg> document.
+  std::string str() const;
+
+ private:
+  double width_;
+  double height_;
+  std::string body_;
+};
+
+/// Categorical palette (color-blind friendly) for series/nodes.
+const std::string& palette_color(std::size_t index);
+
+/// XML-escapes text content.
+std::string xml_escape(const std::string& text);
+
+}  // namespace paradigm::viz

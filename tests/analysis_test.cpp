@@ -1,0 +1,79 @@
+// Tests for the trace busy-breakdown analysis.
+#include <gtest/gtest.h>
+
+#include "codegen/mpmd.hpp"
+#include "core/programs.hpp"
+#include "cost/model.hpp"
+#include "sched/psa.hpp"
+#include "sim/analysis.hpp"
+#include "sim/simulator.hpp"
+#include "solver/allocator.hpp"
+
+namespace paradigm::sim {
+namespace {
+
+TEST(Analysis, ClassifiesIntervalsByKind) {
+  MachineConfig mc;
+  mc.size = 2;
+  mc.noise_sigma = 0.0;
+  MpmdProgram program(2);
+  const BlockRect rect{{0, 64}, {0, 64}};
+  GroupKernel init;
+  init.node = 0;
+  init.op = mdg::LoopOp::kInit;
+  init.output = "X";
+  init.out_rows = 64;
+  init.out_cols = 64;
+  init.group = {0};
+  program.streams[0].push_back(init);
+  program.streams[0].push_back(SendBlock{1, 1, "X", rect});
+  program.streams[1].push_back(AllocBlock{"Y", rect});
+  program.streams[1].push_back(RecvBlock{0, 1, "Y", rect});
+  program.streams[1].push_back(CopyBlock{"Y", "Y", rect});
+
+  Simulator simulator(mc);
+  const SimResult result = simulator.run(program);
+  const BusyBreakdown breakdown = busy_breakdown(simulator);
+
+  const double bytes = 64.0 * 64.0 * 8.0;
+  EXPECT_NEAR(breakdown.send,
+              mc.send_startup + bytes * mc.send_per_byte, 1e-12);
+  EXPECT_NEAR(breakdown.recv,
+              mc.recv_startup + bytes * mc.recv_per_byte, 1e-12);
+  EXPECT_NEAR(breakdown.copy, 64.0 * 64.0 * mc.elem_touch_time, 1e-12);
+  EXPECT_GT(breakdown.compute, 0.0);
+  EXPECT_NEAR(breakdown.busy(), result.total_busy, 1e-12);
+  EXPECT_NEAR(breakdown.finish, result.finish_time, 1e-12);
+  EXPECT_NEAR(breakdown.idle,
+              2.0 * result.finish_time - result.total_busy, 1e-12);
+}
+
+TEST(Analysis, SpmdIsComputeDominated) {
+  const mdg::Mdg graph = core::complex_matmul_mdg(32);
+  MachineConfig mc;
+  mc.size = 4;
+  mc.noise_sigma = 0.0;
+  cost::KernelCostTable table;
+  for (const auto& node : graph.nodes()) {
+    if (node.kind == mdg::NodeKind::kLoop) {
+      const auto key = cost::KernelCostTable::key_for(graph, node);
+      if (!table.contains(key)) {
+        table.set(key, cost::AmdahlParams{0.1, 0.05});
+      }
+    }
+  }
+  const cost::CostModel model(graph, cost::MachineParams{}, table);
+  const sched::Schedule spmd = sched::spmd_schedule(model, 4);
+  const auto generated = codegen::generate_mpmd(graph, spmd);
+  Simulator simulator(mc);
+  simulator.run(generated.program);
+  const BusyBreakdown breakdown = busy_breakdown(simulator);
+  // No redistribution at all under SPMD.
+  EXPECT_EQ(breakdown.send, 0.0);
+  EXPECT_EQ(breakdown.recv, 0.0);
+  EXPECT_GT(breakdown.compute_fraction(), 0.5);
+  EXPECT_NE(breakdown.summary().find("compute"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace paradigm::sim

@@ -1,0 +1,103 @@
+// Tests for the command-line argument parser used by tools/.
+#include <gtest/gtest.h>
+
+#include "support/args.hpp"
+#include "support/error.hpp"
+
+namespace paradigm {
+namespace {
+
+ArgParser make_parser() {
+  ArgParser args("test tool");
+  args.add_option("name", "default", "a string");
+  args.add_option("count", "3", "an integer");
+  args.add_option("rate", "0.5", "a double");
+  args.add_flag("verbose", "a flag");
+  return args;
+}
+
+TEST(Args, DefaultsApply) {
+  ArgParser args = make_parser();
+  args.parse({});
+  EXPECT_EQ(args.get("name"), "default");
+  EXPECT_EQ(args.get_int("count"), 3);
+  EXPECT_DOUBLE_EQ(args.get_double("rate"), 0.5);
+  EXPECT_FALSE(args.get_flag("verbose"));
+}
+
+TEST(Args, EqualsSyntax) {
+  ArgParser args = make_parser();
+  args.parse({"--name=hello", "--count=42", "--rate=1.25", "--verbose"});
+  EXPECT_EQ(args.get("name"), "hello");
+  EXPECT_EQ(args.get_int("count"), 42);
+  EXPECT_DOUBLE_EQ(args.get_double("rate"), 1.25);
+  EXPECT_TRUE(args.get_flag("verbose"));
+}
+
+TEST(Args, SpaceSyntax) {
+  ArgParser args = make_parser();
+  args.parse({"--name", "world", "--count", "-7"});
+  EXPECT_EQ(args.get("name"), "world");
+  EXPECT_EQ(args.get_int("count"), -7);
+}
+
+TEST(Args, Positionals) {
+  ArgParser args = make_parser();
+  args.parse({"first", "--name=x", "second"});
+  EXPECT_EQ(args.positional(),
+            (std::vector<std::string>{"first", "second"}));
+}
+
+TEST(Args, UnknownOptionRejected) {
+  ArgParser args = make_parser();
+  EXPECT_THROW(args.parse({"--nonsense=1"}), Error);
+}
+
+TEST(Args, MissingValueRejected) {
+  ArgParser args = make_parser();
+  EXPECT_THROW(args.parse({"--name"}), Error);
+}
+
+TEST(Args, FlagWithValueRejected) {
+  ArgParser args = make_parser();
+  EXPECT_THROW(args.parse({"--verbose=true"}), Error);
+}
+
+TEST(Args, NonNumericRejected) {
+  ArgParser args = make_parser();
+  args.parse({"--count=twelve"});
+  EXPECT_THROW(args.get_int("count"), Error);
+  args = make_parser();
+  args.parse({"--rate=fast"});
+  EXPECT_THROW(args.get_double("rate"), Error);
+}
+
+TEST(Args, UndeclaredAccessRejected) {
+  ArgParser args = make_parser();
+  args.parse({});
+  EXPECT_THROW(args.get("nope"), Error);
+  EXPECT_THROW(args.get_flag("name"), Error);  // not a flag
+}
+
+TEST(Args, DuplicateDeclarationRejected) {
+  ArgParser args("t");
+  args.add_option("x", "", "h");
+  EXPECT_THROW(args.add_option("x", "", "h"), Error);
+}
+
+TEST(Args, UsageListsOptions) {
+  const ArgParser args = make_parser();
+  const std::string usage = args.usage();
+  EXPECT_NE(usage.find("--name"), std::string::npos);
+  EXPECT_NE(usage.find("default: 3"), std::string::npos);
+  EXPECT_NE(usage.find("a flag"), std::string::npos);
+}
+
+TEST(Args, LastValueWins) {
+  ArgParser args = make_parser();
+  args.parse({"--name=a", "--name=b"});
+  EXPECT_EQ(args.get("name"), "b");
+}
+
+}  // namespace
+}  // namespace paradigm

@@ -1,0 +1,162 @@
+// Tests for the training-sets calibration: noise-free fits must recover
+// the simulator's underlying parameters; noisy fits must stay close;
+// the CM-5 receive-pull artifact must make the fitted t_n ~ 0; and the
+// per-graph table must cover exactly the kernels the graph uses.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "calibrate/training.hpp"
+#include "core/programs.hpp"
+#include "support/error.hpp"
+
+namespace paradigm::calibrate {
+namespace {
+
+sim::MachineConfig quiet_machine(std::uint32_t size) {
+  sim::MachineConfig mc;
+  mc.size = size;
+  mc.noise_sigma = 0.0;
+  return mc;
+}
+
+TEST(CalibrateKernel, RecoversAmdahlParametersNoiseFree) {
+  const sim::MachineConfig mc = quiet_machine(16);
+  CalibrationConfig config;
+  config.repetitions = 1;
+  const KernelFit fit =
+      calibrate_kernel(mc, mdg::LoopOp::kMul, 64, 64, 64, config);
+
+  // tau should be close to the machine's sequential time for the kernel
+  // (the per-processor overhead perturbs the fit slightly).
+  const double seq = mc.sequential_seconds(mdg::LoopOp::kMul, 64, 64, 64);
+  EXPECT_NEAR(fit.params.tau, seq, 0.05 * seq);
+  EXPECT_NEAR(fit.params.alpha, mc.mul_timing.serial_fraction, 0.03);
+  EXPECT_GT(fit.fit.r_squared, 0.999);
+
+  // Predictions track measurements across all group sizes (Figure 3).
+  for (const auto& sample : fit.samples) {
+    EXPECT_NEAR(sample.predicted, sample.measured, 0.05 * sample.measured)
+        << "p=" << sample.processors;
+  }
+}
+
+TEST(CalibrateKernel, AddKernelHasSmallerSerialFractionThanMul) {
+  const sim::MachineConfig mc = quiet_machine(16);
+  CalibrationConfig config;
+  config.repetitions = 1;
+  const KernelFit add =
+      calibrate_kernel(mc, mdg::LoopOp::kAdd, 64, 64, 0, config);
+  const KernelFit mul =
+      calibrate_kernel(mc, mdg::LoopOp::kMul, 64, 64, 64, config);
+  // Table 1's qualitative shape: matrix add is less serial than matrix
+  // multiply, and far cheaper overall.
+  EXPECT_LT(add.params.alpha, mul.params.alpha);
+  EXPECT_LT(add.params.tau, mul.params.tau / 10.0);
+}
+
+TEST(CalibrateKernel, NoisyFitStillClose) {
+  sim::MachineConfig mc = quiet_machine(16);
+  mc.noise_sigma = 0.03;
+  CalibrationConfig config;
+  config.repetitions = 5;
+  const KernelFit fit =
+      calibrate_kernel(mc, mdg::LoopOp::kMul, 64, 64, 64, config);
+  const double seq = mc.sequential_seconds(mdg::LoopOp::kMul, 64, 64, 64);
+  EXPECT_NEAR(fit.params.tau, seq, 0.15 * seq);
+  EXPECT_GT(fit.fit.r_squared, 0.98);
+}
+
+TEST(CalibrateKernel, SyntheticRejected) {
+  const sim::MachineConfig mc = quiet_machine(4);
+  EXPECT_THROW(calibrate_kernel(mc, mdg::LoopOp::kSynthetic, 8, 8, 0),
+               Error);
+}
+
+TEST(CalibrateTransfers, RecoversMessageParametersNoiseFree) {
+  const sim::MachineConfig mc = quiet_machine(16);
+  CalibrationConfig config;
+  config.repetitions = 1;
+  const TransferFit fit = calibrate_transfers(mc, config);
+
+  EXPECT_NEAR(fit.params.t_ss, mc.send_startup, 0.1 * mc.send_startup);
+  EXPECT_NEAR(fit.params.t_ps, mc.send_per_byte, 0.1 * mc.send_per_byte);
+  EXPECT_NEAR(fit.params.t_sr, mc.recv_startup, 0.1 * mc.recv_startup);
+  EXPECT_NEAR(fit.params.t_pr, mc.recv_per_byte, 0.1 * mc.recv_per_byte);
+  EXPECT_GT(fit.send_fit.r_squared, 0.99);
+  EXPECT_GT(fit.recv_fit.r_squared, 0.99);
+}
+
+TEST(CalibrateTransfers, NetworkPerByteFitsToZero) {
+  // The CM-5 artifact (Table 2): payloads move when the receive is
+  // posted, so the measured network delay is a tiny per-message constant
+  // and the fitted per-byte network cost is ~0.
+  const sim::MachineConfig mc = quiet_machine(16);
+  CalibrationConfig config;
+  config.repetitions = 1;
+  const TransferFit fit = calibrate_transfers(mc, config);
+  EXPECT_LT(fit.params.t_n, 1e-10);  // < 0.1 ns/byte
+}
+
+TEST(CalibrateTransfers, PredictionsTrackMeasurements) {
+  const sim::MachineConfig mc = quiet_machine(16);
+  CalibrationConfig config;
+  config.repetitions = 1;
+  const TransferFit fit = calibrate_transfers(mc, config);
+  ASSERT_FALSE(fit.samples.empty());
+  for (const auto& sample : fit.samples) {
+    EXPECT_NEAR(sample.send_predicted, sample.send_busy,
+                0.15 * sample.send_busy + 1e-6);
+    EXPECT_NEAR(sample.recv_predicted, sample.recv_busy,
+                0.15 * sample.recv_busy + 1e-6);
+  }
+}
+
+TEST(CalibrateTransfers, CoversBothKindsAndAsymmetry) {
+  const sim::MachineConfig mc = quiet_machine(16);
+  CalibrationConfig config;
+  config.repetitions = 1;
+  const TransferFit fit = calibrate_transfers(mc, config);
+  bool has_1d = false;
+  bool has_2d = false;
+  bool has_asym = false;
+  for (const auto& s : fit.samples) {
+    has_1d |= s.kind == mdg::TransferKind::k1D;
+    has_2d |= s.kind == mdg::TransferKind::k2D;
+    has_asym |= s.senders != s.receivers;
+  }
+  EXPECT_TRUE(has_1d);
+  EXPECT_TRUE(has_2d);
+  EXPECT_TRUE(has_asym);
+}
+
+TEST(CalibrateForGraph, TableCoversExactlyTheGraphsKernels) {
+  const mdg::Mdg graph = core::complex_matmul_mdg(32);
+  const sim::MachineConfig mc = quiet_machine(8);
+  CalibrationConfig config;
+  config.repetitions = 1;
+  const cost::KernelCostTable table =
+      calibrate_for_graph(mc, graph, config);
+  // init, mul, sub, add at 32x32 — four distinct keys.
+  EXPECT_EQ(table.size(), 4u);
+  EXPECT_TRUE(table.contains(
+      cost::KernelKey{mdg::LoopOp::kMul, 32, 32, 32}));
+  EXPECT_TRUE(table.contains(cost::KernelKey{mdg::LoopOp::kInit, 32, 32, 0}));
+  EXPECT_TRUE(table.contains(cost::KernelKey{mdg::LoopOp::kAdd, 32, 32, 0}));
+  EXPECT_TRUE(table.contains(cost::KernelKey{mdg::LoopOp::kSub, 32, 32, 0}));
+}
+
+TEST(Calibrate, DeterministicForFixedSeeds) {
+  const sim::MachineConfig mc = quiet_machine(8);
+  CalibrationConfig config;
+  config.repetitions = 2;
+  const KernelFit a =
+      calibrate_kernel(mc, mdg::LoopOp::kAdd, 32, 32, 0, config);
+  const KernelFit b =
+      calibrate_kernel(mc, mdg::LoopOp::kAdd, 32, 32, 0, config);
+  EXPECT_DOUBLE_EQ(a.params.alpha, b.params.alpha);
+  EXPECT_DOUBLE_EQ(a.params.tau, b.params.tau);
+}
+
+}  // namespace
+}  // namespace paradigm::calibrate

@@ -1,0 +1,147 @@
+// Coverage for configuration variants and error paths: PSA with
+// rounding/bounding disabled, custom solver configurations, cost-model
+// misuse diagnostics, and schedule accessor errors.
+#include <gtest/gtest.h>
+
+#include "core/programs.hpp"
+#include "cost/model.hpp"
+#include "mdg/random_mdg.hpp"
+#include "sched/psa.hpp"
+#include "solver/allocator.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace paradigm {
+namespace {
+
+cost::CostModel synthetic_model(const mdg::Mdg& graph) {
+  return cost::CostModel(graph, cost::MachineParams{},
+                         cost::KernelCostTable{});
+}
+
+// ---- PSA config variants -----------------------------------------------------
+
+TEST(PsaConfigPaths, RoundingDisabledAcceptsPowerOfTwoInput) {
+  const mdg::Mdg graph = core::figure1_example();
+  const cost::CostModel model = synthetic_model(graph);
+  std::vector<double> alloc(graph.node_count(), 2.0);
+  sched::PsaConfig config;
+  config.apply_rounding = false;
+  const sched::PsaResult result =
+      sched::prioritized_schedule(model, alloc, 8, config);
+  result.schedule.validate(model);
+  for (const auto& a : result.allocation) EXPECT_EQ(a, 2u);
+}
+
+TEST(PsaConfigPaths, RoundingDisabledRejectsNonPowerOfTwo) {
+  const mdg::Mdg graph = core::figure1_example();
+  const cost::CostModel model = synthetic_model(graph);
+  const std::vector<double> alloc(graph.node_count(), 3.0);
+  sched::PsaConfig config;
+  config.apply_rounding = false;
+  EXPECT_THROW(sched::prioritized_schedule(model, alloc, 8, config),
+               Error);
+}
+
+TEST(PsaConfigPaths, BoundingDisabledKeepsFullAllocations) {
+  const mdg::Mdg graph = core::figure1_example();
+  const cost::CostModel model = synthetic_model(graph);
+  const std::vector<double> alloc(graph.node_count(), 16.0);
+  sched::PsaConfig config;
+  config.apply_bounding = false;
+  const sched::PsaResult result =
+      sched::prioritized_schedule(model, alloc, 16, config);
+  EXPECT_EQ(result.pb, 16u);  // no Corollary-1 clamp
+  // Corollary 1 would have clamped to 8 at p = 16.
+  bool any_full = false;
+  for (const auto& a : result.allocation) any_full |= (a == 16u);
+  EXPECT_TRUE(any_full);
+}
+
+TEST(PsaConfigPaths, InvalidPbOverrideRejected) {
+  const mdg::Mdg graph = core::figure1_example();
+  const cost::CostModel model = synthetic_model(graph);
+  const std::vector<double> alloc(graph.node_count(), 1.0);
+  sched::PsaConfig config;
+  config.pb_override = 3;  // not a power of two
+  EXPECT_THROW(sched::prioritized_schedule(model, alloc, 8, config),
+               Error);
+  config.pb_override = 32;  // larger than p
+  EXPECT_THROW(sched::prioritized_schedule(model, alloc, 8, config),
+               Error);
+}
+
+// ---- solver config variants ----------------------------------------------------
+
+TEST(SolverConfigPaths, FewerContinuationRoundsIsNoBetter) {
+  Rng rng(99);
+  const mdg::Mdg graph = mdg::random_mdg(rng);
+  const cost::CostModel model = synthetic_model(graph);
+  solver::ConvexAllocatorConfig coarse;
+  coarse.continuation_rounds = 1;
+  coarse.max_inner_iterations = 40;
+  const double phi_coarse =
+      solver::ConvexAllocator(coarse).allocate(model, 16.0).phi;
+  const double phi_full = solver::ConvexAllocator{}.allocate(model, 16.0).phi;
+  EXPECT_GE(phi_coarse, phi_full * 0.999);
+}
+
+TEST(SolverConfigPaths, IterationBudgetRespected) {
+  Rng rng(7);
+  const mdg::Mdg graph = mdg::random_mdg(rng);
+  const cost::CostModel model = synthetic_model(graph);
+  solver::ConvexAllocatorConfig tiny;
+  tiny.continuation_rounds = 2;
+  tiny.max_inner_iterations = 5;
+  const auto result = solver::ConvexAllocator(tiny).allocate(model, 16.0);
+  EXPECT_LE(result.iterations, 2u * 5u);
+}
+
+// ---- cost model misuse -----------------------------------------------------------
+
+TEST(CostModelErrors, AllocationSizeMismatchDiagnosed) {
+  const mdg::Mdg graph = core::figure1_example();
+  const cost::CostModel model = synthetic_model(graph);
+  const std::vector<double> wrong(graph.node_count() - 1, 2.0);
+  EXPECT_THROW(model.node_weight(0, wrong), Error);
+}
+
+TEST(CostModelErrors, SubUnitAllocationDiagnosed) {
+  const mdg::Mdg graph = core::figure1_example();
+  const cost::CostModel model = synthetic_model(graph);
+  EXPECT_THROW(model.processing_cost(0, 0.5), Error);
+}
+
+TEST(CostModelErrors, UnfinalizedGraphRejected) {
+  mdg::Mdg graph;
+  graph.add_synthetic("a", 0.1, 1.0);
+  EXPECT_THROW(cost::CostModel(graph, cost::MachineParams{},
+                               cost::KernelCostTable{}),
+               Error);
+}
+
+// ---- schedule accessor errors ------------------------------------------------------
+
+TEST(ScheduleErrors, MakespanBeforeStopPlacedThrows) {
+  const mdg::Mdg graph = core::figure1_example();
+  sched::Schedule schedule(graph, 4);
+  EXPECT_THROW(schedule.makespan(), Error);
+}
+
+TEST(ScheduleErrors, PlacementOfUnplacedNodeThrows) {
+  const mdg::Mdg graph = core::figure1_example();
+  sched::Schedule schedule(graph, 4);
+  EXPECT_THROW(schedule.placement(0), Error);
+}
+
+TEST(AllocationSummary, MentionsKeyNumbers) {
+  const mdg::Mdg graph = core::figure1_example();
+  const cost::CostModel model = synthetic_model(graph);
+  const auto result = solver::ConvexAllocator{}.allocate(model, 4.0);
+  const std::string s = result.summary();
+  EXPECT_NE(s.find("phi="), std::string::npos);
+  EXPECT_NE(s.find("iters"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace paradigm

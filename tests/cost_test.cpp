@@ -1,0 +1,469 @@
+// Unit and property tests for the cost model: posynomial algebra
+// (Lemmas 1 and 2), exact cost evaluators against hand-computed values,
+// smoothed evaluators against the exact ones and against finite
+// differences, and numerical log-convexity of every cost component.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "cost/machine.hpp"
+#include "cost/model.hpp"
+#include "cost/posynomial.hpp"
+#include "mdg/mdg.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace paradigm::cost {
+namespace {
+
+using mdg::LoopOp;
+using mdg::Mdg;
+using mdg::NodeId;
+using mdg::TransferKind;
+
+// ---- Posynomial algebra ---------------------------------------------------
+
+TEST(Posynomial, ConstantAndMonomialEval) {
+  const Posynomial c = Posynomial::constant(3.5);
+  EXPECT_DOUBLE_EQ(c.eval(std::vector<double>{}), 3.5);
+  const Posynomial m = Posynomial::monomial(2.0, 0, -1.0);
+  const std::vector<double> v{4.0};
+  EXPECT_DOUBLE_EQ(m.eval(v), 0.5);
+}
+
+TEST(Posynomial, AdditionAndProduct) {
+  // (1 + 2 v0) * (3 v1^-1) = 3 v1^-1 + 6 v0 v1^-1.
+  const Posynomial a =
+      Posynomial::constant(1.0) + Posynomial::monomial(2.0, 0, 1.0);
+  const Posynomial b = Posynomial::monomial(3.0, 1, -1.0);
+  const Posynomial prod = a * b;
+  EXPECT_EQ(prod.term_count(), 2u);
+  const std::vector<double> v{2.0, 3.0};
+  EXPECT_NEAR(prod.eval(v), 3.0 / 3.0 + 6.0 * 2.0 / 3.0, 1e-12);
+}
+
+TEST(Posynomial, NegativeCoefficientRejected) {
+  EXPECT_THROW(Posynomial::constant(-1.0), Error);
+  EXPECT_THROW(Posynomial::monomial(-2.0, 0, 1.0), Error);
+}
+
+TEST(Posynomial, ExponentMergingInMonomial2) {
+  // Same variable twice: exponents merge.
+  const Posynomial m = Posynomial::monomial2(5.0, 0, 1.0, 0, 2.0);
+  const std::vector<double> v{2.0};
+  EXPECT_DOUBLE_EQ(m.eval(v), 5.0 * 8.0);
+}
+
+TEST(Posynomial, EvalLogMatchesEval) {
+  const Posynomial p = Posynomial::constant(0.5) +
+                       Posynomial::monomial(1.5, 0, -1.0) +
+                       Posynomial::monomial2(0.25, 0, 1.0, 1, -2.0);
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::vector<double> vals{rng.uniform(0.5, 8.0),
+                                   rng.uniform(0.5, 8.0)};
+    const std::vector<double> x{std::log(vals[0]), std::log(vals[1])};
+    EXPECT_NEAR(p.eval(vals), p.eval_log(x), 1e-10 * p.eval(vals));
+  }
+}
+
+TEST(Posynomial, EvalLogGradientMatchesFiniteDifference) {
+  const Posynomial p = Posynomial::constant(0.3) +
+                       Posynomial::monomial(2.0, 0, -1.0) +
+                       Posynomial::monomial2(0.7, 0, 0.5, 1, 1.0);
+  const std::vector<double> x{0.4, -0.2};
+  std::vector<double> grad(2, 0.0);
+  p.eval_log(x, 1.0, grad);
+  const double h = 1e-6;
+  for (std::size_t k = 0; k < 2; ++k) {
+    std::vector<double> xp = x;
+    std::vector<double> xm = x;
+    xp[k] += h;
+    xm[k] -= h;
+    const double fd = (p.eval_log(xp) - p.eval_log(xm)) / (2 * h);
+    EXPECT_NEAR(grad[k], fd, 1e-6);
+  }
+}
+
+TEST(Posynomial, LogConvexityMidpointProperty) {
+  // Every posynomial is log-convex: check midpoints on random segments.
+  const Posynomial p = Posynomial::constant(0.1) +
+                       Posynomial::monomial(3.0, 0, -1.0) +
+                       Posynomial::monomial2(0.5, 0, 2.0, 1, -0.5) +
+                       Posynomial::monomial(1.0, 1, 1.0);
+  Rng rng(17);
+  std::vector<std::vector<double>> xa, xb;
+  std::vector<double> fa, fb, fmid;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> a{rng.uniform(-2.0, 4.0), rng.uniform(-2.0, 4.0)};
+    std::vector<double> b{rng.uniform(-2.0, 4.0), rng.uniform(-2.0, 4.0)};
+    std::vector<double> mid{0.5 * (a[0] + b[0]), 0.5 * (a[1] + b[1])};
+    fa.push_back(p.eval_log(a));
+    fb.push_back(p.eval_log(b));
+    fmid.push_back(p.eval_log(mid));
+    xa.push_back(std::move(a));
+    xb.push_back(std::move(b));
+  }
+  EXPECT_LE(worst_midpoint_convexity_violation(xa, xb, fa, fb, fmid), 1e-9);
+}
+
+// ---- Machine / kernel table ----------------------------------------------
+
+TEST(Machine, PaperDefaults) {
+  const MachineParams params = MachineParams::cm5_paper();
+  EXPECT_NEAR(params.t_ss, 777.56e-6, 1e-12);
+  EXPECT_NEAR(params.t_pr, 426.25e-9, 1e-15);
+  EXPECT_DOUBLE_EQ(params.t_n, 0.0);
+}
+
+TEST(Machine, AmdahlTime) {
+  const AmdahlParams a{0.121, 0.29847};  // MatMul row of Table 1
+  EXPECT_NEAR(a.time(1.0), 0.29847, 1e-12);
+  // t(p) decreases monotonically towards alpha * tau.
+  EXPECT_GT(a.time(2.0), a.time(4.0));
+  EXPECT_GT(a.time(64.0), a.alpha * a.tau);
+}
+
+TEST(KernelTable, SetGetAndMissing) {
+  KernelCostTable table;
+  const KernelKey key{LoopOp::kMul, 64, 64, 64};
+  EXPECT_FALSE(table.contains(key));
+  EXPECT_THROW(table.get(key), Error);
+  table.set(key, AmdahlParams{0.121, 0.29847});
+  EXPECT_TRUE(table.contains(key));
+  EXPECT_NEAR(table.get(key).tau, 0.29847, 1e-12);
+}
+
+TEST(KernelTable, InvalidParamsRejected) {
+  KernelCostTable table;
+  EXPECT_THROW(table.set(KernelKey{}, AmdahlParams{-0.1, 1.0}), Error);
+  EXPECT_THROW(table.set(KernelKey{}, AmdahlParams{0.5, -1.0}), Error);
+}
+
+// ---- Exact model on a two-node transfer graph -----------------------------
+
+/// producer --X--> consumer, X is rows x cols. Synthetic Amdahl costs.
+struct TwoNodeFixture {
+  Mdg graph;
+  NodeId producer;
+  NodeId consumer;
+  mdg::EdgeId edge;
+
+  explicit TwoNodeFixture(TransferKind kind, std::size_t rows = 64,
+                          std::size_t cols = 64) {
+    graph.add_array("X", rows, cols);
+    mdg::LoopSpec init;
+    init.op = LoopOp::kInit;
+    init.output = "X";
+    producer = graph.add_loop("producer", init);
+    // The transfer kind is derived from the endpoint layouts: giving
+    // the consumer the opposite layout makes the edge 2D.
+    consumer = graph.add_synthetic("consumer", 0.1, 1.0,
+                                   kind == TransferKind::k1D
+                                       ? mdg::Layout::kRow
+                                       : mdg::Layout::kCol);
+    edge = graph.add_dependence(producer, consumer, {"X"});
+    graph.finalize();
+    PARADIGM_CHECK(graph.edge(edge).transfers.at(0).kind == kind,
+                   "fixture kind derivation failed");
+  }
+};
+
+CostModel make_model(const Mdg& graph, MachineParams machine) {
+  KernelCostTable table;
+  for (const auto& node : graph.nodes()) {
+    if (node.kind == mdg::NodeKind::kLoop &&
+        node.loop.op != LoopOp::kSynthetic) {
+      table.set(KernelCostTable::key_for(graph, node),
+                AmdahlParams{0.05, 0.01});
+    }
+  }
+  return CostModel(graph, machine, std::move(table));
+}
+
+TEST(CostModel, OneDTransferCostsMatchEquation2) {
+  TwoNodeFixture fx(TransferKind::k1D);
+  MachineParams mp;  // paper CM-5 values
+  mp.t_n = 2e-9;     // nonzero so the delay term is exercised
+  const CostModel model = make_model(fx.graph, mp);
+  const double L = 64.0 * 64.0 * 8.0;
+  const double pi = 4.0;
+  const double pj = 8.0;
+  const double mx = 8.0;
+  EXPECT_NEAR(model.send_cost(fx.edge, pi, pj),
+              (mx / pi) * mp.t_ss + (L / pi) * mp.t_ps, 1e-12);
+  EXPECT_NEAR(model.recv_cost(fx.edge, pi, pj),
+              (mx / pj) * mp.t_sr + (L / pj) * mp.t_pr, 1e-12);
+  EXPECT_NEAR(model.edge_delay(fx.edge, pi, pj), (L / mx) * mp.t_n, 1e-15);
+}
+
+TEST(CostModel, TwoDTransferCostsMatchEquation3) {
+  TwoNodeFixture fx(TransferKind::k2D);
+  MachineParams mp;
+  mp.t_n = 2e-9;
+  const CostModel model = make_model(fx.graph, mp);
+  const double L = 64.0 * 64.0 * 8.0;
+  const double pi = 4.0;
+  const double pj = 8.0;
+  EXPECT_NEAR(model.send_cost(fx.edge, pi, pj),
+              pj * mp.t_ss + (L / pi) * mp.t_ps, 1e-12);
+  EXPECT_NEAR(model.recv_cost(fx.edge, pi, pj),
+              pi * mp.t_sr + (L / pj) * mp.t_pr, 1e-12);
+  EXPECT_NEAR(model.edge_delay(fx.edge, pi, pj), (L / (pi * pj)) * mp.t_n,
+              1e-15);
+}
+
+TEST(CostModel, ZeroByteEdgeIsFree) {
+  Mdg g;
+  const NodeId a = g.add_synthetic("a", 0.1, 1.0);
+  const NodeId b = g.add_synthetic("b", 0.1, 1.0);
+  const mdg::EdgeId e = g.add_synthetic_dependence(a, b, 0);
+  g.finalize();
+  const CostModel model(g, MachineParams{}, KernelCostTable{});
+  EXPECT_DOUBLE_EQ(model.send_cost(e, 2.0, 4.0), 0.0);
+  EXPECT_DOUBLE_EQ(model.recv_cost(e, 2.0, 4.0), 0.0);
+  EXPECT_DOUBLE_EQ(model.edge_delay(e, 2.0, 4.0), 0.0);
+}
+
+TEST(CostModel, NodeWeightSumsComponents) {
+  TwoNodeFixture fx(TransferKind::k1D);
+  const CostModel model = make_model(fx.graph, MachineParams{});
+  std::vector<double> alloc(fx.graph.node_count(), 1.0);
+  alloc[fx.producer] = 4.0;
+  alloc[fx.consumer] = 8.0;
+  // Producer weight = its processing + send cost (START edge is free).
+  const double expected = model.processing_cost(fx.producer, 4.0) +
+                          model.send_cost(fx.edge, 4.0, 8.0);
+  EXPECT_NEAR(model.node_weight(fx.producer, alloc), expected, 1e-12);
+  // Consumer weight = processing + recv cost.
+  const double expected_c = model.processing_cost(fx.consumer, 8.0) +
+                            model.recv_cost(fx.edge, 4.0, 8.0);
+  EXPECT_NEAR(model.node_weight(fx.consumer, alloc), expected_c, 1e-12);
+}
+
+TEST(CostModel, AverageAndCriticalPathAndPhi) {
+  TwoNodeFixture fx(TransferKind::k1D);
+  const CostModel model = make_model(fx.graph, MachineParams{});
+  std::vector<double> alloc(fx.graph.node_count(), 2.0);
+  const double p = 8.0;
+  double area = 0.0;
+  for (const auto& node : fx.graph.nodes()) {
+    area += model.node_weight(node.id, alloc) * alloc[node.id];
+  }
+  EXPECT_NEAR(model.average_finish_time(alloc, p), area / p, 1e-12);
+  // Critical path: chain START -> producer -> consumer -> STOP with the
+  // delay between producer and consumer (t_n = 0 here so no delay).
+  const double cp = model.node_weight(fx.producer, alloc) +
+                    model.node_weight(fx.consumer, alloc);
+  EXPECT_NEAR(model.critical_path_time(alloc), cp, 1e-12);
+  EXPECT_NEAR(model.phi(alloc, p),
+              std::max(model.average_finish_time(alloc, p), cp), 1e-12);
+}
+
+TEST(CostModel, ProcessingCostMonotoneDecreasing) {
+  TwoNodeFixture fx(TransferKind::k1D);
+  const CostModel model = make_model(fx.graph, MachineParams{});
+  double prev = model.processing_cost(fx.consumer, 1.0);
+  for (double p = 2.0; p <= 64.0; p *= 2.0) {
+    const double cur = model.processing_cost(fx.consumer, p);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(CostModel, MissingKernelEntryThrows) {
+  TwoNodeFixture fx(TransferKind::k1D);
+  EXPECT_THROW(CostModel(fx.graph, MachineParams{}, KernelCostTable{}),
+               Error);
+}
+
+// ---- Smoothed evaluators ---------------------------------------------------
+
+TEST(SoftMax, ExactAtMuZero) {
+  const SoftMax2 m = soft_max2(1.0, 3.0, 0.0);
+  EXPECT_DOUBLE_EQ(m.value, 3.0);
+  EXPECT_DOUBLE_EQ(m.wa, 0.0);
+  EXPECT_DOUBLE_EQ(m.wb, 1.0);
+}
+
+TEST(SoftMax, UpperBoundsMaxAndConverges) {
+  for (const double mu : {0.5, 0.1, 0.01}) {
+    const SoftMax2 m = soft_max2(1.0, 1.2, mu);
+    EXPECT_GE(m.value, 1.2);
+    EXPECT_LE(m.value, 1.2 + mu * std::log(2.0) + 1e-12);
+    EXPECT_NEAR(m.wa + m.wb, 1.0, 1e-12);
+  }
+}
+
+class SmoothVsExact : public ::testing::TestWithParam<TransferKind> {};
+
+TEST_P(SmoothVsExact, MuZeroMatchesExactEverywhere) {
+  TwoNodeFixture fx(GetParam());
+  MachineParams mp;
+  mp.t_n = 3e-9;
+  const CostModel model = make_model(fx.graph, mp);
+  Rng rng(21);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<double> alloc(fx.graph.node_count());
+    std::vector<double> x(fx.graph.node_count());
+    for (std::size_t i = 0; i < alloc.size(); ++i) {
+      alloc[i] = rng.uniform(1.0, 64.0);
+      x[i] = std::log(alloc[i]);
+    }
+    for (const auto& node : fx.graph.nodes()) {
+      const Diff d = model.smooth_node_weight(node.id, x, 0.0);
+      EXPECT_NEAR(d.value, model.node_weight(node.id, alloc),
+                  1e-9 * (1.0 + d.value))
+          << "node " << node.id;
+      const Diff a = model.smooth_node_area(node.id, x, 0.0);
+      EXPECT_NEAR(a.value,
+                  model.node_weight(node.id, alloc) * alloc[node.id],
+                  1e-9 * (1.0 + a.value));
+    }
+    // The 1D delay surrogate (1/sqrt(pi*pj)) upper-bounds the exact
+    // delay and agrees when pi == pj; 2D matches exactly.
+    for (const auto& edge : fx.graph.edges()) {
+      const Diff d = model.smooth_edge_delay(edge.id, x, 0.0);
+      const double exact =
+          model.edge_delay(edge.id, alloc[edge.src], alloc[edge.dst]);
+      EXPECT_GE(d.value, exact - 1e-15);
+    }
+  }
+}
+
+TEST_P(SmoothVsExact, GradientsMatchFiniteDifferences) {
+  TwoNodeFixture fx(GetParam());
+  MachineParams mp;
+  mp.t_n = 3e-9;
+  const CostModel model = make_model(fx.graph, mp);
+  Rng rng(33);
+  const double mu = 0.2;
+  const double h = 1e-6;
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> x(fx.graph.node_count());
+    for (auto& xi : x) xi = rng.uniform(0.0, 4.0);
+
+    for (const auto& node : fx.graph.nodes()) {
+      const Diff d = model.smooth_node_weight(node.id, x, mu);
+      std::vector<double> dense(x.size(), 0.0);
+      d.grad.scatter(1.0, dense);
+      for (std::size_t k = 0; k < x.size(); ++k) {
+        std::vector<double> xp = x;
+        std::vector<double> xm = x;
+        xp[k] += h;
+        xm[k] -= h;
+        const double fd = (model.smooth_node_weight(node.id, xp, mu).value -
+                           model.smooth_node_weight(node.id, xm, mu).value) /
+                          (2 * h);
+        EXPECT_NEAR(dense[k], fd, 1e-5 * (1.0 + std::abs(fd)))
+            << "node " << node.id << " var " << k;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, SmoothVsExact,
+                         ::testing::Values(TransferKind::k1D,
+                                           TransferKind::k2D));
+
+TEST(SmoothCost, NodeWeightLogConvexAlongSegments) {
+  TwoNodeFixture fx(TransferKind::k1D);
+  MachineParams mp;
+  mp.t_n = 3e-9;
+  const CostModel model = make_model(fx.graph, mp);
+  Rng rng(55);
+  const double mu = 0.3;
+  // Smoothed node weights are convex in x: midpoint inequality on the
+  // plain (not log) values suffices since we need convexity of the
+  // objective, which sums these terms.
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<double> a(fx.graph.node_count());
+    std::vector<double> b(fx.graph.node_count());
+    std::vector<double> mid(fx.graph.node_count());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      a[i] = rng.uniform(0.0, 4.0);
+      b[i] = rng.uniform(0.0, 4.0);
+      mid[i] = 0.5 * (a[i] + b[i]);
+    }
+    for (const auto& node : fx.graph.nodes()) {
+      const double fa = model.smooth_node_weight(node.id, a, mu).value;
+      const double fb = model.smooth_node_weight(node.id, b, mu).value;
+      const double fm = model.smooth_node_weight(node.id, mid, mu).value;
+      EXPECT_LE(fm, 0.5 * (fa + fb) + 1e-9 * (1.0 + fa + fb));
+      const double ga = model.smooth_node_area(node.id, a, mu).value;
+      const double gb = model.smooth_node_area(node.id, b, mu).value;
+      const double gm = model.smooth_node_area(node.id, mid, mu).value;
+      EXPECT_LE(gm, 0.5 * (ga + gb) + 1e-9 * (1.0 + ga + gb));
+    }
+    for (const auto& edge : fx.graph.edges()) {
+      const double fa = model.smooth_edge_delay(edge.id, a, mu).value;
+      const double fb = model.smooth_edge_delay(edge.id, b, mu).value;
+      const double fm = model.smooth_edge_delay(edge.id, mid, mu).value;
+      EXPECT_LE(fm, 0.5 * (fa + fb) + 1e-12);
+    }
+  }
+}
+
+// ---- Posynomial forms (Lemma 1 and the 2D part of Lemma 2) ----------------
+
+TEST(Lemmas, ProcessingPosynomialMatchesAmdahl) {
+  TwoNodeFixture fx(TransferKind::k1D);
+  const CostModel model = make_model(fx.graph, MachineParams{});
+  const Posynomial p = model.processing_posynomial(fx.consumer);
+  std::vector<double> values(fx.graph.node_count(), 1.0);
+  for (double pi = 1.0; pi <= 64.0; pi *= 2.0) {
+    values[fx.consumer] = pi;
+    EXPECT_NEAR(p.eval(values), model.processing_cost(fx.consumer, pi),
+                1e-12);
+  }
+}
+
+TEST(Lemmas, TwoDPosynomialsMatchExactCosts) {
+  TwoNodeFixture fx(TransferKind::k2D);
+  MachineParams mp;
+  mp.t_n = 2e-9;
+  const CostModel model = make_model(fx.graph, mp);
+  std::vector<double> values(fx.graph.node_count(), 1.0);
+  Rng rng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    const double pi = rng.uniform(1.0, 64.0);
+    const double pj = rng.uniform(1.0, 64.0);
+    values[fx.producer] = pi;
+    values[fx.consumer] = pj;
+    EXPECT_NEAR(model.send_2d_posynomial(fx.edge).eval(values),
+                model.send_cost(fx.edge, pi, pj), 1e-12);
+    EXPECT_NEAR(model.recv_2d_posynomial(fx.edge).eval(values),
+                model.recv_cost(fx.edge, pi, pj), 1e-12);
+    EXPECT_NEAR(model.delay_2d_posynomial(fx.edge).eval(values),
+                model.edge_delay(fx.edge, pi, pj), 1e-15);
+  }
+}
+
+TEST(Lemmas, OneDCostsAreLogConvexNumerically) {
+  // The 1D costs contain max(p_i, p_j): not posynomials, but still
+  // log-convex (generalized posynomials). Verify the midpoint property
+  // of log f(exp x) numerically.
+  TwoNodeFixture fx(TransferKind::k1D);
+  const CostModel model = make_model(fx.graph, MachineParams{});
+  Rng rng(99);
+  std::vector<std::vector<double>> xa, xb;
+  std::vector<double> fa, fb, fmid;
+  for (int trial = 0; trial < 300; ++trial) {
+    const double a0 = rng.uniform(0.0, 4.0), a1 = rng.uniform(0.0, 4.0);
+    const double b0 = rng.uniform(0.0, 4.0), b1 = rng.uniform(0.0, 4.0);
+    const auto f = [&](double x0, double x1) {
+      return model.send_cost(fx.edge, std::exp(x0), std::exp(x1)) +
+             model.recv_cost(fx.edge, std::exp(x0), std::exp(x1));
+    };
+    xa.push_back({a0, a1});
+    xb.push_back({b0, b1});
+    fa.push_back(f(a0, a1));
+    fb.push_back(f(b0, b1));
+    fmid.push_back(f(0.5 * (a0 + b0), 0.5 * (a1 + b1)));
+  }
+  EXPECT_LE(worst_midpoint_convexity_violation(xa, xb, fa, fb, fmid), 1e-9);
+}
+
+}  // namespace
+}  // namespace paradigm::cost

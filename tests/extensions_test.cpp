@@ -1,0 +1,160 @@
+// Tests for the extension features: static cost estimation, list-
+// scheduler priority policies, and machine presets.
+#include <gtest/gtest.h>
+
+#include "calibrate/static_estimate.hpp"
+#include "core/pipeline.hpp"
+#include "core/programs.hpp"
+#include "mdg/random_mdg.hpp"
+#include "sched/bounds.hpp"
+#include "sched/psa.hpp"
+#include "solver/allocator.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace paradigm {
+namespace {
+
+// ---- static estimation ------------------------------------------------------
+
+TEST(StaticEstimate, KernelParamsMatchMachineDescription) {
+  const sim::MachineConfig mc = sim::MachineConfig::cm5(16);
+  const cost::AmdahlParams params = calibrate::static_kernel_params(
+      mc, cost::KernelKey{mdg::LoopOp::kMul, 64, 64, 64});
+  EXPECT_DOUBLE_EQ(params.alpha, mc.mul_timing.serial_fraction);
+  EXPECT_DOUBLE_EQ(params.tau,
+                   mc.sequential_seconds(mdg::LoopOp::kMul, 64, 64, 64));
+}
+
+TEST(StaticEstimate, SyntheticRejected) {
+  const sim::MachineConfig mc = sim::MachineConfig::cm5(4);
+  EXPECT_THROW(calibrate::static_kernel_params(
+                   mc, cost::KernelKey{mdg::LoopOp::kSynthetic, 4, 4, 0}),
+               Error);
+}
+
+TEST(StaticEstimate, MachineParamsMirrorConfig) {
+  const sim::MachineConfig mc = sim::MachineConfig::paragon(8);
+  const cost::MachineParams mp = calibrate::static_machine_params(mc);
+  EXPECT_DOUBLE_EQ(mp.t_ss, mc.send_startup);
+  EXPECT_DOUBLE_EQ(mp.t_pr, mc.recv_per_byte);
+  EXPECT_DOUBLE_EQ(mp.t_n, 0.0);
+}
+
+TEST(StaticEstimate, TableCoversGraph) {
+  const mdg::Mdg graph = core::complex_matmul_mdg(32);
+  const cost::KernelCostTable table = calibrate::static_table_for_graph(
+      sim::MachineConfig::cm5(8), graph);
+  EXPECT_EQ(table.size(), 4u);
+}
+
+TEST(StaticEstimate, StaticUnderestimatesTrainedTau) {
+  // The trained tau absorbs overheads the static estimate cannot see,
+  // so trained >= static (strictly, for multi-processor overhead-bearing
+  // kernels measured across group sizes).
+  const sim::MachineConfig mc = sim::MachineConfig::cm5(16);
+  calibrate::CalibrationConfig config;
+  config.repetitions = 1;
+  const calibrate::KernelFit trained = calibrate::calibrate_kernel(
+      mc, mdg::LoopOp::kMul, 64, 64, 64, config);
+  const cost::AmdahlParams statics = calibrate::static_kernel_params(
+      mc, cost::KernelKey{mdg::LoopOp::kMul, 64, 64, 64});
+  // Compare predicted cost at a mid-size group.
+  EXPECT_GE(trained.params.time(16.0), statics.time(16.0));
+}
+
+TEST(StaticEstimate, PipelineStaticModeEndToEnd) {
+  core::PipelineConfig config;
+  config.processors = 8;
+  config.machine = sim::MachineConfig::cm5(8);
+  config.machine.noise_sigma = 0.0;
+  config.calibration_mode = core::CalibrationMode::kStatic;
+  const core::Compiler compiler(config);
+  const core::PipelineReport report =
+      compiler.compile_and_run(core::complex_matmul_mdg(32));
+  EXPECT_GT(report.mpmd.simulated, 0.0);
+  // Static predictions are optimistic but in the right ballpark.
+  EXPECT_NEAR(report.mpmd.predicted, report.mpmd.simulated,
+              0.4 * report.mpmd.simulated);
+}
+
+// ---- list-priority policies ---------------------------------------------------
+
+class PolicySeeded : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PolicySeeded, AllPoliciesProduceValidSchedules) {
+  Rng rng(GetParam());
+  const mdg::Mdg graph = mdg::random_mdg(rng);
+  const cost::CostModel model(graph, cost::MachineParams{},
+                              cost::KernelCostTable{});
+  const std::uint64_t p = 16;
+  const auto alloc = solver::ConvexAllocator{}.allocate(
+      model, static_cast<double>(p));
+  auto rounded = sched::round_allocation(alloc.allocation, p);
+  rounded = sched::bound_allocation(std::move(rounded),
+                                    sched::optimal_processor_bound(p));
+  for (const sched::ListPriority policy :
+       {sched::ListPriority::kLowestEst,
+        sched::ListPriority::kLargestWeight,
+        sched::ListPriority::kBottomLevel}) {
+    const sched::Schedule schedule =
+        sched::list_schedule(model, rounded, p, policy);
+    schedule.validate(model);
+    // Theorem 1 applies to the whole family: same bound shape.
+    EXPECT_LE(schedule.makespan(),
+              sched::theorem3_factor(p, sched::optimal_processor_bound(p)) *
+                  alloc.phi);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolicySeeded,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+TEST(Policies, DefaultIsLowestEst) {
+  // list_schedule's default must reproduce the PSA behaviour exactly.
+  const mdg::Mdg graph = core::figure1_example();
+  const cost::CostModel model(graph, cost::MachineParams{},
+                              cost::KernelCostTable{});
+  std::vector<std::uint64_t> alloc(graph.node_count(), 1);
+  alloc[0] = 4;
+  alloc[1] = 2;
+  alloc[2] = 2;
+  const auto a = sched::list_schedule(model, alloc, 4);
+  const auto b = sched::list_schedule(model, alloc, 4,
+                                      sched::ListPriority::kLowestEst);
+  EXPECT_DOUBLE_EQ(a.makespan(), b.makespan());
+}
+
+// ---- machine presets ----------------------------------------------------------
+
+TEST(Presets, ProfilesAreDistinctAndSane) {
+  const auto cm5 = sim::MachineConfig::cm5(64);
+  const auto paragon = sim::MachineConfig::paragon(64);
+  const auto sp1 = sim::MachineConfig::sp1(64);
+  EXPECT_EQ(cm5.size, 64u);
+  // Paragon: much cheaper startup and per-byte network than CM-5.
+  EXPECT_LT(paragon.send_startup, cm5.send_startup / 2);
+  EXPECT_LT(paragon.send_per_byte, cm5.send_per_byte / 4);
+  // SP-1: faster processors than both.
+  EXPECT_LT(sp1.flop_time, cm5.flop_time / 2);
+  EXPECT_LT(sp1.flop_time, paragon.flop_time);
+}
+
+TEST(Presets, PipelineRunsOnEveryPreset) {
+  const mdg::Mdg graph = core::complex_matmul_mdg(32);
+  for (const auto& mc :
+       {sim::MachineConfig::cm5(8), sim::MachineConfig::paragon(8),
+        sim::MachineConfig::sp1(8)}) {
+    core::PipelineConfig config;
+    config.processors = 8;
+    config.machine = mc;
+    config.machine.noise_sigma = 0.0;
+    config.calibration.repetitions = 1;
+    const core::Compiler compiler(config);
+    const core::PipelineReport report = compiler.compile_and_run(graph);
+    EXPECT_GT(report.mpmd_speedup(), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace paradigm

@@ -1,0 +1,260 @@
+// Tests for the matrix-expression front end: lexing, parsing,
+// diagnostics, CSE lowering, dimension checking, the reference
+// interpreter, and the full compile -> allocate -> schedule -> simulate
+// path verified against the interpreter.
+#include <gtest/gtest.h>
+
+#include "codegen/mpmd.hpp"
+#include "core/programs.hpp"
+#include "cost/model.hpp"
+#include "frontend/compile.hpp"
+#include "frontend/lexer.hpp"
+#include "frontend/parser.hpp"
+#include "sched/psa.hpp"
+#include "sim/simulator.hpp"
+#include "solver/allocator.hpp"
+#include "support/error.hpp"
+
+namespace paradigm::frontend {
+namespace {
+
+constexpr const char* kComplexSource = R"(
+# complex matrix multiply: C = (Ar + i Ai)(Br + i Bi)
+input Ar 32 32 101
+input Ai 32 32 102
+input Br 32 32 103
+input Bi 32 32 104
+Cr = Ar * Br - Ai * Bi
+Ci = Ar * Bi + Ai * Br
+output Cr
+output Ci
+)";
+
+// ---- lexer ------------------------------------------------------------------
+
+TEST(Lexer, TokenizesOperatorsAndNames) {
+  const auto tokens = tokenize("X = foo * (bar + 12)\n");
+  ASSERT_GE(tokens.size(), 10u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "X");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kAssign);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kStar);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kLParen);
+  EXPECT_EQ(tokens[7].number, 12u);
+  EXPECT_EQ(tokens.back().kind, TokenKind::kEnd);
+}
+
+TEST(Lexer, TracksLineNumbersAndComments) {
+  const auto tokens = tokenize("a = b\n# comment only\nc = d\n");
+  // Find token 'c'.
+  for (const auto& token : tokens) {
+    if (token.text == "c") {
+      EXPECT_EQ(token.line, 3u);
+      return;
+    }
+  }
+  FAIL() << "token 'c' not found";
+}
+
+TEST(Lexer, RejectsUnknownCharacters) {
+  EXPECT_THROW(tokenize("a = b @ c"), Error);
+}
+
+// ---- parser -----------------------------------------------------------------
+
+TEST(Parser, PrecedenceMulBeforeAdd) {
+  const Program program = parse_program(R"(
+input A 4 4
+input B 4 4
+input C 4 4
+X = A + B * C
+output X
+)");
+  const Expr& root = *program.assignments[0].value;
+  EXPECT_EQ(root.kind, ExprKind::kAdd);
+  EXPECT_EQ(root.rhs->kind, ExprKind::kMul);
+}
+
+TEST(Parser, ParenthesesOverridePrecedence) {
+  const Program program = parse_program(R"(
+input A 4 4
+input B 4 4
+input C 4 4
+X = (A + B) * C
+output X
+)");
+  const Expr& root = *program.assignments[0].value;
+  EXPECT_EQ(root.kind, ExprKind::kMul);
+  EXPECT_EQ(root.lhs->kind, ExprKind::kAdd);
+}
+
+struct BadSource {
+  const char* text;
+  const char* reason;
+};
+
+class ParserErrors : public ::testing::TestWithParam<BadSource> {};
+
+TEST_P(ParserErrors, RejectsWithLineDiagnostic) {
+  try {
+    parse_program(GetParam().text);
+    FAIL() << "expected failure: " << GetParam().reason;
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("source line"), std::string::npos)
+        << e.what();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ParserErrors,
+    ::testing::Values(
+        BadSource{"input A 4\nX = A\noutput X", "missing cols"},
+        BadSource{"input A 0 4\nX = A\noutput X", "zero dimension"},
+        BadSource{"input A 4 4\nX = A +\noutput X", "dangling operator"},
+        BadSource{"input A 4 4\nX = (A\noutput X", "unclosed paren"},
+        BadSource{"input A 4 4\nX = A B\noutput X", "missing operator"},
+        BadSource{"input A 4 4\nX = Y\noutput X", "undefined name"},
+        BadSource{"input A 4 4\ninput A 4 4\nX = A\noutput X",
+                  "duplicate input"},
+        BadSource{"input A 4 4\nX = A * A\nX = A\noutput X",
+                  "redefinition"},
+        BadSource{"input A 4 4\nX = A * A\noutput Y", "unknown output"},
+        BadSource{"input A 4 4\ntranspose = A\noutput transpose",
+                  "reserved word"}));
+
+TEST(Parser, RequiresOutputs) {
+  EXPECT_THROW(parse_program("input A 4 4\nX = A * A\n"), Error);
+}
+
+// ---- lowering ---------------------------------------------------------------
+
+TEST(Compile, ComplexMatmulStructureMatchesHandBuiltGraph) {
+  const CompiledProgram compiled = compile_source(kComplexSource);
+  // 4 inits + 4 muls + 2 combines + START/STOP = 12, like
+  // core::complex_matmul_mdg.
+  EXPECT_EQ(compiled.graph.node_count(), 12u);
+  EXPECT_EQ(compiled.outputs.size(), 2u);
+  EXPECT_EQ(compiled.outputs[0].name, "Cr");
+  EXPECT_EQ(compiled.outputs[0].array, "Cr");
+  EXPECT_EQ(compiled.cse_hits, 0u);
+}
+
+TEST(Compile, CommonSubexpressionsComputedOnce) {
+  const CompiledProgram compiled = compile_source(R"(
+input A 16 16
+input B 16 16
+X = (A * B) + (A * B)
+Y = A * B
+output X
+output Y
+)");
+  // One multiply for all three A*B occurrences.
+  std::size_t muls = 0;
+  for (const auto& node : compiled.graph.nodes()) {
+    if (node.kind == mdg::NodeKind::kLoop &&
+        node.loop.op == mdg::LoopOp::kMul) {
+      ++muls;
+    }
+  }
+  EXPECT_EQ(muls, 1u);
+  EXPECT_EQ(compiled.cse_hits, 2u);
+  // Y is a pure alias of the shared multiply's array.
+  EXPECT_EQ(compiled.outputs[1].name, "Y");
+  EXPECT_NE(compiled.outputs[1].array, "Y");
+}
+
+TEST(Compile, DimensionErrorsDiagnosed) {
+  EXPECT_THROW(compile_source(R"(
+input A 4 8
+input B 4 8
+X = A * B
+output X
+)"),
+               Error);
+  EXPECT_THROW(compile_source(R"(
+input A 4 8
+input B 8 4
+X = A + B
+output X
+)"),
+               Error);
+  // Transpose fixes both.
+  const CompiledProgram ok = compile_source(R"(
+input A 4 8
+input B 4 8
+X = A * transpose(B)
+Y = A + transpose(transpose(A))
+output X
+output Y
+)");
+  EXPECT_EQ(ok.outputs[0].rows, 4u);
+  EXPECT_EQ(ok.outputs[0].cols, 4u);
+}
+
+// ---- interpreter and end-to-end ----------------------------------------------
+
+TEST(Interpret, MatchesHandBuiltReference) {
+  const auto env = interpret_source(kComplexSource);
+  const auto ref = core::complex_matmul_reference(32);
+  EXPECT_LT(env.at("Cr").max_abs_diff(ref.cr), 1e-12);
+  EXPECT_LT(env.at("Ci").max_abs_diff(ref.ci), 1e-12);
+}
+
+TEST(Compile, EndToEndSimulationMatchesInterpreter) {
+  constexpr const char* source = R"(
+input A 24 24
+input B 24 24 77
+S = A + B
+P = S * transpose(A - B)
+Q = P * P
+output Q
+)";
+  const CompiledProgram compiled = compile_source(source);
+
+  sim::MachineConfig mc;
+  mc.size = 8;
+  mc.noise_sigma = 0.0;
+  cost::KernelCostTable table;
+  for (const auto& node : compiled.graph.nodes()) {
+    if (node.kind != mdg::NodeKind::kLoop) continue;
+    const auto key = cost::KernelCostTable::key_for(compiled.graph, node);
+    if (!table.contains(key)) {
+      table.set(key, cost::AmdahlParams{
+                         mc.timing_for(key.op).serial_fraction,
+                         mc.sequential_seconds(key.op, key.rows, key.cols,
+                                               key.inner)});
+    }
+  }
+  const cost::CostModel model(compiled.graph, cost::MachineParams{},
+                              table);
+  const auto alloc = solver::ConvexAllocator{}.allocate(model, 8.0);
+  const sched::PsaResult psa =
+      sched::prioritized_schedule(model, alloc.allocation, 8);
+  psa.schedule.validate(model);
+  const auto generated = codegen::generate_mpmd(compiled.graph,
+                                                psa.schedule);
+  sim::Simulator simulator(mc);
+  simulator.run(generated.program);
+
+  const auto env = interpret_source(source);
+  for (const auto& output : compiled.outputs) {
+    const Matrix simulated = simulator.assemble_array(
+        output.array, output.rows, output.cols);
+    const Matrix& expected = env.at(output.name);
+    EXPECT_LT(simulated.max_abs_diff(expected),
+              1e-9 * (1.0 + expected.frobenius_norm()))
+        << output.name;
+  }
+}
+
+TEST(Compile, DefaultTagsAreStable) {
+  // Inputs without explicit tags get deterministic defaults, so two
+  // compilations see identical data.
+  const char* source = "input A 8 8\nX = A * A\noutput X\n";
+  const auto env1 = interpret_source(source);
+  const auto env2 = interpret_source(source);
+  EXPECT_LT(env1.at("X").max_abs_diff(env2.at("X")), 1e-15);
+}
+
+}  // namespace
+}  // namespace paradigm::frontend

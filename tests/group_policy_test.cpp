@@ -1,0 +1,97 @@
+// Tests for the aligned-blocks (buddy) group policy.
+#include <gtest/gtest.h>
+
+#include "core/programs.hpp"
+#include "cost/model.hpp"
+#include "mdg/random_mdg.hpp"
+#include "sched/bounds.hpp"
+#include "sched/psa.hpp"
+#include "solver/allocator.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace paradigm::sched {
+namespace {
+
+cost::CostModel synthetic_model(const mdg::Mdg& graph) {
+  return cost::CostModel(graph, cost::MachineParams{},
+                         cost::KernelCostTable{});
+}
+
+TEST(GroupPolicy, AlignedBlocksAreContiguousAndAligned) {
+  Rng rng(17);
+  const mdg::Mdg graph = mdg::random_mdg(rng);
+  const cost::CostModel model = synthetic_model(graph);
+  const std::uint64_t p = 32;
+  const auto alloc = solver::ConvexAllocator{}.allocate(
+      model, static_cast<double>(p));
+  auto rounded = round_allocation(alloc.allocation, p);
+  rounded = bound_allocation(std::move(rounded),
+                             optimal_processor_bound(p));
+  const Schedule schedule =
+      list_schedule(model, rounded, p, ListPriority::kLowestEst,
+                    GroupPolicy::kAlignedBlocks);
+  schedule.validate(model);
+  for (const auto& sn : schedule.placements_in_start_order()) {
+    if (sn.ranks.empty()) continue;
+    const std::size_t k = sn.ranks.size();
+    // Aligned start and contiguous ranks.
+    EXPECT_EQ(sn.ranks.front() % k, 0u);
+    for (std::size_t i = 1; i < k; ++i) {
+      EXPECT_EQ(sn.ranks[i], sn.ranks[i - 1] + 1);
+    }
+  }
+}
+
+TEST(GroupPolicy, RejectsNonPowerOfTwoAllocations) {
+  const mdg::Mdg graph = core::figure1_example();
+  const cost::CostModel model = synthetic_model(graph);
+  std::vector<std::uint64_t> alloc(graph.node_count(), 3);
+  EXPECT_THROW(list_schedule(model, alloc, 8, ListPriority::kLowestEst,
+                             GroupPolicy::kAlignedBlocks),
+               Error);
+}
+
+TEST(GroupPolicy, AlignedMatchesScatteredOnFigure1) {
+  // With balanced power-of-two groups, the aligned policy should find
+  // the same makespan as the scattered one on the small example.
+  const mdg::Mdg graph = core::figure1_example();
+  const cost::CostModel model = synthetic_model(graph);
+  std::vector<std::uint64_t> alloc(graph.node_count(), 1);
+  alloc[0] = 4;
+  alloc[1] = 2;
+  alloc[2] = 2;
+  const Schedule scattered = list_schedule(model, alloc, 4);
+  const Schedule aligned =
+      list_schedule(model, alloc, 4, ListPriority::kLowestEst,
+                    GroupPolicy::kAlignedBlocks);
+  aligned.validate(model);
+  EXPECT_DOUBLE_EQ(aligned.makespan(), scattered.makespan());
+}
+
+TEST(GroupPolicy, AlignedNeverMuchWorseOnRandomGraphs) {
+  // Restricting groups to aligned blocks can fragment the timeline, but
+  // with power-of-two-everything the loss stays small.
+  Rng rng(23);
+  for (int trial = 0; trial < 5; ++trial) {
+    const mdg::Mdg graph = mdg::random_mdg(rng);
+    const cost::CostModel model = synthetic_model(graph);
+    const std::uint64_t p = 16;
+    const auto alloc = solver::ConvexAllocator{}.allocate(
+        model, static_cast<double>(p));
+    auto rounded = round_allocation(alloc.allocation, p);
+    rounded = bound_allocation(std::move(rounded),
+                               optimal_processor_bound(p));
+    const double scattered =
+        list_schedule(model, rounded, p).makespan();
+    const double aligned =
+        list_schedule(model, rounded, p, ListPriority::kLowestEst,
+                      GroupPolicy::kAlignedBlocks)
+            .makespan();
+    EXPECT_LE(aligned, 1.5 * scattered) << "trial " << trial;
+    EXPECT_GE(aligned, scattered * 0.99) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace paradigm::sched

@@ -1,0 +1,88 @@
+// Tests for the L-BFGS allocator: agreement with the projected-gradient
+// reference solver, dominance over baselines, and iteration savings.
+#include <gtest/gtest.h>
+
+#include "core/programs.hpp"
+#include "cost/model.hpp"
+#include "mdg/random_mdg.hpp"
+#include "solver/lbfgs.hpp"
+#include "solver/oracle.hpp"
+#include "support/rng.hpp"
+
+namespace paradigm::solver {
+namespace {
+
+cost::CostModel synthetic_model(const mdg::Mdg& graph) {
+  return cost::CostModel(graph, cost::MachineParams{},
+                         cost::KernelCostTable{});
+}
+
+class LbfgsSeeded : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LbfgsSeeded, AgreesWithProjectedGradient) {
+  Rng rng(GetParam());
+  const mdg::Mdg graph = mdg::random_mdg(rng);
+  const cost::CostModel model = synthetic_model(graph);
+  const double p = 32.0;
+  const AllocationResult pg = ConvexAllocator{}.allocate(model, p);
+  const AllocationResult lbfgs = LbfgsAllocator{}.allocate(model, p);
+  // Both must find (approximately) the same global optimum of the same
+  // convex problem.
+  EXPECT_NEAR(lbfgs.phi, pg.phi, 0.01 * pg.phi)
+      << "pg " << pg.summary() << " / lbfgs " << lbfgs.summary();
+}
+
+TEST_P(LbfgsSeeded, MatchesOracleOnSmallGraphs) {
+  Rng rng(GetParam() + 77);
+  mdg::RandomMdgConfig config;
+  config.min_nodes = 3;
+  config.max_nodes = 4;
+  config.max_width = 2;
+  const mdg::Mdg graph = mdg::random_mdg(rng, config);
+  const cost::CostModel model = synthetic_model(graph);
+  const double p = 16.0;
+  OracleConfig oc;
+  oc.grid_points = 9;
+  const AllocationResult oracle = oracle_allocation(model, p, oc);
+  const AllocationResult lbfgs = LbfgsAllocator{}.allocate(model, p);
+  EXPECT_LE(lbfgs.phi, oracle.phi * 1.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LbfgsSeeded,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+TEST(Lbfgs, Figure1Optimum) {
+  const mdg::Mdg graph = core::figure1_example();
+  const cost::CostModel model = synthetic_model(graph);
+  const AllocationResult result = LbfgsAllocator{}.allocate(model, 4.0);
+  EXPECT_LE(result.phi, 14.3 * 1.001);
+}
+
+TEST(Lbfgs, ConvergesInFewerInnerIterationsOnBigGraphs) {
+  Rng rng(4242);
+  mdg::RandomMdgConfig config;
+  config.min_nodes = 40;
+  config.max_nodes = 40;
+  config.max_width = 8;
+  const mdg::Mdg graph = mdg::random_mdg(rng, config);
+  const cost::CostModel model = synthetic_model(graph);
+  const AllocationResult pg = ConvexAllocator{}.allocate(model, 64.0);
+  const AllocationResult lbfgs = LbfgsAllocator{}.allocate(model, 64.0);
+  EXPECT_NEAR(lbfgs.phi, pg.phi, 0.01 * pg.phi);
+  EXPECT_LT(lbfgs.iterations, pg.iterations)
+      << "lbfgs " << lbfgs.iterations << " vs pg " << pg.iterations;
+}
+
+TEST(Lbfgs, AllocationInBox) {
+  Rng rng(9);
+  const mdg::Mdg graph = mdg::random_mdg(rng);
+  const cost::CostModel model = synthetic_model(graph);
+  const AllocationResult result = LbfgsAllocator{}.allocate(model, 16.0);
+  for (const double a : result.allocation) {
+    EXPECT_GE(a, 1.0);
+    EXPECT_LE(a, 16.0);
+  }
+}
+
+}  // namespace
+}  // namespace paradigm::solver

@@ -1,0 +1,238 @@
+// Unit tests for the MDG representation: construction, validation,
+// START/STOP insertion, topological order, longest path, DOT export,
+// and the random-DAG generator.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "mdg/dot.hpp"
+#include "mdg/mdg.hpp"
+#include "mdg/random_mdg.hpp"
+#include "support/error.hpp"
+
+namespace paradigm::mdg {
+namespace {
+
+Mdg diamond() {
+  // a -> b, a -> c, b -> d, c -> d.
+  Mdg g;
+  const NodeId a = g.add_synthetic("a", 0.1, 1.0);
+  const NodeId b = g.add_synthetic("b", 0.1, 2.0);
+  const NodeId c = g.add_synthetic("c", 0.1, 3.0);
+  const NodeId d = g.add_synthetic("d", 0.1, 4.0);
+  g.add_synthetic_dependence(a, b, 1024);
+  g.add_synthetic_dependence(a, c, 2048);
+  g.add_synthetic_dependence(b, d, 512);
+  g.add_synthetic_dependence(c, d, 256);
+  g.finalize();
+  return g;
+}
+
+TEST(Mdg, FinalizeInsertsStartStop) {
+  const Mdg g = diamond();
+  EXPECT_EQ(g.node_count(), 6u);  // 4 loops + START + STOP
+  EXPECT_EQ(g.node(g.start()).kind, NodeKind::kStart);
+  EXPECT_EQ(g.node(g.stop()).kind, NodeKind::kStop);
+  // START precedes everything, STOP succeeds everything.
+  EXPECT_TRUE(g.node(g.start()).in_edges.empty());
+  EXPECT_TRUE(g.node(g.stop()).out_edges.empty());
+}
+
+TEST(Mdg, TopologicalOrderRespectsEdges) {
+  const Mdg g = diamond();
+  const auto& topo = g.topological_order();
+  EXPECT_EQ(topo.size(), g.node_count());
+  std::vector<std::size_t> position(g.node_count());
+  for (std::size_t i = 0; i < topo.size(); ++i) position[topo[i]] = i;
+  for (const auto& e : g.edges()) {
+    EXPECT_LT(position[e.src], position[e.dst]);
+  }
+  EXPECT_EQ(topo.front(), g.start());
+  EXPECT_EQ(topo.back(), g.stop());
+}
+
+TEST(Mdg, PredecessorsSuccessors) {
+  const Mdg g = diamond();
+  // Node "d" (id 3) has predecessors b (1) and c (2) plus edge to STOP.
+  const auto preds = g.predecessors(3);
+  EXPECT_EQ(preds.size(), 2u);
+  EXPECT_TRUE(std::count(preds.begin(), preds.end(), 1u));
+  EXPECT_TRUE(std::count(preds.begin(), preds.end(), 2u));
+}
+
+TEST(Mdg, CycleDetected) {
+  Mdg g;
+  const NodeId a = g.add_synthetic("a", 0.1, 1.0);
+  const NodeId b = g.add_synthetic("b", 0.1, 1.0);
+  g.add_synthetic_dependence(a, b, 0);
+  g.add_synthetic_dependence(b, a, 0);
+  EXPECT_THROW(g.finalize(), Error);
+}
+
+TEST(Mdg, SelfEdgeRejected) {
+  Mdg g;
+  const NodeId a = g.add_synthetic("a", 0.1, 1.0);
+  EXPECT_THROW(g.add_synthetic_dependence(a, a, 0), Error);
+}
+
+TEST(Mdg, DuplicateArrayRejected) {
+  Mdg g;
+  g.add_array("X", 4, 4);
+  EXPECT_THROW(g.add_array("X", 8, 8), Error);
+}
+
+TEST(Mdg, EdgeWithUnknownArrayRejected) {
+  Mdg g;
+  const NodeId a = g.add_synthetic("a", 0.1, 1.0);
+  const NodeId b = g.add_synthetic("b", 0.1, 1.0);
+  EXPECT_THROW(g.add_dependence(a, b, {"nope"}), Error);
+}
+
+TEST(Mdg, InputWithoutInEdgeRejected) {
+  Mdg g;
+  g.add_array("X", 4, 4);
+  g.add_array("Y", 4, 4);
+  LoopSpec init;
+  init.op = LoopOp::kInit;
+  init.output = "X";
+  g.add_loop("init", init);
+  LoopSpec consume;
+  consume.op = LoopOp::kAdd;
+  consume.inputs = {"X", "Y"};
+  consume.output = "Y";  // also the producer of Y: self-referential
+  g.add_loop("bad", consume);
+  // No edge carries X into "bad".
+  EXPECT_THROW(g.finalize(), Error);
+}
+
+TEST(Mdg, EdgeCarryingForeignArrayRejected) {
+  Mdg g;
+  g.add_array("X", 4, 4);
+  LoopSpec init;
+  init.op = LoopOp::kInit;
+  init.output = "X";
+  const NodeId a = g.add_loop("init", init);
+  const NodeId b = g.add_synthetic("b", 0.1, 1.0);
+  const NodeId c = g.add_synthetic("c", 0.1, 1.0);
+  // Edge b -> c claims to carry X, but b does not produce X.
+  g.add_dependence(b, c, {"X"});
+  g.add_synthetic_dependence(a, b, 0);
+  EXPECT_THROW(g.finalize(), Error);
+}
+
+TEST(Mdg, TwoProducersRejected) {
+  Mdg g;
+  g.add_array("X", 4, 4);
+  LoopSpec init;
+  init.op = LoopOp::kInit;
+  init.output = "X";
+  g.add_loop("p1", init);
+  g.add_loop("p2", init);
+  EXPECT_THROW(g.finalize(), Error);
+}
+
+TEST(Mdg, FinalizeTwiceRejected) {
+  Mdg g = diamond();
+  EXPECT_THROW(g.finalize(), Error);
+}
+
+TEST(Mdg, TransferBytesDerivedFromArrayTable) {
+  Mdg g;
+  g.add_array("X", 16, 8);
+  LoopSpec init;
+  init.op = LoopOp::kInit;
+  init.output = "X";
+  const NodeId a = g.add_loop("init", init);
+  const NodeId b = g.add_synthetic("b", 0.1, 1.0);
+  const EdgeId e = g.add_dependence(a, b, {"X"});
+  EXPECT_EQ(g.edge(e).total_bytes(), 16u * 8u * sizeof(double));
+}
+
+TEST(Mdg, LongestPathDiamond) {
+  const Mdg g = diamond();
+  // Unit node weights for loops, zero for markers; edge weight = bytes.
+  const auto finish = g.longest_path(
+      [&](NodeId id) {
+        return g.node(id).kind == NodeKind::kLoop ? 1.0 : 0.0;
+      },
+      [&](EdgeId e) {
+        return static_cast<double>(g.edge(e).total_bytes()) * 1e-6;
+      });
+  // Critical path: START -> a -> c -> d -> STOP:
+  // 1 + 0.002048 + 1 + 0.000256 + 1 = 3.002304.
+  EXPECT_NEAR(finish[g.stop()], 3.002304, 1e-9);
+}
+
+TEST(Mdg, ProducerLookup) {
+  Mdg g;
+  g.add_array("X", 4, 4);
+  LoopSpec init;
+  init.op = LoopOp::kInit;
+  init.output = "X";
+  const NodeId a = g.add_loop("init", init);
+  const NodeId b = g.add_synthetic("b", 0.1, 1.0);
+  g.add_dependence(a, b, {"X"});
+  g.finalize();
+  EXPECT_EQ(g.producer_of("X"), a);
+  EXPECT_THROW(g.producer_of("nope"), Error);
+}
+
+TEST(Dot, ExportContainsNodesAndEdges) {
+  const Mdg g = diamond();
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("\"a"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_NE(dot.find("1D"), std::string::npos);
+}
+
+TEST(Dot, AllocationAnnotation) {
+  const Mdg g = diamond();
+  const std::vector<double> alloc(g.node_count(), 4.0);
+  const std::string dot = to_dot(g, alloc);
+  EXPECT_NE(dot.find("p=4.00"), std::string::npos);
+}
+
+TEST(Dot, AllocationSizeMismatchThrows) {
+  const Mdg g = diamond();
+  EXPECT_THROW(to_dot(g, {1.0}), Error);
+}
+
+class RandomMdgTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomMdgTest, GeneratedGraphsAreValidDags) {
+  Rng rng(GetParam());
+  const Mdg g = random_mdg(rng);
+  EXPECT_TRUE(g.finalized());
+  EXPECT_GE(g.node_count(), 6u);  // min 4 + START/STOP
+  // Topological order exists and covers every node (acyclicity).
+  const auto& topo = g.topological_order();
+  EXPECT_EQ(std::set<NodeId>(topo.begin(), topo.end()).size(),
+            g.node_count());
+  // Every loop node reachable from START and reaching STOP.
+  for (const auto& node : g.nodes()) {
+    if (node.kind != NodeKind::kLoop) continue;
+    EXPECT_FALSE(node.in_edges.empty()) << node.name;
+    EXPECT_FALSE(node.out_edges.empty()) << node.name;
+  }
+}
+
+TEST_P(RandomMdgTest, SyntheticParametersInRange) {
+  Rng rng(GetParam() + 1000);
+  RandomMdgConfig config;
+  const Mdg g = random_mdg(rng, config);
+  for (const auto& node : g.nodes()) {
+    if (node.kind != NodeKind::kLoop) continue;
+    EXPECT_GE(node.loop.synth_alpha, config.alpha_min);
+    EXPECT_LE(node.loop.synth_alpha, config.alpha_max);
+    EXPECT_GE(node.loop.synth_tau, config.tau_min);
+    EXPECT_LE(node.loop.synth_tau, config.tau_max);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomMdgTest,
+                         ::testing::Range<std::uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace paradigm::mdg

@@ -1,0 +1,98 @@
+// Tests for calibration persistence and the pipeline's preset mode.
+#include <gtest/gtest.h>
+
+#include "calibrate/paramsio.hpp"
+#include "core/pipeline.hpp"
+#include "core/programs.hpp"
+#include "support/error.hpp"
+
+namespace paradigm::calibrate {
+namespace {
+
+CalibrationBundle sample_bundle() {
+  CalibrationBundle bundle;
+  bundle.machine.t_ss = 777.56e-6;
+  bundle.machine.t_ps = 486.98e-9;
+  bundle.machine.t_sr = 465.58e-6;
+  bundle.machine.t_pr = 426.25e-9;
+  bundle.machine.t_n = 0.0;
+  bundle.kernels.set(cost::KernelKey{mdg::LoopOp::kMul, 64, 64, 64},
+                     cost::AmdahlParams{0.121, 0.29847});
+  bundle.kernels.set(cost::KernelKey{mdg::LoopOp::kAdd, 64, 64, 0},
+                     cost::AmdahlParams{0.067, 0.00373});
+  bundle.kernels.set(cost::KernelKey{mdg::LoopOp::kTranspose, 32, 16, 0},
+                     cost::AmdahlParams{0.03, 0.0002});
+  return bundle;
+}
+
+TEST(ParamsIo, RoundTripExact) {
+  const CalibrationBundle original = sample_bundle();
+  const std::string text = write_calibration(original);
+  const CalibrationBundle round = parse_calibration(text);
+  EXPECT_DOUBLE_EQ(round.machine.t_ss, original.machine.t_ss);
+  EXPECT_DOUBLE_EQ(round.machine.t_pr, original.machine.t_pr);
+  EXPECT_EQ(round.kernels.size(), original.kernels.size());
+  const auto key = cost::KernelKey{mdg::LoopOp::kMul, 64, 64, 64};
+  EXPECT_DOUBLE_EQ(round.kernels.get(key).alpha,
+                   original.kernels.get(key).alpha);
+  EXPECT_DOUBLE_EQ(round.kernels.get(key).tau,
+                   original.kernels.get(key).tau);
+  // Fixed point.
+  EXPECT_EQ(write_calibration(round), text);
+}
+
+TEST(ParamsIo, ParsesCommentsAndBlankLines) {
+  const CalibrationBundle bundle = parse_calibration(R"(
+# saved calibration
+machine t_ss=1e-4 t_ps=1e-7 t_sr=1e-4 t_pr=1e-7 t_n=0
+
+kernel mul 8 8 8 alpha=0.1 tau=0.5  # inline comment? no, trailing junk
+)");
+  EXPECT_DOUBLE_EQ(bundle.machine.t_ss, 1e-4);
+  EXPECT_TRUE(bundle.kernels.contains(
+      cost::KernelKey{mdg::LoopOp::kMul, 8, 8, 8}));
+}
+
+TEST(ParamsIo, Errors) {
+  EXPECT_THROW(parse_calibration("bogus line"), Error);
+  EXPECT_THROW(parse_calibration("machine t_ss=1"), Error);
+  EXPECT_THROW(parse_calibration(
+                   "machine t_ss=1 t_ps=1 t_sr=1 t_pr=1 t_n=zero"),
+               Error);
+  EXPECT_THROW(parse_calibration("machine t_ss=1 t_ps=1 t_sr=1 t_pr=1 "
+                                 "t_n=0\nkernel fly 1 1 0 alpha=0 tau=1"),
+               Error);
+  // Missing machine line.
+  EXPECT_THROW(parse_calibration("kernel mul 8 8 8 alpha=0.1 tau=0.5"),
+               Error);
+}
+
+TEST(ParamsIo, PipelinePresetSkipsCalibration) {
+  // With a preset the pipeline must use exactly those numbers.
+  const mdg::Mdg graph = core::complex_matmul_mdg(32);
+  CalibrationBundle bundle;
+  bundle.machine = cost::MachineParams::cm5_paper();
+  for (const auto& node : graph.nodes()) {
+    if (node.kind != mdg::NodeKind::kLoop) continue;
+    const auto key = cost::KernelCostTable::key_for(graph, node);
+    if (!bundle.kernels.contains(key)) {
+      bundle.kernels.set(key, cost::AmdahlParams{0.1, 0.05});
+    }
+  }
+  core::PipelineConfig config;
+  config.processors = 8;
+  config.machine.size = 8;
+  config.machine.noise_sigma = 0.0;
+  config.preset_calibration = bundle;
+  const core::Compiler compiler(config);
+  const core::PipelineReport report = compiler.compile_and_run(graph);
+  EXPECT_DOUBLE_EQ(report.fitted_machine.t_ss, bundle.machine.t_ss);
+  EXPECT_DOUBLE_EQ(
+      report.kernel_table
+          .get(cost::KernelKey{mdg::LoopOp::kMul, 32, 32, 32})
+          .tau,
+      0.05);
+}
+
+}  // namespace
+}  // namespace paradigm::calibrate

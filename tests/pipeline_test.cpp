@@ -1,0 +1,119 @@
+// End-to-end integration tests of the Compiler pipeline on the paper's
+// two benchmark programs: allocation/schedule consistency, prediction
+// vs simulation, numerical correctness, and the MPMD-beats-SPMD shape
+// at larger machine sizes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/pipeline.hpp"
+#include "core/programs.hpp"
+#include "sched/bounds.hpp"
+#include "support/error.hpp"
+
+namespace paradigm::core {
+namespace {
+
+PipelineConfig small_config(std::uint64_t p, double noise = 0.0) {
+  PipelineConfig config;
+  config.processors = p;
+  config.machine.size = static_cast<std::uint32_t>(p);
+  config.machine.noise_sigma = noise;
+  config.calibration.repetitions = noise > 0.0 ? 3 : 1;
+  return config;
+}
+
+TEST(Pipeline, ComplexMatmulEndToEndConsistency) {
+  const mdg::Mdg graph = complex_matmul_mdg(32);
+  const Compiler compiler(small_config(8));
+  const PipelineReport report = compiler.compile_and_run(graph);
+
+  ASSERT_TRUE(report.psa.has_value());
+  // Structural consistency.
+  EXPECT_EQ(report.processors, 8u);
+  EXPECT_EQ(report.psa->pb, sched::optimal_processor_bound(8));
+  EXPECT_GT(report.phi(), 0.0);
+  EXPECT_GT(report.t_psa(), 0.0);
+  // Theorem 3 end-to-end bound.
+  EXPECT_LE(report.t_psa(),
+            sched::theorem3_factor(8, report.psa->pb) * report.phi());
+  // The PSA prediction can dip slightly below Phi only through solver
+  // slack; it must not be wildly below.
+  EXPECT_GE(report.t_psa(), 0.9 * report.phi());
+  // Prediction vs simulation (Figure 9's claim: "fairly close").
+  EXPECT_NEAR(report.mpmd.simulated, report.mpmd.predicted,
+              0.3 * report.mpmd.predicted);
+  EXPECT_NEAR(report.spmd_run.simulated, report.spmd_run.predicted,
+              0.3 * report.spmd_run.predicted);
+  // Speedups are positive and bounded by p.
+  EXPECT_GT(report.mpmd_speedup(), 1.0);
+  EXPECT_LE(report.mpmd_speedup(), 8.0);
+  EXPECT_GT(report.spmd_speedup(), 1.0);
+}
+
+TEST(Pipeline, StrassenEndToEndRunsAndValidates) {
+  const mdg::Mdg graph = strassen_mdg(32);
+  const Compiler compiler(small_config(8));
+  const PipelineReport report = compiler.compile_and_run(graph);
+  ASSERT_TRUE(report.psa.has_value());
+  EXPECT_GT(report.mpmd.simulated, 0.0);
+  EXPECT_GT(report.serial_seconds, report.mpmd.simulated);
+  EXPECT_LE(report.t_psa(),
+            sched::theorem3_factor(8, report.psa->pb) * report.phi());
+}
+
+TEST(Pipeline, MpmdBeatsSpmdOnLargerMachines) {
+  // The paper's headline result (Figure 8): mixed task+data parallelism
+  // wins over pure data parallelism, especially for larger systems.
+  const mdg::Mdg graph = complex_matmul_mdg(64);
+  const Compiler compiler(small_config(32));
+  const PipelineReport report = compiler.compile_and_run(graph);
+  EXPECT_GT(report.mpmd_speedup(), report.spmd_speedup())
+      << report.summary();
+}
+
+TEST(Pipeline, NoiseDoesNotBreakTheShape) {
+  const mdg::Mdg graph = complex_matmul_mdg(32);
+  const Compiler compiler(small_config(8, 0.02));
+  const PipelineReport report = compiler.compile_and_run(graph);
+  EXPECT_GT(report.mpmd_speedup(), 1.0);
+  EXPECT_NEAR(report.mpmd.simulated, report.mpmd.predicted,
+              0.35 * report.mpmd.predicted);
+}
+
+TEST(Pipeline, PredictionsOnlyModeSkipsSimulation) {
+  PipelineConfig config = small_config(8);
+  config.run_simulation = false;
+  const mdg::Mdg graph = complex_matmul_mdg(32);
+  const Compiler compiler(config);
+  const PipelineReport report = compiler.compile_and_run(graph);
+  EXPECT_GT(report.mpmd.predicted, 0.0);
+  EXPECT_EQ(report.mpmd.simulated, 0.0);
+  EXPECT_EQ(report.serial_seconds, 0.0);
+}
+
+TEST(Pipeline, RejectsNonPowerOfTwoProcessors) {
+  PipelineConfig config = small_config(8);
+  config.processors = 12;
+  config.machine.size = 12;
+  EXPECT_THROW(Compiler{config}, Error);
+}
+
+TEST(Pipeline, RejectsMachineSmallerThanTarget) {
+  PipelineConfig config = small_config(8);
+  config.machine.size = 4;
+  EXPECT_THROW(Compiler{config}, Error);
+}
+
+TEST(Pipeline, SummaryMentionsKeyQuantities) {
+  const mdg::Mdg graph = complex_matmul_mdg(32);
+  const Compiler compiler(small_config(8));
+  const PipelineReport report = compiler.compile_and_run(graph);
+  const std::string s = report.summary();
+  EXPECT_NE(s.find("Phi="), std::string::npos);
+  EXPECT_NE(s.find("T_psa="), std::string::npos);
+  EXPECT_NE(s.find("speedup"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace paradigm::core

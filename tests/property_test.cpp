@@ -1,0 +1,209 @@
+// Cross-cutting property tests: scaling invariance of the formulation,
+// the message-count structure behind the Section-4 cost functions,
+// an empirical check of Theorem 2's content, and determinism of the
+// whole pipeline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "codegen/mpmd.hpp"
+#include "core/pipeline.hpp"
+#include "core/programs.hpp"
+#include "mdg/random_mdg.hpp"
+#include "sched/bounds.hpp"
+#include "sched/psa.hpp"
+#include "sim/redistribute.hpp"
+#include "solver/allocator.hpp"
+#include "support/rng.hpp"
+
+namespace paradigm {
+namespace {
+
+/// Clones a synthetic graph with every tau multiplied by `c`.
+mdg::Mdg scale_taus(const mdg::Mdg& graph, double c) {
+  mdg::Mdg out;
+  for (const auto& node : graph.nodes()) {
+    if (node.kind != mdg::NodeKind::kLoop) continue;
+    out.add_synthetic(node.name, node.loop.synth_alpha,
+                      node.loop.synth_tau * c);
+  }
+  for (const auto& edge : graph.edges()) {
+    if (graph.node(edge.src).kind != mdg::NodeKind::kLoop ||
+        graph.node(edge.dst).kind != mdg::NodeKind::kLoop) {
+      continue;
+    }
+    out.add_synthetic_dependence(
+        edge.src, edge.dst, edge.total_bytes(),
+        edge.transfers.empty() ? mdg::TransferKind::k1D
+                               : edge.transfers[0].kind);
+  }
+  out.finalize();
+  return out;
+}
+
+cost::MachineParams scale_machine(double c) {
+  cost::MachineParams mp;
+  mp.t_ss *= c;
+  mp.t_ps *= c;
+  mp.t_sr *= c;
+  mp.t_pr *= c;
+  mp.t_n *= c;
+  return mp;
+}
+
+class PropertySeeded : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PropertySeeded, PhiScalesLinearlyWithTime) {
+  // Scaling every time constant (taus and message parameters) by c
+  // scales every cost component, hence Phi, by exactly c — and leaves
+  // the optimal allocation unchanged. The solver must track this.
+  Rng rng(GetParam());
+  const mdg::Mdg graph = mdg::random_mdg(rng);
+  const double c = 7.5;
+  const mdg::Mdg scaled = scale_taus(graph, c);
+
+  const cost::CostModel base(graph, cost::MachineParams{},
+                             cost::KernelCostTable{});
+  const cost::CostModel big(scaled, scale_machine(c),
+                            cost::KernelCostTable{});
+  // Exact scaling at a fixed allocation.
+  std::vector<double> alloc(graph.node_count(), 3.0);
+  EXPECT_NEAR(big.phi(alloc, 16.0), c * base.phi(alloc, 16.0),
+              1e-9 * big.phi(alloc, 16.0));
+  // And at the solved optimum.
+  const auto a = solver::ConvexAllocator{}.allocate(base, 16.0);
+  const auto b = solver::ConvexAllocator{}.allocate(big, 16.0);
+  EXPECT_NEAR(b.phi, c * a.phi, 0.005 * b.phi);
+}
+
+TEST_P(PropertySeeded, Theorem2ContentHolds) {
+  // max(A_p, C_p) at the rounded-and-bounded allocation lower-bounds
+  // T_opt^PB, so by Theorem 2 it must stay within (3/2)^2 (p/PB)^2 of
+  // Phi.
+  Rng rng(GetParam() + 31);
+  const mdg::Mdg graph = mdg::random_mdg(rng);
+  const cost::CostModel model(graph, cost::MachineParams{},
+                              cost::KernelCostTable{});
+  const std::uint64_t p = 32;
+  const auto alloc = solver::ConvexAllocator{}.allocate(
+      model, static_cast<double>(p));
+  const std::uint64_t pb = sched::optimal_processor_bound(p);
+  auto bounded = sched::bound_allocation(
+      sched::round_allocation(alloc.allocation, p), pb);
+  std::vector<double> bounded_d(bounded.begin(), bounded.end());
+  const double lower_bound_on_t_opt =
+      model.phi(bounded_d, static_cast<double>(p));
+  EXPECT_LE(lower_bound_on_t_opt,
+            sched::theorem2_factor(p, pb) * alloc.phi * (1.0 + 1e-9));
+}
+
+TEST_P(PropertySeeded, PipelineIsDeterministic) {
+  Rng rng(GetParam() + 63);
+  const mdg::Mdg graph = mdg::random_mdg(rng);
+  const cost::CostModel model(graph, cost::MachineParams{},
+                              cost::KernelCostTable{});
+  const auto a1 = solver::ConvexAllocator{}.allocate(model, 16.0);
+  const auto a2 = solver::ConvexAllocator{}.allocate(model, 16.0);
+  ASSERT_EQ(a1.allocation.size(), a2.allocation.size());
+  for (std::size_t i = 0; i < a1.allocation.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a1.allocation[i], a2.allocation[i]);
+  }
+  const auto s1 = sched::prioritized_schedule(model, a1.allocation, 16);
+  const auto s2 = sched::prioritized_schedule(model, a2.allocation, 16);
+  EXPECT_DOUBLE_EQ(s1.finish_time, s2.finish_time);
+  const auto g1 = codegen::generate_mpmd(graph, s1.schedule);
+  const auto g2 = codegen::generate_mpmd(graph, s2.schedule);
+  EXPECT_EQ(g1.planned_messages, g2.planned_messages);
+  EXPECT_EQ(g1.planned_bytes, g2.planned_bytes);
+  EXPECT_EQ(g1.program.total_instructions(),
+            g2.program.total_instructions());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertySeeded,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+TEST(Property, OneDMessageStructureMatchesCostModelTerm) {
+  // The 1D cost's startup term counts max(p_i, p_j)/p_i messages per
+  // sender; for power-of-two groups the redistribution plan produces
+  // exactly that (the partition nesting property). Sweep all pairs.
+  for (std::uint32_t pi = 1; pi <= 32; pi *= 2) {
+    for (std::uint32_t pj = 1; pj <= 32; pj *= 2) {
+      std::vector<std::uint32_t> src, dst;
+      for (std::uint32_t i = 0; i < pi; ++i) src.push_back(i);
+      for (std::uint32_t j = 0; j < pj; ++j) dst.push_back(100 + j);
+      const auto plan = sim::plan_redistribution(
+          256, 4, src, sim::Distribution::kRow, dst,
+          sim::Distribution::kRow);
+      const std::uint32_t mx = std::max(pi, pj);
+      EXPECT_EQ(plan.messages.size(), mx) << pi << "x" << pj;
+      std::map<std::uint32_t, std::size_t> per_sender, per_recv;
+      for (const auto& piece : plan.messages) {
+        ++per_sender[piece.src_rank];
+        ++per_recv[piece.dst_rank];
+      }
+      for (const auto& [rank, count] : per_sender) {
+        EXPECT_EQ(count, mx / pi) << pi << "x" << pj;
+      }
+      for (const auto& [rank, count] : per_recv) {
+        EXPECT_EQ(count, mx / pj) << pi << "x" << pj;
+      }
+    }
+  }
+}
+
+TEST(Property, TwoDMessageStructureMatchesCostModelTerm) {
+  // The 2D cost's startup terms count p_j messages per sender and p_i
+  // per receiver.
+  for (std::uint32_t pi = 1; pi <= 16; pi *= 2) {
+    for (std::uint32_t pj = 1; pj <= 16; pj *= 2) {
+      std::vector<std::uint32_t> src, dst;
+      for (std::uint32_t i = 0; i < pi; ++i) src.push_back(i);
+      for (std::uint32_t j = 0; j < pj; ++j) dst.push_back(100 + j);
+      const auto plan = sim::plan_redistribution(
+          64, 64, src, sim::Distribution::kRow, dst,
+          sim::Distribution::kCol);
+      EXPECT_EQ(plan.messages.size(), pi * pj);
+      std::map<std::uint32_t, std::size_t> per_sender;
+      for (const auto& piece : plan.messages) ++per_sender[piece.src_rank];
+      for (const auto& [rank, count] : per_sender) EXPECT_EQ(count, pj);
+    }
+  }
+}
+
+TEST(Property, SimulationMatchesAcrossEquivalentMachineSizes) {
+  // A schedule on p processors simulated on a machine of exactly p
+  // ranks must behave identically to the same program on a larger
+  // machine (extra idle ranks change nothing).
+  const mdg::Mdg graph = core::complex_matmul_mdg(16);
+  sim::MachineConfig small;
+  small.size = 4;
+  small.noise_sigma = 0.0;
+  cost::KernelCostTable table;
+  for (const auto& node : graph.nodes()) {
+    if (node.kind == mdg::NodeKind::kLoop) {
+      const auto key = cost::KernelCostTable::key_for(graph, node);
+      if (!table.contains(key)) {
+        table.set(key, cost::AmdahlParams{0.1, 0.01});
+      }
+    }
+  }
+  const cost::CostModel model(graph, cost::MachineParams{}, table);
+  const sched::Schedule spmd = sched::spmd_schedule(model, 4);
+  const auto generated = codegen::generate_mpmd(graph, spmd);
+
+  sim::Simulator sim_small(small);
+  const double t_small = sim_small.run(generated.program).finish_time;
+  sim::MachineConfig large = small;
+  large.size = 16;
+  sim::Simulator sim_large(large);
+  sim::MpmdProgram padded(16);
+  for (std::uint32_t r = 0; r < 4; ++r) {
+    padded.streams[r] = generated.program.streams[r];
+  }
+  const double t_large = sim_large.run(padded).finish_time;
+  EXPECT_DOUBLE_EQ(t_small, t_large);
+}
+
+}  // namespace
+}  // namespace paradigm

@@ -1,0 +1,125 @@
+// Tests for schedule-aware prediction refinement: same-rank-set 1D
+// transfer elision.
+#include <gtest/gtest.h>
+
+#include "codegen/mpmd.hpp"
+#include "core/programs.hpp"
+#include "cost/model.hpp"
+#include "mdg/random_mdg.hpp"
+#include "sched/psa.hpp"
+#include "sched/refine.hpp"
+#include "sim/simulator.hpp"
+#include "solver/allocator.hpp"
+#include "support/rng.hpp"
+
+namespace paradigm::sched {
+namespace {
+
+cost::MachineParams mirror_params(const sim::MachineConfig& mc) {
+  cost::MachineParams mp;
+  mp.t_ss = mc.send_startup;
+  mp.t_ps = mc.send_per_byte;
+  mp.t_sr = mc.recv_startup;
+  mp.t_pr = mc.recv_per_byte;
+  return mp;
+}
+
+cost::KernelCostTable mirror_table(const sim::MachineConfig& mc,
+                                   const mdg::Mdg& graph) {
+  cost::KernelCostTable table;
+  for (const auto& node : graph.nodes()) {
+    if (node.kind != mdg::NodeKind::kLoop ||
+        node.loop.op == mdg::LoopOp::kSynthetic) {
+      continue;
+    }
+    const auto key = cost::KernelCostTable::key_for(graph, node);
+    if (!table.contains(key)) {
+      table.set(key,
+                cost::AmdahlParams{
+                    mc.timing_for(key.op).serial_fraction,
+                    mc.sequential_seconds(key.op, key.rows, key.cols,
+                                          key.inner)});
+    }
+  }
+  return table;
+}
+
+TEST(Refine, SpmdCollapsesToKernelTime) {
+  const mdg::Mdg graph = core::complex_matmul_mdg(32);
+  sim::MachineConfig mc;
+  mc.size = 8;
+  mc.noise_sigma = 0.0;
+  const cost::CostModel model(graph, mirror_params(mc),
+                              mirror_table(mc, graph));
+  const Schedule spmd = spmd_schedule(model, 8);
+
+  const RefinedPrediction refined = refine_prediction(model, spmd);
+  // Every data edge is same-group 1D -> elided.
+  EXPECT_GT(refined.elided_edges, 0u);
+  EXPECT_LT(refined.makespan, spmd.makespan());
+
+  // The refined SPMD prediction is the serialized kernel time.
+  const std::vector<double> alloc(graph.node_count(), 8.0);
+  double kernel_sum = 0.0;
+  for (const auto& node : graph.nodes()) {
+    if (node.kind == mdg::NodeKind::kLoop) {
+      kernel_sum += model.processing_cost(node.id, 8.0);
+    }
+  }
+  EXPECT_NEAR(refined.makespan, kernel_sum, 1e-9 * kernel_sum);
+}
+
+TEST(Refine, NeverIncreasesAndTracksSimulationBetter) {
+  const mdg::Mdg graph = core::complex_matmul_mdg(32);
+  sim::MachineConfig mc;
+  mc.size = 8;
+  mc.noise_sigma = 0.0;
+  const cost::CostModel model(graph, mirror_params(mc),
+                              mirror_table(mc, graph));
+  const Schedule spmd = spmd_schedule(model, 8);
+  const RefinedPrediction refined = refine_prediction(model, spmd);
+
+  // Simulated SPMD execution pays no transfers; the refined prediction
+  // must be much closer to it than the full-cost makespan.
+  const auto generated = codegen::generate_mpmd(graph, spmd);
+  sim::Simulator simulator(mc);
+  const double simulated = simulator.run(generated.program).finish_time;
+  EXPECT_LT(std::abs(refined.makespan - simulated),
+            std::abs(spmd.makespan() - simulated));
+  EXPECT_NEAR(refined.makespan, simulated, 0.15 * simulated);
+}
+
+TEST(Refine, PsaScheduleMostlyUnchangedWhenGroupsDiffer) {
+  const mdg::Mdg graph = core::complex_matmul_mdg(32);
+  sim::MachineConfig mc;
+  mc.size = 8;
+  mc.noise_sigma = 0.0;
+  const cost::CostModel model(graph, mirror_params(mc),
+                              mirror_table(mc, graph));
+  const auto alloc = solver::ConvexAllocator{}.allocate(model, 8.0);
+  const PsaResult psa = prioritized_schedule(model, alloc.allocation, 8);
+  const RefinedPrediction refined =
+      refine_prediction(model, psa.schedule);
+  EXPECT_LE(refined.makespan, psa.finish_time + 1e-9);
+  // Refinement can only help modestly here: most PSA groups differ.
+  EXPECT_GT(refined.makespan, 0.5 * psa.finish_time);
+}
+
+TEST(Refine, RandomGraphsNeverIncrease) {
+  Rng rng(5150);
+  for (int i = 0; i < 10; ++i) {
+    const mdg::Mdg graph = mdg::random_mdg(rng);
+    const cost::CostModel model(graph, cost::MachineParams{},
+                                cost::KernelCostTable{});
+    const auto alloc = solver::ConvexAllocator{}.allocate(model, 16.0);
+    const PsaResult psa =
+        prioritized_schedule(model, alloc.allocation, 16);
+    const RefinedPrediction refined =
+        refine_prediction(model, psa.schedule);
+    EXPECT_LE(refined.makespan, psa.finish_time + 1e-9) << "seed " << i;
+    EXPECT_GT(refined.makespan, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace paradigm::sched

@@ -1,0 +1,222 @@
+// Robustness and edge-case coverage: multi-array edges end to end,
+// fuzzed inputs for all three text parsers (must diagnose, never
+// crash), and simulator bounds checking.
+#include <gtest/gtest.h>
+
+#include "calibrate/paramsio.hpp"
+#include "codegen/mpmd.hpp"
+#include "core/programs.hpp"
+#include "cost/model.hpp"
+#include "frontend/compile.hpp"
+#include "mdg/textio.hpp"
+#include "sched/psa.hpp"
+#include "sim/simulator.hpp"
+#include "solver/allocator.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace paradigm {
+namespace {
+
+// ---- multi-array edges --------------------------------------------------------
+
+/// An edge carrying the same array twice (the consumer reads X as both
+/// multiply operands): the cost model must aggregate both transfers
+/// (n1 = 2, doubled startup) and codegen must deliver both copies.
+struct MultiArrayFixture {
+  mdg::Mdg graph;
+  mdg::EdgeId edge = 0;
+
+  MultiArrayFixture() {
+    graph.add_array("X", 32, 32, 1);
+    mdg::LoopSpec init;
+    init.op = mdg::LoopOp::kInit;
+    init.output = "X";
+    const mdg::NodeId a = graph.add_loop("a", init);
+    graph.add_array("Z", 32, 32);
+    const mdg::NodeId b = graph.add_loop("b", [&] {
+      mdg::LoopSpec spec;
+      spec.op = mdg::LoopOp::kMul;
+      spec.inputs = {"X", "X"};
+      spec.output = "Z";
+      return spec;
+    }());
+    // One edge carrying X twice is the multi-array shape the cost model
+    // aggregates (n1 = 2).
+    edge = graph.add_dependence(a, b, {"X", "X"});
+    graph.finalize();
+  }
+};
+
+TEST(MultiArrayEdge, CostAggregatesStartupsAndBytes) {
+  MultiArrayFixture fx;
+  cost::KernelCostTable table;
+  table.set(cost::KernelKey{mdg::LoopOp::kInit, 32, 32, 0},
+            cost::AmdahlParams{0.05, 0.001});
+  table.set(cost::KernelKey{mdg::LoopOp::kMul, 32, 32, 32},
+            cost::AmdahlParams{0.1, 0.01});
+  const cost::CostModel model(fx.graph, cost::MachineParams{}, table);
+  const auto& eb = model.edge_bytes(fx.edge);
+  EXPECT_DOUBLE_EQ(eb.n1, 2.0);
+  EXPECT_DOUBLE_EQ(eb.l1, 2.0 * 32 * 32 * 8);
+  // Two 1D arrays: twice the startup of one.
+  cost::MachineParams mp;
+  const double one_array_startup = (8.0 / 4.0) * mp.t_ss;
+  const double send = model.send_cost(fx.edge, 4.0, 8.0);
+  EXPECT_NEAR(send,
+              2.0 * one_array_startup +
+                  (2.0 * 32 * 32 * 8 / 4.0) * mp.t_ps,
+              1e-12);
+}
+
+TEST(MultiArrayEdge, CodegenDeliversBothCopies) {
+  MultiArrayFixture fx;
+  cost::KernelCostTable table;
+  table.set(cost::KernelKey{mdg::LoopOp::kInit, 32, 32, 0},
+            cost::AmdahlParams{0.05, 0.001});
+  table.set(cost::KernelKey{mdg::LoopOp::kMul, 32, 32, 32},
+            cost::AmdahlParams{0.1, 0.01});
+  const cost::CostModel model(fx.graph, cost::MachineParams{}, table);
+  const auto alloc = solver::ConvexAllocator{}.allocate(model, 4.0);
+  const sched::PsaResult psa =
+      sched::prioritized_schedule(model, alloc.allocation, 4);
+  const auto generated = codegen::generate_mpmd(fx.graph, psa.schedule);
+  sim::MachineConfig mc;
+  mc.size = 4;
+  mc.noise_sigma = 0.0;
+  sim::Simulator simulator(mc);
+  simulator.run(generated.program);
+  const Matrix x = Matrix::deterministic(32, 32, 1);
+  EXPECT_LT(simulator.assemble_array("Z", 32, 32).max_abs_diff(x * x),
+            1e-11);
+}
+
+// ---- parser fuzzing -------------------------------------------------------------
+
+std::string random_garbage(Rng& rng, std::size_t length) {
+  static const char kChars[] =
+      "abcXYZ0189 =+-*()\n\t#_.,;:<>[]{}";
+  std::string out;
+  out.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    out += kChars[rng.uniform_int(0, sizeof(kChars) - 2)];
+  }
+  return out;
+}
+
+class FuzzSeeded : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzSeeded, MdgTextParserNeverCrashes) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::string garbage =
+        random_garbage(rng, static_cast<std::size_t>(
+                                rng.uniform_int(1, 300)));
+    try {
+      mdg::parse_mdg(garbage);
+    } catch (const Error&) {
+      // Diagnosed — fine.
+    }
+  }
+}
+
+TEST_P(FuzzSeeded, ExpressionParserNeverCrashes) {
+  Rng rng(GetParam() + 500);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::string garbage =
+        random_garbage(rng, static_cast<std::size_t>(
+                                rng.uniform_int(1, 300)));
+    try {
+      frontend::compile_source(garbage);
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST_P(FuzzSeeded, CalibrationParserNeverCrashes) {
+  Rng rng(GetParam() + 900);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::string garbage =
+        random_garbage(rng, static_cast<std::size_t>(
+                                rng.uniform_int(1, 200)));
+    try {
+      calibrate::parse_calibration(garbage);
+    } catch (const Error&) {
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeded,
+                         ::testing::Range<std::uint64_t>(0, 6));
+
+// ---- frontend Strassen source ------------------------------------------------------
+
+TEST(FrontendPrograms, StrassenSourceMatchesDirectProduct) {
+  // The .mexpr Strassen with the same quadrant tags as the hand-built
+  // program must reproduce strassen_reference exactly.
+  std::string source = R"(
+input A11 16 16 201
+input A12 16 16 202
+input A21 16 16 203
+input A22 16 16 204
+input B11 16 16 205
+input B12 16 16 206
+input B21 16 16 207
+input B22 16 16 208
+M1 = (A11 + A22) * (B11 + B22)
+M2 = (A21 + A22) * B11
+M3 = A11 * (B12 - B22)
+M4 = A22 * (B21 - B11)
+M5 = (A11 + A12) * B22
+M6 = (A21 - A11) * (B11 + B12)
+M7 = (A12 - A22) * (B21 + B22)
+C11 = M1 + M4 - M5 + M7
+C12 = M3 + M5
+C21 = M2 + M4
+C22 = M1 - M2 + M3 + M6
+output C11
+output C22
+)";
+  const auto env = frontend::interpret_source(source);
+  const auto ref = core::strassen_reference(32);  // h = 16 quadrants
+  EXPECT_LT(env.at("C11").max_abs_diff(ref.c11), 1e-11);
+  EXPECT_LT(env.at("C22").max_abs_diff(ref.c22), 1e-11);
+}
+
+// ---- simulator bounds ---------------------------------------------------------------
+
+TEST(SimulatorBounds, ProgramWiderThanMachineRejected) {
+  sim::MachineConfig mc;
+  mc.size = 2;
+  sim::Simulator simulator(mc);
+  EXPECT_THROW(simulator.run(sim::MpmdProgram(4)), Error);
+}
+
+TEST(SimulatorBounds, GroupRankOutsideMachineRejected) {
+  sim::MachineConfig mc;
+  mc.size = 2;
+  sim::MpmdProgram program(2);
+  sim::GroupKernel kernel;
+  kernel.node = 0;
+  kernel.op = mdg::LoopOp::kSynthetic;
+  kernel.cost_override = 1.0;
+  kernel.group = {0, 7};  // rank 7 does not exist
+  program.streams[0].push_back(kernel);
+  sim::Simulator simulator(mc);
+  EXPECT_THROW(simulator.run(program), Error);
+}
+
+TEST(SimulatorBounds, SendOutsideMachineRejected) {
+  sim::MachineConfig mc;
+  mc.size = 2;
+  sim::MpmdProgram program(2);
+  program.streams[0].push_back(
+      sim::AllocBlock{"X", sim::BlockRect{{0, 2}, {0, 2}}});
+  program.streams[0].push_back(
+      sim::SendBlock{9, 1, "X", sim::BlockRect{{0, 2}, {0, 2}}});
+  sim::Simulator simulator(mc);
+  EXPECT_THROW(simulator.run(program), Error);
+}
+
+}  // namespace
+}  // namespace paradigm

@@ -1,0 +1,92 @@
+// Scale tests: the full pipeline on large graphs (hundreds of nodes) —
+// the level-2 Strassen expansion and a wide random graph — exercising
+// allocation, all scheduler policies, codegen, and simulation at sizes
+// well beyond the paper's evaluation.
+#include <gtest/gtest.h>
+
+#include "codegen/mpmd.hpp"
+#include "core/strassen_multi.hpp"
+#include "cost/model.hpp"
+#include "mdg/random_mdg.hpp"
+#include "sched/bounds.hpp"
+#include "sched/psa.hpp"
+#include "sim/simulator.hpp"
+#include "solver/lbfgs.hpp"
+#include "support/rng.hpp"
+
+namespace paradigm {
+namespace {
+
+TEST(Scale, Level2StrassenAllPoliciesValidSchedules) {
+  const core::StrassenProgram program = core::strassen_program(64, 2);
+  EXPECT_GT(program.graph.node_count(), 250u);
+  sim::MachineConfig mc;
+  mc.size = 32;
+  mc.noise_sigma = 0.0;
+  cost::KernelCostTable table;
+  for (const auto& node : program.graph.nodes()) {
+    if (node.kind != mdg::NodeKind::kLoop) continue;
+    const auto key = cost::KernelCostTable::key_for(program.graph, node);
+    if (!table.contains(key)) {
+      table.set(key, cost::AmdahlParams{
+                         mc.timing_for(key.op).serial_fraction,
+                         mc.sequential_seconds(key.op, key.rows, key.cols,
+                                               key.inner)});
+    }
+  }
+  const cost::CostModel model(program.graph, cost::MachineParams{},
+                              table);
+  // L-BFGS for speed on the big graph.
+  const auto alloc = solver::LbfgsAllocator{}.allocate(model, 32.0);
+  auto rounded = sched::round_allocation(alloc.allocation, 32);
+  rounded = sched::bound_allocation(std::move(rounded),
+                                    sched::optimal_processor_bound(32));
+  double best = 0.0;
+  double worst = 0.0;
+  for (const sched::ListPriority policy :
+       {sched::ListPriority::kLowestEst,
+        sched::ListPriority::kLargestWeight,
+        sched::ListPriority::kBottomLevel}) {
+    const sched::Schedule schedule =
+        sched::list_schedule(model, rounded, 32, policy);
+    schedule.validate(model);
+    const double makespan = schedule.makespan();
+    best = best == 0.0 ? makespan : std::min(best, makespan);
+    worst = std::max(worst, makespan);
+  }
+  // The policies can differ meaningfully on a 280-node graph (priority
+  // order matters when many nodes are ready), but all stay within a
+  // small constant factor of each other.
+  EXPECT_LT(worst, 3.0 * best);
+}
+
+TEST(Scale, WideRandomGraphEndToEnd) {
+  Rng rng(161803);
+  mdg::RandomMdgConfig config;
+  config.min_nodes = 120;
+  config.max_nodes = 120;
+  config.max_width = 16;
+  const mdg::Mdg graph = mdg::random_mdg(rng, config);
+  const cost::CostModel model(graph, cost::MachineParams{},
+                              cost::KernelCostTable{});
+  const auto alloc = solver::LbfgsAllocator{}.allocate(model, 64.0);
+  const sched::PsaResult psa =
+      sched::prioritized_schedule(model, alloc.allocation, 64);
+  psa.schedule.validate(model);
+  EXPECT_LE(psa.finish_time,
+            sched::theorem3_factor(64, psa.pb) * alloc.phi);
+
+  // And the generated program executes to completion on the simulator.
+  const auto generated = codegen::generate_mpmd(graph, psa.schedule);
+  sim::MachineConfig mc;
+  mc.size = 64;
+  mc.noise_sigma = 0.0;
+  sim::Simulator simulator(mc);
+  const sim::SimResult result = simulator.run(generated.program);
+  EXPECT_EQ(result.messages, generated.planned_messages);
+  EXPECT_NEAR(result.finish_time, psa.finish_time,
+              0.4 * psa.finish_time);
+}
+
+}  // namespace
+}  // namespace paradigm

@@ -1,0 +1,301 @@
+// Tests for the scheduler: Theorem 1/2/3 factor arithmetic, Corollary 1
+// PB selection, the rounding and bounding steps, the PSA list scheduler
+// (including the paper's Figure-2 example numbers), schedule validation,
+// and property sweeps of the Theorem-3 bound over random graphs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/programs.hpp"
+#include "cost/model.hpp"
+#include "mdg/random_mdg.hpp"
+#include "sched/bounds.hpp"
+#include "sched/psa.hpp"
+#include "solver/allocator.hpp"
+#include "support/error.hpp"
+#include "support/pow2.hpp"
+#include "support/rng.hpp"
+
+namespace paradigm::sched {
+namespace {
+
+cost::CostModel synthetic_model(const mdg::Mdg& graph,
+                                cost::MachineParams machine = {}) {
+  return cost::CostModel(graph, machine, cost::KernelCostTable{});
+}
+
+// ---- Bounds (Section 5) ----------------------------------------------------
+
+TEST(Bounds, Theorem1FactorValues) {
+  // PB = p: factor 1 + p; PB = 1: factor 1 + 1 = 2.
+  EXPECT_DOUBLE_EQ(theorem1_factor(64, 64), 65.0);
+  EXPECT_DOUBLE_EQ(theorem1_factor(64, 1), 2.0);
+  EXPECT_NEAR(theorem1_factor(64, 32), 1.0 + 64.0 / 33.0, 1e-12);
+}
+
+TEST(Bounds, Theorem2FactorValues) {
+  EXPECT_DOUBLE_EQ(theorem2_factor(64, 64), 2.25);
+  EXPECT_DOUBLE_EQ(theorem2_factor(64, 32), 9.0);
+  EXPECT_DOUBLE_EQ(theorem2_factor(64, 16), 36.0);
+}
+
+TEST(Bounds, Theorem3IsProduct) {
+  for (const std::uint64_t pb : {1ull, 2ull, 8ull, 64ull}) {
+    EXPECT_DOUBLE_EQ(theorem3_factor(64, pb),
+                     theorem1_factor(64, pb) * theorem2_factor(64, pb));
+  }
+}
+
+TEST(Bounds, InvalidArgumentsRejected) {
+  EXPECT_THROW(theorem1_factor(8, 0), Error);
+  EXPECT_THROW(theorem1_factor(8, 16), Error);
+  EXPECT_THROW(optimal_processor_bound(48), Error);
+}
+
+TEST(Bounds, Corollary1Selections) {
+  // Computed by minimizing expression (18) over powers of two.
+  EXPECT_EQ(optimal_processor_bound(1), 1u);
+  EXPECT_EQ(optimal_processor_bound(2), 2u);
+  EXPECT_EQ(optimal_processor_bound(4), 4u);
+  EXPECT_EQ(optimal_processor_bound(8), 8u);
+  EXPECT_EQ(optimal_processor_bound(16), 8u);
+  EXPECT_EQ(optimal_processor_bound(32), 16u);
+  EXPECT_EQ(optimal_processor_bound(64), 32u);
+}
+
+TEST(Bounds, Corollary1IsArgmin) {
+  for (std::uint64_t p = 1; p <= 256; p *= 2) {
+    const std::uint64_t chosen = optimal_processor_bound(p);
+    for (std::uint64_t pb = 1; pb <= p; pb *= 2) {
+      EXPECT_LE(theorem3_factor(p, chosen), theorem3_factor(p, pb) + 1e-12);
+    }
+  }
+}
+
+// ---- Rounding and bounding steps -------------------------------------------
+
+TEST(Psa, RoundAllocation) {
+  const auto rounded = round_allocation(
+      std::vector<double>{1.0, 1.4, 1.6, 2.9, 3.1, 5.9, 6.1, 16.0}, 16);
+  EXPECT_EQ(rounded,
+            (std::vector<std::uint64_t>{1, 1, 2, 2, 4, 4, 8, 16}));
+}
+
+TEST(Psa, RoundRejectsOutOfRange) {
+  EXPECT_THROW(round_allocation(std::vector<double>{0.5}, 16), Error);
+  EXPECT_THROW(round_allocation(std::vector<double>{17.0}, 16), Error);
+  EXPECT_THROW(round_allocation(std::vector<double>{2.0}, 12), Error);
+}
+
+TEST(Psa, BoundAllocationClamps) {
+  const auto bounded =
+      bound_allocation(std::vector<std::uint64_t>{1, 4, 8, 16}, 8);
+  EXPECT_EQ(bounded, (std::vector<std::uint64_t>{1, 4, 8, 8}));
+  EXPECT_THROW(bound_allocation({4}, 6), Error);  // PB not a power of 2
+}
+
+// ---- List scheduling on the Figure 1/2 example ------------------------------
+
+TEST(Psa, Figure2NaiveScheduleTakes15point6Seconds) {
+  const mdg::Mdg graph = core::figure1_example();
+  const cost::CostModel model = synthetic_model(graph);
+  const Schedule spmd = spmd_schedule(model, 4);
+  spmd.validate(model);
+  EXPECT_NEAR(spmd.makespan(), 15.6, 1e-6);
+}
+
+TEST(Psa, Figure2MixedScheduleTakes14point3Seconds) {
+  const mdg::Mdg graph = core::figure1_example();
+  const cost::CostModel model = synthetic_model(graph);
+  // N1 on 4 processors, N2 and N3 on 2 each (START/STOP on 1).
+  std::vector<std::uint64_t> alloc(graph.node_count(), 1);
+  alloc[0] = 4;
+  alloc[1] = 2;
+  alloc[2] = 2;
+  const Schedule mixed = list_schedule(model, alloc, 4);
+  mixed.validate(model);
+  EXPECT_NEAR(mixed.makespan(), 14.3, 1e-6);
+  // N2 and N3 run concurrently on disjoint processor pairs.
+  const auto& n2 = mixed.placement(1);
+  const auto& n3 = mixed.placement(2);
+  EXPECT_NEAR(n2.start, n3.start, 1e-9);
+  EXPECT_NE(n2.ranks, n3.ranks);
+}
+
+TEST(Psa, FullPipelineOnFigure1BeatsNaive) {
+  const mdg::Mdg graph = core::figure1_example();
+  const cost::CostModel model = synthetic_model(graph);
+  const solver::AllocationResult alloc =
+      solver::ConvexAllocator{}.allocate(model, 4.0);
+  PsaConfig config;  // Corollary 1 picks PB = 4 for p = 4.
+  const PsaResult result =
+      prioritized_schedule(model, alloc.allocation, 4, config);
+  result.schedule.validate(model);
+  EXPECT_LT(result.finish_time, 15.6);
+  EXPECT_GE(result.finish_time, 14.3 - 1e-6);
+}
+
+// ---- Schedule object --------------------------------------------------------
+
+TEST(ScheduleTest, PlaceTwiceRejected) {
+  const mdg::Mdg graph = core::figure1_example();
+  Schedule schedule(graph, 4);
+  schedule.place({0, 0.0, 1.0, {0}});
+  EXPECT_THROW(schedule.place({0, 1.0, 2.0, {1}}), Error);
+}
+
+TEST(ScheduleTest, BadRanksRejected) {
+  const mdg::Mdg graph = core::figure1_example();
+  Schedule schedule(graph, 4);
+  EXPECT_THROW(schedule.place({0, 0.0, 1.0, {0, 0}}), Error);  // dup
+  EXPECT_THROW(schedule.place({1, 0.0, 1.0, {7}}), Error);     // range
+  EXPECT_THROW(schedule.place({2, 1.0, 0.5, {0}}), Error);     // reversed
+}
+
+TEST(ScheduleTest, ValidateCatchesPrecedenceViolation) {
+  const mdg::Mdg graph = core::figure1_example();
+  const cost::CostModel model = synthetic_model(graph);
+  std::vector<std::uint64_t> alloc(graph.node_count(), 1);
+  Schedule good = list_schedule(model, alloc, 4);
+  good.validate(model);
+
+  // Rebuild with N2 starting before N1 finishes.
+  Schedule bad(graph, 4);
+  for (const auto& sn : good.placements_in_start_order()) {
+    ScheduledNode moved = sn;
+    if (graph.node(sn.node).name == "N2") moved.start = 0.0;
+    if (graph.node(sn.node).name == "N2") {
+      moved.finish = moved.start + sn.duration();
+      moved.ranks = {3};
+    }
+    bad.place(moved);
+  }
+  EXPECT_THROW(bad.validate(model), Error);
+}
+
+TEST(ScheduleTest, ValidateCatchesOversubscription) {
+  const mdg::Mdg graph = core::figure1_example();
+  const cost::CostModel model = synthetic_model(graph);
+  std::vector<double> alloc(graph.node_count(), 1.0);
+  Schedule bad(graph, 4);
+  // N1 then N2 and N3 overlapping on the same processor.
+  const double t1 = model.node_weight(0, alloc);
+  const double t2 = model.node_weight(1, alloc);
+  const double t3 = model.node_weight(2, alloc);
+  bad.place({0, 0.0, t1, {0}});
+  bad.place({1, t1, t1 + t2, {0}});
+  bad.place({2, t1, t1 + t3, {0}});  // same rank, same time as N2
+  bad.place({graph.start(), 0.0, 0.0, {}});
+  bad.place({graph.stop(), t1 + t2 + t3, t1 + t2 + t3, {}});
+  EXPECT_THROW(bad.validate(model), Error);
+}
+
+TEST(ScheduleTest, EfficiencyAndGantt) {
+  const mdg::Mdg graph = core::figure1_example();
+  const cost::CostModel model = synthetic_model(graph);
+  std::vector<std::uint64_t> alloc(graph.node_count(), 1);
+  alloc[0] = 4;
+  alloc[1] = 2;
+  alloc[2] = 2;
+  const Schedule schedule = list_schedule(model, alloc, 4);
+  EXPECT_GT(schedule.efficiency(), 0.5);
+  EXPECT_LE(schedule.efficiency(), 1.0 + 1e-12);
+  const std::string gantt = schedule.gantt();
+  EXPECT_NE(gantt.find("P0"), std::string::npos);
+  EXPECT_NE(gantt.find("legend"), std::string::npos);
+}
+
+// ---- Property sweeps over random graphs -------------------------------------
+
+class PsaSeeded : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PsaSeeded, ScheduleAlwaysValid) {
+  Rng rng(GetParam());
+  const mdg::Mdg graph = mdg::random_mdg(rng);
+  cost::MachineParams mp;
+  mp.t_n = 1e-9;  // exercise nonzero edge delays
+  const cost::CostModel model = synthetic_model(graph, mp);
+  const std::uint64_t p = 32;
+  const solver::AllocationResult alloc =
+      solver::ConvexAllocator{}.allocate(model, static_cast<double>(p));
+  const PsaResult result = prioritized_schedule(model, alloc.allocation, p);
+  result.schedule.validate(model);
+  EXPECT_EQ(result.pb, optimal_processor_bound(p));
+  for (const auto& a : result.allocation) {
+    EXPECT_LE(a, result.pb);
+    EXPECT_TRUE(is_pow2(a));
+  }
+}
+
+TEST_P(PsaSeeded, Theorem3BoundHolds) {
+  Rng rng(GetParam() + 50);
+  const mdg::Mdg graph = mdg::random_mdg(rng);
+  const cost::CostModel model = synthetic_model(graph);
+  const std::uint64_t p = 32;
+  const solver::AllocationResult alloc =
+      solver::ConvexAllocator{}.allocate(model, static_cast<double>(p));
+  const PsaResult result = prioritized_schedule(model, alloc.allocation, p);
+  const double bound = theorem3_factor(p, result.pb) * alloc.phi;
+  EXPECT_LE(result.finish_time, bound)
+      << "T_psa " << result.finish_time << " vs bound " << bound;
+}
+
+TEST_P(PsaSeeded, MakespanDominatesAreaAndCriticalPathLowerBounds) {
+  Rng rng(GetParam() + 150);
+  const mdg::Mdg graph = mdg::random_mdg(rng);
+  const cost::CostModel model = synthetic_model(graph);
+  const std::uint64_t p = 16;
+  const solver::AllocationResult alloc =
+      solver::ConvexAllocator{}.allocate(model, static_cast<double>(p));
+  const PsaResult result = prioritized_schedule(model, alloc.allocation, p);
+  const auto final_alloc = result.schedule.implied_allocation();
+  EXPECT_GE(result.finish_time,
+            model.critical_path_time(final_alloc) - 1e-9);
+  EXPECT_GE(result.finish_time,
+            model.average_finish_time(final_alloc,
+                                      static_cast<double>(p)) -
+                1e-9);
+}
+
+TEST_P(PsaSeeded, SpmdScheduleSerializesLoops) {
+  Rng rng(GetParam() + 250);
+  const mdg::Mdg graph = mdg::random_mdg(rng);
+  const cost::CostModel model = synthetic_model(graph);
+  const Schedule spmd = spmd_schedule(model, 8);
+  spmd.validate(model);
+  // Every loop node uses all 8 processors, so no two loops overlap.
+  const auto order = spmd.placements_in_start_order();
+  double prev_finish = 0.0;
+  for (const auto& sn : order) {
+    if (graph.node(sn.node).kind != mdg::NodeKind::kLoop) continue;
+    EXPECT_EQ(sn.ranks.size(), 8u);
+    EXPECT_GE(sn.start, prev_finish - 1e-9);
+    prev_finish = sn.finish;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PsaSeeded,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+TEST(Psa, PbOverrideRespected) {
+  const mdg::Mdg graph = core::figure1_example();
+  const cost::CostModel model = synthetic_model(graph);
+  const solver::AllocationResult alloc =
+      solver::ConvexAllocator{}.allocate(model, 16.0);
+  PsaConfig config;
+  config.pb_override = 2;
+  const PsaResult result =
+      prioritized_schedule(model, alloc.allocation, 16, config);
+  EXPECT_EQ(result.pb, 2u);
+  for (const auto& a : result.allocation) EXPECT_LE(a, 2u);
+}
+
+TEST(Psa, NonPowerOfTwoMachineRejected) {
+  const mdg::Mdg graph = core::figure1_example();
+  const cost::CostModel model = synthetic_model(graph);
+  const std::vector<double> alloc(graph.node_count(), 1.0);
+  EXPECT_THROW(prioritized_schedule(model, alloc, 12), Error);
+}
+
+}  // namespace
+}  // namespace paradigm::sched

@@ -1,0 +1,461 @@
+// Tests for the multicomputer simulator: partitioning, local memories,
+// redistribution planning (Figure-4 message patterns), message timing
+// semantics, group-kernel collectives, determinism, noise, and deadlock
+// detection.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "sim/config.hpp"
+#include "sim/memory.hpp"
+#include "sim/partition.hpp"
+#include "sim/program.hpp"
+#include "sim/redistribute.hpp"
+#include "sim/simulator.hpp"
+#include "support/error.hpp"
+
+namespace paradigm::sim {
+namespace {
+
+// ---- Partitioning -----------------------------------------------------------
+
+TEST(Partition, CoversDisjointly) {
+  for (const std::size_t total : {7u, 16u, 64u, 100u}) {
+    for (const std::size_t parts : {1u, 2u, 3u, 5u, 8u}) {
+      std::size_t covered = 0;
+      std::size_t prev_hi = 0;
+      for (std::size_t i = 0; i < parts; ++i) {
+        const IndexRange r = block_range(total, parts, i);
+        EXPECT_EQ(r.lo, prev_hi);
+        prev_hi = r.hi;
+        covered += r.size();
+      }
+      EXPECT_EQ(prev_hi, total);
+      EXPECT_EQ(covered, total);
+    }
+  }
+}
+
+TEST(Partition, NestsAcrossPowerOfTwoGroupSizes) {
+  // Piece i of 2g pieces is inside piece i/2 of g pieces — the property
+  // that makes 1D redistribution produce exactly max(p_i, p_j) messages.
+  const std::size_t total = 64;
+  for (std::size_t g = 1; g <= 16; g *= 2) {
+    for (std::size_t i = 0; i < 2 * g; ++i) {
+      const IndexRange fine = block_range(total, 2 * g, i);
+      const IndexRange coarse = block_range(total, g, i / 2);
+      EXPECT_TRUE(coarse.contains(fine));
+    }
+  }
+}
+
+TEST(Partition, Intersect) {
+  EXPECT_EQ(intersect({0, 10}, {5, 20}), (IndexRange{5, 10}));
+  EXPECT_TRUE(intersect({0, 5}, {5, 10}).empty());
+  EXPECT_TRUE(intersect({8, 9}, {0, 3}).empty());
+}
+
+// ---- Machine config ---------------------------------------------------------
+
+TEST(Config, SequentialSeconds) {
+  MachineConfig mc;
+  EXPECT_NEAR(mc.sequential_seconds(mdg::LoopOp::kMul, 4, 4, 8),
+              2.0 * 4 * 4 * 8 * mc.flop_time, 1e-15);
+  EXPECT_NEAR(mc.sequential_seconds(mdg::LoopOp::kAdd, 8, 8, 0),
+              64 * mc.flop_time, 1e-15);
+  EXPECT_NEAR(mc.sequential_seconds(mdg::LoopOp::kInit, 8, 8, 0),
+              64 * mc.elem_touch_time, 1e-15);
+}
+
+TEST(Config, KernelSecondsAmdahlShape) {
+  MachineConfig mc;
+  // Doubling the group reduces cost but with diminishing returns, and
+  // the cost never falls below the serial part.
+  double prev = mc.kernel_seconds(mdg::LoopOp::kMul, 64, 64, 64, 1);
+  const double serial =
+      mc.mul_timing.serial_fraction *
+      mc.sequential_seconds(mdg::LoopOp::kMul, 64, 64, 64);
+  for (std::uint32_t g = 2; g <= 64; g *= 2) {
+    const double cur = mc.kernel_seconds(mdg::LoopOp::kMul, 64, 64, 64, g);
+    EXPECT_LT(cur, prev);
+    EXPECT_GT(cur, serial);
+    prev = cur;
+  }
+}
+
+TEST(Config, SyntheticHasNoMachineTiming) {
+  MachineConfig mc;
+  EXPECT_THROW(mc.kernel_seconds(mdg::LoopOp::kSynthetic, 4, 4, 0, 2),
+               Error);
+}
+
+// ---- Rank memory ------------------------------------------------------------
+
+TEST(Memory, AllocWriteReadRoundTrip) {
+  RankMemory mem;
+  const BlockRect rect{{4, 12}, {0, 8}};
+  mem.alloc("X", rect);
+  const Matrix values = Matrix::deterministic(4, 4, 5);
+  mem.write("X", BlockRect{{6, 10}, {2, 6}}, values);
+  const Matrix back = mem.read("X", BlockRect{{6, 10}, {2, 6}});
+  EXPECT_LT(back.max_abs_diff(values), 1e-15);
+}
+
+TEST(Memory, OutOfBlockAccessRejected) {
+  RankMemory mem;
+  mem.alloc("X", BlockRect{{0, 4}, {0, 4}});
+  EXPECT_THROW(mem.read("X", BlockRect{{0, 5}, {0, 4}}), Error);
+  EXPECT_THROW(mem.write("X", BlockRect{{0, 4}, {3, 5}}, Matrix(4, 2)),
+               Error);
+  EXPECT_THROW(mem.read("Y", BlockRect{{0, 1}, {0, 1}}), Error);
+}
+
+// ---- Redistribution plans ----------------------------------------------------
+
+TEST(Redistribute, OneDMessageCountIsMaxOfGroupSizes) {
+  // Disjoint groups, power-of-two sizes: exactly max(p_i, p_j) messages,
+  // each sender sending max/p_i and each receiver receiving max/p_j.
+  for (const auto& [pi, pj] : std::vector<std::pair<std::uint32_t,
+                                                    std::uint32_t>>{
+           {1, 4}, {4, 1}, {2, 8}, {8, 2}, {4, 4}}) {
+    std::vector<std::uint32_t> src, dst;
+    for (std::uint32_t i = 0; i < pi; ++i) src.push_back(i);
+    for (std::uint32_t j = 0; j < pj; ++j) dst.push_back(100 + j);
+    const RedistPlan plan = plan_redistribution(
+        64, 32, src, Distribution::kRow, dst, Distribution::kRow);
+    EXPECT_EQ(plan.messages.size(), std::max(pi, pj)) << pi << "," << pj;
+    EXPECT_TRUE(plan.local_pieces.empty());
+    EXPECT_EQ(plan.message_bytes(), 64u * 32u * sizeof(double));
+  }
+}
+
+TEST(Redistribute, TwoDMessageCountIsProduct) {
+  for (const auto& [pi, pj] : std::vector<std::pair<std::uint32_t,
+                                                    std::uint32_t>>{
+           {2, 2}, {2, 4}, {4, 2}, {1, 8}}) {
+    std::vector<std::uint32_t> src, dst;
+    for (std::uint32_t i = 0; i < pi; ++i) src.push_back(i);
+    for (std::uint32_t j = 0; j < pj; ++j) dst.push_back(100 + j);
+    const RedistPlan plan = plan_redistribution(
+        64, 64, src, Distribution::kRow, dst, Distribution::kCol);
+    EXPECT_EQ(plan.messages.size(), pi * pj);
+    EXPECT_EQ(plan.message_bytes(), 64u * 64u * sizeof(double));
+  }
+}
+
+TEST(Redistribute, OverlappingGroupsProduceLocalPieces) {
+  // Same group both sides, same distribution: everything is local.
+  const std::vector<std::uint32_t> group{0, 1, 2, 3};
+  const RedistPlan plan = plan_redistribution(
+      32, 32, group, Distribution::kRow, group, Distribution::kRow);
+  EXPECT_TRUE(plan.messages.empty());
+  EXPECT_EQ(plan.local_pieces.size(), 4u);
+  EXPECT_TRUE(is_noop_redistribution(group, Distribution::kRow, group,
+                                     Distribution::kRow));
+}
+
+TEST(Redistribute, GroupShrinkKeepsOwnerLocalPieces) {
+  // 4 ranks -> first 2 ranks: rank 0 keeps rows 0-8 local (it owns rows
+  // 0-16 as a destination); rank 1's source rows 8-16 move to rank 0 and
+  // ranks 2, 3 forward to rank 1 — three messages total.
+  const std::vector<std::uint32_t> src{0, 1, 2, 3};
+  const std::vector<std::uint32_t> dst{0, 1};
+  const RedistPlan plan = plan_redistribution(
+      32, 8, src, Distribution::kRow, dst, Distribution::kRow);
+  EXPECT_EQ(plan.local_pieces.size(), 1u);
+  EXPECT_EQ(plan.local_pieces[0].src_rank, 0u);
+  EXPECT_EQ(plan.messages.size(), 3u);
+  std::size_t bytes = plan.message_bytes();
+  for (const auto& piece : plan.local_pieces) bytes += piece.rect.bytes();
+  EXPECT_EQ(bytes, 32u * 8u * sizeof(double));
+}
+
+TEST(Redistribute, NoopDetection) {
+  const std::vector<std::uint32_t> a{0, 1};
+  const std::vector<std::uint32_t> b{0, 2};
+  EXPECT_TRUE(is_noop_redistribution(a, Distribution::kRow, a,
+                                     Distribution::kRow));
+  EXPECT_FALSE(is_noop_redistribution(a, Distribution::kRow, b,
+                                      Distribution::kRow));
+  EXPECT_FALSE(is_noop_redistribution(a, Distribution::kRow, a,
+                                      Distribution::kCol));
+}
+
+// ---- Simulator: message timing ----------------------------------------------
+
+MachineConfig quiet_machine(std::uint32_t size) {
+  MachineConfig mc;
+  mc.size = size;
+  mc.noise_sigma = 0.0;
+  return mc;
+}
+
+TEST(Simulator, PointToPointTiming) {
+  const MachineConfig mc = quiet_machine(2);
+  MpmdProgram program(2);
+  const BlockRect rect{{0, 16}, {0, 16}};
+  program.streams[0].push_back(AllocBlock{"X", rect});
+  program.streams[0].push_back(SendBlock{1, 1, "X", rect});
+  program.streams[1].push_back(AllocBlock{"Y", rect});
+  program.streams[1].push_back(RecvBlock{0, 1, "Y", rect});
+
+  Simulator simulator(mc);
+  const SimResult result = simulator.run(program);
+  const double bytes = 16.0 * 16.0 * 8.0;
+  const double send_t = mc.send_startup + bytes * mc.send_per_byte;
+  const double recv_t = mc.recv_startup + bytes * mc.recv_per_byte;
+  EXPECT_NEAR(result.rank_clock[0], send_t, 1e-12);
+  EXPECT_NEAR(result.rank_clock[1], send_t + mc.net_latency + recv_t,
+              1e-12);
+  EXPECT_EQ(result.messages, 1u);
+  EXPECT_EQ(result.message_bytes, static_cast<std::size_t>(bytes));
+}
+
+TEST(Simulator, ReceiveBeforeSendBlocksUntilAvailable) {
+  // The receiver posts its recv first (instruction order is per-rank;
+  // the simulator must not deadlock, and the receive waits).
+  const MachineConfig mc = quiet_machine(2);
+  MpmdProgram program(2);
+  const BlockRect rect{{0, 4}, {0, 4}};
+  program.streams[1].push_back(AllocBlock{"Y", rect});
+  program.streams[1].push_back(RecvBlock{0, 9, "Y", rect});
+  program.streams[0].push_back(AllocBlock{"X", rect});
+  // Sender does some compute first.
+  GroupKernel busywork;
+  busywork.node = 0;
+  busywork.op = mdg::LoopOp::kSynthetic;
+  busywork.group = {0};
+  busywork.cost_override = 1.0;
+  program.streams[0].push_back(busywork);
+  program.streams[0].push_back(SendBlock{1, 9, "X", rect});
+
+  Simulator simulator(mc);
+  const SimResult result = simulator.run(program);
+  const double bytes = 4.0 * 4.0 * 8.0;
+  EXPECT_NEAR(result.rank_clock[1],
+              1.0 + mc.send_startup + bytes * mc.send_per_byte +
+                  mc.net_latency + mc.recv_startup +
+                  bytes * mc.recv_per_byte,
+              1e-9);
+}
+
+TEST(Simulator, DataIntegrityAcrossSend) {
+  const MachineConfig mc = quiet_machine(2);
+  MpmdProgram program(2);
+  const BlockRect rect{{0, 8}, {0, 8}};
+  GroupKernel init;
+  init.node = 0;
+  init.op = mdg::LoopOp::kInit;
+  init.output = "X";
+  init.out_rows = 8;
+  init.out_cols = 8;
+  init.init_tag = 42;
+  init.group = {0};
+  program.streams[0].push_back(init);
+  program.streams[0].push_back(SendBlock{1, 1, "X", rect});
+  program.streams[1].push_back(AllocBlock{"V", rect});
+  program.streams[1].push_back(RecvBlock{0, 1, "V", rect});
+
+  Simulator simulator(mc);
+  simulator.run(program);
+  const Matrix expected = Matrix::deterministic(8, 8, 42);
+  EXPECT_LT(simulator.memory(1).read("V", rect).max_abs_diff(expected),
+            1e-15);
+}
+
+TEST(Simulator, DeadlockDetected) {
+  const MachineConfig mc = quiet_machine(2);
+  MpmdProgram program(2);
+  const BlockRect rect{{0, 2}, {0, 2}};
+  program.streams[0].push_back(AllocBlock{"X", rect});
+  program.streams[0].push_back(RecvBlock{1, 1, "X", rect});  // never sent
+  Simulator simulator(mc);
+  EXPECT_THROW(simulator.run(program), Error);
+}
+
+TEST(Simulator, MismatchedRectRejected) {
+  const MachineConfig mc = quiet_machine(2);
+  MpmdProgram program(2);
+  const BlockRect rect{{0, 4}, {0, 4}};
+  const BlockRect other{{0, 2}, {0, 2}};
+  program.streams[0].push_back(AllocBlock{"X", rect});
+  program.streams[0].push_back(SendBlock{1, 1, "X", rect});
+  program.streams[1].push_back(AllocBlock{"Y", rect});
+  program.streams[1].push_back(RecvBlock{0, 1, "Y", other});
+  Simulator simulator(mc);
+  EXPECT_THROW(simulator.run(program), Error);
+}
+
+// ---- Simulator: group kernels -------------------------------------------------
+
+TEST(Simulator, GroupKernelBarrierWaitsForSlowestMember) {
+  const MachineConfig mc = quiet_machine(2);
+  MpmdProgram program(2);
+  // Rank 1 is delayed by 2 s of busywork before the collective.
+  GroupKernel delay;
+  delay.node = 7;
+  delay.op = mdg::LoopOp::kSynthetic;
+  delay.group = {1};
+  delay.cost_override = 2.0;
+  program.streams[1].push_back(delay);
+
+  GroupKernel collective;
+  collective.node = 8;
+  collective.op = mdg::LoopOp::kSynthetic;
+  collective.group = {0, 1};
+  collective.cost_override = 0.5;
+  program.streams[0].push_back(collective);
+  program.streams[1].push_back(collective);
+
+  Simulator simulator(mc);
+  const SimResult result = simulator.run(program);
+  EXPECT_NEAR(result.rank_clock[0], 2.5, 1e-12);
+  EXPECT_NEAR(result.rank_clock[1], 2.5, 1e-12);
+}
+
+TEST(Simulator, DistributedInitMatchesSequential) {
+  const MachineConfig mc = quiet_machine(4);
+  MpmdProgram program(4);
+  GroupKernel init;
+  init.node = 0;
+  init.op = mdg::LoopOp::kInit;
+  init.output = "X";
+  init.out_rows = 16;
+  init.out_cols = 12;
+  init.init_tag = 9;
+  init.group = {0, 1, 2, 3};
+  for (std::uint32_t r = 0; r < 4; ++r) program.streams[r].push_back(init);
+
+  Simulator simulator(mc);
+  simulator.run(program);
+  const Matrix whole = simulator.assemble_array("X", 16, 12);
+  EXPECT_LT(whole.max_abs_diff(Matrix::deterministic(16, 12, 9)), 1e-15);
+}
+
+TEST(Simulator, DistributedAddAndMulMatchSequential) {
+  const MachineConfig mc = quiet_machine(4);
+  MpmdProgram program(4);
+  const std::vector<std::uint32_t> group{0, 1, 2, 3};
+  const auto emit = [&](GroupKernel k) {
+    for (const std::uint32_t r : group) program.streams[r].push_back(k);
+  };
+  GroupKernel init_a;
+  init_a.node = 0;
+  init_a.op = mdg::LoopOp::kInit;
+  init_a.output = "A";
+  init_a.out_rows = 12;
+  init_a.out_cols = 12;
+  init_a.init_tag = 1;
+  init_a.group = group;
+  emit(init_a);
+  GroupKernel init_b = init_a;
+  init_b.node = 1;
+  init_b.output = "B";
+  init_b.init_tag = 2;
+  emit(init_b);
+  GroupKernel add;
+  add.node = 2;
+  add.op = mdg::LoopOp::kAdd;
+  add.inputs = {"A", "B"};
+  add.output = "S";
+  add.out_rows = 12;
+  add.out_cols = 12;
+  add.group = group;
+  emit(add);
+  GroupKernel mul;
+  mul.node = 3;
+  mul.op = mdg::LoopOp::kMul;
+  mul.inputs = {"A", "S"};
+  mul.output = "P";
+  mul.out_rows = 12;
+  mul.out_cols = 12;
+  mul.inner = 12;
+  mul.group = group;
+  emit(mul);
+
+  Simulator simulator(mc);
+  simulator.run(program);
+  const Matrix a = Matrix::deterministic(12, 12, 1);
+  const Matrix b = Matrix::deterministic(12, 12, 2);
+  EXPECT_LT(simulator.assemble_array("S", 12, 12).max_abs_diff(a + b),
+            1e-14);
+  EXPECT_LT(simulator.assemble_array("P", 12, 12).max_abs_diff(a * (a + b)),
+            1e-12);
+}
+
+// ---- Determinism and noise -----------------------------------------------------
+
+MpmdProgram small_exchange_program() {
+  MpmdProgram program(2);
+  const BlockRect rect{{0, 32}, {0, 32}};
+  GroupKernel init;
+  init.node = 0;
+  init.op = mdg::LoopOp::kInit;
+  init.output = "X";
+  init.out_rows = 32;
+  init.out_cols = 32;
+  init.init_tag = 3;
+  init.group = {0};
+  program.streams[0].push_back(init);
+  program.streams[0].push_back(
+      SendBlock{1, 1, "X", BlockRect{{0, 32}, {0, 32}}});
+  program.streams[1].push_back(AllocBlock{"Y", rect});
+  program.streams[1].push_back(RecvBlock{0, 1, "Y", rect});
+  return program;
+}
+
+TEST(Simulator, DeterministicForFixedSeed) {
+  MachineConfig mc = quiet_machine(2);
+  mc.noise_sigma = 0.05;
+  mc.noise_seed = 77;
+  const MpmdProgram program = small_exchange_program();
+  Simulator s1(mc);
+  Simulator s2(mc);
+  EXPECT_DOUBLE_EQ(s1.run(program).finish_time, s2.run(program).finish_time);
+}
+
+TEST(Simulator, NoiseChangesTimingNotData) {
+  MachineConfig quiet = quiet_machine(2);
+  MachineConfig noisy = quiet;
+  noisy.noise_sigma = 0.1;
+  noisy.noise_seed = 123;
+  const MpmdProgram program = small_exchange_program();
+  Simulator sq(quiet);
+  Simulator sn(noisy);
+  const double tq = sq.run(program).finish_time;
+  const double tn = sn.run(program).finish_time;
+  EXPECT_NE(tq, tn);
+  EXPECT_NEAR(tq, tn, 0.5 * tq);  // noise is mild
+  const BlockRect rect{{0, 32}, {0, 32}};
+  EXPECT_LT(sq.memory(1).read("Y", rect).max_abs_diff(
+                sn.memory(1).read("Y", rect)),
+            1e-15);
+}
+
+TEST(Simulator, BusyAccountingConsistent) {
+  const MachineConfig mc = quiet_machine(2);
+  const MpmdProgram program = small_exchange_program();
+  Simulator simulator(mc);
+  const SimResult result = simulator.run(program);
+  double trace_busy = 0.0;
+  for (const auto& rank_trace : simulator.trace()) {
+    for (const auto& interval : rank_trace) {
+      trace_busy += interval.end - interval.start;
+    }
+  }
+  EXPECT_NEAR(result.total_busy, trace_busy, 1e-12);
+  EXPECT_LE(result.efficiency(2), 1.0 + 1e-12);
+}
+
+TEST(Simulator, AssembleIncompleteArrayThrows) {
+  const MachineConfig mc = quiet_machine(2);
+  MpmdProgram program(2);
+  program.streams[0].push_back(AllocBlock{"X", BlockRect{{0, 4}, {0, 8}}});
+  Simulator simulator(mc);
+  simulator.run(program);
+  EXPECT_THROW(simulator.assemble_array("X", 8, 8), Error);
+}
+
+}  // namespace
+}  // namespace paradigm::sim

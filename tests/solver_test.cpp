@@ -1,0 +1,223 @@
+// Tests for the convex allocator: gradient correctness of the smoothed
+// objective, convexity along segments, agreement with the exhaustive
+// oracle on small graphs, dominance over the baselines, and the paper's
+// Figure-1 example.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/programs.hpp"
+#include "cost/model.hpp"
+#include "mdg/random_mdg.hpp"
+#include "solver/allocator.hpp"
+#include "solver/oracle.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace paradigm::solver {
+namespace {
+
+cost::CostModel synthetic_model(const mdg::Mdg& graph,
+                                cost::MachineParams machine = {}) {
+  return cost::CostModel(graph, machine, cost::KernelCostTable{});
+}
+
+mdg::Mdg small_random(std::uint64_t seed, std::size_t max_nodes = 5) {
+  Rng rng(seed);
+  mdg::RandomMdgConfig config;
+  config.min_nodes = 3;
+  config.max_nodes = max_nodes;
+  config.max_width = 3;
+  return mdg::random_mdg(rng, config);
+}
+
+class SolverSeeded : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SolverSeeded, SmoothedObjectiveGradientMatchesFiniteDifferences) {
+  const mdg::Mdg graph = small_random(GetParam(), 8);
+  cost::MachineParams mp;
+  mp.t_n = 2e-9;
+  const cost::CostModel model = synthetic_model(graph, mp);
+  const ConvexAllocator allocator;
+  const double p = 16.0;
+  Rng rng(GetParam() * 31 + 7);
+  std::vector<double> x(graph.node_count());
+  for (auto& xi : x) xi = rng.uniform(0.1, std::log(p) - 0.1);
+
+  std::vector<double> grad(x.size(), 0.0);
+  const double mu_x = 0.25;
+  const double mu_t = 0.01;
+  allocator.smoothed_objective(model, p, x, mu_x, mu_t, grad);
+  const double h = 1e-6;
+  for (std::size_t k = 0; k < x.size(); ++k) {
+    std::vector<double> xp = x;
+    std::vector<double> xm = x;
+    xp[k] += h;
+    xm[k] -= h;
+    const double fp =
+        allocator.smoothed_objective(model, p, xp, mu_x, mu_t, {});
+    const double fm =
+        allocator.smoothed_objective(model, p, xm, mu_x, mu_t, {});
+    const double fd = (fp - fm) / (2 * h);
+    EXPECT_NEAR(grad[k], fd, 1e-4 * (1.0 + std::abs(fd))) << "var " << k;
+  }
+}
+
+TEST_P(SolverSeeded, SmoothedObjectiveConvexAlongSegments) {
+  const mdg::Mdg graph = small_random(GetParam() + 100, 10);
+  const cost::CostModel model = synthetic_model(graph);
+  const ConvexAllocator allocator;
+  const double p = 32.0;
+  Rng rng(GetParam() * 13 + 3);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> a(graph.node_count());
+    std::vector<double> b(graph.node_count());
+    std::vector<double> mid(graph.node_count());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      a[i] = rng.uniform(0.0, std::log(p));
+      b[i] = rng.uniform(0.0, std::log(p));
+      mid[i] = 0.5 * (a[i] + b[i]);
+    }
+    const double mu_x = 0.3;
+    const double mu_t = 0.02;
+    const double fa = allocator.smoothed_objective(model, p, a, mu_x, mu_t, {});
+    const double fb = allocator.smoothed_objective(model, p, b, mu_x, mu_t, {});
+    const double fm =
+        allocator.smoothed_objective(model, p, mid, mu_x, mu_t, {});
+    EXPECT_LE(fm, 0.5 * (fa + fb) + 1e-9 * (fa + fb));
+  }
+}
+
+TEST_P(SolverSeeded, MatchesOracleOnSmallGraphs) {
+  const mdg::Mdg graph = small_random(GetParam() + 200, 4);
+  cost::MachineParams mp;
+  const cost::CostModel model = synthetic_model(graph, mp);
+  const double p = 16.0;
+  const ConvexAllocator allocator;
+  const AllocationResult convex = allocator.allocate(model, p);
+  // Fine geometric grid oracle: 9 points per variable.
+  OracleConfig oc;
+  oc.grid_points = 9;
+  const AllocationResult oracle = oracle_allocation(model, p, oc);
+  // The continuous optimum can only be better than any grid point; and
+  // the solver should get within a few percent of the grid optimum.
+  EXPECT_LE(convex.phi, oracle.phi * 1.02)
+      << "solver " << convex.summary() << " vs oracle " << oracle.summary();
+}
+
+TEST_P(SolverSeeded, DominatesBaselines) {
+  const mdg::Mdg graph = small_random(GetParam() + 300, 12);
+  const cost::CostModel model = synthetic_model(graph);
+  const double p = 32.0;
+  const AllocationResult convex = ConvexAllocator{}.allocate(model, p);
+  EXPECT_LE(convex.phi, naive_allocation(model, p).phi * 1.001);
+  EXPECT_LE(convex.phi, serial_node_allocation(model, p).phi * 1.001);
+  EXPECT_LE(convex.phi, greedy_doubling_allocation(model, p).phi * 1.01);
+}
+
+TEST_P(SolverSeeded, MonotoneInMachineSize) {
+  const mdg::Mdg graph = small_random(GetParam() + 400, 10);
+  const cost::CostModel model = synthetic_model(graph);
+  const ConvexAllocator allocator;
+  double prev = allocator.allocate(model, 4.0).phi;
+  for (const double p : {8.0, 16.0, 32.0}) {
+    const double cur = allocator.allocate(model, p).phi;
+    // Larger machines can only help (small solver slack allowed).
+    EXPECT_LE(cur, prev * 1.01) << "p=" << p;
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverSeeded,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+TEST(Solver, AllocationInBox) {
+  const mdg::Mdg graph = small_random(7, 10);
+  const cost::CostModel model = synthetic_model(graph);
+  const double p = 16.0;
+  const AllocationResult result = ConvexAllocator{}.allocate(model, p);
+  ASSERT_EQ(result.allocation.size(), graph.node_count());
+  for (const double a : result.allocation) {
+    EXPECT_GE(a, 1.0);
+    EXPECT_LE(a, p);
+  }
+  EXPECT_NEAR(result.phi,
+              std::max(result.average_time, result.critical_path), 1e-12);
+}
+
+TEST(Solver, Figure1ExampleMatchesPaperNumbers) {
+  const mdg::Mdg graph = core::figure1_example();
+  const cost::CostModel model = synthetic_model(graph);
+
+  // Naive all-4 allocation = pure data parallelism: 15.6 s of
+  // processor-time-area per processor (the paper's first scheme; the
+  // serialized schedule's makespan equals A_p here). The critical path
+  // ignores processor contention, so it is lower.
+  const AllocationResult naive = naive_allocation(model, 4.0);
+  EXPECT_NEAR(naive.average_time, 15.6, 1e-6);
+  EXPECT_NEAR(naive.critical_path, 12.125, 1e-6);
+
+  // The mixed allocation (N1 on 4, N2/N3 on 2) gives A = C = 14.3 s.
+  std::vector<double> mixed(graph.node_count(), 1.0);
+  mixed[0] = 4.0;  // N1
+  mixed[1] = 2.0;  // N2
+  mixed[2] = 2.0;  // N3
+  EXPECT_NEAR(model.critical_path_time(mixed), 14.3, 1e-6);
+  EXPECT_NEAR(model.average_finish_time(mixed, 4.0), 14.3, 1e-6);
+
+  // The convex optimum is at least as good as the mixed hand allocation
+  // (up to the smoothing slack) and clearly better than naive.
+  const AllocationResult convex = ConvexAllocator{}.allocate(model, 4.0);
+  EXPECT_LE(convex.phi, 14.3 * 1.001);
+  EXPECT_LT(convex.phi, naive.phi);
+}
+
+TEST(Oracle, GridPowersOfTwo) {
+  const auto grid = oracle_grid(16.0);
+  EXPECT_EQ(grid, (std::vector<double>{1, 2, 4, 8, 16}));
+}
+
+TEST(Oracle, GridGeometric) {
+  OracleConfig oc;
+  oc.grid_points = 3;
+  const auto grid = oracle_grid(16.0, oc);
+  ASSERT_EQ(grid.size(), 3u);
+  EXPECT_NEAR(grid[0], 1.0, 1e-12);
+  EXPECT_NEAR(grid[1], 4.0, 1e-9);
+  EXPECT_NEAR(grid[2], 16.0, 1e-9);
+}
+
+TEST(Oracle, RejectsHugeSearchSpaces) {
+  Rng rng(1);
+  mdg::RandomMdgConfig config;
+  config.min_nodes = 20;
+  config.max_nodes = 20;
+  const mdg::Mdg graph = mdg::random_mdg(rng, config);
+  const cost::CostModel model = synthetic_model(graph);
+  OracleConfig oc;
+  oc.max_combinations = 1000;
+  EXPECT_THROW(oracle_allocation(model, 64.0, oc), Error);
+}
+
+TEST(Baselines, GreedyImprovesOnItsSerialStartingPoint) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const mdg::Mdg graph = small_random(seed + 500, 10);
+    const cost::CostModel model = synthetic_model(graph);
+    const double p = 16.0;
+    const double greedy = greedy_doubling_allocation(model, p).phi;
+    const double serial = serial_node_allocation(model, p).phi;
+    // Greedy starts from the all-ones allocation and only ever applies
+    // strictly improving doublings.
+    EXPECT_LE(greedy, serial + 1e-9);
+  }
+}
+
+TEST(Solver, InvalidMachineSizeRejected) {
+  const mdg::Mdg graph = small_random(1, 4);
+  const cost::CostModel model = synthetic_model(graph);
+  EXPECT_THROW(ConvexAllocator{}.allocate(model, 0.5), Error);
+  EXPECT_THROW(naive_allocation(model, 0.0), Error);
+}
+
+}  // namespace
+}  // namespace paradigm::solver

@@ -1,0 +1,250 @@
+// Unit tests for the support library: stats/OLS, matrix, RNG, power-of-
+// two helpers, table/plot rendering.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/ascii_plot.hpp"
+#include "support/error.hpp"
+#include "support/matrix.hpp"
+#include "support/pow2.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace paradigm {
+namespace {
+
+TEST(Stats, MeanAndStddev) {
+  EXPECT_DOUBLE_EQ(mean({2.0, 4.0, 6.0}), 4.0);
+  EXPECT_NEAR(stddev({2.0, 4.0, 6.0}), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stddev({5.0}), 0.0);
+  EXPECT_THROW(mean({}), Error);
+}
+
+TEST(Stats, SolveLinearSystem) {
+  // 2x + y = 5; x - y = 1  =>  x = 2, y = 1.
+  const auto x = solve_linear_system({{2, 1}, {1, -1}}, {5, 1});
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(Stats, SolveSingularThrows) {
+  EXPECT_THROW(solve_linear_system({{1, 2}, {2, 4}}, {1, 2}), Error);
+}
+
+TEST(Stats, LeastSquaresExactFit) {
+  // y = 3 + 2 t.
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (int t = 0; t < 6; ++t) {
+    rows.push_back({1.0, static_cast<double>(t)});
+    y.push_back(3.0 + 2.0 * t);
+  }
+  const OlsFit fit = least_squares(rows, y);
+  EXPECT_NEAR(fit.coefficients[0], 3.0, 1e-9);
+  EXPECT_NEAR(fit.coefficients[1], 2.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+  EXPECT_LT(fit.max_rel_residual, 1e-9);
+}
+
+TEST(Stats, LeastSquaresOverdeterminedNoisy) {
+  Rng rng(42);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (int t = 0; t < 200; ++t) {
+    const double x = rng.uniform(0.0, 10.0);
+    rows.push_back({1.0, x});
+    y.push_back(1.5 + 0.75 * x + rng.normal(0.0, 0.01));
+  }
+  const OlsFit fit = least_squares(rows, y);
+  EXPECT_NEAR(fit.coefficients[0], 1.5, 0.02);
+  EXPECT_NEAR(fit.coefficients[1], 0.75, 0.01);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(Stats, NonNegativeLeastSquaresClamps) {
+  // True model has a negative weight on the second column; NNLS must
+  // drop it and keep a non-negative solution.
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (int t = 1; t <= 20; ++t) {
+    rows.push_back({static_cast<double>(t), 1.0});
+    y.push_back(2.0 * t - 5.0);
+  }
+  const OlsFit fit = least_squares_nonneg(rows, y);
+  for (const double c : fit.coefficients) EXPECT_GE(c, 0.0);
+}
+
+TEST(Stats, UnderdeterminedThrows) {
+  EXPECT_THROW(least_squares({{1.0, 2.0}}, {1.0}), Error);
+}
+
+TEST(Matrix, BasicOps) {
+  Matrix a(2, 3, 1.0);
+  Matrix b(2, 3, 2.0);
+  const Matrix c = a + b;
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 3.0);
+  const Matrix d = b - a;
+  EXPECT_DOUBLE_EQ(d.at(1, 2), 1.0);
+  EXPECT_THROW(a.at(2, 0), Error);
+}
+
+TEST(Matrix, MultiplyIdentity) {
+  const Matrix m = Matrix::deterministic(5, 5, 7);
+  const Matrix i = Matrix::identity(5);
+  EXPECT_LT((m * i).max_abs_diff(m), 1e-15);
+  EXPECT_LT((i * m).max_abs_diff(m), 1e-15);
+}
+
+TEST(Matrix, MultiplyKnownValues) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 3;
+  a.at(1, 1) = 4;
+  const Matrix c = a * a;
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 7);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 10);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 15);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 22);
+}
+
+TEST(Matrix, MultiplyShapeMismatchThrows) {
+  const Matrix a(2, 3);
+  const Matrix b(2, 3);
+  EXPECT_THROW(a * b, Error);
+}
+
+TEST(Matrix, BlockRoundTrip) {
+  const Matrix m = Matrix::deterministic(8, 6, 3);
+  const Matrix blk = m.block(2, 1, 4, 3);
+  Matrix copy(8, 6, 0.0);
+  copy.set_block(2, 1, blk);
+  EXPECT_DOUBLE_EQ(copy.at(3, 2), m.at(3, 2));
+  EXPECT_DOUBLE_EQ(copy.at(0, 0), 0.0);
+}
+
+TEST(Matrix, DeterministicOffsetsConsistent) {
+  // A block of a deterministically-filled matrix equals the matrix
+  // generated directly at that offset — the property distributed init
+  // kernels rely on.
+  const Matrix whole = Matrix::deterministic(10, 10, 99);
+  const Matrix part = Matrix::deterministic(4, 10, 99, 3, 0);
+  EXPECT_LT(whole.block(3, 0, 4, 10).max_abs_diff(part), 1e-15);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(2.0, 3.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, LognormalUnitMeanApproxOne) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.lognormal_unit(0.1);
+  EXPECT_NEAR(sum / n, 1.0, 0.01);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng base(5);
+  Rng a = base.fork(1);
+  Rng b = base.fork(2);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Pow2, Predicates) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(48));
+}
+
+TEST(Pow2, FloorCeil) {
+  EXPECT_EQ(floor_pow2(1), 1u);
+  EXPECT_EQ(floor_pow2(63), 32u);
+  EXPECT_EQ(ceil_pow2(33), 64u);
+  EXPECT_EQ(ceil_pow2(64), 64u);
+  EXPECT_THROW(floor_pow2(0), Error);
+}
+
+TEST(Pow2, RoundArithmeticMidpoint) {
+  // The PSA rounding rule: nearest power of two with the arithmetic
+  // midpoint, so changes stay within [2/3, 4/3] (Theorem 2's factors).
+  EXPECT_EQ(round_to_pow2(1.0), 1u);
+  EXPECT_EQ(round_to_pow2(1.49), 1u);
+  EXPECT_EQ(round_to_pow2(1.5), 2u);
+  EXPECT_EQ(round_to_pow2(2.9), 2u);
+  EXPECT_EQ(round_to_pow2(3.0), 4u);
+  EXPECT_EQ(round_to_pow2(5.9), 4u);
+  EXPECT_EQ(round_to_pow2(6.0), 8u);
+  EXPECT_EQ(round_to_pow2(64.0), 64u);
+}
+
+TEST(Pow2, RoundStaysWithinTheoremFactors) {
+  for (double x = 1.0; x < 200.0; x += 0.37) {
+    const double r = static_cast<double>(round_to_pow2(x));
+    EXPECT_GE(r, (2.0 / 3.0) * x - 1e-9) << "x=" << x;
+    EXPECT_LE(r, (4.0 / 3.0) * x + 1e-9) << "x=" << x;
+  }
+}
+
+TEST(Table, RendersAlignedCells) {
+  AsciiTable t("Title");
+  t.set_header({"a", "long header", "c"});
+  t.add_row({"1", "2", "3"});
+  t.add_row({"wide cell", "x", "y"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("Title"), std::string::npos);
+  EXPECT_NE(s.find("long header"), std::string::npos);
+  EXPECT_NE(s.find("wide cell"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  AsciiTable t("t");
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), Error);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(AsciiTable::num(1.23456, 2), "1.23");
+  EXPECT_EQ(AsciiTable::num(-0.5, 1), "-0.5");
+}
+
+TEST(AsciiPlotTest, RendersSeries) {
+  AsciiPlot plot("demo", "x", "y");
+  plot.add_series({"s1", {1, 2, 3, 4}, {1, 4, 9, 16}});
+  const std::string s = plot.render();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("s1"), std::string::npos);
+  EXPECT_NE(s.find('*'), std::string::npos);
+}
+
+TEST(AsciiPlotTest, MismatchedSeriesThrows) {
+  AsciiPlot plot("demo", "x", "y");
+  EXPECT_THROW(plot.add_series({"bad", {1, 2}, {1}}), Error);
+}
+
+TEST(ErrorMacros, CheckCarriesMessage) {
+  try {
+    PARADIGM_CHECK(1 == 2, "custom message " << 42);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("custom message 42"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace paradigm

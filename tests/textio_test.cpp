@@ -1,0 +1,180 @@
+// Tests for the textual MDG format: parsing, error diagnostics with
+// line numbers, round-trip stability (write/parse/write fixed point),
+// and semantic equivalence of the round-tripped graph.
+#include <gtest/gtest.h>
+
+#include "core/programs.hpp"
+#include "mdg/random_mdg.hpp"
+#include "mdg/textio.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace paradigm::mdg {
+namespace {
+
+TEST(TextIo, ParsesMinimalGraph) {
+  const Mdg graph = parse_mdg(R"(
+# a two-loop pipeline
+array X 16 8 tag=5
+loop producer init -> X
+loop consumer synthetic alpha=0.1 tau=2.0
+dep producer consumer X
+)");
+  EXPECT_EQ(graph.node_count(), 4u);  // 2 loops + START/STOP
+  EXPECT_EQ(graph.array("X").rows, 16u);
+  EXPECT_EQ(graph.array("X").init_tag, 5u);
+  const NodeId consumer = graph.producer_of("X") == 0 ? 1 : 0;
+  EXPECT_EQ(graph.node(consumer).loop.synth_tau, 2.0);
+}
+
+TEST(TextIo, ParsesBinaryOpsAndLayouts) {
+  const Mdg graph = parse_mdg(R"(
+array A 8 8
+array B 8 8
+array C 8 8
+loop ia init -> A
+loop ib init -> B
+loop mc mul A B -> C layout=col
+dep ia mc A
+dep ib mc B
+)");
+  const auto& mc = graph.node(graph.producer_of("C"));
+  EXPECT_EQ(mc.loop.op, LoopOp::kMul);
+  EXPECT_EQ(mc.loop.layout, Layout::kCol);
+  // row-layout producers into a col-layout consumer: 2D transfers.
+  for (const auto& edge : graph.edges()) {
+    for (const auto& t : edge.transfers) {
+      if (!t.array.empty()) {
+        EXPECT_EQ(t.kind, TransferKind::k2D);
+      }
+    }
+  }
+}
+
+TEST(TextIo, ParsesSyntheticDeps) {
+  const Mdg graph = parse_mdg(R"(
+loop a synthetic alpha=0.2 tau=1.0
+loop b synthetic alpha=0.1 tau=0.5
+loop c synthetic alpha=0.1 tau=0.5
+dep a b bytes=4096
+dep a c bytes=512 kind=2d
+dep b c
+)");
+  std::size_t one_d = 0;
+  std::size_t two_d = 0;
+  std::size_t control = 0;
+  for (const auto& edge : graph.edges()) {
+    const auto& src = graph.node(edge.src);
+    const auto& dst = graph.node(edge.dst);
+    if (src.kind != NodeKind::kLoop || dst.kind != NodeKind::kLoop) {
+      continue;
+    }
+    if (edge.transfers.empty()) {
+      ++control;
+    } else if (edge.transfers[0].kind == TransferKind::k1D) {
+      ++one_d;
+    } else {
+      ++two_d;
+    }
+  }
+  EXPECT_EQ(one_d, 1u);
+  EXPECT_EQ(two_d, 1u);
+  EXPECT_EQ(control, 1u);
+}
+
+struct BadInput {
+  const char* text;
+  const char* reason;
+};
+
+class TextIoErrors : public ::testing::TestWithParam<BadInput> {};
+
+TEST_P(TextIoErrors, RejectsWithLineDiagnostic) {
+  try {
+    parse_mdg(GetParam().text);
+    FAIL() << "expected parse failure: " << GetParam().reason;
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("mdg text line"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, TextIoErrors,
+    ::testing::Values(
+        BadInput{"frobnicate x", "unknown directive"},
+        BadInput{"array X 8", "missing cols"},
+        BadInput{"array X 8 8 color=red", "unknown attribute"},
+        BadInput{"loop a fly -> X", "unknown op"},
+        BadInput{"array X 8 8\nloop a init X", "missing arrow"},
+        BadInput{"loop a synthetic alpha=0.1", "missing tau"},
+        BadInput{"loop a synthetic alpha=zz tau=1", "bad number"},
+        BadInput{"array X 8 8\nloop a init -> X layout=diag",
+                 "bad layout"},
+        BadInput{"loop a synthetic alpha=0.1 tau=1\ndep a b", "unknown dst"},
+        BadInput{"array X 8 8\nloop a init -> X\n"
+                 "loop b synthetic alpha=0.1 tau=1\ndep a b X bytes=8",
+                 "arrays and bytes together"},
+        BadInput{"loop a synthetic alpha=0.1 tau=1\n"
+                 "loop a synthetic alpha=0.1 tau=1",
+                 "duplicate loop"}));
+
+TEST(TextIo, WriteParseWriteIsFixedPoint) {
+  for (const Mdg& graph :
+       {core::complex_matmul_mdg(32), core::strassen_mdg(16),
+        core::complex_matmul_mdg_mixed_layout(16)}) {
+    const std::string once = write_mdg(graph);
+    const Mdg reparsed = parse_mdg(once);
+    EXPECT_EQ(write_mdg(reparsed), once);
+  }
+}
+
+TEST(TextIo, RoundTripPreservesSemantics) {
+  const Mdg original = core::complex_matmul_mdg(32);
+  const Mdg round = parse_mdg(write_mdg(original));
+  EXPECT_EQ(round.node_count(), original.node_count());
+  EXPECT_EQ(round.edge_count(), original.edge_count());
+  EXPECT_EQ(round.arrays().size(), original.arrays().size());
+  // Total transfer bytes preserved.
+  std::size_t bytes_a = 0;
+  std::size_t bytes_b = 0;
+  for (const auto& e : original.edges()) bytes_a += e.total_bytes();
+  for (const auto& e : round.edges()) bytes_b += e.total_bytes();
+  EXPECT_EQ(bytes_a, bytes_b);
+}
+
+TEST(TextIo, RoundTripRandomSyntheticGraphs) {
+  Rng rng(31);
+  for (int i = 0; i < 10; ++i) {
+    const Mdg graph = random_mdg(rng);
+    const std::string text = write_mdg(graph);
+    const Mdg round = parse_mdg(text);
+    EXPECT_EQ(round.node_count(), graph.node_count());
+    EXPECT_EQ(write_mdg(round), text);
+  }
+}
+
+TEST(TextIo, ProcessorCapsRoundTrip) {
+  const Mdg graph = parse_mdg(R"(
+array X 8 8
+loop a init -> X cap=4
+loop b synthetic alpha=0.1 tau=1.0 cap=6
+dep a b X
+)");
+  EXPECT_EQ(graph.node(graph.producer_of("X")).loop.max_processors, 4u);
+  const std::string text = write_mdg(graph);
+  EXPECT_NE(text.find("cap=4"), std::string::npos);
+  EXPECT_NE(text.find("cap=6"), std::string::npos);
+  const Mdg round = parse_mdg(text);
+  EXPECT_EQ(write_mdg(round), text);
+}
+
+TEST(TextIo, WriterRequiresFinalizedGraph) {
+  Mdg graph;
+  graph.add_synthetic("a", 0.1, 1.0);
+  EXPECT_THROW(write_mdg(graph), Error);
+}
+
+}  // namespace
+}  // namespace paradigm::mdg

@@ -1,0 +1,152 @@
+// Tests for the tooling layer: the JSON writer, the JSON exporters for
+// MDG / allocation / schedule / report, and the execution-trace Gantt.
+#include <gtest/gtest.h>
+
+#include "codegen/mpmd.hpp"
+#include "core/json_export.hpp"
+#include "core/pipeline.hpp"
+#include "core/programs.hpp"
+#include "sim/trace_gantt.hpp"
+#include "support/error.hpp"
+#include "support/json.hpp"
+
+namespace paradigm {
+namespace {
+
+// ---- JSON writer -------------------------------------------------------------
+
+TEST(JsonWriter, Scalars) {
+  EXPECT_EQ(Json::null().dump(-1), "null");
+  EXPECT_EQ(Json::boolean(true).dump(-1), "true");
+  EXPECT_EQ(Json::integer(-42).dump(-1), "-42");
+  EXPECT_EQ(Json::string("hi").dump(-1), "\"hi\"");
+  EXPECT_EQ(Json::number(1.5).dump(-1), "1.5");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  EXPECT_EQ(Json::string("a\"b\\c\nd").dump(-1), "\"a\\\"b\\\\c\\nd\"");
+}
+
+TEST(JsonWriter, NonFiniteRejected) {
+  EXPECT_THROW(Json::number(std::numeric_limits<double>::infinity()),
+               Error);
+}
+
+TEST(JsonWriter, ArraysAndObjects) {
+  Json arr = Json::array();
+  arr.push_back(Json::integer(1));
+  arr.push_back(Json::integer(2));
+  EXPECT_EQ(arr.dump(-1), "[1,2]");
+
+  Json obj = Json::object();
+  obj.set("b", Json::integer(2));
+  obj.set("a", Json::integer(1));
+  // Deterministic (sorted) key order.
+  EXPECT_EQ(obj.dump(-1), "{\"a\":1,\"b\":2}");
+}
+
+TEST(JsonWriter, TypeMisuseRejected) {
+  Json obj = Json::object();
+  EXPECT_THROW(obj.push_back(Json::integer(1)), Error);
+  Json arr = Json::array();
+  EXPECT_THROW(arr.set("k", Json::integer(1)), Error);
+}
+
+TEST(JsonWriter, IndentedOutputNests) {
+  Json obj = Json::object();
+  obj.set("xs", Json::array());
+  const std::string s = obj.dump(2);
+  EXPECT_NE(s.find("\"xs\": []"), std::string::npos);
+}
+
+// ---- exporters -----------------------------------------------------------------
+
+// A PipelineReport's schedules reference the MDG they were built from,
+// so the graph must outlive the report — this fixture keeps both.
+struct SmallRun {
+  mdg::Mdg graph = core::complex_matmul_mdg(32);
+  core::PipelineReport report;
+
+  SmallRun() {
+    core::PipelineConfig config;
+    config.processors = 8;
+    config.machine.size = 8;
+    config.machine.noise_sigma = 0.0;
+    config.calibration.repetitions = 1;
+    const core::Compiler compiler(config);
+    report = compiler.compile_and_run(graph);
+  }
+};
+
+TEST(JsonExport, MdgRoundTripKeys) {
+  const mdg::Mdg graph = core::complex_matmul_mdg(32);
+  const Json j = core::mdg_to_json(graph);
+  const std::string s = j.dump();
+  EXPECT_NE(s.find("\"nodes\""), std::string::npos);
+  EXPECT_NE(s.find("\"edges\""), std::string::npos);
+  EXPECT_NE(s.find("\"init_Ar\""), std::string::npos);
+  EXPECT_NE(s.find("\"1D\""), std::string::npos);
+}
+
+TEST(JsonExport, ReportContainsAllSections) {
+  const SmallRun run;
+  const std::string s = core::report_to_json(run.report).dump();
+  for (const char* key :
+       {"\"fitted_machine\"", "\"kernels\"", "\"allocation\"",
+        "\"psa_schedule\"", "\"spmd_schedule\"", "\"execution\"",
+        "\"mpmd_speedup\"", "\"pb\""}) {
+    EXPECT_NE(s.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(JsonExport, ScheduleMakespanMatches) {
+  const SmallRun run;
+  const Json j = core::schedule_to_json(run.report.psa->schedule);
+  const std::string s = j.dump(-1);
+  // The serialized makespan value must appear (as a number).
+  std::ostringstream expect;
+  expect.precision(17);
+  expect << run.report.psa->schedule.makespan();
+  EXPECT_NE(s.find(expect.str()), std::string::npos);
+}
+
+// ---- trace gantt ---------------------------------------------------------------
+
+TEST(TraceGantt, RendersRowsAndLegend) {
+  const mdg::Mdg graph = core::complex_matmul_mdg(16);
+  sim::MachineConfig mc;
+  mc.size = 4;
+  mc.noise_sigma = 0.0;
+  cost::KernelCostTable table;
+  for (const auto& node : graph.nodes()) {
+    if (node.kind == mdg::NodeKind::kLoop &&
+        node.loop.op != mdg::LoopOp::kSynthetic) {
+      const auto key = cost::KernelCostTable::key_for(graph, node);
+      if (!table.contains(key)) {
+        table.set(key, cost::AmdahlParams{0.1, 0.01});
+      }
+    }
+  }
+  const cost::CostModel model(graph, cost::MachineParams{}, table);
+  const sched::Schedule spmd = sched::spmd_schedule(model, 4);
+  const auto generated = codegen::generate_mpmd(graph, spmd);
+  sim::Simulator simulator(mc);
+  simulator.run(generated.program);
+  const std::string gantt = sim::trace_gantt(simulator);
+  EXPECT_NE(gantt.find("P0"), std::string::npos);
+  EXPECT_NE(gantt.find("P3"), std::string::npos);
+  EXPECT_NE(gantt.find("legend:"), std::string::npos);
+  EXPECT_NE(gantt.find("Cr"), std::string::npos);
+}
+
+TEST(TraceGantt, EmptyTraceHandled) {
+  sim::MachineConfig mc;
+  mc.size = 2;
+  sim::Simulator simulator(mc);
+  simulator.run(sim::MpmdProgram(2));
+  const std::string gantt = sim::trace_gantt(simulator);
+  EXPECT_NE(gantt.find("span 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace paradigm

@@ -1,0 +1,130 @@
+// Tests for the structured topology generators plus allocation
+// behaviour on them (chains go wide; wide shapes split).
+#include <gtest/gtest.h>
+
+#include "core/topologies.hpp"
+#include "cost/model.hpp"
+#include "sched/psa.hpp"
+#include "solver/allocator.hpp"
+#include "support/error.hpp"
+
+namespace paradigm::core {
+namespace {
+
+std::size_t loop_count(const mdg::Mdg& graph) {
+  std::size_t count = 0;
+  for (const auto& node : graph.nodes()) {
+    if (node.kind == mdg::NodeKind::kLoop) ++count;
+  }
+  return count;
+}
+
+TEST(Topologies, ChainShape) {
+  const mdg::Mdg graph = chain_mdg(10);
+  EXPECT_EQ(loop_count(graph), 10u);
+  // A chain has exactly one edge per consecutive pair plus START/STOP.
+  EXPECT_EQ(graph.edge_count(), 9u + 2u);
+}
+
+TEST(Topologies, ForkJoinShape) {
+  const mdg::Mdg graph = fork_join_mdg(4, 2);
+  EXPECT_EQ(loop_count(graph), 2u + 4u * 2u);
+}
+
+TEST(Topologies, ButterflyShape) {
+  const std::size_t stages = 3;
+  const mdg::Mdg graph = butterfly_mdg(stages);
+  const std::size_t lanes = 1u << stages;
+  EXPECT_EQ(loop_count(graph), lanes * (stages + 1));
+  // Every non-input node has exactly two data predecessors.
+  for (const auto& node : graph.nodes()) {
+    if (node.kind != mdg::NodeKind::kLoop) continue;
+    if (node.name.rfind("in", 0) == 0) continue;
+    std::size_t data_preds = 0;
+    for (const mdg::EdgeId e : node.in_edges) {
+      if (graph.edge(e).total_bytes() > 0) ++data_preds;
+    }
+    EXPECT_EQ(data_preds, 2u) << node.name;
+  }
+}
+
+TEST(Topologies, InTreeShape) {
+  const mdg::Mdg graph = in_tree_mdg(3);
+  // 8 leaves + 4 + 2 + 1 internal.
+  EXPECT_EQ(loop_count(graph), 15u);
+}
+
+TEST(Topologies, DiamondGridShape) {
+  const mdg::Mdg graph = diamond_grid_mdg(4);
+  EXPECT_EQ(loop_count(graph), 16u);
+}
+
+TEST(Topologies, DeterministicForSeed) {
+  const TopologyParams params;
+  const mdg::Mdg a = butterfly_mdg(2, params);
+  const mdg::Mdg b = butterfly_mdg(2, params);
+  for (std::size_t i = 0; i < a.node_count(); ++i) {
+    EXPECT_DOUBLE_EQ(a.node(i).loop.synth_tau, b.node(i).loop.synth_tau);
+  }
+}
+
+TEST(Topologies, InvalidParamsRejected) {
+  EXPECT_THROW(chain_mdg(0), Error);
+  EXPECT_THROW(butterfly_mdg(0), Error);
+  EXPECT_THROW(diamond_grid_mdg(1), Error);
+}
+
+TEST(Topologies, ChainGainsNothingFromTaskParallelism) {
+  // A chain has no functional parallelism: the PSA schedule on the
+  // convex allocation should match the SPMD-style serialization of the
+  // same allocation (everything is serialized either way).
+  const mdg::Mdg graph = chain_mdg(8);
+  const cost::CostModel model(graph, cost::MachineParams{},
+                              cost::KernelCostTable{});
+  const auto alloc = solver::ConvexAllocator{}.allocate(model, 16.0);
+  // With no concurrency available, A_p <= C_p at the optimum: the
+  // critical path is the binding constraint.
+  EXPECT_LE(alloc.average_time, alloc.critical_path * 1.001);
+}
+
+TEST(Topologies, ForkJoinSplitsBranches) {
+  // With 8 equal branches on 32 processors, the allocator should give
+  // each branch roughly p/8 processors, not p.
+  TopologyParams params;
+  params.alpha_min = params.alpha_max = 0.1;
+  params.tau_min = params.tau_max = 1.0;
+  params.transfer_bytes = 1024;  // cheap transfers
+  const mdg::Mdg graph = fork_join_mdg(8, 1, params);
+  const cost::CostModel model(graph, cost::MachineParams{},
+                              cost::KernelCostTable{});
+  const auto alloc = solver::ConvexAllocator{}.allocate(model, 32.0);
+  for (const auto& node : graph.nodes()) {
+    if (node.kind != mdg::NodeKind::kLoop) continue;
+    if (node.name.rfind("b", 0) != 0) continue;  // branch stages
+    EXPECT_LT(alloc.allocation[node.id], 16.0) << node.name;
+    EXPECT_GT(alloc.allocation[node.id], 1.5) << node.name;
+  }
+  // And the PSA runs them concurrently.
+  const sched::PsaResult psa =
+      sched::prioritized_schedule(model, alloc.allocation, 32);
+  psa.schedule.validate(model);
+  std::size_t concurrent_with_first = 0;
+  const mdg::NodeId first_branch = 2;  // "b0_s0"
+  const auto& ref = psa.schedule.placement(first_branch);
+  for (const auto& node : graph.nodes()) {
+    if (node.id == first_branch || node.kind != mdg::NodeKind::kLoop ||
+        node.name.rfind("b", 0) != 0) {
+      continue;
+    }
+    const auto& sn = psa.schedule.placement(node.id);
+    if (sn.start < ref.finish && sn.finish > ref.start) {
+      ++concurrent_with_first;
+    }
+  }
+  // At least a handful of the other seven branches overlap the first
+  // one's execution window (rounding can stagger the rest).
+  EXPECT_GE(concurrent_with_first, 3u);
+}
+
+}  // namespace
+}  // namespace paradigm::core

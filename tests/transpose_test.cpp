@@ -1,0 +1,127 @@
+// Tests for the transpose kernel: matrix primitive, distributed
+// execution across group layouts, calibration, end-to-end C = A * B^T,
+// and text-format round trip.
+#include <gtest/gtest.h>
+
+#include "calibrate/training.hpp"
+#include "codegen/mpmd.hpp"
+#include "core/programs.hpp"
+#include "mdg/textio.hpp"
+#include "sched/psa.hpp"
+#include "sim/simulator.hpp"
+#include "solver/allocator.hpp"
+
+namespace paradigm {
+namespace {
+
+TEST(Transpose, MatrixPrimitive) {
+  const Matrix m = Matrix::deterministic(5, 3, 7);
+  const Matrix t = m.transposed();
+  ASSERT_EQ(t.rows(), 3u);
+  ASSERT_EQ(t.cols(), 5u);
+  for (std::size_t r = 0; r < 5; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(t.at(c, r), m.at(r, c));
+    }
+  }
+  EXPECT_LT(t.transposed().max_abs_diff(m), 1e-15);
+}
+
+TEST(Transpose, DistributedKernelMatchesSequential) {
+  for (const mdg::Layout layout : {mdg::Layout::kRow, mdg::Layout::kCol}) {
+    sim::MachineConfig mc;
+    mc.size = 4;
+    mc.noise_sigma = 0.0;
+    sim::MpmdProgram program(4);
+    const std::vector<std::uint32_t> group{0, 1, 2, 3};
+    sim::GroupKernel init;
+    init.node = 0;
+    init.op = mdg::LoopOp::kInit;
+    init.output = "X";
+    init.out_rows = 12;
+    init.out_cols = 8;
+    init.init_tag = 3;
+    init.group = group;
+    sim::GroupKernel transpose;
+    transpose.node = 1;
+    transpose.op = mdg::LoopOp::kTranspose;
+    transpose.inputs = {"X"};
+    transpose.output = "Xt";
+    transpose.out_layout = layout;
+    transpose.out_rows = 8;
+    transpose.out_cols = 12;
+    transpose.group = group;
+    for (const std::uint32_t r : group) {
+      program.streams[r].push_back(init);
+      program.streams[r].push_back(transpose);
+    }
+    sim::Simulator simulator(mc);
+    simulator.run(program);
+    const Matrix expected =
+        Matrix::deterministic(12, 8, 3).transposed();
+    EXPECT_LT(
+        simulator.assemble_array("Xt", 8, 12).max_abs_diff(expected),
+        1e-15)
+        << "layout " << static_cast<int>(layout);
+  }
+}
+
+TEST(Transpose, CalibrationFitsAmdahlCurve) {
+  sim::MachineConfig mc;
+  mc.size = 16;
+  mc.noise_sigma = 0.0;
+  calibrate::CalibrationConfig config;
+  config.repetitions = 1;
+  const calibrate::KernelFit fit = calibrate::calibrate_kernel(
+      mc, mdg::LoopOp::kTranspose, 64, 64, 0, config);
+  // Transpose is so cheap that the group-sync overhead is a visible
+  // fraction of the measurement, so the fit is good but not near-exact.
+  EXPECT_GT(fit.fit.r_squared, 0.99);
+  const double seq =
+      mc.sequential_seconds(mdg::LoopOp::kTranspose, 64, 64, 0);
+  EXPECT_NEAR(fit.params.tau, seq, 0.1 * seq);
+}
+
+TEST(Transpose, MatmulTransposedEndToEnd) {
+  const std::size_t n = 32;
+  const mdg::Mdg graph = core::matmul_transposed_mdg(n);
+  sim::MachineConfig mc;
+  mc.size = 8;
+  mc.noise_sigma = 0.0;
+  calibrate::CalibrationConfig cc;
+  cc.repetitions = 1;
+  const cost::CostModel model(
+      graph, cost::MachineParams{},
+      calibrate::calibrate_for_graph(mc, graph, cc));
+  const auto alloc = solver::ConvexAllocator{}.allocate(model, 8.0);
+  const sched::PsaResult psa =
+      sched::prioritized_schedule(model, alloc.allocation, 8);
+  psa.schedule.validate(model);
+  const auto generated = codegen::generate_mpmd(graph, psa.schedule);
+  sim::Simulator simulator(mc);
+  simulator.run(generated.program);
+  EXPECT_LT(simulator.assemble_array("C", n, n)
+                .max_abs_diff(core::matmul_transposed_reference(n)),
+            1e-11);
+}
+
+TEST(Transpose, TextFormatRoundTrip) {
+  const mdg::Mdg graph = core::matmul_transposed_mdg(16);
+  const std::string text = mdg::write_mdg(graph);
+  EXPECT_NE(text.find("transpose B -> Bt"), std::string::npos);
+  const mdg::Mdg round = mdg::parse_mdg(text);
+  EXPECT_EQ(mdg::write_mdg(round), text);
+}
+
+TEST(Transpose, WrongInputCountRejected) {
+  EXPECT_THROW(mdg::parse_mdg(R"(
+array X 4 4
+array Y 4 4
+loop a init -> X
+loop t transpose X X -> Y
+)"),
+               Error);
+}
+
+}  // namespace
+}  // namespace paradigm

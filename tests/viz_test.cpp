@@ -1,0 +1,153 @@
+// Tests for the SVG visualization layer.
+#include <gtest/gtest.h>
+
+#include "codegen/mpmd.hpp"
+#include "core/programs.hpp"
+#include "cost/model.hpp"
+#include "sched/psa.hpp"
+#include "sim/simulator.hpp"
+#include "solver/allocator.hpp"
+#include "support/error.hpp"
+#include "viz/charts.hpp"
+#include "viz/chrome_trace.hpp"
+#include "viz/svg.hpp"
+
+namespace paradigm::viz {
+namespace {
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(Svg, DocumentStructure) {
+  SvgDocument doc(100, 50);
+  doc.rect(1, 2, 3, 4, "#ff0000");
+  doc.line(0, 0, 10, 10, "#000000");
+  doc.text(5, 5, "hello <world> & \"friends\"");
+  doc.circle(2, 2, 1, "#00ff00");
+  const std::string s = doc.str();
+  EXPECT_NE(s.find("<svg"), std::string::npos);
+  EXPECT_NE(s.find("</svg>"), std::string::npos);
+  EXPECT_NE(s.find("hello &lt;world&gt; &amp; &quot;friends&quot;"),
+            std::string::npos);
+  EXPECT_EQ(count_occurrences(s, "<circle"), 1u);
+}
+
+TEST(Svg, InvalidDimensionsRejected) {
+  EXPECT_THROW(SvgDocument(0, 10), Error);
+}
+
+TEST(Svg, PaletteCycles) {
+  EXPECT_EQ(palette_color(0), palette_color(10));
+  EXPECT_NE(palette_color(0), palette_color(1));
+}
+
+TEST(Charts, ScheduleGanttContainsAllLoopNodes) {
+  const mdg::Mdg graph = core::figure1_example();
+  const cost::CostModel model(graph, cost::MachineParams{},
+                              cost::KernelCostTable{});
+  std::vector<std::uint64_t> alloc(graph.node_count(), 1);
+  alloc[0] = 4;
+  alloc[1] = 2;
+  alloc[2] = 2;
+  const sched::Schedule schedule = sched::list_schedule(model, alloc, 4);
+  const std::string svg = schedule_gantt_svg(schedule);
+  EXPECT_NE(svg.find("N1"), std::string::npos);
+  EXPECT_NE(svg.find("N2"), std::string::npos);
+  EXPECT_NE(svg.find("N3"), std::string::npos);
+  // One block rect per (node, rank) pair: 4 + 2 + 2 = 8, plus the
+  // background and legend rects.
+  EXPECT_GE(count_occurrences(svg, "<rect"), 8u);
+}
+
+TEST(Charts, TraceGanttRendersIntervals) {
+  const mdg::Mdg graph = core::complex_matmul_mdg(16);
+  sim::MachineConfig mc;
+  mc.size = 4;
+  mc.noise_sigma = 0.0;
+  cost::KernelCostTable table;
+  for (const auto& node : graph.nodes()) {
+    if (node.kind == mdg::NodeKind::kLoop) {
+      const auto key = cost::KernelCostTable::key_for(graph, node);
+      if (!table.contains(key)) {
+        table.set(key, cost::AmdahlParams{0.1, 0.01});
+      }
+    }
+  }
+  const cost::CostModel model(graph, cost::MachineParams{}, table);
+  const auto alloc = solver::ConvexAllocator{}.allocate(model, 4.0);
+  const sched::PsaResult psa =
+      sched::prioritized_schedule(model, alloc.allocation, 4);
+  const auto generated = codegen::generate_mpmd(graph, psa.schedule);
+  sim::Simulator simulator(mc);
+  simulator.run(generated.program);
+  const std::string svg = trace_gantt_svg(simulator);
+  EXPECT_NE(svg.find("Simulated execution"), std::string::npos);
+  EXPECT_GE(count_occurrences(svg, "<rect"), 10u);
+}
+
+TEST(Charts, LineChartAxesAndLegend) {
+  const std::string svg = line_chart_svg(
+      "Speedups", "processors", "speedup",
+      {{"SPMD", {16, 32, 64}, {5.4, 6.3, 6.7}},
+       {"MPMD", {16, 32, 64}, {8.7, 13.4, 17.8}}},
+      /*x_log2=*/true);
+  EXPECT_NE(svg.find("Speedups"), std::string::npos);
+  EXPECT_NE(svg.find("SPMD"), std::string::npos);
+  EXPECT_NE(svg.find("MPMD"), std::string::npos);
+  EXPECT_GE(count_occurrences(svg, "<circle"), 6u);
+}
+
+TEST(ChromeTrace, ScheduleEventsWellFormed) {
+  const mdg::Mdg graph = core::figure1_example();
+  const cost::CostModel model(graph, cost::MachineParams{},
+                              cost::KernelCostTable{});
+  std::vector<std::uint64_t> alloc(graph.node_count(), 1);
+  alloc[0] = 4;
+  alloc[1] = 2;
+  alloc[2] = 2;
+  const sched::Schedule schedule = sched::list_schedule(model, alloc, 4);
+  const std::string json = chrome_trace_json(schedule);
+  // N1 on 4 ranks + N2 on 2 + N3 on 2 = 8 complete events.
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"X\""), 8u);
+  EXPECT_NE(json.find("\"name\":\"N1\""), std::string::npos);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+}
+
+TEST(ChromeTrace, SimulatorEventsCoverBusyIntervals) {
+  sim::MachineConfig mc;
+  mc.size = 2;
+  mc.noise_sigma = 0.0;
+  sim::MpmdProgram program(2);
+  sim::GroupKernel work;
+  work.node = 0;
+  work.op = mdg::LoopOp::kSynthetic;
+  work.cost_override = 0.5;
+  work.group = {0, 1};
+  program.streams[0].push_back(work);
+  program.streams[1].push_back(work);
+  sim::Simulator simulator(mc);
+  simulator.run(program);
+  const std::string json = chrome_trace_json(simulator);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"X\""), 2u);
+  EXPECT_NE(json.find("\"dur\":500000"), std::string::npos);  // 0.5 s in us
+}
+
+TEST(Charts, EmptyAndMismatchedSeriesRejected) {
+  EXPECT_THROW(line_chart_svg("t", "x", "y", {}), Error);
+  EXPECT_THROW(line_chart_svg("t", "x", "y", {{"bad", {1, 2}, {1}}}),
+               Error);
+  EXPECT_THROW(
+      line_chart_svg("t", "x", "y", {{"neg", {-1, 2}, {1, 2}}}, true),
+      Error);
+}
+
+}  // namespace
+}  // namespace paradigm::viz

@@ -1,0 +1,223 @@
+// paradigm_cli — drive the full pipeline from the command line.
+//
+//   paradigm_cli --program=complex --n=64 --p=64 --machine=cm5
+//   paradigm_cli --program=strassen --levels=2 --p=32 --gantt
+//   paradigm_cli --program=file --input=my_graph.mdg --json=report.json
+//
+// Programs: complex | complex-mixed | strassen | figure1 | file.
+// Outputs the pipeline summary; optional DOT/JSON/Gantt artifacts.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "calibrate/paramsio.hpp"
+#include "core/json_export.hpp"
+#include "core/pipeline.hpp"
+#include "core/programs.hpp"
+#include "core/strassen_multi.hpp"
+#include "frontend/compile.hpp"
+#include "mdg/dot.hpp"
+#include "mdg/textio.hpp"
+#include "viz/charts.hpp"
+#include "viz/chrome_trace.hpp"
+#include "codegen/mpmd.hpp"
+#include "sim/simulator.hpp"
+#include "support/args.hpp"
+#include "support/table.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using namespace paradigm;
+
+mdg::Mdg load_program(const ArgParser& args) {
+  const std::string& program = args.get("program");
+  const auto n = static_cast<std::size_t>(args.get_int("n"));
+  if (program == "complex") return core::complex_matmul_mdg(n);
+  if (program == "complex-mixed") {
+    return core::complex_matmul_mdg_mixed_layout(n);
+  }
+  if (program == "strassen") {
+    const auto levels = static_cast<unsigned>(args.get_int("levels"));
+    if (levels == 1) return core::strassen_mdg(n);
+    return core::strassen_program(n, levels).graph;
+  }
+  if (program == "figure1") return core::figure1_example();
+  if (program == "file" || program == "expr") {
+    const std::string& path = args.get("input");
+    PARADIGM_CHECK(!path.empty(),
+                   "--program=" << program << " needs --input=<path>");
+    std::ifstream in(path);
+    PARADIGM_CHECK(in.good(), "cannot open '" << path << "'");
+    std::ostringstream text;
+    text << in.rdbuf();
+    if (program == "expr") {
+      return frontend::compile_source(text.str()).graph;
+    }
+    return mdg::parse_mdg(text.str());
+  }
+  PARADIGM_FAIL("unknown --program '" << program
+                                      << "' (complex | complex-mixed | "
+                                         "strassen | figure1 | file | "
+                                         "expr)");
+}
+
+sim::MachineConfig load_machine(const ArgParser& args, std::uint32_t size) {
+  const std::string& machine = args.get("machine");
+  sim::MachineConfig mc;
+  if (machine == "cm5") {
+    mc = sim::MachineConfig::cm5(size);
+  } else if (machine == "paragon") {
+    mc = sim::MachineConfig::paragon(size);
+  } else if (machine == "sp1") {
+    mc = sim::MachineConfig::sp1(size);
+  } else {
+    PARADIGM_FAIL("unknown --machine '" << machine
+                                        << "' (cm5 | paragon | sp1)");
+  }
+  mc.noise_sigma = args.get_double("noise");
+  mc.noise_seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  return mc;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  PARADIGM_CHECK(out.good(), "cannot write '" << path << "'");
+  out << content;
+  std::cout << "wrote " << path << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(
+      "paradigm_cli: convex allocation + PSA scheduling of macro "
+      "dataflow graphs on a simulated multicomputer");
+  args.add_option("program", "complex",
+                  "complex | complex-mixed | strassen | figure1 | file | expr");
+  args.add_option("n", "64", "matrix dimension for built-in programs");
+  args.add_option("levels", "1", "Strassen recursion levels");
+  args.add_option("input", "",
+                  "path to a .mdg (--program=file) or matrix-expression\n"
+                  "      source file (--program=expr)");
+  args.add_option("p", "64", "number of processors (power of two)");
+  args.add_option("sweep", "",
+                  "comma-separated machine sizes (overrides --p), e.g. "
+                  "16,32,64 — prints a speedup table");
+  args.add_option("machine", "cm5", "machine preset: cm5 | paragon | sp1");
+  args.add_option("noise", "0.02", "lognormal noise sigma (0 disables)");
+  args.add_option("seed", "6500", "noise seed");
+  args.add_option("mode", "trained",
+                  "calibration: trained (training sets) | static");
+  args.add_option("save-calib", "",
+                  "write the fitted calibration parameters here");
+  args.add_option("load-calib", "",
+                  "reuse a saved calibration instead of re-measuring");
+  args.add_option("json", "", "write the full report as JSON here");
+  args.add_option("dot", "", "write the MDG as Graphviz DOT here");
+  args.add_option("svg", "", "write the PSA schedule as an SVG Gantt here");
+  args.add_option("trace", "",
+                  "write the simulated execution as a Chrome trace "
+                  "(chrome://tracing JSON) here");
+  args.add_flag("gantt", "print the PSA schedule's Gantt chart");
+  args.add_flag("no-sim", "predictions only (skip simulation)");
+  args.add_flag("help", "show this help");
+
+  try {
+    std::vector<std::string> raw(argv + 1, argv + argc);
+    args.parse(raw);
+    if (args.get_flag("help")) {
+      std::cout << args.usage();
+      return 0;
+    }
+
+    const mdg::Mdg graph = load_program(args);
+    const auto p = static_cast<std::uint64_t>(args.get_int("p"));
+
+    if (!args.get("sweep").empty()) {
+      std::vector<std::uint64_t> sizes;
+      std::istringstream list(args.get("sweep"));
+      std::string item;
+      while (std::getline(list, item, ',')) {
+        sizes.push_back(std::stoull(item));
+      }
+      AsciiTable table("Sweep over machine sizes");
+      table.set_header({"p", "Phi (s)", "T_psa (s)", "MPMD sim (s)",
+                        "SPMD sim (s)", "MPMD speedup", "SPMD speedup"});
+      for (const std::uint64_t size : sizes) {
+        core::PipelineConfig sweep_config;
+        sweep_config.processors = size;
+        sweep_config.machine =
+            load_machine(args, static_cast<std::uint32_t>(size));
+        if (args.get("mode") == "static") {
+          sweep_config.calibration_mode = core::CalibrationMode::kStatic;
+        }
+        const core::Compiler sweep_compiler(sweep_config);
+        const core::PipelineReport r = sweep_compiler.compile_and_run(graph);
+        table.add_row({std::to_string(size), AsciiTable::num(r.phi(), 4),
+                       AsciiTable::num(r.t_psa(), 4),
+                       AsciiTable::num(r.mpmd.simulated, 4),
+                       AsciiTable::num(r.spmd_run.simulated, 4),
+                       AsciiTable::num(r.mpmd_speedup(), 2),
+                       AsciiTable::num(r.spmd_speedup(), 2)});
+      }
+      std::cout << table.render();
+      return 0;
+    }
+
+    core::PipelineConfig config;
+    config.processors = p;
+    config.machine = load_machine(args, static_cast<std::uint32_t>(p));
+    if (args.get("mode") == "static") {
+      config.calibration_mode = core::CalibrationMode::kStatic;
+    } else {
+      PARADIGM_CHECK(args.get("mode") == "trained",
+                     "--mode must be trained or static");
+    }
+    config.run_simulation = !args.get_flag("no-sim");
+    if (!args.get("load-calib").empty()) {
+      std::ifstream in(args.get("load-calib"));
+      PARADIGM_CHECK(in.good(),
+                     "cannot open '" << args.get("load-calib") << "'");
+      std::ostringstream text;
+      text << in.rdbuf();
+      config.preset_calibration = calibrate::parse_calibration(text.str());
+    }
+
+    const core::Compiler compiler(config);
+    const core::PipelineReport report = compiler.compile_and_run(graph);
+
+    std::cout << report.summary() << "\n";
+    if (args.get_flag("gantt") && report.psa) {
+      std::cout << "\n" << report.psa->schedule.gantt() << "\n";
+    }
+    if (!args.get("dot").empty()) {
+      write_file(args.get("dot"),
+                 mdg::to_dot(graph, report.allocation.allocation));
+    }
+    if (!args.get("json").empty()) {
+      write_file(args.get("json"), core::report_to_json(report).dump());
+    }
+    if (!args.get("svg").empty() && report.psa) {
+      write_file(args.get("svg"),
+                 viz::schedule_gantt_svg(report.psa->schedule));
+    }
+    if (!args.get("trace").empty() && report.psa &&
+        config.run_simulation) {
+      const codegen::GeneratedProgram generated =
+          codegen::generate_mpmd(graph, report.psa->schedule);
+      sim::Simulator simulator(config.machine);
+      simulator.run(generated.program);
+      write_file(args.get("trace"), viz::chrome_trace_json(simulator));
+    }
+    if (!args.get("save-calib").empty()) {
+      write_file(args.get("save-calib"),
+                 calibrate::write_calibration(calibrate::CalibrationBundle{
+                     report.fitted_machine, report.kernel_table}));
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
