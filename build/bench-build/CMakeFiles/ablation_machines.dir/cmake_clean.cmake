@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_machines"
+  "../bench/ablation_machines.pdb"
+  "CMakeFiles/ablation_machines.dir/ablation_machines.cpp.o"
+  "CMakeFiles/ablation_machines.dir/ablation_machines.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_machines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

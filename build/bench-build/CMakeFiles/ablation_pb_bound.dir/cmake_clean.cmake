@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_pb_bound"
+  "../bench/ablation_pb_bound.pdb"
+  "CMakeFiles/ablation_pb_bound.dir/ablation_pb_bound.cpp.o"
+  "CMakeFiles/ablation_pb_bound.dir/ablation_pb_bound.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pb_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_rounding"
+  "../bench/ablation_rounding.pdb"
+  "CMakeFiles/ablation_rounding.dir/ablation_rounding.cpp.o"
+  "CMakeFiles/ablation_rounding.dir/ablation_rounding.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rounding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

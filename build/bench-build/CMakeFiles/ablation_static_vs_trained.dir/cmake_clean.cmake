@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_static_vs_trained"
+  "../bench/ablation_static_vs_trained.pdb"
+  "CMakeFiles/ablation_static_vs_trained.dir/ablation_static_vs_trained.cpp.o"
+  "CMakeFiles/ablation_static_vs_trained.dir/ablation_static_vs_trained.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_static_vs_trained.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

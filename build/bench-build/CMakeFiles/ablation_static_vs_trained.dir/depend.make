@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_static_vs_trained.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_strassen_levels"
+  "../bench/ablation_strassen_levels.pdb"
+  "CMakeFiles/ablation_strassen_levels.dir/ablation_strassen_levels.cpp.o"
+  "CMakeFiles/ablation_strassen_levels.dir/ablation_strassen_levels.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_strassen_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

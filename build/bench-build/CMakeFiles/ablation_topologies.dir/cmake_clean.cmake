@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_topologies"
+  "../bench/ablation_topologies.pdb"
+  "CMakeFiles/ablation_topologies.dir/ablation_topologies.cpp.o"
+  "CMakeFiles/ablation_topologies.dir/ablation_topologies.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_topologies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

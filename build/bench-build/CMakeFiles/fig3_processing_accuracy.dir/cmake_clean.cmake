@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_processing_accuracy"
+  "../bench/fig3_processing_accuracy.pdb"
+  "CMakeFiles/fig3_processing_accuracy.dir/fig3_processing_accuracy.cpp.o"
+  "CMakeFiles/fig3_processing_accuracy.dir/fig3_processing_accuracy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_processing_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_test_mdgs"
+  "../bench/fig6_test_mdgs.pdb"
+  "CMakeFiles/fig6_test_mdgs.dir/fig6_test_mdgs.cpp.o"
+  "CMakeFiles/fig6_test_mdgs.dir/fig6_test_mdgs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_test_mdgs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

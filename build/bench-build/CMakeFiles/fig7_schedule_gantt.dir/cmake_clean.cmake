@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_schedule_gantt"
+  "../bench/fig7_schedule_gantt.pdb"
+  "CMakeFiles/fig7_schedule_gantt.dir/fig7_schedule_gantt.cpp.o"
+  "CMakeFiles/fig7_schedule_gantt.dir/fig7_schedule_gantt.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_schedule_gantt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

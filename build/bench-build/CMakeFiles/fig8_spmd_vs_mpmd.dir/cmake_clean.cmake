@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_spmd_vs_mpmd"
+  "../bench/fig8_spmd_vs_mpmd.pdb"
+  "CMakeFiles/fig8_spmd_vs_mpmd.dir/fig8_spmd_vs_mpmd.cpp.o"
+  "CMakeFiles/fig8_spmd_vs_mpmd.dir/fig8_spmd_vs_mpmd.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_spmd_vs_mpmd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

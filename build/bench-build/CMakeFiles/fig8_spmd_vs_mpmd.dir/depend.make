@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8_spmd_vs_mpmd.
+# This may be replaced when dependencies are built.

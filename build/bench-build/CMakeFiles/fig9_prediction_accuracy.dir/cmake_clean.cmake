@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_prediction_accuracy"
+  "../bench/fig9_prediction_accuracy.pdb"
+  "CMakeFiles/fig9_prediction_accuracy.dir/fig9_prediction_accuracy.cpp.o"
+  "CMakeFiles/fig9_prediction_accuracy.dir/fig9_prediction_accuracy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_prediction_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

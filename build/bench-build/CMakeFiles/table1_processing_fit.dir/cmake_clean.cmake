@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_processing_fit"
+  "../bench/table1_processing_fit.pdb"
+  "CMakeFiles/table1_processing_fit.dir/table1_processing_fit.cpp.o"
+  "CMakeFiles/table1_processing_fit.dir/table1_processing_fit.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_processing_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_transfer_fit"
+  "../bench/table2_transfer_fit.pdb"
+  "CMakeFiles/table2_transfer_fit.dir/table2_transfer_fit.cpp.o"
+  "CMakeFiles/table2_transfer_fit.dir/table2_transfer_fit.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_transfer_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_psa_vs_phi"
+  "../bench/table3_psa_vs_phi.pdb"
+  "CMakeFiles/table3_psa_vs_phi.dir/table3_psa_vs_phi.cpp.o"
+  "CMakeFiles/table3_psa_vs_phi.dir/table3_psa_vs_phi.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_psa_vs_phi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/complex_matmul.dir/complex_matmul.cpp.o"
+  "CMakeFiles/complex_matmul.dir/complex_matmul.cpp.o.d"
+  "complex_matmul"
+  "complex_matmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/complex_matmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strassen.dir/strassen.cpp.o"
+  "CMakeFiles/strassen.dir/strassen.cpp.o.d"
+  "strassen"
+  "strassen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strassen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/calibrate/paramsio.cpp" "src/calibrate/CMakeFiles/paradigm_calibrate.dir/paramsio.cpp.o" "gcc" "src/calibrate/CMakeFiles/paradigm_calibrate.dir/paramsio.cpp.o.d"
+  "/root/repo/src/calibrate/static_estimate.cpp" "src/calibrate/CMakeFiles/paradigm_calibrate.dir/static_estimate.cpp.o" "gcc" "src/calibrate/CMakeFiles/paradigm_calibrate.dir/static_estimate.cpp.o.d"
+  "/root/repo/src/calibrate/training.cpp" "src/calibrate/CMakeFiles/paradigm_calibrate.dir/training.cpp.o" "gcc" "src/calibrate/CMakeFiles/paradigm_calibrate.dir/training.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cost/CMakeFiles/paradigm_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/paradigm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mdg/CMakeFiles/paradigm_mdg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/paradigm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

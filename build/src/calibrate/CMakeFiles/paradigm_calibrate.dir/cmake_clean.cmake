@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paradigm_calibrate.dir/paramsio.cpp.o"
+  "CMakeFiles/paradigm_calibrate.dir/paramsio.cpp.o.d"
+  "CMakeFiles/paradigm_calibrate.dir/static_estimate.cpp.o"
+  "CMakeFiles/paradigm_calibrate.dir/static_estimate.cpp.o.d"
+  "CMakeFiles/paradigm_calibrate.dir/training.cpp.o"
+  "CMakeFiles/paradigm_calibrate.dir/training.cpp.o.d"
+  "libparadigm_calibrate.a"
+  "libparadigm_calibrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paradigm_calibrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

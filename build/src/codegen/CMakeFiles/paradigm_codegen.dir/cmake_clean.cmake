@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paradigm_codegen.dir/mpmd.cpp.o"
+  "CMakeFiles/paradigm_codegen.dir/mpmd.cpp.o.d"
+  "libparadigm_codegen.a"
+  "libparadigm_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paradigm_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

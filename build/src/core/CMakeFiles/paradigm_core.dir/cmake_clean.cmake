@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paradigm_core.dir/json_export.cpp.o"
+  "CMakeFiles/paradigm_core.dir/json_export.cpp.o.d"
+  "CMakeFiles/paradigm_core.dir/pipeline.cpp.o"
+  "CMakeFiles/paradigm_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/paradigm_core.dir/programs.cpp.o"
+  "CMakeFiles/paradigm_core.dir/programs.cpp.o.d"
+  "CMakeFiles/paradigm_core.dir/strassen_multi.cpp.o"
+  "CMakeFiles/paradigm_core.dir/strassen_multi.cpp.o.d"
+  "CMakeFiles/paradigm_core.dir/topologies.cpp.o"
+  "CMakeFiles/paradigm_core.dir/topologies.cpp.o.d"
+  "libparadigm_core.a"
+  "libparadigm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paradigm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paradigm_cost.dir/machine.cpp.o"
+  "CMakeFiles/paradigm_cost.dir/machine.cpp.o.d"
+  "CMakeFiles/paradigm_cost.dir/model.cpp.o"
+  "CMakeFiles/paradigm_cost.dir/model.cpp.o.d"
+  "CMakeFiles/paradigm_cost.dir/posynomial.cpp.o"
+  "CMakeFiles/paradigm_cost.dir/posynomial.cpp.o.d"
+  "libparadigm_cost.a"
+  "libparadigm_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paradigm_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paradigm_frontend.dir/compile.cpp.o"
+  "CMakeFiles/paradigm_frontend.dir/compile.cpp.o.d"
+  "CMakeFiles/paradigm_frontend.dir/lexer.cpp.o"
+  "CMakeFiles/paradigm_frontend.dir/lexer.cpp.o.d"
+  "CMakeFiles/paradigm_frontend.dir/parser.cpp.o"
+  "CMakeFiles/paradigm_frontend.dir/parser.cpp.o.d"
+  "libparadigm_frontend.a"
+  "libparadigm_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paradigm_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mdg/dot.cpp" "src/mdg/CMakeFiles/paradigm_mdg.dir/dot.cpp.o" "gcc" "src/mdg/CMakeFiles/paradigm_mdg.dir/dot.cpp.o.d"
+  "/root/repo/src/mdg/mdg.cpp" "src/mdg/CMakeFiles/paradigm_mdg.dir/mdg.cpp.o" "gcc" "src/mdg/CMakeFiles/paradigm_mdg.dir/mdg.cpp.o.d"
+  "/root/repo/src/mdg/random_mdg.cpp" "src/mdg/CMakeFiles/paradigm_mdg.dir/random_mdg.cpp.o" "gcc" "src/mdg/CMakeFiles/paradigm_mdg.dir/random_mdg.cpp.o.d"
+  "/root/repo/src/mdg/textio.cpp" "src/mdg/CMakeFiles/paradigm_mdg.dir/textio.cpp.o" "gcc" "src/mdg/CMakeFiles/paradigm_mdg.dir/textio.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/paradigm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paradigm_mdg.dir/dot.cpp.o"
+  "CMakeFiles/paradigm_mdg.dir/dot.cpp.o.d"
+  "CMakeFiles/paradigm_mdg.dir/mdg.cpp.o"
+  "CMakeFiles/paradigm_mdg.dir/mdg.cpp.o.d"
+  "CMakeFiles/paradigm_mdg.dir/random_mdg.cpp.o"
+  "CMakeFiles/paradigm_mdg.dir/random_mdg.cpp.o.d"
+  "CMakeFiles/paradigm_mdg.dir/textio.cpp.o"
+  "CMakeFiles/paradigm_mdg.dir/textio.cpp.o.d"
+  "libparadigm_mdg.a"
+  "libparadigm_mdg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paradigm_mdg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/bounds.cpp" "src/sched/CMakeFiles/paradigm_sched.dir/bounds.cpp.o" "gcc" "src/sched/CMakeFiles/paradigm_sched.dir/bounds.cpp.o.d"
+  "/root/repo/src/sched/psa.cpp" "src/sched/CMakeFiles/paradigm_sched.dir/psa.cpp.o" "gcc" "src/sched/CMakeFiles/paradigm_sched.dir/psa.cpp.o.d"
+  "/root/repo/src/sched/refine.cpp" "src/sched/CMakeFiles/paradigm_sched.dir/refine.cpp.o" "gcc" "src/sched/CMakeFiles/paradigm_sched.dir/refine.cpp.o.d"
+  "/root/repo/src/sched/schedule.cpp" "src/sched/CMakeFiles/paradigm_sched.dir/schedule.cpp.o" "gcc" "src/sched/CMakeFiles/paradigm_sched.dir/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cost/CMakeFiles/paradigm_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/mdg/CMakeFiles/paradigm_mdg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/paradigm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paradigm_sched.dir/bounds.cpp.o"
+  "CMakeFiles/paradigm_sched.dir/bounds.cpp.o.d"
+  "CMakeFiles/paradigm_sched.dir/psa.cpp.o"
+  "CMakeFiles/paradigm_sched.dir/psa.cpp.o.d"
+  "CMakeFiles/paradigm_sched.dir/refine.cpp.o"
+  "CMakeFiles/paradigm_sched.dir/refine.cpp.o.d"
+  "CMakeFiles/paradigm_sched.dir/schedule.cpp.o"
+  "CMakeFiles/paradigm_sched.dir/schedule.cpp.o.d"
+  "libparadigm_sched.a"
+  "libparadigm_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paradigm_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

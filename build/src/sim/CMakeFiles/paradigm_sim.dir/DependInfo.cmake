@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/analysis.cpp" "src/sim/CMakeFiles/paradigm_sim.dir/analysis.cpp.o" "gcc" "src/sim/CMakeFiles/paradigm_sim.dir/analysis.cpp.o.d"
+  "/root/repo/src/sim/config.cpp" "src/sim/CMakeFiles/paradigm_sim.dir/config.cpp.o" "gcc" "src/sim/CMakeFiles/paradigm_sim.dir/config.cpp.o.d"
+  "/root/repo/src/sim/memory.cpp" "src/sim/CMakeFiles/paradigm_sim.dir/memory.cpp.o" "gcc" "src/sim/CMakeFiles/paradigm_sim.dir/memory.cpp.o.d"
+  "/root/repo/src/sim/redistribute.cpp" "src/sim/CMakeFiles/paradigm_sim.dir/redistribute.cpp.o" "gcc" "src/sim/CMakeFiles/paradigm_sim.dir/redistribute.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/paradigm_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/paradigm_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/trace_gantt.cpp" "src/sim/CMakeFiles/paradigm_sim.dir/trace_gantt.cpp.o" "gcc" "src/sim/CMakeFiles/paradigm_sim.dir/trace_gantt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mdg/CMakeFiles/paradigm_mdg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/paradigm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paradigm_sim.dir/analysis.cpp.o"
+  "CMakeFiles/paradigm_sim.dir/analysis.cpp.o.d"
+  "CMakeFiles/paradigm_sim.dir/config.cpp.o"
+  "CMakeFiles/paradigm_sim.dir/config.cpp.o.d"
+  "CMakeFiles/paradigm_sim.dir/memory.cpp.o"
+  "CMakeFiles/paradigm_sim.dir/memory.cpp.o.d"
+  "CMakeFiles/paradigm_sim.dir/redistribute.cpp.o"
+  "CMakeFiles/paradigm_sim.dir/redistribute.cpp.o.d"
+  "CMakeFiles/paradigm_sim.dir/simulator.cpp.o"
+  "CMakeFiles/paradigm_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/paradigm_sim.dir/trace_gantt.cpp.o"
+  "CMakeFiles/paradigm_sim.dir/trace_gantt.cpp.o.d"
+  "libparadigm_sim.a"
+  "libparadigm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paradigm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/allocator.cpp" "src/solver/CMakeFiles/paradigm_solver.dir/allocator.cpp.o" "gcc" "src/solver/CMakeFiles/paradigm_solver.dir/allocator.cpp.o.d"
+  "/root/repo/src/solver/lbfgs.cpp" "src/solver/CMakeFiles/paradigm_solver.dir/lbfgs.cpp.o" "gcc" "src/solver/CMakeFiles/paradigm_solver.dir/lbfgs.cpp.o.d"
+  "/root/repo/src/solver/oracle.cpp" "src/solver/CMakeFiles/paradigm_solver.dir/oracle.cpp.o" "gcc" "src/solver/CMakeFiles/paradigm_solver.dir/oracle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cost/CMakeFiles/paradigm_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/mdg/CMakeFiles/paradigm_mdg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/paradigm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

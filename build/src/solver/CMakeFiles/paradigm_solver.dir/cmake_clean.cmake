@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paradigm_solver.dir/allocator.cpp.o"
+  "CMakeFiles/paradigm_solver.dir/allocator.cpp.o.d"
+  "CMakeFiles/paradigm_solver.dir/lbfgs.cpp.o"
+  "CMakeFiles/paradigm_solver.dir/lbfgs.cpp.o.d"
+  "CMakeFiles/paradigm_solver.dir/oracle.cpp.o"
+  "CMakeFiles/paradigm_solver.dir/oracle.cpp.o.d"
+  "libparadigm_solver.a"
+  "libparadigm_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paradigm_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libparadigm_solver.a"
+)

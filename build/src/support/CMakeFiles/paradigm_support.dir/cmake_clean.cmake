@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paradigm_support.dir/args.cpp.o"
+  "CMakeFiles/paradigm_support.dir/args.cpp.o.d"
+  "CMakeFiles/paradigm_support.dir/ascii_plot.cpp.o"
+  "CMakeFiles/paradigm_support.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/paradigm_support.dir/json.cpp.o"
+  "CMakeFiles/paradigm_support.dir/json.cpp.o.d"
+  "CMakeFiles/paradigm_support.dir/log.cpp.o"
+  "CMakeFiles/paradigm_support.dir/log.cpp.o.d"
+  "CMakeFiles/paradigm_support.dir/matrix.cpp.o"
+  "CMakeFiles/paradigm_support.dir/matrix.cpp.o.d"
+  "CMakeFiles/paradigm_support.dir/stats.cpp.o"
+  "CMakeFiles/paradigm_support.dir/stats.cpp.o.d"
+  "CMakeFiles/paradigm_support.dir/table.cpp.o"
+  "CMakeFiles/paradigm_support.dir/table.cpp.o.d"
+  "libparadigm_support.a"
+  "libparadigm_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paradigm_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/viz/charts.cpp" "src/viz/CMakeFiles/paradigm_viz.dir/charts.cpp.o" "gcc" "src/viz/CMakeFiles/paradigm_viz.dir/charts.cpp.o.d"
+  "/root/repo/src/viz/chrome_trace.cpp" "src/viz/CMakeFiles/paradigm_viz.dir/chrome_trace.cpp.o" "gcc" "src/viz/CMakeFiles/paradigm_viz.dir/chrome_trace.cpp.o.d"
+  "/root/repo/src/viz/svg.cpp" "src/viz/CMakeFiles/paradigm_viz.dir/svg.cpp.o" "gcc" "src/viz/CMakeFiles/paradigm_viz.dir/svg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/paradigm_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/paradigm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/paradigm_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/paradigm_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/mdg/CMakeFiles/paradigm_mdg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

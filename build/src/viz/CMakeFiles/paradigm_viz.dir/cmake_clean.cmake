@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paradigm_viz.dir/charts.cpp.o"
+  "CMakeFiles/paradigm_viz.dir/charts.cpp.o.d"
+  "CMakeFiles/paradigm_viz.dir/chrome_trace.cpp.o"
+  "CMakeFiles/paradigm_viz.dir/chrome_trace.cpp.o.d"
+  "CMakeFiles/paradigm_viz.dir/svg.cpp.o"
+  "CMakeFiles/paradigm_viz.dir/svg.cpp.o.d"
+  "libparadigm_viz.a"
+  "libparadigm_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paradigm_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis_test.cpp" "tests/CMakeFiles/analysis_test.dir/analysis_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/paradigm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/calibrate/CMakeFiles/paradigm_calibrate.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/paradigm_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/paradigm_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/paradigm_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/paradigm_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/paradigm_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/paradigm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/paradigm_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/mdg/CMakeFiles/paradigm_mdg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/paradigm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_paths_test.dir/config_paths_test.cpp.o"
+  "CMakeFiles/config_paths_test.dir/config_paths_test.cpp.o.d"
+  "config_paths_test"
+  "config_paths_test.pdb"
+  "config_paths_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_paths_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdg_test.dir/mdg_test.cpp.o"
+  "CMakeFiles/mdg_test.dir/mdg_test.cpp.o.d"
+  "mdg_test"
+  "mdg_test.pdb"
+  "mdg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

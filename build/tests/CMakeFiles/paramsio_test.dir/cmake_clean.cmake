@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paramsio_test.dir/paramsio_test.cpp.o"
+  "CMakeFiles/paramsio_test.dir/paramsio_test.cpp.o.d"
+  "paramsio_test"
+  "paramsio_test.pdb"
+  "paramsio_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paramsio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

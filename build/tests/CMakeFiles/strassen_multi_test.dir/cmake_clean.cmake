@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strassen_multi_test.dir/strassen_multi_test.cpp.o"
+  "CMakeFiles/strassen_multi_test.dir/strassen_multi_test.cpp.o.d"
+  "strassen_multi_test"
+  "strassen_multi_test.pdb"
+  "strassen_multi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strassen_multi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paradigm_cli.dir/paradigm_cli.cpp.o"
+  "CMakeFiles/paradigm_cli.dir/paradigm_cli.cpp.o.d"
+  "paradigm_cli"
+  "paradigm_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paradigm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
