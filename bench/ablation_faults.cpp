@@ -1,0 +1,128 @@
+// Ablation: fault tolerance. Sweeps the crash time (as a fraction of
+// the fault-free makespan) and the message drop rate on the Strassen
+// and Complex MatMul graphs, reporting the recovered makespan, the
+// degradation factor over the fault-free run, how much completed work
+// the rescheduler salvaged, and whether the recovered numerics still
+// verify against the sequential reference.
+#include <cmath>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "codegen/mpmd.hpp"
+#include "core/recovery.hpp"
+#include "sim/faults.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace paradigm;
+
+struct Case {
+  std::string name;
+  mdg::Mdg graph;
+  std::function<bool(const core::FaultToleranceReport&)> verify;
+};
+
+bool close(const Matrix& got, const Matrix& want) {
+  return got.max_abs_diff(want) < 1e-9;
+}
+
+}  // namespace
+
+int main() {
+  using namespace paradigm;
+  bench::banner("Fault-tolerance ablation",
+                "crash-time x drop-rate sweep with residual rescheduling "
+                "(robustness extension; not in the paper)");
+
+  const std::size_t n = 32;
+  const std::uint64_t p = 8;
+  const auto strassen_ref = core::strassen_reference(n);
+  const auto complex_ref = core::complex_matmul_reference(n);
+  const std::size_t h = n / 2;
+
+  std::vector<Case> cases;
+  cases.push_back(Case{
+      "strassen", core::strassen_mdg(n),
+      [&](const core::FaultToleranceReport& r) {
+        const sim::Simulator& s = *r.simulator;
+        return close(s.assemble_array("C11", h, h, r.array_ranks("C11")),
+                     strassen_ref.c11) &&
+               close(s.assemble_array("C12", h, h, r.array_ranks("C12")),
+                     strassen_ref.c12) &&
+               close(s.assemble_array("C21", h, h, r.array_ranks("C21")),
+                     strassen_ref.c21) &&
+               close(s.assemble_array("C22", h, h, r.array_ranks("C22")),
+                     strassen_ref.c22);
+      }});
+  cases.push_back(Case{
+      "complex", core::complex_matmul_mdg(n),
+      [&](const core::FaultToleranceReport& r) {
+        const sim::Simulator& s = *r.simulator;
+        return close(s.assemble_array("Cr", n, n, r.array_ranks("Cr")),
+                     complex_ref.cr) &&
+               close(s.assemble_array("Ci", n, n, r.array_ranks("Ci")),
+                     complex_ref.ci);
+      }});
+
+  AsciiTable table("Crash rank 1; retries bounded at 10; seed 0x1994");
+  table.set_header({"program", "crash frac", "drop", "fault-free (s)",
+                    "faulty (s)", "overhead", "salvaged", "rerun",
+                    "verified"});
+
+  for (const Case& c : cases) {
+    core::PipelineConfig config = bench::standard_pipeline(p);
+    config.machine.noise_sigma = 0.0;  // isolate the fault overhead
+    const core::Compiler compiler(config);
+    const core::PipelineReport report = compiler.compile_and_run(c.graph);
+    const cost::CostModel model(c.graph, report.fitted_machine,
+                                report.kernel_table);
+    const double fault_free = report.mpmd.simulated;
+
+    for (const double crash_frac : {0.2, 0.5, 0.8}) {
+      for (const double drop : {0.0, 0.05, 0.2}) {
+        sim::FaultPlan plan;
+        plan.seed = 0x1994;
+        plan.crashes.push_back(
+            sim::CrashFault{1, crash_frac * fault_free});
+        plan.drop_probability = drop;
+        plan.max_retries = 10;
+        // Scale failure detection to the job so the sweep shows the
+        // cost of the lost work, not a fixed timeout constant.
+        plan.recv_timeout = 0.25 * fault_free;
+
+        const core::FaultToleranceReport ft = core::run_with_faults(
+            c.graph, model, report.psa->schedule, config.machine, plan,
+            fault_free);
+
+        std::string salvaged = "-";
+        std::string rerun = "-";
+        std::string verified = "n/a";
+        if (ft.recovered) {
+          salvaged = std::to_string(ft.degradation.salvaged_nodes);
+          rerun = std::to_string(ft.degradation.rerun_nodes);
+          verified = c.verify(ft) ? "OK" : "FAIL";
+        } else if (!ft.crashed && !ft.faulty.aborted) {
+          verified = "no crash";
+        }
+        table.add_row({c.name, AsciiTable::num(crash_frac, 1),
+                       AsciiTable::num(drop, 2),
+                       AsciiTable::num(fault_free, 4),
+                       AsciiTable::num(ft.final_makespan(), 4),
+                       AsciiTable::num(ft.final_makespan() / fault_free, 2),
+                       salvaged, rerun, verified});
+      }
+    }
+  }
+  std::cout << table.render() << "\n";
+  std::cout << "Later crashes salvage more completed nodes and leave less "
+               "residual work, but the whole recovery runs on half the "
+               "processors (largest power of two among the survivors), so "
+               "the overhead factor stays well-bounded rather than "
+               "doubling. Message drops add retransmission latency before "
+               "the crash but never change the recovered numerics.\n";
+  return 0;
+}

@@ -1,0 +1,285 @@
+#include "codegen/recovery.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "support/error.hpp"
+
+namespace paradigm::codegen {
+namespace {
+
+using mdg::LoopOp;
+using sim::BlockRect;
+using sim::Distribution;
+using sim::IndexRange;
+
+constexpr std::uint64_t kRecoveryTagBase = std::uint64_t{1} << 40;
+
+Distribution to_distribution(mdg::Layout layout) {
+  return layout == mdg::Layout::kRow ? Distribution::kRow
+                                     : Distribution::kCol;
+}
+
+/// Shape of a synthetic transfer payload, mirroring the fault-free
+/// generator but under a recovery-unique name.
+struct SyntheticShape {
+  std::string name;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+};
+
+SyntheticShape synthetic_shape(mdg::EdgeId edge, std::size_t array_index,
+                               std::size_t bytes, mdg::TransferKind kind) {
+  SyntheticShape shape;
+  shape.name =
+      "$r" + std::to_string(edge) + "." + std::to_string(array_index);
+  const std::size_t elems = std::max<std::size_t>(1, bytes / sizeof(double));
+  if (kind == mdg::TransferKind::k1D) {
+    shape.rows = elems;
+    shape.cols = 1;
+  } else {
+    const auto side = static_cast<std::size_t>(
+        std::max(1.0, std::round(std::sqrt(static_cast<double>(elems)))));
+    shape.rows = side;
+    shape.cols = side;
+  }
+  return shape;
+}
+
+}  // namespace
+
+RecoveryProgram generate_recovery(const mdg::Mdg& graph,
+                                  const sched::RecoverySchedule& recovery,
+                                  const sched::Schedule& original,
+                                  std::uint32_t machine_size) {
+  PARADIGM_CHECK(graph.finalized(), "recovery codegen needs a finalized MDG");
+  PARADIGM_CHECK(recovery.residual != nullptr && recovery.psa.has_value(),
+                 "recovery codegen needs a completed reschedule");
+  const mdg::Mdg& residual = *recovery.residual;
+
+  RecoveryProgram out;
+  out.program = sim::MpmdProgram(machine_size);
+  auto& streams = out.program.streams;
+  std::uint64_t next_tag = kRecoveryTagBase;
+
+  const std::set<std::uint32_t> failed_set = [&] {
+    std::set<std::uint32_t> all(recovery.survivors.begin(),
+                                recovery.survivors.end());
+    std::set<std::uint32_t> failed;
+    for (std::uint32_t r = 0; r < machine_size; ++r) {
+      if (all.find(r) == all.end()) failed.insert(r);
+    }
+    return failed;
+  }();
+
+  // Salvaged data sits where the original schedule put it.
+  for (const mdg::NodeId id : recovery.salvaged) {
+    const auto& node = graph.node(id);
+    if (node.loop.output.empty()) continue;
+    ArrayResidence res;
+    res.ranks = original.placement(id).ranks;
+    res.dist = to_distribution(node.loop.layout);
+    out.residence[node.loop.output] = std::move(res);
+  }
+
+  // Emit consumer sections in recovery start order; break start-time
+  // ties topologically so a producer's section always precedes its
+  // consumers'.
+  std::vector<std::size_t> topo_pos(residual.node_count(), 0);
+  for (std::size_t i = 0; i < residual.topological_order().size(); ++i) {
+    topo_pos[residual.topological_order()[i]] = i;
+  }
+  std::vector<sched::ScheduledNode> order =
+      recovery.psa->schedule.placements_in_start_order();
+  std::stable_sort(order.begin(), order.end(),
+                   [&](const sched::ScheduledNode& a,
+                       const sched::ScheduledNode& b) {
+                     if (a.start != b.start) return a.start < b.start;
+                     return topo_pos[a.node] < topo_pos[b.node];
+                   });
+
+  for (const auto& placement : order) {
+    if (placement.node >= recovery.nodes.size()) continue;  // START/STOP
+    const sched::ResidualNodeInfo& info = recovery.nodes[placement.node];
+    if (info.salvaged) continue;  // data source stub, nothing to execute
+    const auto& node = graph.node(info.original);
+    const auto group_it = recovery.recovery_groups.find(info.original);
+    PARADIGM_CHECK(group_it != recovery.recovery_groups.end(),
+                   "re-run node '" << node.name << "' has no recovery group");
+    const std::vector<std::uint32_t>& group = group_it->second;
+    PARADIGM_CHECK(!group.empty(),
+                   "re-run node '" << node.name << "' scheduled on no ranks");
+
+    // ---- input redistributions: sends first, then recv side ----------
+    struct PlannedInput {
+      std::string src_name;       // name the senders read
+      std::string consumer_name;  // name the kernel reads
+      std::size_t rows = 0, cols = 0;
+      bool noop = false;
+      bool synthetic_payload = false;
+      std::vector<std::uint32_t> src_ranks;
+      Distribution dst_dist = Distribution::kRow;
+      sim::RedistPlan plan;
+      std::uint64_t tag_base = 0;
+    };
+    std::vector<PlannedInput> inputs;
+    std::map<std::string, std::string> input_names;
+
+    for (const mdg::EdgeId e : node.in_edges) {
+      const auto& edge = graph.edge(e);
+      if (graph.node(edge.src).kind != mdg::NodeKind::kLoop) continue;
+      for (std::size_t ai = 0; ai < edge.transfers.size(); ++ai) {
+        const auto& transfer = edge.transfers[ai];
+        PlannedInput pi;
+        if (transfer.array.empty()) {
+          // Synthetic payload: re-materialized fresh on the sending
+          // side (the bytes model timing, not data). Source ranks are
+          // the producer's recovery group, or the surviving part of its
+          // original group for salvaged producers.
+          const SyntheticShape shape =
+              synthetic_shape(e, ai, transfer.bytes, transfer.kind);
+          pi.src_name = shape.name;
+          pi.consumer_name = shape.name + "@r" + std::to_string(node.id);
+          pi.rows = shape.rows;
+          pi.cols = shape.cols;
+          pi.synthetic_payload = true;
+          pi.dst_dist = (transfer.kind == mdg::TransferKind::k1D)
+                            ? Distribution::kRow
+                            : Distribution::kCol;
+          const auto rg = recovery.recovery_groups.find(edge.src);
+          if (rg != recovery.recovery_groups.end()) {
+            pi.src_ranks = rg->second;
+          } else {
+            for (const std::uint32_t r : original.placement(edge.src).ranks) {
+              if (failed_set.find(r) == failed_set.end()) {
+                pi.src_ranks.push_back(r);
+              }
+            }
+            if (pi.src_ranks.empty()) pi.src_ranks = group;
+          }
+          pi.plan = sim::plan_redistribution(pi.rows, pi.cols, pi.src_ranks,
+                                             Distribution::kRow, group,
+                                             pi.dst_dist);
+        } else {
+          const auto res_it = out.residence.find(transfer.array);
+          PARADIGM_CHECK(res_it != out.residence.end(),
+                         "input '" << transfer.array << "' of node '"
+                                   << node.name
+                                   << "' is not resident anywhere");
+          const ArrayResidence& res = res_it->second;
+          const auto& arr = graph.array(transfer.array);
+          pi.src_name = transfer.array;
+          pi.rows = arr.rows;
+          pi.cols = arr.cols;
+          pi.src_ranks = res.ranks;
+          pi.dst_dist = to_distribution(node.loop.layout);
+          if (res.ranks == group && res.dist == pi.dst_dist) {
+            pi.noop = true;
+            pi.consumer_name = transfer.array;
+            ++out.skipped_noop_redistributions;
+          } else {
+            pi.consumer_name =
+                transfer.array + "@r" + std::to_string(node.id);
+            pi.plan = sim::plan_redistribution(pi.rows, pi.cols, res.ranks,
+                                               res.dist, group, pi.dst_dist);
+          }
+          input_names[transfer.array] = pi.consumer_name;
+        }
+        if (!pi.noop) {
+          pi.tag_base = next_tag;
+          next_tag += pi.plan.messages.size();
+          out.planned_messages += pi.plan.messages.size();
+          out.planned_bytes += pi.plan.message_bytes();
+        }
+        inputs.push_back(std::move(pi));
+      }
+    }
+
+    // Sends (and synthetic source allocations) for every input, before
+    // any receive in this section.
+    for (const auto& pi : inputs) {
+      if (pi.noop) continue;
+      if (pi.synthetic_payload) {
+        for (std::size_t gi = 0; gi < pi.src_ranks.size(); ++gi) {
+          const BlockRect rect = sim::owned_block(
+              pi.rows, pi.cols, Distribution::kRow, pi.src_ranks.size(), gi);
+          if (rect.rows.empty() || rect.cols.empty()) continue;
+          streams[pi.src_ranks[gi]].push_back(
+              sim::AllocBlock{pi.src_name, rect});
+        }
+      }
+      for (std::size_t mi = 0; mi < pi.plan.messages.size(); ++mi) {
+        const auto& piece = pi.plan.messages[mi];
+        streams[piece.src_rank].push_back(sim::SendBlock{
+            piece.dst_rank, pi.tag_base + mi, pi.src_name, piece.rect});
+      }
+    }
+
+    // Receive side: view allocations, local copies, receives.
+    for (const auto& pi : inputs) {
+      if (pi.noop) continue;
+      for (std::size_t gi = 0; gi < group.size(); ++gi) {
+        const BlockRect rect = sim::owned_block(pi.rows, pi.cols,
+                                                pi.dst_dist, group.size(),
+                                                gi);
+        if (rect.rows.empty() || rect.cols.empty()) continue;
+        streams[group[gi]].push_back(sim::AllocBlock{pi.consumer_name, rect});
+      }
+      for (const auto& piece : pi.plan.local_pieces) {
+        streams[piece.dst_rank].push_back(
+            sim::CopyBlock{pi.src_name, pi.consumer_name, piece.rect});
+      }
+      for (std::size_t mi = 0; mi < pi.plan.messages.size(); ++mi) {
+        const auto& piece = pi.plan.messages[mi];
+        streams[piece.dst_rank].push_back(sim::RecvBlock{
+            piece.src_rank, pi.tag_base + mi, pi.consumer_name, piece.rect});
+      }
+    }
+
+    // ---- compute -----------------------------------------------------
+    sim::GroupKernel kernel;
+    kernel.node = node.id;
+    kernel.op = node.loop.op;
+    kernel.group.assign(group.begin(), group.end());
+    if (node.loop.op == LoopOp::kSynthetic) {
+      const double g = static_cast<double>(group.size());
+      kernel.cost_override =
+          (node.loop.synth_alpha + (1.0 - node.loop.synth_alpha) / g) *
+          node.loop.synth_tau;
+    } else {
+      const auto& arr = graph.array(node.loop.output);
+      kernel.output = node.loop.output;
+      kernel.out_layout = node.loop.layout;
+      kernel.out_rows = arr.rows;
+      kernel.out_cols = arr.cols;
+      kernel.init_tag = arr.init_tag;
+      if (node.loop.op == LoopOp::kMul) {
+        kernel.inner = graph.array(node.loop.inputs[0]).cols;
+      }
+      for (const auto& in : node.loop.inputs) {
+        const auto it = input_names.find(in);
+        PARADIGM_CHECK(it != input_names.end(),
+                       "re-run node '" << node.name << "' input '" << in
+                                       << "' has no planned arrival");
+        kernel.inputs.push_back(it->second);
+      }
+    }
+    for (const std::uint32_t r : group) {
+      streams[r].push_back(kernel);
+    }
+
+    if (!node.loop.output.empty()) {
+      out.residence[node.loop.output] =
+          ArrayResidence{group, to_distribution(node.loop.layout)};
+    }
+  }
+
+  for (const std::uint32_t r : failed_set) {
+    PARADIGM_CHECK(streams[r].empty(),
+                   "recovery program assigns work to failed rank " << r);
+  }
+  return out;
+}
+
+}  // namespace paradigm::codegen

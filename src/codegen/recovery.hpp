@@ -1,0 +1,62 @@
+// Recovery code generation: lowers a fault-tolerant reschedule
+// (sched/reschedule.hpp) into per-processor instruction streams that
+// splice onto an aborted run via Simulator::resume().
+//
+// Unlike the fault-free generator, the producers of a node's inputs may
+// be (a) salvaged data pinned on its original (surviving) group, or
+// (b) a node re-run earlier in the recovery schedule. Each consumer
+// section therefore emits the complete redistribution for its inputs:
+// sends first (on the ranks currently holding the data), then the
+// consumer-side allocations, local copies, and receives, then the group
+// kernel. Sections are emitted in recovery start order (ties broken
+// topologically), so every receive waits only on sends posted in its
+// own or an earlier section — generated recovery programs cannot
+// deadlock.
+//
+// Recovery message tags start at 1 << 40 so they can never collide with
+// stale undelivered messages left in the mailboxes by the aborted run.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mdg/mdg.hpp"
+#include "sched/reschedule.hpp"
+#include "sched/schedule.hpp"
+#include "sim/program.hpp"
+#include "sim/redistribute.hpp"
+
+namespace paradigm::codegen {
+
+/// Where an array's authoritative blocks live after (part of) the
+/// recovery program has run.
+struct ArrayResidence {
+  std::vector<std::uint32_t> ranks;  ///< Sorted surviving ranks.
+  sim::Distribution dist = sim::Distribution::kRow;
+};
+
+/// Generated recovery program plus transfer statistics and the final
+/// location of every live array (for verification and further use).
+struct RecoveryProgram {
+  sim::MpmdProgram program;
+  std::size_t planned_messages = 0;
+  std::size_t planned_bytes = 0;
+  std::size_t skipped_noop_redistributions = 0;
+  /// Array name -> final residence after the recovery completes.
+  /// Contains every salvaged array and every re-run node's output.
+  std::map<std::string, ArrayResidence> residence;
+};
+
+/// Generates the program completing `recovery` on the survivors of a
+/// `machine_size`-rank machine. `graph` and `original` are the MDG and
+/// schedule of the aborted run (used for kernel shapes and for the
+/// location of salvaged data).
+RecoveryProgram generate_recovery(const mdg::Mdg& graph,
+                                  const sched::RecoverySchedule& recovery,
+                                  const sched::Schedule& original,
+                                  std::uint32_t machine_size);
+
+}  // namespace paradigm::codegen

@@ -1,0 +1,115 @@
+#include "core/recovery.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "codegen/mpmd.hpp"
+#include "support/error.hpp"
+
+namespace paradigm::core {
+
+std::vector<std::uint32_t> FaultToleranceReport::array_ranks(
+    const std::string& array) const {
+  if (recovery_program.has_value()) {
+    const auto it = recovery_program->residence.find(array);
+    if (it != recovery_program->residence.end()) return it->second.ranks;
+  }
+  std::vector<std::uint32_t> all;
+  if (simulator != nullptr) {
+    for (std::uint32_t r = 0; r < simulator->config().size; ++r) {
+      all.push_back(r);
+    }
+  }
+  return all;
+}
+
+std::string FaultToleranceReport::summary() const {
+  std::ostringstream os;
+  if (!crashed) {
+    os << "no rank failures; finish=" << faulty.finish_time << "s";
+    if (!faulty.fault_events.empty()) {
+      os << " (" << faulty.fault_events.size() << " transient fault event(s), "
+         << faulty.retransmissions << " retransmission(s))";
+    }
+    if (faulty.aborted) os << " ABORTED (messages lost beyond retry budget)";
+    return os.str();
+  }
+  if (!recovered) {
+    os << "crashed and unrecoverable: " << faulty.failed_ranks.size()
+       << " rank(s) lost at finish=" << faulty.finish_time << "s";
+    return os.str();
+  }
+  os << "recovered: " << degradation.summary();
+  return os.str();
+}
+
+FaultToleranceReport run_with_faults(const mdg::Mdg& graph,
+                                     const cost::CostModel& model,
+                                     const sched::Schedule& schedule,
+                                     const sim::MachineConfig& machine,
+                                     const sim::FaultPlan& plan,
+                                     double fault_free_makespan,
+                                     const FaultToleranceConfig& config) {
+  FaultToleranceReport report;
+
+  const codegen::GeneratedProgram gen = codegen::generate_mpmd(graph, schedule);
+  if (fault_free_makespan <= 0.0) {
+    sim::Simulator baseline(machine);
+    fault_free_makespan = baseline.run(gen.program).finish_time;
+  }
+
+  report.simulator = std::make_unique<sim::Simulator>(machine);
+  report.faulty = report.simulator->run(gen.program, plan);
+  report.crashed = !report.faulty.failed_ranks.empty();
+
+  if (!report.faulty.aborted || !report.crashed) {
+    // Either the run completed (possibly with retries/stragglers), or
+    // it aborted with no rank failures (messages lost beyond the retry
+    // budget) — rescheduling processors cannot fix the latter.
+    return report;
+  }
+
+  // ---- reschedule the residual work on the survivors -----------------
+  sched::RecoveryInput input;
+  input.failed_ranks = report.faulty.failed_ranks;
+  input.completed_nodes = report.faulty.completed_nodes;
+  input.machine_size = machine.size;
+  report.reschedule.emplace(reschedule_after_faults(
+      model, schedule, input, config.allocator, config.psa));
+
+  report.recovery_program.emplace(codegen::generate_recovery(
+      graph, *report.reschedule, schedule, machine.size));
+
+  // The recovery itself runs fault-free: resume() keeps the survivors'
+  // memories and clocks and throws if the spliced program deadlocks.
+  report.recovery = report.simulator->resume(report.recovery_program->program);
+  report.recovered = true;
+
+  // ---- degradation report --------------------------------------------
+  sched::DegradationReport& d = report.degradation;
+  d.fault_free_makespan = fault_free_makespan;
+  d.faulty_makespan = report.recovery.finish_time;
+  d.crash_time = std::numeric_limits<double>::infinity();
+  for (const sim::FaultEvent& e : report.faulty.fault_events) {
+    if (e.kind == sim::FaultKind::kCrash) {
+      d.crash_time = std::min(d.crash_time, e.time);
+    }
+  }
+  d.abort_time = report.faulty.finish_time;
+  d.recovery_span = report.recovery.finish_time - report.faulty.finish_time;
+  d.overhead_factor = fault_free_makespan > 0.0
+                          ? d.faulty_makespan / fault_free_makespan
+                          : 0.0;
+  d.residual_phi = report.reschedule->residual_phi;
+  d.predicted_recovery = report.reschedule->psa->finish_time;
+  d.bound_slack = d.predicted_recovery > 0.0
+                      ? d.recovery_span / d.predicted_recovery
+                      : 0.0;
+  d.failed_ranks = report.faulty.failed_ranks.size();
+  d.salvaged_nodes = report.reschedule->salvaged.size();
+  d.rerun_nodes = report.reschedule->residual_of.size();
+  return report;
+}
+
+}  // namespace paradigm::core

@@ -1,0 +1,72 @@
+// End-to-end fault-tolerant execution: run a scheduled program under a
+// fault plan, and if rank crashes abort it, reschedule the residual MDG
+// on the survivors and splice the recovery program onto the simulator
+// state. The facade the CLI's --inject-faults mode, the fault ablation
+// bench, and the fault tests drive.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "codegen/recovery.hpp"
+#include "cost/model.hpp"
+#include "mdg/mdg.hpp"
+#include "sched/psa.hpp"
+#include "sched/reschedule.hpp"
+#include "sched/schedule.hpp"
+#include "sim/faults.hpp"
+#include "sim/simulator.hpp"
+#include "solver/allocator.hpp"
+
+namespace paradigm::core {
+
+/// Knobs for the recovery pipeline stages.
+struct FaultToleranceConfig {
+  solver::ConvexAllocatorConfig allocator;
+  sched::PsaConfig psa;
+};
+
+/// Everything one faulty execution produced. Move-only (owns the
+/// simulator whose memories hold the recovered data, plus the residual
+/// graph inside `reschedule`).
+struct FaultToleranceReport {
+  sim::SimResult faulty;       ///< The run under the fault plan.
+  bool crashed = false;        ///< Ranks failed during the run.
+  bool recovered = false;      ///< A recovery program was run.
+  sim::SimResult recovery;     ///< The spliced recovery execution
+                               ///< (meaningful when recovered).
+  std::optional<sched::RecoverySchedule> reschedule;
+  std::optional<codegen::RecoveryProgram> recovery_program;
+  sched::DegradationReport degradation;
+  /// The simulator after the final execution; its memories hold the
+  /// program outputs (at recovery_program->residence for re-run
+  /// arrays).
+  std::unique_ptr<sim::Simulator> simulator;
+
+  /// Final makespan: recovery end when recovered, else the faulty run's.
+  double final_makespan() const {
+    return recovered ? recovery.finish_time : faulty.finish_time;
+  }
+
+  /// Ranks holding the authoritative blocks of `array` after the run
+  /// (falls back to all ranks for arrays untouched by recovery).
+  std::vector<std::uint32_t> array_ranks(const std::string& array) const;
+
+  std::string summary() const;
+};
+
+/// Runs `schedule`'s generated program on `machine` under `plan`. On a
+/// crash-induced abort, salvages completed nodes, reschedules the
+/// residual MDG on the surviving power-of-two processor count, and
+/// resumes the simulator with the recovery program (fault-free).
+/// `fault_free_makespan` (from a clean run of the same schedule) feeds
+/// the degradation report; pass 0 to have it measured internally.
+FaultToleranceReport run_with_faults(const mdg::Mdg& graph,
+                                     const cost::CostModel& model,
+                                     const sched::Schedule& schedule,
+                                     const sim::MachineConfig& machine,
+                                     const sim::FaultPlan& plan,
+                                     double fault_free_makespan = 0.0,
+                                     const FaultToleranceConfig& config = {});
+
+}  // namespace paradigm::core

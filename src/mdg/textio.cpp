@@ -1,5 +1,7 @@
 #include "mdg/textio.hpp"
 
+#include <cctype>
+#include <charconv>
 #include <map>
 #include <sstream>
 #include <vector>
@@ -9,55 +11,71 @@
 namespace paradigm::mdg {
 namespace {
 
-std::vector<std::string> tokenize(const std::string& line) {
-  std::vector<std::string> tokens;
-  std::istringstream is(line);
-  std::string token;
-  while (is >> token) {
-    if (token[0] == '#') break;
-    tokens.push_back(token);
+/// A whitespace-delimited token plus its 1-based column in the line, so
+/// every diagnostic can point at the offending text.
+struct Token {
+  std::string text;
+  std::size_t column = 1;
+};
+
+std::vector<Token> tokenize(const std::string& line) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    if (i >= line.size() || line[i] == '#') break;
+    const std::size_t start = i;
+    while (i < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    tokens.push_back(Token{line.substr(start, i - start), start + 1});
   }
   return tokens;
 }
 
-/// "key=value" accessor; returns false if the token has no such prefix.
-bool key_value(const std::string& token, const std::string& key,
-               std::string& value) {
-  if (token.rfind(key + "=", 0) != 0) return false;
-  value = token.substr(key.size() + 1);
+/// "key=value" accessor; fills `value` with the text after the '=' and
+/// its column. Returns false if the token has no such prefix.
+bool key_value(const Token& token, const std::string& key, Token& value) {
+  if (token.text.rfind(key + "=", 0) != 0) return false;
+  value.text = token.text.substr(key.size() + 1);
+  value.column = token.column + key.size() + 1;
   return true;
 }
 
-[[noreturn]] void fail(std::size_t line_no, const std::string& message) {
-  PARADIGM_FAIL("mdg text line " << line_no << ": " << message);
+[[noreturn]] void fail(std::size_t line_no, std::size_t column,
+                       const std::string& message) {
+  PARADIGM_FAIL("mdg text line " << line_no << ", column " << column << ": "
+                                 << message);
 }
 
-double parse_double(std::size_t line_no, const std::string& s) {
-  try {
-    std::size_t pos = 0;
-    const double v = std::stod(s, &pos);
-    if (pos != s.size()) throw std::invalid_argument(s);
-    return v;
-  } catch (const std::exception&) {
-    fail(line_no, "not a number: '" + s + "'");
+double parse_double(std::size_t line_no, const Token& t) {
+  double v = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(t.text.data(), t.text.data() + t.text.size(), v);
+  if (ec != std::errc{} || ptr != t.text.data() + t.text.size()) {
+    fail(line_no, t.column, "not a number: '" + t.text + "'");
   }
+  return v;
 }
 
-std::uint64_t parse_u64(std::size_t line_no, const std::string& s) {
-  try {
-    std::size_t pos = 0;
-    const unsigned long long v = std::stoull(s, &pos);
-    if (pos != s.size()) throw std::invalid_argument(s);
-    return v;
-  } catch (const std::exception&) {
-    fail(line_no, "not an unsigned integer: '" + s + "'");
+std::uint64_t parse_u64(std::size_t line_no, const Token& t) {
+  std::uint64_t v = 0;
+  const auto [ptr, ec] =
+      std::from_chars(t.text.data(), t.text.data() + t.text.size(), v);
+  if (ec != std::errc{} || ptr != t.text.data() + t.text.size()) {
+    fail(line_no, t.column, "not an unsigned integer: '" + t.text + "'");
   }
+  return v;
 }
 
-Layout parse_layout(std::size_t line_no, const std::string& s) {
-  if (s == "row") return Layout::kRow;
-  if (s == "col") return Layout::kCol;
-  fail(line_no, "layout must be row or col, got '" + s + "'");
+Layout parse_layout(std::size_t line_no, const Token& t) {
+  if (t.text == "row") return Layout::kRow;
+  if (t.text == "col") return Layout::kCol;
+  fail(line_no, t.column, "layout must be row or col, got '" + t.text + "'");
 }
 
 }  // namespace
@@ -71,33 +89,38 @@ Mdg parse_mdg(const std::string& text) {
   std::size_t line_no = 0;
   while (std::getline(stream, line)) {
     ++line_no;
-    const std::vector<std::string> tokens = tokenize(line);
+    const std::vector<Token> tokens = tokenize(line);
     if (tokens.empty()) continue;
-    const std::string& directive = tokens[0];
+    const std::string& directive = tokens[0].text;
 
     if (directive == "array") {
-      if (tokens.size() < 4) fail(line_no, "array needs: name rows cols");
+      if (tokens.size() < 4) {
+        fail(line_no, tokens[0].column, "array needs: name rows cols");
+      }
       std::uint64_t tag = 0;
       for (std::size_t i = 4; i < tokens.size(); ++i) {
-        std::string value;
+        Token value;
         if (key_value(tokens[i], "tag", value)) {
           tag = parse_u64(line_no, value);
         } else {
-          fail(line_no, "unknown array attribute '" + tokens[i] + "'");
+          fail(line_no, tokens[i].column,
+               "unknown array attribute '" + tokens[i].text + "'");
         }
       }
-      graph.add_array(tokens[1], parse_u64(line_no, tokens[2]),
+      graph.add_array(tokens[1].text, parse_u64(line_no, tokens[2]),
                       parse_u64(line_no, tokens[3]), tag);
       continue;
     }
 
     if (directive == "loop") {
-      if (tokens.size() < 3) fail(line_no, "loop needs: name op ...");
-      const std::string& name = tokens[1];
-      if (loops.count(name) != 0) {
-        fail(line_no, "duplicate loop '" + name + "'");
+      if (tokens.size() < 3) {
+        fail(line_no, tokens[0].column, "loop needs: name op ...");
       }
-      const std::string& op_name = tokens[2];
+      const std::string& name = tokens[1].text;
+      if (loops.count(name) != 0) {
+        fail(line_no, tokens[1].column, "duplicate loop '" + name + "'");
+      }
+      const std::string& op_name = tokens[2].text;
 
       if (op_name == "synthetic") {
         double alpha = -1.0;
@@ -105,7 +128,7 @@ Mdg parse_mdg(const std::string& text) {
         Layout layout = Layout::kRow;
         std::size_t cap = 0;
         for (std::size_t i = 3; i < tokens.size(); ++i) {
-          std::string value;
+          Token value;
           if (key_value(tokens[i], "alpha", value)) {
             alpha = parse_double(line_no, value);
           } else if (key_value(tokens[i], "tau", value)) {
@@ -115,11 +138,13 @@ Mdg parse_mdg(const std::string& text) {
           } else if (key_value(tokens[i], "cap", value)) {
             cap = parse_u64(line_no, value);
           } else {
-            fail(line_no, "unknown synthetic attribute '" + tokens[i] + "'");
+            fail(line_no, tokens[i].column,
+                 "unknown synthetic attribute '" + tokens[i].text + "'");
           }
         }
         if (alpha < 0.0 || tau < 0.0) {
-          fail(line_no, "synthetic loop needs alpha= and tau=");
+          fail(line_no, tokens[2].column,
+               "synthetic loop needs alpha= and tau=");
         }
         loops[name] = graph.add_synthetic(name, alpha, tau, layout);
         if (cap > 0) graph.set_processor_cap(loops[name], cap);
@@ -138,27 +163,33 @@ Mdg parse_mdg(const std::string& text) {
       } else if (op_name == "transpose") {
         spec.op = LoopOp::kTranspose;
       } else {
-        fail(line_no, "unknown loop op '" + op_name + "'");
+        fail(line_no, tokens[2].column,
+             "unknown loop op '" + op_name + "'");
       }
 
       // inputs... -> output [layout=...]
       std::size_t i = 3;
-      for (; i < tokens.size() && tokens[i] != "->"; ++i) {
-        spec.inputs.push_back(tokens[i]);
+      for (; i < tokens.size() && tokens[i].text != "->"; ++i) {
+        spec.inputs.push_back(tokens[i].text);
       }
-      if (i >= tokens.size()) fail(line_no, "loop is missing '-> output'");
+      if (i >= tokens.size()) {
+        fail(line_no, tokens.back().column, "loop is missing '-> output'");
+      }
       ++i;  // skip ->
-      if (i >= tokens.size()) fail(line_no, "loop is missing output name");
-      spec.output = tokens[i++];
+      if (i >= tokens.size()) {
+        fail(line_no, tokens.back().column, "loop is missing output name");
+      }
+      spec.output = tokens[i++].text;
       std::size_t cap = 0;
       for (; i < tokens.size(); ++i) {
-        std::string value;
+        Token value;
         if (key_value(tokens[i], "layout", value)) {
           spec.layout = parse_layout(line_no, value);
         } else if (key_value(tokens[i], "cap", value)) {
           cap = parse_u64(line_no, value);
         } else {
-          fail(line_no, "unknown loop attribute '" + tokens[i] + "'");
+          fail(line_no, tokens[i].column,
+               "unknown loop attribute '" + tokens[i].text + "'");
         }
       }
       const std::size_t expected_inputs =
@@ -166,9 +197,10 @@ Mdg parse_mdg(const std::string& text) {
           : (spec.op == LoopOp::kTranspose) ? 1
                                             : 2;
       if (spec.inputs.size() != expected_inputs) {
-        fail(line_no, "op '" + op_name + "' expects " +
-                          std::to_string(expected_inputs) + " inputs, got " +
-                          std::to_string(spec.inputs.size()));
+        fail(line_no, tokens[2].column,
+             "op '" + op_name + "' expects " +
+                 std::to_string(expected_inputs) + " inputs, got " +
+                 std::to_string(spec.inputs.size()));
       }
       loops[name] = graph.add_loop(name, spec);
       if (cap > 0) graph.set_processor_cap(loops[name], cap);
@@ -176,38 +208,44 @@ Mdg parse_mdg(const std::string& text) {
     }
 
     if (directive == "dep") {
-      if (tokens.size() < 3) fail(line_no, "dep needs: src dst ...");
-      const auto src = loops.find(tokens[1]);
-      if (src == loops.end()) {
-        fail(line_no, "unknown loop '" + tokens[1] + "'");
+      if (tokens.size() < 3) {
+        fail(line_no, tokens[0].column, "dep needs: src dst ...");
       }
-      const auto dst = loops.find(tokens[2]);
+      const auto src = loops.find(tokens[1].text);
+      if (src == loops.end()) {
+        fail(line_no, tokens[1].column,
+             "unknown loop '" + tokens[1].text + "'");
+      }
+      const auto dst = loops.find(tokens[2].text);
       if (dst == loops.end()) {
-        fail(line_no, "unknown loop '" + tokens[2] + "'");
+        fail(line_no, tokens[2].column,
+             "unknown loop '" + tokens[2].text + "'");
       }
       std::vector<std::string> arrays;
       std::size_t bytes = 0;
       bool has_bytes = false;
       TransferKind kind = TransferKind::k1D;
       for (std::size_t i = 3; i < tokens.size(); ++i) {
-        std::string value;
+        Token value;
         if (key_value(tokens[i], "bytes", value)) {
           bytes = parse_u64(line_no, value);
           has_bytes = true;
         } else if (key_value(tokens[i], "kind", value)) {
-          if (value == "1d") {
+          if (value.text == "1d") {
             kind = TransferKind::k1D;
-          } else if (value == "2d") {
+          } else if (value.text == "2d") {
             kind = TransferKind::k2D;
           } else {
-            fail(line_no, "kind must be 1d or 2d, got '" + value + "'");
+            fail(line_no, value.column,
+                 "kind must be 1d or 2d, got '" + value.text + "'");
           }
         } else {
-          arrays.push_back(tokens[i]);
+          arrays.push_back(tokens[i].text);
         }
       }
       if (!arrays.empty() && has_bytes) {
-        fail(line_no, "dep cannot carry both arrays and bytes=");
+        fail(line_no, tokens[0].column,
+             "dep cannot carry both arrays and bytes=");
       }
       if (!arrays.empty()) {
         graph.add_dependence(src->second, dst->second, std::move(arrays));
@@ -218,7 +256,7 @@ Mdg parse_mdg(const std::string& text) {
       continue;
     }
 
-    fail(line_no, "unknown directive '" + directive + "'");
+    fail(line_no, tokens[0].column, "unknown directive '" + directive + "'");
   }
 
   graph.finalize();

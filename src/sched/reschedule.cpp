@@ -1,0 +1,188 @@
+#include "sched/reschedule.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/log.hpp"
+#include "support/pow2.hpp"
+
+namespace paradigm::sched {
+
+std::string DegradationReport::summary() const {
+  std::ostringstream os;
+  os << "fault-free=" << fault_free_makespan << "s faulty=" << faulty_makespan
+     << "s (overhead x" << overhead_factor << "), crash@" << crash_time
+     << "s abort@" << abort_time << "s, recovery=" << recovery_span
+     << "s on residual phi=" << residual_phi << "s (predicted "
+     << predicted_recovery << "s, slack x" << bound_slack << "), "
+     << failed_ranks << " rank(s) lost, " << salvaged_nodes << " salvaged / "
+     << rerun_nodes << " re-run node(s)";
+  return os.str();
+}
+
+RecoverySchedule reschedule_after_faults(
+    const cost::CostModel& model, const Schedule& original,
+    const RecoveryInput& input,
+    const solver::ConvexAllocatorConfig& allocator_config,
+    const PsaConfig& psa_config) {
+  const mdg::Mdg& graph = model.graph();
+  PARADIGM_CHECK(input.machine_size >= 1, "machine size must be >= 1");
+
+  RecoverySchedule out;
+
+  // ---- survivors and the recovery machine size -----------------------
+  std::vector<char> failed(input.machine_size, 0);
+  for (const std::uint32_t r : input.failed_ranks) {
+    PARADIGM_CHECK(r < input.machine_size,
+                   "failed rank " << r << " outside machine of size "
+                                  << input.machine_size);
+    failed[r] = 1;
+  }
+  for (std::uint32_t r = 0; r < input.machine_size; ++r) {
+    if (!failed[r]) out.survivors.push_back(r);
+  }
+  PARADIGM_CHECK(!out.survivors.empty(),
+                 "no surviving ranks: recovery impossible");
+  out.recovery_p = floor_pow2(out.survivors.size());
+  out.compute_ranks.assign(out.survivors.begin(),
+                           out.survivors.begin() + out.recovery_p);
+
+  // ---- salvage analysis ----------------------------------------------
+  // A completed node's output is usable iff every rank that holds a
+  // block of it survived. Nodes without an output (synthetic) leave
+  // nothing behind, so completing them is always enough.
+  std::set<mdg::NodeId> completed(input.completed_nodes.begin(),
+                                  input.completed_nodes.end());
+  for (const auto& node : graph.nodes()) {
+    if (node.kind != mdg::NodeKind::kLoop) continue;
+    if (completed.find(node.id) == completed.end()) continue;
+    bool data_safe = true;
+    if (!node.loop.output.empty()) {
+      for (const std::uint32_t r : original.placement(node.id).ranks) {
+        if (r < failed.size() && failed[r]) {
+          data_safe = false;
+          break;
+        }
+      }
+    }
+    if (data_safe) out.salvaged.insert(node.id);
+  }
+
+  // A lost node only needs re-running if its output is still consumed:
+  // it feeds STOP (it is a program output) or a transitively needed
+  // node. Reverse-topological sweep.
+  const auto& topo = graph.topological_order();
+  std::vector<char> needed(graph.node_count(), 0);
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const auto& node = graph.node(*it);
+    if (node.kind != mdg::NodeKind::kLoop) continue;
+    if (out.salvaged.count(node.id) != 0) continue;
+    bool used = false;
+    for (const mdg::EdgeId e : node.out_edges) {
+      const auto& dst = graph.node(graph.edge(e).dst);
+      if (dst.kind == mdg::NodeKind::kStop || needed[dst.id]) {
+        used = true;
+        break;
+      }
+    }
+    needed[node.id] = used ? 1 : 0;
+  }
+
+  std::size_t rerun_count = 0;
+  for (const auto& node : graph.nodes()) {
+    if (needed[node.id]) ++rerun_count;
+  }
+  PARADIGM_CHECK(rerun_count > 0,
+                 "nothing to reschedule: all outputs salvaged");
+
+  // A salvaged producer appears in the residual only if its data feeds
+  // work being re-run.
+  std::set<mdg::NodeId> stub_sources;
+  for (const auto& edge : graph.edges()) {
+    if (needed[edge.dst] && out.salvaged.count(edge.src) != 0) {
+      stub_sources.insert(edge.src);
+    }
+  }
+
+  // ---- residual graph (all-synthetic mirror) -------------------------
+  out.residual = std::make_unique<mdg::Mdg>();
+  std::map<mdg::NodeId, mdg::NodeId> res_of;  // original -> residual
+  for (const mdg::NodeId id : topo) {
+    const auto& node = graph.node(id);
+    if (node.kind != mdg::NodeKind::kLoop) continue;
+    if (needed[id]) {
+      const cost::AmdahlParams& a = model.amdahl(id);
+      const mdg::NodeId rid = out.residual->add_synthetic(
+          node.name, a.alpha, a.tau, node.loop.layout);
+      if (node.loop.max_processors > 0) {
+        out.residual->set_processor_cap(rid, node.loop.max_processors);
+      }
+      res_of[id] = rid;
+      out.nodes.push_back(ResidualNodeInfo{id, false});
+      out.residual_of[id] = rid;
+    } else if (stub_sources.count(id) != 0) {
+      const mdg::NodeId rid = out.residual->add_synthetic(
+          node.name + "$salvaged", 0.0, 0.0, node.loop.layout);
+      // The stub's "allocation" stands in for data pinned on the
+      // original group; capping it keeps the solver's estimate of the
+      // outgoing redistribution costs honest.
+      out.residual->set_processor_cap(
+          rid, original.placement(id).ranks.size());
+      res_of[id] = rid;
+      out.nodes.push_back(ResidualNodeInfo{id, true});
+    }
+  }
+  for (const auto& edge : graph.edges()) {
+    const auto src_it = res_of.find(edge.src);
+    const auto dst_it = res_of.find(edge.dst);
+    if (src_it == res_of.end() || dst_it == res_of.end()) continue;
+    if (!needed[edge.dst]) continue;
+    mdg::TransferKind kind = mdg::TransferKind::k1D;
+    for (const auto& t : edge.transfers) {
+      if (t.kind == mdg::TransferKind::k2D) kind = mdg::TransferKind::k2D;
+    }
+    out.residual->add_synthetic_dependence(src_it->second, dst_it->second,
+                                           edge.total_bytes(), kind);
+  }
+  out.residual->finalize();
+
+  // ---- re-allocate and re-schedule on the survivors ------------------
+  out.residual_model = std::make_unique<cost::CostModel>(
+      *out.residual, model.machine(), cost::KernelCostTable{});
+
+  const std::vector<double> implied = original.implied_allocation();
+  std::vector<double> warm(out.residual->node_count(), 1.0);
+  const double p_new = static_cast<double>(out.recovery_p);
+  for (const auto& [orig, rid] : res_of) {
+    warm[rid] = std::clamp(implied[orig], 1.0, p_new);
+  }
+
+  const solver::ConvexAllocator allocator(allocator_config);
+  out.allocation =
+      allocator.reallocate(*out.residual_model, p_new, warm);
+  out.residual_phi = out.allocation.phi;
+  out.psa.emplace(prioritized_schedule(*out.residual_model,
+                                       out.allocation.allocation,
+                                       out.recovery_p, psa_config));
+
+  for (const auto& [orig, rid] : out.residual_of) {
+    std::vector<std::uint32_t> actual;
+    for (const std::uint32_t logical :
+         out.psa->schedule.placement(rid).ranks) {
+      PARADIGM_CHECK(logical < out.compute_ranks.size(),
+                     "recovery schedule uses logical rank " << logical
+                         << " beyond " << out.compute_ranks.size()
+                         << " survivors");
+      actual.push_back(out.compute_ranks[logical]);
+    }
+    out.recovery_groups[orig] = std::move(actual);
+  }
+
+  log_debug("recovery: p=", out.recovery_p, " residual nodes=",
+            out.residual_of.size(), " salvaged=", out.salvaged.size(),
+            " phi=", out.residual_phi, " T_psa=", out.psa->finish_time);
+  return out;
+}
+
+}  // namespace paradigm::sched

@@ -1,0 +1,105 @@
+// Fault-tolerant rescheduling: after rank crashes abort a simulated
+// run, salvage the completed MDG nodes whose data survived, build the
+// residual MDG of work still to do, and re-run the convex allocator +
+// PSA on the surviving power-of-two processor count.
+//
+// The residual graph is an all-synthetic mirror of the original: each
+// node still to execute becomes a synthetic node carrying the original
+// node's fitted Amdahl parameters (so the solver sees the same cost
+// landscape), and each salvaged producer whose data feeds remaining
+// work becomes a zero-cost source stub capped at its original group
+// size. Edges carry the original transfer byte counts. The convex
+// re-allocation warm-starts from the original schedule's implied
+// allocation, which is close to optimal for the residual problem.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cost/model.hpp"
+#include "mdg/mdg.hpp"
+#include "sched/psa.hpp"
+#include "sched/schedule.hpp"
+#include "solver/allocator.hpp"
+
+namespace paradigm::sched {
+
+/// What the aborted run reports into the rescheduler.
+struct RecoveryInput {
+  std::vector<std::uint32_t> failed_ranks;     ///< Crashed ranks.
+  std::vector<std::uint32_t> completed_nodes;  ///< Original MDG node ids
+                                               ///< whose kernels finished.
+  std::uint64_t machine_size = 0;
+};
+
+/// One node of the residual graph (loop nodes only; the residual's own
+/// START/STOP markers are not listed).
+struct ResidualNodeInfo {
+  mdg::NodeId original = 0;  ///< Node id in the original MDG.
+  bool salvaged = false;     ///< Zero-cost stub standing in for data
+                             ///< already resident on survivors.
+};
+
+/// The recovery plan: residual graph + model, re-allocation, PSA
+/// schedule on the survivors, and the mapping back to original node ids
+/// and concrete surviving ranks. Move-only (owns the residual MDG the
+/// schedule points into).
+struct RecoverySchedule {
+  std::unique_ptr<mdg::Mdg> residual;
+  std::unique_ptr<cost::CostModel> residual_model;
+  /// Indexed by residual node id over the residual's loop nodes.
+  std::vector<ResidualNodeInfo> nodes;
+  /// Original node id -> residual node id, for nodes being re-run.
+  std::map<mdg::NodeId, mdg::NodeId> residual_of;
+  /// Original node ids whose outputs are usable as-is.
+  std::set<mdg::NodeId> salvaged;
+
+  solver::AllocationResult allocation;  ///< Warm-started re-allocation.
+  /// PSA result on logical ranks [0, recovery_p). Engaged on every
+  /// successful reschedule (optional only because Schedule has no
+  /// default state).
+  std::optional<PsaResult> psa;
+  std::uint64_t recovery_p = 0;         ///< floor_pow2(#survivors).
+  std::vector<std::uint32_t> survivors;      ///< All live ranks (sorted).
+  std::vector<std::uint32_t> compute_ranks;  ///< The recovery_p survivors
+                                             ///< backing logical ranks.
+  /// Original node id -> concrete surviving ranks executing it.
+  std::map<mdg::NodeId, std::vector<std::uint32_t>> recovery_groups;
+  double residual_phi = 0.0;  ///< Convex objective of the residual.
+};
+
+/// Builds the recovery plan. `model` and `original` describe the
+/// fault-free schedule that was executing when the crash hit. Throws
+/// paradigm::Error when recovery is impossible (no survivors) or
+/// pointless (nothing left to run).
+RecoverySchedule reschedule_after_faults(
+    const cost::CostModel& model, const Schedule& original,
+    const RecoveryInput& input,
+    const solver::ConvexAllocatorConfig& allocator_config = {},
+    const PsaConfig& psa_config = {});
+
+/// Fault-free vs faulty execution comparison, emitted after a recovery
+/// run completes.
+struct DegradationReport {
+  double fault_free_makespan = 0.0;  ///< Simulated makespan, no faults.
+  double faulty_makespan = 0.0;      ///< Crash + recovery, end to end.
+  double crash_time = 0.0;           ///< Earliest injected crash.
+  double abort_time = 0.0;           ///< When the faulty run gave up.
+  double recovery_span = 0.0;        ///< Resumed execution duration.
+  double overhead_factor = 0.0;      ///< faulty / fault-free makespan.
+  double residual_phi = 0.0;         ///< Convex bound on residual work.
+  double predicted_recovery = 0.0;   ///< Residual T_psa.
+  double bound_slack = 0.0;          ///< recovery_span / predicted.
+  std::size_t failed_ranks = 0;
+  std::size_t salvaged_nodes = 0;
+  std::size_t rerun_nodes = 0;
+
+  std::string summary() const;
+};
+
+}  // namespace paradigm::sched

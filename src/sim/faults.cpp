@@ -1,0 +1,56 @@
+#include "sim/faults.hpp"
+
+#include "support/rng.hpp"
+
+namespace paradigm::sim {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kDrop: return "drop";
+    case FaultKind::kLost: return "lost";
+    case FaultKind::kDuplicate: return "duplicate";
+    case FaultKind::kSlowdown: return "slowdown";
+    case FaultKind::kTimeout: return "timeout";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// One independent draw per (seed, stream, a, b, c, d). Each fault class
+// uses its own stream constant so e.g. drop and duplicate decisions for
+// the same message are uncorrelated.
+double draw(std::uint64_t seed, std::uint64_t stream, std::uint64_t a,
+            std::uint64_t b, std::uint64_t c, std::uint64_t d) {
+  Rng root(seed ^ (0x9e3779b97f4a7c15ULL * (stream + 1)));
+  return root.fork(a).fork(b).fork(c).fork(d).uniform();
+}
+
+constexpr std::uint64_t kDropStream = 1;
+constexpr std::uint64_t kDuplicateStream = 2;
+constexpr std::uint64_t kSlowdownStream = 3;
+
+}  // namespace
+
+bool FaultPlan::drop_message(std::uint32_t src, std::uint32_t dst,
+                             std::uint64_t tag, std::size_t attempt) const {
+  if (drop_probability <= 0.0) return false;
+  return draw(seed, kDropStream, src, dst, tag, attempt) < drop_probability;
+}
+
+bool FaultPlan::duplicate_message(std::uint32_t src, std::uint32_t dst,
+                                  std::uint64_t tag) const {
+  if (duplicate_probability <= 0.0) return false;
+  return draw(seed, kDuplicateStream, src, dst, tag, 0) <
+         duplicate_probability;
+}
+
+double FaultPlan::slowdown(std::uint32_t rank, std::size_t pc) const {
+  if (slowdown_probability <= 0.0 || slowdown_factor <= 1.0) return 1.0;
+  return draw(seed, kSlowdownStream, rank, pc, 0, 0) < slowdown_probability
+             ? slowdown_factor
+             : 1.0;
+}
+
+}  // namespace paradigm::sim

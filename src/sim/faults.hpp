@@ -1,0 +1,114 @@
+// Seed-deterministic fault injection for the simulated MPMD runtime.
+//
+// A FaultPlan describes everything that can go wrong during one
+// simulated execution:
+//   * fail-stop rank crashes at a given simulated time,
+//   * per-message drop and duplication (the simulated runtime answers
+//     with ack + bounded retry + exponential backoff, and duplicate
+//     suppression at the receiver),
+//   * transient kernel slowdowns (stragglers).
+//
+// Every stochastic decision is a pure function of (plan seed, stable
+// identifiers) — message drops hash (src, dst, tag, attempt), kernel
+// slowdowns hash (rank, pc) — never of the simulator's rank scan order,
+// so a given (program, config, plan) triple is exactly reproducible.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace paradigm::sim {
+
+/// What kind of fault an event records.
+enum class FaultKind {
+  kCrash,     ///< A rank failed (fail-stop).
+  kDrop,      ///< One message transmission attempt was lost.
+  kLost,      ///< A message exhausted its retries and was never delivered.
+  kDuplicate, ///< A duplicated delivery was suppressed by the receiver.
+  kSlowdown,  ///< A kernel execution was transiently slowed (straggler).
+  kTimeout,   ///< A blocked receive gave up after the receive timeout.
+};
+
+const char* to_string(FaultKind kind);
+
+/// A fail-stop crash: `rank` executes no instruction starting at or
+/// after simulated time `time`.
+struct CrashFault {
+  std::uint32_t rank = 0;
+  double time = 0.0;
+};
+
+/// One observed fault occurrence, reported in SimResult::fault_events.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kCrash;
+  std::uint32_t rank = 0;  ///< Affected rank (sender for message faults).
+  double time = 0.0;       ///< Simulated time of the observation.
+  std::string detail;
+
+  bool operator==(const FaultEvent&) const = default;
+};
+
+/// Full description of the faults injected into one simulation.
+struct FaultPlan {
+  std::uint64_t seed = 0xfa17ULL;
+
+  /// Fail-stop crashes (at most one per rank is meaningful; the
+  /// earliest wins).
+  std::vector<CrashFault> crashes;
+
+  /// Probability that one transmission attempt of a message is lost.
+  double drop_probability = 0.0;
+  /// Probability that a delivered message arrives twice (the receiver
+  /// must suppress the duplicate).
+  double duplicate_probability = 0.0;
+  /// Probability that one kernel execution on one rank is slowed.
+  double slowdown_probability = 0.0;
+  /// Multiplicative straggler factor applied to slowed kernels (>= 1).
+  double slowdown_factor = 4.0;
+
+  /// Retransmissions attempted after a lost first transmission. After
+  /// max_retries further losses the message is abandoned (kLost) and the
+  /// matching receive eventually times out.
+  std::size_t max_retries = 3;
+  /// Idle ack-timeout before the first retransmission (seconds); doubles
+  /// on every further attempt (exponential backoff).
+  double retry_backoff = 2e-3;
+
+  /// How long a blocked receive (or group barrier) waits for a missing
+  /// peer/message before the runtime declares the run aborted.
+  double recv_timeout = 0.25;
+
+  /// True iff the plan can inject anything at all.
+  bool any() const {
+    return !crashes.empty() || drop_probability > 0.0 ||
+           duplicate_probability > 0.0 || slowdown_probability > 0.0;
+  }
+
+  /// Earliest crash time configured for `rank` (+inf when none).
+  double crash_time(std::uint32_t rank) const {
+    double t = std::numeric_limits<double>::infinity();
+    for (const auto& c : crashes) {
+      if (c.rank == rank && c.time < t) t = c.time;
+    }
+    return t;
+  }
+
+  // ---- deterministic draws ----------------------------------------------
+  // All draws are pure functions of the seed and their arguments.
+
+  /// Is transmission attempt `attempt` of message (src, dst, tag) lost?
+  bool drop_message(std::uint32_t src, std::uint32_t dst, std::uint64_t tag,
+                    std::size_t attempt) const;
+
+  /// Is the delivered message (src, dst, tag) duplicated in flight?
+  bool duplicate_message(std::uint32_t src, std::uint32_t dst,
+                         std::uint64_t tag) const;
+
+  /// Straggler factor for the instruction at (rank, pc): 1.0 when not
+  /// slowed, slowdown_factor otherwise.
+  double slowdown(std::uint32_t rank, std::size_t pc) const;
+};
+
+}  // namespace paradigm::sim

@@ -1,6 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "support/error.hpp"
@@ -28,6 +29,20 @@ void Simulator::charge(std::uint32_t rank, double seconds,
     stats_.total_busy += seconds;
   }
   clock_[rank] += seconds;
+}
+
+void Simulator::record_fault(FaultKind kind, std::uint32_t rank, double time,
+                             std::string detail) {
+  stats_.fault_events.push_back(
+      FaultEvent{kind, rank, time, std::move(detail)});
+}
+
+void Simulator::mark_dead(std::uint32_t rank, double time) {
+  if (dead_[rank]) return;
+  dead_[rank] = 1;
+  clock_[rank] = std::max(clock_[rank], time);
+  record_fault(FaultKind::kCrash, rank, time,
+               "rank " + std::to_string(rank) + " failed (fail-stop)");
 }
 
 Matrix Simulator::gather_from_group(const std::vector<std::uint32_t>& group,
@@ -148,19 +163,40 @@ void Simulator::execute_group_kernel(const GroupKernel& kernel) {
     }
 
     const double jitter = noise(rank, pc_[rank]);
+    double straggle = 1.0;
+    if (plan_ != nullptr) {
+      straggle = plan_->slowdown(rank, pc_[rank]);
+      if (straggle > 1.0) {
+        record_fault(FaultKind::kSlowdown, rank, start,
+                     "node " + std::to_string(kernel.node) + " slowed " +
+                         std::to_string(straggle) + "x on rank " +
+                         std::to_string(rank));
+      }
+    }
     const double t0 = clock_[rank];
     clock_[rank] = start;  // barrier wait (idle, not busy)
     (void)t0;
-    charge(rank, busy * jitter,
+    charge(rank, busy * jitter * straggle,
            kernel.output.empty() ? "synthetic" : kernel.output);
     ++pc_[rank];
     ++stats_.instructions;
   }
+  stats_.completed_nodes.push_back(kernel.node);
 }
 
 bool Simulator::try_execute(const MpmdProgram& program, std::uint32_t rank) {
+  if (dead_[rank]) return false;
   const auto& stream = program.streams[rank];
   if (pc_[rank] >= stream.size()) return false;
+  if (plan_ != nullptr) {
+    // Fail-stop: once a rank's clock passes its crash time it executes
+    // nothing further. Checked at instruction boundaries.
+    const double ct = plan_->crash_time(rank);
+    if (clock_[rank] >= ct) {
+      mark_dead(rank, ct);
+      return false;
+    }
+  }
   const Instruction& instr = stream[pc_[rank]];
 
   if (const auto* alloc = std::get_if<AllocBlock>(&instr)) {
@@ -186,23 +222,69 @@ bool Simulator::try_execute(const MpmdProgram& program, std::uint32_t rank) {
     PARADIGM_CHECK(send->dst < config_.size,
                    "send to rank " << send->dst << " outside machine");
     Message msg;
+    msg.seq = next_seq_++;
     msg.array = send->array;
     msg.rect = send->rect;
     msg.payload = memories_[rank].read(send->array, send->rect);
     const double bytes = static_cast<double>(send->rect.bytes());
-    charge(rank,
-           (config_.send_startup + bytes * config_.send_per_byte) *
-               noise(rank, pc_[rank]),
-           "send " + send->array);
-    double available = clock_[rank] + config_.net_latency;
-    if (config_.nic_per_byte > 0.0) {
-      // Receiver-NIC contention: deliveries to one rank serialize.
-      available = std::max(available, nic_free_[send->dst]) +
-                  bytes * config_.nic_per_byte;
-      nic_free_[send->dst] = available;
+    const double wire = (config_.send_startup + bytes * config_.send_per_byte) *
+                        noise(rank, pc_[rank]);
+    charge(rank, wire, "send " + send->array);
+
+    bool delivered = true;
+    if (plan_ != nullptr && plan_->drop_probability > 0.0) {
+      // Ack + bounded retry with exponential backoff: each transmission
+      // attempt is dropped independently; a drop is noticed after the
+      // backoff ack-timeout and the message is retransmitted, up to
+      // max_retries times.
+      std::size_t attempt = 0;
+      while (plan_->drop_message(rank, send->dst, send->tag, attempt)) {
+        ++stats_.dropped_messages;
+        record_fault(FaultKind::kDrop, rank, clock_[rank],
+                     "tag " + std::to_string(send->tag) + " to rank " +
+                         std::to_string(send->dst) + " attempt " +
+                         std::to_string(attempt) + " lost");
+        if (attempt >= plan_->max_retries) {
+          delivered = false;
+          ++stats_.lost_messages;
+          record_fault(FaultKind::kLost, rank, clock_[rank],
+                       "tag " + std::to_string(send->tag) + " to rank " +
+                           std::to_string(send->dst) +
+                           " abandoned after " + std::to_string(attempt) +
+                           " retries");
+          break;
+        }
+        // Waiting for the missing ack is idle time, the retransmission
+        // itself is charged as busy wire time again.
+        clock_[rank] +=
+            plan_->retry_backoff * std::pow(2.0, static_cast<double>(attempt));
+        charge(rank, wire, "resend " + send->array);
+        ++stats_.retransmissions;
+        ++attempt;
+      }
     }
-    msg.available = available;
-    mailboxes_[{rank, send->dst, send->tag}].push_back(std::move(msg));
+
+    if (delivered) {
+      double available = clock_[rank] + config_.net_latency;
+      if (config_.nic_per_byte > 0.0) {
+        // Receiver-NIC contention: deliveries to one rank serialize.
+        available = std::max(available, nic_free_[send->dst]) +
+                    bytes * config_.nic_per_byte;
+        nic_free_[send->dst] = available;
+      }
+      msg.available = available;
+      const bool duplicated =
+          plan_ != nullptr &&
+          plan_->duplicate_message(rank, send->dst, send->tag);
+      auto& box = mailboxes_[{rank, send->dst, send->tag}];
+      if (duplicated) {
+        Message copy = msg;
+        box.push_back(std::move(msg));
+        box.push_back(std::move(copy));
+      } else {
+        box.push_back(std::move(msg));
+      }
+    }
     ++pc_[rank];
     ++stats_.instructions;
     return true;
@@ -211,27 +293,61 @@ bool Simulator::try_execute(const MpmdProgram& program, std::uint32_t rank) {
   if (const auto* recv = std::get_if<RecvBlock>(&instr)) {
     const auto key = MailboxKey{recv->src, rank, recv->tag};
     const auto it = mailboxes_.find(key);
-    if (it == mailboxes_.end() || it->second.empty()) return false;
-    Message msg = std::move(it->second.front());
-    it->second.erase(it->second.begin());
-    // The sender names its own (canonical) block while the receiver
-    // names its local view, so only the rectangle must agree.
-    PARADIGM_CHECK(msg.rect == recv->rect,
-                   "message rectangle mismatch on tag "
-                       << recv->tag << " (src array '" << msg.array
-                       << "', dst array '" << recv->array << "')");
-    clock_[rank] = std::max(clock_[rank], msg.available);
-    const double bytes = static_cast<double>(recv->rect.bytes());
-    charge(rank,
-           (config_.recv_startup + bytes * config_.recv_per_byte) *
-               noise(rank, pc_[rank]),
-           "recv " + recv->array);
-    memories_[rank].write(recv->array, recv->rect, msg.payload);
-    ++stats_.messages;
-    stats_.message_bytes += recv->rect.bytes();
-    ++pc_[rank];
-    ++stats_.instructions;
-    return true;
+    while (it != mailboxes_.end() && !it->second.empty()) {
+      Message msg = std::move(it->second.front());
+      it->second.erase(it->second.begin());
+      if (plan_ != nullptr && !seen_seq_.insert(msg.seq).second) {
+        // A retransmitted/duplicated copy of a message we already
+        // consumed: acknowledge and discard.
+        ++stats_.duplicates_suppressed;
+        record_fault(FaultKind::kDuplicate, rank, clock_[rank],
+                     "tag " + std::to_string(recv->tag) + " from rank " +
+                         std::to_string(recv->src) +
+                         " duplicate suppressed");
+        continue;
+      }
+      // The sender names its own (canonical) block while the receiver
+      // names its local view, so only the rectangle must agree.
+      PARADIGM_CHECK(msg.rect == recv->rect,
+                     "message rectangle mismatch on tag "
+                         << recv->tag << " (src array '" << msg.array
+                         << "', dst array '" << recv->array << "')");
+      if (plan_ != nullptr) {
+        // Crash while blocked: the message arrives after this rank's
+        // crash time, so the rank dies waiting for it.
+        const double ct = plan_->crash_time(rank);
+        if (std::max(clock_[rank], msg.available) >= ct) {
+          mark_dead(rank, ct);
+          return false;
+        }
+      }
+      clock_[rank] = std::max(clock_[rank], msg.available);
+      const double bytes = static_cast<double>(recv->rect.bytes());
+      charge(rank,
+             (config_.recv_startup + bytes * config_.recv_per_byte) *
+                 noise(rank, pc_[rank]),
+             "recv " + recv->array);
+      memories_[rank].write(recv->array, recv->rect, msg.payload);
+      ++stats_.messages;
+      stats_.message_bytes += recv->rect.bytes();
+      if (plan_ != nullptr) {
+        // Ack layer: discard any further copies of this message already
+        // sitting in the mailbox (in-flight duplicates).
+        while (!it->second.empty() &&
+               seen_seq_.count(it->second.front().seq) != 0) {
+          it->second.erase(it->second.begin());
+          ++stats_.duplicates_suppressed;
+          record_fault(FaultKind::kDuplicate, rank, clock_[rank],
+                       "tag " + std::to_string(recv->tag) + " from rank " +
+                           std::to_string(recv->src) +
+                           " duplicate suppressed");
+        }
+      }
+      ++pc_[rank];
+      ++stats_.instructions;
+      return true;
+    }
+    return false;
   }
 
   const auto& kernel = std::get<GroupKernel>(instr);
@@ -240,21 +356,34 @@ bool Simulator::try_execute(const MpmdProgram& program, std::uint32_t rank) {
   for (const std::uint32_t r : kernel.group) {
     PARADIGM_CHECK(r < config_.size,
                    "group rank " << r << " outside machine");
+    if (dead_[r]) return false;
     const auto& peer_stream = program.streams[r];
     if (pc_[r] >= peer_stream.size()) return false;
     const auto* peer = std::get_if<GroupKernel>(&peer_stream[pc_[r]]);
     if (peer == nullptr || peer->node != kernel.node) return false;
   }
+  if (plan_ != nullptr) {
+    // A member whose crash time falls before the barrier completes dies
+    // waiting in the barrier; the kernel then never runs.
+    double start = 0.0;
+    for (const std::uint32_t r : kernel.group) {
+      start = std::max(start, clock_[r]);
+    }
+    bool crashed = false;
+    for (const std::uint32_t r : kernel.group) {
+      const double ct = plan_->crash_time(r);
+      if (start >= ct) {
+        mark_dead(r, ct);
+        crashed = true;
+      }
+    }
+    if (crashed) return false;
+  }
   execute_group_kernel(kernel);
   return true;
 }
 
-SimResult Simulator::run(const MpmdProgram& program) {
-  PARADIGM_CHECK(program.ranks() <= config_.size,
-                 "program uses " << program.ranks()
-                                 << " ranks on a machine of size "
-                                 << config_.size);
-  const std::uint32_t ranks = config_.size;
+void Simulator::reset_state(std::uint32_t ranks) {
   memories_.assign(ranks, RankMemory{});
   clock_.assign(ranks, 0.0);
   pc_.assign(ranks, 0);
@@ -262,30 +391,159 @@ SimResult Simulator::run(const MpmdProgram& program) {
   nic_free_.assign(ranks, 0.0);
   trace_.assign(ranks, {});
   stats_ = SimResult{};
+  dead_.assign(ranks, 0);
+  next_seq_ = 0;
+  seen_seq_.clear();
+}
+
+SimResult Simulator::execute(const MpmdProgram& program) {
+  PARADIGM_CHECK(program.ranks() <= config_.size,
+                 "program uses " << program.ranks()
+                                 << " ranks on a machine of size "
+                                 << config_.size);
+  // Trace entries present before this call belong to a prior run that
+  // resume() carried over; scan-order-independent busy accounting below
+  // must only sum what this execution charges.
+  std::vector<std::size_t> trace_base(trace_.size(), 0);
+  for (std::size_t i = 0; i < trace_.size(); ++i) {
+    trace_base[i] = trace_[i].size();
+  }
+
+  if (!scan_order_.empty()) {
+    PARADIGM_CHECK(scan_order_.size() == program.ranks(),
+                   "scan order covers " << scan_order_.size()
+                                        << " ranks, program uses "
+                                        << program.ranks());
+    std::vector<char> hit(program.ranks(), 0);
+    for (const std::uint32_t r : scan_order_) {
+      PARADIGM_CHECK(r < program.ranks() && !hit[r],
+                     "scan order is not a permutation of the program ranks");
+      hit[r] = 1;
+    }
+  }
 
   bool progressed = true;
   while (progressed) {
     progressed = false;
-    for (std::uint32_t r = 0; r < program.ranks(); ++r) {
-      while (try_execute(program, r)) progressed = true;
+    if (scan_order_.empty()) {
+      for (std::uint32_t r = 0; r < program.ranks(); ++r) {
+        while (try_execute(program, r)) progressed = true;
+      }
+    } else {
+      for (const std::uint32_t r : scan_order_) {
+        while (try_execute(program, r)) progressed = true;
+      }
     }
   }
 
-  // All streams must have drained; otherwise report the deadlock.
-  std::ostringstream stuck;
-  bool deadlocked = false;
-  for (std::uint32_t r = 0; r < program.ranks(); ++r) {
-    if (pc_[r] < program.streams[r].size()) {
-      deadlocked = true;
-      stuck << " rank " << r << " at instruction " << pc_[r] << "/"
-            << program.streams[r].size();
+  if (plan_ == nullptr) {
+    // All streams must have drained; otherwise report the deadlock.
+    std::ostringstream stuck;
+    bool deadlocked = false;
+    for (std::uint32_t r = 0; r < program.ranks(); ++r) {
+      if (pc_[r] < program.streams[r].size()) {
+        deadlocked = true;
+        stuck << " rank " << r << " at instruction " << pc_[r] << "/"
+              << program.streams[r].size();
+      }
+    }
+    PARADIGM_CHECK(!deadlocked, "simulation deadlock:" << stuck.str());
+  } else {
+    // A crash configured before a rank's last clock reading killed the
+    // rank even if its stream happened to drain first: its memory is
+    // gone for recovery purposes.
+    for (const CrashFault& c : plan_->crashes) {
+      if (c.rank < program.ranks() && !dead_[c.rank] &&
+          clock_[c.rank] >= c.time) {
+        mark_dead(c.rank, c.time);
+      }
+    }
+    // No deadlock exception under a fault plan: blocked survivors give
+    // up after the receive timeout and the run is reported as aborted.
+    for (std::uint32_t r = 0; r < program.ranks(); ++r) {
+      if (pc_[r] >= program.streams[r].size()) continue;
+      stats_.aborted = true;
+      if (dead_[r]) continue;
+      clock_[r] += plan_->recv_timeout;
+      stats_.timed_out_ranks.push_back(r);
+      record_fault(FaultKind::kTimeout, r, clock_[r],
+                   "rank " + std::to_string(r) +
+                       " gave up blocked at instruction " +
+                       std::to_string(pc_[r]) + "/" +
+                       std::to_string(program.streams[r].size()));
+    }
+    for (std::uint32_t r = 0; r < program.ranks(); ++r) {
+      if (dead_[r]) stats_.failed_ranks.push_back(r);
     }
   }
-  PARADIGM_CHECK(!deadlocked, "simulation deadlock:" << stuck.str());
+
+  if (plan_ != nullptr || !scan_order_.empty()) {
+    // Make the aggregates independent of the rank scan order: rebuild
+    // the busy-time sum rank-major from the trace (a rank's own trace
+    // order never depends on the global scan order) and sort the event
+    // and node logs.
+    double busy = 0.0;
+    for (std::size_t i = 0; i < trace_.size(); ++i) {
+      double rank_busy = 0.0;
+      for (std::size_t k = trace_base[i]; k < trace_[i].size(); ++k) {
+        rank_busy += trace_[i][k].end - trace_[i][k].start;
+      }
+      busy += rank_busy;
+    }
+    stats_.total_busy = busy;
+    std::sort(stats_.fault_events.begin(), stats_.fault_events.end(),
+              [](const FaultEvent& a, const FaultEvent& b) {
+                if (a.time != b.time) return a.time < b.time;
+                if (a.rank != b.rank) return a.rank < b.rank;
+                if (a.kind != b.kind) return a.kind < b.kind;
+                return a.detail < b.detail;
+              });
+  }
+  std::sort(stats_.completed_nodes.begin(), stats_.completed_nodes.end());
 
   stats_.rank_clock = clock_;
   stats_.finish_time = *std::max_element(clock_.begin(), clock_.end());
   return stats_;
+}
+
+SimResult Simulator::run(const MpmdProgram& program) {
+  plan_ = nullptr;
+  reset_state(config_.size);
+  return execute(program);
+}
+
+SimResult Simulator::run(const MpmdProgram& program, const FaultPlan& plan) {
+  plan_ = &plan;
+  reset_state(config_.size);
+  SimResult result = execute(program);
+  plan_ = nullptr;
+  return result;
+}
+
+SimResult Simulator::resume(const MpmdProgram& program,
+                            const FaultPlan* plan) {
+  PARADIGM_CHECK(!memories_.empty(), "resume() requires a prior run()");
+  PARADIGM_CHECK(program.ranks() <= memories_.size(),
+                 "resumed program uses " << program.ranks()
+                                         << " ranks, prior run had "
+                                         << memories_.size());
+  for (std::uint32_t r = 0; r < program.ranks(); ++r) {
+    PARADIGM_CHECK(!dead_[r] || program.streams[r].empty(),
+                   "resumed program assigns instructions to crashed rank "
+                       << r);
+  }
+  plan_ = plan;
+  // Keep memories, clocks, in-flight messages, traces, and dead flags;
+  // restart only the program counters and the per-run statistics.
+  pc_.assign(pc_.size(), 0);
+  stats_ = SimResult{};
+  SimResult result = execute(program);
+  plan_ = nullptr;
+  return result;
+}
+
+void Simulator::set_scan_order(std::vector<std::uint32_t> order) {
+  scan_order_ = std::move(order);
 }
 
 const RankMemory& Simulator::memory(std::uint32_t rank) const {
@@ -297,7 +555,13 @@ Matrix Simulator::assemble_array(const std::string& array, std::size_t rows,
                                  std::size_t cols) const {
   std::vector<std::uint32_t> all;
   for (std::uint32_t r = 0; r < memories_.size(); ++r) all.push_back(r);
-  return gather_from_group(all, array,
+  return assemble_array(array, rows, cols, all);
+}
+
+Matrix Simulator::assemble_array(
+    const std::string& array, std::size_t rows, std::size_t cols,
+    const std::vector<std::uint32_t>& ranks) const {
+  return gather_from_group(ranks, array,
                            BlockRect{IndexRange{0, rows},
                                      IndexRange{0, cols}});
 }

@@ -16,14 +16,25 @@
 // (disabled when noise_sigma == 0). Noise draws depend only on
 // (seed, rank, instruction index), never on scan order, so a given
 // program + config is exactly reproducible.
+//
+// Fault-aware execution: run(program, FaultPlan) injects rank crashes,
+// message drops (answered with ack + bounded retry + exponential
+// backoff), duplicated deliveries (suppressed via per-message sequence
+// numbers), and kernel stragglers. Under a fault plan the simulator
+// never throws on a blocked rank: unfinished ranks time out after
+// FaultPlan::recv_timeout and the run reports aborted/failed_ranks
+// instead. resume() continues execution with surviving state (memories,
+// clocks, mailboxes) so a recovery program can be spliced in.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "sim/config.hpp"
+#include "sim/faults.hpp"
 #include "sim/memory.hpp"
 #include "sim/program.hpp"
 
@@ -45,6 +56,20 @@ struct SimResult {
   double total_busy = 0.0;           ///< Sum of charged busy time.
   std::size_t instructions = 0;      ///< Instructions executed.
 
+  // ---- fault reporting (all empty/zero on fault-free runs) -------------
+  bool aborted = false;              ///< Some stream did not drain.
+  std::vector<std::uint32_t> failed_ranks;    ///< Crashed ranks (sorted).
+  std::vector<std::uint32_t> timed_out_ranks; ///< Survivors that gave up.
+  std::vector<FaultEvent> fault_events;       ///< Sorted by (time, rank).
+  std::size_t retransmissions = 0;       ///< Send retries performed.
+  std::size_t dropped_messages = 0;      ///< Transmission attempts lost.
+  std::size_t duplicates_suppressed = 0; ///< Duplicate deliveries dropped.
+  std::size_t lost_messages = 0;         ///< Messages that exhausted retries.
+  std::vector<std::uint32_t> completed_nodes;  ///< MDG nodes fully executed
+                                               ///< (sorted).
+
+  bool operator==(const SimResult&) const = default;
+
   /// Fraction of processor-time busy over [0, finish_time] on `ranks`
   /// processors.
   double efficiency(std::uint32_t ranks) const {
@@ -61,6 +86,24 @@ class Simulator {
   /// deadlock (with a per-rank diagnostic) or on malformed programs.
   SimResult run(const MpmdProgram& program);
 
+  /// Executes the program under a fault plan. Never throws on blocked
+  /// ranks: the result reports aborted / failed_ranks / timed_out_ranks
+  /// and the per-fault event log instead.
+  SimResult run(const MpmdProgram& program, const FaultPlan& plan);
+
+  /// Continues execution after a (possibly aborted) run: memories,
+  /// clocks, in-flight messages, traces, and dead-rank flags are kept;
+  /// only the program counters restart. Crashed ranks must have empty
+  /// streams in `program`. With a null plan the resumed execution is
+  /// fault-free and throws on deadlock like run().
+  SimResult resume(const MpmdProgram& program,
+                   const FaultPlan* plan = nullptr);
+
+  /// Overrides the order in which ranks are scanned by the progress
+  /// loop (for determinism tests). Must be a permutation of the
+  /// program's ranks; empty restores the default ascending order.
+  void set_scan_order(std::vector<std::uint32_t> order);
+
   const MachineConfig& config() const { return config_; }
 
   /// After run(): a rank's final memory.
@@ -71,6 +114,11 @@ class Simulator {
   Matrix assemble_array(const std::string& array, std::size_t rows,
                         std::size_t cols) const;
 
+  /// As above, but gathers only from `ranks` (e.g. crash survivors).
+  Matrix assemble_array(const std::string& array, std::size_t rows,
+                        std::size_t cols,
+                        const std::vector<std::uint32_t>& ranks) const;
+
   /// After run(): busy intervals per rank (for Gantt rendering).
   const std::vector<std::vector<BusyInterval>>& trace() const {
     return trace_;
@@ -79,6 +127,7 @@ class Simulator {
  private:
   struct Message {
     double available = 0.0;
+    std::uint64_t seq = 0;  // delivery identity for duplicate suppression
     std::string array;
     BlockRect rect;
     Matrix payload;
@@ -95,6 +144,13 @@ class Simulator {
                            const BlockRect& rect) const;
   void charge(std::uint32_t rank, double seconds, const std::string& label);
 
+  void reset_state(std::uint32_t ranks);
+  /// Shared progress loop + end-of-run accounting for run()/resume().
+  SimResult execute(const MpmdProgram& program);
+  void mark_dead(std::uint32_t rank, double time);
+  void record_fault(FaultKind kind, std::uint32_t rank, double time,
+                    std::string detail);
+
   MachineConfig config_;
   std::vector<RankMemory> memories_;
   std::vector<double> clock_;
@@ -103,6 +159,12 @@ class Simulator {
   std::vector<double> nic_free_;  // per-destination NIC availability
   std::vector<std::vector<BusyInterval>> trace_;
   SimResult stats_;
+
+  const FaultPlan* plan_ = nullptr;  // active fault plan (null: fault-free)
+  std::vector<char> dead_;           // fail-stop flag per rank
+  std::uint64_t next_seq_ = 0;       // message sequence counter
+  std::set<std::uint64_t> seen_seq_; // delivered sequence numbers
+  std::vector<std::uint32_t> scan_order_;  // empty: ascending rank order
 };
 
 }  // namespace paradigm::sim

@@ -140,6 +140,24 @@ double ConvexAllocator::smoothed_objective(const cost::CostModel& model,
 
 AllocationResult ConvexAllocator::allocate(const cost::CostModel& model,
                                            double p) const {
+  return solve(model, p, {});
+}
+
+AllocationResult ConvexAllocator::reallocate(
+    const cost::CostModel& model, double p_new,
+    std::span<const double> previous) const {
+  if (!previous.empty()) {
+    PARADIGM_CHECK(previous.size() == model.graph().node_count(),
+                   "warm-start allocation covers "
+                       << previous.size() << " nodes, graph has "
+                       << model.graph().node_count());
+  }
+  return solve(model, p_new, previous);
+}
+
+AllocationResult ConvexAllocator::solve(const cost::CostModel& model,
+                                        double p,
+                                        std::span<const double> warm_start) const {
   PARADIGM_CHECK(p >= 1.0, "machine size must be >= 1, got " << p);
   const mdg::Mdg& graph = model.graph();
   const std::size_t n = graph.node_count();
@@ -160,7 +178,14 @@ AllocationResult ConvexAllocator::allocate(const cost::CostModel& model,
   }
 
   std::vector<double> x(n);
-  for (std::size_t i = 0; i < n; ++i) x[i] = 0.5 * x_hi[i];
+  if (warm_start.empty()) {
+    for (std::size_t i = 0; i < n; ++i) x[i] = 0.5 * x_hi[i];
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double prev = std::max(warm_start[i], 1.0);
+      x[i] = std::clamp(std::log(prev), 0.0, x_hi[i]);
+    }
+  }
   std::vector<double> grad(n, 0.0);
   std::vector<double> x_next(n, 0.0);
 

@@ -67,6 +67,14 @@ class ConvexAllocator {
 
   AllocationResult allocate(const cost::CostModel& model, double p) const;
 
+  /// Re-solves the allocation on a (typically smaller) machine of
+  /// `p_new` processors, warm-starting the descent from `previous`
+  /// (clamped into [1, p_new]). Used by fault-tolerant rescheduling,
+  /// where the residual problem is close to the original one. An empty
+  /// `previous` falls back to the cold start of allocate().
+  AllocationResult reallocate(const cost::CostModel& model, double p_new,
+                              std::span<const double> previous) const;
+
   /// Smoothed objective and dense gradient at x = ln p; exposed for
   /// gradient-check tests. mu_t is in seconds, mu_x dimensionless.
   double smoothed_objective(const cost::CostModel& model, double p,
@@ -74,6 +82,9 @@ class ConvexAllocator {
                             double mu_t, std::span<double> grad) const;
 
  private:
+  AllocationResult solve(const cost::CostModel& model, double p,
+                         std::span<const double> warm_start) const;
+
   ConvexAllocatorConfig config_;
 };
 

@@ -1,0 +1,362 @@
+// Tests for fault injection and fault-tolerant rescheduling: a rank
+// crash mid-Strassen must not deadlock and must recover on the
+// survivors with verifiable numerics; dropped messages must be retried
+// (and exhaust cleanly into an abort, never a hang); duplicates must be
+// suppressed; stragglers must slow the run without corrupting it; and
+// fault-injected simulations must be bit-identical regardless of the
+// simulator's rank scan order.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "codegen/mpmd.hpp"
+#include "core/programs.hpp"
+#include "core/recovery.hpp"
+#include "cost/model.hpp"
+#include "sched/psa.hpp"
+#include "sched/reschedule.hpp"
+#include "sim/faults.hpp"
+#include "sim/simulator.hpp"
+#include "solver/allocator.hpp"
+
+namespace paradigm {
+namespace {
+
+cost::MachineParams mirror_params(const sim::MachineConfig& mc) {
+  cost::MachineParams mp;
+  mp.t_ss = mc.send_startup;
+  mp.t_ps = mc.send_per_byte;
+  mp.t_sr = mc.recv_startup;
+  mp.t_pr = mc.recv_per_byte;
+  mp.t_n = 0.0;
+  return mp;
+}
+
+cost::KernelCostTable mirror_table(const sim::MachineConfig& mc,
+                                   const mdg::Mdg& graph) {
+  cost::KernelCostTable table;
+  for (const auto& node : graph.nodes()) {
+    if (node.kind != mdg::NodeKind::kLoop ||
+        node.loop.op == mdg::LoopOp::kSynthetic) {
+      continue;
+    }
+    const auto key = cost::KernelCostTable::key_for(graph, node);
+    if (table.contains(key)) continue;
+    const double seq =
+        mc.sequential_seconds(key.op, key.rows, key.cols, key.inner);
+    table.set(key,
+              cost::AmdahlParams{mc.timing_for(key.op).serial_fraction,
+                                 seq});
+  }
+  return table;
+}
+
+sim::MachineConfig quiet_machine(std::uint32_t size) {
+  sim::MachineConfig mc;
+  mc.size = size;
+  mc.noise_sigma = 0.0;
+  return mc;
+}
+
+/// Builds the PSA schedule + generated program for a graph on p ranks.
+struct Pipeline {
+  mdg::Mdg graph;
+  sim::MachineConfig mc;
+  cost::CostModel model;
+  sched::PsaResult psa;
+  codegen::GeneratedProgram generated;
+  double fault_free = 0.0;
+
+  Pipeline(mdg::Mdg g, std::uint32_t p)
+      : graph(std::move(g)),
+        mc(quiet_machine(p)),
+        model(graph, mirror_params(mc), mirror_table(mc, graph)),
+        psa(sched::prioritized_schedule(
+            model,
+            solver::ConvexAllocator{}
+                .allocate(model, static_cast<double>(p))
+                .allocation,
+            p)),
+        generated(codegen::generate_mpmd(graph, psa.schedule)) {
+    sim::Simulator clean(mc);
+    fault_free = clean.run(generated.program).finish_time;
+  }
+};
+
+TEST(Faults, CrashMidStrassenRecoversOnSurvivorsAndVerifies) {
+  const std::size_t n = 32;
+  const std::size_t h = n / 2;
+  Pipeline pl(core::strassen_mdg(n), 8);
+
+  sim::FaultPlan plan;
+  plan.crashes.push_back(sim::CrashFault{2, 0.45 * pl.fault_free});
+
+  const core::FaultToleranceReport report = core::run_with_faults(
+      pl.graph, pl.model, pl.psa.schedule, pl.mc, plan, pl.fault_free);
+
+  ASSERT_TRUE(report.crashed);
+  ASSERT_TRUE(report.faulty.aborted);
+  ASSERT_EQ(report.faulty.failed_ranks, std::vector<std::uint32_t>{2u});
+  ASSERT_TRUE(report.recovered) << report.summary();
+
+  // The residual re-ran on a power-of-two subset of the 7 survivors.
+  EXPECT_EQ(report.reschedule->recovery_p, 4u);
+  for (const auto& [node, ranks] : report.reschedule->recovery_groups) {
+    for (const std::uint32_t r : ranks) EXPECT_NE(r, 2u);
+  }
+  EXPECT_GT(report.degradation.rerun_nodes, 0u);
+  EXPECT_GT(report.recovery.finish_time, report.faulty.finish_time);
+
+  // Numerics still verify, assembled from each output's residence.
+  const auto ref = core::strassen_reference(n);
+  const sim::Simulator& s = *report.simulator;
+  EXPECT_LT(s.assemble_array("C11", h, h, report.array_ranks("C11"))
+                .max_abs_diff(ref.c11),
+            1e-10);
+  EXPECT_LT(s.assemble_array("C12", h, h, report.array_ranks("C12"))
+                .max_abs_diff(ref.c12),
+            1e-10);
+  EXPECT_LT(s.assemble_array("C21", h, h, report.array_ranks("C21"))
+                .max_abs_diff(ref.c21),
+            1e-10);
+  EXPECT_LT(s.assemble_array("C22", h, h, report.array_ranks("C22"))
+                .max_abs_diff(ref.c22),
+            1e-10);
+
+  // Degradation accounting is consistent.
+  EXPECT_DOUBLE_EQ(report.degradation.fault_free_makespan, pl.fault_free);
+  EXPECT_GT(report.degradation.overhead_factor, 1.0);
+  EXPECT_EQ(report.degradation.failed_ranks, 1u);
+}
+
+TEST(Faults, CrashOfEveryRankInTurnNeverDeadlocks) {
+  const std::size_t n = 16;
+  Pipeline pl(core::complex_matmul_mdg(n), 8);
+  const auto ref = core::complex_matmul_reference(n);
+  for (std::uint32_t victim = 0; victim < 8; ++victim) {
+    sim::FaultPlan plan;
+    plan.crashes.push_back(sim::CrashFault{victim, 0.5 * pl.fault_free});
+    const core::FaultToleranceReport report = core::run_with_faults(
+        pl.graph, pl.model, pl.psa.schedule, pl.mc, plan, pl.fault_free);
+    if (!report.crashed) continue;  // victim was already done at t_crash
+    ASSERT_TRUE(report.recovered)
+        << "victim " << victim << ": " << report.summary();
+    const sim::Simulator& s = *report.simulator;
+    EXPECT_LT(s.assemble_array("Cr", n, n, report.array_ranks("Cr"))
+                  .max_abs_diff(ref.cr),
+              1e-11)
+        << "victim " << victim;
+    EXPECT_LT(s.assemble_array("Ci", n, n, report.array_ranks("Ci"))
+                  .max_abs_diff(ref.ci),
+              1e-11)
+        << "victim " << victim;
+  }
+}
+
+TEST(Faults, DroppedMessagesAreRetriedAndTheRunCompletes) {
+  const std::size_t n = 16;
+  Pipeline pl(core::complex_matmul_mdg(n), 8);
+  ASSERT_GT(pl.generated.planned_messages, 0u);
+
+  sim::FaultPlan plan;
+  plan.seed = 7;
+  plan.drop_probability = 0.3;
+  plan.max_retries = 16;  // enough budget that nothing is abandoned
+
+  sim::Simulator simulator(pl.mc);
+  const sim::SimResult result = simulator.run(pl.generated.program, plan);
+  EXPECT_FALSE(result.aborted);
+  EXPECT_GT(result.retransmissions, 0u);
+  EXPECT_EQ(result.lost_messages, 0u);
+  EXPECT_EQ(result.messages, pl.generated.planned_messages);
+  // Backoff + retransmission wire time push the finish time out.
+  EXPECT_GT(result.finish_time, pl.fault_free);
+
+  const auto ref = core::complex_matmul_reference(n);
+  EXPECT_LT(simulator.assemble_array("Cr", n, n).max_abs_diff(ref.cr),
+            1e-11);
+}
+
+TEST(Faults, ExhaustedRetriesAbortCleanlyInsteadOfHanging) {
+  Pipeline pl(core::complex_matmul_mdg(16), 8);
+  ASSERT_GT(pl.generated.planned_messages, 0u);
+
+  sim::FaultPlan plan;
+  plan.drop_probability = 1.0;  // every attempt lost
+  plan.max_retries = 2;
+  plan.recv_timeout = 0.05;
+
+  sim::Simulator simulator(pl.mc);
+  const sim::SimResult result = simulator.run(pl.generated.program, plan);
+  EXPECT_TRUE(result.aborted);
+  EXPECT_TRUE(result.failed_ranks.empty());
+  EXPECT_FALSE(result.timed_out_ranks.empty());
+  EXPECT_GT(result.lost_messages, 0u);
+  bool saw_timeout = false;
+  for (const auto& e : result.fault_events) {
+    if (e.kind == sim::FaultKind::kTimeout) saw_timeout = true;
+  }
+  EXPECT_TRUE(saw_timeout);
+}
+
+TEST(Faults, DuplicatedDeliveriesAreSuppressed) {
+  const std::size_t n = 16;
+  Pipeline pl(core::complex_matmul_mdg(n), 8);
+  ASSERT_GT(pl.generated.planned_messages, 0u);
+
+  sim::FaultPlan plan;
+  plan.duplicate_probability = 1.0;  // every delivery arrives twice
+
+  sim::Simulator simulator(pl.mc);
+  const sim::SimResult result = simulator.run(pl.generated.program, plan);
+  EXPECT_FALSE(result.aborted);
+  EXPECT_EQ(result.messages, pl.generated.planned_messages);
+  EXPECT_EQ(result.duplicates_suppressed, pl.generated.planned_messages);
+
+  const auto ref = core::complex_matmul_reference(n);
+  EXPECT_LT(simulator.assemble_array("Cr", n, n).max_abs_diff(ref.cr),
+            1e-11);
+}
+
+TEST(Faults, StragglersSlowTheRunWithoutCorruptingIt) {
+  const std::size_t n = 16;
+  Pipeline pl(core::complex_matmul_mdg(n), 8);
+
+  sim::FaultPlan plan;
+  plan.slowdown_probability = 0.5;
+  plan.slowdown_factor = 4.0;
+
+  sim::Simulator simulator(pl.mc);
+  const sim::SimResult result = simulator.run(pl.generated.program, plan);
+  EXPECT_FALSE(result.aborted);
+  EXPECT_GT(result.finish_time, pl.fault_free);
+  bool saw_slowdown = false;
+  for (const auto& e : result.fault_events) {
+    if (e.kind == sim::FaultKind::kSlowdown) saw_slowdown = true;
+  }
+  EXPECT_TRUE(saw_slowdown);
+  const auto ref = core::complex_matmul_reference(n);
+  EXPECT_LT(simulator.assemble_array("Cr", n, n).max_abs_diff(ref.cr),
+            1e-11);
+}
+
+TEST(Faults, FaultFreePlanMatchesPlainRunExactly) {
+  // A fault plan that can inject nothing must not perturb the
+  // simulated clocks or message accounting of the legacy path.
+  Pipeline pl(core::complex_matmul_mdg(16), 8);
+  sim::Simulator plain(pl.mc);
+  const sim::SimResult a = plain.run(pl.generated.program);
+  sim::Simulator faulty(pl.mc);
+  const sim::SimResult b = faulty.run(pl.generated.program, sim::FaultPlan{});
+  EXPECT_EQ(a.finish_time, b.finish_time);
+  EXPECT_EQ(a.rank_clock, b.rank_clock);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.message_bytes, b.message_bytes);
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_FALSE(b.aborted);
+  EXPECT_TRUE(b.fault_events.empty());
+}
+
+TEST(Faults, SimResultIsBitIdenticalAcrossScanOrders) {
+  // Identical (seed, config, program) with faults AND noise enabled
+  // must produce a bit-identical SimResult no matter how the progress
+  // loop scans the ranks.
+  const std::uint32_t p = 8;
+  mdg::Mdg graph = core::strassen_mdg(32);
+  sim::MachineConfig mc = quiet_machine(p);
+  mc.noise_sigma = 0.02;
+  mc.noise_seed = 0x1994;
+  const cost::CostModel model(graph, mirror_params(mc),
+                              mirror_table(mc, graph));
+  const auto alloc =
+      solver::ConvexAllocator{}.allocate(model, static_cast<double>(p));
+  const auto psa = sched::prioritized_schedule(model, alloc.allocation, p);
+  const auto generated = codegen::generate_mpmd(graph, psa.schedule);
+
+  sim::FaultPlan plan;
+  plan.seed = 0xfa17;
+  plan.crashes.push_back(sim::CrashFault{1, 0.02});
+  plan.drop_probability = 0.1;
+  plan.duplicate_probability = 0.1;
+  plan.slowdown_probability = 0.1;
+  plan.max_retries = 12;
+
+  std::vector<std::uint32_t> forward(p), reverse(p), shuffled(p);
+  std::iota(forward.begin(), forward.end(), 0u);
+  reverse = forward;
+  std::reverse(reverse.begin(), reverse.end());
+  shuffled = {3, 0, 6, 1, 7, 4, 2, 5};
+
+  std::vector<sim::SimResult> results;
+  for (const auto& order : {forward, reverse, shuffled}) {
+    sim::Simulator simulator(mc);
+    simulator.set_scan_order(order);
+    results.push_back(simulator.run(generated.program, plan));
+  }
+  EXPECT_EQ(results[0], results[1]);
+  EXPECT_EQ(results[0], results[2]);
+  EXPECT_TRUE(results[0].aborted);  // the crash really happened
+}
+
+TEST(Faults, DeterministicDrawsAreScanOrderFree) {
+  sim::FaultPlan plan;
+  plan.seed = 42;
+  plan.drop_probability = 0.5;
+  plan.duplicate_probability = 0.5;
+  plan.slowdown_probability = 0.5;
+  // Pure functions of their arguments: repeated evaluation agrees.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(plan.drop_message(1, 2, 77, 0), plan.drop_message(1, 2, 77, 0));
+    EXPECT_EQ(plan.duplicate_message(3, 4, 5), plan.duplicate_message(3, 4, 5));
+    EXPECT_EQ(plan.slowdown(6, 7), plan.slowdown(6, 7));
+  }
+  // And distinct identities give independent draws: over many tags both
+  // outcomes occur.
+  int drops = 0;
+  for (std::uint64_t tag = 0; tag < 64; ++tag) {
+    if (plan.drop_message(0, 1, tag, 0)) ++drops;
+  }
+  EXPECT_GT(drops, 8);
+  EXPECT_LT(drops, 56);
+}
+
+TEST(Faults, RescheduleSalvagesOnlyDataHeldBySurvivors) {
+  // Build a tiny pipeline, crash a rank, and check the salvage rule:
+  // completed nodes whose output group intersects the failed rank are
+  // re-run, completed nodes fully on survivors are salvaged.
+  Pipeline pl(core::strassen_mdg(32), 8);
+  sim::FaultPlan plan;
+  plan.crashes.push_back(sim::CrashFault{0, 0.5 * pl.fault_free});
+
+  sim::Simulator simulator(pl.mc);
+  const sim::SimResult faulty = simulator.run(pl.generated.program, plan);
+  if (!faulty.aborted) GTEST_SKIP() << "rank 0 finished before the crash";
+
+  sched::RecoveryInput input;
+  input.failed_ranks = faulty.failed_ranks;
+  input.completed_nodes = faulty.completed_nodes;
+  input.machine_size = pl.mc.size;
+  const sched::RecoverySchedule rs =
+      sched::reschedule_after_faults(pl.model, pl.psa.schedule, input);
+
+  std::set<std::uint32_t> completed(faulty.completed_nodes.begin(),
+                                    faulty.completed_nodes.end());
+  for (const mdg::NodeId id : rs.salvaged) {
+    EXPECT_TRUE(completed.count(static_cast<std::uint32_t>(id)));
+    const auto& node = pl.graph.node(id);
+    if (node.loop.output.empty()) continue;
+    for (const std::uint32_t r : pl.psa.schedule.placement(id).ranks) {
+      EXPECT_NE(r, 0u) << "salvaged node " << node.name
+                       << " held data on the failed rank";
+    }
+  }
+  for (const auto& [orig, rid] : rs.residual_of) {
+    EXPECT_EQ(rs.salvaged.count(orig), 0u);
+  }
+  // Validate the residual schedule against its own cost model.
+  rs.psa->schedule.validate(*rs.residual_model);
+}
+
+}  // namespace
+}  // namespace paradigm

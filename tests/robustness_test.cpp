@@ -149,6 +149,120 @@ TEST_P(FuzzSeeded, CalibrationParserNeverCrashes) {
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeded,
                          ::testing::Range<std::uint64_t>(0, 6));
 
+// ---- mutation fuzzing ---------------------------------------------------------
+//
+// Pure garbage rarely gets past the first token, so it exercises only
+// the surface of each parser. Mutating a VALID document reaches the
+// deep paths: directives with a corrupted attribute, truncated bodies,
+// duplicated sections, numbers with a flipped digit. Every mutated
+// input must either parse or raise paradigm::Error — any other
+// exception (or a crash/hang) fails the test.
+
+std::string mutate(Rng& rng, std::string s) {
+  const std::int64_t ops = rng.uniform_int(1, 4);
+  for (std::int64_t k = 0; k < ops; ++k) {
+    if (s.empty()) break;
+    const auto size = static_cast<std::int64_t>(s.size());
+    switch (rng.uniform_int(0, 4)) {
+      case 0:  // flip one byte to a random printable character
+        s[static_cast<std::size_t>(rng.uniform_int(0, size - 1))] =
+            static_cast<char>(rng.uniform_int(32, 126));
+        break;
+      case 1:  // delete a span
+        s.erase(static_cast<std::size_t>(rng.uniform_int(0, size - 1)),
+                static_cast<std::size_t>(rng.uniform_int(1, 24)));
+        break;
+      case 2: {  // duplicate a span in place
+        const auto at =
+            static_cast<std::size_t>(rng.uniform_int(0, size - 1));
+        const std::size_t len =
+            std::min(static_cast<std::size_t>(rng.uniform_int(1, 24)),
+                     s.size() - at);
+        s.insert(at, s.substr(at, len));
+        break;
+      }
+      case 3:  // splice in garbage
+        s.insert(static_cast<std::size_t>(rng.uniform_int(0, size)),
+                 random_garbage(
+                     rng, static_cast<std::size_t>(rng.uniform_int(1, 12))));
+        break;
+      case 4:  // truncate
+        s.resize(static_cast<std::size_t>(rng.uniform_int(0, size - 1)));
+        break;
+    }
+  }
+  return s;
+}
+
+const std::string& valid_mdg_text() {
+  static const std::string text =
+      mdg::write_mdg(core::complex_matmul_mdg(16));
+  return text;
+}
+
+const std::string& valid_mexpr_text() {
+  static const std::string text = R"(
+input A 16 16 1
+input B 16 16 2
+S = A + B
+P = S * B
+output P
+)";
+  return text;
+}
+
+const std::string& valid_params_text() {
+  static const std::string text = [] {
+    cost::KernelCostTable table;
+    table.set(cost::KernelKey{mdg::LoopOp::kMul, 16, 16, 16},
+              cost::AmdahlParams{0.05, 0.01});
+    table.set(cost::KernelKey{mdg::LoopOp::kAdd, 16, 16, 0},
+              cost::AmdahlParams{0.02, 0.001});
+    return calibrate::write_calibration(
+        calibrate::CalibrationBundle{cost::MachineParams{}, table});
+  }();
+  return text;
+}
+
+class MutationFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MutationFuzz, MdgTextParserDiagnosesMutations) {
+  Rng rng(GetParam() * 7919 + 13);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::string mutated = mutate(rng, valid_mdg_text());
+    try {
+      mdg::parse_mdg(mutated);
+    } catch (const Error&) {
+      // Diagnosed with a paradigm::Error — the contract.
+    }
+  }
+}
+
+TEST_P(MutationFuzz, ExpressionParserDiagnosesMutations) {
+  Rng rng(GetParam() * 7919 + 131);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::string mutated = mutate(rng, valid_mexpr_text());
+    try {
+      frontend::compile_source(mutated);
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST_P(MutationFuzz, CalibrationParserDiagnosesMutations) {
+  Rng rng(GetParam() * 7919 + 1313);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::string mutated = mutate(rng, valid_params_text());
+    try {
+      calibrate::parse_calibration(mutated);
+    } catch (const Error&) {
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutationFuzz,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
 // ---- frontend Strassen source ------------------------------------------------------
 
 TEST(FrontendPrograms, StrassenSourceMatchesDirectProduct) {

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Local CI: build the plain and sanitized configurations and run the
+# full test suite under both.
+#
+#   tools/ci.sh            # plain (RelWithDebInfo) + ASan/UBSan (Debug)
+#   tools/ci.sh --fast     # plain configuration only
+#
+# Run from the repository root. Build trees land in build-ci/.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs=$(nproc 2>/dev/null || echo 4)
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+run_config() {
+  local name="$1"
+  shift
+  local dir="build-ci/$name"
+  echo "=== [$name] configure ==="
+  cmake -B "$dir" -S . "$@"
+  echo "=== [$name] build ==="
+  cmake --build "$dir" -j "$jobs"
+  echo "=== [$name] test ==="
+  ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+}
+
+run_config plain -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPARADIGM_WERROR=ON
+
+if [[ "$fast" == 0 ]]; then
+  run_config asan-ubsan \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DPARADIGM_SANITIZE=address,undefined
+fi
+
+echo "CI passed."

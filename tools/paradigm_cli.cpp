@@ -13,6 +13,7 @@
 #include "calibrate/paramsio.hpp"
 #include "core/json_export.hpp"
 #include "core/pipeline.hpp"
+#include "core/recovery.hpp"
 #include "core/programs.hpp"
 #include "core/strassen_multi.hpp"
 #include "frontend/compile.hpp"
@@ -121,6 +122,18 @@ int main(int argc, char** argv) {
                   "(chrome://tracing JSON) here");
   args.add_flag("gantt", "print the PSA schedule's Gantt chart");
   args.add_flag("no-sim", "predictions only (skip simulation)");
+  args.add_flag("inject-faults",
+                "re-run the MPMD simulation under a fault plan and, on a "
+                "rank crash, reschedule the residual work on the survivors");
+  args.add_option("crash-rank", "0",
+                  "rank to fail-stop under --inject-faults (-1: none)");
+  args.add_option("crash-frac", "0.5",
+                  "crash time as a fraction of the fault-free makespan");
+  args.add_option("drop-prob", "0", "per-attempt message drop probability");
+  args.add_option("dup-prob", "0", "message duplication probability");
+  args.add_option("slow-prob", "0", "per-kernel straggler probability");
+  args.add_option("slow-factor", "4", "straggler slowdown factor");
+  args.add_option("fault-seed", "64023", "fault plan RNG seed");
   args.add_flag("help", "show this help");
 
   try {
@@ -188,6 +201,32 @@ int main(int argc, char** argv) {
     const core::PipelineReport report = compiler.compile_and_run(graph);
 
     std::cout << report.summary() << "\n";
+    if (args.get_flag("inject-faults")) {
+      PARADIGM_CHECK(report.psa && config.run_simulation,
+                     "--inject-faults needs a schedule and simulation "
+                     "(drop --no-sim)");
+      sim::FaultPlan plan;
+      plan.seed = static_cast<std::uint64_t>(args.get_int("fault-seed"));
+      const int crash_rank = args.get_int("crash-rank");
+      if (crash_rank >= 0) {
+        PARADIGM_CHECK(static_cast<std::uint64_t>(crash_rank) < p,
+                       "--crash-rank " << crash_rank << " out of range for p="
+                                       << p);
+        plan.crashes.push_back(sim::CrashFault{
+            static_cast<std::uint32_t>(crash_rank),
+            args.get_double("crash-frac") * report.mpmd.simulated});
+      }
+      plan.drop_probability = args.get_double("drop-prob");
+      plan.duplicate_probability = args.get_double("dup-prob");
+      plan.slowdown_probability = args.get_double("slow-prob");
+      plan.slowdown_factor = args.get_double("slow-factor");
+      const cost::CostModel fault_model(graph, report.fitted_machine,
+                                        report.kernel_table);
+      const core::FaultToleranceReport ft = core::run_with_faults(
+          graph, fault_model, report.psa->schedule, config.machine, plan,
+          report.mpmd.simulated);
+      std::cout << "fault injection: " << ft.summary() << "\n";
+    }
     if (args.get_flag("gantt") && report.psa) {
       std::cout << "\n" << report.psa->schedule.gantt() << "\n";
     }
