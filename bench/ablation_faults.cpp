@@ -73,6 +73,11 @@ int main() {
                     "faulty (s)", "overhead", "salvaged", "rerun",
                     "verified"});
 
+  AsciiTable mc_table(
+      "Monte-Carlo drop sweep: crash frac 0.5, drop 0.05, 8 plan seeds");
+  mc_table.set_header({"program", "recovered", "mean overhead",
+                       "max overhead", "retransmissions (total)"});
+
   for (const Case& c : cases) {
     core::PipelineConfig config = bench::standard_pipeline(p);
     config.machine.noise_sigma = 0.0;  // isolate the fault overhead
@@ -82,42 +87,78 @@ int main() {
                                 report.kernel_table);
     const double fault_free = report.mpmd.simulated;
 
+    // One task per (crash fraction, drop rate) grid cell; the faulty
+    // executions are independent simulations, so they run concurrently
+    // on the thread pool and the rows commit in grid order.
+    struct Cell {
+      double crash_frac = 0.0;
+      double drop = 0.0;
+    };
+    std::vector<Cell> grid;
     for (const double crash_frac : {0.2, 0.5, 0.8}) {
       for (const double drop : {0.0, 0.05, 0.2}) {
-        sim::FaultPlan plan;
-        plan.seed = 0x1994;
-        plan.crashes.push_back(
-            sim::CrashFault{1, crash_frac * fault_free});
-        plan.drop_probability = drop;
-        plan.max_retries = 10;
-        // Scale failure detection to the job so the sweep shows the
-        // cost of the lost work, not a fixed timeout constant.
-        plan.recv_timeout = 0.25 * fault_free;
-
-        const core::FaultToleranceReport ft = core::run_with_faults(
-            c.graph, model, report.psa->schedule, config.machine, plan,
-            fault_free);
-
-        std::string salvaged = "-";
-        std::string rerun = "-";
-        std::string verified = "n/a";
-        if (ft.recovered) {
-          salvaged = std::to_string(ft.degradation.salvaged_nodes);
-          rerun = std::to_string(ft.degradation.rerun_nodes);
-          verified = c.verify(ft) ? "OK" : "FAIL";
-        } else if (!ft.crashed && !ft.faulty.aborted) {
-          verified = "no crash";
-        }
-        table.add_row({c.name, AsciiTable::num(crash_frac, 1),
-                       AsciiTable::num(drop, 2),
-                       AsciiTable::num(fault_free, 4),
-                       AsciiTable::num(ft.final_makespan(), 4),
-                       AsciiTable::num(ft.final_makespan() / fault_free, 2),
-                       salvaged, rerun, verified});
+        grid.push_back(Cell{crash_frac, drop});
       }
     }
+    const auto base_plan = [&](double crash_frac, double drop) {
+      sim::FaultPlan plan;
+      plan.seed = 0x1994;
+      plan.crashes.push_back(sim::CrashFault{1, crash_frac * fault_free});
+      plan.drop_probability = drop;
+      plan.max_retries = 10;
+      // Scale failure detection to the job so the sweep shows the
+      // cost of the lost work, not a fixed timeout constant.
+      plan.recv_timeout = 0.25 * fault_free;
+      return plan;
+    };
+    const std::vector<core::FaultToleranceReport> reports =
+        parallel_map<core::FaultToleranceReport>(
+            grid.size(), [&](std::size_t i) {
+              return core::run_with_faults(
+                  c.graph, model, report.psa->schedule, config.machine,
+                  base_plan(grid[i].crash_frac, grid[i].drop), fault_free);
+            });
+
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      const core::FaultToleranceReport& ft = reports[i];
+      std::string salvaged = "-";
+      std::string rerun = "-";
+      std::string verified = "n/a";
+      if (ft.recovered) {
+        salvaged = std::to_string(ft.degradation.salvaged_nodes);
+        rerun = std::to_string(ft.degradation.rerun_nodes);
+        verified = c.verify(ft) ? "OK" : "FAIL";
+      } else if (!ft.crashed && !ft.faulty.aborted) {
+        verified = "no crash";
+      }
+      table.add_row({c.name, AsciiTable::num(grid[i].crash_frac, 1),
+                     AsciiTable::num(grid[i].drop, 2),
+                     AsciiTable::num(fault_free, 4),
+                     AsciiTable::num(ft.final_makespan(), 4),
+                     AsciiTable::num(ft.final_makespan() / fault_free, 2),
+                     salvaged, rerun, verified});
+    }
+
+    // Monte-Carlo sweep over independent fault-plan seeds (the same
+    // crash, fresh drop/duplicate draws per seed) via core::sweep_faults.
+    std::vector<std::uint64_t> seeds;
+    for (std::uint64_t s = 0; s < 8; ++s) seeds.push_back(0x1994 + s);
+    const core::FaultSweepResult sweep = core::sweep_faults(
+        c.graph, model, report.psa->schedule, config.machine,
+        base_plan(0.5, 0.05), seeds, fault_free);
+    std::size_t retrans = 0;
+    for (const core::FaultSweepCell& cell : sweep.cells) {
+      retrans += cell.retransmissions;
+    }
+    mc_table.add_row({c.name,
+                      std::to_string(sweep.recovered_count()) + "/" +
+                          std::to_string(sweep.cells.size()),
+                      AsciiTable::num(sweep.mean_overhead(), 2),
+                      AsciiTable::num(sweep.max_overhead(), 2),
+                      std::to_string(retrans)});
   }
   std::cout << table.render() << "\n";
+  std::cout << mc_table.render() << "\n";
   std::cout << "Later crashes salvage more completed nodes and leave less "
                "residual work, but the whole recovery runs on half the "
                "processors (largest power of two among the survivors), so "

@@ -22,22 +22,49 @@ int main() {
                     "SPMD speedup (mean +/- sd)", "pred/actual (mean)",
                     "MPMD wins"});
 
+  // One task per (sigma, seed) grid cell; results committed in grid
+  // order, so the table is identical for any PARADIGM_THREADS.
+  struct Cell {
+    double sigma = 0.0;
+    std::size_t seed = 0;
+  };
+  struct CellResult {
+    double mpmd = 0.0;
+    double spmd = 0.0;
+    double accuracy = 0.0;
+    bool win = false;
+  };
+  std::vector<Cell> grid;
+  for (const double sigma : {0.0, 0.02, 0.05, 0.10}) {
+    const std::size_t seeds = sigma == 0.0 ? 1 : 5;
+    for (std::size_t seed = 0; seed < seeds; ++seed) {
+      grid.push_back(Cell{sigma, seed});
+    }
+  }
+  const std::vector<CellResult> results = parallel_map<CellResult>(
+      grid.size(), [&](std::size_t i) {
+        core::PipelineConfig config = bench::standard_pipeline(64);
+        config.machine.noise_sigma = grid[i].sigma;
+        config.machine.noise_seed = 0x1994 + grid[i].seed * 1117;
+        const core::Compiler compiler(config);
+        const core::PipelineReport report = compiler.compile_and_run(graph);
+        return CellResult{report.mpmd_speedup(), report.spmd_speedup(),
+                          report.mpmd.predicted / report.mpmd.simulated,
+                          report.mpmd_speedup() > report.spmd_speedup()};
+      });
+
+  std::size_t at = 0;
   for (const double sigma : {0.0, 0.02, 0.05, 0.10}) {
     std::vector<double> mpmd;
     std::vector<double> spmd;
     std::vector<double> accuracy;
     std::size_t wins = 0;
     const std::size_t seeds = sigma == 0.0 ? 1 : 5;
-    for (std::size_t seed = 0; seed < seeds; ++seed) {
-      core::PipelineConfig config = bench::standard_pipeline(64);
-      config.machine.noise_sigma = sigma;
-      config.machine.noise_seed = 0x1994 + seed * 1117;
-      const core::Compiler compiler(config);
-      const core::PipelineReport report = compiler.compile_and_run(graph);
-      mpmd.push_back(report.mpmd_speedup());
-      spmd.push_back(report.spmd_speedup());
-      accuracy.push_back(report.mpmd.predicted / report.mpmd.simulated);
-      if (report.mpmd_speedup() > report.spmd_speedup()) ++wins;
+    for (std::size_t seed = 0; seed < seeds; ++seed, ++at) {
+      mpmd.push_back(results[at].mpmd);
+      spmd.push_back(results[at].spmd);
+      accuracy.push_back(results[at].accuracy);
+      if (results[at].win) ++wins;
     }
     table.add_row(
         {AsciiTable::num(sigma, 2),

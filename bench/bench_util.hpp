@@ -1,4 +1,9 @@
 // Shared helpers for the paper-reproduction bench binaries.
+//
+// Sweep-style benches evaluate their (seed, config) grid cells through
+// support/parallel.hpp, so PARADIGM_THREADS=N parallelizes any of them;
+// rows are committed in grid order and every number printed is
+// bit-identical to the single-threaded run.
 #pragma once
 
 #include <cstdint>
@@ -7,6 +12,7 @@
 
 #include "core/pipeline.hpp"
 #include "core/programs.hpp"
+#include "support/parallel.hpp"
 
 namespace paradigm::bench {
 

@@ -1,7 +1,23 @@
 // Google-benchmark microbenchmarks of the library's hot paths: the
 // convex allocator, the PSA list scheduler, cost-model evaluation, MPMD
 // code generation, and the discrete-event simulator.
+//
+// `perf_micro --pr2-gate[=out.json]` switches to the perf-regression
+// gate instead: hand-rolled median-of-reps timings of the allocator,
+// PSA, and simulator at N = 8/32/128 nodes, serial vs 4 threads, dumped
+// to BENCH_pr2.json. On hosts with >= 4 cores the gate FAILS (exit 1)
+// unless the 4-thread multi-start allocator at N = 128 is at least 2x
+// faster than the serial run of the same work; on smaller hosts the
+// numbers are still recorded but the threshold is not enforced.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "codegen/mpmd.hpp"
 #include "core/programs.hpp"
@@ -12,6 +28,8 @@
 #include "sched/psa.hpp"
 #include "sim/simulator.hpp"
 #include "solver/allocator.hpp"
+#include "support/json.hpp"
+#include "support/parallel.hpp"
 #include "support/rng.hpp"
 
 namespace {
@@ -162,6 +180,174 @@ void BM_MdgTextRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_MdgTextRoundTrip);
 
+// ---- PR2 perf-regression gate ---------------------------------------
+
+/// Median wall-clock ns per call of `op` over `reps` timed repetitions
+/// (after one untimed warmup).
+template <typename Op>
+double median_ns(std::size_t reps, Op&& op) {
+  op();  // warmup
+  std::vector<double> samples;
+  samples.reserve(reps);
+  for (std::size_t r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    op();
+    const auto t1 = std::chrono::steady_clock::now();
+    samples.push_back(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count()));
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+struct GateRow {
+  std::string name;
+  std::size_t n = 0;
+  double serial_ns = 0.0;
+  double parallel_ns = 0.0;
+  double speedup() const {
+    return parallel_ns > 0.0 ? serial_ns / parallel_ns : 0.0;
+  }
+};
+
+int run_pr2_gate(const std::string& out_path) {
+  constexpr std::size_t kGateThreads = 4;
+  constexpr double kRequiredSpeedup = 2.0;
+  constexpr std::size_t kGateNodes = 128;
+  const unsigned cores = std::thread::hardware_concurrency();
+  const bool enforce = cores >= kGateThreads;
+
+  std::vector<GateRow> rows;
+  // Times one op serially and with kGateThreads; the op must be
+  // bit-deterministic so both runs do identical work.
+  const auto time_both = [&](const std::string& name, std::size_t n,
+                             std::size_t reps, const auto& op) {
+    GateRow row;
+    row.name = name;
+    row.n = n;
+    set_thread_count(1);
+    row.serial_ns = median_ns(reps, op);
+    set_thread_count(kGateThreads);
+    row.parallel_ns = median_ns(reps, op);
+    set_thread_count(1);
+    rows.push_back(row);
+    std::cout << name << " N=" << n << ": serial "
+              << row.serial_ns / 1e6 << " ms, " << kGateThreads
+              << " threads " << row.parallel_ns / 1e6 << " ms ("
+              << row.speedup() << "x)\n";
+  };
+
+  for (const std::size_t n : {std::size_t{8}, std::size_t{32},
+                              std::size_t{128}}) {
+    const mdg::Mdg graph = sized_graph(n);
+    const cost::CostModel model(graph, cost::MachineParams{},
+                                cost::KernelCostTable{});
+
+    // Allocator: 8 deterministic starts — the multi-start fan-out the
+    // parallel layer accelerates. Lighter descent budget than the
+    // defaults so the gate stays fast.
+    solver::ConvexAllocatorConfig light;
+    light.continuation_rounds = 3;
+    light.max_inner_iterations = 120;
+    light.num_starts = 8;
+    const solver::ConvexAllocator allocator(light);
+    time_both("allocator", n, 5,
+              [&] { benchmark::DoNotOptimize(allocator.allocate(model, 64.0)); });
+
+    // PSA: rounding + weight recomputation + list scheduling.
+    const solver::AllocationResult alloc =
+        solver::ConvexAllocator{light}.allocate(model, 64.0);
+    time_both("psa", n, 9, [&] {
+      benchmark::DoNotOptimize(
+          sched::prioritized_schedule(model, alloc.allocation, 64));
+    });
+
+    // Simulator: a 4-seed noise sweep of the generated program — four
+    // independent discrete-event runs, one pool task each.
+    const sched::PsaResult psa =
+        sched::prioritized_schedule(model, alloc.allocation, 64);
+    const codegen::GeneratedProgram generated =
+        codegen::generate_mpmd(graph, psa.schedule);
+    time_both("simulator", n, 9, [&] {
+      const std::vector<double> finishes = parallel_map<double>(4, [&](std::size_t s) {
+        sim::MachineConfig mc;
+        mc.size = 64;
+        mc.noise_sigma = 0.02;
+        mc.noise_seed = 0x1994 + s;
+        sim::Simulator simulator(mc);
+        return simulator.run(generated.program).finish_time;
+      });
+      benchmark::DoNotOptimize(finishes.data());
+    });
+  }
+
+  double gate_speedup = 0.0;
+  for (const GateRow& row : rows) {
+    if (row.name == "allocator" && row.n == kGateNodes) {
+      gate_speedup = row.speedup();
+    }
+  }
+  const bool passed = !enforce || gate_speedup >= kRequiredSpeedup;
+
+  Json doc = Json::object();
+  doc.set("pr", Json::integer(2));
+  doc.set("threads_parallel",
+          Json::integer(static_cast<std::int64_t>(kGateThreads)));
+  doc.set("hardware_concurrency", Json::integer(cores));
+  Json gate = Json::object();
+  gate.set("enforced", Json::boolean(enforce));
+  gate.set("required_speedup", Json::number(kRequiredSpeedup));
+  gate.set("measured_speedup", Json::number(gate_speedup));
+  gate.set("passed", Json::boolean(passed));
+  doc.set("gate", std::move(gate));
+  Json benches = Json::array();
+  for (const GateRow& row : rows) {
+    Json b = Json::object();
+    b.set("name", Json::string(row.name));
+    b.set("n", Json::integer(static_cast<std::int64_t>(row.n)));
+    b.set("serial_ns", Json::number(row.serial_ns));
+    b.set("parallel_ns", Json::number(row.parallel_ns));
+    b.set("speedup", Json::number(row.speedup()));
+    benches.push_back(std::move(b));
+  }
+  doc.set("benchmarks", std::move(benches));
+
+  std::ofstream out(out_path);
+  out << doc.dump() << "\n";
+  std::cout << "wrote " << out_path << "\n";
+
+  if (!enforce) {
+    std::cout << "gate skipped: host has " << cores
+              << " core(s), need >= " << kGateThreads << "\n";
+    return 0;
+  }
+  if (!passed) {
+    std::cerr << "PERF REGRESSION: allocator N=" << kGateNodes << " with "
+              << kGateThreads << " threads is " << gate_speedup
+              << "x serial, need >= " << kRequiredSpeedup << "x\n";
+    return 1;
+  }
+  std::cout << "gate passed: " << gate_speedup << "x >= "
+            << kRequiredSpeedup << "x\n";
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--pr2-gate", 0) == 0) {
+      const std::size_t eq = arg.find('=');
+      const std::string path =
+          eq == std::string::npos ? "BENCH_pr2.json" : arg.substr(eq + 1);
+      return run_pr2_gate(path);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -6,6 +6,7 @@
 
 #include "codegen/mpmd.hpp"
 #include "support/error.hpp"
+#include "support/parallel.hpp"
 
 namespace paradigm::core {
 
@@ -110,6 +111,83 @@ FaultToleranceReport run_with_faults(const mdg::Mdg& graph,
   d.salvaged_nodes = report.reschedule->salvaged.size();
   d.rerun_nodes = report.reschedule->residual_of.size();
   return report;
+}
+
+std::size_t FaultSweepResult::recovered_count() const {
+  std::size_t count = 0;
+  for (const FaultSweepCell& c : cells) count += c.recovered ? 1 : 0;
+  return count;
+}
+
+double FaultSweepResult::max_overhead() const {
+  double worst = 0.0;
+  for (const FaultSweepCell& c : cells) {
+    worst = std::max(worst, c.overhead_factor);
+  }
+  return worst;
+}
+
+double FaultSweepResult::mean_overhead() const {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (const FaultSweepCell& c : cells) {
+    if (c.recovered) {
+      sum += c.overhead_factor;
+      ++count;
+    }
+  }
+  return count > 0 ? sum / static_cast<double>(count) : 0.0;
+}
+
+std::string FaultSweepResult::summary() const {
+  std::ostringstream os;
+  os << cells.size() << " seed(s): " << recovered_count()
+     << " recovered, mean overhead " << mean_overhead() << "x, max "
+     << max_overhead() << "x (fault-free " << fault_free_makespan << "s)";
+  return os.str();
+}
+
+FaultSweepResult sweep_faults(const mdg::Mdg& graph,
+                              const cost::CostModel& model,
+                              const sched::Schedule& schedule,
+                              const sim::MachineConfig& machine,
+                              const sim::FaultPlan& base_plan,
+                              std::span<const std::uint64_t> seeds,
+                              double fault_free_makespan,
+                              const FaultToleranceConfig& config) {
+  FaultSweepResult result;
+  // Measure the baseline once so the per-seed tasks never race to
+  // compute it (and the sweep stays O(seeds) simulations).
+  if (fault_free_makespan <= 0.0) {
+    const codegen::GeneratedProgram gen =
+        codegen::generate_mpmd(graph, schedule);
+    sim::Simulator baseline(machine);
+    fault_free_makespan = baseline.run(gen.program).finish_time;
+  }
+  result.fault_free_makespan = fault_free_makespan;
+
+  result.cells = parallel_map<FaultSweepCell>(
+      seeds.size(), [&](std::size_t i) {
+        const FaultToleranceReport report =
+            run_with_faults(graph, model, schedule, machine,
+                            base_plan.with_seed(seeds[i]),
+                            fault_free_makespan, config);
+        FaultSweepCell cell;
+        cell.seed = seeds[i];
+        cell.crashed = report.crashed;
+        cell.recovered = report.recovered;
+        cell.aborted = report.faulty.aborted && !report.recovered;
+        cell.final_makespan = report.final_makespan();
+        cell.overhead_factor =
+            fault_free_makespan > 0.0
+                ? cell.final_makespan / fault_free_makespan
+                : 0.0;
+        cell.salvaged_nodes = report.degradation.salvaged_nodes;
+        cell.rerun_nodes = report.degradation.rerun_nodes;
+        cell.retransmissions = report.faulty.retransmissions;
+        return cell;
+      });
+  return result;
 }
 
 }  // namespace paradigm::core

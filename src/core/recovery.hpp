@@ -6,6 +6,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 
 #include "codegen/recovery.hpp"
@@ -68,5 +69,50 @@ FaultToleranceReport run_with_faults(const mdg::Mdg& graph,
                                      const sim::FaultPlan& plan,
                                      double fault_free_makespan = 0.0,
                                      const FaultToleranceConfig& config = {});
+
+/// One Monte-Carlo draw of a fault sweep, condensed from a full
+/// FaultToleranceReport (which owns a simulator and is too heavy to
+/// keep per seed).
+struct FaultSweepCell {
+  std::uint64_t seed = 0;
+  bool crashed = false;
+  bool recovered = false;
+  bool aborted = false;        ///< Unrecoverable (messages lost for good).
+  double final_makespan = 0.0;
+  double overhead_factor = 0.0;  ///< final / fault-free (0 if no recovery).
+  std::size_t salvaged_nodes = 0;
+  std::size_t rerun_nodes = 0;
+  std::size_t retransmissions = 0;
+
+  bool operator==(const FaultSweepCell&) const = default;
+};
+
+/// Monte-Carlo fault sweep over independent FaultPlan seeds: one cell
+/// per entry of `seeds`, committed in input order.
+struct FaultSweepResult {
+  double fault_free_makespan = 0.0;
+  std::vector<FaultSweepCell> cells;
+
+  std::size_t recovered_count() const;
+  double max_overhead() const;
+  double mean_overhead() const;  ///< Over recovered cells (0 if none).
+  std::string summary() const;
+
+  bool operator==(const FaultSweepResult&) const = default;
+};
+
+/// Runs run_with_faults once per seed in `seeds` (the base plan
+/// re-seeded with FaultPlan::with_seed). The fault-free baseline is
+/// simulated once up front; the per-seed runs are independent and
+/// execute concurrently on the global thread pool, with cells committed
+/// in seed order — the result is bit-identical for any thread count.
+FaultSweepResult sweep_faults(const mdg::Mdg& graph,
+                              const cost::CostModel& model,
+                              const sched::Schedule& schedule,
+                              const sim::MachineConfig& machine,
+                              const sim::FaultPlan& base_plan,
+                              std::span<const std::uint64_t> seeds,
+                              double fault_free_makespan = 0.0,
+                              const FaultToleranceConfig& config = {});
 
 }  // namespace paradigm::core

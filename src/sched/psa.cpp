@@ -9,6 +9,7 @@
 #include "sched/bounds.hpp"
 #include "support/error.hpp"
 #include "support/log.hpp"
+#include "support/parallel.hpp"
 #include "support/pow2.hpp"
 
 namespace paradigm::sched {
@@ -79,16 +80,30 @@ Schedule list_schedule(const cost::CostModel& model,
   for (std::size_t i = 0; i < n; ++i) {
     alloc_d[i] = static_cast<double>(allocation[i]);
   }
+  // Per-node weights and per-edge delays are independent slot writes,
+  // so they run on the global thread pool with bit-identical results
+  // (and serially inline when the pool has one thread or the graph is
+  // small). The list-scheduling core below stays sequential: every
+  // placement decision depends on the previous one.
   std::vector<double> weight(n);
-  for (std::size_t i = 0; i < n; ++i) {
+  std::vector<double> delay(graph.edge_count());
+  const bool parallel_weights = thread_count() > 1 && n >= 64;
+  const auto compute_weight = [&](std::size_t i) {
     weight[i] = (graph.node(i).kind == mdg::NodeKind::kLoop)
                     ? model.node_weight(i, alloc_d)
                     : 0.0;
-  }
-  std::vector<double> delay(graph.edge_count());
-  for (const auto& edge : graph.edges()) {
-    delay[edge.id] =
-        model.edge_delay(edge.id, alloc_d[edge.src], alloc_d[edge.dst]);
+  };
+  const auto compute_delay = [&](std::size_t e) {
+    const auto& edge = graph.edge(static_cast<mdg::EdgeId>(e));
+    delay[e] = model.edge_delay(static_cast<mdg::EdgeId>(e), alloc_d[edge.src],
+                                alloc_d[edge.dst]);
+  };
+  if (parallel_weights) {
+    parallel_for(n, compute_weight);
+    parallel_for(graph.edge_count(), compute_delay);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) compute_weight(i);
+    for (std::size_t e = 0; e < graph.edge_count(); ++e) compute_delay(e);
   }
 
   // Bottom levels (longest remaining path to STOP) for the kBottomLevel

@@ -80,6 +80,15 @@ struct FaultPlan {
   /// peer/message before the runtime declares the run aborted.
   double recv_timeout = 0.25;
 
+  /// Copy of this plan under a different seed: the unit of a
+  /// Monte-Carlo sweep over independent fault draws (core::sweep_faults
+  /// runs one simulation per seed on the thread pool).
+  FaultPlan with_seed(std::uint64_t new_seed) const {
+    FaultPlan out = *this;
+    out.seed = new_seed;
+    return out;
+  }
+
   /// True iff the plan can inject anything at all.
   bool any() const {
     return !crashes.empty() || drop_probability > 0.0 ||

@@ -6,9 +6,15 @@
 
 #include "support/error.hpp"
 #include "support/log.hpp"
+#include "support/parallel.hpp"
+#include "support/rng.hpp"
 
 namespace paradigm::solver {
 namespace {
+
+/// Below this many items the parallel dispatch overhead outweighs the
+/// work; the cutoff only changes *where* a loop runs, never its result.
+constexpr std::size_t kParallelGrain = 64;
 
 /// n-ary log-sum-exp max: value and softmax weights. mu = 0 gives the
 /// exact max with a one-hot (sub)gradient.
@@ -74,17 +80,28 @@ double ConvexAllocator::smoothed_objective(const cost::CostModel& model,
   std::fill(grad.begin(), grad.end(), 0.0);
 
   // Forward pass: per-node weights/areas and per-edge delays as Diffs,
-  // then the finish-time recurrence with LSE maxes.
+  // then the finish-time recurrence with LSE maxes. Each node/edge
+  // writes only its own slot, so the per-item loops run on the thread
+  // pool for large graphs with bit-identical results (nested calls —
+  // e.g. from a multi-start task — fall back to inline serial loops).
   std::vector<cost::Diff> node_weight(n);
   std::vector<cost::Diff> node_area(n);
   std::vector<cost::Diff> edge_delay(graph.edge_count());
-  for (const auto& node : graph.nodes()) {
-    node_weight[node.id] = model.smooth_node_weight(node.id, x, mu_x);
-    node_area[node.id] = model.smooth_node_area(node.id, x, mu_x);
-  }
-  for (const auto& edge : graph.edges()) {
-    edge_delay[edge.id] = model.smooth_edge_delay(edge.id, x, mu_x);
-  }
+  const auto for_each = [](std::size_t count,
+                           const std::function<void(std::size_t)>& body) {
+    if (count >= kParallelGrain && thread_count() > 1) {
+      parallel_for(count, body);
+    } else {
+      for (std::size_t i = 0; i < count; ++i) body(i);
+    }
+  };
+  for_each(n, [&](std::size_t id) {
+    node_weight[id] = model.smooth_node_weight(id, x, mu_x);
+    node_area[id] = model.smooth_node_area(id, x, mu_x);
+  });
+  for_each(graph.edge_count(), [&](std::size_t id) {
+    edge_delay[id] = model.smooth_edge_delay(id, x, mu_x);
+  });
 
   std::vector<double> y(n, 0.0);
   // Softmax weight of each in-edge within its destination's LSE.
@@ -177,15 +194,61 @@ AllocationResult ConvexAllocator::solve(const cost::CostModel& model,
     }
   }
 
-  std::vector<double> x(n);
+  // Deterministic start points. Start 0 is the legacy one (warm start
+  // when given, else the box midpoint); the rest are drawn from RNG
+  // streams keyed by start index, so the start list is a pure function
+  // of the config — independent of thread count and submission order.
+  const std::size_t starts = std::max<std::size_t>(1, config_.num_starts);
+  std::vector<std::vector<double>> initial(starts,
+                                           std::vector<double>(n, 0.0));
   if (warm_start.empty()) {
-    for (std::size_t i = 0; i < n; ++i) x[i] = 0.5 * x_hi[i];
+    for (std::size_t i = 0; i < n; ++i) initial[0][i] = 0.5 * x_hi[i];
   } else {
     for (std::size_t i = 0; i < n; ++i) {
       const double prev = std::max(warm_start[i], 1.0);
-      x[i] = std::clamp(std::log(prev), 0.0, x_hi[i]);
+      initial[0][i] = std::clamp(std::log(prev), 0.0, x_hi[i]);
     }
   }
+  const Rng base(config_.start_seed);
+  for (std::size_t k = 1; k < starts; ++k) {
+    Rng stream = base.stream(k);
+    for (std::size_t i = 0; i < n; ++i) {
+      initial[k][i] = stream.uniform() * x_hi[i];
+    }
+  }
+
+  if (starts == 1) {
+    AllocationResult result = descend(model, p, x_hi, std::move(initial[0]));
+    log_debug("convex allocation: ", result.summary());
+    return result;
+  }
+
+  // Concurrent multi-start: every descent is independent, results are
+  // committed in start order, and the best Phi wins with ties broken
+  // toward the lowest start index.
+  std::vector<AllocationResult> runs = parallel_map<AllocationResult>(
+      starts, [&](std::size_t k) {
+        return descend(model, p, x_hi, std::move(initial[k]));
+      });
+  std::size_t best = 0;
+  std::size_t total_iterations = runs[0].iterations;
+  for (std::size_t k = 1; k < starts; ++k) {
+    total_iterations += runs[k].iterations;
+    if (runs[k].phi < runs[best].phi) best = k;
+  }
+  AllocationResult result = std::move(runs[best]);
+  result.iterations = total_iterations;
+  log_debug("convex allocation (best of ", starts,
+            " starts): ", result.summary());
+  return result;
+}
+
+AllocationResult ConvexAllocator::descend(const cost::CostModel& model,
+                                          double p,
+                                          std::span<const double> x_hi,
+                                          std::vector<double> x) const {
+  const std::size_t n = x.size();
+  const double x_max = std::log(p);
   std::vector<double> grad(n, 0.0);
   std::vector<double> x_next(n, 0.0);
 
@@ -265,7 +328,6 @@ AllocationResult ConvexAllocator::solve(const cost::CostModel& model,
   result.continuation_rounds = config_.continuation_rounds;
   result.converged = last_round_converged;
   result.final_gradient_norm = last_pg_norm;
-  log_debug("convex allocation: ", result.summary());
   return result;
 }
 

@@ -56,6 +56,17 @@ struct ConvexAllocatorConfig {
   double armijo_c = 1e-4;
   double backtrack_factor = 0.5;
   std::size_t max_backtracks = 60;
+
+  /// Number of deterministic descent starts (>= 1). Start 0 is the
+  /// legacy start (the warm start when one is given, else the box
+  /// midpoint); start k >= 1 draws its initial point from
+  /// Rng(start_seed).stream(k). The starts are evaluated concurrently
+  /// on the global thread pool (support/parallel.hpp) and the lowest
+  /// Phi wins, ties broken toward the lowest start index — so the
+  /// result is bit-identical for any thread count, and num_starts = 1
+  /// reproduces the single-start solver exactly.
+  std::size_t num_starts = 1;
+  std::uint64_t start_seed = 0x51a7c0de1994ULL;
 };
 
 /// Solves the convex allocation problem for `model` on a p-processor
@@ -84,6 +95,12 @@ class ConvexAllocator {
  private:
   AllocationResult solve(const cost::CostModel& model, double p,
                          std::span<const double> warm_start) const;
+
+  /// One continuation descent from the initial point `x` (log-space),
+  /// box-constrained to [0, x_hi].
+  AllocationResult descend(const cost::CostModel& model, double p,
+                           std::span<const double> x_hi,
+                           std::vector<double> x) const;
 
   ConvexAllocatorConfig config_;
 };

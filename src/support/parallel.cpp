@@ -1,0 +1,183 @@
+#include "support/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "support/error.hpp"
+
+namespace paradigm {
+namespace {
+
+/// Set while a thread is executing region bodies as a pool worker, so
+/// nested parallel_for calls degrade to inline serial loops.
+thread_local bool t_in_worker = false;
+
+std::size_t env_thread_count() {
+  const char* env = std::getenv("PARADIGM_THREADS");
+  if (env == nullptr || *env == '\0') return 1;
+  char* end = nullptr;
+  const long parsed = std::strtol(env, &end, 10);
+  if (end == nullptr || *end != '\0' || parsed < 1) return 1;
+  return static_cast<std::size_t>(parsed);
+}
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::vector<std::thread> workers;
+
+  std::mutex mutex;
+  std::condition_variable work_cv;   // workers wait here for a region
+  std::condition_variable done_cv;   // caller waits here for completion
+  bool stop = false;
+
+  // Current region (valid while active_workers > 0 or caller running).
+  std::uint64_t generation = 0;
+  std::size_t n = 0;
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::size_t active_workers = 0;
+
+  // First (lowest-index) exception thrown by any body this region.
+  std::mutex error_mutex;
+  std::size_t error_index = 0;
+  std::exception_ptr error;
+
+  void record_error(std::size_t index, std::exception_ptr e) {
+    const std::lock_guard<std::mutex> lock(error_mutex);
+    if (error == nullptr || index < error_index) {
+      error = std::move(e);
+      error_index = index;
+    }
+  }
+
+  /// Claims indices off the shared counter until the region drains.
+  void drain() {
+    const std::size_t total = n;
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= total) break;
+      try {
+        (*body)(i);
+      } catch (...) {
+        record_error(i, std::current_exception());
+      }
+    }
+  }
+
+  void worker_loop() {
+    t_in_worker = true;
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock(mutex);
+    while (true) {
+      work_cv.wait(lock, [&] { return stop || generation != seen; });
+      if (stop) return;
+      seen = generation;
+      lock.unlock();
+      drain();
+      lock.lock();
+      if (--active_workers == 0) done_cv.notify_all();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t threads) : impl_(new Impl) {
+  PARADIGM_CHECK(threads >= 1, "thread pool needs >= 1 thread");
+  impl_->workers.reserve(threads - 1);
+  for (std::size_t t = 1; t < threads; ++t) {
+    impl_->workers.emplace_back([impl = impl_] { impl->worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stop = true;
+  }
+  impl_->work_cv.notify_all();
+  for (std::thread& w : impl_->workers) w.join();
+  delete impl_;
+}
+
+std::size_t ThreadPool::threads() const { return impl_->workers.size() + 1; }
+
+bool ThreadPool::in_worker() { return t_in_worker; }
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  // Serial path: single-threaded pool, trivial region, or a nested call
+  // from inside a worker. Runs the plain loop in the calling thread, so
+  // exceptions propagate exactly as legacy serial code did.
+  if (impl_->workers.empty() || n == 1 || t_in_worker) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  std::unique_lock<std::mutex> lock(impl_->mutex);
+  impl_->n = n;
+  impl_->body = &body;
+  impl_->next.store(0, std::memory_order_relaxed);
+  impl_->active_workers = impl_->workers.size();
+  impl_->error = nullptr;
+  ++impl_->generation;
+  lock.unlock();
+  impl_->work_cv.notify_all();
+
+  // The caller participates. It is flagged as a worker for the duration
+  // so a nested parallel_for from one of its claimed tasks degrades to
+  // the inline serial loop (as in pool workers) instead of opening a
+  // second region on the pool mid-region.
+  t_in_worker = true;
+  impl_->drain();
+  t_in_worker = false;
+
+  lock.lock();
+  impl_->done_cv.wait(lock, [&] { return impl_->active_workers == 0; });
+  impl_->body = nullptr;
+  const std::exception_ptr error = impl_->error;
+  lock.unlock();
+  if (error != nullptr) std::rethrow_exception(error);
+}
+
+namespace {
+
+struct GlobalPool {
+  std::mutex mutex;
+  std::unique_ptr<ThreadPool> pool;
+
+  ThreadPool& get() {
+    const std::lock_guard<std::mutex> lock(mutex);
+    if (pool == nullptr) pool = std::make_unique<ThreadPool>(env_thread_count());
+    return *pool;
+  }
+
+  void resize(std::size_t n) {
+    if (n == 0) n = env_thread_count();
+    const std::lock_guard<std::mutex> lock(mutex);
+    if (pool != nullptr && pool->threads() == n) return;
+    pool = std::make_unique<ThreadPool>(n);
+  }
+};
+
+GlobalPool& global_pool() {
+  static GlobalPool* instance = new GlobalPool;  // leaked: workers may
+  return *instance;                              // outlive static dtors
+}
+
+}  // namespace
+
+std::size_t thread_count() { return global_pool().get().threads(); }
+
+void set_thread_count(std::size_t n) { global_pool().resize(n); }
+
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t)>& body) {
+  global_pool().get().parallel_for(n, body);
+}
+
+}  // namespace paradigm

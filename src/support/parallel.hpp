@@ -1,0 +1,96 @@
+// Deterministic thread-pool parallelism for independent DAG work.
+//
+// The entire pipeline is specified to be bit-reproducible from its
+// seeds, and the parallel layer keeps that contract (DESIGN §8):
+//
+//   * `parallel_for(n, body)` runs body(0..n-1) with each index writing
+//     only its own output slot — the schedule of indices onto threads is
+//     free, the observable result is not;
+//   * `parallel_map` commits results in index order into a pre-sized
+//     vector, so reductions over the results are performed by the caller
+//     in index order regardless of which thread finished first;
+//   * any randomness inside a task must come from an RNG stream derived
+//     from the master seed by *task index* (Rng::stream), never from a
+//     thread id or a shared generator;
+//   * with one thread the primitives collapse to the plain serial loop
+//     in the calling thread — byte-for-byte the legacy code path.
+//
+// The pool size is process-global: `--threads N` on the CLI, the
+// PARADIGM_THREADS environment variable, or set_thread_count(). Nested
+// parallel_for calls (a task submitting more parallel work) execute
+// inline in the submitting worker, which both avoids deadlock on the
+// fixed-size pool and keeps nesting deterministic.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <vector>
+
+namespace paradigm {
+
+/// Fixed-size worker pool executing indexed parallel regions. One
+/// region runs at a time; the calling thread participates, so a pool
+/// constructed with `threads == 1` spawns no workers at all.
+class ThreadPool {
+ public:
+  /// Spawns `threads - 1` workers (the caller is the remaining thread).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total threads that execute a region (workers + caller).
+  std::size_t threads() const;
+
+  /// Runs body(i) for every i in [0, n). Blocks until all indices
+  /// complete. If one or more bodies throw, the exception thrown by the
+  /// lowest index is rethrown in the caller (matching what a serial
+  /// loop that kept going would report first). Calls from inside a pool
+  /// worker run serially inline.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& body);
+
+  /// True when the current thread is one of this process's pool workers
+  /// (any pool), i.e. a nested parallel region would run inline.
+  static bool in_worker();
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Threads the process-global pool uses (>= 1). Initialized from the
+/// PARADIGM_THREADS environment variable, default 1.
+std::size_t thread_count();
+
+/// Resizes the process-global pool. `n == 0` restores the environment
+/// default. Not safe to call concurrently with running parallel work.
+void set_thread_count(std::size_t n);
+
+/// parallel_for on the process-global pool.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+/// Maps f over [0, n) on the global pool; results committed in index
+/// order. T must be default-constructible and move-assignable.
+template <typename T, typename Fn>
+std::vector<T> parallel_map(std::size_t n, Fn&& f) {
+  std::vector<T> out(n);
+  parallel_for(n, [&](std::size_t i) { out[i] = f(i); });
+  return out;
+}
+
+/// Deterministic ordered reduction: maps f over [0, n) in parallel,
+/// then folds the results left-to-right in index order (so non-
+/// associative combines — floating-point sums, argmin tie-breaking —
+/// give the serial answer regardless of thread count).
+template <typename T, typename Fn, typename Reduce>
+T parallel_reduce(std::size_t n, T init, Fn&& f, Reduce&& combine) {
+  std::vector<T> parts = parallel_map<T>(n, std::forward<Fn>(f));
+  T acc = std::move(init);
+  for (T& part : parts) acc = combine(std::move(acc), std::move(part));
+  return acc;
+}
+
+}  // namespace paradigm

@@ -70,6 +70,21 @@ class Rng {
     return child;
   }
 
+  /// Derives the `index`-th parallel stream WITHOUT mutating this
+  /// generator: the seed is scrambled through one splitmix64 round so
+  /// adjacent indices land in unrelated regions of the sequence. This
+  /// is the rule the parallel layer mandates (DESIGN §8): per-task
+  /// randomness is keyed by task index, never by thread id, so results
+  /// are identical for any thread count. Golden values are pinned in
+  /// support_test.cpp — changing this function breaks every recorded
+  /// experiment.
+  Rng stream(std::uint64_t index) const {
+    std::uint64_t z = state_ + 0x9e3779b97f4a7c15ULL * (index + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return Rng(z ^ (z >> 31));
+  }
+
  private:
   std::uint64_t state_;
 };

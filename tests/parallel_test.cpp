@@ -1,0 +1,376 @@
+// Tests for the deterministic parallel execution layer (DESIGN §8):
+// thread-pool semantics (coverage, ordered reduction, exception
+// propagation, nested submission, reuse), and the differential
+// guarantee that every pipeline product — AllocationResult, Schedule,
+// SimResult, fault sweeps — is bit-identical between --threads 1 and
+// --threads 4.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "codegen/mpmd.hpp"
+#include "core/programs.hpp"
+#include "core/recovery.hpp"
+#include "cost/model.hpp"
+#include "mdg/random_mdg.hpp"
+#include "sched/psa.hpp"
+#include "sim/faults.hpp"
+#include "sim/simulator.hpp"
+#include "solver/allocator.hpp"
+#include "support/parallel.hpp"
+#include "support/rng.hpp"
+
+namespace paradigm {
+namespace {
+
+/// Restores the global pool to one thread when a test ends, so test
+/// order never leaks a pool size.
+class ParallelTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_thread_count(1); }
+};
+
+TEST_F(ParallelTest, CoversEveryIndexExactlyOnce) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    set_thread_count(threads);
+    for (const std::size_t n :
+         {std::size_t{0}, std::size_t{1}, std::size_t{7}, std::size_t{1000}}) {
+      std::vector<std::atomic<int>> hits(n);
+      parallel_for(n, [&](std::size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+      });
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "i=" << i << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST_F(ParallelTest, OrderedReduceIsThreadCountInvariant) {
+  // Floating-point addition is not associative; committing partials in
+  // index order must give the serial sum bit-for-bit.
+  const std::size_t n = 4096;
+  const auto term = [](std::size_t i) {
+    Rng rng(i * 977 + 13);
+    return rng.uniform(-1.0, 1.0) * std::pow(10.0, rng.uniform(-8.0, 8.0));
+  };
+  set_thread_count(1);
+  const double serial = parallel_reduce<double>(
+      n, 0.0, term, [](double a, double b) { return a + b; });
+  set_thread_count(4);
+  const double threaded = parallel_reduce<double>(
+      n, 0.0, term, [](double a, double b) { return a + b; });
+  EXPECT_EQ(serial, threaded);  // exact: same order, same rounding
+}
+
+TEST_F(ParallelTest, LowestIndexExceptionPropagates) {
+  set_thread_count(4);
+  for (int trial = 0; trial < 10; ++trial) {
+    try {
+      parallel_for(256, [&](std::size_t i) {
+        if (i == 17 || i == 90 || i == 200) {
+          throw std::runtime_error("task " + std::to_string(i));
+        }
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "task 17");
+    }
+  }
+}
+
+TEST_F(ParallelTest, ExceptionDoesNotPoisonThePool) {
+  set_thread_count(4);
+  EXPECT_THROW(
+      parallel_for(64, [](std::size_t) { throw std::runtime_error("boom"); }),
+      std::runtime_error);
+  // The pool must keep working after a throwing region.
+  std::atomic<int> total{0};
+  parallel_for(64, [&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST_F(ParallelTest, NestedSubmitRunsInlineWithoutDeadlock) {
+  set_thread_count(4);
+  std::vector<int> out(64, 0);
+  parallel_for(8, [&](std::size_t outer) {
+    // A task fanning out again must not block on the fixed-size pool.
+    parallel_for(8, [&](std::size_t inner) {
+      out[outer * 8 + inner] = static_cast<int>(outer * 8 + inner);
+    });
+  });
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i));
+  }
+}
+
+TEST_F(ParallelTest, PoolReuseAcrossManyGraphs) {
+  // One pool, 100 graphs: stresses region setup/teardown and checks a
+  // real workload (PSA node weights) stays identical to serial.
+  set_thread_count(4);
+  std::vector<double> threaded(100);
+  for (std::uint64_t g = 0; g < 100; ++g) {
+    Rng rng(g);
+    const mdg::Mdg graph = mdg::random_mdg(rng);
+    const cost::CostModel model(graph, cost::MachineParams{},
+                                cost::KernelCostTable{});
+    const std::vector<double> alloc(graph.node_count(), 2.0);
+    const std::vector<double> weights = parallel_map<double>(
+        graph.node_count(),
+        [&](std::size_t i) { return model.node_weight(i, alloc); });
+    double sum = 0.0;
+    for (const double w : weights) sum += w;
+    threaded[g] = sum;
+  }
+  set_thread_count(1);
+  for (std::uint64_t g = 0; g < 100; ++g) {
+    Rng rng(g);
+    const mdg::Mdg graph = mdg::random_mdg(rng);
+    const cost::CostModel model(graph, cost::MachineParams{},
+                                cost::KernelCostTable{});
+    const std::vector<double> alloc(graph.node_count(), 2.0);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < graph.node_count(); ++i) {
+      sum += model.node_weight(i, alloc);
+    }
+    EXPECT_EQ(threaded[g], sum) << "graph " << g;
+  }
+}
+
+TEST_F(ParallelTest, SetThreadCountIsIdempotentAndResizable) {
+  set_thread_count(3);
+  EXPECT_EQ(thread_count(), 3u);
+  set_thread_count(3);
+  EXPECT_EQ(thread_count(), 3u);
+  set_thread_count(1);
+  EXPECT_EQ(thread_count(), 1u);
+}
+
+// ---- differential tests: --threads 4 ≡ --threads 1 -------------------
+
+// Cost model mirroring the simulated machine (same idiom as
+// faults_test): random MDGs carry synthetic costs, the Strassen /
+// complex-matmul graphs need fitted kernel entries.
+cost::MachineParams mirror_params(const sim::MachineConfig& mc) {
+  cost::MachineParams mp;
+  mp.t_ss = mc.send_startup;
+  mp.t_ps = mc.send_per_byte;
+  mp.t_sr = mc.recv_startup;
+  mp.t_pr = mc.recv_per_byte;
+  mp.t_n = 0.0;
+  return mp;
+}
+
+cost::KernelCostTable mirror_table(const sim::MachineConfig& mc,
+                                   const mdg::Mdg& graph) {
+  cost::KernelCostTable table;
+  for (const auto& node : graph.nodes()) {
+    if (node.kind != mdg::NodeKind::kLoop ||
+        node.loop.op == mdg::LoopOp::kSynthetic) {
+      continue;
+    }
+    const auto key = cost::KernelCostTable::key_for(graph, node);
+    if (table.contains(key)) continue;
+    const double seq =
+        mc.sequential_seconds(key.op, key.rows, key.cols, key.inner);
+    table.set(key, cost::AmdahlParams{mc.timing_for(key.op).serial_fraction,
+                                      seq});
+  }
+  return table;
+}
+
+void expect_identical(const solver::AllocationResult& a,
+                      const solver::AllocationResult& b) {
+  ASSERT_EQ(a.allocation.size(), b.allocation.size());
+  for (std::size_t i = 0; i < a.allocation.size(); ++i) {
+    EXPECT_EQ(a.allocation[i], b.allocation[i]) << "node " << i;
+  }
+  EXPECT_EQ(a.phi, b.phi);
+  EXPECT_EQ(a.average_time, b.average_time);
+  EXPECT_EQ(a.critical_path, b.critical_path);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.converged, b.converged);
+}
+
+void expect_identical(const sched::Schedule& a, const sched::Schedule& b) {
+  ASSERT_EQ(a.machine_size(), b.machine_size());
+  ASSERT_EQ(a.graph().node_count(), b.graph().node_count());
+  for (std::size_t id = 0; id < a.graph().node_count(); ++id) {
+    const sched::ScheduledNode& pa = a.placement(id);
+    const sched::ScheduledNode& pb = b.placement(id);
+    EXPECT_EQ(pa.start, pb.start) << "node " << id;
+    EXPECT_EQ(pa.finish, pb.finish) << "node " << id;
+    EXPECT_EQ(pa.ranks, pb.ranks) << "node " << id;
+  }
+}
+
+struct PipelineProducts {
+  solver::AllocationResult allocation;
+  sched::PsaResult psa;
+  sim::SimResult sim;
+};
+
+PipelineProducts run_pipeline(const mdg::Mdg& graph, std::uint64_t p,
+                              std::size_t num_starts) {
+  sim::MachineConfig mc;
+  mc.size = static_cast<std::uint32_t>(p);
+  mc.noise_sigma = 0.02;
+  mc.noise_seed = 0x1994;
+  const cost::CostModel model(graph, mirror_params(mc),
+                              mirror_table(mc, graph));
+  solver::ConvexAllocatorConfig config;
+  config.num_starts = num_starts;
+  solver::AllocationResult allocation =
+      solver::ConvexAllocator(config).allocate(model, static_cast<double>(p));
+  sched::PsaResult psa =
+      sched::prioritized_schedule(model, allocation.allocation, p);
+  const codegen::GeneratedProgram generated =
+      codegen::generate_mpmd(graph, psa.schedule);
+  sim::Simulator simulator(mc);
+  sim::SimResult sim = simulator.run(generated.program);
+  return PipelineProducts{std::move(allocation), std::move(psa),
+                          std::move(sim)};
+}
+
+class DifferentialSeeded : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void TearDown() override { set_thread_count(1); }
+};
+
+TEST_P(DifferentialSeeded, RandomMdgPipelineBitIdentical) {
+  Rng rng(GetParam() * 7919 + 11);
+  const mdg::Mdg graph = mdg::random_mdg(rng);
+  set_thread_count(1);
+  const PipelineProducts serial = run_pipeline(graph, 32, 4);
+  set_thread_count(4);
+  const PipelineProducts threaded = run_pipeline(graph, 32, 4);
+  expect_identical(serial.allocation, threaded.allocation);
+  EXPECT_EQ(serial.psa.allocation, threaded.psa.allocation);
+  EXPECT_EQ(serial.psa.pb, threaded.psa.pb);
+  EXPECT_EQ(serial.psa.finish_time, threaded.psa.finish_time);
+  expect_identical(serial.psa.schedule, threaded.psa.schedule);
+  EXPECT_EQ(serial.sim, threaded.sim);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialSeeded,
+                         ::testing::Range<std::uint64_t>(0, 5));
+
+TEST_F(ParallelTest, ExamplesBitIdenticalAcrossThreadCounts) {
+  for (const mdg::Mdg& graph :
+       {core::strassen_mdg(32), core::complex_matmul_mdg(32)}) {
+    set_thread_count(1);
+    const PipelineProducts serial = run_pipeline(graph, 16, 4);
+    set_thread_count(4);
+    const PipelineProducts threaded = run_pipeline(graph, 16, 4);
+    expect_identical(serial.allocation, threaded.allocation);
+    expect_identical(serial.psa.schedule, threaded.psa.schedule);
+    EXPECT_EQ(serial.sim, threaded.sim);
+  }
+}
+
+core::FaultToleranceReport faulty_run(const mdg::Mdg& graph,
+                                      std::size_t num_starts) {
+  const std::uint64_t p = 8;
+  sim::MachineConfig mc;
+  mc.size = static_cast<std::uint32_t>(p);
+  mc.noise_sigma = 0.0;
+  const cost::CostModel model(graph, mirror_params(mc),
+                              mirror_table(mc, graph));
+  solver::ConvexAllocatorConfig solver_config;
+  solver_config.num_starts = num_starts;
+  const solver::AllocationResult alloc =
+      solver::ConvexAllocator(solver_config).allocate(
+          model, static_cast<double>(p));
+  const sched::PsaResult psa =
+      sched::prioritized_schedule(model, alloc.allocation, p);
+
+  const codegen::GeneratedProgram generated =
+      codegen::generate_mpmd(graph, psa.schedule);
+  sim::Simulator baseline(mc);
+  const double fault_free = baseline.run(generated.program).finish_time;
+
+  sim::FaultPlan plan;
+  plan.seed = 0x1994;
+  plan.crashes.push_back(sim::CrashFault{1, 0.5 * fault_free});
+  plan.drop_probability = 0.05;
+  plan.max_retries = 10;
+  plan.recv_timeout = 0.25 * fault_free;
+  core::FaultToleranceConfig ft_config;
+  ft_config.allocator = solver_config;
+  return core::run_with_faults(graph, model, psa.schedule, mc, plan,
+                               fault_free, ft_config);
+}
+
+TEST_F(ParallelTest, FaultInjectionBitIdenticalAcrossThreadCounts) {
+  const mdg::Mdg graph = core::strassen_mdg(32);
+  set_thread_count(1);
+  const core::FaultToleranceReport serial = faulty_run(graph, 4);
+  set_thread_count(4);
+  const core::FaultToleranceReport threaded = faulty_run(graph, 4);
+  EXPECT_EQ(serial.crashed, threaded.crashed);
+  EXPECT_EQ(serial.recovered, threaded.recovered);
+  EXPECT_EQ(serial.faulty, threaded.faulty);
+  EXPECT_EQ(serial.recovery, threaded.recovery);
+  EXPECT_EQ(serial.final_makespan(), threaded.final_makespan());
+  EXPECT_EQ(serial.degradation.salvaged_nodes,
+            threaded.degradation.salvaged_nodes);
+  EXPECT_EQ(serial.degradation.rerun_nodes, threaded.degradation.rerun_nodes);
+}
+
+TEST_F(ParallelTest, FaultSweepBitIdenticalAcrossThreadCounts) {
+  const mdg::Mdg graph = core::complex_matmul_mdg(32);
+  const std::uint64_t p = 8;
+  sim::MachineConfig mc;
+  mc.size = static_cast<std::uint32_t>(p);
+  mc.noise_sigma = 0.0;
+  const cost::CostModel model(graph, mirror_params(mc),
+                              mirror_table(mc, graph));
+  const solver::AllocationResult alloc =
+      solver::ConvexAllocator{}.allocate(model, static_cast<double>(p));
+  const sched::PsaResult psa =
+      sched::prioritized_schedule(model, alloc.allocation, p);
+
+  sim::FaultPlan plan;
+  plan.crashes.push_back(sim::CrashFault{1, 0.01});
+  plan.drop_probability = 0.1;
+  plan.max_retries = 10;
+  plan.recv_timeout = 0.05;
+  std::vector<std::uint64_t> seeds;
+  for (std::uint64_t s = 0; s < 6; ++s) seeds.push_back(100 + s);
+
+  set_thread_count(1);
+  const core::FaultSweepResult serial = core::sweep_faults(
+      graph, model, psa.schedule, mc, plan, seeds);
+  set_thread_count(4);
+  const core::FaultSweepResult threaded = core::sweep_faults(
+      graph, model, psa.schedule, mc, plan, seeds);
+  EXPECT_EQ(serial, threaded);
+  ASSERT_EQ(serial.cells.size(), seeds.size());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    EXPECT_EQ(serial.cells[i].seed, seeds[i]);
+  }
+}
+
+TEST_F(ParallelTest, MultiStartNeverWorseThanSingleStart) {
+  // K starts include the legacy start 0, so the best-of-K Phi can only
+  // match or improve it — and with K=1 the result is the legacy one.
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    Rng rng(seed + 900);
+    const mdg::Mdg graph = mdg::random_mdg(rng);
+    const cost::CostModel model(graph, cost::MachineParams{},
+                                cost::KernelCostTable{});
+    const solver::AllocationResult single =
+        solver::ConvexAllocator{}.allocate(model, 16.0);
+    solver::ConvexAllocatorConfig multi;
+    multi.num_starts = 6;
+    const solver::AllocationResult best =
+        solver::ConvexAllocator(multi).allocate(model, 16.0);
+    EXPECT_LE(best.phi, single.phi * (1.0 + 1e-12)) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace paradigm

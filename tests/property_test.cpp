@@ -123,6 +123,51 @@ TEST_P(PropertySeeded, PipelineIsDeterministic) {
 INSTANTIATE_TEST_SUITE_P(Seeds, PropertySeeded,
                          ::testing::Range<std::uint64_t>(0, 10));
 
+TEST(Property, SmoothedGradientMatchesFiniteDifferencesAcrossSeeds) {
+  // Analytic-vs-central-difference gradient check for the smoothed
+  // objective, driven by a fixed list of seeds (not a single draw) so a
+  // regression in any one adjoint path — receive sums, soft maxes, the
+  // critical-path reverse pass — is caught across many graph shapes.
+  //
+  // Tolerance: with central differences the truncation error is
+  // O(h^2 f''') and the roundoff error O(eps |f| / h). At h = 1e-5 and
+  // the curvature the LSE temperatures (mu_x = 0.25, mu_t = 0.01 s)
+  // allow, both sit below ~1e-7 relative, so 2e-6 * (1 + |fd|) is safe
+  // while being 50x tighter than the 1e-4 bound the one-sided check in
+  // solver_test.cpp uses with h = 1e-6.
+  const std::uint64_t kSeeds[] = {3, 17, 58, 101, 977, 4242, 90210};
+  for (const std::uint64_t seed : kSeeds) {
+    Rng rng(seed);
+    const mdg::Mdg graph = mdg::random_mdg(rng);
+    const cost::CostModel model(graph, cost::MachineParams{},
+                                cost::KernelCostTable{});
+    const solver::ConvexAllocator allocator;
+    const double p = 16.0;
+    Rng xr(seed * 31 + 7);
+    std::vector<double> x(graph.node_count());
+    for (auto& xi : x) xi = xr.uniform(0.1, std::log(p) - 0.1);
+
+    std::vector<double> grad(x.size(), 0.0);
+    const double mu_x = 0.25;
+    const double mu_t = 0.01;
+    allocator.smoothed_objective(model, p, x, mu_x, mu_t, grad);
+    const double h = 1e-5;
+    for (std::size_t k = 0; k < x.size(); ++k) {
+      std::vector<double> xp = x;
+      std::vector<double> xm = x;
+      xp[k] += h;
+      xm[k] -= h;
+      const double fp =
+          allocator.smoothed_objective(model, p, xp, mu_x, mu_t, {});
+      const double fm =
+          allocator.smoothed_objective(model, p, xm, mu_x, mu_t, {});
+      const double fd = (fp - fm) / (2 * h);
+      EXPECT_NEAR(grad[k], fd, 2e-6 * (1.0 + std::abs(fd)))
+          << "seed " << seed << " var " << k;
+    }
+  }
+}
+
 TEST(Property, OneDMessageStructureMatchesCostModelTerm) {
   // The 1D cost's startup term counts max(p_i, p_j)/p_i messages per
   // sender; for power-of-two groups the redistribution plan produces

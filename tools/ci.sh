@@ -1,9 +1,14 @@
 #!/usr/bin/env bash
 # Local CI: build the plain and sanitized configurations and run the
-# full test suite under both.
+# full test suite under each.
 #
-#   tools/ci.sh            # plain (RelWithDebInfo) + ASan/UBSan (Debug)
+#   tools/ci.sh            # plain (RelWithDebInfo) + ASan/UBSan + TSan
 #   tools/ci.sh --fast     # plain configuration only
+#
+# The TSan configuration runs the whole suite with PARADIGM_THREADS=4 so
+# every test exercises the thread pool (support/parallel.hpp) under the
+# race detector — the determinism contract makes this safe: results must
+# be bit-identical to the serial run, so the suite passes unchanged.
 #
 # Run from the repository root. Build trees land in build-ci/.
 set -euo pipefail
@@ -31,6 +36,10 @@ if [[ "$fast" == 0 ]]; then
   run_config asan-ubsan \
     -DCMAKE_BUILD_TYPE=Debug \
     -DPARADIGM_SANITIZE=address,undefined
+
+  PARADIGM_THREADS=4 run_config tsan \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DPARADIGM_SANITIZE=thread
 fi
 
 echo "CI passed."

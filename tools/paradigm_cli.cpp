@@ -24,6 +24,7 @@
 #include "codegen/mpmd.hpp"
 #include "sim/simulator.hpp"
 #include "support/args.hpp"
+#include "support/parallel.hpp"
 #include "support/table.hpp"
 #include "support/error.hpp"
 
@@ -108,6 +109,14 @@ int main(int argc, char** argv) {
   args.add_option("machine", "cm5", "machine preset: cm5 | paragon | sp1");
   args.add_option("noise", "0.02", "lognormal noise sigma (0 disables)");
   args.add_option("seed", "6500", "noise seed");
+  args.add_option("threads", "0",
+                  "worker threads for multi-start descent and fault sweeps\n"
+                  "      (0: the PARADIGM_THREADS env var, default 1; any N\n"
+                  "      produces bit-identical results)");
+  args.add_option("starts", "1",
+                  "deterministic multi-start descents for the convex\n"
+                  "      allocator (best Phi wins; ties break to the lowest\n"
+                  "      start index)");
   args.add_option("mode", "trained",
                   "calibration: trained (training sets) | static");
   args.add_option("save-calib", "",
@@ -144,6 +153,12 @@ int main(int argc, char** argv) {
       return 0;
     }
 
+    const std::int64_t threads = args.get_int("threads");
+    PARADIGM_CHECK(threads >= 0, "--threads must be >= 0");
+    set_thread_count(static_cast<std::size_t>(threads));
+    const std::int64_t starts = args.get_int("starts");
+    PARADIGM_CHECK(starts >= 1, "--starts must be >= 1");
+
     const mdg::Mdg graph = load_program(args);
     const auto p = static_cast<std::uint64_t>(args.get_int("p"));
 
@@ -165,6 +180,7 @@ int main(int argc, char** argv) {
         if (args.get("mode") == "static") {
           sweep_config.calibration_mode = core::CalibrationMode::kStatic;
         }
+        sweep_config.solver.num_starts = static_cast<std::size_t>(starts);
         const core::Compiler sweep_compiler(sweep_config);
         const core::PipelineReport r = sweep_compiler.compile_and_run(graph);
         table.add_row({std::to_string(size), AsciiTable::num(r.phi(), 4),
@@ -180,6 +196,7 @@ int main(int argc, char** argv) {
 
     core::PipelineConfig config;
     config.processors = p;
+    config.solver.num_starts = static_cast<std::size_t>(starts);
     config.machine = load_machine(args, static_cast<std::uint32_t>(p));
     if (args.get("mode") == "static") {
       config.calibration_mode = core::CalibrationMode::kStatic;
@@ -222,9 +239,11 @@ int main(int argc, char** argv) {
       plan.slowdown_factor = args.get_double("slow-factor");
       const cost::CostModel fault_model(graph, report.fitted_machine,
                                         report.kernel_table);
+      core::FaultToleranceConfig ft_config;
+      ft_config.allocator = config.solver;
       const core::FaultToleranceReport ft = core::run_with_faults(
           graph, fault_model, report.psa->schedule, config.machine, plan,
-          report.mpmd.simulated);
+          report.mpmd.simulated, ft_config);
       std::cout << "fault injection: " << ft.summary() << "\n";
     }
     if (args.get_flag("gantt") && report.psa) {
