@@ -6,15 +6,66 @@
 // bit-identical to the single-threaded run.
 #pragma once
 
+#include <cctype>
 #include <cstdint>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "core/pipeline.hpp"
 #include "core/programs.hpp"
+#include "obs/export.hpp"
+#include "obs/obs.hpp"
 #include "support/parallel.hpp"
 
 namespace paradigm::bench {
+namespace detail {
+
+/// Lowercase slug of a bench title, for sidecar filenames.
+inline std::string slug(const std::string& title) {
+  std::string out;
+  for (const char c : title) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      out.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (!out.empty() && out.back() != '-') {
+      out.push_back('-');
+    }
+  }
+  while (!out.empty() && out.back() == '-') out.pop_back();
+  return out.empty() ? "bench" : out;
+}
+
+/// When the PARADIGM_METRICS_DIR env var names a directory, enables
+/// deterministic observability for the bench's lifetime and writes the
+/// collected metrics to <dir>/<slug>.metrics.json at program exit (the
+/// obs singletons are leaked, so exporting from a static destructor is
+/// safe). With the env var unset the bench runs with observability off,
+/// exactly as before.
+class MetricsSidecar {
+ public:
+  explicit MetricsSidecar(const std::string& name) {
+    const char* dir = std::getenv("PARADIGM_METRICS_DIR");
+    if (dir == nullptr || *dir == '\0') return;
+    path_ = std::string(dir) + "/" + name + ".metrics.json";
+    obs::reset_all();
+    obs::set_mode(obs::Mode::kLogical);
+  }
+  ~MetricsSidecar() {
+    if (path_.empty()) return;
+    std::ofstream out(path_);
+    if (out.good()) out << obs::metrics_json();
+  }
+
+  MetricsSidecar(const MetricsSidecar&) = delete;
+  MetricsSidecar& operator=(const MetricsSidecar&) = delete;
+
+ private:
+  std::string path_;
+};
+
+}  // namespace detail
 
 /// The standard simulated machine used by every bench: 64 processors,
 /// mild measurement noise, fixed seed.
@@ -36,6 +87,9 @@ inline core::PipelineConfig standard_pipeline(std::uint64_t p) {
 }
 
 inline void banner(const std::string& title, const std::string& paper_ref) {
+  // One sidecar per bench process, keyed by the first banner's title.
+  [[maybe_unused]] static const detail::MetricsSidecar sidecar(
+      detail::slug(title));
   std::cout << "==============================================================\n"
             << title << "\n"
             << "Reproduces: " << paper_ref << "\n"

@@ -240,7 +240,8 @@ GeneratedProgram generate_mpmd(const mdg::Mdg& graph,
           const auto& piece = eap.plan.messages[mi];
           streams[piece.src_rank].push_back(
               sim::SendBlock{piece.dst_rank, eap.tag_base + mi,
-                             eap.shape.canonical, piece.rect});
+                             eap.shape.canonical, piece.rect,
+                             eap.shape.kind});
         }
       }
     }

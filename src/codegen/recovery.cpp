@@ -122,6 +122,7 @@ RecoveryProgram generate_recovery(const mdg::Mdg& graph,
       Distribution dst_dist = Distribution::kRow;
       sim::RedistPlan plan;
       std::uint64_t tag_base = 0;
+      mdg::TransferKind kind = mdg::TransferKind::k1D;
     };
     std::vector<PlannedInput> inputs;
     std::map<std::string, std::string> input_names;
@@ -132,6 +133,7 @@ RecoveryProgram generate_recovery(const mdg::Mdg& graph,
       for (std::size_t ai = 0; ai < edge.transfers.size(); ++ai) {
         const auto& transfer = edge.transfers[ai];
         PlannedInput pi;
+        pi.kind = transfer.kind;
         if (transfer.array.empty()) {
           // Synthetic payload: re-materialized fresh on the sending
           // side (the bytes model timing, not data). Source ranks are
@@ -211,8 +213,9 @@ RecoveryProgram generate_recovery(const mdg::Mdg& graph,
       }
       for (std::size_t mi = 0; mi < pi.plan.messages.size(); ++mi) {
         const auto& piece = pi.plan.messages[mi];
-        streams[piece.src_rank].push_back(sim::SendBlock{
-            piece.dst_rank, pi.tag_base + mi, pi.src_name, piece.rect});
+        streams[piece.src_rank].push_back(
+            sim::SendBlock{piece.dst_rank, pi.tag_base + mi, pi.src_name,
+                           piece.rect, pi.kind});
       }
     }
 

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "calibrate/static_estimate.hpp"
+#include "obs/obs.hpp"
 #include "sched/bounds.hpp"
 #include "sched/refine.hpp"
 #include "support/error.hpp"
@@ -78,22 +79,34 @@ double Compiler::measure_serial(const mdg::Mdg& graph) const {
 PipelineReport Compiler::compile_and_run(const mdg::Mdg& graph) const {
   const std::uint64_t p = config_.processors;
 
+  // Phase spans sit on the "compiler" track at logical times 0..6 (one
+  // slot per pipeline stage, in the paper's Section 1.2 order); in
+  // wallclock mode they carry real durations instead (DESIGN §9).
+
   // 1. Calibration (training sets or static estimation).
-  auto [machine_params, table] = fit_parameters(graph);
+  auto [machine_params, table] = [&] {
+    const obs::PhaseSpan span("compiler", "calibrate", 0.0);
+    return fit_parameters(graph);
+  }();
   const cost::CostModel model(graph, machine_params, table);
 
   // 2. Convex allocation.
   const solver::ConvexAllocator allocator(config_.solver);
-  solver::AllocationResult allocation = allocator.allocate(
-      model, static_cast<double>(p));
+  solver::AllocationResult allocation = [&] {
+    const obs::PhaseSpan span("compiler", "allocate", 1.0);
+    return allocator.allocate(model, static_cast<double>(p));
+  }();
   log_info("allocation: ", allocation.summary());
 
   // 3. PSA scheduling (+ SPMD baseline). The SPMD baseline is predicted
   // with a transfer-free cost model: with every node on the same full
   // processor group, arrays never move (the code generator elides those
   // redistributions), exactly as a hand-coded SPMD program behaves.
-  sched::PsaResult psa = sched::prioritized_schedule(
-      model, allocation.allocation, p, config_.psa);
+  sched::PsaResult psa = [&] {
+    const obs::PhaseSpan span("compiler", "schedule", 2.0);
+    return sched::prioritized_schedule(model, allocation.allocation, p,
+                                       config_.psa);
+  }();
   psa.schedule.validate(model);
   cost::MachineParams free_transfers;
   free_transfers.t_ss = free_transfers.t_ps = 0.0;
@@ -108,16 +121,26 @@ PipelineReport Compiler::compile_and_run(const mdg::Mdg& graph) const {
   report.processors = p;
   report.fitted_machine = machine_params;
   report.kernel_table = std::move(table);
-  report.mpmd = execute_schedule(graph, psa.schedule);
-  report.spmd_run = execute_schedule(graph, spmd);
-  report.mpmd.predicted_refined =
-      sched::refine_prediction(model, psa.schedule).makespan;
-  report.spmd_run.predicted_refined =
-      sched::refine_prediction(model, spmd).makespan;
+  {
+    const obs::PhaseSpan span("compiler", "execute_mpmd", 3.0);
+    report.mpmd = execute_schedule(graph, psa.schedule);
+  }
+  {
+    const obs::PhaseSpan span("compiler", "execute_spmd", 4.0);
+    report.spmd_run = execute_schedule(graph, spmd);
+  }
+  {
+    const obs::PhaseSpan span("compiler", "refine", 5.0);
+    report.mpmd.predicted_refined =
+        sched::refine_prediction(model, psa.schedule).makespan;
+    report.spmd_run.predicted_refined =
+        sched::refine_prediction(model, spmd).makespan;
+  }
   report.allocation = std::move(allocation);
   report.psa = std::move(psa);
   report.spmd = std::move(spmd);
   if (config_.run_simulation) {
+    const obs::PhaseSpan span("compiler", "measure_serial", 6.0);
     const cost::CostModel serial_model(graph, machine_params,
                                        report.kernel_table);
     const sched::Schedule serial = sched::spmd_schedule(serial_model, 1);

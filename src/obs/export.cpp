@@ -1,0 +1,158 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace paradigm::obs {
+
+std::string format_double(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+std::string escape_json(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+namespace {
+
+// bounds.size() entries plus "+inf" for the implicit overflow bucket.
+std::string bounds_json(const std::vector<double>& bounds) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += format_double(bounds[i]);
+  }
+  out += "]";
+  return out;
+}
+
+std::string counts_json(const std::vector<std::uint64_t>& counts) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += std::to_string(counts[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace
+
+std::string metrics_json(const Registry& registry, const Tracer& tracer) {
+  const Registry::MetricsSnapshot snap = registry.snapshot();
+  std::string out = "{\n";
+
+  out += "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    " + escape_json(name) + ": " + std::to_string(value);
+  }
+  out += snap.counters.empty() ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    " + escape_json(name) + ": " + format_double(value);
+  }
+  out += snap.gauges.empty() ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, data] : snap.histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    " + escape_json(name) + ": {\n";
+    out += "      \"bounds\": " + bounds_json(data.bounds) + ",\n";
+    out += "      \"counts\": " + counts_json(data.counts) + ",\n";
+    out += "      \"total\": " + std::to_string(data.total()) + "\n";
+    out += "    }";
+  }
+  out += snap.histograms.empty() ? "},\n" : "\n  },\n";
+
+  out += "  \"spans\": " + std::to_string(tracer.size()) + "\n";
+  out += "}\n";
+  return out;
+}
+
+std::string metrics_json() {
+  return metrics_json(Registry::global(), Tracer::global());
+}
+
+namespace {
+
+// Prometheus metric names allow [a-zA-Z0-9_:]; registry names use
+// '/' and '.' as separators, mapped to '_'.
+std::string prom_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(0, 1, '_');
+  return out;
+}
+
+}  // namespace
+
+std::string prometheus_text(const Registry& registry) {
+  const Registry::MetricsSnapshot snap = registry.snapshot();
+  std::string out;
+  for (const auto& [name, value] : snap.counters) {
+    const std::string p = prom_name(name);
+    out += "# TYPE " + p + " counter\n";
+    out += p + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string p = prom_name(name);
+    out += "# TYPE " + p + " gauge\n";
+    out += p + " " + format_double(value) + "\n";
+  }
+  for (const auto& [name, data] : snap.histograms) {
+    const std::string p = prom_name(name);
+    out += "# TYPE " + p + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < data.counts.size(); ++i) {
+      cumulative += data.counts[i];
+      const std::string le =
+          i < data.bounds.size() ? format_double(data.bounds[i]) : "+Inf";
+      out += p + "_bucket{le=\"" + le + "\"} " + std::to_string(cumulative) +
+             "\n";
+    }
+    out += p + "_count " + std::to_string(cumulative) + "\n";
+  }
+  return out;
+}
+
+std::string prometheus_text() { return prometheus_text(Registry::global()); }
+
+}  // namespace paradigm::obs

@@ -1,0 +1,37 @@
+// Deterministic text exporters for the observability registry and
+// tracer. Both formats are pure functions of the registry/tracer state:
+// instruments appear in name-sorted order, spans in canonical
+// (track, ts, dur, name) order, and numbers use a fixed formatting, so
+// the emitted bytes are identical across runs and thread counts in
+// logical mode (golden-tested).
+#pragma once
+
+#include <string>
+
+#include "obs/obs.hpp"
+
+namespace paradigm::obs {
+
+/// Pretty-printed (2-space) JSON document:
+/// {"counters": {...}, "gauges": {...}, "histograms": {name:
+/// {"bounds": [...], "counts": [...], "total": n}}, "spans": n}.
+/// Inactive instruments are skipped so unrelated registrations (other
+/// workloads in the same process) leave no residue.
+std::string metrics_json(const Registry& registry, const Tracer& tracer);
+std::string metrics_json();  // global registry + tracer
+
+/// Prometheus text exposition (counters as `counter`, gauges as
+/// `gauge`, histograms as cumulative `histogram` with `le` labels and
+/// `_count`; no `_sum` line — the registry deliberately keeps no
+/// floating-point sums, see obs.hpp).
+std::string prometheus_text(const Registry& registry);
+std::string prometheus_text();  // global registry
+
+/// Formats a double exactly like support/Json (17 significant digits,
+/// default float notation) so obs output and Json-built output agree.
+std::string format_double(double v);
+
+/// JSON string escaping identical to support/Json's.
+std::string escape_json(const std::string& s);
+
+}  // namespace paradigm::obs

@@ -1,0 +1,245 @@
+#include "obs/obs.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <tuple>
+
+#include "support/error.hpp"
+
+namespace paradigm::obs {
+
+namespace detail {
+std::atomic<std::uint8_t> g_mode{static_cast<std::uint8_t>(Mode::kOff)};
+}  // namespace detail
+
+void set_mode(Mode mode) {
+  detail::g_mode.store(static_cast<std::uint8_t>(mode),
+                       std::memory_order_relaxed);
+}
+
+Mode parse_mode(const std::string& text) {
+  if (text == "off") return Mode::kOff;
+  if (text == "on" || text == "logical") return Mode::kLogical;
+  if (text == "wallclock") return Mode::kWallclock;
+  PARADIGM_FAIL("unknown observability mode '" + text +
+                "' (expected off|on|logical|wallclock)");
+}
+
+const char* to_string(Mode mode) {
+  switch (mode) {
+    case Mode::kOff:
+      return "off";
+    case Mode::kLogical:
+      return "logical";
+    case Mode::kWallclock:
+      return "wallclock";
+  }
+  return "off";
+}
+
+HistogramData merge(const HistogramData& a, const HistogramData& b) {
+  PARADIGM_CHECK(a.bounds == b.bounds,
+                 "histogram merge requires identical bucket bounds");
+  PARADIGM_CHECK(a.counts.size() == b.counts.size(),
+                 "histogram merge requires identical bucket counts");
+  HistogramData out;
+  out.bounds = a.bounds;
+  out.counts.resize(a.counts.size());
+  for (std::size_t i = 0; i < a.counts.size(); ++i) {
+    out.counts[i] = a.counts[i] + b.counts[i];
+  }
+  return out;
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  PARADIGM_CHECK(!bounds_.empty(), "histogram needs at least one bound");
+  PARADIGM_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                     std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                         bounds_.end(),
+                 "histogram bounds must be strictly increasing");
+  counts_ = std::vector<std::atomic<std::uint64_t>>(bounds_.size() + 1);
+}
+
+void Histogram::observe_unchecked(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t bucket =
+      static_cast<std::size_t>(it - bounds_.begin());
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+HistogramData Histogram::snapshot() const {
+  HistogramData data;
+  data.bounds = bounds_;
+  data.counts.reserve(counts_.size());
+  for (const auto& c : counts_) {
+    data.counts.push_back(c.load(std::memory_order_relaxed));
+  }
+  return data;
+}
+
+std::uint64_t Histogram::total() const {
+  std::uint64_t t = 0;
+  for (const auto& c : counts_) t += c.load(std::memory_order_relaxed);
+  return t;
+}
+
+void Histogram::reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+}
+
+Tracer& Tracer::global() {
+  static Tracer* tracer = new Tracer();  // leaked: outlives all users
+  return *tracer;
+}
+
+void Tracer::record(Span span) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.push_back(std::move(span));
+}
+
+std::vector<Span> Tracer::sorted_spans() const {
+  std::vector<Span> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out = spans_;
+  }
+  std::sort(out.begin(), out.end(), [](const Span& a, const Span& b) {
+    return std::tie(a.track, a.ts, a.dur, a.name) <
+           std::tie(b.track, b.ts, b.dur, b.name);
+  });
+  return out;
+}
+
+std::size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_.size();
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.clear();
+}
+
+Registry& Registry::global() {
+  static Registry* registry = new Registry();  // leaked: outlives all users
+  return *registry;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::span<const double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<Histogram>(
+        std::vector<double>(bounds.begin(), bounds.end()));
+  } else {
+    PARADIGM_CHECK(std::equal(bounds.begin(), bounds.end(),
+                              slot->bounds().begin(),
+                              slot->bounds().end()),
+                   "histogram '" << name
+                                 << "' re-registered with different bounds");
+  }
+  return *slot;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+Registry::MetricsSnapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) {
+    if (c->active()) snap.counters[name] = c->value();
+  }
+  for (const auto& [name, g] : gauges_) {
+    if (g->active()) snap.gauges[name] = g->value();
+  }
+  for (const auto& [name, h] : histograms_) {
+    if (h->active()) snap.histograms[name] = h->snapshot();
+  }
+  return snap;
+}
+
+void reset_all() {
+  Registry::global().reset();
+  Tracer::global().clear();
+}
+
+namespace {
+
+double wall_now_us() {
+  // Relative to a process-local epoch so wallclock spans start near zero.
+  static const auto epoch = std::chrono::steady_clock::now();
+  const auto delta = std::chrono::steady_clock::now() - epoch;
+  return std::chrono::duration<double, std::micro>(delta).count();
+}
+
+}  // namespace
+
+PhaseSpan::PhaseSpan(std::string track, std::string name, double logical_ts)
+    : track_(std::move(track)),
+      name_(std::move(name)),
+      logical_ts_(logical_ts) {
+  if (!enabled()) return;
+  active_ = true;
+  wall_ = wallclock_enabled();
+  if (wall_) wall_start_us_ = wall_now_us();
+}
+
+PhaseSpan::~PhaseSpan() {
+  if (!active_) return;
+  if (wall_) {
+    const double end = wall_now_us();
+    Tracer::global().record(
+        Span{std::move(track_), std::move(name_), wall_start_us_,
+             end - wall_start_us_});
+  } else {
+    Tracer::global().record(
+        Span{std::move(track_), std::move(name_), logical_ts_, 1.0});
+  }
+}
+
+std::vector<double> exp_bounds(double lo, double factor, std::size_t count) {
+  PARADIGM_CHECK(lo > 0.0 && factor > 1.0 && count > 0,
+                 "exp_bounds needs lo > 0, factor > 1, count > 0");
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double v = lo;
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds.push_back(v);
+    v *= factor;
+  }
+  return bounds;
+}
+
+std::vector<double> linear_bounds(double lo, double step, std::size_t count) {
+  PARADIGM_CHECK(step > 0.0 && count > 0,
+                 "linear_bounds needs step > 0, count > 0");
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds.push_back(lo + step * static_cast<double>(i));
+  }
+  return bounds;
+}
+
+}  // namespace paradigm::obs

@@ -6,6 +6,7 @@
 #include <numeric>
 #include <set>
 
+#include "obs/obs.hpp"
 #include "sched/bounds.hpp"
 #include "support/error.hpp"
 #include "support/log.hpp"
@@ -13,6 +14,35 @@
 #include "support/pow2.hpp"
 
 namespace paradigm::sched {
+
+namespace {
+
+/// Scheduler instruments (DESIGN §9). list_schedule may run inside a
+/// pool task (fault sweeps reschedule per cell), so only commuting
+/// counters/histograms are recorded there; the makespan gauge is
+/// written from prioritized_schedule only when on the orchestrating
+/// thread.
+struct SchedMetrics {
+  obs::Counter& placements =
+      obs::Registry::global().counter("sched.placements");
+  obs::Counter& bound_clamps =
+      obs::Registry::global().counter("sched.bound_clamps");
+  obs::Histogram& ready_depth = obs::Registry::global().histogram(
+      "sched.ready_depth", obs::exp_bounds(1.0, 2.0, 12));
+  obs::Histogram& pst_wait = obs::Registry::global().histogram(
+      "sched.pst_wait_seconds", obs::exp_bounds(1e-9, 10.0, 12));
+  obs::Histogram& rounding_delta = obs::Registry::global().histogram(
+      "sched.rounding_rel_delta", obs::linear_bounds(0.05, 0.05, 10));
+  obs::Gauge& makespan =
+      obs::Registry::global().gauge("sched.makespan_seconds");
+};
+
+SchedMetrics& sched_metrics() {
+  static SchedMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 std::vector<std::uint64_t> round_allocation(std::span<const double> alloc,
                                             std::uint64_t p) {
@@ -144,8 +174,13 @@ Schedule list_schedule(const cost::CostModel& model,
   std::vector<double> est(n, 0.0);
   ready.emplace(priority_key(graph.start(), 0.0), graph.start());
 
+  const bool record = obs::enabled();
   std::size_t placed_count = 0;
   while (!ready.empty()) {
+    if (record) {
+      sched_metrics().ready_depth.observe_unchecked(
+          static_cast<double>(ready.size()));
+    }
     const auto [key, id] = *ready.begin();
     ready.erase(ready.begin());
     const double node_est = est[id];
@@ -199,6 +234,10 @@ Schedule list_schedule(const cost::CostModel& model,
       for (const std::uint32_t r : sn.ranks) {
         proc_available[r] = sn.finish;
       }
+      if (record && pst > node_est) {
+        // The node was data-ready but stalled waiting for processors.
+        sched_metrics().pst_wait.observe_unchecked(pst - node_est);
+      }
     } else {
       // START/STOP markers occupy no processors and no time.
       sn.start = node_est;
@@ -206,6 +245,11 @@ Schedule list_schedule(const cost::CostModel& model,
     }
     finish[id] = sn.finish;
     schedule.place(std::move(sn));
+    if (record) {
+      // Logical time for scheduler spans is the placement ordinal.
+      obs::Tracer::global().record(obs::Span{
+          "sched", node.name, static_cast<double>(placed_count), 1.0});
+    }
     ++placed_count;
 
     // Release successors whose precedence constraints are now all met.
@@ -221,6 +265,7 @@ Schedule list_schedule(const cost::CostModel& model,
   PARADIGM_CHECK(placed_count == n,
                  "list scheduler placed " << placed_count << " of " << n
                                           << " nodes (cycle?)");
+  if (record) sched_metrics().placements.add_unchecked(placed_count);
   return schedule;
 }
 
@@ -230,10 +275,20 @@ PsaResult prioritized_schedule(const cost::CostModel& model,
   PARADIGM_CHECK(is_pow2(p), "machine size must be a power of two, got "
                                  << p);
 
+  const bool record = obs::enabled();
+
   // Step 1: rounding-off.
   std::vector<std::uint64_t> alloc;
   if (config.apply_rounding) {
     alloc = round_allocation(continuous_alloc, p);
+    if (record) {
+      for (std::size_t i = 0; i < alloc.size(); ++i) {
+        const double a = std::clamp(continuous_alloc[i], 1.0,
+                                    static_cast<double>(p));
+        sched_metrics().rounding_delta.observe_unchecked(
+            std::abs(static_cast<double>(alloc[i]) - a) / a);
+      }
+    }
   } else {
     alloc.reserve(continuous_alloc.size());
     for (const double a : continuous_alloc) {
@@ -254,6 +309,11 @@ PsaResult prioritized_schedule(const cost::CostModel& model,
     pb = config.pb_override.value_or(optimal_processor_bound(p));
     PARADIGM_CHECK(is_pow2(pb) && pb <= p,
                    "PB must be a power of two <= p, got " << pb);
+    if (record) {
+      std::uint64_t clamped = 0;
+      for (const std::uint64_t a : alloc) clamped += a > pb ? 1 : 0;
+      sched_metrics().bound_clamps.add_unchecked(clamped);
+    }
     alloc = bound_allocation(std::move(alloc), pb);
   }
 
@@ -261,6 +321,11 @@ PsaResult prioritized_schedule(const cost::CostModel& model,
   Schedule schedule = list_schedule(model, alloc, p);
   PsaResult result{std::move(alloc), pb, std::move(schedule), 0.0};
   result.finish_time = result.schedule.makespan();
+  if (record && !ThreadPool::in_worker()) {
+    // Gauges are last-write-wins: skip them when this schedule is one
+    // cell of a parallel sweep, where "last" would be racy.
+    sched_metrics().makespan.set(result.finish_time);
+  }
   log_debug("PSA: p=", p, " PB=", pb, " T_psa=", result.finish_time);
   return result;
 }

@@ -45,12 +45,15 @@ struct CopyBlock {
 };
 
 /// Sends a rectangle of a local block to another rank. The sender is
-/// busy for startup + bytes * per_byte.
+/// busy for startup + bytes * per_byte. `kind` labels the transfer with
+/// the redistribution pattern it implements (1D block shuffles vs 2D
+/// re-blocking) for traffic accounting; it has no timing effect.
 struct SendBlock {
   std::uint32_t dst = 0;
   std::uint64_t tag = 0;
   std::string array;
   BlockRect rect;
+  mdg::TransferKind kind = mdg::TransferKind::k1D;
 };
 
 /// Receives a rectangle into a local block of `array` (which must

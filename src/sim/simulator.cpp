@@ -4,10 +4,55 @@
 #include <cmath>
 #include <sstream>
 
+#include "obs/obs.hpp"
 #include "support/error.hpp"
+#include "support/parallel.hpp"
 #include "support/rng.hpp"
 
 namespace paradigm::sim {
+
+namespace {
+
+/// Simulator instruments (DESIGN §9). Everything inline in the progress
+/// loop is a commuting histogram observation; scalar totals are flushed
+/// once per execution from the (always computed) SimResult aggregates,
+/// so the instrumented loop adds almost nothing when observability is
+/// off. execute() may run inside a pool task (fault sweeps), so gauges
+/// are skipped there via ThreadPool::in_worker().
+struct SimMetrics {
+  obs::Counter& runs = obs::Registry::global().counter("sim.runs");
+  obs::Counter& instructions =
+      obs::Registry::global().counter("sim.instructions");
+  obs::Counter& messages = obs::Registry::global().counter("sim.messages");
+  obs::Counter& message_bytes =
+      obs::Registry::global().counter("sim.message_bytes");
+  obs::Counter& bytes_1d =
+      obs::Registry::global().counter("sim.send_bytes_1d");
+  obs::Counter& bytes_2d =
+      obs::Registry::global().counter("sim.send_bytes_2d");
+  obs::Counter& retransmissions =
+      obs::Registry::global().counter("sim.retransmissions");
+  obs::Counter& dropped =
+      obs::Registry::global().counter("sim.dropped_messages");
+  obs::Counter& duplicates =
+      obs::Registry::global().counter("sim.duplicates_suppressed");
+  obs::Counter& lost = obs::Registry::global().counter("sim.lost_messages");
+  obs::Counter& fault_events =
+      obs::Registry::global().counter("sim.fault_events");
+  obs::Histogram& recv_wait = obs::Registry::global().histogram(
+      "sim.recv_wait_seconds", obs::exp_bounds(1e-9, 10.0, 12));
+  obs::Histogram& msg_bytes = obs::Registry::global().histogram(
+      "sim.message_size_bytes", obs::exp_bounds(64.0, 4.0, 12));
+  obs::Gauge& finish = obs::Registry::global().gauge("sim.finish_seconds");
+  obs::Gauge& busy = obs::Registry::global().gauge("sim.busy_seconds");
+};
+
+SimMetrics& sim_metrics() {
+  static SimMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 Simulator::Simulator(MachineConfig config) : config_(config) {
   PARADIGM_CHECK(config_.size >= 1, "machine must have >= 1 processor");
@@ -31,6 +76,19 @@ void Simulator::charge(std::uint32_t rank, double seconds,
   clock_[rank] += seconds;
 }
 
+void Simulator::block_until(std::uint32_t rank, double time) {
+  if (time > clock_[rank]) {
+    blocked_[rank] += time - clock_[rank];
+    clock_[rank] = time;
+  }
+}
+
+void Simulator::block_for(std::uint32_t rank, double seconds) {
+  PARADIGM_CHECK(seconds >= 0.0, "negative wait on rank " << rank);
+  blocked_[rank] += seconds;
+  clock_[rank] += seconds;
+}
+
 void Simulator::record_fault(FaultKind kind, std::uint32_t rank, double time,
                              std::string detail) {
   stats_.fault_events.push_back(
@@ -40,7 +98,7 @@ void Simulator::record_fault(FaultKind kind, std::uint32_t rank, double time,
 void Simulator::mark_dead(std::uint32_t rank, double time) {
   if (dead_[rank]) return;
   dead_[rank] = 1;
-  clock_[rank] = std::max(clock_[rank], time);
+  block_until(rank, time);
   record_fault(FaultKind::kCrash, rank, time,
                "rank " + std::to_string(rank) + " failed (fail-stop)");
 }
@@ -173,9 +231,7 @@ void Simulator::execute_group_kernel(const GroupKernel& kernel) {
                          std::to_string(rank));
       }
     }
-    const double t0 = clock_[rank];
-    clock_[rank] = start;  // barrier wait (idle, not busy)
-    (void)t0;
+    block_until(rank, start);  // barrier wait (blocked, not busy)
     charge(rank, busy * jitter * straggle,
            kernel.output.empty() ? "synthetic" : kernel.output);
     ++pc_[rank];
@@ -254,10 +310,10 @@ bool Simulator::try_execute(const MpmdProgram& program, std::uint32_t rank) {
                            " retries");
           break;
         }
-        // Waiting for the missing ack is idle time, the retransmission
-        // itself is charged as busy wire time again.
-        clock_[rank] +=
-            plan_->retry_backoff * std::pow(2.0, static_cast<double>(attempt));
+        // Waiting for the missing ack is blocked time, the
+        // retransmission itself is charged as busy wire time again.
+        block_for(rank, plan_->retry_backoff *
+                            std::pow(2.0, static_cast<double>(attempt)));
         charge(rank, wire, "resend " + send->array);
         ++stats_.retransmissions;
         ++attempt;
@@ -276,6 +332,20 @@ bool Simulator::try_execute(const MpmdProgram& program, std::uint32_t rank) {
       const bool duplicated =
           plan_ != nullptr &&
           plan_->duplicate_message(rank, send->dst, send->tag);
+      const std::size_t payload = send->rect.bytes();
+      const std::size_t copies = duplicated ? 2 : 1;
+      ChannelTraffic& chan = stats_.traffic[{rank, send->dst}];
+      chan.messages_enqueued += copies;
+      chan.bytes_enqueued += payload * copies;
+      if (send->kind == mdg::TransferKind::k2D) {
+        stats_.send_bytes_2d += payload * copies;
+      } else {
+        stats_.send_bytes_1d += payload * copies;
+      }
+      if (obs::enabled()) {
+        sim_metrics().msg_bytes.observe_unchecked(
+            static_cast<double>(payload));
+      }
       auto& box = mailboxes_[{rank, send->dst, send->tag}];
       if (duplicated) {
         Message copy = msg;
@@ -300,6 +370,9 @@ bool Simulator::try_execute(const MpmdProgram& program, std::uint32_t rank) {
         // A retransmitted/duplicated copy of a message we already
         // consumed: acknowledge and discard.
         ++stats_.duplicates_suppressed;
+        ChannelTraffic& chan = stats_.traffic[{recv->src, rank}];
+        ++chan.messages_suppressed;
+        chan.bytes_suppressed += msg.rect.bytes();
         record_fault(FaultKind::kDuplicate, rank, clock_[rank],
                      "tag " + std::to_string(recv->tag) + " from rank " +
                          std::to_string(recv->src) +
@@ -321,7 +394,11 @@ bool Simulator::try_execute(const MpmdProgram& program, std::uint32_t rank) {
           return false;
         }
       }
-      clock_[rank] = std::max(clock_[rank], msg.available);
+      if (msg.available > clock_[rank] && obs::enabled()) {
+        sim_metrics().recv_wait.observe_unchecked(msg.available -
+                                                  clock_[rank]);
+      }
+      block_until(rank, msg.available);
       const double bytes = static_cast<double>(recv->rect.bytes());
       charge(rank,
              (config_.recv_startup + bytes * config_.recv_per_byte) *
@@ -330,13 +407,22 @@ bool Simulator::try_execute(const MpmdProgram& program, std::uint32_t rank) {
       memories_[rank].write(recv->array, recv->rect, msg.payload);
       ++stats_.messages;
       stats_.message_bytes += recv->rect.bytes();
+      {
+        ChannelTraffic& chan = stats_.traffic[{recv->src, rank}];
+        ++chan.messages_consumed;
+        chan.bytes_consumed += recv->rect.bytes();
+      }
       if (plan_ != nullptr) {
         // Ack layer: discard any further copies of this message already
         // sitting in the mailbox (in-flight duplicates).
         while (!it->second.empty() &&
                seen_seq_.count(it->second.front().seq) != 0) {
+          const std::size_t dup_bytes = it->second.front().rect.bytes();
           it->second.erase(it->second.begin());
           ++stats_.duplicates_suppressed;
+          ChannelTraffic& chan = stats_.traffic[{recv->src, rank}];
+          ++chan.messages_suppressed;
+          chan.bytes_suppressed += dup_bytes;
           record_fault(FaultKind::kDuplicate, rank, clock_[rank],
                        "tag " + std::to_string(recv->tag) + " from rank " +
                            std::to_string(recv->src) +
@@ -386,6 +472,7 @@ bool Simulator::try_execute(const MpmdProgram& program, std::uint32_t rank) {
 void Simulator::reset_state(std::uint32_t ranks) {
   memories_.assign(ranks, RankMemory{});
   clock_.assign(ranks, 0.0);
+  blocked_.assign(ranks, 0.0);
   pc_.assign(ranks, 0);
   mailboxes_.clear();
   nic_free_.assign(ranks, 0.0);
@@ -464,7 +551,7 @@ SimResult Simulator::execute(const MpmdProgram& program) {
       if (pc_[r] >= program.streams[r].size()) continue;
       stats_.aborted = true;
       if (dead_[r]) continue;
-      clock_[r] += plan_->recv_timeout;
+      block_for(r, plan_->recv_timeout);
       stats_.timed_out_ranks.push_back(r);
       record_fault(FaultKind::kTimeout, r, clock_[r],
                    "rank " + std::to_string(r) +
@@ -501,8 +588,59 @@ SimResult Simulator::execute(const MpmdProgram& program) {
   }
   std::sort(stats_.completed_nodes.begin(), stats_.completed_nodes.end());
 
+  // Per-rank time accounting, rebuilt from the trace so it is a pure
+  // function of what this execution charged (rank-major, scan-order
+  // independent; trace_base skips intervals a resumed run carried over).
+  stats_.rank_busy.assign(trace_.size(), 0.0);
+  for (std::size_t i = 0; i < trace_.size(); ++i) {
+    double rank_busy = 0.0;
+    for (std::size_t k = trace_base[i]; k < trace_[i].size(); ++k) {
+      rank_busy += trace_[i][k].end - trace_[i][k].start;
+    }
+    stats_.rank_busy[i] = rank_busy;
+  }
+  stats_.rank_blocked = blocked_;
+
+  // Close the conservation ledger: whatever is still sitting in a
+  // mailbox was enqueued but never consumed or suppressed.
+  for (const auto& [key, box] : mailboxes_) {
+    if (box.empty()) continue;
+    ChannelTraffic& chan =
+        stats_.traffic[{std::get<0>(key), std::get<1>(key)}];
+    for (const Message& m : box) {
+      ++chan.messages_undelivered;
+      chan.bytes_undelivered += m.rect.bytes();
+    }
+  }
+
   stats_.rank_clock = clock_;
   stats_.finish_time = *std::max_element(clock_.begin(), clock_.end());
+
+  if (obs::enabled()) {
+    SimMetrics& m = sim_metrics();
+    m.runs.add_unchecked(1);
+    m.instructions.add_unchecked(stats_.instructions);
+    m.messages.add_unchecked(stats_.messages);
+    m.message_bytes.add_unchecked(stats_.message_bytes);
+    m.bytes_1d.add_unchecked(stats_.send_bytes_1d);
+    m.bytes_2d.add_unchecked(stats_.send_bytes_2d);
+    m.retransmissions.add_unchecked(stats_.retransmissions);
+    m.dropped.add_unchecked(stats_.dropped_messages);
+    m.duplicates.add_unchecked(stats_.duplicates_suppressed);
+    m.lost.add_unchecked(stats_.lost_messages);
+    m.fault_events.add_unchecked(stats_.fault_events.size());
+    // Fault events become zero-length spans on the simulator's virtual
+    // clock (in virtual microseconds, matching the chrome-trace unit of
+    // the busy intervals), so a merged trace shows them in context.
+    for (const FaultEvent& ev : stats_.fault_events) {
+      obs::Tracer::global().record(
+          obs::Span{"sim/faults", ev.detail, ev.time * 1e6, 0.0});
+    }
+    if (!ThreadPool::in_worker()) {
+      m.finish.set(stats_.finish_time);
+      m.busy.set(stats_.total_busy);
+    }
+  }
   return stats_;
 }
 
@@ -534,8 +672,10 @@ SimResult Simulator::resume(const MpmdProgram& program,
   }
   plan_ = plan;
   // Keep memories, clocks, in-flight messages, traces, and dead flags;
-  // restart only the program counters and the per-run statistics.
+  // restart only the program counters and the per-run statistics
+  // (including per-execution blocked-time accounting).
   pc_.assign(pc_.size(), 0);
+  blocked_.assign(blocked_.size(), 0.0);
   stats_ = SimResult{};
   SimResult result = execute(program);
   plan_ = nullptr;

@@ -31,6 +31,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/config.hpp"
@@ -47,6 +48,25 @@ struct BusyInterval {
   std::string label;
 };
 
+/// Exact message/byte accounting for one (src, dst) rank pair. All
+/// fields are integers, so the conservation law
+///   enqueued == consumed + suppressed + undelivered
+/// holds exactly for a run() (resume() consumes carried-over mail, so
+/// per-execution accounting may consume more than it enqueued).
+struct ChannelTraffic {
+  std::size_t messages_enqueued = 0;   ///< Deliveries placed in the mailbox
+                                       ///< (duplicated copies count twice).
+  std::size_t messages_consumed = 0;   ///< Received into a local block.
+  std::size_t messages_suppressed = 0; ///< Duplicate deliveries discarded.
+  std::size_t messages_undelivered = 0;///< Still in the mailbox at the end.
+  std::size_t bytes_enqueued = 0;
+  std::size_t bytes_consumed = 0;
+  std::size_t bytes_suppressed = 0;
+  std::size_t bytes_undelivered = 0;
+
+  bool operator==(const ChannelTraffic&) const = default;
+};
+
 /// Outcome of a simulation run.
 struct SimResult {
   double finish_time = 0.0;          ///< max over ranks of final clock.
@@ -55,6 +75,23 @@ struct SimResult {
   std::size_t message_bytes = 0;     ///< Payload bytes delivered.
   double total_busy = 0.0;           ///< Sum of charged busy time.
   std::size_t instructions = 0;      ///< Instructions executed.
+
+  // ---- time and traffic accounting (always computed; the fields are a
+  // pure function of the run, independent of scan order, thread count,
+  // and the observability mode) -----------------------------------------
+  /// Charged busy seconds per rank (sums over the rank's trace).
+  std::vector<double> rank_busy;
+  /// Seconds each rank spent with its clock advanced while not busy:
+  /// receive waits, group-barrier waits, retry backoff, crash/timeout
+  /// jumps. Per rank, busy + blocked == rank_clock up to FP rounding;
+  /// idle-at-end is finish_time - rank_clock.
+  std::vector<double> rank_blocked;
+  /// Per (src, dst) message/byte conservation ledger.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, ChannelTraffic> traffic;
+  /// Payload bytes entering mailboxes, split by the redistribution kind
+  /// of the sending instruction (1D block shuffles vs 2D re-blocking).
+  std::size_t send_bytes_1d = 0;
+  std::size_t send_bytes_2d = 0;
 
   // ---- fault reporting (all empty/zero on fault-free runs) -------------
   bool aborted = false;              ///< Some stream did not drain.
@@ -143,6 +180,11 @@ class Simulator {
                            const std::string& array,
                            const BlockRect& rect) const;
   void charge(std::uint32_t rank, double seconds, const std::string& label);
+  /// Advances `rank`'s clock to at least `time`, booking the advance as
+  /// blocked (non-busy) waiting.
+  void block_until(std::uint32_t rank, double time);
+  /// Advances `rank`'s clock by `seconds` of blocked waiting.
+  void block_for(std::uint32_t rank, double seconds);
 
   void reset_state(std::uint32_t ranks);
   /// Shared progress loop + end-of-run accounting for run()/resume().
@@ -154,6 +196,7 @@ class Simulator {
   MachineConfig config_;
   std::vector<RankMemory> memories_;
   std::vector<double> clock_;
+  std::vector<double> blocked_;  // per-execution non-busy clock advances
   std::vector<std::size_t> pc_;
   std::map<MailboxKey, std::vector<Message>> mailboxes_;
   std::vector<double> nic_free_;  // per-destination NIC availability

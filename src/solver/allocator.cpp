@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "obs/obs.hpp"
 #include "support/error.hpp"
 #include "support/log.hpp"
 #include "support/parallel.hpp"
@@ -11,6 +12,34 @@
 
 namespace paradigm::solver {
 namespace {
+
+/// Solver instruments (DESIGN §9). References are resolved once; the
+/// registry keeps instruments alive for the process lifetime. Counters
+/// and histograms commute, so concurrent multi-start descents record
+/// into them directly; gauges are only written from solve() after the
+/// parallel region has been joined.
+struct SolverMetrics {
+  obs::Counter& starts =
+      obs::Registry::global().counter("solver.starts");
+  obs::Counter& iterations =
+      obs::Registry::global().counter("solver.iterations");
+  obs::Counter& backtracks =
+      obs::Registry::global().counter("solver.armijo_backtracks");
+  obs::Counter& rounds =
+      obs::Registry::global().counter("solver.continuation_rounds");
+  obs::Histogram& pg_norm = obs::Registry::global().histogram(
+      "solver.pg_norm", obs::exp_bounds(1e-12, 10.0, 16));
+  obs::Histogram& start_phi = obs::Registry::global().histogram(
+      "solver.start_phi_seconds", obs::exp_bounds(1e-6, 10.0, 13));
+  obs::Gauge& phi = obs::Registry::global().gauge("solver.phi_seconds");
+  obs::Gauge& final_pg_norm =
+      obs::Registry::global().gauge("solver.final_pg_norm");
+};
+
+SolverMetrics& solver_metrics() {
+  static SolverMetrics metrics;
+  return metrics;
+}
 
 /// Below this many items the parallel dispatch overhead outweighs the
 /// work; the cutoff only changes *where* a loop runs, never its result.
@@ -218,7 +247,17 @@ AllocationResult ConvexAllocator::solve(const cost::CostModel& model,
   }
 
   if (starts == 1) {
-    AllocationResult result = descend(model, p, x_hi, std::move(initial[0]));
+    AllocationResult result =
+        descend(model, p, x_hi, std::move(initial[0]), 0);
+    if (obs::enabled()) {
+      solver_metrics().start_phi.observe_unchecked(result.phi);
+      if (!ThreadPool::in_worker()) {
+        // Gauges are last-write-wins: skip when this solve is one cell
+        // of a parallel sweep, where "last" would be racy.
+        solver_metrics().phi.set(result.phi);
+        solver_metrics().final_pg_norm.set(result.final_gradient_norm);
+      }
+    }
     log_debug("convex allocation: ", result.summary());
     return result;
   }
@@ -228,13 +267,24 @@ AllocationResult ConvexAllocator::solve(const cost::CostModel& model,
   // toward the lowest start index.
   std::vector<AllocationResult> runs = parallel_map<AllocationResult>(
       starts, [&](std::size_t k) {
-        return descend(model, p, x_hi, std::move(initial[k]));
+        return descend(model, p, x_hi, std::move(initial[k]), k);
       });
   std::size_t best = 0;
   std::size_t total_iterations = runs[0].iterations;
   for (std::size_t k = 1; k < starts; ++k) {
     total_iterations += runs[k].iterations;
     if (runs[k].phi < runs[best].phi) best = k;
+  }
+  if (obs::enabled()) {
+    // Per-start Phi is recorded serially after the join: the histogram
+    // would commute anyway, but the gauges must not race.
+    for (const AllocationResult& run : runs) {
+      solver_metrics().start_phi.observe_unchecked(run.phi);
+    }
+    if (!ThreadPool::in_worker()) {
+      solver_metrics().phi.set(runs[best].phi);
+      solver_metrics().final_pg_norm.set(runs[best].final_gradient_norm);
+    }
   }
   AllocationResult result = std::move(runs[best]);
   result.iterations = total_iterations;
@@ -246,7 +296,8 @@ AllocationResult ConvexAllocator::solve(const cost::CostModel& model,
 AllocationResult ConvexAllocator::descend(const cost::CostModel& model,
                                           double p,
                                           std::span<const double> x_hi,
-                                          std::vector<double> x) const {
+                                          std::vector<double> x,
+                                          std::size_t start_index) const {
   const std::size_t n = x.size();
   const double x_max = std::log(p);
   std::vector<double> grad(n, 0.0);
@@ -255,14 +306,22 @@ AllocationResult ConvexAllocator::descend(const cost::CostModel& model,
   double mu_x = config_.mu_x_initial;
   double mu_t_rel = config_.mu_t_rel_initial;
   std::size_t total_iterations = 0;
+  std::size_t total_backtracks = 0;
   bool last_round_converged = false;
   double last_pg_norm = 0.0;
+
+  // One trace row per start; spans are placed on the logical iteration
+  // axis, so the trace is identical however the starts are scheduled.
+  const bool record = obs::enabled();
+  const std::string track =
+      record ? "solver/start" + std::to_string(start_index) : std::string();
 
   const auto clamp_box = [&](std::size_t i, double v) {
     return std::clamp(v, 0.0, x_hi[i]);
   };
 
   for (std::size_t round = 0; round < config_.continuation_rounds; ++round) {
+    const std::size_t round_first_iteration = total_iterations;
     const double scale = model.phi(exp_all(x), p);
     const double mu_t = mu_t_rel * std::max(scale, 1e-12);
 
@@ -286,6 +345,7 @@ AllocationResult ConvexAllocator::descend(const cost::CostModel& model,
             std::abs(x[i] - clamp_box(i, x[i] - grad[i] / gscale)));
       }
       last_pg_norm = pg_norm;
+      if (record) solver_metrics().pg_norm.observe_unchecked(pg_norm);
       if (pg_norm <= config_.gradient_tolerance * (1.0 + x_max)) {
         last_round_converged = true;
         break;
@@ -309,6 +369,7 @@ AllocationResult ConvexAllocator::descend(const cost::CostModel& model,
           break;
         }
         step *= config_.backtrack_factor;
+        ++total_backtracks;
       }
       if (!accepted) {
         // Line search stalled: we are at numerical stationarity for this
@@ -320,6 +381,20 @@ AllocationResult ConvexAllocator::descend(const cost::CostModel& model,
 
     mu_x *= config_.continuation_factor;
     mu_t_rel *= config_.continuation_factor;
+
+    if (record) {
+      obs::Tracer::global().record(obs::Span{
+          track, "round" + std::to_string(round),
+          static_cast<double>(round_first_iteration),
+          static_cast<double>(total_iterations - round_first_iteration)});
+    }
+  }
+
+  if (record) {
+    solver_metrics().starts.add_unchecked(1);
+    solver_metrics().iterations.add_unchecked(total_iterations);
+    solver_metrics().backtracks.add_unchecked(total_backtracks);
+    solver_metrics().rounds.add_unchecked(config_.continuation_rounds);
   }
 
   AllocationResult result = finish_result(model, p, exp_all(x));

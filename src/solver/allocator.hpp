@@ -97,10 +97,12 @@ class ConvexAllocator {
                          std::span<const double> warm_start) const;
 
   /// One continuation descent from the initial point `x` (log-space),
-  /// box-constrained to [0, x_hi].
+  /// box-constrained to [0, x_hi]. `start_index` names the trace row
+  /// ("solver/start<k>") when observability is on.
   AllocationResult descend(const cost::CostModel& model, double p,
                            std::span<const double> x_hi,
-                           std::vector<double> x) const;
+                           std::vector<double> x,
+                           std::size_t start_index) const;
 
   ConvexAllocatorConfig config_;
 };

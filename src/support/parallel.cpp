@@ -1,20 +1,56 @@
 #include "support/parallel.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <memory>
 #include <mutex>
 #include <thread>
 
+#include "obs/obs.hpp"
 #include "support/error.hpp"
 
 namespace paradigm {
 namespace {
 
 /// Set while a thread is executing region bodies as a pool worker, so
-/// nested parallel_for calls degrade to inline serial loops.
+/// nested parallel_for calls degrade to inline serial loops. Also set
+/// around the serial fallback loop: in_worker() then means "inside any
+/// parallel region body" for every thread count, which instrumentation
+/// relies on (gauges recorded from region bodies would be last-write-
+/// wins races on a real pool, so they are skipped uniformly).
 thread_local bool t_in_worker = false;
+
+struct InWorkerScope {
+  bool previous = t_in_worker;
+  InWorkerScope() { t_in_worker = true; }
+  ~InWorkerScope() { t_in_worker = previous; }
+};
+
+/// Pool instruments. Tasks-per-worker and region timings depend on the
+/// actual execution (thread count, OS scheduling), so they are recorded
+/// only in wallclock mode — logical-mode output must stay byte-
+/// identical across thread counts (DESIGN §9).
+struct PoolMetrics {
+  obs::Counter& regions =
+      obs::Registry::global().counter("pool.parallel_regions");
+  obs::Counter& serial_regions =
+      obs::Registry::global().counter("pool.serial_regions");
+  obs::Counter& tasks = obs::Registry::global().counter("pool.tasks");
+  obs::Histogram& region_us = obs::Registry::global().histogram(
+      "pool.region_wall_us", obs::exp_bounds(1.0, 4.0, 12));
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics metrics;
+  return metrics;
+}
+
+obs::Counter& worker_task_counter(std::size_t worker_id) {
+  return obs::Registry::global().counter(
+      "pool.worker" + std::to_string(worker_id) + ".tasks");
+}
 
 std::size_t env_thread_count() {
   const char* env = std::getenv("PARADIGM_THREADS");
@@ -56,20 +92,27 @@ struct ThreadPool::Impl {
   }
 
   /// Claims indices off the shared counter until the region drains.
-  void drain() {
+  /// `worker_id` 0 is the caller; workers are 1-based.
+  void drain(std::size_t worker_id) {
     const std::size_t total = n;
+    std::uint64_t claimed = 0;
     while (true) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= total) break;
+      ++claimed;
       try {
         (*body)(i);
       } catch (...) {
         record_error(i, std::current_exception());
       }
     }
+    if (claimed != 0 && obs::wallclock_enabled()) {
+      pool_metrics().tasks.add_unchecked(claimed);
+      worker_task_counter(worker_id).add_unchecked(claimed);
+    }
   }
 
-  void worker_loop() {
+  void worker_loop(std::size_t worker_id) {
     t_in_worker = true;
     std::uint64_t seen = 0;
     std::unique_lock<std::mutex> lock(mutex);
@@ -78,7 +121,7 @@ struct ThreadPool::Impl {
       if (stop) return;
       seen = generation;
       lock.unlock();
-      drain();
+      drain(worker_id);
       lock.lock();
       if (--active_workers == 0) done_cv.notify_all();
     }
@@ -89,7 +132,7 @@ ThreadPool::ThreadPool(std::size_t threads) : impl_(new Impl) {
   PARADIGM_CHECK(threads >= 1, "thread pool needs >= 1 thread");
   impl_->workers.reserve(threads - 1);
   for (std::size_t t = 1; t < threads; ++t) {
-    impl_->workers.emplace_back([impl = impl_] { impl->worker_loop(); });
+    impl_->workers.emplace_back([impl = impl_, t] { impl->worker_loop(t); });
   }
 }
 
@@ -112,11 +155,21 @@ void ThreadPool::parallel_for(std::size_t n,
   if (n == 0) return;
   // Serial path: single-threaded pool, trivial region, or a nested call
   // from inside a worker. Runs the plain loop in the calling thread, so
-  // exceptions propagate exactly as legacy serial code did.
+  // exceptions propagate exactly as legacy serial code did. The
+  // in-worker flag is raised here too so in_worker() is true inside
+  // region bodies for every thread count (see InWorkerScope).
   if (impl_->workers.empty() || n == 1 || t_in_worker) {
+    if (obs::wallclock_enabled()) {
+      pool_metrics().serial_regions.add_unchecked(1);
+    }
+    const InWorkerScope scope;
     for (std::size_t i = 0; i < n; ++i) body(i);
     return;
   }
+
+  const bool wall = obs::wallclock_enabled();
+  const auto region_start = wall ? std::chrono::steady_clock::now()
+                                 : std::chrono::steady_clock::time_point();
 
   std::unique_lock<std::mutex> lock(impl_->mutex);
   impl_->n = n;
@@ -132,15 +185,25 @@ void ThreadPool::parallel_for(std::size_t n,
   // so a nested parallel_for from one of its claimed tasks degrades to
   // the inline serial loop (as in pool workers) instead of opening a
   // second region on the pool mid-region.
-  t_in_worker = true;
-  impl_->drain();
-  t_in_worker = false;
+  {
+    const InWorkerScope scope;
+    impl_->drain(0);
+  }
 
   lock.lock();
   impl_->done_cv.wait(lock, [&] { return impl_->active_workers == 0; });
   impl_->body = nullptr;
   const std::exception_ptr error = impl_->error;
   lock.unlock();
+
+  if (wall) {
+    const auto region_end = std::chrono::steady_clock::now();
+    pool_metrics().regions.add_unchecked(1);
+    pool_metrics().region_us.observe_unchecked(
+        std::chrono::duration<double, std::micro>(region_end - region_start)
+            .count());
+  }
+
   if (error != nullptr) std::rethrow_exception(error);
 }
 

@@ -52,8 +52,12 @@ class ThreadPool {
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t)>& body);
 
-  /// True when the current thread is one of this process's pool workers
-  /// (any pool), i.e. a nested parallel region would run inline.
+  /// True while the current thread is executing a parallel region body
+  /// — as a pool worker, as the participating caller, or in the serial
+  /// fallback loop — i.e. a nested parallel region would run inline.
+  /// Because the flag is raised on the serial path too, the predicate
+  /// is thread-count invariant: instrumentation uses it to skip
+  /// last-write-wins gauge updates from inside regions uniformly.
   static bool in_worker();
 
  private:

@@ -1,33 +1,83 @@
 #include "viz/chrome_trace.hpp"
 
+#include <map>
+
 #include "support/json.hpp"
 
 namespace paradigm::viz {
 namespace {
 
-Json event(const std::string& name, std::uint32_t rank, double start_s,
-           double duration_s) {
+/// Complete ("X") event. `ts_us`/`dur_us` are written verbatim into the
+/// chrome microsecond fields.
+Json event_us(const std::string& name, std::int64_t pid, std::int64_t tid,
+              double ts_us, double dur_us) {
   Json e = Json::object();
   e.set("name", Json::string(name));
   e.set("ph", Json::string("X"));
-  e.set("pid", Json::integer(0));
-  e.set("tid", Json::integer(rank));
-  e.set("ts", Json::number(start_s * 1e6));
-  e.set("dur", Json::number(duration_s * 1e6));
+  e.set("pid", Json::integer(pid));
+  e.set("tid", Json::integer(tid));
+  e.set("ts", Json::number(ts_us));
+  e.set("dur", Json::number(dur_us));
   return e;
+}
+
+Json event(const std::string& name, std::uint32_t rank, double start_s,
+           double duration_s) {
+  return event_us(name, 0, rank, start_s * 1e6, duration_s * 1e6);
+}
+
+/// Metadata ("M") event naming a process or thread in the viewer.
+Json metadata(const std::string& what, std::int64_t pid, std::int64_t tid,
+              const std::string& label) {
+  Json args = Json::object();
+  args.set("name", Json::string(label));
+  Json e = Json::object();
+  e.set("name", Json::string(what));
+  e.set("ph", Json::string("M"));
+  e.set("pid", Json::integer(pid));
+  e.set("tid", Json::integer(tid));
+  e.set("args", std::move(args));
+  return e;
+}
+
+void append_sim_events(Json& events, const sim::Simulator& simulator,
+                       std::int64_t pid) {
+  const auto& trace = simulator.trace();
+  for (std::uint32_t rank = 0; rank < trace.size(); ++rank) {
+    for (const auto& interval : trace[rank]) {
+      events.push_back(event_us(interval.label, pid, rank,
+                                interval.start * 1e6,
+                                (interval.end - interval.start) * 1e6));
+    }
+  }
+}
+
+/// Appends the tracer's spans under `pid`, one viewer thread per
+/// distinct track. Spans come pre-sorted from sorted_spans(), so both
+/// the tid assignment (alphabetical by track) and the event order are
+/// canonical — byte-identical across runs and thread counts.
+void append_tracer_events(Json& events, const obs::Tracer& tracer,
+                          std::int64_t pid) {
+  const std::vector<obs::Span> spans = tracer.sorted_spans();
+  std::map<std::string, std::int64_t> track_tid;
+  for (const obs::Span& span : spans) {
+    if (track_tid.emplace(span.track, 0).second) {
+      const auto tid = static_cast<std::int64_t>(track_tid.size() - 1);
+      track_tid[span.track] = tid;
+      events.push_back(metadata("thread_name", pid, tid, span.track));
+    }
+  }
+  for (const obs::Span& span : spans) {
+    events.push_back(
+        event_us(span.name, pid, track_tid[span.track], span.ts, span.dur));
+  }
 }
 
 }  // namespace
 
 std::string chrome_trace_json(const sim::Simulator& simulator) {
   Json events = Json::array();
-  const auto& trace = simulator.trace();
-  for (std::uint32_t rank = 0; rank < trace.size(); ++rank) {
-    for (const auto& interval : trace[rank]) {
-      events.push_back(event(interval.label, rank, interval.start,
-                             interval.end - interval.start));
-    }
-  }
+  append_sim_events(events, simulator, 0);
   return events.dump(-1);
 }
 
@@ -42,6 +92,23 @@ std::string chrome_trace_json(const sched::Schedule& schedule) {
           event(name, rank, placement.start, placement.duration()));
     }
   }
+  return events.dump(-1);
+}
+
+std::string chrome_trace_json(const obs::Tracer& tracer) {
+  Json events = Json::array();
+  events.push_back(metadata("process_name", 0, 0, "observability"));
+  append_tracer_events(events, tracer, 0);
+  return events.dump(-1);
+}
+
+std::string chrome_trace_json(const sim::Simulator& simulator,
+                              const obs::Tracer& tracer) {
+  Json events = Json::array();
+  events.push_back(metadata("process_name", 0, 0, "simulator"));
+  events.push_back(metadata("process_name", 1, 0, "observability"));
+  append_sim_events(events, simulator, 0);
+  append_tracer_events(events, tracer, 1);
   return events.dump(-1);
 }
 

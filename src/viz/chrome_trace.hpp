@@ -1,11 +1,15 @@
 // Chrome-tracing (chrome://tracing / Perfetto) export of simulation
-// traces and schedules: each busy interval becomes a complete ("X")
-// event on its processor's track, so executions can be inspected
-// interactively in a standard trace viewer.
+// traces, schedules, and observability spans: each busy interval or
+// span becomes a complete ("X") event on its track, so executions can
+// be inspected interactively in a standard trace viewer. All event
+// names pass through the Json string serializer, which escapes quotes,
+// backslashes, and control characters — hostile node/kernel names are
+// pinned valid by a regression test (tests/viz_test.cpp).
 #pragma once
 
 #include <string>
 
+#include "obs/obs.hpp"
 #include "sched/schedule.hpp"
 #include "sim/simulator.hpp"
 
@@ -18,5 +22,19 @@ std::string chrome_trace_json(const sim::Simulator& simulator);
 /// Serializes a predicted schedule the same way (one event per node per
 /// rank).
 std::string chrome_trace_json(const sched::Schedule& schedule);
+
+/// Serializes observability spans: one named thread per span track
+/// (thread_name metadata events), spans in canonical sorted order so
+/// the output is byte-identical across runs and thread counts. Span
+/// ts/dur are written verbatim into the chrome ts/dur (microsecond)
+/// fields: virtual-clock tracks record virtual microseconds, ordinal
+/// tracks (solver iterations, scheduler placements) ordinal units.
+std::string chrome_trace_json(const obs::Tracer& tracer);
+
+/// Merged view: the simulator's busy intervals as process 0
+/// ("simulator", one thread per rank) plus the observability spans as
+/// process 1 ("observability", one thread per track).
+std::string chrome_trace_json(const sim::Simulator& simulator,
+                              const obs::Tracer& tracer);
 
 }  // namespace paradigm::viz

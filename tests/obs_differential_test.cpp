@@ -1,0 +1,148 @@
+// Differential tests for the observability determinism contract
+// (DESIGN §9):
+//   * the exported metrics/trace bytes are identical across repeated
+//     runs and across thread counts (logical mode),
+//   * turning observability on — logical or wallclock — never changes
+//     any pipeline or simulation result, bit for bit, including
+//     fault-injected runs that exercise retries, duplicate suppression,
+//     and crash timeouts.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "codegen/mpmd.hpp"
+#include "core/json_export.hpp"
+#include "core/pipeline.hpp"
+#include "core/programs.hpp"
+#include "obs/export.hpp"
+#include "obs/obs.hpp"
+#include "sim/faults.hpp"
+#include "sim/simulator.hpp"
+#include "support/parallel.hpp"
+#include "viz/chrome_trace.hpp"
+
+namespace paradigm {
+namespace {
+
+core::PipelineConfig small_config(std::uint64_t p, std::size_t starts) {
+  core::PipelineConfig config;
+  config.processors = p;
+  config.machine.size = static_cast<std::uint32_t>(p);
+  config.machine.noise_sigma = 0.0;
+  config.calibration.repetitions = 1;
+  config.solver.num_starts = starts;
+  return config;
+}
+
+struct Exports {
+  std::string metrics;
+  std::string trace;
+};
+
+/// Full pipeline under `threads` pool threads with logical-mode
+/// observability; returns the exported bytes.
+Exports run_with_threads(std::size_t threads) {
+  set_thread_count(threads);
+  obs::reset_all();
+  obs::set_mode(obs::Mode::kLogical);
+  const mdg::Mdg graph = core::complex_matmul_mdg(16);
+  const core::Compiler compiler(small_config(8, 4));
+  compiler.compile_and_run(graph);
+  Exports exports{obs::metrics_json(),
+                  viz::chrome_trace_json(obs::Tracer::global())};
+  obs::set_mode(obs::Mode::kOff);
+  obs::reset_all();
+  return exports;
+}
+
+TEST(ObsDifferential, ExportsAreIdenticalAcrossThreadCounts) {
+  const std::size_t original = thread_count();
+  const Exports serial = run_with_threads(1);
+  const Exports serial_again = run_with_threads(1);
+  const Exports pooled = run_with_threads(4);
+  set_thread_count(original);
+
+  // Repeated runs: byte-identical.
+  EXPECT_EQ(serial.metrics, serial_again.metrics);
+  EXPECT_EQ(serial.trace, serial_again.trace);
+  // Thread counts: byte-identical (the tentpole claim).
+  EXPECT_EQ(serial.metrics, pooled.metrics);
+  EXPECT_EQ(serial.trace, pooled.trace);
+  EXPECT_NE(serial.metrics.find("solver.iterations"), std::string::npos);
+  EXPECT_NE(serial.trace.find("solver/start3"), std::string::npos);
+}
+
+/// Pipeline report serialized with observability in `mode`.
+std::string report_json(obs::Mode mode) {
+  obs::reset_all();
+  obs::set_mode(mode);
+  const mdg::Mdg graph = core::complex_matmul_mdg(16);
+  const core::Compiler compiler(small_config(8, 2));
+  const core::PipelineReport report = compiler.compile_and_run(graph);
+  obs::set_mode(obs::Mode::kOff);
+  obs::reset_all();
+  return core::report_to_json(report).dump();
+}
+
+TEST(ObsDifferential, ObservabilityNeverChangesThePipelineReport) {
+  const std::string off = report_json(obs::Mode::kOff);
+  const std::string logical = report_json(obs::Mode::kLogical);
+  const std::string wallclock = report_json(obs::Mode::kWallclock);
+  EXPECT_EQ(off, logical);
+  EXPECT_EQ(off, wallclock);
+}
+
+/// Simulates the complex-matmul MPMD program under `plan` (optional)
+/// with observability in `mode`, returning the full SimResult.
+sim::SimResult simulate(const mdg::Mdg& graph,
+                        const sched::Schedule& schedule,
+                        const sim::MachineConfig& machine,
+                        const sim::FaultPlan* plan, obs::Mode mode) {
+  obs::reset_all();
+  obs::set_mode(mode);
+  const codegen::GeneratedProgram generated =
+      codegen::generate_mpmd(graph, schedule);
+  sim::Simulator simulator(machine);
+  sim::SimResult result = plan != nullptr
+                              ? simulator.run(generated.program, *plan)
+                              : simulator.run(generated.program);
+  obs::set_mode(obs::Mode::kOff);
+  obs::reset_all();
+  return result;
+}
+
+TEST(ObsDifferential, ObservabilityNeverChangesSimResults) {
+  const mdg::Mdg graph = core::complex_matmul_mdg(16);
+  const core::PipelineConfig config = small_config(8, 1);
+  const core::Compiler compiler(config);
+  const core::PipelineReport report = compiler.compile_and_run(graph);
+  ASSERT_TRUE(report.psa.has_value());
+  const sched::Schedule& schedule = report.psa->schedule;
+
+  // Fault-free run: every field of SimResult (including the new busy /
+  // blocked / traffic accounting) is bit-identical with obs on or off.
+  const sim::SimResult clean_off =
+      simulate(graph, schedule, config.machine, nullptr, obs::Mode::kOff);
+  const sim::SimResult clean_on = simulate(graph, schedule, config.machine,
+                                           nullptr, obs::Mode::kLogical);
+  EXPECT_EQ(clean_off, clean_on);
+
+  // Faulty run: drops (retries + backoff), duplicates (suppression),
+  // and a crash (timeouts) — the instrumented paths with the most
+  // branches — still bit-identical.
+  sim::FaultPlan plan;
+  plan.seed = 71;
+  plan.drop_probability = 0.1;
+  plan.duplicate_probability = 0.1;
+  plan.crashes.push_back(
+      sim::CrashFault{1, 0.5 * clean_off.finish_time});
+  const sim::SimResult faulty_off =
+      simulate(graph, schedule, config.machine, &plan, obs::Mode::kOff);
+  const sim::SimResult faulty_on = simulate(graph, schedule, config.machine,
+                                            &plan, obs::Mode::kLogical);
+  EXPECT_EQ(faulty_off, faulty_on);
+  EXPECT_TRUE(faulty_off.aborted || !faulty_off.failed_ranks.empty());
+}
+
+}  // namespace
+}  // namespace paradigm

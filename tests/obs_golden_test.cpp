@@ -1,0 +1,90 @@
+// Golden-file tests pinning the exact exported bytes of the
+// observability layer for two reference pipelines (the paper's Figure 1
+// example and Complex Matrix Multiply). Because metrics and spans are
+// deterministic by construction (logical clocks, integer instruments,
+// canonical export order — DESIGN §9), the goldens must match
+// byte-for-byte on every run and under any PARADIGM_THREADS setting;
+// regenerate deliberately with PARADIGM_UPDATE_GOLDENS=1 after an
+// intentional instrumentation change.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "core/programs.hpp"
+#include "obs/export.hpp"
+#include "obs/obs.hpp"
+#include "viz/chrome_trace.hpp"
+
+namespace paradigm {
+namespace {
+
+bool update_goldens() {
+  const char* env = std::getenv("PARADIGM_UPDATE_GOLDENS");
+  return env != nullptr && *env != '\0' && std::string(env) != "0";
+}
+
+void check_golden(const std::string& name, const std::string& actual) {
+  const std::string path = std::string(PARADIGM_GOLDEN_DIR) + "/" + name;
+  if (update_goldens()) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write golden " << path;
+    out << actual;
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden " << path
+                         << " — regenerate with PARADIGM_UPDATE_GOLDENS=1";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(expected.str(), actual)
+      << "golden " << name << " drifted; if the instrumentation change "
+      << "is intentional, regenerate with PARADIGM_UPDATE_GOLDENS=1";
+}
+
+struct Captured {
+  std::string metrics;
+  std::string trace;
+};
+
+/// Runs the full compiler pipeline with observability in logical mode
+/// and captures the two export formats the goldens pin.
+Captured run_pipeline(const mdg::Mdg& graph, std::uint64_t p,
+                      std::size_t starts) {
+  obs::reset_all();
+  obs::set_mode(obs::Mode::kLogical);
+  core::PipelineConfig config;
+  config.processors = p;
+  config.machine.size = static_cast<std::uint32_t>(p);
+  config.machine.noise_sigma = 0.0;
+  config.calibration.repetitions = 1;
+  config.solver.num_starts = starts;
+  const core::Compiler compiler(config);
+  compiler.compile_and_run(graph);
+  Captured captured{obs::metrics_json(),
+                    viz::chrome_trace_json(obs::Tracer::global())};
+  obs::set_mode(obs::Mode::kOff);
+  obs::reset_all();
+  return captured;
+}
+
+TEST(ObsGolden, Figure1PipelineMetricsAndTrace) {
+  const Captured c = run_pipeline(core::figure1_example(), 4, 1);
+  check_golden("figure1_p4.metrics.json", c.metrics);
+  check_golden("figure1_p4.trace.json", c.trace);
+}
+
+// Multi-start descent so the goldens also cover metrics recorded from
+// inside thread-pool tasks (per-start histograms, per-start span
+// tracks) — the bytes must still be thread-count invariant.
+TEST(ObsGolden, ComplexMatmulPipelineMetricsAndTrace) {
+  const Captured c = run_pipeline(core::complex_matmul_mdg(16), 8, 2);
+  check_golden("complex_matmul_n16_p8.metrics.json", c.metrics);
+  check_golden("complex_matmul_n16_p8.trace.json", c.trace);
+}
+
+}  // namespace
+}  // namespace paradigm

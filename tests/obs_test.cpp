@@ -1,0 +1,255 @@
+// Unit tests for the deterministic observability layer: mode switching,
+// counter/gauge/histogram semantics, histogram-merge algebra, registry
+// reset and inactive-instrument skipping, canonical span ordering, and
+// the exact byte format of the metrics-JSON / Prometheus exporters.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/obs.hpp"
+#include "support/error.hpp"
+#include "support/json.hpp"
+
+namespace paradigm::obs {
+namespace {
+
+/// Every test runs from a clean enabled state and leaves obs off.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    reset_all();
+    set_mode(Mode::kLogical);
+  }
+  void TearDown() override {
+    set_mode(Mode::kOff);
+    reset_all();
+  }
+};
+
+TEST_F(ObsTest, ModeParsingAndPredicates) {
+  EXPECT_EQ(parse_mode("off"), Mode::kOff);
+  EXPECT_EQ(parse_mode("on"), Mode::kLogical);
+  EXPECT_EQ(parse_mode("logical"), Mode::kLogical);
+  EXPECT_EQ(parse_mode("wallclock"), Mode::kWallclock);
+  EXPECT_THROW(parse_mode("bogus"), Error);
+
+  set_mode(Mode::kOff);
+  EXPECT_FALSE(enabled());
+  EXPECT_FALSE(wallclock_enabled());
+  set_mode(Mode::kLogical);
+  EXPECT_TRUE(enabled());
+  EXPECT_FALSE(wallclock_enabled());
+  set_mode(Mode::kWallclock);
+  EXPECT_TRUE(enabled());
+  EXPECT_TRUE(wallclock_enabled());
+
+  EXPECT_STREQ(to_string(Mode::kOff), "off");
+  EXPECT_STREQ(to_string(Mode::kLogical), "logical");
+  EXPECT_STREQ(to_string(Mode::kWallclock), "wallclock");
+}
+
+TEST_F(ObsTest, CounterRespectsMode) {
+  Counter c;
+  c.add(3);
+  EXPECT_EQ(c.value(), 3u);
+  set_mode(Mode::kOff);
+  c.add(100);  // gated off
+  EXPECT_EQ(c.value(), 3u);
+  c.add_unchecked(2);  // unconditional
+  EXPECT_EQ(c.value(), 5u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_FALSE(c.active());
+}
+
+TEST_F(ObsTest, GaugeTracksLastValueAndActivity) {
+  Gauge g;
+  EXPECT_FALSE(g.active());
+  g.set(2.5);
+  g.add(1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+  EXPECT_TRUE(g.active());
+  set_mode(Mode::kOff);
+  g.set(99.0);
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+  g.reset();
+  EXPECT_FALSE(g.active());
+}
+
+TEST_F(ObsTest, HistogramBucketBoundariesAreUpperInclusive) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.observe(0.5);    // bucket 0: v <= 1
+  h.observe(1.0);    // bucket 0 (upper-inclusive)
+  h.observe(1.0001); // bucket 1
+  h.observe(10.0);   // bucket 1
+  h.observe(100.0);  // bucket 2
+  h.observe(101.0);  // +inf bucket
+  const HistogramData d = h.snapshot();
+  EXPECT_EQ(d.counts, (std::vector<std::uint64_t>{2, 2, 1, 1}));
+  EXPECT_EQ(d.total(), 6u);
+  h.reset();
+  EXPECT_FALSE(h.active());
+}
+
+TEST_F(ObsTest, HistogramRejectsUnsortedBounds) {
+  EXPECT_THROW(Histogram({2.0, 1.0}), Error);
+  EXPECT_THROW(Histogram({1.0, 1.0}), Error);
+}
+
+TEST_F(ObsTest, BoundHelpers) {
+  EXPECT_EQ(exp_bounds(1.0, 10.0, 3),
+            (std::vector<double>{1.0, 10.0, 100.0}));
+  EXPECT_EQ(linear_bounds(0.5, 0.5, 3),
+            (std::vector<double>{0.5, 1.0, 1.5}));
+}
+
+// Merge is bucket-wise integer addition, so it is associative and
+// commutative: any merge tree over any partition of the observations
+// (the shape a work-stealing pool would produce) yields the same state.
+TEST_F(ObsTest, HistogramMergeIsAssociativeAndCommutative) {
+  const std::vector<double> bounds{1.0, 2.0, 4.0};
+  const auto observe_all = [&](const std::vector<double>& vs) {
+    Histogram h(bounds);
+    for (const double v : vs) h.observe(v);
+    return h.snapshot();
+  };
+  const HistogramData a = observe_all({0.5, 1.5, 8.0});
+  const HistogramData b = observe_all({2.0, 2.0, 3.0});
+  const HistogramData c = observe_all({0.1, 5.0});
+
+  EXPECT_EQ(merge(a, b), merge(b, a));
+  EXPECT_EQ(merge(merge(a, b), c), merge(a, merge(b, c)));
+  // Merging partitions == observing everything in one histogram.
+  EXPECT_EQ(merge(merge(a, b), c),
+            observe_all({0.5, 1.5, 8.0, 2.0, 2.0, 3.0, 0.1, 5.0}));
+}
+
+TEST_F(ObsTest, MergeRequiresIdenticalBounds) {
+  Histogram a({1.0, 2.0});
+  Histogram b({1.0, 3.0});
+  EXPECT_THROW(merge(a.snapshot(), b.snapshot()), Error);
+}
+
+TEST_F(ObsTest, RegistryReturnsStableInstrumentsAndChecksBounds) {
+  Registry& reg = Registry::global();
+  Counter& c1 = reg.counter("test.counter");
+  Counter& c2 = reg.counter("test.counter");
+  EXPECT_EQ(&c1, &c2);
+
+  const std::vector<double> bounds{1.0, 2.0};
+  Histogram& h1 = reg.histogram("test.hist", bounds);
+  Histogram& h2 = reg.histogram("test.hist", bounds);
+  EXPECT_EQ(&h1, &h2);
+  const std::vector<double> other{1.0, 3.0};
+  EXPECT_THROW(reg.histogram("test.hist", other), Error);
+}
+
+TEST_F(ObsTest, SnapshotSkipsInactiveInstruments) {
+  Registry& reg = Registry::global();
+  reg.counter("test.zero");              // never incremented
+  reg.gauge("test.unset");               // never set
+  const std::vector<double> bounds{1.0};
+  reg.histogram("test.empty", bounds);   // never observed
+  reg.counter("test.used").add(1);
+
+  const Registry::MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.size(), 1u);
+  EXPECT_TRUE(snap.counters.contains("test.used"));
+  EXPECT_TRUE(snap.gauges.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+
+  // reset() returns a used instrument to the inactive (skipped) state.
+  reg.reset();
+  EXPECT_TRUE(reg.snapshot().counters.empty());
+}
+
+TEST_F(ObsTest, TracerSortsSpansCanonically) {
+  Tracer& tracer = Tracer::global();
+  tracer.record("b", "later", 5.0, 1.0);
+  tracer.record("a", "second", 2.0, 1.0);
+  tracer.record("b", "early", 1.0, 1.0);
+  tracer.record("a", "first", 1.0, 1.0);
+  const std::vector<Span> spans = tracer.sorted_spans();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans[0], (Span{"a", "first", 1.0, 1.0}));
+  EXPECT_EQ(spans[1], (Span{"a", "second", 2.0, 1.0}));
+  EXPECT_EQ(spans[2], (Span{"b", "early", 1.0, 1.0}));
+  EXPECT_EQ(spans[3], (Span{"b", "later", 5.0, 1.0}));
+
+  set_mode(Mode::kOff);
+  tracer.record("c", "dropped", 0.0, 0.0);
+  EXPECT_EQ(tracer.size(), 4u);
+}
+
+TEST_F(ObsTest, PhaseSpanRecordsLogicalUnitInterval) {
+  { const PhaseSpan span("track", "phase", 7.0); }
+  const std::vector<Span> spans = Tracer::global().sorted_spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0], (Span{"track", "phase", 7.0, 1.0}));
+}
+
+TEST_F(ObsTest, PhaseSpanRecordsNothingWhenOff) {
+  set_mode(Mode::kOff);
+  { const PhaseSpan span("track", "phase", 0.0); }
+  EXPECT_EQ(Tracer::global().size(), 0u);
+}
+
+TEST_F(ObsTest, MetricsJsonFormat) {
+  Registry& reg = Registry::global();
+  reg.counter("test.count").add(2);
+  reg.gauge("test.gauge").set(1.5);
+  const std::vector<double> bounds{1.0, 2.0};
+  Histogram& h = reg.histogram("test.h", bounds);
+  h.observe(0.5);
+  h.observe(3.0);
+  Tracer::global().record("t", "s", 0.0, 1.0);
+
+  EXPECT_EQ(metrics_json(),
+            "{\n"
+            "  \"counters\": {\n"
+            "    \"test.count\": 2\n"
+            "  },\n"
+            "  \"gauges\": {\n"
+            "    \"test.gauge\": 1.5\n"
+            "  },\n"
+            "  \"histograms\": {\n"
+            "    \"test.h\": {\n"
+            "      \"bounds\": [1, 2],\n"
+            "      \"counts\": [1, 0, 1],\n"
+            "      \"total\": 2\n"
+            "    }\n"
+            "  },\n"
+            "  \"spans\": 1\n"
+            "}\n");
+}
+
+TEST_F(ObsTest, PrometheusTextFormat) {
+  Registry& reg = Registry::global();
+  reg.counter("test.count").add(2);
+  const std::vector<double> bounds{1.0, 2.0};
+  Histogram& h = reg.histogram("test.h", bounds);
+  h.observe(0.5);
+  h.observe(3.0);
+
+  EXPECT_EQ(prometheus_text(),
+            "# TYPE test_count counter\n"
+            "test_count 2\n"
+            "# TYPE test_h histogram\n"
+            "test_h_bucket{le=\"1\"} 1\n"
+            "test_h_bucket{le=\"2\"} 1\n"
+            "test_h_bucket{le=\"+Inf\"} 2\n"
+            "test_h_count 2\n");
+}
+
+TEST_F(ObsTest, JsonHelpersMatchSupportJson) {
+  const std::string hostile = "a\"b\\c\nd\x01" "e";
+  EXPECT_EQ(escape_json(hostile), Json::string(hostile).dump(-1));
+  for (const double v : {1.5, 0.1, 1e-9, 123456789.0, -2.25}) {
+    EXPECT_EQ(format_double(v), Json::number(v).dump(-1));
+  }
+}
+
+}  // namespace
+}  // namespace paradigm::obs

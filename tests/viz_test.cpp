@@ -1,9 +1,15 @@
-// Tests for the SVG visualization layer.
+// Tests for the SVG visualization layer and the Chrome-trace exporters,
+// including a regression test that hostile span/node names (quotes,
+// backslashes, control characters) always come out as well-formed JSON.
 #include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
 
 #include "codegen/mpmd.hpp"
 #include "core/programs.hpp"
 #include "cost/model.hpp"
+#include "obs/obs.hpp"
 #include "sched/psa.hpp"
 #include "sim/simulator.hpp"
 #include "solver/allocator.hpp"
@@ -14,6 +20,119 @@
 
 namespace paradigm::viz {
 namespace {
+
+/// Minimal recursive-descent JSON well-formedness checker (the support
+/// layer deliberately has no parser). Returns true iff `text` is one
+/// complete, syntactically valid JSON value.
+class JsonChecker {
+ public:
+  static bool valid(const std::string& text) {
+    JsonChecker c(text);
+    c.skip_ws();
+    if (!c.value()) return false;
+    c.skip_ws();
+    return c.pos_ == text.size();
+  }
+
+ private:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (consume('}')) return true;
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (!consume(':')) return false;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (consume('}')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (consume(']')) return true;
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (consume(']')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+  bool string() {
+    if (!consume('"')) return false;
+    while (pos_ < text_.size()) {
+      const unsigned char c = text_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (c < 0x20) return false;  // raw control char: invalid JSON
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        const char e = text_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+              return false;
+            }
+          }
+        } else if (std::string("\"\\/bfnrt").find(e) == std::string::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {}
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(const std::string& word) {
+    if (text_.compare(pos_, word.size(), word) != 0) return false;
+    pos_ += word.size();
+    return true;
+  }
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) { ++pos_; return true; }
+    return false;
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
 
 std::size_t count_occurrences(const std::string& haystack,
                               const std::string& needle) {
@@ -138,6 +257,89 @@ TEST(ChromeTrace, SimulatorEventsCoverBusyIntervals) {
   const std::string json = chrome_trace_json(simulator);
   EXPECT_EQ(count_occurrences(json, "\"ph\":\"X\""), 2u);
   EXPECT_NE(json.find("\"dur\":500000"), std::string::npos);  // 0.5 s in us
+}
+
+TEST(ChromeTrace, WellFormedJsonOverall) {
+  const mdg::Mdg graph = core::figure1_example();
+  const cost::CostModel model(graph, cost::MachineParams{},
+                              cost::KernelCostTable{});
+  std::vector<std::uint64_t> alloc(graph.node_count(), 1);
+  alloc[0] = 4;
+  const sched::Schedule schedule = sched::list_schedule(model, alloc, 4);
+  EXPECT_TRUE(JsonChecker::valid(chrome_trace_json(schedule)));
+}
+
+// Regression: node names with quotes, backslashes, newlines, and other
+// control characters must be escaped in every Chrome-trace export path
+// (the frontend lexer rejects such names, but the mdg API and span
+// tracks accept arbitrary strings).
+TEST(ChromeTrace, HostileNodeNamesStayValidJson) {
+  const std::string hostile = "ev\"il\\node\nwith\tctl\x01" "chars";
+  mdg::Mdg graph;
+  const mdg::NodeId a = graph.add_synthetic(hostile, 0.1, 1.0);
+  const mdg::NodeId b = graph.add_synthetic("tame", 0.1, 1.0);
+  graph.add_synthetic_dependence(a, b, 1024);
+  graph.finalize();
+
+  const cost::CostModel model(graph, cost::MachineParams{},
+                              cost::KernelCostTable{});
+  std::vector<std::uint64_t> alloc(graph.node_count(), 1);
+  const sched::Schedule schedule = sched::list_schedule(model, alloc, 2);
+  const std::string json = chrome_trace_json(schedule);
+  EXPECT_TRUE(JsonChecker::valid(json)) << json;
+  EXPECT_NE(json.find("ev\\\"il\\\\node\\nwith\\tctl\\u0001chars"),
+            std::string::npos);
+  // The raw (unescaped) name must not appear.
+  EXPECT_EQ(json.find(hostile), std::string::npos);
+}
+
+TEST(ChromeTrace, HostileSpanTracksAndNamesStayValidJson) {
+  obs::reset_all();
+  obs::set_mode(obs::Mode::kLogical);
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.record("tr\"ack\\one", "sp\nan\x02", 0.0, 1.0);
+  tracer.record("tame", "also \"quoted\"", 2.0, 1.0);
+  const std::string json = chrome_trace_json(tracer);
+  obs::set_mode(obs::Mode::kOff);
+  obs::reset_all();
+
+  EXPECT_TRUE(JsonChecker::valid(json)) << json;
+  EXPECT_NE(json.find("tr\\\"ack\\\\one"), std::string::npos);
+  EXPECT_NE(json.find("sp\\nan\\u0002"), std::string::npos);
+  // Track metadata names each virtual thread.
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+}
+
+TEST(ChromeTrace, MergedExportSeparatesProcesses) {
+  sim::MachineConfig mc;
+  mc.size = 2;
+  mc.noise_sigma = 0.0;
+  sim::MpmdProgram program(2);
+  sim::GroupKernel work;
+  work.node = 0;
+  work.op = mdg::LoopOp::kSynthetic;
+  work.cost_override = 0.25;
+  work.group = {0, 1};
+  program.streams[0].push_back(work);
+  program.streams[1].push_back(work);
+  sim::Simulator simulator(mc);
+  simulator.run(program);
+
+  obs::reset_all();
+  obs::set_mode(obs::Mode::kLogical);
+  obs::Tracer::global().record("compiler", "allocate", 1.0, 1.0);
+  const std::string json = chrome_trace_json(simulator,
+                                             obs::Tracer::global());
+  obs::set_mode(obs::Mode::kOff);
+  obs::reset_all();
+
+  EXPECT_TRUE(JsonChecker::valid(json)) << json;
+  // Both processes named, sim events on pid 0, spans on pid 1.
+  EXPECT_NE(json.find("\"simulator\""), std::string::npos);
+  EXPECT_NE(json.find("\"observability\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"allocate\""), std::string::npos);
 }
 
 TEST(Charts, EmptyAndMismatchedSeriesRejected) {

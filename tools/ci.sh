@@ -8,7 +8,15 @@
 # The TSan configuration runs the whole suite with PARADIGM_THREADS=4 so
 # every test exercises the thread pool (support/parallel.hpp) under the
 # race detector — the determinism contract makes this safe: results must
-# be bit-identical to the serial run, so the suite passes unchanged.
+# be bit-identical to the serial run, so the suite passes unchanged. An
+# extra TSan stage re-runs the golden/differential observability suite
+# (ctest -L "golden|differential") to pin the DESIGN §9 claim: exported
+# metrics/trace bytes match the checked-in goldens even with 4 pool
+# threads racing under the race detector.
+#
+# The plain configuration also collects per-bench metrics sidecars
+# (PARADIGM_METRICS_DIR) from perf_micro's gate runs into
+# build-ci/artifacts/ for archiving.
 #
 # Run from the repository root. Build trees land in build-ci/.
 set -euo pipefail
@@ -30,7 +38,18 @@ run_config() {
   ctest --test-dir "$dir" --output-on-failure -j "$jobs"
 }
 
-run_config plain -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPARADIGM_WERROR=ON
+artifacts="$PWD/build-ci/artifacts"
+mkdir -p "$artifacts"
+
+# The perf gates (perf_micro under ctest) drop per-bench metrics
+# sidecars into PARADIGM_METRICS_DIR; BENCH_*.json gate reports land in
+# the build tree. Both are archived from the plain configuration.
+PARADIGM_METRICS_DIR="$artifacts" \
+  run_config plain -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPARADIGM_WERROR=ON
+find build-ci/plain -maxdepth 1 -name 'BENCH_*.json' \
+  -exec cp {} "$artifacts/" \;
+echo "=== artifacts ==="
+ls -l "$artifacts"
 
 if [[ "$fast" == 0 ]]; then
   run_config asan-ubsan \
@@ -40,6 +59,13 @@ if [[ "$fast" == 0 ]]; then
   PARADIGM_THREADS=4 run_config tsan \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DPARADIGM_SANITIZE=thread
+
+  # Explicit determinism stage: the observability golden/differential
+  # suite must reproduce the checked-in bytes with 4 pool threads under
+  # the race detector.
+  echo "=== [tsan] observability golden/differential suite ==="
+  PARADIGM_THREADS=4 ctest --test-dir build-ci/tsan \
+    -L "golden|differential" --output-on-failure -j "$jobs"
 fi
 
 echo "CI passed."

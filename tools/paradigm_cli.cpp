@@ -19,6 +19,8 @@
 #include "frontend/compile.hpp"
 #include "mdg/dot.hpp"
 #include "mdg/textio.hpp"
+#include "obs/export.hpp"
+#include "obs/obs.hpp"
 #include "viz/charts.hpp"
 #include "viz/chrome_trace.hpp"
 #include "codegen/mpmd.hpp"
@@ -129,6 +131,14 @@ int main(int argc, char** argv) {
   args.add_option("trace", "",
                   "write the simulated execution as a Chrome trace "
                   "(chrome://tracing JSON) here");
+  args.add_option("obs", "off",
+                  "observability: off | on (deterministic logical time) |\n"
+                  "      wallclock (adds real durations; not reproducible)");
+  args.add_option("metrics-out", "",
+                  "write collected metrics as JSON here (implies --obs=on)");
+  args.add_option("trace-out", "",
+                  "write a merged Chrome trace (simulated execution +\n"
+                  "      pipeline spans) here (implies --obs=on)");
   args.add_flag("gantt", "print the PSA schedule's Gantt chart");
   args.add_flag("no-sim", "predictions only (skip simulation)");
   args.add_flag("inject-faults",
@@ -156,6 +166,14 @@ int main(int argc, char** argv) {
     const std::int64_t threads = args.get_int("threads");
     PARADIGM_CHECK(threads >= 0, "--threads must be >= 0");
     set_thread_count(static_cast<std::size_t>(threads));
+
+    obs::Mode obs_mode = obs::parse_mode(args.get("obs"));
+    if (obs_mode == obs::Mode::kOff &&
+        (!args.get("metrics-out").empty() ||
+         !args.get("trace-out").empty())) {
+      obs_mode = obs::Mode::kLogical;
+    }
+    obs::set_mode(obs_mode);
     const std::int64_t starts = args.get_int("starts");
     PARADIGM_CHECK(starts >= 1, "--starts must be >= 1");
 
@@ -260,13 +278,30 @@ int main(int argc, char** argv) {
       write_file(args.get("svg"),
                  viz::schedule_gantt_svg(report.psa->schedule));
     }
-    if (!args.get("trace").empty() && report.psa &&
+    // Metrics reflect the pipeline run above, so write them before the
+    // extra simulation that --trace/--trace-out performs for rendering.
+    if (!args.get("metrics-out").empty()) {
+      write_file(args.get("metrics-out"), obs::metrics_json());
+    }
+    const bool want_trace = !args.get("trace").empty();
+    const bool want_merged = !args.get("trace-out").empty();
+    if ((want_trace || want_merged) && report.psa &&
         config.run_simulation) {
       const codegen::GeneratedProgram generated =
           codegen::generate_mpmd(graph, report.psa->schedule);
       sim::Simulator simulator(config.machine);
       simulator.run(generated.program);
-      write_file(args.get("trace"), viz::chrome_trace_json(simulator));
+      if (want_trace) {
+        write_file(args.get("trace"), viz::chrome_trace_json(simulator));
+      }
+      if (want_merged) {
+        write_file(args.get("trace-out"),
+                   viz::chrome_trace_json(simulator, obs::Tracer::global()));
+      }
+    } else if (want_merged) {
+      // Predictions only: export the pipeline spans on their own.
+      write_file(args.get("trace-out"),
+                 viz::chrome_trace_json(obs::Tracer::global()));
     }
     if (!args.get("save-calib").empty()) {
       write_file(args.get("save-calib"),
