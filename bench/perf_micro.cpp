@@ -20,6 +20,12 @@
 // previous baseline warrants investigation). When PARADIGM_METRICS_DIR
 // is set, the gate also drops the metrics it collected as a sidecar
 // there.
+//
+// `perf_micro --guard-gate[=out.json]` measures what the DESIGN §10
+// finite guards (isfinite checks inside the convex descent loop) cost
+// on the N = 128 allocator hot path, guards-off vs guards-on
+// interleaved, and FAILS if the overhead exceeds 2% or if the guarded
+// run produces a different allocation. Results go to BENCH_pr4.json.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -513,6 +519,102 @@ int run_obs_gate(const std::string& out_path) {
   return 0;
 }
 
+// ---- PR4 finite-guard overhead gate ---------------------------------
+
+int run_guard_gate(const std::string& out_path) {
+  constexpr double kMaxOverhead = 0.02;  // guards may cost at most 2%
+  constexpr std::size_t kGateNodes = 128;
+  constexpr std::size_t kReps = 15;
+
+  set_thread_count(1);
+  const mdg::Mdg graph = sized_graph(kGateNodes);
+  const cost::CostModel model(graph, cost::MachineParams{},
+                              cost::KernelCostTable{});
+
+  // The allocator hot path with and without the per-iteration finite
+  // guards (isfinite checks on the objective, gradient scale, and
+  // projected-gradient norm added in DESIGN §10). Interleaved
+  // off/on/off/on like the obs gate so drift hits both sides equally.
+  solver::ConvexAllocatorConfig off_config;
+  off_config.continuation_rounds = 3;
+  off_config.max_inner_iterations = 120;
+  off_config.finite_guards = false;
+  solver::ConvexAllocatorConfig on_config = off_config;
+  on_config.finite_guards = true;
+  const solver::ConvexAllocator guards_off(off_config);
+  const solver::ConvexAllocator guards_on(on_config);
+
+  const auto run_off = [&] {
+    benchmark::DoNotOptimize(guards_off.allocate(model, 64.0));
+  };
+  const auto run_on = [&] {
+    benchmark::DoNotOptimize(guards_on.allocate(model, 64.0));
+  };
+  run_off();  // warmup
+  run_on();
+  std::vector<double> off_samples, on_samples;
+  off_samples.reserve(kReps);
+  on_samples.reserve(kReps);
+  for (std::size_t r = 0; r < kReps; ++r) {
+    off_samples.push_back(timed_ns(run_off));
+    on_samples.push_back(timed_ns(run_on));
+  }
+  std::sort(off_samples.begin(), off_samples.end());
+  std::sort(on_samples.begin(), on_samples.end());
+  const double off_ns = off_samples[off_samples.size() / 2];
+  const double on_ns = on_samples[on_samples.size() / 2];
+  const double overhead = off_ns > 0.0 ? on_ns / off_ns - 1.0 : 0.0;
+  const bool passed = overhead <= kMaxOverhead;
+
+  std::cout << "allocator N=" << kGateNodes << ": guards-off "
+            << off_ns / 1e6 << " ms, guards-on " << on_ns / 1e6
+            << " ms (" << overhead * 100.0 << "% overhead)\n";
+
+  // Sanity: the guarded and unguarded runs must agree on the result
+  // for well-conditioned inputs — the guards are checks, not behavior.
+  const solver::AllocationResult a_off = guards_off.allocate(model, 64.0);
+  const solver::AllocationResult a_on = guards_on.allocate(model, 64.0);
+  const bool identical = a_off.allocation == a_on.allocation &&
+                         a_off.phi == a_on.phi;
+  if (!identical) {
+    std::cerr << "GUARD GATE: guards changed the allocation on a "
+                 "well-conditioned input\n";
+  }
+
+  Json doc = Json::object();
+  doc.set("pr", Json::integer(4));
+  Json gate = Json::object();
+  gate.set("max_overhead", Json::number(kMaxOverhead));
+  gate.set("measured_overhead", Json::number(overhead));
+  gate.set("passed", Json::boolean(passed && identical));
+  gate.set("results_identical", Json::boolean(identical));
+  doc.set("gate", std::move(gate));
+  Json benches = Json::array();
+  Json b = Json::object();
+  b.set("name", Json::string("allocator"));
+  b.set("n", Json::integer(static_cast<std::int64_t>(kGateNodes)));
+  b.set("guards_off_ns", Json::number(off_ns));
+  b.set("guards_on_ns", Json::number(on_ns));
+  b.set("overhead", Json::number(overhead));
+  benches.push_back(std::move(b));
+  doc.set("benchmarks", std::move(benches));
+
+  std::ofstream out(out_path);
+  out << doc.dump() << "\n";
+  std::cout << "wrote " << out_path << "\n";
+
+  if (!passed) {
+    std::cerr << "GUARD OVERHEAD: finite guards cost "
+              << overhead * 100.0 << "% on the allocator N=" << kGateNodes
+              << " hot path, budget " << kMaxOverhead * 100.0 << "%\n";
+    return 1;
+  }
+  if (!identical) return 1;
+  std::cout << "gate passed: " << overhead * 100.0 << "% <= "
+            << kMaxOverhead * 100.0 << "%\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -529,6 +631,12 @@ int main(int argc, char** argv) {
       const std::string path =
           eq == std::string::npos ? "BENCH_pr3.json" : arg.substr(eq + 1);
       return run_obs_gate(path);
+    }
+    if (arg.rfind("--guard-gate", 0) == 0) {
+      const std::size_t eq = arg.find('=');
+      const std::string path =
+          eq == std::string::npos ? "BENCH_pr4.json" : arg.substr(eq + 1);
+      return run_guard_gate(path);
     }
   }
   benchmark::Initialize(&argc, argv);

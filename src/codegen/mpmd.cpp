@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "sim/redistribute.hpp"
+#include "support/degrade.hpp"
 #include "support/error.hpp"
 
 namespace paradigm::codegen {
@@ -37,7 +38,14 @@ ArrayShape synthetic_shape(mdg::EdgeId edge, std::size_t array_index,
       "$e" + std::to_string(edge) + "." + std::to_string(array_index);
   shape.synthetic = true;
   shape.kind = kind;
-  const std::size_t elems = std::max<std::size_t>(1, bytes / sizeof(double));
+  // The stand-in payload is capped (DESIGN §10): a pathological edge
+  // can declare petabytes, but the simulator materializes real
+  // matrices, so the array is bounded at kSyntheticPayloadByteLimit.
+  // The cost model and the schedule still see the true byte count;
+  // sanitize_inputs flags capped edges as kHugeTransfer.
+  const std::size_t capped =
+      std::min(bytes, degrade::kSyntheticPayloadByteLimit);
+  const std::size_t elems = std::max<std::size_t>(1, capped / sizeof(double));
   if (kind == mdg::TransferKind::k1D) {
     shape.rows = elems;
     shape.cols = 1;

@@ -76,6 +76,13 @@ Json allocation_to_json(const solver::AllocationResult& result) {
   out.set("iterations",
           Json::integer(static_cast<std::int64_t>(result.iterations)));
   out.set("converged", Json::boolean(result.converged));
+  // Emitted only for abnormal terminations so well-conditioned reports
+  // stay byte-identical to the pre-ladder exporter (a stall is already
+  // visible as converged=false).
+  if (result.status == solver::SolveStatus::kBudgetExhausted ||
+      result.status == solver::SolveStatus::kNonFinite) {
+    out.set("status", Json::string(solver::to_string(result.status)));
+  }
   return out;
 }
 
@@ -142,6 +149,28 @@ Json report_to_json(const PipelineReport& report) {
   exec.set("mpmd_speedup", Json::number(report.mpmd_speedup()));
   exec.set("spmd_speedup", Json::number(report.spmd_speedup()));
   out.set("execution", std::move(exec));
+
+  // Degradation block (DESIGN §10), emitted only when there is
+  // something to report so clean output is byte-identical to the
+  // pre-ladder exporter.
+  if (report.degraded() || !report.diagnostics.empty()) {
+    Json degradation = Json::object();
+    degradation.set("level", Json::integer(static_cast<std::int64_t>(
+                                 report.degradation)));
+    degradation.set("level_name",
+                    Json::string(degrade::to_string(report.degradation)));
+    Json diags = Json::array();
+    for (const auto& d : report.diagnostics) {
+      Json j = Json::object();
+      j.set("code", Json::string(degrade::to_string(d.code)));
+      j.set("severity", Json::string(degrade::to_string(d.severity)));
+      if (!d.subject.empty()) j.set("subject", Json::string(d.subject));
+      if (!d.detail.empty()) j.set("detail", Json::string(d.detail));
+      diags.push_back(std::move(j));
+    }
+    degradation.set("diagnostics", std::move(diags));
+    out.set("degradation", std::move(degradation));
+  }
   return out;
 }
 

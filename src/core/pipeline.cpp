@@ -1,16 +1,44 @@
 #include "core/pipeline.hpp"
 
+#include <cmath>
 #include <sstream>
 
 #include "calibrate/static_estimate.hpp"
+#include "cost/sanitize.hpp"
 #include "obs/obs.hpp"
 #include "sched/bounds.hpp"
 #include "sched/refine.hpp"
 #include "support/error.hpp"
 #include "support/log.hpp"
+#include "support/parallel.hpp"
 #include "support/pow2.hpp"
 
 namespace paradigm::core {
+namespace {
+
+/// Degradation instruments (DESIGN §10). Registered once but touched
+/// only when a pipeline actually degrades or diagnoses something, so
+/// clean runs export byte-identical metric sets.
+struct DegradeMetrics {
+  obs::Gauge& level =
+      obs::Registry::global().gauge("pipeline.degradation_level");
+  obs::Counter& recoveries =
+      obs::Registry::global().counter("pipeline.recoveries");
+  obs::Counter& diagnostics =
+      obs::Registry::global().counter("pipeline.diagnostics");
+};
+
+DegradeMetrics& degrade_metrics() {
+  static DegradeMetrics metrics;
+  return metrics;
+}
+
+void append_diagnostics(std::vector<degrade::Diagnostic>& into,
+                        std::vector<degrade::Diagnostic> from) {
+  for (auto& d : from) into.push_back(std::move(d));
+}
+
+}  // namespace
 
 std::string PipelineReport::summary() const {
   std::ostringstream os;
@@ -18,6 +46,9 @@ std::string PipelineReport::summary() const {
      << "s  MPMD sim=" << mpmd.simulated << "s  SPMD sim="
      << spmd_run.simulated << "s  serial=" << serial_seconds
      << "s  speedup MPMD=" << mpmd_speedup() << " SPMD=" << spmd_speedup();
+  if (degraded()) {
+    os << "  DEGRADED=" << degrade::to_string(degradation);
+  }
   return os.str();
 }
 
@@ -78,6 +109,9 @@ double Compiler::measure_serial(const mdg::Mdg& graph) const {
 
 PipelineReport Compiler::compile_and_run(const mdg::Mdg& graph) const {
   const std::uint64_t p = config_.processors;
+  const degrade::Policy& policy = config_.degradation;
+  PipelineReport report;
+  report.processors = p;
 
   // Phase spans sit on the "compiler" track at logical times 0..6 (one
   // slot per pipeline stage, in the paper's Section 1.2 order); in
@@ -88,63 +122,206 @@ PipelineReport Compiler::compile_and_run(const mdg::Mdg& graph) const {
     const obs::PhaseSpan span("compiler", "calibrate", 0.0);
     return fit_parameters(graph);
   }();
-  const cost::CostModel model(graph, machine_params, table);
 
-  // 2. Convex allocation.
-  const solver::ConvexAllocator allocator(config_.solver);
-  solver::AllocationResult allocation = [&] {
+  // 1b. Input sanitization scan (DESIGN §10): pure value checks over
+  // the MDG shape, Amdahl parameters and machine parameters. On a clean
+  // graph the scan finds nothing, no repair happens, and the cost model
+  // below is bit-identical to the unsanitized one.
+  const cost::SanitizeReport scan =
+      cost::sanitize_inputs(graph, machine_params, table, policy);
+  if (policy.strict && degrade::has_error(scan.diagnostics)) {
+    PARADIGM_FAIL("strict mode: input sanitization rejected the MDG\n"
+                  << degrade::format_diagnostics(scan.diagnostics));
+  }
+  report.diagnostics = scan.diagnostics;
+  const bool repair = policy.enabled && scan.needs_repair;
+  const cost::CostModel model(graph, machine_params, table,
+                              repair ? cost::ParamPolicy::kSanitize
+                                     : cost::ParamPolicy::kStrict,
+                              policy);
+
+  // 2. Convex allocation behind the recovery ladder. Every rung is
+  // value-triggered (finite checks), so the accepted rung — and the
+  // whole report — is deterministic across machines and thread counts.
+  // When the scan forced parameter repair, the solve answers a
+  // *repaired* problem, not the one the caller stated — that is a
+  // degradation by definition, so the ladder starts at rung 1 (the
+  // multi-start retry on the sanitized model) instead of pretending a
+  // pristine rung-0 solve happened.
+  solver::GuardedAllocation guarded = [&] {
     const obs::PhaseSpan span("compiler", "allocate", 1.0);
-    return allocator.allocate(model, static_cast<double>(p));
+    if (!policy.enabled) {
+      solver::GuardedAllocation g;
+      g.result = solver::ConvexAllocator(config_.solver)
+                     .allocate(model, static_cast<double>(p));
+      return g;
+    }
+    return solver::allocate_with_recovery(
+        model, static_cast<double>(p), config_.solver, config_.recovery,
+        repair ? degrade::DegradationLevel::kMultiStartRetry
+               : degrade::DegradationLevel::kNone);
   }();
-  log_info("allocation: ", allocation.summary());
+  log_info("allocation: ", guarded.result.summary());
+  append_diagnostics(report.diagnostics, std::move(guarded.diagnostics));
+  if (policy.strict &&
+      guarded.level != degrade::DegradationLevel::kNone) {
+    PARADIGM_FAIL("strict mode: convex allocation required recovery\n"
+                  << degrade::format_diagnostics(report.diagnostics));
+  }
 
-  // 3. PSA scheduling (+ SPMD baseline). The SPMD baseline is predicted
-  // with a transfer-free cost model: with every node on the same full
-  // processor group, arrays never move (the code generator elides those
-  // redistributions), exactly as a hand-coded SPMD program behaves.
-  sched::PsaResult psa = [&] {
-    const obs::PhaseSpan span("compiler", "schedule", 2.0);
-    return sched::prioritized_schedule(model, allocation.allocation, p,
-                                       config_.psa);
-  }();
-  psa.schedule.validate(model);
+  // 3. PSA scheduling behind the post-schedule invariant gate: a
+  // violating schedule is never released — the pipeline descends one
+  // recovery rung and reschedules until the invariants hold (the serial
+  // rung schedules trivially, so the loop terminates).
+  std::optional<sched::PsaResult> psa;
+  while (true) {
+    std::vector<degrade::Diagnostic> violations;
+    try {
+      sched::PsaResult attempt = [&] {
+        const obs::PhaseSpan span("compiler", "schedule", 2.0);
+        return sched::prioritized_schedule(
+            model, guarded.result.allocation, p, config_.psa);
+      }();
+      violations = sched::check_schedule_invariants(model, attempt, p);
+      if (violations.empty()) {
+        psa = std::move(attempt);
+        break;
+      }
+    } catch (const Error& e) {
+      violations.push_back(degrade::Diagnostic{
+          degrade::DiagnosticCode::kInvariantScheduleInvalid,
+          degrade::Severity::kError, "schedule", e.what()});
+    }
+    append_diagnostics(report.diagnostics, std::move(violations));
+    if (!policy.enabled || policy.strict ||
+        guarded.level == degrade::DegradationLevel::kSerial) {
+      PARADIGM_FAIL("schedule invariants failed"
+                    << (policy.enabled ? " at the final recovery rung"
+                                       : "")
+                    << "\n"
+                    << degrade::format_diagnostics(report.diagnostics));
+    }
+    const degrade::DegradationLevel next =
+        degrade::next_level(guarded.level);
+    guarded = solver::allocate_with_recovery(model, static_cast<double>(p),
+                                             config_.solver,
+                                             config_.recovery, next);
+    append_diagnostics(report.diagnostics, std::move(guarded.diagnostics));
+  }
+  report.allocation = std::move(guarded.result);
+  report.degradation = guarded.level;
+
+  // The SPMD baseline is predicted with a transfer-free cost model:
+  // with every node on the same full processor group, arrays never move
+  // (the code generator elides those redistributions), exactly as a
+  // hand-coded SPMD program behaves.
   cost::MachineParams free_transfers;
   free_transfers.t_ss = free_transfers.t_ps = 0.0;
   free_transfers.t_sr = free_transfers.t_pr = 0.0;
   free_transfers.t_n = 0.0;
-  const cost::CostModel spmd_model(graph, free_transfers, table);
-  sched::Schedule spmd = sched::spmd_schedule(spmd_model, p);
-  spmd.validate(spmd_model);
+  const cost::CostModel spmd_model(graph, free_transfers, table,
+                                   repair ? cost::ParamPolicy::kSanitize
+                                          : cost::ParamPolicy::kStrict,
+                                   policy);
+  std::optional<sched::Schedule> spmd;
+  try {
+    sched::Schedule baseline = sched::spmd_schedule(spmd_model, p);
+    baseline.validate(spmd_model);
+    spmd = std::move(baseline);
+  } catch (const Error& e) {
+    if (!policy.enabled || policy.strict) throw;
+    report.diagnostics.push_back(degrade::Diagnostic{
+        degrade::DiagnosticCode::kInvariantScheduleInvalid,
+        degrade::Severity::kWarning, "spmd-baseline", e.what()});
+  }
 
-  // 4-5. Codegen + simulated execution.
-  PipelineReport report;
-  report.processors = p;
+  // 4-5. Codegen + simulated execution, guarded so a simulator failure
+  // degrades to a zeroed outcome instead of tearing the pipeline down.
+  const auto guarded_execute =
+      [&](const sched::Schedule& schedule,
+          const char* what) -> ExecutionOutcome {
+    if (!policy.enabled) return execute_schedule(graph, schedule);
+    try {
+      ExecutionOutcome outcome = execute_schedule(graph, schedule);
+      if (!std::isfinite(outcome.predicted) ||
+          !std::isfinite(outcome.simulated)) {
+        std::ostringstream os;
+        os << "predicted=" << outcome.predicted
+           << " simulated=" << outcome.simulated;
+        report.diagnostics.push_back(degrade::Diagnostic{
+            degrade::DiagnosticCode::kNonFiniteSimulation,
+            degrade::Severity::kError, what, os.str()});
+      }
+      return outcome;
+    } catch (const Error& e) {
+      if (policy.strict) throw;
+      report.diagnostics.push_back(degrade::Diagnostic{
+          degrade::DiagnosticCode::kExecutionFailed,
+          degrade::Severity::kError, what, e.what()});
+      return ExecutionOutcome{};
+    }
+  };
   report.fitted_machine = machine_params;
   report.kernel_table = std::move(table);
   {
     const obs::PhaseSpan span("compiler", "execute_mpmd", 3.0);
-    report.mpmd = execute_schedule(graph, psa.schedule);
+    report.mpmd = guarded_execute(psa->schedule, "execute/mpmd");
   }
-  {
+  if (spmd) {
     const obs::PhaseSpan span("compiler", "execute_spmd", 4.0);
-    report.spmd_run = execute_schedule(graph, spmd);
+    report.spmd_run = guarded_execute(*spmd, "execute/spmd");
   }
   {
     const obs::PhaseSpan span("compiler", "refine", 5.0);
-    report.mpmd.predicted_refined =
-        sched::refine_prediction(model, psa.schedule).makespan;
-    report.spmd_run.predicted_refined =
-        sched::refine_prediction(model, spmd).makespan;
+    try {
+      report.mpmd.predicted_refined =
+          sched::refine_prediction(model, psa->schedule).makespan;
+      if (spmd) {
+        report.spmd_run.predicted_refined =
+            sched::refine_prediction(model, *spmd).makespan;
+      }
+    } catch (const Error& e) {
+      if (!policy.enabled || policy.strict) throw;
+      report.diagnostics.push_back(degrade::Diagnostic{
+          degrade::DiagnosticCode::kExecutionFailed,
+          degrade::Severity::kWarning, "refine", e.what()});
+    }
   }
-  report.allocation = std::move(allocation);
   report.psa = std::move(psa);
   report.spmd = std::move(spmd);
   if (config_.run_simulation) {
     const obs::PhaseSpan span("compiler", "measure_serial", 6.0);
-    const cost::CostModel serial_model(graph, machine_params,
-                                       report.kernel_table);
-    const sched::Schedule serial = sched::spmd_schedule(serial_model, 1);
-    report.serial_seconds = execute_schedule(graph, serial).simulated;
+    try {
+      const cost::CostModel serial_model(
+          graph, machine_params, report.kernel_table,
+          repair ? cost::ParamPolicy::kSanitize : cost::ParamPolicy::kStrict,
+          policy);
+      const sched::Schedule serial = sched::spmd_schedule(serial_model, 1);
+      report.serial_seconds =
+          guarded_execute(serial, "execute/serial").simulated;
+    } catch (const Error& e) {
+      if (!policy.enabled || policy.strict) throw;
+      report.diagnostics.push_back(degrade::Diagnostic{
+          degrade::DiagnosticCode::kExecutionFailed,
+          degrade::Severity::kWarning, "execute/serial", e.what()});
+    }
+  }
+
+  // Degradation instruments: touched only on anomalous runs so clean
+  // metric exports stay byte-identical (gauges additionally skip
+  // parallel-sweep cells, where last-write-wins would be racy).
+  if (obs::enabled()) {
+    if (!report.diagnostics.empty()) {
+      degrade_metrics().diagnostics.add_unchecked(
+          report.diagnostics.size());
+    }
+    if (report.degraded()) {
+      degrade_metrics().recoveries.add_unchecked(1);
+      if (!ThreadPool::in_worker()) {
+        degrade_metrics().level.set(
+            static_cast<double>(static_cast<int>(report.degradation)));
+      }
+    }
   }
   log_info("pipeline: ", report.summary());
   return report;

@@ -13,6 +13,8 @@
 #include <optional>
 #include <string>
 
+#include <vector>
+
 #include "calibrate/paramsio.hpp"
 #include "calibrate/training.hpp"
 #include "codegen/mpmd.hpp"
@@ -21,6 +23,7 @@
 #include "sched/psa.hpp"
 #include "sim/simulator.hpp"
 #include "solver/allocator.hpp"
+#include "support/degrade.hpp"
 
 namespace paradigm::core {
 
@@ -43,6 +46,13 @@ struct PipelineConfig {
   solver::ConvexAllocatorConfig solver;
   sched::PsaConfig psa;
   bool run_simulation = true;  ///< Disable to get predictions only.
+  /// Graceful-degradation policy (DESIGN §10): input sanitization,
+  /// recovery ladder, invariant gate. Defaults to enabled+lenient,
+  /// which is byte-identical to the pre-ladder pipeline on
+  /// well-conditioned inputs.
+  degrade::Policy degradation;
+  /// Tuning for the ladder rungs that re-run the convex solver.
+  solver::RecoveryConfig recovery;
 };
 
 /// One executed schedule: its model prediction and its simulated
@@ -70,6 +80,17 @@ struct PipelineReport {
   ExecutionOutcome mpmd;                   ///< Mixed-parallel execution.
   ExecutionOutcome spmd_run;               ///< Pure data-parallel execution.
   double serial_seconds = 0.0;  ///< Simulated single-processor time.
+  /// Deepest recovery rung the pipeline had to take (kNone when the
+  /// convex solve was accepted as-is).
+  degrade::DegradationLevel degradation = degrade::DegradationLevel::kNone;
+  /// Every anomaly observed along the way (sanitization findings,
+  /// solver events, invariant violations, execution failures). Empty on
+  /// a clean run.
+  std::vector<degrade::Diagnostic> diagnostics;
+
+  bool degraded() const {
+    return degradation != degrade::DegradationLevel::kNone;
+  }
 
   double phi() const { return allocation.phi; }
   double t_psa() const { return psa ? psa->finish_time : 0.0; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "cost/sanitize.hpp"
 #include "support/error.hpp"
 
 namespace paradigm::cost {
@@ -61,9 +62,13 @@ void check_alloc_entry(double p, mdg::NodeId id) {
 }  // namespace
 
 CostModel::CostModel(const mdg::Mdg& graph, MachineParams machine,
-                     KernelCostTable kernels)
+                     KernelCostTable kernels, ParamPolicy policy,
+                     const degrade::Policy& limits)
     : graph_(&graph), machine_(machine), kernels_(std::move(kernels)) {
   PARADIGM_CHECK(graph.finalized(), "CostModel requires a finalized MDG");
+  if (policy == ParamPolicy::kSanitize) {
+    machine_ = sanitized_machine(machine_, limits);
+  }
   node_amdahl_.resize(graph.node_count());
   for (const auto& node : graph.nodes()) {
     if (node.kind != mdg::NodeKind::kLoop) {
@@ -74,6 +79,9 @@ CostModel::CostModel(const mdg::Mdg& graph, MachineParams machine,
     } else {
       node_amdahl_[node.id] =
           kernels_.get(KernelCostTable::key_for(graph, node));
+    }
+    if (policy == ParamPolicy::kSanitize) {
+      node_amdahl_[node.id] = sanitized_amdahl(node_amdahl_[node.id], limits);
     }
   }
 

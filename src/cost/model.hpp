@@ -25,8 +25,16 @@
 #include "cost/machine.hpp"
 #include "cost/posynomial.hpp"
 #include "mdg/mdg.hpp"
+#include "support/degrade.hpp"
 
 namespace paradigm::cost {
+
+/// How CostModel treats pathological Amdahl/machine parameters at
+/// construction. kStrict keeps them verbatim (the historical
+/// behaviour, byte-identical for well-formed inputs); kSanitize
+/// applies the repair rules of cost/sanitize.hpp so every downstream
+/// cost is finite.
+enum class ParamPolicy { kStrict, kSanitize };
 
 /// Sparse gradient: a small set of (variable, derivative) pairs. Cost
 /// components touch at most two variables, node weights at most
@@ -73,7 +81,9 @@ SoftMax2 soft_max2(double a, double b, double mu);
 class CostModel {
  public:
   CostModel(const mdg::Mdg& graph, MachineParams machine,
-            KernelCostTable kernels);
+            KernelCostTable kernels,
+            ParamPolicy policy = ParamPolicy::kStrict,
+            const degrade::Policy& limits = {});
 
   const mdg::Mdg& graph() const { return *graph_; }
   const MachineParams& machine() const { return machine_; }

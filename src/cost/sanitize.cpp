@@ -1,0 +1,184 @@
+#include "cost/sanitize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace paradigm::cost {
+namespace {
+
+using degrade::Diagnostic;
+using degrade::DiagnosticCode;
+using degrade::Severity;
+
+double clamp_param(double v, double limit) {
+  if (!std::isfinite(v) || v < 0.0) return 0.0;
+  return std::min(v, limit);
+}
+
+/// Resolves the Amdahl parameters a loop node would get at CostModel
+/// construction; returns false when the kernel table has no entry (the
+/// model's own lookup diagnoses that case).
+bool resolve_amdahl(const mdg::Mdg& graph, const mdg::Node& node,
+                    const KernelCostTable& kernels, AmdahlParams* out) {
+  if (node.loop.op == mdg::LoopOp::kSynthetic) {
+    *out = AmdahlParams{node.loop.synth_alpha, node.loop.synth_tau};
+    return true;
+  }
+  const KernelKey key = KernelCostTable::key_for(graph, node);
+  if (!kernels.contains(key)) return false;
+  *out = kernels.get(key);
+  return true;
+}
+
+}  // namespace
+
+AmdahlParams sanitized_amdahl(const AmdahlParams& params,
+                              const degrade::Policy& policy) {
+  AmdahlParams out = params;
+  if (std::isnan(out.alpha)) out.alpha = 0.0;
+  out.alpha = std::clamp(out.alpha, 0.0, 1.0);
+  if (!std::isfinite(out.tau) || out.tau < 0.0) {
+    out.tau = 0.0;
+  } else {
+    out.tau = std::min(out.tau, policy.tau_limit);
+  }
+  return out;
+}
+
+MachineParams sanitized_machine(const MachineParams& machine,
+                                const degrade::Policy& policy) {
+  MachineParams out = machine;
+  out.t_ss = clamp_param(out.t_ss, policy.machine_param_limit);
+  out.t_ps = clamp_param(out.t_ps, policy.machine_param_limit);
+  out.t_sr = clamp_param(out.t_sr, policy.machine_param_limit);
+  out.t_pr = clamp_param(out.t_pr, policy.machine_param_limit);
+  out.t_n = clamp_param(out.t_n, policy.machine_param_limit);
+  return out;
+}
+
+SanitizeReport sanitize_inputs(const mdg::Mdg& graph,
+                               const MachineParams& machine,
+                               const KernelCostTable& kernels,
+                               const degrade::Policy& policy) {
+  SanitizeReport report;
+  const auto add = [&](DiagnosticCode code, Severity severity,
+                       std::string subject, std::string detail) {
+    report.diagnostics.push_back(Diagnostic{code, severity,
+                                            std::move(subject),
+                                            std::move(detail)});
+    if (severity == Severity::kError) report.needs_repair = true;
+  };
+
+  // Per-node Amdahl parameters.
+  std::size_t loop_nodes = 0;
+  std::size_t positive_taus = 0;
+  double tau_min = std::numeric_limits<double>::infinity();
+  double tau_max = 0.0;
+  for (const auto& node : graph.nodes()) {
+    if (node.kind != mdg::NodeKind::kLoop) continue;
+    ++loop_nodes;
+    AmdahlParams params;
+    if (!resolve_amdahl(graph, node, kernels, &params)) continue;
+    const std::string subject = "node " + node.name;
+    if (std::isnan(params.alpha) || params.alpha < 0.0 ||
+        params.alpha > 1.0) {
+      std::ostringstream os;
+      os << "alpha=" << params.alpha << " outside [0, 1]";
+      add(DiagnosticCode::kAlphaOutOfRange, Severity::kError, subject,
+          os.str());
+    }
+    if (!std::isfinite(params.tau)) {
+      std::ostringstream os;
+      os << "tau=" << params.tau;
+      add(DiagnosticCode::kNonFiniteTau, Severity::kError, subject,
+          os.str());
+      continue;
+    }
+    if (params.tau < 0.0) {
+      std::ostringstream os;
+      os << "tau=" << params.tau;
+      add(DiagnosticCode::kNegativeTau, Severity::kError, subject,
+          os.str());
+      continue;
+    }
+    if (params.tau > policy.tau_limit) {
+      std::ostringstream os;
+      os << "tau=" << params.tau << " > limit " << policy.tau_limit;
+      add(DiagnosticCode::kTauMagnitudeClamped, Severity::kError, subject,
+          os.str());
+    }
+    if (params.tau > 0.0) {
+      ++positive_taus;
+      tau_min = std::min(tau_min, params.tau);
+      tau_max = std::max(tau_max, params.tau);
+    }
+  }
+
+  if (positive_taus >= 2 && tau_min > 0.0 &&
+      tau_max / tau_min > policy.tau_range_limit) {
+    std::ostringstream os;
+    os << "tau range [" << tau_min << ", " << tau_max << "] spans "
+       << tau_max / tau_min << "x (> " << policy.tau_range_limit
+       << "x): the log transform loses relative precision";
+    add(DiagnosticCode::kTauDynamicRange, Severity::kWarning, "graph",
+        os.str());
+  }
+  if (loop_nodes > 0 && positive_taus == 0) {
+    add(DiagnosticCode::kZeroCostGraph, Severity::kWarning, "graph",
+        "every node has zero (or repaired-to-zero) processing cost");
+  }
+  if (loop_nodes <= 1) {
+    std::ostringstream os;
+    os << loop_nodes << " loop node(s): nothing to co-schedule";
+    add(DiagnosticCode::kTrivialGraph, Severity::kInfo, "graph", os.str());
+  }
+
+  // Fan-out explosions (START's fan-out is structural, not pathological).
+  for (const auto& node : graph.nodes()) {
+    if (node.kind != mdg::NodeKind::kLoop) continue;
+    if (node.out_edges.size() > policy.fan_out_limit) {
+      std::ostringstream os;
+      os << "out-degree " << node.out_edges.size() << " > limit "
+         << policy.fan_out_limit;
+      add(DiagnosticCode::kFanOutExplosion, Severity::kWarning,
+          "node " + node.name, os.str());
+    }
+  }
+
+  // Transfers the simulator cannot materialize in full: the cost model
+  // and schedule use the declared bytes, but codegen caps the stand-in
+  // payload at kSyntheticPayloadByteLimit, so the simulated wire time
+  // under-reports for these edges.
+  for (const auto& edge : graph.edges()) {
+    const std::size_t bytes = edge.total_bytes();
+    if (bytes > degrade::kSyntheticPayloadByteLimit) {
+      std::ostringstream os;
+      os << "edge " << graph.node(edge.src).name << " -> "
+         << graph.node(edge.dst).name << " declares " << bytes
+         << " bytes; simulated payload capped at "
+         << degrade::kSyntheticPayloadByteLimit;
+      add(DiagnosticCode::kHugeTransfer, Severity::kWarning, "graph",
+          os.str());
+    }
+  }
+
+  // Machine message parameters.
+  const double params[] = {machine.t_ss, machine.t_ps, machine.t_sr,
+                           machine.t_pr, machine.t_n};
+  const char* names[] = {"t_ss", "t_ps", "t_sr", "t_pr", "t_n"};
+  for (std::size_t i = 0; i < 5; ++i) {
+    if (!std::isfinite(params[i]) || params[i] < 0.0 ||
+        params[i] > policy.machine_param_limit) {
+      std::ostringstream os;
+      os << names[i] << "=" << params[i];
+      add(DiagnosticCode::kNonFiniteMachineParam, Severity::kError,
+          "machine", os.str());
+    }
+  }
+
+  return report;
+}
+
+}  // namespace paradigm::cost

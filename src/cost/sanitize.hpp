@@ -1,0 +1,53 @@
+// Input sanitization for the allocate -> schedule -> simulate pipeline
+// (DESIGN §10).
+//
+// Scans an MDG plus its cost parameters for the pathological shapes
+// that break the convex program downstream: NaN/Inf/negative Amdahl
+// parameters, tau magnitudes or dynamic ranges that overflow the
+// geometric-programming log transform, zero-cost graphs, trivial
+// (single-node) graphs, and fan-out explosions. Every finding becomes a
+// structured degrade::Diagnostic; repair (value clamping) is applied by
+// CostModel's ParamPolicy::kSanitize so the graph itself — which
+// schedules and reports reference by pointer — is never mutated.
+#pragma once
+
+#include <vector>
+
+#include "cost/machine.hpp"
+#include "mdg/mdg.hpp"
+#include "support/degrade.hpp"
+
+namespace paradigm::cost {
+
+/// Result of the sanitization scan.
+struct SanitizeReport {
+  std::vector<degrade::Diagnostic> diagnostics;
+  /// True iff at least one kError finding requires parameter repair
+  /// (ParamPolicy::kSanitize) for downstream costs to be finite.
+  bool needs_repair = false;
+
+  bool clean() const { return diagnostics.empty(); }
+};
+
+/// Scans graph structure and the Amdahl parameters each loop node would
+/// resolve to (synthetic values or `kernels` entries) plus the machine
+/// message parameters. Nodes whose kernel-table entry is missing are
+/// skipped here — CostModel construction reports those precisely.
+SanitizeReport sanitize_inputs(const mdg::Mdg& graph,
+                               const MachineParams& machine,
+                               const KernelCostTable& kernels,
+                               const degrade::Policy& policy = {});
+
+/// The repair rules ParamPolicy::kSanitize applies, exposed so tests
+/// and the scanner agree exactly with the model: alpha is clamped into
+/// [0, 1] (NaN -> 0); tau: NaN/Inf -> 0, negative -> 0, then clamped to
+/// policy.tau_limit.
+AmdahlParams sanitized_amdahl(const AmdahlParams& params,
+                              const degrade::Policy& policy = {});
+
+/// Machine-parameter repair: NaN/Inf/negative -> 0, then clamped to
+/// policy.machine_param_limit.
+MachineParams sanitized_machine(const MachineParams& machine,
+                                const degrade::Policy& policy = {});
+
+}  // namespace paradigm::cost

@@ -44,17 +44,16 @@ NodeId Mdg::add_node(std::string name, NodeKind kind, LoopSpec spec) {
 }
 
 NodeId Mdg::add_loop(std::string name, LoopSpec spec) {
-  PARADIGM_CHECK(spec.op != LoopOp::kSynthetic || spec.synth_tau >= 0.0,
-                 "synthetic loop must have non-negative tau");
   return add_node(std::move(name), NodeKind::kLoop, std::move(spec));
 }
 
 NodeId Mdg::add_synthetic(std::string name, double alpha,
                           double tau_seconds, Layout layout) {
-  PARADIGM_CHECK(alpha >= 0.0 && alpha <= 1.0,
-                 "synthetic alpha must be in [0, 1], got " << alpha);
-  PARADIGM_CHECK(tau_seconds >= 0.0,
-                 "synthetic tau must be >= 0, got " << tau_seconds);
+  // Parameter values are deliberately NOT validated here: the graph is
+  // a container, and hostile values (NaN/Inf/negative, alpha outside
+  // [0, 1]) must be representable so cost::sanitize_inputs (DESIGN §10)
+  // can diagnose them with the structured taxonomy — strict mode turns
+  // them into a paradigm::Error, lenient mode repairs them.
   LoopSpec spec;
   spec.op = LoopOp::kSynthetic;
   spec.layout = layout;

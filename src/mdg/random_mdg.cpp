@@ -1,5 +1,7 @@
 #include "mdg/random_mdg.hpp"
 
+#include <cmath>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -85,6 +87,174 @@ Mdg random_mdg(Rng& rng, const RandomMdgConfig& config) {
   }
 
   graph.finalize();
+  return graph;
+}
+
+Mdg pathological_mdg(std::uint64_t seed, std::string* shape_name) {
+  Rng rng(seed);
+  constexpr int kShapeClasses = 10;
+  const int shape = static_cast<int>(seed % kShapeClasses);
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  Mdg graph;
+  const auto chain = [&](const std::vector<NodeId>& nodes,
+                         std::size_t bytes) {
+    for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+      graph.add_synthetic_dependence(nodes[i], nodes[i + 1], bytes);
+    }
+  };
+
+  std::string name;
+  switch (shape) {
+    case 0: {
+      name = "nan-inf-params";
+      // NaN/Inf Amdahl parameters scattered over a small diamond.
+      const double bad_taus[] = {kNaN, kInf, -kInf, 1.0};
+      const double bad_alphas[] = {kNaN, -0.5, 2.0, 0.1};
+      std::vector<NodeId> nodes;
+      for (int i = 0; i < 6; ++i) {
+        const double alpha =
+            bad_alphas[rng.uniform_int(0, 3)];
+        const double tau = bad_taus[rng.uniform_int(0, 3)];
+        nodes.push_back(
+            graph.add_synthetic("bad" + std::to_string(i), alpha, tau));
+      }
+      for (std::size_t i = 1; i < nodes.size(); ++i) {
+        graph.add_synthetic_dependence(nodes[0], nodes[i], 1024);
+      }
+      break;
+    }
+    case 1: {
+      name = "negative-tau";
+      std::vector<NodeId> nodes;
+      for (int i = 0; i < 5; ++i) {
+        const double tau = rng.chance(0.5) ? -rng.uniform(0.1, 10.0) : 0.5;
+        nodes.push_back(graph.add_synthetic(
+            "neg" + std::to_string(i), rng.uniform(0.0, 0.3), tau));
+      }
+      chain(nodes, 4096);
+      break;
+    }
+    case 2: {
+      name = "extreme-tau-range";
+      // tau spanning 1e-12 .. 1e12: overflows the log transform's
+      // useful dynamic range.
+      std::vector<NodeId> nodes;
+      for (int i = 0; i < 8; ++i) {
+        const double exponent = rng.uniform(-12.0, 12.0);
+        nodes.push_back(graph.add_synthetic(
+            "range" + std::to_string(i), rng.uniform(0.0, 1.0),
+            std::pow(10.0, exponent)));
+      }
+      chain(nodes, 1 << 16);
+      break;
+    }
+    case 3: {
+      name = "denormal-tau";
+      std::vector<NodeId> nodes;
+      for (int i = 0; i < 6; ++i) {
+        const double tau = rng.chance(0.5)
+                               ? std::numeric_limits<double>::denorm_min() *
+                                     rng.uniform(1.0, 100.0)
+                               : 1e-300;
+        nodes.push_back(graph.add_synthetic(
+            "tiny" + std::to_string(i), rng.uniform(0.0, 0.5), tau));
+      }
+      chain(nodes, 512);
+      break;
+    }
+    case 4: {
+      name = "zero-cost-graph";
+      std::vector<NodeId> nodes;
+      for (int i = 0; i < 5; ++i) {
+        nodes.push_back(
+            graph.add_synthetic("zero" + std::to_string(i), 0.0, 0.0));
+      }
+      chain(nodes, 0);
+      break;
+    }
+    case 5: {
+      name = "single-node";
+      graph.add_synthetic("lonely", rng.uniform(0.0, 1.0),
+                          rng.chance(0.3) ? kNaN : rng.uniform(0.0, 1.0));
+      break;
+    }
+    case 6: {
+      name = "fan-out-explosion";
+      const NodeId hub = graph.add_synthetic("hub", 0.05, 1.0);
+      const std::size_t fan =
+          static_cast<std::size_t>(rng.uniform_int(600, 900));
+      for (std::size_t i = 0; i < fan; ++i) {
+        const NodeId leaf = graph.add_synthetic(
+            "leaf" + std::to_string(i), 0.1, rng.uniform(1e-6, 1e-3));
+        graph.add_synthetic_dependence(hub, leaf, 64);
+      }
+      break;
+    }
+    case 7: {
+      name = "deep-chain";
+      std::vector<NodeId> nodes;
+      const std::size_t depth =
+          static_cast<std::size_t>(rng.uniform_int(80, 120));
+      for (std::size_t i = 0; i < depth; ++i) {
+        // A few hostile values sprinkled into an otherwise fine chain.
+        const double tau =
+            rng.chance(0.05) ? kInf : rng.uniform(1e-6, 1e-2);
+        nodes.push_back(graph.add_synthetic(
+            "deep" + std::to_string(i), rng.uniform(0.0, 0.9), tau));
+      }
+      chain(nodes, 128);
+      break;
+    }
+    case 8: {
+      name = "huge-transfers";
+      std::vector<NodeId> nodes;
+      for (int i = 0; i < 6; ++i) {
+        nodes.push_back(graph.add_synthetic(
+            "big" + std::to_string(i), rng.uniform(0.0, 0.2),
+            rng.uniform(0.1, 1.0)));
+      }
+      for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+        // Petabyte-scale redistributions stress the transfer posynomials.
+        graph.add_synthetic_dependence(nodes[i], nodes[i + 1],
+                                       std::size_t{1} << 52,
+                                       TransferKind::k2D);
+      }
+      break;
+    }
+    default: {
+      name = "extreme-mix";
+      // Everything at once: wide layer of mixed-pathology nodes with
+      // random cross edges.
+      std::vector<NodeId> nodes;
+      const int count = static_cast<int>(rng.uniform_int(8, 20));
+      for (int i = 0; i < count; ++i) {
+        double alpha = rng.uniform(-1.0, 2.0);
+        double tau = std::pow(10.0, rng.uniform(-15.0, 15.0));
+        if (rng.chance(0.15)) tau = kNaN;
+        if (rng.chance(0.1)) tau = -tau;
+        if (rng.chance(0.1)) alpha = kInf;
+        nodes.push_back(graph.add_synthetic(
+            "mix" + std::to_string(i), alpha, tau));
+      }
+      for (std::size_t i = 0; i < nodes.size(); ++i) {
+        for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+          if (rng.chance(0.2)) {
+            const std::size_t bytes = static_cast<std::size_t>(
+                rng.uniform_int(0, std::int64_t{1} << 40));
+            graph.add_synthetic_dependence(
+                nodes[i], nodes[j], bytes,
+                rng.chance(0.3) ? TransferKind::k2D : TransferKind::k1D);
+          }
+        }
+      }
+      break;
+    }
+  }
+
+  graph.finalize();
+  if (shape_name != nullptr) *shape_name = name;
   return graph;
 }
 

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "mdg/mdg.hpp"
 #include "support/rng.hpp"
@@ -32,5 +33,16 @@ struct RandomMdgConfig {
 /// Generates a random finalized MDG. Every node is reachable from START
 /// and reaches STOP by construction (finalize inserts the dummies).
 Mdg random_mdg(Rng& rng, const RandomMdgConfig& config = {});
+
+/// Seeded pathological-MDG generator for the degradation fuzz harness
+/// (DESIGN §10). Each seed deterministically picks one of ~10 shape
+/// classes — NaN/Inf/negative Amdahl parameters, alpha outside [0, 1],
+/// extreme tau dynamic range (1e-12 .. 1e12), denormal taus, zero-cost
+/// graphs, single nodes, fan-out explosions, deep chains, huge
+/// transfers, or an "everything at once" mix — and fills in the details
+/// from Rng(seed). The graph always finalizes (structure is valid; only
+/// the *values* are hostile). `shape_name`, when non-null, receives the
+/// class label for artifact reports.
+Mdg pathological_mdg(std::uint64_t seed, std::string* shape_name = nullptr);
 
 }  // namespace paradigm::mdg

@@ -5,6 +5,8 @@
 #include <limits>
 #include <numeric>
 #include <set>
+#include <sstream>
+#include <string>
 
 #include "obs/obs.hpp"
 #include "sched/bounds.hpp"
@@ -333,6 +335,72 @@ PsaResult prioritized_schedule(const cost::CostModel& model,
 Schedule spmd_schedule(const cost::CostModel& model, std::uint64_t p) {
   const std::vector<std::uint64_t> alloc(model.graph().node_count(), p);
   return list_schedule(model, alloc, p);
+}
+
+std::vector<degrade::Diagnostic> check_schedule_invariants(
+    const cost::CostModel& model, const PsaResult& psa, std::uint64_t p) {
+  using degrade::Diagnostic;
+  using degrade::DiagnosticCode;
+  using degrade::Severity;
+  std::vector<Diagnostic> out;
+  const auto add = [&](DiagnosticCode code, std::string subject,
+                       std::string detail) {
+    out.push_back(Diagnostic{code, Severity::kError, std::move(subject),
+                             std::move(detail)});
+  };
+  const mdg::Mdg& graph = model.graph();
+
+  if (psa.allocation.size() != graph.node_count()) {
+    add(DiagnosticCode::kInvariantAllocationOutOfBounds, "allocation",
+        "covers " + std::to_string(psa.allocation.size()) + " of " +
+            std::to_string(graph.node_count()) + " nodes");
+    return out;  // Nothing else is meaningful against the wrong graph.
+  }
+  for (std::size_t i = 0; i < psa.allocation.size(); ++i) {
+    const std::uint64_t a = psa.allocation[i];
+    const std::string subject = "node " + graph.node(i).name;
+    if (!is_pow2(a)) {
+      add(DiagnosticCode::kInvariantAllocationNotPow2, subject,
+          "p_i=" + std::to_string(a));
+    } else if (a < 1 || a > psa.pb || a > p) {
+      add(DiagnosticCode::kInvariantAllocationOutOfBounds, subject,
+          "p_i=" + std::to_string(a) + " outside [1, PB=" +
+              std::to_string(psa.pb) + "]");
+    }
+  }
+
+  try {
+    psa.schedule.validate(model);
+  } catch (const Error& e) {
+    add(DiagnosticCode::kInvariantScheduleInvalid, "schedule", e.what());
+  }
+
+  const double span = psa.schedule.makespan();
+  if (!std::isfinite(span) || span < 0.0 ||
+      !std::isfinite(psa.finish_time)) {
+    std::ostringstream os;
+    os << "makespan=" << span << " finish_time=" << psa.finish_time;
+    add(DiagnosticCode::kInvariantNonFiniteMakespan, "schedule", os.str());
+  }
+
+  if (psa.pb < 1 || psa.pb > p || !is_pow2(psa.pb)) {
+    add(DiagnosticCode::kInvariantBoundFactor, "bounds",
+        "PB=" + std::to_string(psa.pb) + " not a power of two in [1, p=" +
+            std::to_string(p) + "]");
+  } else {
+    const double factors[] = {theorem1_factor(p, psa.pb),
+                              theorem2_factor(p, psa.pb),
+                              theorem3_factor(p, psa.pb)};
+    for (int t = 0; t < 3; ++t) {
+      if (!std::isfinite(factors[t]) || factors[t] < 1.0) {
+        std::ostringstream os;
+        os << "theorem" << (t + 1) << " factor " << factors[t]
+           << " for p=" << p << " PB=" << psa.pb;
+        add(DiagnosticCode::kInvariantBoundFactor, "bounds", os.str());
+      }
+    }
+  }
+  return out;
 }
 
 }  // namespace paradigm::sched

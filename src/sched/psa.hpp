@@ -15,6 +15,7 @@
 
 #include "cost/model.hpp"
 #include "sched/schedule.hpp"
+#include "support/degrade.hpp"
 
 namespace paradigm::sched {
 
@@ -92,5 +93,16 @@ Schedule list_schedule(const cost::CostModel& model,
 /// the program (pure data parallelism). Equivalent to list_schedule with
 /// an all-p allocation.
 Schedule spmd_schedule(const cost::CostModel& model, std::uint64_t p);
+
+/// Post-schedule invariant gate (DESIGN §10). Checks everything the
+/// paper's guarantees promise about a PSA result:
+///  * every p_i is a power of two in [1, PB],
+///  * Schedule::validate accepts the placements,
+///  * the makespan is finite and non-negative,
+///  * the Theorem 1-3 factors for (p, PB) are finite and >= 1.
+/// Every violation becomes a kError diagnostic; an empty return means
+/// the result may be released. Pure value checks — never throws.
+std::vector<degrade::Diagnostic> check_schedule_invariants(
+    const cost::CostModel& model, const PsaResult& psa, std::uint64_t p);
 
 }  // namespace paradigm::sched

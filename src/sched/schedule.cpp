@@ -68,7 +68,10 @@ double Schedule::makespan() const { return placement(graph_->stop()).finish; }
 
 double Schedule::efficiency() const {
   const double span = makespan();
-  if (span <= 0.0) return 1.0;
+  // `!(span > 0)` rather than `span <= 0` so a NaN makespan (possible
+  // only on unguarded pathological inputs) returns the neutral value
+  // instead of propagating.
+  if (!(span > 0.0)) return 1.0;
   double busy = 0.0;
   for (std::size_t i = 0; i < by_node_.size(); ++i) {
     if (!placed_[i]) continue;
@@ -111,9 +114,13 @@ void Schedule::validate(const cost::CostModel& model,
         (node.kind == mdg::NodeKind::kLoop)
             ? model.node_weight(node.id, alloc)
             : 0.0;
+    // The tolerance scales with the start time as well as the weight:
+    // duration() is computed as finish - start, so a node starting at
+    // t >> weight carries an inherent cancellation error of about
+    // eps * t regardless of how exact the scheduler's arithmetic is.
     PARADIGM_CHECK(
         std::abs(sn.duration() - expected) <=
-            tolerance * (1.0 + std::abs(expected)),
+            tolerance * (1.0 + std::abs(expected) + std::abs(sn.start)),
         "node '" << node.name << "' duration " << sn.duration()
                  << " != weight " << expected);
   }

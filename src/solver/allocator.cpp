@@ -34,6 +34,12 @@ struct SolverMetrics {
   obs::Gauge& phi = obs::Registry::global().gauge("solver.phi_seconds");
   obs::Gauge& final_pg_norm =
       obs::Registry::global().gauge("solver.final_pg_norm");
+  // Degradation instruments (DESIGN §10): touched only when the event
+  // occurs, so clean runs export byte-identical metric sets.
+  obs::Counter& nonfinite_events =
+      obs::Registry::global().counter("solver.nonfinite_events");
+  obs::Counter& budget_exhausted =
+      obs::Registry::global().counter("solver.budget_exhausted");
 };
 
 SolverMetrics& solver_metrics() {
@@ -88,12 +94,30 @@ AllocationResult finish_result(const cost::CostModel& model, double p,
 
 }  // namespace
 
+const char* to_string(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kConverged: return "converged";
+    case SolveStatus::kStalled: return "stalled";
+    case SolveStatus::kBudgetExhausted: return "budget-exhausted";
+    case SolveStatus::kNonFinite: return "non-finite";
+  }
+  return "?";
+}
+
+bool AllocationResult::finite() const {
+  return std::isfinite(phi) && std::isfinite(average_time) &&
+         std::isfinite(critical_path) && degrade::all_finite(allocation);
+}
+
 std::string AllocationResult::summary() const {
   std::ostringstream os;
   os << "phi=" << phi << "s (A_p=" << average_time
      << "s, C_p=" << critical_path << "s), " << iterations << " iters, "
      << continuation_rounds << " rounds, "
      << (converged ? "converged" : "NOT converged");
+  if (!converged && status != SolveStatus::kStalled) {
+    os << " (" << to_string(status) << ")";
+  }
   return os.str();
 }
 
@@ -269,11 +293,22 @@ AllocationResult ConvexAllocator::solve(const cost::CostModel& model,
       starts, [&](std::size_t k) {
         return descend(model, p, x_hi, std::move(initial[k]), k);
       });
+  // Finite runs always beat non-finite ones (NaN comparisons are all
+  // false, so the plain `<` scan would keep a NaN first run forever);
+  // among finite runs the comparison is unchanged, so well-conditioned
+  // solves pick the identical winner.
+  const auto better = [](const AllocationResult& a,
+                         const AllocationResult& b) {
+    const bool a_finite = std::isfinite(a.phi);
+    const bool b_finite = std::isfinite(b.phi);
+    if (a_finite != b_finite) return a_finite;
+    return a.phi < b.phi;
+  };
   std::size_t best = 0;
   std::size_t total_iterations = runs[0].iterations;
   for (std::size_t k = 1; k < starts; ++k) {
     total_iterations += runs[k].iterations;
-    if (runs[k].phi < runs[best].phi) best = k;
+    if (better(runs[k], runs[best])) best = k;
   }
   if (obs::enabled()) {
     // Per-start Phi is recorded serially after the join: the histogram
@@ -309,6 +344,8 @@ AllocationResult ConvexAllocator::descend(const cost::CostModel& model,
   std::size_t total_backtracks = 0;
   bool last_round_converged = false;
   double last_pg_norm = 0.0;
+  bool nonfinite = false;
+  bool budget_hit = false;
 
   // One trace row per start; spans are placed on the logical iteration
   // axis, so the trace is identical however the starts are scheduled.
@@ -323,18 +360,35 @@ AllocationResult ConvexAllocator::descend(const cost::CostModel& model,
   for (std::size_t round = 0; round < config_.continuation_rounds; ++round) {
     const std::size_t round_first_iteration = total_iterations;
     const double scale = model.phi(exp_all(x), p);
+    if (config_.finite_guards && !std::isfinite(scale)) {
+      nonfinite = true;
+      break;
+    }
     const double mu_t = mu_t_rel * std::max(scale, 1e-12);
 
     double f = smoothed_objective(model, p, x, mu_x, mu_t, grad);
     double step = config_.initial_step;
     last_round_converged = false;
 
+    if (config_.finite_guards && !std::isfinite(f)) {
+      nonfinite = true;
+      break;
+    }
+
     for (std::size_t iter = 0; iter < config_.max_inner_iterations; ++iter) {
+      if (config_.work_unit_budget > 0 &&
+          total_iterations >= config_.work_unit_budget) {
+        budget_hit = true;
+        break;
+      }
       ++total_iterations;
 
       // Normalize the step by the objective scale so descent behaves
-      // uniformly whether Phi is milliseconds or minutes.
-      const double gscale = std::max(f, 1e-12);
+      // uniformly whether Phi is milliseconds or minutes. A non-finite
+      // objective must not poison the divisor (std::max(NaN, c) returns
+      // NaN): fall back to the floor so the projected step — and hence
+      // the allocation — stays finite even on pathological objectives.
+      const double gscale = std::isfinite(f) ? std::max(f, 1e-12) : 1e-12;
 
       // Projected-gradient stationarity measure: the unit-step projected
       // move, relative to the box width.
@@ -346,6 +400,10 @@ AllocationResult ConvexAllocator::descend(const cost::CostModel& model,
       }
       last_pg_norm = pg_norm;
       if (record) solver_metrics().pg_norm.observe_unchecked(pg_norm);
+      if (config_.finite_guards && !std::isfinite(pg_norm)) {
+        nonfinite = true;
+        break;
+      }
       if (pg_norm <= config_.gradient_tolerance * (1.0 + x_max)) {
         last_round_converged = true;
         break;
@@ -388,6 +446,7 @@ AllocationResult ConvexAllocator::descend(const cost::CostModel& model,
           static_cast<double>(round_first_iteration),
           static_cast<double>(total_iterations - round_first_iteration)});
     }
+    if (nonfinite || budget_hit) break;
   }
 
   if (record) {
@@ -395,14 +454,26 @@ AllocationResult ConvexAllocator::descend(const cost::CostModel& model,
     solver_metrics().iterations.add_unchecked(total_iterations);
     solver_metrics().backtracks.add_unchecked(total_backtracks);
     solver_metrics().rounds.add_unchecked(config_.continuation_rounds);
+    if (nonfinite) solver_metrics().nonfinite_events.add_unchecked(1);
+    if (budget_hit) solver_metrics().budget_exhausted.add_unchecked(1);
   }
 
   AllocationResult result = finish_result(model, p, exp_all(x));
   for (double& a : result.allocation) a = std::clamp(a, 1.0, p);
   result.iterations = total_iterations;
   result.continuation_rounds = config_.continuation_rounds;
-  result.converged = last_round_converged;
   result.final_gradient_norm = last_pg_norm;
+  if (config_.finite_guards && !result.finite()) nonfinite = true;
+  if (nonfinite) {
+    result.status = SolveStatus::kNonFinite;
+  } else if (last_round_converged) {
+    result.status = SolveStatus::kConverged;
+  } else if (budget_hit) {
+    result.status = SolveStatus::kBudgetExhausted;
+  } else {
+    result.status = SolveStatus::kStalled;
+  }
+  result.converged = result.status == SolveStatus::kConverged;
   return result;
 }
 
@@ -411,6 +482,7 @@ AllocationResult naive_allocation(const cost::CostModel& model, double p) {
   AllocationResult result = finish_result(
       model, p, std::vector<double>(model.graph().node_count(), p));
   result.converged = true;
+  result.status = SolveStatus::kConverged;
   return result;
 }
 
@@ -420,6 +492,7 @@ AllocationResult serial_node_allocation(const cost::CostModel& model,
   AllocationResult result = finish_result(
       model, p, std::vector<double>(model.graph().node_count(), 1.0));
   result.converged = true;
+  result.status = SolveStatus::kConverged;
   return result;
 }
 
@@ -453,7 +526,143 @@ AllocationResult greedy_doubling_allocation(const cost::CostModel& model,
   AllocationResult result = finish_result(model, p, std::move(alloc));
   result.iterations = iterations;
   result.converged = true;
+  result.status = SolveStatus::kConverged;
   return result;
+}
+
+AllocationResult area_proportional_allocation(const cost::CostModel& model,
+                                              double p) {
+  PARADIGM_CHECK(p >= 1.0, "machine size must be >= 1");
+  const mdg::Mdg& graph = model.graph();
+  const std::size_t n = graph.node_count();
+
+  double tau_max = 0.0;
+  for (std::size_t id = 0; id < n; ++id) {
+    const double tau = model.amdahl(id).tau;
+    if (std::isfinite(tau) && tau > tau_max) tau_max = tau;
+  }
+
+  std::vector<double> alloc(n, 1.0);
+  if (tau_max > 0.0) {
+    for (std::size_t id = 0; id < n; ++id) {
+      const double tau = model.amdahl(id).tau;
+      if (!std::isfinite(tau) || tau <= 0.0) continue;
+      alloc[id] = std::clamp(p * tau / tau_max, 1.0, p);
+    }
+  }
+  // Per-node processor caps still apply.
+  for (const auto& node : graph.nodes()) {
+    if (node.kind == mdg::NodeKind::kLoop && node.loop.max_processors > 0) {
+      alloc[node.id] = std::min(
+          alloc[node.id],
+          std::max(1.0, static_cast<double>(node.loop.max_processors)));
+    }
+  }
+
+  AllocationResult result = finish_result(model, p, std::move(alloc));
+  result.converged = true;
+  result.status = SolveStatus::kConverged;
+  return result;
+}
+
+GuardedAllocation allocate_with_recovery(const cost::CostModel& model,
+                                         double p,
+                                         const ConvexAllocatorConfig& config,
+                                         const RecoveryConfig& recovery,
+                                         degrade::DegradationLevel start_level) {
+  using degrade::DegradationLevel;
+  using degrade::Diagnostic;
+  using degrade::DiagnosticCode;
+  using degrade::Severity;
+
+  GuardedAllocation out;
+  DegradationLevel level = start_level;
+
+  const auto attempt = [&](DegradationLevel rung) -> AllocationResult {
+    switch (rung) {
+      case DegradationLevel::kNone:
+        return ConvexAllocator(config).allocate(model, p);
+      case DegradationLevel::kMultiStartRetry: {
+        ConvexAllocatorConfig c = config;
+        c.num_starts = std::max(c.num_starts + 1, recovery.retry_starts);
+        return ConvexAllocator(c).allocate(model, p);
+      }
+      case DegradationLevel::kSmoothingRestart: {
+        ConvexAllocatorConfig c = config;
+        c.num_starts = std::max(c.num_starts + 1, recovery.retry_starts);
+        c.mu_x_initial = recovery.smoothing_mu_x;
+        c.mu_t_rel_initial = recovery.smoothing_mu_t_rel;
+        c.continuation_rounds += recovery.smoothing_extra_rounds;
+        return ConvexAllocator(c).allocate(model, p);
+      }
+      case DegradationLevel::kAreaProportional:
+        return area_proportional_allocation(model, p);
+      case DegradationLevel::kHomogeneous:
+        return naive_allocation(model, p);
+      case DegradationLevel::kSerial:
+        break;
+    }
+    return serial_node_allocation(model, p);
+  };
+
+  while (true) {
+    const std::string subject =
+        std::string("solver/") + degrade::to_string(level);
+    bool accepted = false;
+    try {
+      AllocationResult result = attempt(level);
+      if (result.finite()) {
+        accepted = true;
+        if (result.status == SolveStatus::kStalled &&
+            level != DegradationLevel::kNone) {
+          // A stall on the undegraded rung is classified on the result
+          // (SolveStatus::kStalled) but deliberately NOT diagnosed:
+          // fine descents routinely end at numerical stationarity, and
+          // a clean run must stay byte-identical to the pre-ladder
+          // pipeline.
+          out.diagnostics.push_back(Diagnostic{
+              DiagnosticCode::kSolverStalled, Severity::kWarning, subject,
+              result.summary()});
+        } else if (result.status == SolveStatus::kBudgetExhausted) {
+          out.diagnostics.push_back(Diagnostic{
+              DiagnosticCode::kSolverBudgetExhausted, Severity::kWarning,
+              subject, result.summary()});
+        }
+        out.result = std::move(result);
+      } else {
+        out.diagnostics.push_back(Diagnostic{DiagnosticCode::kSolverNonFinite,
+                                             Severity::kError, subject,
+                                             result.summary()});
+        if (level == DegradationLevel::kSerial) {
+          // Last resort: even a non-finite serial result is returned
+          // (the diagnostics explain it), so the ladder always ends.
+          accepted = true;
+          out.result = std::move(result);
+        }
+      }
+    } catch (const Error& e) {
+      out.diagnostics.push_back(Diagnostic{DiagnosticCode::kSolverException,
+                                           Severity::kError, subject,
+                                           e.what()});
+      if (level == DegradationLevel::kSerial) {
+        out.result = AllocationResult{};
+        out.result.allocation.assign(model.graph().node_count(), 1.0);
+        out.result.status = SolveStatus::kNonFinite;
+        accepted = true;
+      }
+    }
+    if (accepted) {
+      out.level = level;
+      if (level != DegradationLevel::kNone) {
+        out.diagnostics.push_back(Diagnostic{
+            DiagnosticCode::kRecoveryApplied, Severity::kInfo, subject,
+            "accepted allocation from recovery rung " +
+                std::to_string(static_cast<int>(level))});
+      }
+      return out;
+    }
+    level = degrade::next_level(level);
+  }
 }
 
 }  // namespace paradigm::solver

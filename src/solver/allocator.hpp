@@ -24,8 +24,21 @@
 #include <vector>
 
 #include "cost/model.hpp"
+#include "support/degrade.hpp"
 
 namespace paradigm::solver {
+
+/// How a solve ended (DESIGN §10). Only kNonFinite makes the result
+/// unusable; a stalled or budget-exhausted descent still returns the
+/// best (finite) point it reached.
+enum class SolveStatus {
+  kConverged,        ///< Projected-gradient tolerance met.
+  kStalled,          ///< Iteration cap hit before the tolerance.
+  kBudgetExhausted,  ///< Deterministic work-unit budget hit.
+  kNonFinite,        ///< NaN/Inf objective, gradient, or allocation.
+};
+
+const char* to_string(SolveStatus status);
 
 /// Result of an allocation pass.
 struct AllocationResult {
@@ -36,8 +49,12 @@ struct AllocationResult {
   double critical_path = 0.0;  ///< Exact C_p.
   std::size_t iterations = 0;  ///< Total inner gradient steps.
   std::size_t continuation_rounds = 0;
-  bool converged = false;
+  bool converged = false;      ///< status == kConverged (kept in sync).
   double final_gradient_norm = 0.0;
+  SolveStatus status = SolveStatus::kStalled;
+
+  /// True iff allocation, Phi, A_p and C_p are all finite.
+  bool finite() const;
 
   std::string summary() const;
 };
@@ -67,6 +84,21 @@ struct ConvexAllocatorConfig {
   /// reproduces the single-start solver exactly.
   std::size_t num_starts = 1;
   std::uint64_t start_seed = 0x51a7c0de1994ULL;
+
+  /// Finite guards (DESIGN §10): bail out of a descent as soon as the
+  /// objective scale, smoothed objective, or projected-gradient norm
+  /// goes NaN/Inf, marking the result SolveStatus::kNonFinite instead
+  /// of iterating on garbage. The checks compare values only — a run
+  /// whose intermediates are all finite is byte-identical with guards
+  /// on or off. Off exists solely for the perf guard-gate comparison.
+  bool finite_guards = true;
+
+  /// Deterministic work-unit budget: maximum inner iterations per
+  /// descent (across all continuation rounds), 0 = unlimited. Counted
+  /// in iterations, never wallclock, so exhaustion is reproducible
+  /// bit-for-bit on any machine. An exhausted descent returns its best
+  /// point with SolveStatus::kBudgetExhausted.
+  std::size_t work_unit_budget = 0;
 };
 
 /// Solves the convex allocation problem for `model` on a p-processor
@@ -122,5 +154,45 @@ AllocationResult serial_node_allocation(const cost::CostModel& model,
 /// formulation.
 AllocationResult greedy_doubling_allocation(const cost::CostModel& model,
                                             double p);
+
+/// Analytic area-proportional allocation (recovery rung 3): p_i
+/// proportional to the node's single-processor time tau_i, normalized
+/// so the heaviest node gets all p processors. Nodes with zero or
+/// non-finite tau get 1. Needs no descent, so it cannot stall and is
+/// finite whenever the (sanitized) taus are.
+AllocationResult area_proportional_allocation(const cost::CostModel& model,
+                                              double p);
+
+/// Tuning for the recovery ladder rungs that re-run the convex solver.
+struct RecoveryConfig {
+  /// Rung 1 re-solves with at least this many deterministic starts.
+  std::size_t retry_starts = 8;
+  /// Rung 2 additionally softens the smoothing schedule: heavier
+  /// initial temperatures and extra continuation rounds ride through
+  /// flat/ill-conditioned regions that defeat the default schedule.
+  double smoothing_mu_x = 2.0;
+  double smoothing_mu_t_rel = 0.5;
+  std::size_t smoothing_extra_rounds = 2;
+};
+
+/// Allocation plus the degradation bookkeeping the pipeline reports.
+struct GuardedAllocation {
+  AllocationResult result;
+  degrade::DegradationLevel level = degrade::DegradationLevel::kNone;
+  std::vector<degrade::Diagnostic> diagnostics;
+};
+
+/// Walks the recovery ladder (DESIGN §10) starting at `start_level`:
+/// convex solve -> multi-start retry -> smoothing restart -> analytic
+/// area-proportional -> homogeneous -> serial. Each rung is accepted
+/// only if its result is finite; every rejection and the final recovery
+/// are recorded as structured diagnostics. The serial rung always
+/// terminates the ladder. Deterministic: rung selection depends only on
+/// value checks, never on time.
+GuardedAllocation allocate_with_recovery(
+    const cost::CostModel& model, double p,
+    const ConvexAllocatorConfig& config = {},
+    const RecoveryConfig& recovery = {},
+    degrade::DegradationLevel start_level = degrade::DegradationLevel::kNone);
 
 }  // namespace paradigm::solver

@@ -176,6 +176,8 @@ AllocationResult LbfgsAllocator::allocate(const cost::CostModel& model,
   result.iterations = total_iterations;
   result.continuation_rounds = config_.continuation_rounds;
   result.converged = converged;
+  result.status =
+      converged ? SolveStatus::kConverged : SolveStatus::kStalled;
   result.final_gradient_norm = last_pg;
   log_debug("lbfgs allocation: ", result.summary());
   return result;

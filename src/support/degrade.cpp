@@ -1,0 +1,106 @@
+#include "support/degrade.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace paradigm::degrade {
+
+const char* to_string(DegradationLevel level) {
+  switch (level) {
+    case DegradationLevel::kNone: return "none";
+    case DegradationLevel::kMultiStartRetry: return "multi-start-retry";
+    case DegradationLevel::kSmoothingRestart: return "smoothing-restart";
+    case DegradationLevel::kAreaProportional: return "area-proportional";
+    case DegradationLevel::kHomogeneous: return "homogeneous";
+    case DegradationLevel::kSerial: return "serial";
+  }
+  return "?";
+}
+
+DegradationLevel next_level(DegradationLevel level) {
+  if (level >= DegradationLevel::kSerial) return DegradationLevel::kSerial;
+  return static_cast<DegradationLevel>(static_cast<int>(level) + 1);
+}
+
+const char* to_string(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+const char* to_string(DiagnosticCode code) {
+  switch (code) {
+    case DiagnosticCode::kAlphaOutOfRange: return "alpha-out-of-range";
+    case DiagnosticCode::kNonFiniteTau: return "non-finite-tau";
+    case DiagnosticCode::kNegativeTau: return "negative-tau";
+    case DiagnosticCode::kTauMagnitudeClamped: return "tau-magnitude-clamped";
+    case DiagnosticCode::kTauDynamicRange: return "tau-dynamic-range";
+    case DiagnosticCode::kNonFiniteMachineParam:
+      return "non-finite-machine-param";
+    case DiagnosticCode::kZeroCostGraph: return "zero-cost-graph";
+    case DiagnosticCode::kTrivialGraph: return "trivial-graph";
+    case DiagnosticCode::kFanOutExplosion: return "fan-out-explosion";
+    case DiagnosticCode::kHugeTransfer: return "huge-transfer";
+    case DiagnosticCode::kSolverNonFinite: return "solver-non-finite";
+    case DiagnosticCode::kSolverStalled: return "solver-stalled";
+    case DiagnosticCode::kSolverBudgetExhausted:
+      return "solver-budget-exhausted";
+    case DiagnosticCode::kSolverException: return "solver-exception";
+    case DiagnosticCode::kRecoveryApplied: return "recovery-applied";
+    case DiagnosticCode::kInvariantAllocationNotPow2:
+      return "invariant-allocation-not-pow2";
+    case DiagnosticCode::kInvariantAllocationOutOfBounds:
+      return "invariant-allocation-out-of-bounds";
+    case DiagnosticCode::kInvariantScheduleInvalid:
+      return "invariant-schedule-invalid";
+    case DiagnosticCode::kInvariantNonFiniteMakespan:
+      return "invariant-non-finite-makespan";
+    case DiagnosticCode::kInvariantBoundFactor:
+      return "invariant-bound-factor";
+    case DiagnosticCode::kExecutionFailed: return "execution-failed";
+    case DiagnosticCode::kNonFiniteSimulation:
+      return "non-finite-simulation";
+  }
+  return "?";
+}
+
+std::string Diagnostic::to_string() const {
+  std::ostringstream os;
+  os << degrade::to_string(severity) << ' ' << degrade::to_string(code);
+  if (!subject.empty()) os << " [" << subject << ']';
+  if (!detail.empty()) os << ": " << detail;
+  return os.str();
+}
+
+bool has_error(std::span<const Diagnostic> diagnostics) {
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == Severity::kError) return true;
+  }
+  return false;
+}
+
+std::string format_diagnostics(std::span<const Diagnostic> diagnostics) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < diagnostics.size(); ++i) {
+    if (i != 0) os << '\n';
+    os << diagnostics[i].to_string();
+  }
+  return os.str();
+}
+
+int exit_code(DegradationLevel level) {
+  if (level == DegradationLevel::kNone) return 0;
+  return 10 + static_cast<int>(level);
+}
+
+bool all_finite(std::span<const double> values) {
+  for (const double v : values) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+}  // namespace paradigm::degrade

@@ -1,0 +1,149 @@
+// Structured graceful degradation (DESIGN §10).
+//
+// The allocate -> schedule -> simulate pipeline must never crash and
+// must always emit a valid, explainable schedule, even for pathological
+// MDGs (NaN/overflowing costs, degenerate shapes, solver stalls). This
+// header defines the shared vocabulary for that contract:
+//
+//   * DegradationLevel — the fixed recovery ladder. Every rung is a
+//     strictly simpler, strictly more robust allocation strategy; the
+//     pipeline records the deepest rung it had to take, never silently.
+//   * Diagnostic / DiagnosticCode — the error taxonomy. Every anomaly
+//     (sanitization repair, non-finite solver event, invariant
+//     violation) becomes a structured diagnostic instead of a log line
+//     or a crash.
+//   * Policy — how the pipeline reacts: degrade (repair + ladder, the
+//     default) or strict (first error-severity diagnostic throws).
+//
+// Determinism rule: every decision in this subsystem is a pure function
+// of the inputs — recovery is triggered by value checks (std::isfinite,
+// iteration counts), never by wallclock or thread scheduling, so a
+// degraded run is byte-identical across machines and thread counts.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace paradigm::degrade {
+
+/// The recovery ladder, ordered from "no degradation" to "maximally
+/// conservative". Each rung is attempted only when every rung above it
+/// failed to produce a finite, invariant-satisfying result.
+enum class DegradationLevel : int {
+  kNone = 0,             ///< Convex solve accepted as-is.
+  kMultiStartRetry = 1,  ///< Re-solved with extra deterministic starts.
+  kSmoothingRestart = 2, ///< Re-solved with a softer smoothing schedule.
+  kAreaProportional = 3, ///< Analytic tau-proportional allocation.
+  kHomogeneous = 4,      ///< Every node gets all p processors.
+  kSerial = 5,           ///< Every node gets 1 processor.
+};
+
+/// Number of rungs (for iteration / metrics).
+inline constexpr int kDegradationLevels = 6;
+
+const char* to_string(DegradationLevel level);
+
+/// The next rung down; kSerial saturates.
+DegradationLevel next_level(DegradationLevel level);
+
+/// Severity of a diagnostic. kError means the result would be invalid
+/// without repair/degradation; strict mode turns any kError into a
+/// thrown paradigm::Error.
+enum class Severity { kInfo, kWarning, kError };
+
+const char* to_string(Severity severity);
+
+/// The error taxonomy (DESIGN §10). Codes are stable identifiers used
+/// in JSON exports, obs metrics and tests; the detail string carries
+/// the specific values.
+enum class DiagnosticCode {
+  // Input sanitization.
+  kAlphaOutOfRange,     ///< Amdahl serial fraction outside [0, 1].
+  kNonFiniteTau,        ///< NaN/Inf single-processor time.
+  kNegativeTau,         ///< Negative single-processor time.
+  kTauMagnitudeClamped, ///< tau above the overflow-safe limit.
+  kTauDynamicRange,     ///< max/min tau ratio overflows the log transform.
+  kNonFiniteMachineParam, ///< NaN/Inf/negative message-cost parameter.
+  kZeroCostGraph,       ///< Every node has zero processing cost.
+  kTrivialGraph,        ///< Single-node (or empty) MDG.
+  kFanOutExplosion,     ///< A node's out-degree exceeds the policy limit.
+  kHugeTransfer,        ///< Edge bytes above the simulator payload cap.
+  // Solver events.
+  kSolverNonFinite,       ///< NaN/Inf objective, gradient, or allocation.
+  kSolverStalled,         ///< Descent ended without meeting the tolerance.
+  kSolverBudgetExhausted, ///< Deterministic work-unit budget hit.
+  kSolverException,       ///< A solve rung threw paradigm::Error.
+  kRecoveryApplied,       ///< A ladder rung produced the accepted result.
+  // Post-schedule invariants.
+  kInvariantAllocationNotPow2,    ///< A rounded p_i is not a power of two.
+  kInvariantAllocationOutOfBounds,///< A rounded p_i outside [1, PB].
+  kInvariantScheduleInvalid,      ///< Schedule::validate rejected it.
+  kInvariantNonFiniteMakespan,    ///< NaN/Inf/negative makespan.
+  kInvariantBoundFactor,          ///< A Theorem 1-3 factor < 1 or non-finite.
+  // Execution.
+  kExecutionFailed,      ///< Codegen/simulation threw; outcome zeroed.
+  kNonFiniteSimulation,  ///< Simulator produced a non-finite finish time.
+};
+
+const char* to_string(DiagnosticCode code);
+
+/// One structured anomaly report.
+struct Diagnostic {
+  DiagnosticCode code = DiagnosticCode::kSolverNonFinite;
+  Severity severity = Severity::kWarning;
+  std::string subject;  ///< What it is about ("node n3", "solver/rung1").
+  std::string detail;   ///< Specific values, human-readable.
+
+  std::string to_string() const;
+};
+
+/// True iff any diagnostic has kError severity.
+bool has_error(std::span<const Diagnostic> diagnostics);
+
+/// Renders diagnostics one per line ("severity code [subject]: detail").
+std::string format_diagnostics(std::span<const Diagnostic> diagnostics);
+
+/// How the pipeline reacts to pathology. The limits are deliberately
+/// conservative: they bound the ranges for which every downstream
+/// computation (posynomial costs, log transform, simulated clocks) is
+/// provably finite in double precision.
+struct Policy {
+  /// Master switch: repair inputs and walk the recovery ladder. When
+  /// false the pipeline behaves exactly as before this subsystem
+  /// existed (diagnostics are still collected).
+  bool enabled = true;
+  /// Strict mode: the first kError diagnostic throws paradigm::Error
+  /// (with the formatted taxonomy) instead of repairing/degrading.
+  bool strict = false;
+  /// tau values above this are clamped (sum over ~1e4 nodes times
+  /// p <= 4096 stays far below DBL_MAX).
+  double tau_limit = 1e15;
+  /// Machine message parameters above this are clamped.
+  double machine_param_limit = 1e9;
+  /// max/min positive-tau ratio beyond which the geometric-programming
+  /// log transform loses all relative precision (warning only).
+  double tau_range_limit = 1e12;
+  /// Out-degree above this is flagged as a fan-out explosion (warning).
+  std::size_t fan_out_limit = 512;
+};
+
+/// Largest synthetic-transfer payload the simulator will materialize
+/// (codegen caps the stand-in array at this many bytes). Far above every
+/// calibrated or generated synthetic size (random MDGs top out at 2 MiB)
+/// so well-conditioned runs never hit it; edges beyond it are flagged
+/// kHugeTransfer and simulated with the capped payload — the cost model
+/// and the schedule still use the true byte count.
+inline constexpr std::size_t kSyntheticPayloadByteLimit =
+    std::size_t{1} << 22;
+
+/// CLI exit-code mapping: 0 for kNone, 10 + level for a degraded (but
+/// valid) result — so scripts can distinguish "clean" from "explainably
+/// degraded" without parsing output. Hard errors keep exit code 1.
+int exit_code(DegradationLevel level);
+
+/// True iff every value is finite (empty spans are finite).
+bool all_finite(std::span<const double> values);
+
+}  // namespace paradigm::degrade

@@ -168,6 +168,80 @@ TEST(Property, SmoothedGradientMatchesFiniteDifferencesAcrossSeeds) {
   }
 }
 
+TEST(Property, BoundFactorsFiniteAndAtLeastOneAcrossMachineSizes) {
+  // Corollary 1 and the Theorem 1-3 factors must stay finite and >= 1
+  // over the full machine-size range the pipeline accepts, including
+  // the degenerate p = 1 and the largest supported p = 4096. These are
+  // exactly the quantities the post-schedule invariant gate (DESIGN
+  // §10) checks on every run, so they must be well-defined everywhere.
+  for (std::uint64_t p = 1; p <= 4096; p *= 2) {
+    const std::uint64_t pb = sched::optimal_processor_bound(p);
+    EXPECT_GE(pb, 1u) << "p=" << p;
+    EXPECT_LE(pb, p) << "p=" << p;
+    EXPECT_EQ(pb & (pb - 1), 0u) << "p=" << p;  // power of two
+    for (const double factor :
+         {sched::theorem1_factor(p, pb), sched::theorem2_factor(p, pb),
+          sched::theorem3_factor(p, pb)}) {
+      EXPECT_TRUE(std::isfinite(factor)) << "p=" << p << " pb=" << pb;
+      EXPECT_GE(factor, 1.0) << "p=" << p << " pb=" << pb;
+    }
+    // Corollary 1: PB minimizes the Theorem-3 factor over powers of two.
+    for (std::uint64_t q = 1; q <= p; q *= 2) {
+      EXPECT_LE(sched::theorem3_factor(p, pb),
+                sched::theorem3_factor(p, q) * (1.0 + 1e-12))
+          << "p=" << p << " pb=" << pb << " q=" << q;
+    }
+  }
+}
+
+TEST(Property, ExtremeAmdahlParametersKeepTheGuaranteesFinite) {
+  // The corner cases of the parameter domain: fully parallel
+  // (alpha = 0) and fully serial (alpha = 1) nodes, with taus at both
+  // ends of the supported dynamic range (1e-12 s and 1e12 s), solved
+  // for the smallest and largest machine. The allocation, Phi, and the
+  // scheduled makespan must all stay finite, and the rounded powers
+  // must respect [1, PB].
+  for (const double alpha : {0.0, 1.0}) {
+    for (const double tau : {1e-12, 1e12}) {
+      for (const double p : {1.0, 4096.0}) {
+        mdg::Mdg graph;
+        const auto a = graph.add_synthetic("a", alpha, tau);
+        const auto b = graph.add_synthetic("b", alpha, tau);
+        const auto c = graph.add_synthetic("c", alpha, tau);
+        graph.add_synthetic_dependence(a, b, 1 << 12);
+        graph.add_synthetic_dependence(a, c, 1 << 12);
+        graph.finalize();
+        const cost::CostModel model(graph, cost::MachineParams{},
+                                    cost::KernelCostTable{});
+        solver::ConvexAllocatorConfig light;
+        light.continuation_rounds = 2;
+        light.max_inner_iterations = 60;
+        const auto alloc =
+            solver::ConvexAllocator(light).allocate(model, p);
+        EXPECT_TRUE(alloc.finite())
+            << "alpha=" << alpha << " tau=" << tau << " p=" << p;
+        EXPECT_GE(alloc.phi, 0.0);
+
+        const auto up = static_cast<std::uint64_t>(p);
+        const auto psa =
+            sched::prioritized_schedule(model, alloc.allocation, up);
+        EXPECT_TRUE(std::isfinite(psa.finish_time))
+            << "alpha=" << alpha << " tau=" << tau << " p=" << p;
+        EXPECT_GE(psa.pb, 1u);
+        EXPECT_LE(psa.pb, up);
+        for (const std::uint64_t p_i : psa.allocation) {
+          EXPECT_GE(p_i, 1u);
+          EXPECT_LE(p_i, psa.pb);
+          EXPECT_EQ(p_i & (p_i - 1), 0u);
+        }
+        EXPECT_TRUE(
+            std::isfinite(sched::theorem3_factor(up, psa.pb)));
+        EXPECT_GE(sched::theorem3_factor(up, psa.pb), 1.0);
+      }
+    }
+  }
+}
+
 TEST(Property, OneDMessageStructureMatchesCostModelTerm) {
   // The 1D cost's startup term counts max(p_i, p_j)/p_i messages per
   // sender; for power-of-two groups the redistribution plan produces

@@ -1,17 +1,27 @@
 // Robustness and edge-case coverage: multi-array edges end to end,
 // fuzzed inputs for all three text parsers (must diagnose, never
-// crash), and simulator bounds checking.
+// crash), simulator bounds checking, the solver's flat-objective
+// gradient-scale regression, and replay of the pathological-MDG
+// regression corpus (tests/fuzz_corpus/).
 #include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
 
 #include "calibrate/paramsio.hpp"
 #include "codegen/mpmd.hpp"
+#include "core/pipeline.hpp"
 #include "core/programs.hpp"
 #include "cost/model.hpp"
+#include "cost/sanitize.hpp"
 #include "frontend/compile.hpp"
+#include "mdg/random_mdg.hpp"
 #include "mdg/textio.hpp"
 #include "sched/psa.hpp"
 #include "sim/simulator.hpp"
 #include "solver/allocator.hpp"
+#include "support/degrade.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
 
@@ -318,6 +328,127 @@ TEST(SimulatorBounds, GroupRankOutsideMachineRejected) {
   program.streams[0].push_back(kernel);
   sim::Simulator simulator(mc);
   EXPECT_THROW(simulator.run(program), Error);
+}
+
+// ---- solver gradient-scale regression ------------------------------------------
+//
+// A zero-cost graph makes the smoothed objective identically zero, so
+// the old relative gradient normalization divided by ~0 and produced
+// NaN steps. The fix floors the scale at 1e-12 (and substitutes the
+// floor outright when the objective is non-finite); a flat objective
+// must now yield a finite allocation with Phi = 0, not NaN.
+
+TEST(SolverRegression, FlatObjectiveNeverProducesNaN) {
+  mdg::Mdg graph;
+  std::vector<mdg::NodeId> nodes;
+  for (int i = 0; i < 5; ++i) {
+    nodes.push_back(
+        graph.add_synthetic("flat" + std::to_string(i), 0.0, 0.0));
+  }
+  for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+    graph.add_synthetic_dependence(nodes[i], nodes[i + 1], 0);
+  }
+  graph.finalize();
+  // Zero machine parameters too: every cost term vanishes.
+  cost::MachineParams zero_machine;
+  zero_machine.t_ss = zero_machine.t_ps = zero_machine.t_sr =
+      zero_machine.t_pr = zero_machine.t_n = 0.0;
+  const cost::CostModel model(graph, zero_machine,
+                              cost::KernelCostTable{});
+  const auto result = solver::ConvexAllocator{}.allocate(model, 16.0);
+  EXPECT_TRUE(result.finite()) << result.summary();
+  EXPECT_EQ(result.phi, 0.0);
+  for (const double a : result.allocation) {
+    EXPECT_TRUE(std::isfinite(a));
+    EXPECT_GE(a, 1.0);
+    EXPECT_LE(a, 16.0);
+  }
+}
+
+TEST(SolverRegression, FlatObjectiveStableWithGuardsOff) {
+  // The gscale floor is part of the descent arithmetic, not the guard
+  // layer: even with finite_guards disabled a flat objective must not
+  // poison the iterates.
+  mdg::Mdg graph;
+  const auto a = graph.add_synthetic("a", 0.0, 0.0);
+  const auto b = graph.add_synthetic("b", 0.0, 0.0);
+  graph.add_synthetic_dependence(a, b, 0);
+  graph.finalize();
+  cost::MachineParams zero_machine;
+  zero_machine.t_ss = zero_machine.t_ps = zero_machine.t_sr =
+      zero_machine.t_pr = zero_machine.t_n = 0.0;
+  const cost::CostModel model(graph, zero_machine,
+                              cost::KernelCostTable{});
+  solver::ConvexAllocatorConfig config;
+  config.finite_guards = false;
+  const auto result = solver::ConvexAllocator(config).allocate(model, 8.0);
+  EXPECT_TRUE(result.finite()) << result.summary();
+}
+
+// ---- fuzz-corpus replay ---------------------------------------------------------
+//
+// Every seed in tests/fuzz_corpus/seeds.txt (one representative per
+// pathological shape class plus any seed a past fuzz run flagged) is
+// replayed through the full pipeline under the default degradation
+// policy. The release contract must hold for each: no throw, finite
+// allocation, valid schedule, finite makespan, documented exit code.
+
+std::vector<std::uint64_t> corpus_seeds() {
+  std::vector<std::uint64_t> seeds;
+  std::ifstream in(std::string(PARADIGM_FUZZ_CORPUS_DIR) + "/seeds.txt");
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::uint64_t seed = 0;
+    if (fields >> seed) seeds.push_back(seed);
+  }
+  return seeds;
+}
+
+TEST(FuzzCorpus, EverySeedHoldsTheReleaseContract) {
+  const std::vector<std::uint64_t> seeds = corpus_seeds();
+  ASSERT_GE(seeds.size(), 10u) << "corpus file missing or unreadable";
+
+  core::PipelineConfig config;
+  config.processors = 8;
+  config.machine.size = 8;
+  config.machine.noise_sigma = 0.0;
+  config.preset_calibration = calibrate::CalibrationBundle{
+      cost::MachineParams{}, cost::KernelCostTable{}};
+  config.solver.continuation_rounds = 2;
+  config.solver.max_inner_iterations = 60;
+  config.solver.work_unit_budget = 400;
+  const core::Compiler compiler(config);
+
+  for (const std::uint64_t seed : seeds) {
+    std::string shape;
+    const mdg::Mdg graph = mdg::pathological_mdg(seed, &shape);
+    core::PipelineReport report;
+    ASSERT_NO_THROW(report = compiler.compile_and_run(graph))
+        << "seed " << seed << " (" << shape << ")";
+    for (const double p_i : report.allocation.allocation) {
+      ASSERT_TRUE(std::isfinite(p_i) && p_i >= 1.0)
+          << "seed " << seed << " (" << shape << ") p_i=" << p_i;
+    }
+    ASSERT_TRUE(report.psa.has_value()) << "seed " << seed;
+    EXPECT_TRUE(std::isfinite(report.psa->finish_time) &&
+                report.psa->finish_time >= 0.0)
+        << "seed " << seed << " (" << shape << ")";
+    const auto scan = cost::sanitize_inputs(graph, cost::MachineParams{},
+                                            cost::KernelCostTable{});
+    const cost::CostModel model(graph, cost::MachineParams{},
+                                cost::KernelCostTable{},
+                                scan.needs_repair
+                                    ? cost::ParamPolicy::kSanitize
+                                    : cost::ParamPolicy::kStrict);
+    EXPECT_NO_THROW(report.psa->schedule.validate(model))
+        << "seed " << seed;
+    const int code = degrade::exit_code(report.degradation);
+    EXPECT_TRUE(code == 0 || (code >= 10 && code <= 15))
+        << "seed " << seed << " code " << code;
+  }
 }
 
 TEST(SimulatorBounds, SendOutsideMachineRejected) {

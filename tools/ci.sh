@@ -2,7 +2,7 @@
 # Local CI: build the plain and sanitized configurations and run the
 # full test suite under each.
 #
-#   tools/ci.sh            # plain (RelWithDebInfo) + ASan/UBSan + TSan
+#   tools/ci.sh            # plain (RelWithDebInfo) + ASan/UBSan + UBSan + TSan
 #   tools/ci.sh --fast     # plain configuration only
 #
 # The TSan configuration runs the whole suite with PARADIGM_THREADS=4 so
@@ -48,6 +48,21 @@ PARADIGM_METRICS_DIR="$artifacts" \
   run_config plain -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPARADIGM_WERROR=ON
 find build-ci/plain -maxdepth 1 -name 'BENCH_*.json' \
   -exec cp {} "$artifacts/" \;
+
+# Fuzz stage (DESIGN §10): replay the seeded pathological-MDG corpus and
+# the 500-seed sweep (ctest -L fuzz, fixed seeds, bounded runtime). Any
+# failing seed is dumped by the harness into PARADIGM_FUZZ_ARTIFACT_DIR
+# so it can be archived and checked into tests/fuzz_corpus/seeds.txt as
+# a permanent regression.
+echo "=== [plain] fuzz corpus stage ==="
+mkdir -p "$artifacts/fuzz"
+PARADIGM_FUZZ_ARTIFACT_DIR="$artifacts/fuzz" \
+  ctest --test-dir build-ci/plain -L fuzz --output-on-failure -j "$jobs"
+if compgen -G "$artifacts/fuzz/*" > /dev/null; then
+  echo "fuzz stage archived failing-seed artifacts:"
+  ls -l "$artifacts/fuzz"
+fi
+
 echo "=== artifacts ==="
 ls -l "$artifacts"
 
@@ -55,6 +70,16 @@ if [[ "$fast" == 0 ]]; then
   run_config asan-ubsan \
     -DCMAKE_BUILD_TYPE=Debug \
     -DPARADIGM_SANITIZE=address,undefined
+
+  # Dedicated UBSan configuration (DESIGN §10): the degradation ladder's
+  # guarantee is "no UB on hostile inputs", so undefined-behaviour
+  # findings must abort the run rather than print and continue. The
+  # combined ASan/UBSan config above keeps ASan's default behaviour;
+  # this one runs UBSan alone with halt_on_error so any finding fails
+  # the suite loudly.
+  UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 run_config ubsan \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DPARADIGM_SANITIZE=undefined
 
   PARADIGM_THREADS=4 run_config tsan \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \

@@ -6,6 +6,7 @@
 //
 // Programs: complex | complex-mixed | strassen | figure1 | file.
 // Outputs the pipeline summary; optional DOT/JSON/Gantt artifacts.
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -26,6 +27,7 @@
 #include "codegen/mpmd.hpp"
 #include "sim/simulator.hpp"
 #include "support/args.hpp"
+#include "support/degrade.hpp"
 #include "support/parallel.hpp"
 #include "support/table.hpp"
 #include "support/error.hpp"
@@ -153,6 +155,14 @@ int main(int argc, char** argv) {
   args.add_option("slow-prob", "0", "per-kernel straggler probability");
   args.add_option("slow-factor", "4", "straggler slowdown factor");
   args.add_option("fault-seed", "64023", "fault plan RNG seed");
+  args.add_option("degrade", "on",
+                  "graceful degradation: on (sanitize inputs and walk the\n"
+                  "      recovery ladder; exit code 10+level when degraded) |\n"
+                  "      off (pre-ladder behaviour: any pathology is a hard\n"
+                  "      error, exit 1)");
+  args.add_flag("strict",
+                "fail fast: the first error-severity diagnostic aborts the\n"
+                "      pipeline (exit 1) instead of repairing/degrading");
   args.add_flag("help", "show this help");
 
   try {
@@ -180,6 +190,12 @@ int main(int argc, char** argv) {
     const mdg::Mdg graph = load_program(args);
     const auto p = static_cast<std::uint64_t>(args.get_int("p"));
 
+    degrade::Policy degradation;
+    PARADIGM_CHECK(args.get("degrade") == "on" || args.get("degrade") == "off",
+                   "--degrade must be on or off");
+    degradation.enabled = args.get("degrade") == "on";
+    degradation.strict = args.get_flag("strict");
+
     if (!args.get("sweep").empty()) {
       std::vector<std::uint64_t> sizes;
       std::istringstream list(args.get("sweep"));
@@ -190,6 +206,7 @@ int main(int argc, char** argv) {
       AsciiTable table("Sweep over machine sizes");
       table.set_header({"p", "Phi (s)", "T_psa (s)", "MPMD sim (s)",
                         "SPMD sim (s)", "MPMD speedup", "SPMD speedup"});
+      degrade::DegradationLevel worst = degrade::DegradationLevel::kNone;
       for (const std::uint64_t size : sizes) {
         core::PipelineConfig sweep_config;
         sweep_config.processors = size;
@@ -199,6 +216,7 @@ int main(int argc, char** argv) {
           sweep_config.calibration_mode = core::CalibrationMode::kStatic;
         }
         sweep_config.solver.num_starts = static_cast<std::size_t>(starts);
+        sweep_config.degradation = degradation;
         const core::Compiler sweep_compiler(sweep_config);
         const core::PipelineReport r = sweep_compiler.compile_and_run(graph);
         table.add_row({std::to_string(size), AsciiTable::num(r.phi(), 4),
@@ -207,14 +225,21 @@ int main(int argc, char** argv) {
                        AsciiTable::num(r.spmd_run.simulated, 4),
                        AsciiTable::num(r.mpmd_speedup(), 2),
                        AsciiTable::num(r.spmd_speedup(), 2)});
+        worst = std::max(worst, r.degradation);
+        if (r.degraded() || !r.diagnostics.empty()) {
+          std::cout << "p=" << size << " degradation="
+                    << degrade::to_string(r.degradation) << "\n"
+                    << degrade::format_diagnostics(r.diagnostics) << "\n";
+        }
       }
       std::cout << table.render();
-      return 0;
+      return degrade::exit_code(worst);
     }
 
     core::PipelineConfig config;
     config.processors = p;
     config.solver.num_starts = static_cast<std::size_t>(starts);
+    config.degradation = degradation;
     config.machine = load_machine(args, static_cast<std::uint32_t>(p));
     if (args.get("mode") == "static") {
       config.calibration_mode = core::CalibrationMode::kStatic;
@@ -236,6 +261,15 @@ int main(int argc, char** argv) {
     const core::PipelineReport report = compiler.compile_and_run(graph);
 
     std::cout << report.summary() << "\n";
+    if (report.degraded() || !report.diagnostics.empty()) {
+      std::cout << "degradation level: "
+                << degrade::to_string(report.degradation) << " ("
+                << static_cast<int>(report.degradation) << ")\n";
+      if (!report.diagnostics.empty()) {
+        std::cout << degrade::format_diagnostics(report.diagnostics)
+                  << "\n";
+      }
+    }
     if (args.get_flag("inject-faults")) {
       PARADIGM_CHECK(report.psa && config.run_simulation,
                      "--inject-faults needs a schedule and simulation "
@@ -308,7 +342,9 @@ int main(int argc, char** argv) {
                  calibrate::write_calibration(calibrate::CalibrationBundle{
                      report.fitted_machine, report.kernel_table}));
     }
-    return 0;
+    // 0 for a clean run, 10 + level for a valid-but-degraded one, so
+    // scripts can distinguish the two without parsing output.
+    return degrade::exit_code(report.degradation);
   } catch (const Error& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
