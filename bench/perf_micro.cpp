@@ -49,6 +49,7 @@
 #include "sched/psa.hpp"
 #include "sim/simulator.hpp"
 #include "solver/allocator.hpp"
+#include "support/cancel.hpp"
 #include "support/json.hpp"
 #include "support/parallel.hpp"
 #include "support/rng.hpp"
@@ -615,6 +616,103 @@ int run_guard_gate(const std::string& out_path) {
   return 0;
 }
 
+// `perf_micro --svc-gate[=out.json]` measures what the DESIGN §11
+// cooperative-cancellation checkpoints cost on the allocator hot path:
+// a single-job run with no CancelToken (the PR4 code path) against one
+// with a live token that never trips. Budget 2%, and the two runs must
+// produce bit-identical allocations — the checkpoints are checks, not
+// behavior. Results go to BENCH_pr5.json.
+int run_svc_gate(const std::string& out_path) {
+  constexpr double kMaxOverhead = 0.02;  // cancellation checks <= 2%
+  constexpr std::size_t kGateNodes = 128;
+  constexpr std::size_t kReps = 15;
+
+  set_thread_count(1);
+  const mdg::Mdg graph = sized_graph(kGateNodes);
+  const cost::CostModel model(graph, cost::MachineParams{},
+                              cost::KernelCostTable{});
+
+  solver::ConvexAllocatorConfig off_config;
+  off_config.continuation_rounds = 3;
+  off_config.max_inner_iterations = 120;
+  off_config.cancel = nullptr;
+  // The on-side token is unlimited (deadline 0, no stall limit): every
+  // iteration and backtrack still pays the charge/trip check, but the
+  // token never trips — exactly the steady-state service cost.
+  CancelToken token;
+  solver::ConvexAllocatorConfig on_config = off_config;
+  on_config.cancel = &token;
+  const solver::ConvexAllocator cancel_off(off_config);
+  const solver::ConvexAllocator cancel_on(on_config);
+
+  const auto run_off = [&] {
+    benchmark::DoNotOptimize(cancel_off.allocate(model, 64.0));
+  };
+  const auto run_on = [&] {
+    benchmark::DoNotOptimize(cancel_on.allocate(model, 64.0));
+  };
+  run_off();  // warmup
+  run_on();
+  std::vector<double> off_samples, on_samples;
+  off_samples.reserve(kReps);
+  on_samples.reserve(kReps);
+  for (std::size_t r = 0; r < kReps; ++r) {
+    off_samples.push_back(timed_ns(run_off));
+    on_samples.push_back(timed_ns(run_on));
+  }
+  std::sort(off_samples.begin(), off_samples.end());
+  std::sort(on_samples.begin(), on_samples.end());
+  const double off_ns = off_samples[off_samples.size() / 2];
+  const double on_ns = on_samples[on_samples.size() / 2];
+  const double overhead = off_ns > 0.0 ? on_ns / off_ns - 1.0 : 0.0;
+  const bool passed = overhead <= kMaxOverhead;
+
+  std::cout << "allocator N=" << kGateNodes << ": cancel-off "
+            << off_ns / 1e6 << " ms, cancel-on " << on_ns / 1e6
+            << " ms (" << overhead * 100.0 << "% overhead)\n";
+
+  const solver::AllocationResult a_off = cancel_off.allocate(model, 64.0);
+  const solver::AllocationResult a_on = cancel_on.allocate(model, 64.0);
+  const bool identical = a_off.allocation == a_on.allocation &&
+                         a_off.phi == a_on.phi;
+  if (!identical) {
+    std::cerr << "SVC GATE: a live cancel token changed the allocation\n";
+  }
+
+  Json doc = Json::object();
+  doc.set("pr", Json::integer(5));
+  Json gate = Json::object();
+  gate.set("max_overhead", Json::number(kMaxOverhead));
+  gate.set("measured_overhead", Json::number(overhead));
+  gate.set("passed", Json::boolean(passed && identical));
+  gate.set("results_identical", Json::boolean(identical));
+  doc.set("gate", std::move(gate));
+  Json benches = Json::array();
+  Json b = Json::object();
+  b.set("name", Json::string("allocator"));
+  b.set("n", Json::integer(static_cast<std::int64_t>(kGateNodes)));
+  b.set("cancel_off_ns", Json::number(off_ns));
+  b.set("cancel_on_ns", Json::number(on_ns));
+  b.set("overhead", Json::number(overhead));
+  benches.push_back(std::move(b));
+  doc.set("benchmarks", std::move(benches));
+
+  std::ofstream out(out_path);
+  out << doc.dump() << "\n";
+  std::cout << "wrote " << out_path << "\n";
+
+  if (!passed) {
+    std::cerr << "SVC OVERHEAD: cancellation checks cost "
+              << overhead * 100.0 << "% on the allocator N=" << kGateNodes
+              << " hot path, budget " << kMaxOverhead * 100.0 << "%\n";
+    return 1;
+  }
+  if (!identical) return 1;
+  std::cout << "gate passed: " << overhead * 100.0 << "% <= "
+            << kMaxOverhead * 100.0 << "%\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -631,6 +729,12 @@ int main(int argc, char** argv) {
       const std::string path =
           eq == std::string::npos ? "BENCH_pr3.json" : arg.substr(eq + 1);
       return run_obs_gate(path);
+    }
+    if (arg.rfind("--svc-gate", 0) == 0) {
+      const std::size_t eq = arg.find('=');
+      const std::string path =
+          eq == std::string::npos ? "BENCH_pr5.json" : arg.substr(eq + 1);
+      return run_svc_gate(path);
     }
     if (arg.rfind("--guard-gate", 0) == 0) {
       const std::size_t eq = arg.find('=');

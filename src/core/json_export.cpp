@@ -171,6 +171,16 @@ Json report_to_json(const PipelineReport& report) {
     degradation.set("diagnostics", std::move(diags));
     out.set("degradation", std::move(degradation));
   }
+
+  // Cancellation block (DESIGN §11), same conditional-emission contract
+  // as the degradation block: absent on uncancelled runs.
+  if (report.cancelled) {
+    Json cancelled = Json::object();
+    cancelled.set("reason", Json::string(to_string(report.cancel_reason)));
+    cancelled.set("ticks", Json::integer(static_cast<std::int64_t>(
+                               report.cancel_ticks)));
+    out.set("cancelled", std::move(cancelled));
+  }
   return out;
 }
 

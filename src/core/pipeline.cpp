@@ -38,6 +38,19 @@ void append_diagnostics(std::vector<degrade::Diagnostic>& into,
   for (auto& d : from) into.push_back(std::move(d));
 }
 
+degrade::DiagnosticCode cancel_code(CancelReason reason) {
+  switch (reason) {
+    case CancelReason::kDeadline:
+      return degrade::DiagnosticCode::kDeadlineExceeded;
+    case CancelReason::kWatchdog:
+      return degrade::DiagnosticCode::kWatchdogStall;
+    case CancelReason::kNone:
+    case CancelReason::kExternal:
+      break;
+  }
+  return degrade::DiagnosticCode::kJobCancelled;
+}
+
 }  // namespace
 
 std::string PipelineReport::summary() const {
@@ -96,6 +109,7 @@ ExecutionOutcome Compiler::execute_schedule(
   sim::MachineConfig machine = config_.machine;
   machine.size = static_cast<std::uint32_t>(schedule.machine_size());
   sim::Simulator simulator(machine);
+  simulator.set_cancel(config_.cancel);
   outcome.run = simulator.run(generated.program);
   outcome.simulated = outcome.run.finish_time;
   return outcome;
@@ -103,15 +117,46 @@ ExecutionOutcome Compiler::execute_schedule(
 
 double Compiler::measure_serial(const mdg::Mdg& graph) const {
   const cost::CostModel model = build_cost_model(graph);
-  const sched::Schedule schedule = sched::spmd_schedule(model, 1);
+  const sched::Schedule schedule =
+      sched::spmd_schedule(model, 1, config_.cancel);
   return execute_schedule(graph, schedule).simulated;
 }
 
 PipelineReport Compiler::compile_and_run(const mdg::Mdg& graph) const {
+  PipelineReport report;
+  report.processors = config_.processors;
+  if (config_.cancel == nullptr) {
+    run_pipeline(graph, report);
+    return report;
+  }
+  try {
+    run_pipeline(graph, report);
+  } catch (const Cancelled& c) {
+    // Cooperative unwind (DESIGN §11): the stages committed their state
+    // into `report` progressively, so what we hold here is a valid
+    // partial report. Record the trip and hand it back.
+    report.cancelled = true;
+    report.cancel_reason = c.reason();
+    report.cancel_ticks = c.ticks();
+    report.diagnostics.push_back(degrade::Diagnostic{
+        cancel_code(c.reason()), degrade::Severity::kWarning, "pipeline",
+        c.what()});
+    log_info("pipeline cancelled: ", c.what());
+  }
+  return report;
+}
+
+void Compiler::run_pipeline(const mdg::Mdg& graph,
+                            PipelineReport& report) const {
   const std::uint64_t p = config_.processors;
   const degrade::Policy& policy = config_.degradation;
-  PipelineReport report;
-  report.processors = p;
+
+  // Stage configs inherit the job's cancel token (config_ is shared
+  // between jobs, so the copies are per-run).
+  solver::ConvexAllocatorConfig solver_config = config_.solver;
+  solver_config.cancel = config_.cancel;
+  sched::PsaConfig psa_config = config_.psa;
+  psa_config.cancel = config_.cancel;
 
   // Phase spans sit on the "compiler" track at logical times 0..6 (one
   // slot per pipeline stage, in the paper's Section 1.2 order); in
@@ -122,6 +167,12 @@ PipelineReport Compiler::compile_and_run(const mdg::Mdg& graph) const {
     const obs::PhaseSpan span("compiler", "calibrate", 0.0);
     return fit_parameters(graph);
   }();
+  if (config_.cancel != nullptr) {
+    // One tick per coarse phase boundary: calibration has no inner
+    // iteration loop, so this is its (only) cancellation point.
+    config_.cancel->charge(1, "pipeline/calibrate");
+    config_.cancel->progress();
+  }
 
   // 1b. Input sanitization scan (DESIGN §10): pure value checks over
   // the MDG shape, Amdahl parameters and machine parameters. On a clean
@@ -134,6 +185,10 @@ PipelineReport Compiler::compile_and_run(const mdg::Mdg& graph) const {
                   << degrade::format_diagnostics(scan.diagnostics));
   }
   report.diagnostics = scan.diagnostics;
+  // Calibration output commits before the solve so a cancelled job
+  // still reports the fitted parameters it paid for.
+  report.fitted_machine = machine_params;
+  report.kernel_table = table;
   const bool repair = policy.enabled && scan.needs_repair;
   const cost::CostModel model(graph, machine_params, table,
                               repair ? cost::ParamPolicy::kSanitize
@@ -152,17 +207,22 @@ PipelineReport Compiler::compile_and_run(const mdg::Mdg& graph) const {
     const obs::PhaseSpan span("compiler", "allocate", 1.0);
     if (!policy.enabled) {
       solver::GuardedAllocation g;
-      g.result = solver::ConvexAllocator(config_.solver)
+      g.result = solver::ConvexAllocator(solver_config)
                      .allocate(model, static_cast<double>(p));
       return g;
     }
     return solver::allocate_with_recovery(
-        model, static_cast<double>(p), config_.solver, config_.recovery,
+        model, static_cast<double>(p), solver_config, config_.recovery,
         repair ? degrade::DegradationLevel::kMultiStartRetry
                : degrade::DegradationLevel::kNone);
   }();
   log_info("allocation: ", guarded.result.summary());
   append_diagnostics(report.diagnostics, std::move(guarded.diagnostics));
+  // Commit the accepted allocation before scheduling (copied, not
+  // moved: the invariant-gate loop below may re-run the ladder and
+  // re-commit).
+  report.allocation = guarded.result;
+  report.degradation = guarded.level;
   if (policy.strict &&
       guarded.level != degrade::DegradationLevel::kNone) {
     PARADIGM_FAIL("strict mode: convex allocation required recovery\n"
@@ -180,13 +240,15 @@ PipelineReport Compiler::compile_and_run(const mdg::Mdg& graph) const {
       sched::PsaResult attempt = [&] {
         const obs::PhaseSpan span("compiler", "schedule", 2.0);
         return sched::prioritized_schedule(
-            model, guarded.result.allocation, p, config_.psa);
+            model, guarded.result.allocation, p, psa_config);
       }();
       violations = sched::check_schedule_invariants(model, attempt, p);
       if (violations.empty()) {
         psa = std::move(attempt);
         break;
       }
+    } catch (const Cancelled&) {
+      throw;
     } catch (const Error& e) {
       violations.push_back(degrade::Diagnostic{
           degrade::DiagnosticCode::kInvariantScheduleInvalid,
@@ -204,12 +266,15 @@ PipelineReport Compiler::compile_and_run(const mdg::Mdg& graph) const {
     const degrade::DegradationLevel next =
         degrade::next_level(guarded.level);
     guarded = solver::allocate_with_recovery(model, static_cast<double>(p),
-                                             config_.solver,
+                                             solver_config,
                                              config_.recovery, next);
     append_diagnostics(report.diagnostics, std::move(guarded.diagnostics));
+    report.allocation = guarded.result;
+    report.degradation = guarded.level;
   }
   report.allocation = std::move(guarded.result);
   report.degradation = guarded.level;
+  report.psa = std::move(psa);
 
   // The SPMD baseline is predicted with a transfer-free cost model:
   // with every node on the same full processor group, arrays never move
@@ -225,15 +290,19 @@ PipelineReport Compiler::compile_and_run(const mdg::Mdg& graph) const {
                                    policy);
   std::optional<sched::Schedule> spmd;
   try {
-    sched::Schedule baseline = sched::spmd_schedule(spmd_model, p);
+    sched::Schedule baseline =
+        sched::spmd_schedule(spmd_model, p, config_.cancel);
     baseline.validate(spmd_model);
     spmd = std::move(baseline);
+  } catch (const Cancelled&) {
+    throw;
   } catch (const Error& e) {
     if (!policy.enabled || policy.strict) throw;
     report.diagnostics.push_back(degrade::Diagnostic{
         degrade::DiagnosticCode::kInvariantScheduleInvalid,
         degrade::Severity::kWarning, "spmd-baseline", e.what()});
   }
+  report.spmd = std::move(spmd);
 
   // 4-5. Codegen + simulated execution, guarded so a simulator failure
   // degrades to a zeroed outcome instead of tearing the pipeline down.
@@ -253,6 +322,8 @@ PipelineReport Compiler::compile_and_run(const mdg::Mdg& graph) const {
             degrade::Severity::kError, what, os.str()});
       }
       return outcome;
+    } catch (const Cancelled&) {
+      throw;
     } catch (const Error& e) {
       if (policy.strict) throw;
       report.diagnostics.push_back(degrade::Diagnostic{
@@ -261,25 +332,25 @@ PipelineReport Compiler::compile_and_run(const mdg::Mdg& graph) const {
       return ExecutionOutcome{};
     }
   };
-  report.fitted_machine = machine_params;
-  report.kernel_table = std::move(table);
   {
     const obs::PhaseSpan span("compiler", "execute_mpmd", 3.0);
-    report.mpmd = guarded_execute(psa->schedule, "execute/mpmd");
+    report.mpmd = guarded_execute(report.psa->schedule, "execute/mpmd");
   }
-  if (spmd) {
+  if (report.spmd) {
     const obs::PhaseSpan span("compiler", "execute_spmd", 4.0);
-    report.spmd_run = guarded_execute(*spmd, "execute/spmd");
+    report.spmd_run = guarded_execute(*report.spmd, "execute/spmd");
   }
   {
     const obs::PhaseSpan span("compiler", "refine", 5.0);
     try {
       report.mpmd.predicted_refined =
-          sched::refine_prediction(model, psa->schedule).makespan;
-      if (spmd) {
+          sched::refine_prediction(model, report.psa->schedule).makespan;
+      if (report.spmd) {
         report.spmd_run.predicted_refined =
-            sched::refine_prediction(model, *spmd).makespan;
+            sched::refine_prediction(model, *report.spmd).makespan;
       }
+    } catch (const Cancelled&) {
+      throw;
     } catch (const Error& e) {
       if (!policy.enabled || policy.strict) throw;
       report.diagnostics.push_back(degrade::Diagnostic{
@@ -287,8 +358,6 @@ PipelineReport Compiler::compile_and_run(const mdg::Mdg& graph) const {
           degrade::Severity::kWarning, "refine", e.what()});
     }
   }
-  report.psa = std::move(psa);
-  report.spmd = std::move(spmd);
   if (config_.run_simulation) {
     const obs::PhaseSpan span("compiler", "measure_serial", 6.0);
     try {
@@ -296,9 +365,12 @@ PipelineReport Compiler::compile_and_run(const mdg::Mdg& graph) const {
           graph, machine_params, report.kernel_table,
           repair ? cost::ParamPolicy::kSanitize : cost::ParamPolicy::kStrict,
           policy);
-      const sched::Schedule serial = sched::spmd_schedule(serial_model, 1);
+      const sched::Schedule serial =
+          sched::spmd_schedule(serial_model, 1, config_.cancel);
       report.serial_seconds =
           guarded_execute(serial, "execute/serial").simulated;
+    } catch (const Cancelled&) {
+      throw;
     } catch (const Error& e) {
       if (!policy.enabled || policy.strict) throw;
       report.diagnostics.push_back(degrade::Diagnostic{
@@ -324,7 +396,6 @@ PipelineReport Compiler::compile_and_run(const mdg::Mdg& graph) const {
     }
   }
   log_info("pipeline: ", report.summary());
-  return report;
 }
 
 }  // namespace paradigm::core

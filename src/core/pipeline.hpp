@@ -23,6 +23,7 @@
 #include "sched/psa.hpp"
 #include "sim/simulator.hpp"
 #include "solver/allocator.hpp"
+#include "support/cancel.hpp"
 #include "support/degrade.hpp"
 
 namespace paradigm::core {
@@ -53,6 +54,13 @@ struct PipelineConfig {
   degrade::Policy degradation;
   /// Tuning for the ladder rungs that re-run the convex solver.
   solver::RecoveryConfig recovery;
+  /// Cooperative cancellation (DESIGN §11): when set, the token is
+  /// threaded through every stage (solver iterations, PSA placements,
+  /// simulator batches) and a tripped checkpoint unwinds
+  /// compile_and_run to a *partial* PipelineReport with
+  /// report.cancelled set. Null (the default) is byte-identical legacy
+  /// behavior. Not owned.
+  CancelToken* cancel = nullptr;
 };
 
 /// One executed schedule: its model prediction and its simulated
@@ -87,6 +95,13 @@ struct PipelineReport {
   /// solver events, invariant violations, execution failures). Empty on
   /// a clean run.
   std::vector<degrade::Diagnostic> diagnostics;
+  /// Cancellation (DESIGN §11): set when a cooperative cancel unwound
+  /// the pipeline mid-run. The report then holds exactly the state the
+  /// stages committed before the tripped checkpoint (later fields stay
+  /// at their defaults) plus a diagnostic naming the checkpoint.
+  bool cancelled = false;
+  CancelReason cancel_reason = CancelReason::kNone;
+  std::uint64_t cancel_ticks = 0;  ///< Work ticks charged at the trip.
 
   bool degraded() const {
     return degradation != degrade::DegradationLevel::kNone;
@@ -118,7 +133,9 @@ class Compiler {
   explicit Compiler(PipelineConfig config);
 
   /// Runs the full pipeline on `graph`. Throws paradigm::Error on any
-  /// invalid intermediate state.
+  /// invalid intermediate state. With config.cancel set, a tripped
+  /// cancellation checkpoint returns the partial report (cancelled =
+  /// true) instead of throwing.
   PipelineReport compile_and_run(const mdg::Mdg& graph) const;
 
   /// Individual stages, exposed for tests, benches, and custom drivers.
@@ -134,6 +151,10 @@ class Compiler {
   /// Obtains machine + kernel parameters per the calibration mode.
   std::pair<cost::MachineParams, cost::KernelCostTable> fit_parameters(
       const mdg::Mdg& graph) const;
+
+  /// compile_and_run's body: commits state into `report` progressively
+  /// so a Cancelled unwind leaves a valid partial report behind.
+  void run_pipeline(const mdg::Mdg& graph, PipelineReport& report) const;
 
   PipelineConfig config_;
 };

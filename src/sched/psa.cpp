@@ -89,7 +89,7 @@ std::vector<std::uint64_t> bound_allocation(std::vector<std::uint64_t> alloc,
 Schedule list_schedule(const cost::CostModel& model,
                        std::span<const std::uint64_t> allocation,
                        std::uint64_t p, ListPriority priority,
-                       GroupPolicy groups) {
+                       GroupPolicy groups, CancelToken* cancel) {
   if (groups == GroupPolicy::kAlignedBlocks) {
     for (std::size_t i = 0; i < allocation.size(); ++i) {
       PARADIGM_CHECK(is_pow2(allocation[i]),
@@ -179,6 +179,13 @@ Schedule list_schedule(const cost::CostModel& model,
   const bool record = obs::enabled();
   std::size_t placed_count = 0;
   while (!ready.empty()) {
+    if (cancel != nullptr) {
+      // One tick per placement round. Every round places a node, which
+      // is forward progress, so the watchdog never accumulates here —
+      // the charge exists for the deadline budget.
+      cancel->charge(1, "sched/placement");
+      cancel->progress();
+    }
     if (record) {
       sched_metrics().ready_depth.observe_unchecked(
           static_cast<double>(ready.size()));
@@ -320,7 +327,9 @@ PsaResult prioritized_schedule(const cost::CostModel& model,
   }
 
   // Steps 3-7: recompute weights and list-schedule.
-  Schedule schedule = list_schedule(model, alloc, p);
+  Schedule schedule =
+      list_schedule(model, alloc, p, ListPriority::kLowestEst,
+                    GroupPolicy::kEarliestAvailable, config.cancel);
   PsaResult result{std::move(alloc), pb, std::move(schedule), 0.0};
   result.finish_time = result.schedule.makespan();
   if (record && !ThreadPool::in_worker()) {
@@ -332,9 +341,11 @@ PsaResult prioritized_schedule(const cost::CostModel& model,
   return result;
 }
 
-Schedule spmd_schedule(const cost::CostModel& model, std::uint64_t p) {
+Schedule spmd_schedule(const cost::CostModel& model, std::uint64_t p,
+                       CancelToken* cancel) {
   const std::vector<std::uint64_t> alloc(model.graph().node_count(), p);
-  return list_schedule(model, alloc, p);
+  return list_schedule(model, alloc, p, ListPriority::kLowestEst,
+                       GroupPolicy::kEarliestAvailable, cancel);
 }
 
 std::vector<degrade::Diagnostic> check_schedule_invariants(

@@ -15,6 +15,7 @@
 
 #include "cost/model.hpp"
 #include "sched/schedule.hpp"
+#include "support/cancel.hpp"
 #include "support/degrade.hpp"
 
 namespace paradigm::sched {
@@ -25,6 +26,10 @@ struct PsaConfig {
   bool apply_bounding = true;  ///< Step 2.
   /// Overrides Corollary 1's PB (must be a power of two <= p).
   std::optional<std::uint64_t> pb_override;
+  /// Cooperative cancellation (DESIGN §11): one tick per placement
+  /// round in the list scheduler; a tripped token throws Cancelled.
+  /// Null (the default) is byte-identical legacy behavior. Not owned.
+  CancelToken* cancel = nullptr;
 };
 
 /// Output of the PSA pipeline.
@@ -87,12 +92,14 @@ Schedule list_schedule(const cost::CostModel& model,
                        std::span<const std::uint64_t> allocation,
                        std::uint64_t p,
                        ListPriority priority = ListPriority::kLowestEst,
-                       GroupPolicy groups = GroupPolicy::kEarliestAvailable);
+                       GroupPolicy groups = GroupPolicy::kEarliestAvailable,
+                       CancelToken* cancel = nullptr);
 
 /// The SPMD baseline: every node uses all p processors, which serializes
 /// the program (pure data parallelism). Equivalent to list_schedule with
 /// an all-p allocation.
-Schedule spmd_schedule(const cost::CostModel& model, std::uint64_t p);
+Schedule spmd_schedule(const cost::CostModel& model, std::uint64_t p,
+                       CancelToken* cancel = nullptr);
 
 /// Post-schedule invariant gate (DESIGN §10). Checks everything the
 /// paper's guarantees promise about a PSA result:

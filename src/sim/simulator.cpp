@@ -509,17 +509,36 @@ SimResult Simulator::execute(const MpmdProgram& program) {
     }
   }
 
+  // Cooperative cancellation (DESIGN §11): one tick per executed
+  // instruction, charged in batches of kCancelBatch so the hot loop
+  // pays one branch per instruction, plus one tick per sweep so even a
+  // sweep that executes nothing charges. The instruction and sweep
+  // counts are pure functions of the program (the simulator is serial),
+  // so the trip tick is deterministic.
+  constexpr std::uint64_t kCancelBatch = 128;
+  std::uint64_t burst = 0;
   bool progressed = true;
+  const auto drain_rank = [&](std::uint32_t r) {
+    while (try_execute(program, r)) {
+      progressed = true;
+      if (cancel_ != nullptr && ++burst >= kCancelBatch) {
+        cancel_->charge(burst, "sim/batch");
+        cancel_->progress();
+        burst = 0;
+      }
+    }
+  };
   while (progressed) {
     progressed = false;
     if (scan_order_.empty()) {
-      for (std::uint32_t r = 0; r < program.ranks(); ++r) {
-        while (try_execute(program, r)) progressed = true;
-      }
+      for (std::uint32_t r = 0; r < program.ranks(); ++r) drain_rank(r);
     } else {
-      for (const std::uint32_t r : scan_order_) {
-        while (try_execute(program, r)) progressed = true;
-      }
+      for (const std::uint32_t r : scan_order_) drain_rank(r);
+    }
+    if (cancel_ != nullptr) {
+      cancel_->charge(burst + 1, "sim/sweep");
+      burst = 0;
+      if (progressed) cancel_->progress();
     }
   }
 

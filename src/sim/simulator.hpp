@@ -38,6 +38,7 @@
 #include "sim/faults.hpp"
 #include "sim/memory.hpp"
 #include "sim/program.hpp"
+#include "support/cancel.hpp"
 
 namespace paradigm::sim {
 
@@ -141,6 +142,13 @@ class Simulator {
   /// program's ranks; empty restores the default ascending order.
   void set_scan_order(std::vector<std::uint32_t> order);
 
+  /// Cooperative cancellation (DESIGN §11): the progress loop charges
+  /// one tick per instruction batch (and per sweep), and a tripped
+  /// token throws Cancelled mid-run. The simulator instance is then in
+  /// a partial state and should be discarded. Null (the default) is
+  /// byte-identical legacy behavior. Not owned.
+  void set_cancel(CancelToken* cancel) { cancel_ = cancel; }
+
   const MachineConfig& config() const { return config_; }
 
   /// After run(): a rank's final memory.
@@ -208,6 +216,7 @@ class Simulator {
   std::uint64_t next_seq_ = 0;       // message sequence counter
   std::set<std::uint64_t> seen_seq_; // delivered sequence numbers
   std::vector<std::uint32_t> scan_order_;  // empty: ascending rank order
+  CancelToken* cancel_ = nullptr;    // cooperative cancellation (not owned)
 };
 
 }  // namespace paradigm::sim

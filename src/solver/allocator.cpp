@@ -271,8 +271,19 @@ AllocationResult ConvexAllocator::solve(const cost::CostModel& model,
   }
 
   if (starts == 1) {
-    AllocationResult result =
-        descend(model, p, x_hi, std::move(initial[0]), 0);
+    AllocationResult result;
+    if (config_.cancel != nullptr) {
+      // Even the serial path charges through a Region so the trip tick
+      // is computed the same way as in the multi-start path. No commit
+      // on unwind: a cancelled descent leaves the parent at its
+      // before-region tick count (deterministically).
+      CancelToken::Region region(*config_.cancel);
+      result = descend(model, p, x_hi, std::move(initial[0]), 0, &region);
+      config_.cancel->commit_region(region.local_ticks(),
+                                    region.progressed());
+    } else {
+      result = descend(model, p, x_hi, std::move(initial[0]), 0);
+    }
     if (obs::enabled()) {
       solver_metrics().start_phi.observe_unchecked(result.phi);
       if (!ThreadPool::in_worker()) {
@@ -288,11 +299,40 @@ AllocationResult ConvexAllocator::solve(const cost::CostModel& model,
 
   // Concurrent multi-start: every descent is independent, results are
   // committed in start order, and the best Phi wins with ties broken
-  // toward the lowest start index.
-  std::vector<AllocationResult> runs = parallel_map<AllocationResult>(
+  // toward the lowest start index. Cancellation accounting goes through
+  // per-start Regions: each start trips on parent-base + its own ticks
+  // (a pure function of the start), a tripped start's Cancelled
+  // propagates from the lowest throwing index, and the joined totals
+  // are committed to the parent in index order — all independent of
+  // thread count.
+  struct DescentRun {
+    AllocationResult result;
+    std::uint64_t cancel_ticks = 0;
+    bool cancel_progress = false;
+  };
+  std::vector<DescentRun> runs = parallel_map<DescentRun>(
       starts, [&](std::size_t k) {
-        return descend(model, p, x_hi, std::move(initial[k]), k);
+        DescentRun run;
+        if (config_.cancel != nullptr) {
+          CancelToken::Region region(*config_.cancel);
+          run.result =
+              descend(model, p, x_hi, std::move(initial[k]), k, &region);
+          run.cancel_ticks = region.local_ticks();
+          run.cancel_progress = region.progressed();
+        } else {
+          run.result = descend(model, p, x_hi, std::move(initial[k]), k);
+        }
+        return run;
       });
+  if (config_.cancel != nullptr) {
+    std::uint64_t total_ticks = 0;
+    bool any_progress = false;
+    for (const DescentRun& run : runs) {
+      total_ticks += run.cancel_ticks;
+      any_progress = any_progress || run.cancel_progress;
+    }
+    config_.cancel->commit_region(total_ticks, any_progress);
+  }
   // Finite runs always beat non-finite ones (NaN comparisons are all
   // false, so the plain `<` scan would keep a NaN first run forever);
   // among finite runs the comparison is unchanged, so well-conditioned
@@ -305,23 +345,24 @@ AllocationResult ConvexAllocator::solve(const cost::CostModel& model,
     return a.phi < b.phi;
   };
   std::size_t best = 0;
-  std::size_t total_iterations = runs[0].iterations;
+  std::size_t total_iterations = runs[0].result.iterations;
   for (std::size_t k = 1; k < starts; ++k) {
-    total_iterations += runs[k].iterations;
-    if (better(runs[k], runs[best])) best = k;
+    total_iterations += runs[k].result.iterations;
+    if (better(runs[k].result, runs[best].result)) best = k;
   }
   if (obs::enabled()) {
     // Per-start Phi is recorded serially after the join: the histogram
     // would commute anyway, but the gauges must not race.
-    for (const AllocationResult& run : runs) {
-      solver_metrics().start_phi.observe_unchecked(run.phi);
+    for (const DescentRun& run : runs) {
+      solver_metrics().start_phi.observe_unchecked(run.result.phi);
     }
     if (!ThreadPool::in_worker()) {
-      solver_metrics().phi.set(runs[best].phi);
-      solver_metrics().final_pg_norm.set(runs[best].final_gradient_norm);
+      solver_metrics().phi.set(runs[best].result.phi);
+      solver_metrics().final_pg_norm.set(
+          runs[best].result.final_gradient_norm);
     }
   }
-  AllocationResult result = std::move(runs[best]);
+  AllocationResult result = std::move(runs[best].result);
   result.iterations = total_iterations;
   log_debug("convex allocation (best of ", starts,
             " starts): ", result.summary());
@@ -332,7 +373,8 @@ AllocationResult ConvexAllocator::descend(const cost::CostModel& model,
                                           double p,
                                           std::span<const double> x_hi,
                                           std::vector<double> x,
-                                          std::size_t start_index) const {
+                                          std::size_t start_index,
+                                          CancelToken::Region* cancel) const {
   const std::size_t n = x.size();
   const double x_max = std::log(p);
   std::vector<double> grad(n, 0.0);
@@ -382,6 +424,7 @@ AllocationResult ConvexAllocator::descend(const cost::CostModel& model,
         break;
       }
       ++total_iterations;
+      if (cancel != nullptr) cancel->charge(1, "solver/iteration");
 
       // Normalize the step by the objective scale so descent behaves
       // uniformly whether Phi is milliseconds or minutes. A non-finite
@@ -428,7 +471,9 @@ AllocationResult ConvexAllocator::descend(const cost::CostModel& model,
         }
         step *= config_.backtrack_factor;
         ++total_backtracks;
+        if (cancel != nullptr) cancel->charge(1, "solver/backtrack");
       }
+      if (accepted && cancel != nullptr) cancel->progress();
       if (!accepted) {
         // Line search stalled: we are at numerical stationarity for this
         // temperature.
@@ -640,6 +685,10 @@ GuardedAllocation allocate_with_recovery(const cost::CostModel& model,
           out.result = std::move(result);
         }
       }
+    } catch (const Cancelled&) {
+      // Cancellation is not a solver failure: unwind to the pipeline
+      // facade instead of walking the ladder.
+      throw;
     } catch (const Error& e) {
       out.diagnostics.push_back(Diagnostic{DiagnosticCode::kSolverException,
                                            Severity::kError, subject,

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "cost/model.hpp"
+#include "support/cancel.hpp"
 #include "support/degrade.hpp"
 
 namespace paradigm::solver {
@@ -99,6 +100,15 @@ struct ConvexAllocatorConfig {
   /// bit-for-bit on any machine. An exhausted descent returns its best
   /// point with SolveStatus::kBudgetExhausted.
   std::size_t work_unit_budget = 0;
+
+  /// Cooperative cancellation (DESIGN §11): when set, every descent
+  /// iteration and Armijo backtrack charges one logical tick and
+  /// throws Cancelled once the token trips. Multi-start descents
+  /// charge through per-start CancelToken::Region accounting, so the
+  /// tick at which a solve is cancelled is bit-identical across thread
+  /// counts. Null (the default) is byte-identical to the pre-service
+  /// solver. Not owned.
+  CancelToken* cancel = nullptr;
 };
 
 /// Solves the convex allocation problem for `model` on a p-processor
@@ -130,11 +140,14 @@ class ConvexAllocator {
 
   /// One continuation descent from the initial point `x` (log-space),
   /// box-constrained to [0, x_hi]. `start_index` names the trace row
-  /// ("solver/start<k>") when observability is on.
+  /// ("solver/start<k>") when observability is on. `cancel`, when
+  /// non-null, receives one tick per iteration/backtrack and a
+  /// progress mark per accepted step; a tripped region throws
+  /// Cancelled.
   AllocationResult descend(const cost::CostModel& model, double p,
                            std::span<const double> x_hi,
-                           std::vector<double> x,
-                           std::size_t start_index) const;
+                           std::vector<double> x, std::size_t start_index,
+                           CancelToken::Region* cancel = nullptr) const;
 
   ConvexAllocatorConfig config_;
 };

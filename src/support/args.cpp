@@ -5,6 +5,15 @@
 #include "support/error.hpp"
 
 namespace paradigm {
+namespace {
+
+/// Parse-time problems are the caller's command line, not internal
+/// state, so they surface as UsageError (tools exit 2).
+[[noreturn]] void usage_fail(const std::string& message) {
+  throw UsageError(message);
+}
+
+}  // namespace
 
 ArgParser::ArgParser(std::string program_description)
     : description_(std::move(program_description)) {}
@@ -48,17 +57,19 @@ void ArgParser::parse(const std::vector<std::string>& args) {
       has_value = true;
     }
     const auto it = options_.find(name);
-    PARADIGM_CHECK(it != options_.end(),
-                   "unknown option --" << name << "\n" << usage());
+    if (it == options_.end()) {
+      usage_fail("unknown option --" + name + "\n" + usage());
+    }
     Option& opt = it->second;
     if (opt.is_flag) {
-      PARADIGM_CHECK(!has_value, "flag --" << name << " takes no value");
+      if (has_value) usage_fail("flag --" + name + " takes no value");
       opt.flag_set = true;
       continue;
     }
     if (!has_value) {
-      PARADIGM_CHECK(i + 1 < args.size(),
-                     "option --" << name << " needs a value");
+      if (i + 1 >= args.size()) {
+        usage_fail("option --" + name + " needs a value");
+      }
       value = args[++i];
     }
     opt.value = std::move(value);
@@ -87,10 +98,9 @@ std::int64_t ArgParser::get_int(const std::string& name) const {
     PARADIGM_CHECK(pos == s.size(), "trailing characters");
     return v;
   } catch (const Error&) {
-    throw;
+    usage_fail("option --" + name + " is not an integer: '" + s + "'");
   } catch (const std::exception&) {
-    PARADIGM_FAIL("option --" << name << " is not an integer: '" << s
-                              << "'");
+    usage_fail("option --" + name + " is not an integer: '" + s + "'");
   }
 }
 
@@ -102,9 +112,9 @@ double ArgParser::get_double(const std::string& name) const {
     PARADIGM_CHECK(pos == s.size(), "trailing characters");
     return v;
   } catch (const Error&) {
-    throw;
+    usage_fail("option --" + name + " is not a number: '" + s + "'");
   } catch (const std::exception&) {
-    PARADIGM_FAIL("option --" << name << " is not a number: '" << s << "'");
+    usage_fail("option --" + name + " is not a number: '" + s + "'");
   }
 }
 

@@ -1,0 +1,40 @@
+#include "support/cancel.hpp"
+
+#include <sstream>
+#include <string>
+
+namespace paradigm {
+
+const char* to_string(CancelReason reason) {
+  switch (reason) {
+    case CancelReason::kNone: return "none";
+    case CancelReason::kDeadline: return "deadline";
+    case CancelReason::kWatchdog: return "watchdog";
+    case CancelReason::kExternal: return "external";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string cancelled_message(CancelReason reason, std::uint64_t ticks,
+                              const char* where) {
+  std::ostringstream os;
+  os << "cancelled (" << to_string(reason) << ") at " << where
+     << " after " << ticks << " work ticks";
+  return os.str();
+}
+
+}  // namespace
+
+Cancelled::Cancelled(CancelReason reason, std::uint64_t ticks,
+                     const char* where)
+    : Error(cancelled_message(reason, ticks, where)),
+      reason_(reason),
+      ticks_(ticks) {}
+
+void CancelToken::raise(CancelReason reason, const char* where) const {
+  throw Cancelled(reason, ticks(), where);
+}
+
+}  // namespace paradigm

@@ -1,0 +1,220 @@
+// Cooperative cancellation on a logical work clock (DESIGN §11).
+//
+// The compilation service must bound how long one job may occupy the
+// pipeline, and a bounded job must unwind to a *partial* result, never
+// be killed mid-write. Both properties are achieved cooperatively: the
+// pipeline stages charge logical work ticks to a CancelToken at their
+// natural iteration boundaries (one solver descent step, one PSA
+// placement, one simulator event batch), and the token trips when
+//
+//   * the tick budget (deadline) is exhausted,
+//   * the watchdog stall limit elapses with no forward progress
+//     (ticks accumulate but progress() is never called), or
+//   * an external cancel() was requested (service drain/shutdown).
+//
+// A tripped checkpoint throws `Cancelled`, which every intermediate
+// handler rethrows, so the stack unwinds through ordinary RAII to the
+// pipeline facade, which reports the partial state it had committed.
+//
+// Determinism rule (DESIGN §8 applies here too): deadlines and stall
+// limits are counted in logical ticks, never wallclock, and a parallel
+// region charges through per-task Region accounting — each task trips
+// on `base + its own ticks`, and the joined total committed to the
+// parent is an index-order sum — so the tick at which a job is
+// cancelled is bit-identical across machines and thread counts. Only
+// cancel() is allowed to be asynchronous, and only the service's
+// non-reproducible wallclock mode uses it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "support/error.hpp"
+
+namespace paradigm {
+
+/// Why a token tripped. kNone means "still live".
+enum class CancelReason : std::uint8_t {
+  kNone = 0,
+  kDeadline = 1,  ///< Logical tick budget exhausted.
+  kWatchdog = 2,  ///< Stall limit hit with no forward progress.
+  kExternal = 3,  ///< cancel() called (drain/shutdown).
+};
+
+const char* to_string(CancelReason reason);
+
+/// Thrown at a cancellation checkpoint. Derives from Error so legacy
+/// catch sites compile unchanged; every handler between a checkpoint
+/// and the pipeline facade must rethrow it (catch Cancelled first).
+class Cancelled : public Error {
+ public:
+  Cancelled(CancelReason reason, std::uint64_t ticks,
+            const char* where);
+
+  CancelReason reason() const { return reason_; }
+  std::uint64_t ticks() const { return ticks_; }
+
+ private:
+  CancelReason reason_;
+  std::uint64_t ticks_;
+};
+
+/// Cooperative cancellation token. One per job; shared by reference
+/// with every pipeline stage the job runs. All counters are atomics so
+/// parallel-region tasks may read the external-cancel flag, but the
+/// deterministic accounting goes through Region (below).
+class CancelToken {
+ public:
+  CancelToken() = default;
+  /// `deadline`: total tick budget (0 = unlimited). `stall_limit`:
+  /// ticks without progress() before the watchdog trips (0 = off).
+  explicit CancelToken(std::uint64_t deadline, std::uint64_t stall_limit = 0)
+      : deadline_(deadline), stall_limit_(stall_limit) {}
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void set_deadline(std::uint64_t ticks) { deadline_ = ticks; }
+  void set_stall_limit(std::uint64_t ticks) { stall_limit_ = ticks; }
+  std::uint64_t deadline() const { return deadline_; }
+  std::uint64_t stall_limit() const { return stall_limit_; }
+
+  /// Charges `units` logical work ticks. Returns true when the token
+  /// has tripped (deadline, watchdog, or external); the caller should
+  /// then call raise() (or unwind manually).
+  bool tick(std::uint64_t units = 1) {
+    ticks_.fetch_add(units, std::memory_order_relaxed);
+    stall_.fetch_add(units, std::memory_order_relaxed);
+    return tripped();
+  }
+
+  /// Records forward progress (objective decreased, virtual time
+  /// advanced): resets the watchdog stall counter.
+  void progress() { stall_.store(0, std::memory_order_relaxed); }
+
+  /// Requests cancellation from outside the job (service drain). The
+  /// first reason to trip wins.
+  void cancel(CancelReason reason = CancelReason::kExternal) {
+    std::uint8_t none = 0;
+    external_.compare_exchange_strong(
+        none, static_cast<std::uint8_t>(reason), std::memory_order_relaxed);
+  }
+
+  /// True when any trip condition holds.
+  bool tripped() const { return reason() != CancelReason::kNone; }
+
+  /// The trip reason, kNone while live. Deterministic precedence:
+  /// external > deadline > watchdog (external is only used in
+  /// non-reproducible modes, so reproducible runs see deadline first).
+  CancelReason reason() const {
+    const std::uint8_t ext = external_.load(std::memory_order_relaxed);
+    if (ext != 0) return static_cast<CancelReason>(ext);
+    if (deadline_ != 0 &&
+        ticks_.load(std::memory_order_relaxed) >= deadline_) {
+      return CancelReason::kDeadline;
+    }
+    if (stall_limit_ != 0 &&
+        stall_.load(std::memory_order_relaxed) >= stall_limit_) {
+      return CancelReason::kWatchdog;
+    }
+    return CancelReason::kNone;
+  }
+
+  /// Total ticks charged so far.
+  std::uint64_t ticks() const {
+    return ticks_.load(std::memory_order_relaxed);
+  }
+
+  /// Throws Cancelled if the token has tripped. `where` names the
+  /// checkpoint ("solver/descend", "sim/batch") for the diagnostic.
+  void checkpoint(const char* where) const {
+    const CancelReason r = reason();
+    if (r != CancelReason::kNone) raise(r, where);
+  }
+
+  /// tick() + checkpoint() in one call — the standard per-iteration
+  /// cancellation point.
+  void charge(std::uint64_t units, const char* where) {
+    if (tick(units)) raise(reason(), where);
+  }
+
+  [[noreturn]] void raise(CancelReason reason, const char* where) const;
+
+  /// Deterministic accounting for one task of a parallel region. Every
+  /// task constructs its Region from the same parent *before-region*
+  /// snapshot (base ticks/stall), charges locally, and trips on
+  /// base + local — a pure function of the task, independent of how
+  /// sibling tasks interleave. After the join the caller commits the
+  /// index-order sum of the locals back to the parent.
+  class Region {
+   public:
+    explicit Region(const CancelToken& parent)
+        : parent_(&parent),
+          base_ticks_(parent.ticks_.load(std::memory_order_relaxed)),
+          base_stall_(parent.stall_.load(std::memory_order_relaxed)) {}
+
+    bool tick(std::uint64_t units = 1) {
+      local_ticks_ += units;
+      local_stall_ += units;
+      return tripped();
+    }
+    void progress() {
+      local_stall_ = 0;
+      progressed_ = true;
+    }
+    bool tripped() const { return reason() != CancelReason::kNone; }
+    CancelReason reason() const {
+      const std::uint8_t ext =
+          parent_->external_.load(std::memory_order_relaxed);
+      if (ext != 0) return static_cast<CancelReason>(ext);
+      if (parent_->deadline_ != 0 &&
+          base_ticks_ + local_ticks_ >= parent_->deadline_) {
+        return CancelReason::kDeadline;
+      }
+      if (parent_->stall_limit_ != 0 &&
+          (progressed_ ? local_stall_ : base_stall_ + local_stall_) >=
+              parent_->stall_limit_) {
+        return CancelReason::kWatchdog;
+      }
+      return CancelReason::kNone;
+    }
+    void charge(std::uint64_t units, const char* where) {
+      if (tick(units)) {
+        // Report base + local: the deterministic per-task trip point
+        // (the parent's counter is only updated at the region join).
+        throw Cancelled(reason(), base_ticks_ + local_ticks_, where);
+      }
+    }
+    std::uint64_t local_ticks() const { return local_ticks_; }
+    bool progressed() const { return progressed_; }
+
+   private:
+    const CancelToken* parent_;
+    std::uint64_t base_ticks_;
+    std::uint64_t base_stall_;
+    std::uint64_t local_ticks_ = 0;
+    std::uint64_t local_stall_ = 0;
+    bool progressed_ = false;
+  };
+
+  /// Joins a parallel region: adds `total_ticks` (the index-order sum
+  /// of the tasks' local ticks) and folds the watchdog state (any task
+  /// progressing resets the stall — the OR over deterministic per-task
+  /// flags is itself deterministic).
+  void commit_region(std::uint64_t total_ticks, bool any_progress) {
+    if (any_progress) stall_.store(0, std::memory_order_relaxed);
+    ticks_.fetch_add(total_ticks, std::memory_order_relaxed);
+    if (!any_progress) {
+      stall_.fetch_add(total_ticks, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  std::uint64_t deadline_ = 0;
+  std::uint64_t stall_limit_ = 0;
+  std::atomic<std::uint64_t> ticks_{0};
+  std::atomic<std::uint64_t> stall_{0};
+  std::atomic<std::uint8_t> external_{0};
+};
+
+}  // namespace paradigm

@@ -63,6 +63,9 @@ const char* to_string(DiagnosticCode code) {
     case DiagnosticCode::kExecutionFailed: return "execution-failed";
     case DiagnosticCode::kNonFiniteSimulation:
       return "non-finite-simulation";
+    case DiagnosticCode::kDeadlineExceeded: return "deadline-exceeded";
+    case DiagnosticCode::kWatchdogStall: return "watchdog-stall";
+    case DiagnosticCode::kJobCancelled: return "job-cancelled";
   }
   return "?";
 }

@@ -85,6 +85,12 @@ enum class DiagnosticCode {
   // Execution.
   kExecutionFailed,      ///< Codegen/simulation threw; outcome zeroed.
   kNonFiniteSimulation,  ///< Simulator produced a non-finite finish time.
+  // Service-layer cancellation (DESIGN §11). A cancelled job's report
+  // is *partial*, never invalid: the diagnostic names the stage that
+  // unwound and the logical tick at which the token tripped.
+  kDeadlineExceeded,     ///< Cooperative deadline (tick budget) hit.
+  kWatchdogStall,        ///< Watchdog: no forward progress in the limit.
+  kJobCancelled,         ///< External cancel (service drain/shutdown).
 };
 
 const char* to_string(DiagnosticCode code);

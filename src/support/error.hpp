@@ -17,6 +17,14 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Command-line usage error (unknown flag, malformed option). Tools
+/// catch this separately and exit 2, keeping usage mistakes disjoint
+/// from hard pipeline errors (1) and degradation codes (10..15).
+class UsageError : public Error {
+ public:
+  explicit UsageError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 
 [[noreturn]] inline void throw_error(const char* file, int line,

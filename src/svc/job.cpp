@@ -1,0 +1,194 @@
+#include "svc/job.hpp"
+
+#include <sstream>
+
+#include "mdg/random_mdg.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace paradigm::svc {
+namespace {
+
+/// Splits a line into whitespace-separated tokens.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string token;
+  while (is >> token) tokens.push_back(std::move(token));
+  return tokens;
+}
+
+/// Splits "key=value"; throws on a missing '='.
+std::pair<std::string, std::string> split_kv(const std::string& token) {
+  const std::size_t eq = token.find('=');
+  PARADIGM_CHECK(eq != std::string::npos && eq > 0,
+                 "malformed key=value token '" << token << "'");
+  return {token.substr(0, eq), token.substr(eq + 1)};
+}
+
+std::uint64_t parse_u64(const std::string& key, const std::string& value) {
+  try {
+    std::size_t pos = 0;
+    const unsigned long long v = std::stoull(value, &pos);
+    PARADIGM_CHECK(pos == value.size(), "trailing characters");
+    return static_cast<std::uint64_t>(v);
+  } catch (const Error&) {
+    throw;
+  } catch (const std::exception&) {
+    PARADIGM_FAIL("value for '" << key << "' is not an unsigned integer: '"
+                                << value << "'");
+  }
+  PARADIGM_FAIL("unreachable");
+}
+
+}  // namespace
+
+const char* to_string(GraphKind kind) {
+  switch (kind) {
+    case GraphKind::kRandom: return "random";
+    case GraphKind::kPathological: return "pathological";
+  }
+  return "?";
+}
+
+JobSpec parse_job_line(const std::string& line) {
+  const std::vector<std::string> tokens = tokenize(line);
+  PARADIGM_CHECK(!tokens.empty() && tokens[0] == "job",
+                 "job line must start with 'job'");
+  JobSpec spec;
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    const auto [key, value] = split_kv(tokens[i]);
+    if (key == "id") {
+      spec.id = value;
+    } else if (key == "graph") {
+      if (value == "random") {
+        spec.graph = GraphKind::kRandom;
+      } else if (value == "pathological") {
+        spec.graph = GraphKind::kPathological;
+      } else {
+        PARADIGM_FAIL("unknown graph kind '" << value
+                                             << "' (random|pathological)");
+      }
+    } else if (key == "seed") {
+      spec.seed = parse_u64(key, value);
+    } else if (key == "nodes") {
+      spec.nodes = static_cast<std::size_t>(parse_u64(key, value));
+    } else if (key == "p") {
+      spec.processors = parse_u64(key, value);
+    } else if (key == "arrival") {
+      spec.arrival = parse_u64(key, value);
+    } else if (key == "deadline") {
+      spec.deadline = parse_u64(key, value);
+    } else if (key == "stall") {
+      spec.stall_limit = parse_u64(key, value);
+    } else if (key == "class") {
+      spec.job_class = value;
+    } else if (key == "retries") {
+      spec.retries = static_cast<int>(parse_u64(key, value));
+    } else {
+      PARADIGM_FAIL("unknown job key '" << key << "'");
+    }
+  }
+  PARADIGM_CHECK(!spec.id.empty(), "job line is missing id=<name>");
+  return spec;
+}
+
+JobFile parse_job_file(std::istream& in) {
+  JobFile file;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    try {
+      const std::vector<std::string> tokens = tokenize(line);
+      if (tokens[0] == "job") {
+        file.jobs.push_back(parse_job_line(line));
+      } else if (tokens[0] == "drain") {
+        PARADIGM_CHECK(!file.drain.has_value(),
+                       "duplicate drain directive");
+        DrainSpec drain;
+        for (std::size_t i = 1; i < tokens.size(); ++i) {
+          const auto [key, value] = split_kv(tokens[i]);
+          if (key == "at") {
+            drain.at = parse_u64(key, value);
+          } else if (key == "grace") {
+            drain.grace = parse_u64(key, value);
+          } else {
+            PARADIGM_FAIL("unknown drain key '" << key << "'");
+          }
+        }
+        file.drain = drain;
+      } else {
+        PARADIGM_FAIL("unknown directive '" << tokens[0]
+                                            << "' (job|drain)");
+      }
+    } catch (const Error& e) {
+      PARADIGM_FAIL("job file line " << line_number << ": " << e.what());
+    }
+  }
+  return file;
+}
+
+mdg::Mdg build_job_graph(const JobSpec& spec) {
+  switch (spec.graph) {
+    case GraphKind::kRandom: {
+      mdg::RandomMdgConfig config;
+      config.min_nodes = std::max<std::size_t>(2, spec.nodes / 2);
+      config.max_nodes = std::max<std::size_t>(config.min_nodes, spec.nodes);
+      Rng rng(spec.seed);
+      return mdg::random_mdg(rng, config);
+    }
+    case GraphKind::kPathological:
+      return mdg::pathological_mdg(spec.seed);
+  }
+  PARADIGM_FAIL("unknown graph kind");
+}
+
+const char* to_string(JobOutcome outcome) {
+  switch (outcome) {
+    case JobOutcome::kCompleted: return "completed";
+    case JobOutcome::kDegraded: return "degraded";
+    case JobOutcome::kRejectedQueueFull: return "rejected-queue-full";
+    case JobOutcome::kRejectedOversized: return "rejected-oversized";
+    case JobOutcome::kRejectedDraining: return "rejected-draining";
+    case JobOutcome::kShedBreaker: return "shed-breaker";
+    case JobOutcome::kCancelledDeadline: return "cancelled-deadline";
+    case JobOutcome::kCancelledWatchdog: return "cancelled-watchdog";
+    case JobOutcome::kCancelledDrain: return "cancelled-drain";
+    case JobOutcome::kFailed: return "failed";
+  }
+  return "?";
+}
+
+bool is_hard_failure(JobOutcome outcome) {
+  return outcome == JobOutcome::kFailed ||
+         outcome == JobOutcome::kCancelledWatchdog;
+}
+
+bool is_rejection(JobOutcome outcome) {
+  switch (outcome) {
+    case JobOutcome::kRejectedQueueFull:
+    case JobOutcome::kRejectedOversized:
+    case JobOutcome::kRejectedDraining:
+    case JobOutcome::kShedBreaker:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string JobResult::ledger_line() const {
+  std::ostringstream os;
+  os << "job=" << id << " attempt=" << attempt << " class=" << job_class
+     << " outcome=" << to_string(outcome) << " arrival=" << arrival
+     << " start=" << start << " end=" << end << " ticks=" << ticks
+     << " level=" << degrade::to_string(degradation) << " phi=" << phi
+     << " sim=" << mpmd_simulated
+     << " retry=" << (retried ? "yes" : "no");
+  if (!detail.empty()) os << " detail=\"" << detail << '"';
+  return os.str();
+}
+
+}  // namespace paradigm::svc

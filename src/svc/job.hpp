@@ -1,0 +1,126 @@
+// Job vocabulary for the compilation service (DESIGN §11).
+//
+// A job names a graph to compile (by deterministic generator + seed, so
+// job files are self-contained and byte-reproducible), the target
+// machine size, and its service envelope: logical arrival time, tick
+// deadline, watchdog stall limit, job class (the circuit-breaker
+// bucket), and retry allowance. Job files are line-delimited:
+//
+//   # comment
+//   job id=a graph=random seed=7 nodes=24 p=32 deadline=50000
+//   job id=b graph=pathological seed=3 p=16 class=fuzz
+//   drain at=2000 grace=500
+//
+// Every outcome a job can reach is a named enumerator; the ledger line
+// for a result is a pure function of the result, which is what the
+// soak test byte-compares across thread counts.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mdg/mdg.hpp"
+#include "support/degrade.hpp"
+
+namespace paradigm::svc {
+
+/// Which deterministic generator builds the job's MDG.
+enum class GraphKind {
+  kRandom,        ///< mdg::random_mdg seeded layered DAG.
+  kPathological,  ///< mdg::pathological_mdg hostile-value shapes.
+};
+
+const char* to_string(GraphKind kind);
+
+/// One compilation request.
+struct JobSpec {
+  std::string id;                       ///< Ledger name (required).
+  GraphKind graph = GraphKind::kRandom;
+  std::uint64_t seed = 1;               ///< Generator seed.
+  std::size_t nodes = 16;               ///< Target node count (random).
+  std::uint64_t processors = 16;        ///< Target machine size p.
+  std::uint64_t arrival = 0;            ///< Logical submission time.
+  /// Tick budget per attempt, measured from the attempt's start
+  /// (queue wait counts: the budget is clipped against the absolute
+  /// deadline arrival + deadline). 0 = the service default.
+  std::uint64_t deadline = 0;
+  /// Watchdog stall limit in ticks (0 = the service default).
+  std::uint64_t stall_limit = 0;
+  std::string job_class = "default";    ///< Circuit-breaker bucket.
+  /// Retry allowance for results degrading past the service's retry
+  /// rung; negative = the service default.
+  int retries = -1;
+};
+
+/// Graceful-drain directive: stop admitting at `at`, give in-flight
+/// work `grace` more ticks, then cancel what remains.
+struct DrainSpec {
+  std::uint64_t at = 0;
+  std::uint64_t grace = 0;
+};
+
+/// A parsed job file.
+struct JobFile {
+  std::vector<JobSpec> jobs;
+  std::optional<DrainSpec> drain;
+};
+
+/// Parses one `job ...` line. Throws paradigm::Error on unknown keys,
+/// malformed values, or a missing id.
+JobSpec parse_job_line(const std::string& line);
+
+/// Parses a line-delimited job file (blank lines and `#` comments
+/// skipped; at most one `drain` directive). Throws paradigm::Error
+/// with the 1-based line number on any malformed line.
+JobFile parse_job_file(std::istream& in);
+
+/// Materializes the job's MDG from its generator + seed.
+mdg::Mdg build_job_graph(const JobSpec& spec);
+
+/// Every terminal state a job attempt can reach.
+enum class JobOutcome {
+  kCompleted,         ///< Clean pipeline run.
+  kDegraded,          ///< Valid result from a recovery rung.
+  kRejectedQueueFull, ///< Bounded queue had no room at arrival.
+  kRejectedOversized, ///< Declared node count above the admission cap.
+  kRejectedDraining,  ///< Arrived at/after the drain point.
+  kShedBreaker,       ///< Job class circuit breaker was open.
+  kCancelledDeadline, ///< Tick budget exhausted (partial report).
+  kCancelledWatchdog, ///< No forward progress within the stall limit.
+  kCancelledDrain,    ///< Drain grace expired while running.
+  kFailed,            ///< The pipeline threw a hard error.
+};
+
+const char* to_string(JobOutcome outcome);
+
+/// True for outcomes the breaker counts as hard failures.
+bool is_hard_failure(JobOutcome outcome);
+
+/// True for rejection-at-admission outcomes (job never ran).
+bool is_rejection(JobOutcome outcome);
+
+/// One attempt's terminal record. All times are logical ticks.
+struct JobResult {
+  std::string id;
+  std::string job_class;
+  std::size_t attempt = 1;       ///< 1-based attempt number.
+  JobOutcome outcome = JobOutcome::kCompleted;
+  std::uint64_t arrival = 0;     ///< This attempt's arrival time.
+  std::uint64_t start = 0;       ///< Slot assignment time (= arrival
+                                 ///< for rejections).
+  std::uint64_t end = 0;         ///< Completion/decision time.
+  std::uint64_t ticks = 0;       ///< Work ticks the attempt consumed.
+  degrade::DegradationLevel degradation = degrade::DegradationLevel::kNone;
+  double phi = 0.0;              ///< Allocation Phi (0 if never solved).
+  double mpmd_simulated = 0.0;   ///< Simulated MPMD time (0 if not run).
+  bool retried = false;          ///< A retry attempt was scheduled.
+  std::string detail;            ///< Failure/cancellation detail.
+
+  /// The deterministic ledger line ("job=<id> attempt=... outcome=...").
+  std::string ledger_line() const;
+};
+
+}  // namespace paradigm::svc

@@ -1,0 +1,568 @@
+#include "svc/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "obs/obs.hpp"
+#include "support/error.hpp"
+#include "support/log.hpp"
+#include "support/parallel.hpp"
+#include "support/rng.hpp"
+
+namespace paradigm::svc {
+namespace {
+
+constexpr std::uint64_t kNever = ~std::uint64_t{0};
+
+/// Service instruments (DESIGN §9/§11). Touched only when the matching
+/// event occurs, so runs without that event export byte-identical
+/// metric sets; everything is recorded from the (serial) event loop.
+struct SvcMetrics {
+  obs::Counter& submitted = obs::Registry::global().counter("svc.submitted");
+  obs::Counter& admitted = obs::Registry::global().counter("svc.admitted");
+  obs::Counter& started = obs::Registry::global().counter("svc.started");
+  obs::Counter& completed = obs::Registry::global().counter("svc.completed");
+  obs::Counter& degraded = obs::Registry::global().counter("svc.degraded");
+  obs::Counter& failed = obs::Registry::global().counter("svc.failed");
+  obs::Counter& retries = obs::Registry::global().counter("svc.retries");
+  obs::Counter& rejected_queue_full =
+      obs::Registry::global().counter("svc.rejected_queue_full");
+  obs::Counter& rejected_oversized =
+      obs::Registry::global().counter("svc.rejected_oversized");
+  obs::Counter& rejected_draining =
+      obs::Registry::global().counter("svc.rejected_draining");
+  obs::Counter& shed_breaker =
+      obs::Registry::global().counter("svc.shed_breaker");
+  obs::Counter& cancelled_deadline =
+      obs::Registry::global().counter("svc.cancelled_deadline");
+  obs::Counter& cancelled_watchdog =
+      obs::Registry::global().counter("svc.cancelled_watchdog");
+  obs::Counter& cancelled_drain =
+      obs::Registry::global().counter("svc.cancelled_drain");
+  obs::Counter& breaker_opens =
+      obs::Registry::global().counter("svc.breaker_opens");
+  obs::Histogram& queue_depth = obs::Registry::global().histogram(
+      "svc.queue_depth", obs::exp_bounds(1.0, 2.0, 10));
+  obs::Histogram& job_ticks = obs::Registry::global().histogram(
+      "svc.job_ticks", obs::exp_bounds(1.0, 4.0, 16));
+};
+
+SvcMetrics& svc_metrics() {
+  static SvcMetrics metrics;
+  return metrics;
+}
+
+/// One scheduled attempt of a job (first run or retry).
+struct Attempt {
+  JobSpec spec;
+  std::size_t attempt = 1;    ///< 1-based.
+  std::uint64_t arrival = 0;  ///< This attempt's arrival instant.
+  std::uint64_t seq = 0;      ///< Global tiebreak (submission/creation
+                              ///< order), unique.
+  std::size_t job_index = 0;  ///< Original submission index (keys the
+                              ///< backoff jitter stream).
+  bool probe = false;         ///< Half-open breaker probe.
+};
+
+/// Ordering for the pending-arrival set: (arrival, seq).
+struct ArrivalOrder {
+  bool operator()(const Attempt& a, const Attempt& b) const {
+    if (a.arrival != b.arrival) return a.arrival < b.arrival;
+    return a.seq < b.seq;
+  }
+};
+
+/// What one pipeline run produced, reduced to value types so it can
+/// outlive the job's (locally built) MDG.
+struct Executed {
+  bool failed = false;
+  bool cancelled = false;
+  CancelReason reason = CancelReason::kNone;
+  degrade::DegradationLevel level = degrade::DegradationLevel::kNone;
+  double phi = 0.0;
+  double mpmd_simulated = 0.0;
+  std::uint64_t ticks = 0;  ///< Committed work ticks.
+  std::string detail;
+};
+
+/// A slot-occupying attempt with its computed completion time.
+struct Running {
+  Attempt attempt;
+  std::uint64_t start = 0;
+  std::uint64_t end = 0;
+  bool cap_is_drain = false;  ///< Tick cap came from the drain grace.
+  JobOutcome outcome = JobOutcome::kCompleted;
+  Executed executed;
+};
+
+/// Per-class circuit breaker (DESIGN §11): closed -> open after
+/// `threshold` consecutive hard failures -> half-open after the
+/// cooldown (one probe) -> closed on probe success, re-open on probe
+/// failure. All transitions are driven by logical event times.
+struct Breaker {
+  enum class State { kClosed, kOpen, kHalfOpen };
+  State state = State::kClosed;
+  std::size_t failures = 0;       ///< Consecutive hard failures.
+  std::uint64_t open_until = 0;
+  bool probe_inflight = false;
+};
+
+}  // namespace
+
+std::string ServiceReport::ledger() const {
+  std::ostringstream os;
+  os << "# paradigm service ledger\n";
+  for (const JobResult& r : results) os << r.ledger_line() << '\n';
+  os << "# final_time=" << final_time << " completed=" << completed
+     << " degraded=" << degraded << " rejected=" << rejected
+     << " shed=" << shed << " cancelled=" << cancelled
+     << " failed=" << failed << " retries=" << retries
+     << " breaker_opens=" << breaker_opens
+     << " drained=" << (drained ? "yes" : "no") << " exit=" << exit_code()
+     << '\n';
+  if (wallclock_ms >= 0.0) os << "# wallclock_ms=" << wallclock_ms << '\n';
+  return os.str();
+}
+
+int ServiceReport::exit_code() const {
+  if (failed > 0) return 22;
+  if (cancelled > 0) return 21;
+  if (rejected + shed > 0) return 20;
+  return 0;
+}
+
+Service::Service(ServiceConfig config) : config_(std::move(config)) {
+  PARADIGM_CHECK(config_.queue_capacity > 0,
+                 "service queue capacity must be >= 1");
+  PARADIGM_CHECK(config_.slots > 0, "service slot count must be >= 1");
+}
+
+void Service::submit(JobSpec spec) {
+  PARADIGM_CHECK(!ran_, "Service::run() already consumed this instance");
+  submitted_.push_back(std::move(spec));
+}
+
+void Service::submit_all(const JobFile& file) {
+  for (const JobSpec& spec : file.jobs) submit(spec);
+  if (file.drain) drain_at(file.drain->at, file.drain->grace);
+}
+
+void Service::drain_at(std::uint64_t at, std::uint64_t grace) {
+  has_drain_ = true;
+  drain_ = DrainSpec{at, grace};
+}
+
+namespace {
+
+/// Runs one attempt's pipeline under a fresh cancel token. Pure value
+/// function of (attempt, cap, stall, base pipeline config) — thread
+///-count independent, so batches of these run through parallel_map.
+Executed execute_attempt(const ServiceConfig& config, const Attempt& a,
+                         std::uint64_t cap, std::uint64_t stall) {
+  Executed e;
+  CancelToken token(cap, stall);
+  core::PipelineConfig pc = config.pipeline;
+  pc.processors = a.spec.processors;
+  if (pc.machine.size < a.spec.processors) {
+    pc.machine.size = static_cast<std::uint32_t>(a.spec.processors);
+  }
+  pc.cancel = &token;
+  if (a.attempt > 1) {
+    // Retries re-solve from different deterministic starts.
+    pc.solver.start_seed +=
+        0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(a.attempt - 1);
+  }
+  try {
+    const mdg::Mdg graph = build_job_graph(a.spec);
+    const core::Compiler compiler(pc);
+    const core::PipelineReport report = compiler.compile_and_run(graph);
+    e.cancelled = report.cancelled;
+    e.reason = report.cancel_reason;
+    e.level = report.degradation;
+    e.phi = report.allocation.phi;
+    e.mpmd_simulated = report.mpmd.simulated;
+    if (report.cancelled && !report.diagnostics.empty()) {
+      e.detail = report.diagnostics.back().detail;
+    }
+  } catch (const Error& err) {
+    e.failed = true;
+    e.detail = err.what();
+  }
+  e.ticks = token.ticks();
+  return e;
+}
+
+JobOutcome classify(const Executed& e, bool cap_is_drain) {
+  if (e.failed) return JobOutcome::kFailed;
+  if (e.cancelled) {
+    switch (e.reason) {
+      case CancelReason::kDeadline:
+        return cap_is_drain ? JobOutcome::kCancelledDrain
+                            : JobOutcome::kCancelledDeadline;
+      case CancelReason::kWatchdog:
+        return JobOutcome::kCancelledWatchdog;
+      case CancelReason::kNone:
+      case CancelReason::kExternal:
+        break;
+    }
+    return JobOutcome::kCancelledDrain;
+  }
+  return e.level != degrade::DegradationLevel::kNone ? JobOutcome::kDegraded
+                                                     : JobOutcome::kCompleted;
+}
+
+/// Logical duration of a finished attempt. Deadline/drain trips take
+/// exactly their cap (that is when the token tripped); everything else
+/// takes the ticks its stages committed. Never zero, so logical time
+/// always advances.
+std::uint64_t duration_of(const Executed& e, std::uint64_t cap,
+                          JobOutcome outcome) {
+  if (outcome == JobOutcome::kCancelledDeadline ||
+      outcome == JobOutcome::kCancelledDrain) {
+    return std::max<std::uint64_t>(1, cap);
+  }
+  return std::max<std::uint64_t>(1, e.ticks);
+}
+
+}  // namespace
+
+ServiceReport Service::run() {
+  PARADIGM_CHECK(!ran_, "Service::run() already consumed this instance");
+  ran_ = true;
+  const auto wall_start = std::chrono::steady_clock::now();
+  const bool record = obs::enabled();
+
+  ServiceReport report;
+  report.drained = has_drain_;
+
+  // Pending arrivals ordered by (arrival, seq); retries insert new
+  // entries with fresh (monotonic) sequence numbers.
+  std::set<Attempt, ArrivalOrder> pending;
+  for (std::size_t i = 0; i < submitted_.size(); ++i) {
+    Attempt a;
+    a.spec = submitted_[i];
+    a.arrival = submitted_[i].arrival;
+    a.seq = i;
+    a.job_index = i;
+    pending.insert(std::move(a));
+    if (record) svc_metrics().submitted.add_unchecked(1);
+  }
+  std::uint64_t next_seq = submitted_.size();
+
+  std::deque<Attempt> queue;
+  std::vector<Running> running;
+  std::map<std::string, Breaker> breakers;
+  const Rng backoff_base_rng(config_.backoff_seed);
+  std::uint64_t now = 0;
+
+  const auto record_result = [&](const Attempt& a, JobOutcome outcome,
+                                 std::uint64_t start, std::uint64_t end,
+                                 std::uint64_t ticks, const Executed* e,
+                                 bool retried) {
+    JobResult r;
+    r.id = a.spec.id;
+    r.job_class = a.spec.job_class;
+    r.attempt = a.attempt;
+    r.outcome = outcome;
+    r.arrival = a.arrival;
+    r.start = start;
+    r.end = end;
+    r.ticks = ticks;
+    r.retried = retried;
+    if (e != nullptr) {
+      r.degradation = e->level;
+      r.phi = e->phi;
+      r.mpmd_simulated = e->mpmd_simulated;
+      r.detail = e->detail;
+    }
+    switch (outcome) {
+      case JobOutcome::kCompleted:
+        ++report.completed;
+        if (record) svc_metrics().completed.add_unchecked(1);
+        break;
+      case JobOutcome::kDegraded:
+        ++report.degraded;
+        if (record) svc_metrics().degraded.add_unchecked(1);
+        break;
+      case JobOutcome::kRejectedQueueFull:
+        ++report.rejected;
+        if (record) svc_metrics().rejected_queue_full.add_unchecked(1);
+        break;
+      case JobOutcome::kRejectedOversized:
+        ++report.rejected;
+        if (record) svc_metrics().rejected_oversized.add_unchecked(1);
+        break;
+      case JobOutcome::kRejectedDraining:
+        ++report.rejected;
+        if (record) svc_metrics().rejected_draining.add_unchecked(1);
+        break;
+      case JobOutcome::kShedBreaker:
+        ++report.shed;
+        if (record) svc_metrics().shed_breaker.add_unchecked(1);
+        break;
+      case JobOutcome::kCancelledDeadline:
+        ++report.cancelled;
+        if (record) svc_metrics().cancelled_deadline.add_unchecked(1);
+        break;
+      case JobOutcome::kCancelledWatchdog:
+        ++report.cancelled;
+        if (record) svc_metrics().cancelled_watchdog.add_unchecked(1);
+        break;
+      case JobOutcome::kCancelledDrain:
+        ++report.cancelled;
+        if (record) svc_metrics().cancelled_drain.add_unchecked(1);
+        break;
+      case JobOutcome::kFailed:
+        ++report.failed;
+        if (record) svc_metrics().failed.add_unchecked(1);
+        break;
+    }
+    report.results.push_back(std::move(r));
+  };
+
+  // Admission control for one arrival at `now`. Check order is fixed
+  // (draining > oversized > breaker > queue bound) so every rejection
+  // has one deterministic attribution.
+  const auto admit = [&](Attempt a) {
+    if (has_drain_ && now >= drain_.at) {
+      record_result(a, JobOutcome::kRejectedDraining, now, now, 0, nullptr,
+                    false);
+      return;
+    }
+    if (a.spec.nodes > config_.max_nodes) {
+      record_result(a, JobOutcome::kRejectedOversized, now, now, 0, nullptr,
+                    false);
+      return;
+    }
+    Breaker& b = breakers[a.spec.job_class];
+    if (b.state == Breaker::State::kOpen) {
+      if (now >= b.open_until) {
+        b.state = Breaker::State::kHalfOpen;
+        b.probe_inflight = false;
+      } else {
+        record_result(a, JobOutcome::kShedBreaker, now, now, 0, nullptr,
+                      false);
+        return;
+      }
+    }
+    if (b.state == Breaker::State::kHalfOpen) {
+      if (b.probe_inflight) {
+        record_result(a, JobOutcome::kShedBreaker, now, now, 0, nullptr,
+                      false);
+        return;
+      }
+      a.probe = true;
+      b.probe_inflight = true;
+    }
+    if (queue.size() >= config_.queue_capacity) {
+      if (a.probe) breakers[a.spec.job_class].probe_inflight = false;
+      record_result(a, JobOutcome::kRejectedQueueFull, now, now, 0, nullptr,
+                    false);
+      return;
+    }
+    queue.push_back(std::move(a));
+    if (record) {
+      svc_metrics().admitted.add_unchecked(1);
+      svc_metrics().queue_depth.observe_unchecked(
+          static_cast<double>(queue.size()));
+    }
+  };
+
+  // Assigns free slots to queued attempts at `now` and executes the
+  // whole batch through parallel_map (index-order commit), so slot
+  // fills at one instant are deterministic for any thread count.
+  const auto start_batch = [&] {
+    struct Prepared {
+      Attempt attempt;
+      std::uint64_t cap = 0;
+      std::uint64_t stall = 0;
+      bool cap_is_drain = false;
+    };
+    std::vector<Prepared> batch;
+    while (running.size() + batch.size() < config_.slots &&
+           !queue.empty()) {
+      Attempt a = std::move(queue.front());
+      queue.pop_front();
+      const std::uint64_t deadline_ticks =
+          a.spec.deadline > 0 ? a.spec.deadline : config_.default_deadline;
+      const std::uint64_t stall = a.spec.stall_limit > 0
+                                      ? a.spec.stall_limit
+                                      : config_.default_stall_limit;
+      // Remaining budget at slot-assignment time: the deadline is
+      // absolute (attempt arrival + budget), so queue wait counts.
+      std::uint64_t cap = 0;
+      bool cap_is_drain = false;
+      if (deadline_ticks > 0) {
+        const std::uint64_t abs = a.arrival + deadline_ticks;
+        if (abs <= now) {
+          // Deadline-doomed before it ever ran.
+          if (a.probe) breakers[a.spec.job_class].probe_inflight = false;
+          record_result(a, JobOutcome::kCancelledDeadline, now, now, 0,
+                        nullptr, false);
+          continue;
+        }
+        cap = abs - now;
+      }
+      if (has_drain_) {
+        const std::uint64_t drain_end = drain_.at + drain_.grace;
+        if (drain_end <= now) {
+          if (a.probe) breakers[a.spec.job_class].probe_inflight = false;
+          record_result(a, JobOutcome::kCancelledDrain, now, now, 0,
+                        nullptr, false);
+          continue;
+        }
+        const std::uint64_t drain_cap = drain_end - now;
+        if (cap == 0 || drain_cap < cap) {
+          cap = drain_cap;
+          cap_is_drain = true;
+        }
+      }
+      batch.push_back(Prepared{std::move(a), cap, stall, cap_is_drain});
+    }
+    if (batch.empty()) return;
+    if (record) {
+      svc_metrics().started.add_unchecked(batch.size());
+    }
+    const std::vector<Executed> executed = parallel_map<Executed>(
+        batch.size(), [&](std::size_t i) {
+          return execute_attempt(config_, batch[i].attempt, batch[i].cap,
+                                 batch[i].stall);
+        });
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      Running r;
+      r.attempt = std::move(batch[i].attempt);
+      r.start = now;
+      r.cap_is_drain = batch[i].cap_is_drain;
+      r.executed = executed[i];
+      r.outcome = classify(r.executed, r.cap_is_drain);
+      r.end = now + duration_of(r.executed, batch[i].cap, r.outcome);
+      if (record) {
+        svc_metrics().job_ticks.observe_unchecked(
+            static_cast<double>(r.end - r.start));
+      }
+      running.push_back(std::move(r));
+    }
+  };
+
+  // Completion processing: breaker transitions, then retry scheduling,
+  // then the ledger record.
+  const auto complete = [&](Running r) {
+    Breaker& b = breakers[r.attempt.spec.job_class];
+    if (is_hard_failure(r.outcome)) {
+      if (r.attempt.probe) {
+        b.state = Breaker::State::kOpen;
+        b.open_until = now + config_.breaker_cooldown;
+        b.probe_inflight = false;
+        ++report.breaker_opens;
+        if (record) svc_metrics().breaker_opens.add_unchecked(1);
+      } else if (b.state == Breaker::State::kClosed) {
+        if (++b.failures >= config_.breaker_threshold) {
+          b.state = Breaker::State::kOpen;
+          b.open_until = now + config_.breaker_cooldown;
+          ++report.breaker_opens;
+          if (record) svc_metrics().breaker_opens.add_unchecked(1);
+        }
+      }
+    } else if (r.outcome == JobOutcome::kCompleted ||
+               r.outcome == JobOutcome::kDegraded) {
+      b.failures = 0;
+      if (r.attempt.probe) {
+        b.state = Breaker::State::kClosed;
+        b.probe_inflight = false;
+      }
+    } else if (r.attempt.probe) {
+      // A deadline/drain-cancelled probe is neutral evidence: release
+      // the probe slot so the next arrival probes again.
+      b.probe_inflight = false;
+    }
+
+    // Deterministic retry with seeded jittered backoff: results
+    // degrading to/past the retry rung get another attempt while the
+    // allowance lasts.
+    bool retried = false;
+    const std::size_t allowance =
+        r.attempt.spec.retries >= 0
+            ? static_cast<std::size_t>(r.attempt.spec.retries)
+            : config_.max_retries;
+    if (r.outcome == JobOutcome::kDegraded &&
+        r.executed.level >= config_.retry_min_level &&
+        r.attempt.attempt <= allowance) {
+      const Rng jitter = backoff_base_rng.stream(
+          r.attempt.job_index * 16 + r.attempt.attempt);
+      Rng draw = jitter;
+      const std::uint64_t backoff =
+          config_.backoff_base *
+              static_cast<std::uint64_t>(r.attempt.attempt) +
+          static_cast<std::uint64_t>(
+              draw.uniform() * static_cast<double>(config_.backoff_base));
+      Attempt next;
+      next.spec = r.attempt.spec;
+      next.attempt = r.attempt.attempt + 1;
+      next.arrival = now + std::max<std::uint64_t>(1, backoff);
+      next.seq = next_seq++;
+      next.job_index = r.attempt.job_index;
+      pending.insert(std::move(next));
+      retried = true;
+      ++report.retries;
+      if (record) svc_metrics().retries.add_unchecked(1);
+    }
+    record_result(r.attempt, r.outcome, r.start, r.end, r.end - r.start,
+                  &r.executed, retried);
+  };
+
+  // The event loop. At each instant: finish completions first (so
+  // breaker state and freed slots are visible to same-instant
+  // arrivals), then admit arrivals, then fill slots.
+  while (true) {
+    start_batch();
+    std::uint64_t t_completion = kNever;
+    for (const Running& r : running) t_completion = std::min(t_completion, r.end);
+    const std::uint64_t t_arrival =
+        pending.empty() ? kNever : pending.begin()->arrival;
+    const std::uint64_t t_next = std::min(t_completion, t_arrival);
+    if (t_next == kNever) break;
+    now = t_next;
+    if (t_completion == now) {
+      // All completions at this instant, in sequence order.
+      std::vector<Running> done;
+      for (auto it = running.begin(); it != running.end();) {
+        if (it->end == now) {
+          done.push_back(std::move(*it));
+          it = running.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      std::sort(done.begin(), done.end(),
+                [](const Running& a, const Running& b) {
+                  return a.attempt.seq < b.attempt.seq;
+                });
+      for (Running& r : done) complete(std::move(r));
+    } else {
+      // All arrivals at this instant, in sequence order (the set
+      // iterates them that way).
+      while (!pending.empty() && pending.begin()->arrival == now) {
+        Attempt a = *pending.begin();
+        pending.erase(pending.begin());
+        admit(std::move(a));
+      }
+    }
+  }
+
+  report.final_time = now;
+  if (!config_.logical_time_only) {
+    report.wallclock_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count();
+  }
+  log_info("service: ", report.results.size(), " results, final_time=",
+           report.final_time, ", exit=", report.exit_code());
+  return report;
+}
+
+}  // namespace paradigm::svc

@@ -1,0 +1,141 @@
+// The resilient in-process compilation service (DESIGN §11).
+//
+// Accepts MDG+machine jobs and runs the full compile pipeline for each
+// on the deterministic thread pool, under a bounded-resource contract:
+//
+//   * bounded admission queue — arrivals beyond the capacity are
+//     rejected with a structured outcome, never buffered unboundedly;
+//   * per-job cooperative deadlines — each attempt gets a tick budget
+//     (queue wait counts against the absolute deadline) enforced by a
+//     CancelToken threaded through every pipeline stage, so an
+//     over-budget job unwinds to a *partial* PipelineReport;
+//   * logical-clock watchdog — a job whose stages stop making forward
+//     progress is cancelled after the stall limit, wallclock-free;
+//   * deterministic retry — results degrading past a configurable rung
+//     are re-enqueued with seeded jittered backoff and a perturbed
+//     solver seed;
+//   * per-class circuit breaker — repeated hard failures open the
+//     class's breaker, shedding arrivals until a cooldown, then probing
+//     with one job (half-open) before closing again;
+//   * graceful drain — from the drain point no job is admitted and
+//     in-flight jobs get a grace budget before being cancelled.
+//
+// Determinism: the service is a discrete-event simulation on the same
+// logical work clock the cancel tokens count. Job durations are the
+// tick counts their pipeline runs charge, events are processed in
+// (time, sequence) order, and batches of same-instant job starts run
+// through parallel_map (index-order commit) — so the full ledger is
+// byte-identical for any thread count. The only wallclock in the system
+// is an optional trailer comment, disabled by logical_time_only.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "svc/job.hpp"
+
+namespace paradigm::svc {
+
+/// Service tuning. Defaults favor small deterministic test corpora;
+/// the CLI exposes each knob as --svc-*.
+struct ServiceConfig {
+  std::size_t queue_capacity = 8;   ///< Bounded admission queue.
+  std::size_t slots = 2;            ///< Logical concurrent-job slots.
+  std::size_t max_nodes = 512;      ///< Admission cap on declared nodes.
+  /// Default per-attempt tick budget for jobs that do not set one
+  /// (0 = unlimited).
+  std::uint64_t default_deadline = 0;
+  /// Default watchdog stall limit in ticks (0 = watchdog off).
+  std::uint64_t default_stall_limit = 0;
+  /// Default retry allowance for jobs that do not set one.
+  std::size_t max_retries = 1;
+  /// Results at or past this rung are retried (if allowance remains).
+  degrade::DegradationLevel retry_min_level =
+      degrade::DegradationLevel::kAreaProportional;
+  std::uint64_t backoff_base = 64;  ///< Backoff ticks per attempt.
+  std::uint64_t backoff_seed = 0xb0ff5eed1994ULL;  ///< Jitter stream seed.
+  /// Consecutive hard failures (per class) that open the breaker.
+  std::size_t breaker_threshold = 3;
+  std::uint64_t breaker_cooldown = 1024;  ///< Open-state ticks.
+  /// True: the ledger carries logical time only (byte-comparable across
+  /// runs/threads). False: a wallclock trailer comment is appended.
+  bool logical_time_only = true;
+  /// Base pipeline configuration; processors/machine size and the
+  /// cancel token are overridden per job, and the solver start seed is
+  /// perturbed per retry attempt.
+  core::PipelineConfig pipeline;
+};
+
+/// Aggregate outcome of a service run.
+struct ServiceReport {
+  /// Every attempt's terminal record, in deterministic event order
+  /// (admission rejections at their arrival instant, runs at their
+  /// completion instant).
+  std::vector<JobResult> results;
+  std::uint64_t final_time = 0;  ///< Logical clock at the last event.
+  std::size_t completed = 0;
+  std::size_t degraded = 0;
+  std::size_t rejected = 0;      ///< Queue-full + oversized + draining.
+  std::size_t shed = 0;          ///< Breaker sheds.
+  std::size_t cancelled = 0;     ///< Deadline + watchdog + drain.
+  std::size_t failed = 0;
+  std::size_t retries = 0;       ///< Retry attempts scheduled.
+  std::size_t breaker_opens = 0;
+  bool drained = false;          ///< A drain directive was applied.
+  double wallclock_ms = -1.0;    ///< < 0: omitted from the ledger.
+
+  /// Deterministic line ledger: header, one line per result, summary
+  /// trailer. Byte-identical across thread counts (and, with
+  /// logical_time_only, across runs).
+  std::string ledger() const;
+
+  /// Service exit codes, disjoint from the CLI usage code (2) and the
+  /// degradation codes (10..15): 0 when every attempt completed
+  /// (possibly degraded), else the worst of 20 (rejected/shed),
+  /// 21 (cancelled), 22 (failed).
+  int exit_code() const;
+};
+
+/// The service facade (also aliased as core::Service). Submit jobs,
+/// optionally set a drain point, then run() the event loop to
+/// completion. run() may be called once per Service instance.
+class Service {
+ public:
+  explicit Service(ServiceConfig config);
+
+  /// Enqueues a job for the next run(). Order of equal-arrival jobs is
+  /// submission order.
+  void submit(JobSpec spec);
+
+  /// Submits every job in a parsed job file, including its drain
+  /// directive.
+  void submit_all(const JobFile& file);
+
+  /// Sets the graceful-drain point: arrivals at/after `at` are
+  /// rejected; jobs still in flight at `at` get `grace` more ticks.
+  void drain_at(std::uint64_t at, std::uint64_t grace);
+
+  /// Runs the deterministic event loop over everything submitted.
+  ServiceReport run();
+
+  const ServiceConfig& config() const { return config_; }
+
+ private:
+  ServiceConfig config_;
+  std::vector<JobSpec> submitted_;
+  bool has_drain_ = false;
+  DrainSpec drain_;
+  bool ran_ = false;
+};
+
+}  // namespace paradigm::svc
+
+namespace paradigm::core {
+/// The service is layered above the core pipeline but exposed under
+/// core:: as the stable embedding API.
+using Service = svc::Service;
+using ServiceConfig = svc::ServiceConfig;
+using ServiceReport = svc::ServiceReport;
+}  // namespace paradigm::core

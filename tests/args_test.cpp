@@ -50,12 +50,27 @@ TEST(Args, Positionals) {
 
 TEST(Args, UnknownOptionRejected) {
   ArgParser args = make_parser();
+  // Usage mistakes are UsageError (tools exit 2), still an Error for
+  // legacy catch sites.
+  EXPECT_THROW(args.parse({"--nonsense=1"}), UsageError);
   EXPECT_THROW(args.parse({"--nonsense=1"}), Error);
 }
 
 TEST(Args, MissingValueRejected) {
   ArgParser args = make_parser();
-  EXPECT_THROW(args.parse({"--name"}), Error);
+  EXPECT_THROW(args.parse({"--name"}), UsageError);
+}
+
+TEST(Args, FlagValueRejected) {
+  ArgParser args = make_parser();
+  EXPECT_THROW(args.parse({"--verbose=yes"}), UsageError);
+}
+
+TEST(Args, MalformedNumbersAreUsageErrors) {
+  ArgParser args = make_parser();
+  args.parse({"--count=banana", "--rate=1.2.3"});
+  EXPECT_THROW(args.get_int("count"), UsageError);
+  EXPECT_THROW(args.get_double("rate"), UsageError);
 }
 
 TEST(Args, FlagWithValueRejected) {

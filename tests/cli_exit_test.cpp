@@ -1,0 +1,89 @@
+// Exit-code contract regression for paradigm_cli (DESIGN §11):
+//
+//   0      clean run; also --help and --version
+//   1      hard error
+//   2      command-line usage error (unknown flag, malformed value)
+//   10+L   valid-but-degraded result at ladder rung L (10..15)
+//   20/21/22  service: rejected-or-shed / cancelled / failed
+//
+// These bands are what scripts and CI key on, so they are locked here
+// by invoking the real binary.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+namespace {
+
+int run_cli(const std::string& args) {
+  const std::string command =
+      std::string(PARADIGM_CLI_PATH) + " " + args + " >/dev/null 2>&1";
+  const int status = std::system(command.c_str());
+  EXPECT_NE(status, -1);
+  EXPECT_TRUE(WIFEXITED(status));
+  return WEXITSTATUS(status);
+}
+
+std::string write_temp_jobs(const char* name, const std::string& body) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "cli_exit_" + name + ".jobs";
+  std::ofstream out(path);
+  out << body;
+  return path;
+}
+
+TEST(CliExit, HelpIsZero) { EXPECT_EQ(run_cli("--help"), 0); }
+
+TEST(CliExit, VersionIsZero) { EXPECT_EQ(run_cli("--version"), 0); }
+
+TEST(CliExit, UnknownFlagIsUsageError) {
+  EXPECT_EQ(run_cli("--definitely-not-a-flag"), 2);
+}
+
+TEST(CliExit, MalformedValueIsUsageError) {
+  EXPECT_EQ(run_cli("--p=banana"), 2);
+}
+
+TEST(CliExit, FlagWithValueIsUsageError) {
+  EXPECT_EQ(run_cli("--gantt=yes"), 2);
+}
+
+TEST(CliExit, HardErrorIsOne) {
+  // Unknown program name is a hard error, not a usage-parse error.
+  EXPECT_EQ(run_cli("--program=nope"), 1);
+}
+
+TEST(CliExit, MissingJobFileIsOne) {
+  EXPECT_EQ(run_cli("--serve=/definitely/missing.jobs"), 1);
+}
+
+TEST(CliExit, ServeCleanIsZero) {
+  const std::string path =
+      write_temp_jobs("clean", "job id=a seed=3 nodes=8 p=8\n");
+  EXPECT_EQ(run_cli("--serve=" + path + " --mode=static --noise=0"), 0);
+}
+
+TEST(CliExit, ServeCancelledIs21) {
+  const std::string path = write_temp_jobs(
+      "cancelled", "job id=a seed=3 nodes=8 p=8 deadline=40\n");
+  EXPECT_EQ(run_cli("--serve=" + path + " --mode=static --noise=0"), 21);
+}
+
+TEST(CliExit, ServeRejectedIs20) {
+  const std::string path = write_temp_jobs(
+      "rejected",
+      "job id=a seed=3 nodes=8 p=8\njob id=b nodes=4096 p=8\n");
+  EXPECT_EQ(run_cli("--serve=" + path + " --mode=static --noise=0"), 20);
+}
+
+TEST(CliExit, ServeFailedIs22) {
+  // p=5 is not a power of two: a hard pipeline failure inside the
+  // service maps to 22 (not 1 — the service completed its run).
+  const std::string path =
+      write_temp_jobs("failed", "job id=a seed=3 nodes=8 p=5\n");
+  EXPECT_EQ(run_cli("--serve=" + path + " --mode=static --noise=0"), 22);
+}
+
+}  // namespace

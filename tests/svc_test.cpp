@@ -1,0 +1,389 @@
+// Tests for the resilient compilation service (DESIGN §11): job-file
+// parsing, bounded admission, cooperative deadlines, the logical-clock
+// watchdog, the per-class circuit breaker, deterministic retry,
+// graceful drain, and the service exit codes.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/parallel.hpp"
+#include "svc/service.hpp"
+
+namespace paradigm::svc {
+namespace {
+
+/// Small deterministic service configuration: static calibration (no
+/// training-set measurement), a reduced solver, and a global deadline
+/// so no test job can run unbounded.
+ServiceConfig fast_config() {
+  ServiceConfig config;
+  config.pipeline.calibration_mode = core::CalibrationMode::kStatic;
+  config.pipeline.machine.size = 8;
+  config.pipeline.machine.noise_sigma = 0.0;
+  config.pipeline.solver.max_inner_iterations = 40;
+  config.pipeline.solver.continuation_rounds = 2;
+  config.default_deadline = 200000;
+  return config;
+}
+
+JobSpec quick_job(std::string id, std::uint64_t arrival = 0) {
+  JobSpec spec;
+  spec.id = std::move(id);
+  spec.graph = GraphKind::kRandom;
+  spec.seed = 7;
+  spec.nodes = 8;
+  spec.processors = 8;
+  spec.arrival = arrival;
+  return spec;
+}
+
+const JobResult& find_result(const ServiceReport& report,
+                             const std::string& id) {
+  for (const JobResult& r : report.results) {
+    if (r.id == id) return r;
+  }
+  ADD_FAILURE() << "no result for job '" << id << "'";
+  static JobResult missing;
+  return missing;
+}
+
+// ---- Job-file parsing --------------------------------------------------------
+
+TEST(SvcJob, ParseJobLineFull) {
+  const JobSpec spec = parse_job_line(
+      "job id=a graph=pathological seed=9 nodes=24 p=32 arrival=5 "
+      "deadline=100 stall=7 class=fuzz retries=2");
+  EXPECT_EQ(spec.id, "a");
+  EXPECT_EQ(spec.graph, GraphKind::kPathological);
+  EXPECT_EQ(spec.seed, 9u);
+  EXPECT_EQ(spec.nodes, 24u);
+  EXPECT_EQ(spec.processors, 32u);
+  EXPECT_EQ(spec.arrival, 5u);
+  EXPECT_EQ(spec.deadline, 100u);
+  EXPECT_EQ(spec.stall_limit, 7u);
+  EXPECT_EQ(spec.job_class, "fuzz");
+  EXPECT_EQ(spec.retries, 2);
+}
+
+TEST(SvcJob, ParseJobLineDefaults) {
+  const JobSpec spec = parse_job_line("job id=x");
+  EXPECT_EQ(spec.graph, GraphKind::kRandom);
+  EXPECT_EQ(spec.job_class, "default");
+  EXPECT_EQ(spec.retries, -1);
+  EXPECT_EQ(spec.deadline, 0u);
+}
+
+TEST(SvcJob, ParseJobLineRejectsMalformed) {
+  EXPECT_THROW(parse_job_line("job id=a bogus=1"), Error);
+  EXPECT_THROW(parse_job_line("job graph=random"), Error);  // missing id
+  EXPECT_THROW(parse_job_line("job id=a graph=cyclic"), Error);
+  EXPECT_THROW(parse_job_line("job id=a seed=banana"), Error);
+  EXPECT_THROW(parse_job_line("run id=a"), Error);
+}
+
+TEST(SvcJob, ParseJobFile) {
+  std::istringstream in(
+      "# corpus\n"
+      "\n"
+      "job id=a seed=1\n"
+      "job id=b graph=pathological seed=2 class=fuzz\n"
+      "drain at=500 grace=100\n");
+  const JobFile file = parse_job_file(in);
+  ASSERT_EQ(file.jobs.size(), 2u);
+  EXPECT_EQ(file.jobs[1].job_class, "fuzz");
+  ASSERT_TRUE(file.drain.has_value());
+  EXPECT_EQ(file.drain->at, 500u);
+  EXPECT_EQ(file.drain->grace, 100u);
+}
+
+TEST(SvcJob, ParseJobFileReportsLineNumbers) {
+  std::istringstream in("job id=a\n\njob id=b nonsense=1\n");
+  try {
+    parse_job_file(in);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SvcJob, ParseJobFileRejectsDuplicateDrain) {
+  std::istringstream in("drain at=1 grace=1\ndrain at=2 grace=2\n");
+  EXPECT_THROW(parse_job_file(in), Error);
+}
+
+TEST(SvcJob, OutcomeClassification) {
+  EXPECT_TRUE(is_hard_failure(JobOutcome::kFailed));
+  EXPECT_TRUE(is_hard_failure(JobOutcome::kCancelledWatchdog));
+  EXPECT_FALSE(is_hard_failure(JobOutcome::kCancelledDeadline));
+  EXPECT_FALSE(is_hard_failure(JobOutcome::kDegraded));
+  EXPECT_TRUE(is_rejection(JobOutcome::kRejectedQueueFull));
+  EXPECT_TRUE(is_rejection(JobOutcome::kShedBreaker));
+  EXPECT_FALSE(is_rejection(JobOutcome::kCancelledDrain));
+}
+
+// ---- Admission control -------------------------------------------------------
+
+TEST(Service, BoundedQueueRejectsOverflow) {
+  ServiceConfig config = fast_config();
+  config.queue_capacity = 1;
+  config.slots = 1;
+  Service service(config);
+  service.submit(quick_job("a"));
+  service.submit(quick_job("b"));
+  service.submit(quick_job("c"));
+  const ServiceReport report = service.run();
+  ASSERT_EQ(report.results.size(), 3u);
+  EXPECT_EQ(find_result(report, "b").outcome,
+            JobOutcome::kRejectedQueueFull);
+  EXPECT_EQ(find_result(report, "c").outcome,
+            JobOutcome::kRejectedQueueFull);
+  EXPECT_EQ(find_result(report, "a").outcome, JobOutcome::kCompleted);
+  EXPECT_EQ(report.rejected, 2u);
+  EXPECT_EQ(report.exit_code(), 20);
+}
+
+TEST(Service, OversizedJobRejected) {
+  ServiceConfig config = fast_config();
+  config.max_nodes = 16;
+  Service service(config);
+  JobSpec big = quick_job("big");
+  big.nodes = 600;
+  service.submit(big);
+  service.submit(quick_job("ok"));
+  const ServiceReport report = service.run();
+  EXPECT_EQ(find_result(report, "big").outcome,
+            JobOutcome::kRejectedOversized);
+  EXPECT_EQ(find_result(report, "big").ticks, 0u);
+  EXPECT_EQ(find_result(report, "ok").outcome, JobOutcome::kCompleted);
+}
+
+// ---- Deadlines and the watchdog ----------------------------------------------
+
+TEST(Service, DeadlineCancelsWithPartialAccounting) {
+  ServiceConfig config = fast_config();
+  Service service(config);
+  JobSpec doomed = quick_job("doomed");
+  doomed.deadline = 50;  // Far below any full pipeline run.
+  service.submit(doomed);
+  const ServiceReport report = service.run();
+  const JobResult& r = find_result(report, "doomed");
+  EXPECT_EQ(r.outcome, JobOutcome::kCancelledDeadline);
+  // A deadline trip consumes exactly its budget of logical time.
+  EXPECT_EQ(r.end - r.start, 50u);
+  EXPECT_FALSE(r.detail.empty());
+  EXPECT_EQ(report.cancelled, 1u);
+  EXPECT_EQ(report.exit_code(), 21);
+}
+
+TEST(Service, QueueWaitCountsAgainstDeadline) {
+  ServiceConfig config = fast_config();
+  config.slots = 1;
+  Service service(config);
+  service.submit(quick_job("front"));
+  JobSpec waiting = quick_job("waiting");
+  waiting.deadline = 10;  // Exhausted while queued behind "front".
+  service.submit(waiting);
+  const ServiceReport report = service.run();
+  const JobResult& r = find_result(report, "waiting");
+  EXPECT_EQ(r.outcome, JobOutcome::kCancelledDeadline);
+  // It never got to run: zero work ticks, decided at slot assignment.
+  EXPECT_EQ(r.ticks, 0u);
+  EXPECT_EQ(find_result(report, "front").outcome, JobOutcome::kCompleted);
+}
+
+TEST(Service, WatchdogTripsOnStall) {
+  ServiceConfig config = fast_config();
+  Service service(config);
+  JobSpec stuck = quick_job("stuck");
+  // A stall limit of 1 trips at the first charge that is not preceded
+  // by forward progress — a deterministic stand-in for a wedged stage.
+  stuck.stall_limit = 1;
+  service.submit(stuck);
+  service.submit(quick_job("fine"));
+  const ServiceReport report = service.run();
+  EXPECT_EQ(find_result(report, "stuck").outcome,
+            JobOutcome::kCancelledWatchdog);
+  EXPECT_EQ(find_result(report, "fine").outcome, JobOutcome::kCompleted);
+}
+
+// ---- Circuit breaker ---------------------------------------------------------
+
+TEST(Service, BreakerOpensShedsAndRecloses) {
+  ServiceConfig config = fast_config();
+  config.breaker_threshold = 2;
+  config.breaker_cooldown = 100;
+  Service service(config);
+  // p=5 is not a power of two: the pipeline throws, a deterministic
+  // hard failure.
+  JobSpec bad1 = quick_job("bad1", 0);
+  bad1.processors = 5;
+  bad1.job_class = "hot";
+  JobSpec bad2 = quick_job("bad2", 10);
+  bad2.processors = 5;
+  bad2.job_class = "hot";
+  // Arrives while the breaker is open -> shed without running.
+  JobSpec shed = quick_job("shed", 20);
+  shed.job_class = "hot";
+  // Arrives after the cooldown -> the half-open probe; it is valid, so
+  // the breaker closes again.
+  JobSpec probe = quick_job("probe", 200);
+  probe.job_class = "hot";
+  JobSpec after = quick_job("after", 100000);
+  after.job_class = "hot";
+  // A different class is never affected.
+  JobSpec other = quick_job("other", 20);
+  other.job_class = "cold";
+  for (const JobSpec& s : {bad1, bad2, shed, probe, after, other}) {
+    service.submit(s);
+  }
+  const ServiceReport report = service.run();
+  EXPECT_EQ(find_result(report, "bad1").outcome, JobOutcome::kFailed);
+  EXPECT_EQ(find_result(report, "bad2").outcome, JobOutcome::kFailed);
+  EXPECT_EQ(find_result(report, "shed").outcome, JobOutcome::kShedBreaker);
+  EXPECT_EQ(find_result(report, "probe").outcome, JobOutcome::kCompleted);
+  EXPECT_EQ(find_result(report, "after").outcome, JobOutcome::kCompleted);
+  EXPECT_EQ(find_result(report, "other").outcome, JobOutcome::kCompleted);
+  EXPECT_EQ(report.breaker_opens, 1u);
+  EXPECT_EQ(report.shed, 1u);
+  EXPECT_EQ(report.failed, 2u);
+  EXPECT_EQ(report.exit_code(), 22);
+}
+
+TEST(Service, FailedProbeReopensBreaker) {
+  ServiceConfig config = fast_config();
+  config.breaker_threshold = 1;
+  config.breaker_cooldown = 50;
+  Service service(config);
+  JobSpec bad1 = quick_job("bad1", 0);
+  bad1.processors = 5;
+  JobSpec bad_probe = quick_job("bad-probe", 100);
+  bad_probe.processors = 5;
+  JobSpec shed_again = quick_job("shed-again", 110);
+  service.submit(bad1);
+  service.submit(bad_probe);
+  service.submit(shed_again);
+  const ServiceReport report = service.run();
+  EXPECT_EQ(find_result(report, "bad1").outcome, JobOutcome::kFailed);
+  EXPECT_EQ(find_result(report, "bad-probe").outcome, JobOutcome::kFailed);
+  EXPECT_EQ(find_result(report, "shed-again").outcome,
+            JobOutcome::kShedBreaker);
+  EXPECT_EQ(report.breaker_opens, 2u);
+}
+
+// ---- Graceful drain ----------------------------------------------------------
+
+TEST(Service, DrainRejectsArrivalsAndCancelsInFlight) {
+  ServiceConfig config = fast_config();
+  Service service(config);
+  service.submit(quick_job("long", 0));  // Runs far past the grace.
+  service.submit(quick_job("late", 10));
+  service.drain_at(5, 20);
+  const ServiceReport report = service.run();
+  const JobResult& in_flight = find_result(report, "long");
+  EXPECT_EQ(in_flight.outcome, JobOutcome::kCancelledDrain);
+  // Started at 0, drain point 5 + grace 20 = cancelled at 25.
+  EXPECT_EQ(in_flight.end, 25u);
+  EXPECT_EQ(find_result(report, "late").outcome,
+            JobOutcome::kRejectedDraining);
+  EXPECT_TRUE(report.drained);
+}
+
+TEST(Service, DrainViaJobFileDirective) {
+  std::istringstream in(
+      "job id=a seed=3 nodes=8 p=8\n"
+      "job id=late arrival=1000 seed=3 nodes=8 p=8\n"
+      "drain at=900 grace=100000\n");
+  const JobFile file = parse_job_file(in);
+  Service service(fast_config());
+  service.submit_all(file);
+  const ServiceReport report = service.run();
+  EXPECT_EQ(find_result(report, "a").outcome, JobOutcome::kCompleted);
+  EXPECT_EQ(find_result(report, "late").outcome,
+            JobOutcome::kRejectedDraining);
+}
+
+// ---- Retry -------------------------------------------------------------------
+
+TEST(Service, DegradedJobRetriesDeterministically) {
+  ServiceConfig config = fast_config();
+  // Any degradation rung qualifies for retry; one retry allowed.
+  config.retry_min_level = degrade::DegradationLevel::kMultiStartRetry;
+  config.max_retries = 1;
+  Service service(config);
+  JobSpec hostile = quick_job("hostile");
+  hostile.graph = GraphKind::kPathological;
+  hostile.seed = 1;
+  service.submit(hostile);
+  const ServiceReport report = service.run();
+  ASSERT_FALSE(report.results.empty());
+  const JobResult& first = report.results.front();
+  if (first.outcome == JobOutcome::kDegraded) {
+    // The first attempt degraded: a retry must have been scheduled and
+    // completed as a separate ledger record.
+    EXPECT_TRUE(first.retried);
+    ASSERT_EQ(report.results.size(), 2u);
+    EXPECT_EQ(report.results[1].attempt, 2u);
+    EXPECT_GT(report.results[1].arrival, first.end);
+    EXPECT_EQ(report.retries, 1u);
+    // The allowance is spent: attempt 2 never re-retries.
+    EXPECT_FALSE(report.results[1].retried);
+  } else {
+    EXPECT_EQ(report.results.size(), 1u);
+    EXPECT_EQ(report.retries, 0u);
+  }
+
+  // The whole run replays byte-identically.
+  Service replay(config);
+  JobSpec again = hostile;
+  replay.submit(again);
+  EXPECT_EQ(replay.run().ledger(), report.ledger());
+}
+
+// ---- Determinism and the ledger ----------------------------------------------
+
+TEST(Service, LedgerIsByteIdenticalAcrossThreadCounts) {
+  const auto run_with = [](std::size_t threads) {
+    set_thread_count(threads);
+    ServiceConfig config = fast_config();
+    config.slots = 3;
+    Service service(config);
+    for (int i = 0; i < 6; ++i) {
+      JobSpec spec = quick_job("j" + std::to_string(i),
+                               static_cast<std::uint64_t>(i) * 3);
+      spec.seed = static_cast<std::uint64_t>(100 + i);
+      service.submit(spec);
+    }
+    const std::string ledger = service.run().ledger();
+    set_thread_count(0);
+    return ledger;
+  };
+  const std::string serial = run_with(1);
+  const std::string parallel = run_with(4);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(Service, ExitCodeSeverityOrder) {
+  ServiceReport report;
+  EXPECT_EQ(report.exit_code(), 0);
+  report.rejected = 1;
+  EXPECT_EQ(report.exit_code(), 20);
+  report.cancelled = 1;
+  EXPECT_EQ(report.exit_code(), 21);
+  report.failed = 1;
+  EXPECT_EQ(report.exit_code(), 22);
+}
+
+TEST(Service, CoreAliasAndSingleRun) {
+  core::ServiceConfig config = fast_config();
+  core::Service service(config);
+  service.submit(quick_job("a"));
+  (void)service.run();
+  EXPECT_THROW(service.submit(quick_job("b")), Error);
+  config.queue_capacity = 0;
+  EXPECT_THROW(core::Service bad(config), Error);
+}
+
+}  // namespace
+}  // namespace paradigm::svc

@@ -12,7 +12,16 @@
 # extra TSan stage re-runs the golden/differential observability suite
 # (ctest -L "golden|differential") to pin the DESIGN §9 claim: exported
 # metrics/trace bytes match the checked-in goldens even with 4 pool
-# threads racing under the race detector.
+# threads racing under the race detector. An ASan stage re-runs the
+# service soak (ctest -L soak) so the cancellation-unwind paths — every
+# partial-report unwind in the 200-job mixed corpus — are leak- and
+# overflow-checked.
+#
+# Fail-fast: the first failing stage aborts the run with the failing
+# configuration named on stderr, and every configuration's CTest log
+# (Testing/Temporary/LastTest.log) is archived to
+# build-ci/artifacts/<config>-LastTest.log — including on failure — so
+# the per-test output survives the aborted run.
 #
 # The plain configuration also collects per-bench metrics sidecars
 # (PARADIGM_METRICS_DIR) from perf_micro's gate runs into
@@ -26,20 +35,46 @@ jobs=$(nproc 2>/dev/null || echo 4)
 fast=0
 [[ "${1:-}" == "--fast" ]] && fast=1
 
+artifacts="$PWD/build-ci/artifacts"
+mkdir -p "$artifacts"
+
+current_stage="(none)"
+
+# Archives a configuration's CTest log under its own name; called after
+# every ctest invocation and from the failure trap, so the log is saved
+# whether the stage passed or not.
+archive_ctest_log() {
+  local name="$1"
+  local log="build-ci/$name/Testing/Temporary/LastTest.log"
+  if [[ -f "$log" ]]; then
+    cp "$log" "$artifacts/$name-LastTest.log"
+  fi
+}
+
+on_failure() {
+  local code=$?
+  archive_ctest_log "${current_stage#*:}" || true
+  echo "CI FAILED in stage [$current_stage] (exit $code);" \
+    "CTest logs archived under $artifacts/" >&2
+  exit "$code"
+}
+trap on_failure ERR
+
 run_config() {
   local name="$1"
   shift
   local dir="build-ci/$name"
+  current_stage="configure:$name"
   echo "=== [$name] configure ==="
   cmake -B "$dir" -S . "$@"
+  current_stage="build:$name"
   echo "=== [$name] build ==="
   cmake --build "$dir" -j "$jobs"
+  current_stage="test:$name"
   echo "=== [$name] test ==="
   ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+  archive_ctest_log "$name"
 }
-
-artifacts="$PWD/build-ci/artifacts"
-mkdir -p "$artifacts"
 
 # The perf gates (perf_micro under ctest) drop per-bench metrics
 # sidecars into PARADIGM_METRICS_DIR; BENCH_*.json gate reports land in
@@ -54,10 +89,12 @@ find build-ci/plain -maxdepth 1 -name 'BENCH_*.json' \
 # failing seed is dumped by the harness into PARADIGM_FUZZ_ARTIFACT_DIR
 # so it can be archived and checked into tests/fuzz_corpus/seeds.txt as
 # a permanent regression.
+current_stage="fuzz:plain"
 echo "=== [plain] fuzz corpus stage ==="
 mkdir -p "$artifacts/fuzz"
 PARADIGM_FUZZ_ARTIFACT_DIR="$artifacts/fuzz" \
   ctest --test-dir build-ci/plain -L fuzz --output-on-failure -j "$jobs"
+archive_ctest_log plain
 if compgen -G "$artifacts/fuzz/*" > /dev/null; then
   echo "fuzz stage archived failing-seed artifacts:"
   ls -l "$artifacts/fuzz"
@@ -70,6 +107,17 @@ if [[ "$fast" == 0 ]]; then
   run_config asan-ubsan \
     -DCMAKE_BUILD_TYPE=Debug \
     -DPARADIGM_SANITIZE=address,undefined
+
+  # Service soak under ASan (DESIGN §11): the 200-job mixed corpus
+  # takes every cancellation-unwind path (deadline, watchdog, drain,
+  # breaker) — re-run it with leak detection explicitly on so a partial
+  # PipelineReport that leaks or touches freed stage state fails here.
+  current_stage="soak:asan-ubsan"
+  echo "=== [asan-ubsan] service soak stage ==="
+  ASAN_OPTIONS=detect_leaks=1 \
+    ctest --test-dir build-ci/asan-ubsan -L soak --output-on-failure \
+    -j "$jobs"
+  archive_ctest_log asan-ubsan
 
   # Dedicated UBSan configuration (DESIGN §10): the degradation ladder's
   # guarantee is "no UB on hostile inputs", so undefined-behaviour
@@ -88,9 +136,11 @@ if [[ "$fast" == 0 ]]; then
   # Explicit determinism stage: the observability golden/differential
   # suite must reproduce the checked-in bytes with 4 pool threads under
   # the race detector.
+  current_stage="golden:tsan"
   echo "=== [tsan] observability golden/differential suite ==="
   PARADIGM_THREADS=4 ctest --test-dir build-ci/tsan \
     -L "golden|differential" --output-on-failure -j "$jobs"
+  archive_ctest_log tsan
 fi
 
 echo "CI passed."

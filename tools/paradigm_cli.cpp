@@ -26,6 +26,7 @@
 #include "viz/chrome_trace.hpp"
 #include "codegen/mpmd.hpp"
 #include "sim/simulator.hpp"
+#include "svc/service.hpp"
 #include "support/args.hpp"
 #include "support/degrade.hpp"
 #include "support/parallel.hpp"
@@ -91,6 +92,63 @@ void write_file(const std::string& path, const std::string& content) {
   PARADIGM_CHECK(out.good(), "cannot write '" << path << "'");
   out << content;
   std::cout << "wrote " << path << "\n";
+}
+
+/// `--serve=<jobfile>`: run the resilient compilation service over a
+/// line-delimited job file (DESIGN §11). Returns the service exit code
+/// (0 clean, 20 rejected/shed, 21 cancelled, 22 failed).
+int run_serve(const ArgParser& args) {
+  svc::ServiceConfig config;
+  config.queue_capacity = static_cast<std::size_t>(args.get_int("svc-queue"));
+  config.slots = static_cast<std::size_t>(args.get_int("svc-slots"));
+  config.max_nodes = static_cast<std::size_t>(args.get_int("svc-max-nodes"));
+  config.default_deadline =
+      static_cast<std::uint64_t>(args.get_int("svc-deadline"));
+  config.default_stall_limit =
+      static_cast<std::uint64_t>(args.get_int("svc-stall"));
+  config.max_retries = static_cast<std::size_t>(args.get_int("svc-retries"));
+  config.backoff_base =
+      static_cast<std::uint64_t>(args.get_int("svc-backoff"));
+  config.breaker_threshold =
+      static_cast<std::size_t>(args.get_int("svc-breaker-threshold"));
+  config.breaker_cooldown =
+      static_cast<std::uint64_t>(args.get_int("svc-breaker-cooldown"));
+  const std::string& logical = args.get("svc-logical-time");
+  PARADIGM_CHECK(logical == "on" || logical == "off",
+                 "--svc-logical-time must be on or off");
+  config.logical_time_only = logical == "on";
+
+  // The per-job pipelines inherit the CLI's machine/calibration knobs.
+  config.pipeline.machine =
+      load_machine(args, static_cast<std::uint32_t>(args.get_int("p")));
+  if (args.get("mode") == "static") {
+    config.pipeline.calibration_mode = core::CalibrationMode::kStatic;
+  }
+  config.pipeline.solver.num_starts =
+      static_cast<std::size_t>(args.get_int("starts"));
+  config.pipeline.degradation.enabled = args.get("degrade") == "on";
+  config.pipeline.degradation.strict = args.get_flag("strict");
+
+  const std::string& path = args.get("serve");
+  svc::JobFile file;
+  if (path == "-") {
+    file = svc::parse_job_file(std::cin);
+  } else {
+    std::ifstream in(path);
+    PARADIGM_CHECK(in.good(), "cannot open job file '" << path << "'");
+    file = svc::parse_job_file(in);
+  }
+  PARADIGM_CHECK(!file.jobs.empty(), "job file '" << path << "' has no jobs");
+
+  core::Service service(config);
+  service.submit_all(file);
+  const core::ServiceReport report = service.run();
+  const std::string ledger = report.ledger();
+  if (!args.get("svc-ledger").empty()) {
+    write_file(args.get("svc-ledger"), ledger);
+  }
+  std::cout << ledger;
+  return report.exit_code();
 }
 
 }  // namespace
@@ -163,13 +221,44 @@ int main(int argc, char** argv) {
   args.add_flag("strict",
                 "fail fast: the first error-severity diagnostic aborts the\n"
                 "      pipeline (exit 1) instead of repairing/degrading");
+  args.add_option("serve", "",
+                  "run the compilation service over a line-delimited job\n"
+                  "      file ('-' reads stdin); prints the deterministic\n"
+                  "      ledger and exits 0 / 20 (rejected or shed) /\n"
+                  "      21 (cancelled) / 22 (failed)");
+  args.add_option("svc-queue", "8", "service admission queue capacity");
+  args.add_option("svc-slots", "2", "service concurrent-job slots");
+  args.add_option("svc-max-nodes", "512",
+                  "service admission cap on declared job nodes");
+  args.add_option("svc-deadline", "0",
+                  "default per-attempt tick budget (0: unlimited)");
+  args.add_option("svc-stall", "0",
+                  "default watchdog stall limit in ticks (0: off)");
+  args.add_option("svc-retries", "1",
+                  "default retry allowance for degraded jobs");
+  args.add_option("svc-backoff", "64", "retry backoff base in ticks");
+  args.add_option("svc-breaker-threshold", "3",
+                  "consecutive hard failures (per class) that open the\n"
+                  "      circuit breaker");
+  args.add_option("svc-breaker-cooldown", "1024",
+                  "breaker open-state duration in ticks");
+  args.add_option("svc-logical-time", "on",
+                  "on: the ledger carries logical time only (byte-identical\n"
+                  "      across runs and thread counts) | off: append a\n"
+                  "      wallclock trailer comment");
+  args.add_option("svc-ledger", "", "also write the service ledger here");
   args.add_flag("help", "show this help");
+  args.add_flag("version", "print the version and exit");
 
   try {
     std::vector<std::string> raw(argv + 1, argv + argc);
     args.parse(raw);
     if (args.get_flag("help")) {
       std::cout << args.usage();
+      return 0;
+    }
+    if (args.get_flag("version")) {
+      std::cout << "paradigm_cli " << PARADIGM_VERSION << "\n";
       return 0;
     }
 
@@ -186,6 +275,8 @@ int main(int argc, char** argv) {
     obs::set_mode(obs_mode);
     const std::int64_t starts = args.get_int("starts");
     PARADIGM_CHECK(starts >= 1, "--starts must be >= 1");
+
+    if (!args.get("serve").empty()) return run_serve(args);
 
     const mdg::Mdg graph = load_program(args);
     const auto p = static_cast<std::uint64_t>(args.get_int("p"));
@@ -345,6 +436,11 @@ int main(int argc, char** argv) {
     // 0 for a clean run, 10 + level for a valid-but-degraded one, so
     // scripts can distinguish the two without parsing output.
     return degrade::exit_code(report.degradation);
+  } catch (const UsageError& e) {
+    // Usage mistakes exit 2: disjoint from hard errors (1), the
+    // degradation codes (10..15), and the service codes (20..22).
+    std::cerr << "usage error: " << e.what() << "\n";
+    return 2;
   } catch (const Error& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
