@@ -26,10 +26,17 @@
 // on the N = 128 allocator hot path, guards-off vs guards-on
 // interleaved, and FAILS if the overhead exceeds 2% or if the guarded
 // run produces a different allocation. Results go to BENCH_pr4.json.
+//
+// `perf_micro --wal-gate[=out.json]` measures what the DESIGN §12
+// write-ahead journal costs on a 200-job service soak, journal-off vs
+// journal-on (fresh journal per rep) interleaved, and FAILS if the
+// overhead exceeds 5% or if journaling changes the service ledger.
+// Results go to BENCH_pr6.json.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -53,6 +60,8 @@
 #include "support/json.hpp"
 #include "support/parallel.hpp"
 #include "support/rng.hpp"
+#include "svc/persist.hpp"
+#include "svc/service.hpp"
 
 namespace {
 
@@ -713,6 +722,144 @@ int run_svc_gate(const std::string& out_path) {
   return 0;
 }
 
+// ---- PR6 journaling-overhead gate -----------------------------------
+
+/// A 200-job mixed service corpus, cheap per-attempt settings so the
+/// run is dominated by service machinery (the side journaling taxes),
+/// not by solver arithmetic.
+std::vector<svc::JobSpec> wal_gate_corpus() {
+  std::vector<svc::JobSpec> jobs;
+  jobs.reserve(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    svc::JobSpec spec;
+    spec.id = "w";
+    spec.id += std::to_string(i);
+    spec.seed = 5000 + i;
+    spec.arrival = i * 5;
+    spec.nodes = 6 + (i % 4);
+    spec.processors = (i % 3 == 0) ? 4 : 8;
+    spec.job_class = (i % 5 == 0) ? "alt" : "default";
+    if (i % 16 == 9) spec.nodes = 4096;  // Rejected oversized.
+    jobs.push_back(std::move(spec));
+  }
+  return jobs;
+}
+
+svc::ServiceReport run_wal_gate_service(svc::Persistence* persist) {
+  svc::ServiceConfig config;
+  config.pipeline.calibration_mode = core::CalibrationMode::kStatic;
+  config.pipeline.machine.size = 8;
+  config.pipeline.machine.noise_sigma = 0.0;
+  config.pipeline.solver.max_inner_iterations = 10;
+  config.pipeline.solver.continuation_rounds = 1;
+  config.default_deadline = 1000000;
+  config.queue_capacity = 64;
+  config.slots = 4;
+  svc::Service service(config);
+  for (svc::JobSpec& spec : wal_gate_corpus()) service.submit(std::move(spec));
+  if (persist != nullptr) service.attach_persistence(persist);
+  return service.run();
+}
+
+int run_wal_gate(const std::string& out_path) {
+  constexpr double kMaxOverhead = 0.05;  // journaling <= 5%
+  constexpr std::size_t kReps = 7;
+
+  namespace fs = std::filesystem;
+  set_thread_count(1);
+  const fs::path root = fs::temp_directory_path() / "perf_wal_gate";
+  fs::remove_all(root);
+  fs::create_directories(root);
+
+  std::size_t next_dir = 0;
+  const auto run_off = [&] {
+    benchmark::DoNotOptimize(run_wal_gate_service(nullptr));
+  };
+  // Every journaled rep writes a fresh journal from scratch — create,
+  // append per lifecycle event, flush per append — the full durability
+  // tax, not an already-warm file.
+  const auto run_on = [&] {
+    const fs::path dir = root / std::to_string(next_dir++);
+    svc::PersistConfig pc;
+    pc.dir = dir.string();
+    pc.snapshot_every = 64;
+    svc::Persistence persist(pc);
+    benchmark::DoNotOptimize(run_wal_gate_service(&persist));
+    fs::remove_all(dir);
+  };
+
+  run_off();  // warmup
+  run_on();
+  std::vector<double> off_samples, on_samples;
+  off_samples.reserve(kReps);
+  on_samples.reserve(kReps);
+  for (std::size_t r = 0; r < kReps; ++r) {
+    off_samples.push_back(timed_ns(run_off));
+    on_samples.push_back(timed_ns(run_on));
+  }
+  std::sort(off_samples.begin(), off_samples.end());
+  std::sort(on_samples.begin(), on_samples.end());
+  const double off_ns = off_samples[off_samples.size() / 2];
+  const double on_ns = on_samples[on_samples.size() / 2];
+  const double overhead = off_ns > 0.0 ? on_ns / off_ns - 1.0 : 0.0;
+  const bool passed = overhead <= kMaxOverhead;
+
+  std::cout << "service 200-job soak: journal-off " << off_ns / 1e6
+            << " ms, journal-on " << on_ns / 1e6 << " ms ("
+            << overhead * 100.0 << "% overhead)\n";
+
+  // Journaling must be a pure side effect: the ledger with a journal
+  // attached is byte-identical to the ledger without one.
+  const std::string ledger_off = run_wal_gate_service(nullptr).ledger();
+  std::string ledger_on;
+  {
+    const fs::path dir = root / "identity";
+    svc::PersistConfig pc;
+    pc.dir = dir.string();
+    pc.snapshot_every = 64;
+    svc::Persistence persist(pc);
+    ledger_on = run_wal_gate_service(&persist).ledger();
+  }
+  const bool identical = ledger_off == ledger_on;
+  if (!identical) {
+    std::cerr << "WAL GATE: journaling changed the service ledger\n";
+  }
+  fs::remove_all(root);
+
+  Json doc = Json::object();
+  doc.set("pr", Json::integer(6));
+  Json gate = Json::object();
+  gate.set("max_overhead", Json::number(kMaxOverhead));
+  gate.set("measured_overhead", Json::number(overhead));
+  gate.set("passed", Json::boolean(passed && identical));
+  gate.set("ledgers_identical", Json::boolean(identical));
+  doc.set("gate", std::move(gate));
+  Json benches = Json::array();
+  Json b = Json::object();
+  b.set("name", Json::string("service_soak"));
+  b.set("jobs", Json::integer(200));
+  b.set("journal_off_ns", Json::number(off_ns));
+  b.set("journal_on_ns", Json::number(on_ns));
+  b.set("overhead", Json::number(overhead));
+  benches.push_back(std::move(b));
+  doc.set("benchmarks", std::move(benches));
+
+  std::ofstream out(out_path);
+  out << doc.dump() << "\n";
+  std::cout << "wrote " << out_path << "\n";
+
+  if (!passed) {
+    std::cerr << "WAL OVERHEAD: journaling cost " << overhead * 100.0
+              << "% on the 200-job service soak, budget "
+              << kMaxOverhead * 100.0 << "%\n";
+    return 1;
+  }
+  if (!identical) return 1;
+  std::cout << "gate passed: " << overhead * 100.0 << "% <= "
+            << kMaxOverhead * 100.0 << "%\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -741,6 +888,12 @@ int main(int argc, char** argv) {
       const std::string path =
           eq == std::string::npos ? "BENCH_pr4.json" : arg.substr(eq + 1);
       return run_guard_gate(path);
+    }
+    if (arg.rfind("--wal-gate", 0) == 0) {
+      const std::size_t eq = arg.find('=');
+      const std::string path =
+          eq == std::string::npos ? "BENCH_pr6.json" : arg.substr(eq + 1);
+      return run_wal_gate(path);
     }
   }
   benchmark::Initialize(&argc, argv);

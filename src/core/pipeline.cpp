@@ -1,6 +1,8 @@
 #include "core/pipeline.hpp"
 
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 #include "calibrate/static_estimate.hpp"
@@ -396,6 +398,127 @@ void Compiler::run_pipeline(const mdg::Mdg& graph,
     }
   }
   log_info("pipeline: ", report.summary());
+}
+
+namespace {
+
+// Hexfloat round-trip: "%a" prints every finite double exactly, and
+// strtod parses it back to the identical bit pattern, so journaled
+// phi/sim values replay bit-for-bit.
+std::string encode_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+double decode_double(const std::string& text) {
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  PARADIGM_CHECK(end != nullptr && *end == '\0',
+                 "memo: bad double literal '" + text + "'");
+  return v;
+}
+
+// Percent-encoding keeps the free-form detail string single-token (no
+// spaces/newlines) so the memo stays one key=value line.
+std::string encode_detail(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (unsigned char c : text) {
+    if (c > 0x20 && c != '%' && c != 0x7F) {
+      out.push_back(static_cast<char>(c));
+    } else {
+      char buf[4];
+      std::snprintf(buf, sizeof(buf), "%%%02X", c);
+      out.append(buf);
+    }
+  }
+  return out;
+}
+
+std::string decode_detail(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '%') {
+      out.push_back(text[i]);
+      continue;
+    }
+    PARADIGM_CHECK(i + 2 < text.size(), "memo: truncated percent escape");
+    auto hex = [](char c) -> int {
+      if (c >= '0' && c <= '9') return c - '0';
+      if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+      if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+      PARADIGM_FAIL("memo: bad percent escape digit");
+    };
+    out.push_back(static_cast<char>(hex(text[i + 1]) * 16 + hex(text[i + 2])));
+    i += 2;
+  }
+  return out;
+}
+
+}  // namespace
+
+RunMemo RunMemo::from_report(const PipelineReport& report,
+                             std::uint64_t ticks) {
+  RunMemo memo;
+  memo.cancelled = report.cancelled;
+  memo.reason = report.cancel_reason;
+  memo.level = report.degradation;
+  memo.phi = report.allocation.phi;
+  memo.mpmd_simulated = report.mpmd.simulated;
+  memo.ticks = ticks;
+  if (report.cancelled && !report.diagnostics.empty()) {
+    memo.detail = report.diagnostics.back().detail;
+  }
+  return memo;
+}
+
+std::string RunMemo::encode() const {
+  std::ostringstream out;
+  out << "failed=" << (failed ? 1 : 0) << " cancelled=" << (cancelled ? 1 : 0)
+      << " reason=" << static_cast<int>(reason)
+      << " level=" << static_cast<int>(level) << " ticks=" << ticks
+      << " phi=" << encode_double(phi)
+      << " sim=" << encode_double(mpmd_simulated)
+      << " detail=" << encode_detail(detail);
+  return out.str();
+}
+
+RunMemo RunMemo::decode(const std::string& text) {
+  RunMemo memo;
+  std::istringstream in(text);
+  std::string token;
+  bool saw_detail = false;
+  while (in >> token) {
+    const auto eq = token.find('=');
+    PARADIGM_CHECK(eq != std::string::npos,
+                   "memo: malformed token '" + token + "'");
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "failed") {
+      memo.failed = value == "1";
+    } else if (key == "cancelled") {
+      memo.cancelled = value == "1";
+    } else if (key == "reason") {
+      memo.reason = static_cast<CancelReason>(std::stoi(value));
+    } else if (key == "level") {
+      memo.level = static_cast<degrade::DegradationLevel>(std::stoi(value));
+    } else if (key == "ticks") {
+      memo.ticks = std::stoull(value);
+    } else if (key == "phi") {
+      memo.phi = decode_double(value);
+    } else if (key == "sim") {
+      memo.mpmd_simulated = decode_double(value);
+    } else if (key == "detail") {
+      memo.detail = decode_detail(value);
+      saw_detail = true;
+    } else {
+      PARADIGM_FAIL("memo: unknown key '" + key + "'");
+    }
+  }
+  PARADIGM_CHECK(saw_detail, "memo: record missing detail field");
+  return memo;
 }
 
 }  // namespace paradigm::core

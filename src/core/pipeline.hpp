@@ -126,6 +126,37 @@ struct PipelineReport {
   std::string summary() const;
 };
 
+/// The durable digest of one pipeline attempt (DESIGN §12): exactly the
+/// fields the service ledger derives from a PipelineReport, in a form
+/// that round-trips bit-exactly through a journal record. Doubles are
+/// encoded as C hexfloats so phi/sim survive replay unchanged; the
+/// free-form detail string is percent-encoded. Recovery serves a
+/// memoized attempt from this digest instead of re-running the
+/// pipeline, which is what makes the post-recovery ledger byte-identical
+/// to the crash-free run.
+struct RunMemo {
+  bool failed = false;      ///< Pipeline threw paradigm::Error.
+  bool cancelled = false;
+  CancelReason reason = CancelReason::kNone;
+  degrade::DegradationLevel level = degrade::DegradationLevel::kNone;
+  double phi = 0.0;
+  double mpmd_simulated = 0.0;
+  std::uint64_t ticks = 0;  ///< Work ticks charged (cancel trip point).
+  std::string detail;       ///< Failure/cancel message; empty on success.
+
+  /// Digest of a completed (possibly cancelled) report. `ticks` is
+  /// passed separately because a clean report does not carry it.
+  static RunMemo from_report(const PipelineReport& report,
+                             std::uint64_t ticks);
+
+  /// Single-line, space-delimited key=value encoding (journal payload
+  /// body). decode(encode(m)) == m for every representable memo.
+  std::string encode() const;
+  static RunMemo decode(const std::string& text);
+
+  bool operator==(const RunMemo&) const = default;
+};
+
 /// The compiler pipeline. Construct once per machine configuration;
 /// compile_and_run may be called for several MDGs / processor counts.
 class Compiler {

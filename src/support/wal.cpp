@@ -1,0 +1,198 @@
+#include "support/wal.hpp"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+namespace paradigm::wal {
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+void put_u32_le(char* out, std::uint32_t v) {
+  out[0] = static_cast<char>(v & 0xFFu);
+  out[1] = static_cast<char>((v >> 8) & 0xFFu);
+  out[2] = static_cast<char>((v >> 16) & 0xFFu);
+  out[3] = static_cast<char>((v >> 24) & 0xFFu);
+}
+
+std::uint32_t get_u32_le(const char* in) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(in[0])) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(in[1])) << 8 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(in[2])) << 16 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(in[3])) << 24;
+}
+
+std::string make_header(std::uint32_t version) {
+  std::string header(kHeaderBytes, '\0');
+  std::memcpy(header.data(), kMagic, sizeof(kMagic));
+  put_u32_le(header.data() + 8, version);
+  put_u32_le(header.data() + 12, crc32(header.data(), 12));
+  return header;
+}
+
+std::string record_header(std::string_view payload) {
+  std::string head(kRecordHeaderBytes, '\0');
+  put_u32_le(head.data(), static_cast<std::uint32_t>(payload.size()));
+  put_u32_le(head.data() + 4, crc32(payload.data(), payload.size()));
+  return head;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = table[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+CrashInjected::CrashInjected(std::uint64_t durable_appends)
+    : Error("crash injected after " + std::to_string(durable_appends) +
+            " durable journal appends"),
+      durable_appends_(durable_appends) {}
+
+ReadResult read_journal(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  PARADIGM_CHECK(in.good(), "wal: cannot open journal '" + path + "'");
+
+  std::string raw((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  PARADIGM_CHECK(!in.bad(), "wal: read error on journal '" + path + "'");
+
+  ReadResult result;
+  result.total_bytes = raw.size();
+
+  PARADIGM_CHECK(raw.size() >= kHeaderBytes,
+                 "wal: journal '" + path + "' shorter than header (" +
+                     std::to_string(raw.size()) + " bytes)");
+  PARADIGM_CHECK(std::memcmp(raw.data(), kMagic, sizeof(kMagic)) == 0,
+                 "wal: journal '" + path + "' has bad magic");
+  const std::uint32_t header_crc = get_u32_le(raw.data() + 12);
+  PARADIGM_CHECK(header_crc == crc32(raw.data(), 12),
+                 "wal: journal '" + path + "' has corrupt header checksum");
+  result.version = get_u32_le(raw.data() + 8);
+  if (result.version > kFormatVersion) {
+    throw UsageError("journal '" + path + "' has format version " +
+                     std::to_string(result.version) +
+                     ", newer than this build's version " +
+                     std::to_string(kFormatVersion) +
+                     " -- upgrade paradigm_cli to recover it");
+  }
+
+  std::size_t pos = kHeaderBytes;
+  result.valid_bytes = pos;
+  while (pos < raw.size()) {
+    if (raw.size() - pos < kRecordHeaderBytes) {
+      result.salvage_detail =
+          "torn record header at offset " + std::to_string(pos) + " (" +
+          std::to_string(raw.size() - pos) + " trailing bytes)";
+      break;
+    }
+    const std::uint32_t len = get_u32_le(raw.data() + pos);
+    const std::uint32_t want_crc = get_u32_le(raw.data() + pos + 4);
+    if (len > kMaxRecordBytes) {
+      result.salvage_detail = "implausible record length " +
+                              std::to_string(len) + " at offset " +
+                              std::to_string(pos);
+      break;
+    }
+    if (raw.size() - pos - kRecordHeaderBytes < len) {
+      result.salvage_detail =
+          "torn record payload at offset " + std::to_string(pos) +
+          " (want " + std::to_string(len) + " bytes, have " +
+          std::to_string(raw.size() - pos - kRecordHeaderBytes) + ")";
+      break;
+    }
+    const char* payload = raw.data() + pos + kRecordHeaderBytes;
+    if (crc32(payload, len) != want_crc) {
+      result.salvage_detail = "checksum mismatch in record " +
+                              std::to_string(result.records.size()) +
+                              " at offset " + std::to_string(pos);
+      break;
+    }
+    result.records.emplace_back(payload, len);
+    pos += kRecordHeaderBytes + len;
+    result.valid_bytes = pos;
+  }
+  return result;
+}
+
+Writer Writer::create(const std::string& path, std::uint32_t version) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  PARADIGM_CHECK(ec || size == 0,
+                 "wal: refusing to overwrite existing journal '" + path + "'");
+
+  Writer writer;
+  writer.path_ = path;
+  writer.out_.open(path, std::ios::binary | std::ios::trunc);
+  PARADIGM_CHECK(writer.out_.good(),
+                 "wal: cannot create journal '" + path + "'");
+  const std::string header = make_header(version);
+  writer.out_.write(header.data(),
+                    static_cast<std::streamsize>(header.size()));
+  writer.out_.flush();
+  PARADIGM_CHECK(writer.out_.good(),
+                 "wal: failed writing header to '" + path + "'");
+  return writer;
+}
+
+Writer Writer::open_for_append(const std::string& path, ReadResult* out) {
+  ReadResult read = read_journal(path);
+  if (read.salvaged()) {
+    std::error_code ec;
+    std::filesystem::resize_file(path, read.valid_bytes, ec);
+    PARADIGM_CHECK(!ec, "wal: cannot truncate torn tail of '" + path + "'");
+  }
+
+  Writer writer;
+  writer.path_ = path;
+  writer.out_.open(path, std::ios::binary | std::ios::in | std::ios::out |
+                             std::ios::ate);
+  PARADIGM_CHECK(writer.out_.good(),
+                 "wal: cannot reopen journal '" + path + "' for append");
+  if (out != nullptr) *out = std::move(read);
+  return writer;
+}
+
+void Writer::append(std::string_view payload) {
+  const bool crash_now = crash_ != nullptr && crash_->charge();
+  if (crash_now && !crash_->torn()) {
+    throw CrashInjected(crash_->appends());
+  }
+
+  const std::string head = record_header(payload);
+  if (crash_now) {
+    // Torn mode: durably write the record header plus a payload prefix,
+    // then crash — recovery must see and truncate exactly this tail.
+    out_.write(head.data(), static_cast<std::streamsize>(head.size()));
+    const std::size_t partial = payload.size() / 2;
+    out_.write(payload.data(), static_cast<std::streamsize>(partial));
+    out_.flush();
+    throw CrashInjected(crash_->appends());
+  }
+
+  out_.write(head.data(), static_cast<std::streamsize>(head.size()));
+  out_.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  out_.flush();
+  PARADIGM_CHECK(out_.good(),
+                 "wal: append to '" + path_ + "' failed (disk error?)");
+  ++appended_;
+}
+
+}  // namespace paradigm::wal

@@ -1,0 +1,175 @@
+// Append-only, checksummed write-ahead journal (DESIGN §12).
+//
+// The durability substrate under the compilation service: a journal is
+// a binary file of length-prefixed, CRC32-checksummed records behind a
+// versioned header. The format is deliberately dumb — no compaction, no
+// index, no mmap — because the recovery contract is the whole point:
+//
+//   * every record is either fully durable or invisible — a reader
+//     stops at the first record whose length or checksum does not
+//     verify, and opening for append truncates that torn tail, so a
+//     crash mid-write can never corrupt earlier records;
+//   * corruption is *structured*: a flipped bit yields a salvaged
+//     prefix plus a diagnostic naming the failing record, never a
+//     crash, a hang, or silently wrong payload bytes;
+//   * the format version is checked on open — a journal written by a
+//     newer build is a UsageError (exit 2), never a misparse.
+//
+// Layout. Header (16 bytes): 8-byte magic "PDGM-WAL", u32 LE format
+// version, u32 CRC32 over magic+version. Record: u32 LE payload
+// length, u32 CRC32 over the payload, payload bytes. All integers are
+// little-endian regardless of host.
+//
+// Crash injection. CrashPoint is the deterministic fault hook for the
+// durability layer, the same discipline CancelToken applies to compute:
+// a logical counter of durable appends, armed to trip after the N-th.
+// A tripped append throws CrashInjected before (clean mode) or midway
+// through (torn mode) writing its bytes, so tests can crash the
+// service at *every* record boundary of a run and assert recovery.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace paradigm::wal {
+
+/// Journal format version written by this build. Bump on any layout
+/// or record-vocabulary change; readers reject newer versions.
+constexpr std::uint32_t kFormatVersion = 1;
+
+/// 8-byte file magic.
+inline constexpr char kMagic[8] = {'P', 'D', 'G', 'M', '-', 'W', 'A', 'L'};
+
+constexpr std::size_t kHeaderBytes = 16;       ///< magic + version + crc.
+constexpr std::size_t kRecordHeaderBytes = 8;  ///< length + crc.
+/// Sanity bound on one record; a longer length prefix is treated as a
+/// torn/corrupt tail rather than attempted.
+constexpr std::uint32_t kMaxRecordBytes = 1u << 24;
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of `size` bytes.
+std::uint32_t crc32(const void* data, std::size_t size);
+
+/// Thrown by a Writer whose CrashPoint tripped. Derives from Error so
+/// an unexpected leak still surfaces as a structured failure, but the
+/// service/CLI catch it first and map it to the crash exit code (23).
+class CrashInjected : public Error {
+ public:
+  explicit CrashInjected(std::uint64_t durable_appends);
+  std::uint64_t durable_appends() const { return durable_appends_; }
+
+ private:
+  std::uint64_t durable_appends_;
+};
+
+/// Deterministic crash-injection hook: counts durable appends the way
+/// CancelToken counts work ticks, and trips the append after the armed
+/// budget. Shared (not owned) by every Writer of one durability domain
+/// so snapshot writes count toward the same boundary sequence.
+class CrashPoint {
+ public:
+  CrashPoint() = default;
+
+  /// Arms the hook: exactly `after` further appends complete, then the
+  /// next one throws CrashInjected. With `torn`, the tripping append
+  /// first writes a partial record (length prefix + truncated payload)
+  /// so recovery must also exercise torn-tail truncation.
+  void arm(std::uint64_t after, bool torn = false) {
+    armed_ = true;
+    budget_ = after;
+    torn_ = torn;
+  }
+
+  bool armed() const { return armed_; }
+  bool torn() const { return torn_; }
+  std::uint64_t appends() const { return appends_; }
+
+  /// Charges one append. Returns true when this append must crash.
+  bool charge() {
+    if (!armed_) {
+      ++appends_;
+      return false;
+    }
+    if (budget_ == 0) return true;
+    --budget_;
+    ++appends_;
+    return false;
+  }
+
+ private:
+  bool armed_ = false;
+  bool torn_ = false;
+  std::uint64_t budget_ = 0;
+  std::uint64_t appends_ = 0;
+};
+
+/// What reading a journal produced: the valid record prefix plus the
+/// salvage accounting when the file had a torn or corrupt tail.
+struct ReadResult {
+  std::vector<std::string> records;  ///< Payloads, in append order.
+  std::uint32_t version = kFormatVersion;
+  std::uint64_t valid_bytes = 0;     ///< Header + verified records.
+  std::uint64_t total_bytes = 0;     ///< On-disk file size at read.
+  /// Human-readable reason the tail was dropped; empty when clean.
+  std::string salvage_detail;
+
+  bool salvaged() const { return valid_bytes < total_bytes; }
+  std::uint64_t salvaged_bytes() const { return total_bytes - valid_bytes; }
+};
+
+/// Reads and verifies a journal. Throws Error when the file is missing
+/// or its header is unreadable/corrupt, and UsageError when the header
+/// carries a format version newer than this build. A torn or corrupt
+/// record tail is NOT an error: reading stops there and the result
+/// carries the salvaged prefix plus the diagnostic.
+ReadResult read_journal(const std::string& path);
+
+/// Append-side handle. Not copyable; all writes flush before
+/// returning so a record is durable (w.r.t. process crash) once
+/// append() returns.
+class Writer {
+ public:
+  /// Creates a fresh journal at `path` (header only). Fails if a
+  /// non-empty journal already exists — callers decide overwrite
+  /// policy explicitly. `version` is parameterized for tests.
+  static Writer create(const std::string& path,
+                       std::uint32_t version = kFormatVersion);
+
+  /// Opens an existing journal for append: verifies the header,
+  /// truncates any torn/corrupt tail, and positions at the end of the
+  /// valid prefix. When `out` is non-null it receives the verified
+  /// records (the replay source for recovery).
+  static Writer open_for_append(const std::string& path,
+                                ReadResult* out = nullptr);
+
+  Writer(Writer&&) = default;
+  Writer& operator=(Writer&&) = default;
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  /// Appends one checksummed record and flushes. Throws CrashInjected
+  /// when the attached CrashPoint trips (clean: nothing written; torn:
+  /// a partial record written and flushed first).
+  void append(std::string_view payload);
+
+  /// Records appended through this Writer (not the on-disk total).
+  std::uint64_t appended() const { return appended_; }
+
+  /// Attaches the deterministic crash hook (not owned; may be null).
+  void set_crash_point(CrashPoint* point) { crash_ = point; }
+
+ private:
+  Writer() = default;
+
+  std::ofstream out_;
+  std::string path_;
+  std::uint64_t appended_ = 0;
+  CrashPoint* crash_ = nullptr;
+};
+
+}  // namespace paradigm::wal

@@ -131,6 +131,19 @@ JobFile parse_job_file(std::istream& in) {
   return file;
 }
 
+std::string write_job_line(const JobSpec& spec) {
+  std::ostringstream out;
+  out << "job id=" << spec.id << " graph=" << to_string(spec.graph)
+      << " seed=" << spec.seed << " nodes=" << spec.nodes
+      << " p=" << spec.processors << " arrival=" << spec.arrival
+      << " deadline=" << spec.deadline << " stall=" << spec.stall_limit
+      << " class=" << spec.job_class;
+  // retries=-1 means "service default" and has no line syntax (the
+  // parser only accepts unsigned values); omitting the key restores it.
+  if (spec.retries >= 0) out << " retries=" << spec.retries;
+  return out.str();
+}
+
 mdg::Mdg build_job_graph(const JobSpec& spec) {
   switch (spec.graph) {
     case GraphKind::kRandom: {

@@ -77,6 +77,11 @@ JobSpec parse_job_line(const std::string& line);
 /// with the 1-based line number on any malformed line.
 JobFile parse_job_file(std::istream& in);
 
+/// Serializes a spec back to a `job ...` line such that
+/// parse_job_line(write_job_line(s)) reproduces `s` exactly. This is
+/// the journal's submit-record body (DESIGN §12).
+std::string write_job_line(const JobSpec& spec);
+
 /// Materializes the job's MDG from its generator + seed.
 mdg::Mdg build_job_graph(const JobSpec& spec);
 

@@ -1,0 +1,339 @@
+#include "svc/persist.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/log.hpp"
+
+namespace paradigm::svc {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Splits "key=value"; fails loudly on anything else — a CRC-valid
+/// record with a malformed body means a logic bug, not disk damage.
+std::pair<std::string, std::string> split_kv(const std::string& token) {
+  const auto eq = token.find('=');
+  PARADIGM_CHECK(eq != std::string::npos,
+                 "persist: malformed record token '" + token + "'");
+  return {token.substr(0, eq), token.substr(eq + 1)};
+}
+
+std::uint64_t parse_u64(const std::string& key, const std::string& value) {
+  PARADIGM_CHECK(!value.empty() &&
+                     value.find_first_not_of("0123456789") == std::string::npos,
+                 "persist: bad unsigned value for '" + key + "': '" + value +
+                     "'");
+  return std::stoull(value);
+}
+
+/// Reads the two leading `index=I attempt=N` fields of a start/exec
+/// record and returns the rest of the payload (the memo body).
+std::string parse_keyed_prefix(const std::string& payload, const char* tag,
+                               std::size_t* index, std::size_t* attempt) {
+  std::istringstream in(payload);
+  std::string tok;
+  in >> tok;
+  PARADIGM_CHECK(tok == tag, "persist: expected '" << tag << "' record");
+  in >> tok;
+  auto [k1, v1] = split_kv(tok);
+  PARADIGM_CHECK(k1 == "index", "persist: " << tag << " missing index");
+  *index = static_cast<std::size_t>(parse_u64(k1, v1));
+  in >> tok;
+  auto [k2, v2] = split_kv(tok);
+  PARADIGM_CHECK(k2 == "attempt", "persist: " << tag << " missing attempt");
+  *attempt = static_cast<std::size_t>(parse_u64(k2, v2));
+  std::string rest;
+  std::getline(in, rest);
+  const auto first = rest.find_first_not_of(' ');
+  return first == std::string::npos ? std::string() : rest.substr(first);
+}
+
+std::string outcome_key(const std::string& id, std::size_t attempt) {
+  return id + "#" + std::to_string(attempt);
+}
+
+/// Snapshot file name convention: snapshot-<cover>.snap in the journal
+/// directory. Returns the covered record count, or -1 for other files.
+std::int64_t snapshot_cover_of(const fs::path& path) {
+  const std::string name = path.filename().string();
+  constexpr const char* kPrefix = "snapshot-";
+  constexpr const char* kSuffix = ".snap";
+  if (name.rfind(kPrefix, 0) != 0) return -1;
+  if (name.size() <= std::strlen(kPrefix) + std::strlen(kSuffix)) return -1;
+  if (name.substr(name.size() - std::strlen(kSuffix)) != kSuffix) return -1;
+  const std::string digits = name.substr(
+      std::strlen(kPrefix),
+      name.size() - std::strlen(kPrefix) - std::strlen(kSuffix));
+  if (digits.empty() ||
+      digits.find_first_not_of("0123456789") != std::string::npos) {
+    return -1;
+  }
+  return static_cast<std::int64_t>(std::stoull(digits));
+}
+
+}  // namespace
+
+Persistence::Persistence(PersistConfig config) : config_(std::move(config)) {
+  PARADIGM_CHECK(!config_.dir.empty(), "persist: journal directory required");
+  std::error_code ec;
+  fs::create_directories(config_.dir, ec);
+  PARADIGM_CHECK(!ec, "persist: cannot create journal directory '" +
+                          config_.dir + "'");
+  const std::string path = journal_path();
+  const auto size = fs::file_size(path, ec);
+  const bool exists = !ec && size > 0;
+
+  if (!config_.recover) {
+    if (exists) {
+      throw UsageError(
+          "journal already exists at '" + path +
+          "' -- pass --recover to continue it, or point --journal at a "
+          "fresh directory");
+    }
+    journal_ = wal::Writer::create(path);
+    journal_->set_crash_point(config_.crash);
+    return;
+  }
+
+  if (!exists) {
+    throw UsageError("--recover: no journal found at '" + path + "'");
+  }
+  load_snapshot_if_any();
+  wal::ReadResult read;
+  journal_ = wal::Writer::open_for_append(path, &read);
+  journal_->set_crash_point(config_.crash);
+  stats_.format_version = read.version;
+  stats_.journal_records = read.records.size();
+  if (read.salvaged()) {
+    stats_.salvaged_bytes = read.salvaged_bytes();
+    stats_.salvage_detail = read.salvage_detail;
+    log_info("persist: salvaged journal prefix (", read.salvage_detail,
+             "; dropped ", stats_.salvaged_bytes, " bytes)");
+  }
+  // Replay only the records the snapshot does not already cover. A
+  // journal salvage-truncated below the cover contributes nothing; the
+  // snapshot (written from then-durable state) stands in for it.
+  std::size_t replay_from = 0;
+  if (stats_.snapshot_loaded >= 0) {
+    replay_from = std::min(
+        read.records.size(),
+        static_cast<std::size_t>(stats_.snapshot_loaded));
+  }
+  for (std::size_t i = replay_from; i < read.records.size(); ++i) {
+    apply_record(read.records[i], /*from_snapshot=*/false);
+  }
+  records_on_disk_ = read.records.size();
+  jobs_journaled_ = recovered_jobs_.size();
+  stats_.exec_memos = memos_.size();
+}
+
+std::string Persistence::journal_path() const {
+  return (fs::path(config_.dir) / "journal.wal").string();
+}
+
+void Persistence::load_snapshot_if_any() {
+  std::vector<std::pair<std::int64_t, fs::path>> candidates;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(config_.dir, ec)) {
+    const std::int64_t cover = snapshot_cover_of(entry.path());
+    if (cover >= 0) candidates.emplace_back(cover, entry.path());
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  for (const auto& [cover, path] : candidates) {
+    wal::ReadResult read;
+    try {
+      read = wal::read_journal(path.string());
+    } catch (const Error&) {
+      continue;  // Unreadable header: ignore, try an older snapshot.
+    }
+    // A valid snapshot is structurally complete: cover first, `end`
+    // last. Anything else (torn write, crash mid-snapshot) is skipped.
+    if (read.salvaged() || read.records.size() < 2 ||
+        read.records.front().rfind("cover ", 0) != 0 ||
+        read.records.back() != "end") {
+      continue;
+    }
+    std::istringstream in(read.records.front());
+    std::string tag, tok;
+    in >> tag >> tok;
+    const auto [key, value] = split_kv(tok);
+    PARADIGM_CHECK(key == "records", "persist: malformed cover record");
+    PARADIGM_CHECK(parse_u64(key, value) == static_cast<std::uint64_t>(cover),
+                   "persist: snapshot '" << path.string()
+                                         << "' cover disagrees with its name");
+    for (std::size_t i = 1; i + 1 < read.records.size(); ++i) {
+      apply_record(read.records[i], /*from_snapshot=*/true);
+    }
+    stats_.snapshot_loaded = cover;
+    log_info("persist: loaded snapshot covering ", cover,
+             " journal records from ", path.string());
+    return;
+  }
+}
+
+void Persistence::apply_record(const std::string& payload,
+                               bool from_snapshot) {
+  std::istringstream in(payload);
+  std::string tag;
+  in >> tag;
+  if (tag == "job") {
+    recovered_jobs_.push_back(parse_job_line(payload));
+  } else if (tag == "drain") {
+    DrainSpec drain;
+    std::string tok;
+    while (in >> tok) {
+      const auto [key, value] = split_kv(tok);
+      if (key == "at") {
+        drain.at = parse_u64(key, value);
+      } else if (key == "grace") {
+        drain.grace = parse_u64(key, value);
+      } else {
+        PARADIGM_FAIL("persist: unknown drain key '" << key << "'");
+      }
+    }
+    recovered_drain_ = drain;
+  } else if (tag == "start") {
+    // Audit-only: slot assignment carries no replay state.
+  } else if (tag == "exec") {
+    std::size_t index = 0;
+    std::size_t attempt = 0;
+    const std::string body =
+        parse_keyed_prefix(payload, "exec", &index, &attempt);
+    memos_[ExecKey{index, attempt}] = core::RunMemo::decode(body);
+  } else if (tag == "outcome") {
+    // Only the identity matters on replay; the ledger is regenerated.
+    std::string tok;
+    in >> tok;
+    const auto [k1, id] = split_kv(tok);
+    PARADIGM_CHECK(k1 == "job", "persist: outcome record missing job=");
+    in >> tok;
+    const auto [k2, attempt] = split_kv(tok);
+    PARADIGM_CHECK(k2 == "attempt",
+                   "persist: outcome record missing attempt=");
+    done_outcomes_.insert(
+        outcome_key(id, static_cast<std::size_t>(parse_u64(k2, attempt))));
+  } else if (tag == "done") {
+    PARADIGM_CHECK(from_snapshot, "persist: 'done' outside a snapshot");
+    std::string tok;
+    in >> tok;
+    const auto [key, value] = split_kv(tok);
+    PARADIGM_CHECK(key == "key", "persist: malformed done record");
+    done_outcomes_.insert(value);
+  } else {
+    PARADIGM_FAIL("persist: unknown record tag '" << tag << "'");
+  }
+}
+
+void Persistence::append(const std::string& payload) {
+  journal_->append(payload);
+  ++records_on_disk_;
+  ++stats_.appended_records;
+}
+
+void Persistence::begin_run(const std::vector<JobSpec>& submitted,
+                            const DrainSpec* drain) {
+  PARADIGM_CHECK(submitted.size() >= jobs_journaled_,
+                 "persist: run submits fewer jobs ("
+                     << submitted.size() << ") than the journal holds ("
+                     << jobs_journaled_ << ")");
+  for (std::size_t i = 0; i < jobs_journaled_; ++i) {
+    PARADIGM_CHECK(submitted[i].id == recovered_jobs_[i].id,
+                   "persist: submitted job "
+                       << i << " ('" << submitted[i].id
+                       << "') does not match the journaled submission ('"
+                       << recovered_jobs_[i].id << "')");
+  }
+  for (std::size_t i = jobs_journaled_; i < submitted.size(); ++i) {
+    append(write_job_line(submitted[i]));
+    recovered_jobs_.push_back(submitted[i]);
+  }
+  jobs_journaled_ = submitted.size();
+  if (drain != nullptr && !recovered_drain_.has_value()) {
+    append("drain at=" + std::to_string(drain->at) +
+           " grace=" + std::to_string(drain->grace));
+    recovered_drain_ = *drain;
+  }
+}
+
+void Persistence::journal_start(std::size_t job_index, std::size_t attempt,
+                                std::uint64_t at, std::uint64_t cap) {
+  append("start index=" + std::to_string(job_index) +
+         " attempt=" + std::to_string(attempt) + " at=" + std::to_string(at) +
+         " cap=" + std::to_string(cap));
+}
+
+void Persistence::journal_exec(std::size_t job_index, std::size_t attempt,
+                               const core::RunMemo& memo) {
+  const ExecKey key{job_index, attempt};
+  PARADIGM_CHECK(memos_.find(key) == memos_.end(),
+                 "persist: duplicate exec record for job index "
+                     << job_index << " attempt " << attempt
+                     << " (exactly-once violated)");
+  append("exec index=" + std::to_string(job_index) +
+         " attempt=" + std::to_string(attempt) + " " + memo.encode());
+  memos_[key] = memo;
+  if (config_.snapshot_every > 0 &&
+      ++execs_since_snapshot_ >= config_.snapshot_every) {
+    write_snapshot();
+    execs_since_snapshot_ = 0;
+  }
+}
+
+void Persistence::journal_outcome(const JobResult& result) {
+  const std::string key = outcome_key(result.id, result.attempt);
+  if (done_outcomes_.count(key) != 0) return;
+  // The ledger line already starts with "job=<id> attempt=<n> ..." and
+  // is single-line, so it doubles as the outcome record body.
+  append("outcome " + result.ledger_line());
+  done_outcomes_.insert(key);
+}
+
+const core::RunMemo* Persistence::find_memo(std::size_t job_index,
+                                            std::size_t attempt) {
+  const auto it = memos_.find(ExecKey{job_index, attempt});
+  if (it == memos_.end()) return nullptr;
+  ++stats_.memo_hits;
+  return &it->second;
+}
+
+void Persistence::write_snapshot() {
+  const std::uint64_t cover = records_on_disk_;
+  const fs::path final_path =
+      fs::path(config_.dir) / ("snapshot-" + std::to_string(cover) + ".snap");
+  const fs::path tmp_path = final_path.string() + ".tmp";
+  std::error_code ec;
+  fs::remove(tmp_path, ec);  // A stale tmp from a crashed snapshot.
+  {
+    wal::Writer snap = wal::Writer::create(tmp_path.string());
+    snap.set_crash_point(config_.crash);
+    snap.append("cover records=" + std::to_string(cover));
+    for (const JobSpec& spec : recovered_jobs_) {
+      snap.append(write_job_line(spec));
+    }
+    if (recovered_drain_.has_value()) {
+      snap.append("drain at=" + std::to_string(recovered_drain_->at) +
+                  " grace=" + std::to_string(recovered_drain_->grace));
+    }
+    for (const auto& [key, memo] : memos_) {
+      snap.append("exec index=" + std::to_string(key.first) +
+                  " attempt=" + std::to_string(key.second) + " " +
+                  memo.encode());
+    }
+    for (const std::string& done : done_outcomes_) {
+      snap.append("done key=" + done);
+    }
+    snap.append("end");
+  }
+  fs::rename(tmp_path, final_path, ec);
+  PARADIGM_CHECK(!ec, "persist: cannot publish snapshot '" +
+                          final_path.string() + "'");
+  ++stats_.snapshots_written;
+}
+
+}  // namespace paradigm::svc

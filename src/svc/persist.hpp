@@ -1,0 +1,147 @@
+// Service persistence: journal + snapshot + recovery (DESIGN §12).
+//
+// Persistence turns the deterministic service event loop into a
+// crash-safe one. During a run it appends one WAL record per lifecycle
+// event — submit, drain directive, attempt start, attempt execution
+// digest, terminal outcome — and every `snapshot_every` execution
+// digests it writes a snapshot file summarizing the journal prefix so
+// recovery never replays an unbounded history.
+//
+// Recovery model. The service loop is a pure function of its inputs
+// (submitted specs in order + the drain directive), so recovery does
+// not restore queues or slots: it re-runs the loop from the journaled
+// inputs and serves every attempt whose execution digest (core::RunMemo)
+// is already durable from that memo instead of re-running the pipeline.
+// Determinism makes the re-run reach the same decisions; memoization
+// makes it exactly-once: the only attempts that execute twice are those
+// that ran but crashed before their digest record hit the disk —
+// unavoidable for any write-ahead scheme, and harmless because the
+// re-execution is bit-identical. The post-recovery ledger is therefore
+// byte-identical to the crash-free run's.
+//
+// Record vocabulary (first token of the payload):
+//   job <spec>                            submit, in submission order
+//   drain at=A grace=G                    at most one
+//   start index=I attempt=N at=T cap=C    attempt entered a slot
+//   exec index=I attempt=N <memo>         execution digest (the memo)
+//   outcome id=.. attempt=.. result=..    terminal ledger event
+// Snapshot files (snapshot-<K>.snap, WAL format, temp+rename) carry:
+//   cover records=K / job* / drain? / exec* / done* / end
+// where `done` pins already-journaled outcome keys so a recovered run
+// does not re-append them. A snapshot without its `end` record (crash
+// mid-snapshot) is ignored; recovery falls back to the next older one
+// or to plain journal replay.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "support/wal.hpp"
+#include "svc/job.hpp"
+
+namespace paradigm::svc {
+
+struct PersistConfig {
+  std::string dir;  ///< Journal directory (must exist).
+  /// Execution digests between snapshots; 0 disables snapshots.
+  std::size_t snapshot_every = 64;
+  /// Recover from an existing journal instead of starting fresh. A
+  /// fresh start refuses to overwrite an existing journal (UsageError)
+  /// and recovery refuses a missing one.
+  bool recover = false;
+  /// Deterministic crash hook shared by journal and snapshot writers
+  /// (not owned; may be null).
+  wal::CrashPoint* crash = nullptr;
+};
+
+/// Durability accounting for reports, tests, and the CLI exit policy.
+struct PersistStats {
+  std::uint32_t format_version = wal::kFormatVersion;
+  std::uint64_t journal_records = 0;  ///< Valid records at open.
+  std::uint64_t salvaged_bytes = 0;   ///< Torn/corrupt tail dropped.
+  std::string salvage_detail;         ///< Why, when salvaged_bytes > 0.
+  std::int64_t snapshot_loaded = -1;  ///< Cover K of the snapshot used.
+  std::size_t exec_memos = 0;         ///< Digests available at open.
+  std::size_t memo_hits = 0;          ///< Digests served this run.
+  std::uint64_t appended_records = 0; ///< Journal appends this run.
+  std::size_t snapshots_written = 0;
+};
+
+/// One service run's durability session. Construct before Service::run,
+/// attach via Service::attach_persistence, and (on recovery) seed the
+/// service from recovered_jobs()/recovered_drain().
+class Persistence {
+ public:
+  explicit Persistence(PersistConfig config);
+
+  /// Journaled inputs recovered at open (empty on a fresh start).
+  const std::vector<JobSpec>& recovered_jobs() const {
+    return recovered_jobs_;
+  }
+  const std::optional<DrainSpec>& recovered_drain() const {
+    return recovered_drain_;
+  }
+
+  // --- Hooks called by Service::run (in event-loop order) ---
+
+  /// Journals the run's inputs: every spec not already durable plus the
+  /// drain directive. Checks that the already-durable prefix matches
+  /// `submitted` id-for-id, so a recovered run cannot silently diverge
+  /// from the journal it claims to continue.
+  void begin_run(const std::vector<JobSpec>& submitted,
+                 const DrainSpec* drain);
+
+  /// Journals a slot assignment (no replay effect; an audit record and
+  /// a crash boundary inside the start->exec window).
+  void journal_start(std::size_t job_index, std::size_t attempt,
+                     std::uint64_t at, std::uint64_t cap);
+
+  /// Journals an execution digest; the exactly-once pivot. Duplicate
+  /// (job_index, attempt) keys are an internal error. May write a
+  /// snapshot as a side effect (every snapshot_every digests).
+  void journal_exec(std::size_t job_index, std::size_t attempt,
+                    const core::RunMemo& memo);
+
+  /// Journals a terminal ledger event, unless that (id, attempt) was
+  /// already durable before recovery.
+  void journal_outcome(const JobResult& result);
+
+  /// The digest for (job_index, attempt) when it is already durable,
+  /// else null. A hit counts into stats().memo_hits.
+  const core::RunMemo* find_memo(std::size_t job_index,
+                                 std::size_t attempt);
+
+  const PersistStats& stats() const { return stats_; }
+  std::string journal_path() const;
+
+ private:
+  using ExecKey = std::pair<std::size_t, std::size_t>;
+
+  void load_snapshot_if_any();
+  void apply_record(const std::string& payload, bool from_snapshot);
+  void append(const std::string& payload);
+  void write_snapshot();
+
+  PersistConfig config_;
+  std::optional<wal::Writer> journal_;
+  PersistStats stats_;
+
+  // Durable state mirror (recovered at open, extended by appends);
+  // exactly what a snapshot must contain to stand in for the journal
+  // prefix it covers.
+  std::vector<JobSpec> recovered_jobs_;   ///< All durable submits.
+  std::optional<DrainSpec> recovered_drain_;
+  std::map<ExecKey, core::RunMemo> memos_;
+  std::set<std::string> done_outcomes_;   ///< "id#attempt" keys.
+
+  std::uint64_t records_on_disk_ = 0;  ///< Valid journal records now.
+  std::size_t jobs_journaled_ = 0;     ///< Submits durable (prefix len).
+  std::size_t execs_since_snapshot_ = 0;
+};
+
+}  // namespace paradigm::svc

@@ -12,6 +12,7 @@
 #include "support/log.hpp"
 #include "support/parallel.hpp"
 #include "support/rng.hpp"
+#include "svc/persist.hpp"
 
 namespace paradigm::svc {
 namespace {
@@ -77,17 +78,10 @@ struct ArrivalOrder {
 };
 
 /// What one pipeline run produced, reduced to value types so it can
-/// outlive the job's (locally built) MDG.
-struct Executed {
-  bool failed = false;
-  bool cancelled = false;
-  CancelReason reason = CancelReason::kNone;
-  degrade::DegradationLevel level = degrade::DegradationLevel::kNone;
-  double phi = 0.0;
-  double mpmd_simulated = 0.0;
-  std::uint64_t ticks = 0;  ///< Committed work ticks.
-  std::string detail;
-};
+/// outlive the job's (locally built) MDG — exactly the durable digest
+/// the journal stores, so a memoized replay is indistinguishable from
+/// the original execution.
+using Executed = core::RunMemo;
 
 /// A slot-occupying attempt with its computed completion time.
 struct Running {
@@ -236,6 +230,13 @@ ServiceReport Service::run() {
   const auto wall_start = std::chrono::steady_clock::now();
   const bool record = obs::enabled();
 
+  // Make the run's inputs durable before any event fires: once
+  // begin_run returns, a crash at any later point can be recovered by
+  // replaying these records through a fresh event loop (DESIGN §12).
+  if (persist_ != nullptr) {
+    persist_->begin_run(submitted_, has_drain_ ? &drain_ : nullptr);
+  }
+
   ServiceReport report;
   report.drained = has_drain_;
 
@@ -321,6 +322,7 @@ ServiceReport Service::run() {
         if (record) svc_metrics().failed.add_unchecked(1);
         break;
     }
+    if (persist_ != nullptr) persist_->journal_outcome(r);
     report.results.push_back(std::move(r));
   };
 
@@ -427,11 +429,45 @@ ServiceReport Service::run() {
     if (record) {
       svc_metrics().started.add_unchecked(batch.size());
     }
-    const std::vector<Executed> executed = parallel_map<Executed>(
-        batch.size(), [&](std::size_t i) {
+    // Split the batch into attempts already durable in the journal
+    // (served from their memoized digest — the exactly-once shortcut)
+    // and attempts that must actually run. Start records land before
+    // the pipeline runs, digests after, so every append is a crash
+    // boundary the recovery soak exercises.
+    std::vector<const Executed*> memos(batch.size(), nullptr);
+    std::vector<std::size_t> to_run;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (persist_ != nullptr) {
+        memos[i] = persist_->find_memo(batch[i].attempt.job_index,
+                                       batch[i].attempt.attempt);
+      }
+      if (memos[i] == nullptr) {
+        if (persist_ != nullptr) {
+          persist_->journal_start(batch[i].attempt.job_index,
+                                  batch[i].attempt.attempt, now,
+                                  batch[i].cap);
+        }
+        to_run.push_back(i);
+      }
+    }
+    std::vector<Executed> executed(batch.size());
+    const std::vector<Executed> fresh = parallel_map<Executed>(
+        to_run.size(), [&](std::size_t k) {
+          const std::size_t i = to_run[k];
           return execute_attempt(config_, batch[i].attempt, batch[i].cap,
                                  batch[i].stall);
         });
+    report.pipeline_runs += to_run.size();
+    for (std::size_t k = 0; k < to_run.size(); ++k) {
+      executed[to_run[k]] = fresh[k];
+      if (persist_ != nullptr) {
+        persist_->journal_exec(batch[to_run[k]].attempt.job_index,
+                               batch[to_run[k]].attempt.attempt, fresh[k]);
+      }
+    }
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (memos[i] != nullptr) executed[i] = *memos[i];
+    }
     for (std::size_t i = 0; i < batch.size(); ++i) {
       Running r;
       r.attempt = std::move(batch[i].attempt);

@@ -38,6 +38,8 @@
 
 namespace paradigm::svc {
 
+class Persistence;
+
 /// Service tuning. Defaults favor small deterministic test corpora;
 /// the CLI exposes each knob as --svc-*.
 struct ServiceConfig {
@@ -83,6 +85,11 @@ struct ServiceReport {
   std::size_t failed = 0;
   std::size_t retries = 0;       ///< Retry attempts scheduled.
   std::size_t breaker_opens = 0;
+  /// Pipeline attempts actually executed this run (memoized replays
+  /// excluded). Not part of the ledger — with persistence, recovery's
+  /// pipeline_runs + memo hits must equal the crash-free run's
+  /// pipeline_runs (the exactly-once accounting, DESIGN §12).
+  std::size_t pipeline_runs = 0;
   bool drained = false;          ///< A drain directive was applied.
   double wallclock_ms = -1.0;    ///< < 0: omitted from the ledger.
 
@@ -117,6 +124,12 @@ class Service {
   /// rejected; jobs still in flight at `at` get `grace` more ticks.
   void drain_at(std::uint64_t at, std::uint64_t grace);
 
+  /// Attaches the durability session (DESIGN §12; not owned, may be
+  /// null). run() then journals every lifecycle event through it and
+  /// serves already-durable attempts from their memoized digests. Must
+  /// outlive run().
+  void attach_persistence(Persistence* persist) { persist_ = persist; }
+
   /// Runs the deterministic event loop over everything submitted.
   ServiceReport run();
 
@@ -128,6 +141,7 @@ class Service {
   bool has_drain_ = false;
   DrainSpec drain_;
   bool ran_ = false;
+  Persistence* persist_ = nullptr;
 };
 
 }  // namespace paradigm::svc

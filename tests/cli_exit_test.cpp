@@ -1,10 +1,14 @@
-// Exit-code contract regression for paradigm_cli (DESIGN §11):
+// Exit-code contract regression for paradigm_cli (DESIGN §11/§12):
 //
 //   0      clean run; also --help and --version
 //   1      hard error
-//   2      command-line usage error (unknown flag, malformed value)
+//   2      command-line usage error (unknown flag, malformed value,
+//          journal misuse, newer journal format version)
 //   10+L   valid-but-degraded result at ladder rung L (10..15)
 //   20/21/22  service: rejected-or-shed / cancelled / failed
+//   23     durability: deterministic injected crash at a journal append
+//   24     durability: clean result after salvaging a torn/corrupt
+//          journal tail on recovery
 //
 // These bands are what scripts and CI key on, so they are locked here
 // by invoking the real binary.
@@ -12,8 +16,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <string>
+
+#include "support/wal.hpp"
 
 namespace {
 
@@ -26,11 +33,33 @@ int run_cli(const std::string& args) {
   return WEXITSTATUS(status);
 }
 
+/// Captures stdout (for the --version format lock).
+std::string run_cli_stdout(const std::string& args) {
+  const std::string command =
+      std::string(PARADIGM_CLI_PATH) + " " + args + " 2>/dev/null";
+  FILE* pipe = popen(command.c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  std::string out;
+  char buffer[256];
+  while (fgets(buffer, sizeof(buffer), pipe) != nullptr) out += buffer;
+  pclose(pipe);
+  return out;
+}
+
 std::string write_temp_jobs(const char* name, const std::string& body) {
   const std::string path =
       std::string(::testing::TempDir()) + "cli_exit_" + name + ".jobs";
   std::ofstream out(path);
   out << body;
+  return path;
+}
+
+/// A fresh journal directory per test (removed up-front, not after, so
+/// a failing test leaves its journal behind for inspection).
+std::string temp_journal_dir(const char* name) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "cli_exit_journal_" + name;
+  std::filesystem::remove_all(path);
   return path;
 }
 
@@ -84,6 +113,85 @@ TEST(CliExit, ServeFailedIs22) {
   const std::string path =
       write_temp_jobs("failed", "job id=a seed=3 nodes=8 p=5\n");
   EXPECT_EQ(run_cli("--serve=" + path + " --mode=static --noise=0"), 22);
+}
+
+// ---- Durability band (DESIGN §12) -------------------------------------------
+
+TEST(CliExit, VersionPrintsJournalFormat) {
+  const std::string out = run_cli_stdout("--version");
+  EXPECT_NE(out.find("journal format v" +
+                     std::to_string(paradigm::wal::kFormatVersion)),
+            std::string::npos)
+      << out;
+}
+
+TEST(CliExit, InjectedCrashIs23AndRecoverIsZero) {
+  const std::string jobs = write_temp_jobs(
+      "crash23", "job id=a seed=3 nodes=8 p=8\njob id=b seed=4 nodes=8 p=8\n");
+  const std::string dir = temp_journal_dir("crash23");
+  EXPECT_EQ(run_cli("--serve=" + jobs + " --journal=" + dir +
+                    " --mode=static --noise=0 --inject-crash=3"),
+            23);
+  EXPECT_EQ(run_cli("--recover --journal=" + dir +
+                    " --mode=static --noise=0"),
+            0);
+}
+
+TEST(CliExit, TornCrashRecoveryWithSalvageIs24) {
+  const std::string jobs =
+      write_temp_jobs("salvage24", "job id=a seed=3 nodes=8 p=8\n");
+  const std::string dir = temp_journal_dir("salvage24");
+  EXPECT_EQ(run_cli("--serve=" + jobs + " --journal=" + dir +
+                    " --mode=static --noise=0 --inject-crash=2 "
+                    "--inject-crash-torn"),
+            23);
+  // The torn record is salvaged away: the run completes cleanly but
+  // reports 24, not 0, so the dropped bytes are visible to operators.
+  EXPECT_EQ(run_cli("--recover --journal=" + dir +
+                    " --mode=static --noise=0"),
+            24);
+}
+
+TEST(CliExit, RecoverWithoutJournalIsUsage2) {
+  EXPECT_EQ(run_cli("--recover --mode=static"), 2);
+}
+
+TEST(CliExit, RecoverFromMissingJournalIsUsage2) {
+  const std::string dir = temp_journal_dir("missing");
+  EXPECT_EQ(run_cli("--recover --journal=" + dir + " --mode=static"), 2);
+}
+
+TEST(CliExit, ExistingJournalWithoutRecoverIsUsage2) {
+  const std::string jobs =
+      write_temp_jobs("rerun", "job id=a seed=3 nodes=8 p=8\n");
+  const std::string dir = temp_journal_dir("rerun");
+  EXPECT_EQ(run_cli("--serve=" + jobs + " --journal=" + dir +
+                    " --mode=static --noise=0"),
+            0);
+  EXPECT_EQ(run_cli("--serve=" + jobs + " --journal=" + dir +
+                    " --mode=static --noise=0"),
+            2);
+}
+
+TEST(CliExit, JournalWithoutServeIsUsage2) {
+  const std::string dir = temp_journal_dir("noserve");
+  EXPECT_EQ(run_cli("--journal=" + dir + " --mode=static"), 2);
+}
+
+TEST(CliExit, InjectCrashWithoutJournalIsUsage2) {
+  const std::string jobs =
+      write_temp_jobs("injnojournal", "job id=a seed=3 nodes=8 p=8\n");
+  EXPECT_EQ(run_cli("--serve=" + jobs + " --inject-crash=1"), 2);
+}
+
+TEST(CliExit, NewerJournalFormatVersionIsUsage2) {
+  const std::string dir = temp_journal_dir("newer");
+  std::filesystem::create_directories(dir);
+  {
+    paradigm::wal::Writer w = paradigm::wal::Writer::create(
+        dir + "/journal.wal", paradigm::wal::kFormatVersion + 1);
+  }
+  EXPECT_EQ(run_cli("--recover --journal=" + dir + " --mode=static"), 2);
 }
 
 }  // namespace

@@ -1,0 +1,272 @@
+// Crash-quiescence soak (DESIGN §12, `ctest -L recovery`): a mixed
+// job corpus is run under the durability layer and deliberately
+// crashed after *every single* journal append; each crash is followed
+// by a recovery run, and the post-recovery ledger must be byte-identical
+// to the crash-free run's — at 1 and at 4 worker threads — with
+// exactly-once execution asserted per (job, attempt) from both the
+// service accounting and the journal itself. Journals of failing
+// boundaries are archived to $PARADIGM_RECOVERY_ARTIFACT_DIR.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/parallel.hpp"
+#include "support/wal.hpp"
+#include "svc/persist.hpp"
+#include "svc/service.hpp"
+
+namespace paradigm::svc {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Deterministic mixed corpus (≥50 jobs): clean runs, pathological
+/// graphs (breaker food), oversized submissions, deadline-doomed work,
+/// alternating classes — the same shape as the DESIGN §11 soak, sized
+/// so the crash-at-every-boundary sweep stays tractable.
+std::vector<JobSpec> crash_corpus() {
+  std::vector<JobSpec> jobs;
+  for (std::size_t i = 0; i < 50; ++i) {
+    JobSpec spec;
+    spec.id = "c";
+    spec.id += std::to_string(i);
+    spec.seed = 2000 + i;
+    spec.arrival = i * 30;
+    spec.processors = (i % 3 == 0) ? 4 : 8;
+    spec.nodes = 6 + (i % 4);
+    spec.job_class = (i % 4 == 0) ? "alt" : "default";
+    switch (i % 10) {
+      case 3:
+        spec.graph = GraphKind::kPathological;
+        spec.seed = 1 + (i % 7);
+        spec.processors = 5;  // Not a power of two: hard failure, feeds the breaker.
+        spec.arrival = i;     // Early arrival: fails before the drain cutoff.
+        break;
+      case 5:
+        spec.nodes = 4096;  // Rejected oversized.
+        break;
+      case 7:
+        spec.deadline = 20 + (i % 13);  // Deadline-doomed.
+        break;
+      default:
+        break;
+    }
+    jobs.push_back(std::move(spec));
+  }
+  return jobs;
+}
+
+/// Cheap pipeline settings: the sweep runs O(records × jobs) pipeline
+/// attempts, so each attempt is kept as small as determinism allows.
+ServiceConfig crash_config() {
+  ServiceConfig config;
+  config.pipeline.calibration_mode = core::CalibrationMode::kStatic;
+  config.pipeline.machine.size = 8;
+  config.pipeline.machine.noise_sigma = 0.0;
+  config.pipeline.solver.max_inner_iterations = 10;
+  config.pipeline.solver.continuation_rounds = 1;
+  config.queue_capacity = 6;
+  config.slots = 2;
+  config.max_nodes = 512;
+  config.default_deadline = 30000;
+  config.max_retries = 1;
+  config.breaker_threshold = 2;
+  config.breaker_cooldown = 400;
+  return config;
+}
+
+constexpr std::uint64_t kDrainAt = 1200;
+constexpr std::uint64_t kDrainGrace = 6000;
+/// One snapshot lands mid-run, so the sweep also crashes inside
+/// snapshot writes and recovers through (and from) snapshots.
+constexpr std::size_t kSnapshotEvery = 24;
+
+/// Submits the full corpus every run — including recovery runs. The
+/// client re-offering its inputs is the crash-quiescence contract:
+/// Persistence::begin_run prefix-checks them against the journaled
+/// submissions and journals only the not-yet-durable tail, so a crash
+/// mid-submission still recovers to the crash-free ledger.
+ServiceReport run_service(Persistence* persist) {
+  Service service(crash_config());
+  for (JobSpec& spec : crash_corpus()) service.submit(std::move(spec));
+  service.drain_at(kDrainAt, kDrainGrace);
+  if (persist != nullptr) service.attach_persistence(persist);
+  return service.run();
+}
+
+/// Asserts the journal holds exactly one exec digest per (job index,
+/// attempt) — the on-disk half of the exactly-once contract.
+void assert_unique_exec_records(const std::string& journal_path) {
+  const wal::ReadResult read = wal::read_journal(journal_path);
+  std::set<std::string> exec_keys;
+  for (const std::string& record : read.records) {
+    if (record.rfind("exec ", 0) != 0) continue;
+    std::istringstream in(record);
+    std::string tag, index, attempt;
+    in >> tag >> index >> attempt;
+    const std::string key = index + "/" + attempt;
+    EXPECT_TRUE(exec_keys.insert(key).second)
+        << "duplicate exec digest " << key << " in " << journal_path;
+  }
+}
+
+/// Asserts one terminal ledger record per (id, attempt).
+void assert_unique_ledger_records(const std::string& ledger) {
+  std::set<std::string> keys;
+  std::istringstream in(ledger);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string job, attempt;
+    fields >> job >> attempt;
+    EXPECT_TRUE(keys.insert(job + "/" + attempt).second)
+        << "duplicate ledger record: " << line;
+  }
+}
+
+/// On failure, copies the journal directory to the CI artifact
+/// directory (PARADIGM_RECOVERY_ARTIFACT_DIR) so the exact crash
+/// boundary can be replayed offline.
+void archive_on_failure(const fs::path& dir, const std::string& tag) {
+  const char* artifact_dir = std::getenv("PARADIGM_RECOVERY_ARTIFACT_DIR");
+  if (artifact_dir == nullptr || artifact_dir[0] == '\0') return;
+  std::error_code ec;
+  const fs::path dest = fs::path(artifact_dir) / tag;
+  fs::create_directories(dest, ec);
+  fs::copy(dir, dest, fs::copy_options::recursive |
+                          fs::copy_options::overwrite_existing, ec);
+}
+
+class CrashSoak : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            ("crash_soak_" + std::string(
+                                 ::testing::UnitTest::GetInstance()
+                                     ->current_test_info()
+                                     ->name()));
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+  void TearDown() override {
+    set_thread_count(0);
+    fs::remove_all(root_);
+  }
+
+  /// The full crash-at-every-boundary sweep at one thread count.
+  void sweep(std::size_t threads) {
+    set_thread_count(threads);
+
+    const ServiceReport baseline = run_service(nullptr);
+    const std::string expected = baseline.ledger();
+    assert_unique_ledger_records(expected);
+
+    // Crash-free journaled run: byte-identical ledger, and its durable
+    // append count (journal AND snapshot records, counted by an
+    // unarmed CrashPoint) defines the boundary space for the sweep.
+    const fs::path clean_dir = root_ / ("clean-t" + std::to_string(threads));
+    wal::CrashPoint probe;
+    {
+      PersistConfig pc;
+      pc.dir = clean_dir.string();
+      pc.snapshot_every = kSnapshotEvery;
+      pc.crash = &probe;
+      Persistence persist(pc);
+      const ServiceReport journaled = run_service(&persist);
+      ASSERT_EQ(journaled.ledger(), expected)
+          << "journaling changed the ledger";
+      ASSERT_EQ(journaled.pipeline_runs, baseline.pipeline_runs);
+      assert_unique_exec_records(persist.journal_path());
+    }
+    const std::uint64_t total_appends = probe.appends();
+    ASSERT_GT(total_appends, 100u) << "corpus too small to be a soak";
+
+    for (std::uint64_t boundary = 0; boundary < total_appends; ++boundary) {
+      // Torn crashes every third boundary: recovery then also has to
+      // truncate a half-written record, not just continue a clean tail.
+      const bool torn = boundary % 3 == 1;
+      const fs::path dir =
+          root_ / ("t" + std::to_string(threads) + "-b" +
+                   std::to_string(boundary));
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " boundary=" + std::to_string(boundary) +
+                   (torn ? " torn" : ""));
+
+      wal::CrashPoint crash;
+      crash.arm(boundary, torn);
+      {
+        PersistConfig pc;
+        pc.dir = dir.string();
+        pc.snapshot_every = kSnapshotEvery;
+        pc.crash = &crash;
+        Persistence persist(pc);
+        ASSERT_THROW(run_service(&persist), wal::CrashInjected);
+      }
+
+      PersistConfig pc;
+      pc.dir = dir.string();
+      pc.recover = true;
+      pc.snapshot_every = kSnapshotEvery;
+      Persistence persist(pc);
+      const ServiceReport recovered = run_service(&persist);
+      const std::string ledger = recovered.ledger();
+
+      EXPECT_EQ(ledger, expected);
+      // Exactly-once: every baseline attempt was either re-served from
+      // its durable digest or executed by the recovery run.
+      EXPECT_EQ(recovered.pipeline_runs + persist.stats().memo_hits,
+                baseline.pipeline_runs);
+      assert_unique_ledger_records(ledger);
+      assert_unique_exec_records(persist.journal_path());
+
+      if (::testing::Test::HasFailure()) {
+        archive_on_failure(dir, "t" + std::to_string(threads) + "-b" +
+                                    std::to_string(boundary));
+        FAIL() << "crash boundary " << boundary
+               << " failed; journal archived";
+      }
+      fs::remove_all(dir);  // Keep the sweep's disk footprint bounded.
+    }
+  }
+
+  fs::path root_;
+};
+
+TEST_F(CrashSoak, EveryBoundaryRecoversByteIdenticalSerial) { sweep(1); }
+
+TEST_F(CrashSoak, EveryBoundaryRecoversByteIdenticalFourThreads) {
+  sweep(4);
+}
+
+/// The corpus must genuinely exercise the service paths, otherwise the
+/// sweep proves less than it claims.
+TEST_F(CrashSoak, CorpusReachesDiverseOutcomes) {
+  const ServiceReport report = run_service(nullptr);
+  std::map<std::string, int> outcomes;
+  std::istringstream in(report.ledger());
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t pos = line.find("outcome=");
+    ASSERT_NE(pos, std::string::npos) << line;
+    const std::size_t end = line.find(' ', pos);
+    ++outcomes[line.substr(pos + 8, end - pos - 8)];
+  }
+  std::ostringstream dist;
+  for (const auto& [name, count] : outcomes) dist << name << "=" << count << " ";
+  EXPECT_GT(outcomes["completed"], 0) << dist.str();
+  EXPECT_GT(outcomes["rejected-oversized"], 0) << dist.str();
+  EXPECT_GT(outcomes["rejected-draining"], 0) << dist.str();
+  EXPECT_GT(outcomes["cancelled-deadline"], 0) << dist.str();
+  EXPECT_GT(outcomes["failed"] + outcomes["shed-breaker"], 0) << dist.str();
+}
+
+}  // namespace
+}  // namespace paradigm::svc

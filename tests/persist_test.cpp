@@ -1,0 +1,319 @@
+// Tests for the service durability layer (DESIGN §12): RunMemo digest
+// round-trips, journal lifecycle records, exactly-once memoization,
+// snapshot write/load, and recovery wiring through Service::run.
+#include "svc/persist.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include "support/error.hpp"
+#include "svc/service.hpp"
+
+namespace paradigm::svc {
+namespace {
+
+namespace fs = std::filesystem;
+
+ServiceConfig fast_config() {
+  ServiceConfig config;
+  config.pipeline.calibration_mode = core::CalibrationMode::kStatic;
+  config.pipeline.machine.size = 8;
+  config.pipeline.machine.noise_sigma = 0.0;
+  config.pipeline.solver.max_inner_iterations = 40;
+  config.pipeline.solver.continuation_rounds = 2;
+  config.default_deadline = 200000;
+  return config;
+}
+
+JobSpec quick_job(std::string id, std::uint64_t arrival = 0) {
+  JobSpec spec;
+  spec.id = std::move(id);
+  spec.graph = GraphKind::kRandom;
+  spec.seed = 7;
+  spec.nodes = 8;
+  spec.processors = 8;
+  spec.arrival = arrival;
+  return spec;
+}
+
+class PersistTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("persist_test_" + std::string(
+                                  ::testing::UnitTest::GetInstance()
+                                      ->current_test_info()
+                                      ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  PersistConfig config(bool recover = false) const {
+    PersistConfig pc;
+    pc.dir = dir_.string();
+    pc.recover = recover;
+    return pc;
+  }
+
+  fs::path dir_;
+};
+
+// ---- RunMemo digest ---------------------------------------------------------
+
+TEST(RunMemo, EncodeDecodeRoundTripsExactly) {
+  core::RunMemo memo;
+  memo.failed = true;
+  memo.cancelled = true;
+  memo.reason = CancelReason::kWatchdog;
+  memo.level = degrade::DegradationLevel::kAreaProportional;
+  memo.phi = 0.1 + 0.2;  // Not exactly representable: hexfloat must hold.
+  memo.mpmd_simulated = 2.4716903e-06;
+  memo.ticks = 987654321u;
+  memo.detail = "stall at solver/rung1: x=3 (50% done)\twith tab";
+  EXPECT_EQ(core::RunMemo::decode(memo.encode()), memo);
+}
+
+TEST(RunMemo, DefaultAndEdgeValuesRoundTrip) {
+  core::RunMemo memo;
+  EXPECT_EQ(core::RunMemo::decode(memo.encode()), memo);
+  memo.phi = -0.0;
+  memo.mpmd_simulated = 1e-308;  // Denormal-adjacent magnitude.
+  memo.detail = "percent % equals = spaces   end";
+  const core::RunMemo back = core::RunMemo::decode(memo.encode());
+  EXPECT_EQ(back, memo);
+  EXPECT_EQ(std::signbit(back.phi), std::signbit(memo.phi));
+}
+
+TEST(RunMemo, DecodeRejectsMalformed) {
+  EXPECT_THROW(core::RunMemo::decode("failed=0 nonsense"), Error);
+  EXPECT_THROW(core::RunMemo::decode("unknownkey=1 detail="), Error);
+  EXPECT_THROW(core::RunMemo::decode("failed=0"), Error);  // no detail
+}
+
+TEST(SvcJob, WriteJobLineRoundTrips) {
+  JobSpec spec;
+  spec.id = "j9";
+  spec.graph = GraphKind::kPathological;
+  spec.seed = 42;
+  spec.nodes = 24;
+  spec.processors = 32;
+  spec.arrival = 17;
+  spec.deadline = 5000;
+  spec.stall_limit = 9;
+  spec.job_class = "fuzz";
+  spec.retries = 2;
+  const JobSpec back = parse_job_line(write_job_line(spec));
+  EXPECT_EQ(back.id, spec.id);
+  EXPECT_EQ(back.graph, spec.graph);
+  EXPECT_EQ(back.seed, spec.seed);
+  EXPECT_EQ(back.nodes, spec.nodes);
+  EXPECT_EQ(back.processors, spec.processors);
+  EXPECT_EQ(back.arrival, spec.arrival);
+  EXPECT_EQ(back.deadline, spec.deadline);
+  EXPECT_EQ(back.stall_limit, spec.stall_limit);
+  EXPECT_EQ(back.job_class, spec.job_class);
+  EXPECT_EQ(back.retries, spec.retries);
+
+  // The default retry sentinel (-1) has no line syntax; it must come
+  // back as the default, not as a parse error.
+  spec.retries = -1;
+  EXPECT_EQ(parse_job_line(write_job_line(spec)).retries, -1);
+}
+
+// ---- Journal lifecycle ------------------------------------------------------
+
+TEST_F(PersistTest, FreshStartThenRecoverReplaysInputs) {
+  {
+    Persistence persist(config());
+    const std::vector<JobSpec> jobs = {quick_job("a"), quick_job("b", 10)};
+    const DrainSpec drain{500, 100};
+    persist.begin_run(jobs, &drain);
+  }
+  Persistence recovered(config(/*recover=*/true));
+  ASSERT_EQ(recovered.recovered_jobs().size(), 2u);
+  EXPECT_EQ(recovered.recovered_jobs()[0].id, "a");
+  EXPECT_EQ(recovered.recovered_jobs()[1].id, "b");
+  EXPECT_EQ(recovered.recovered_jobs()[1].arrival, 10u);
+  ASSERT_TRUE(recovered.recovered_drain().has_value());
+  EXPECT_EQ(recovered.recovered_drain()->at, 500u);
+  EXPECT_EQ(recovered.recovered_drain()->grace, 100u);
+  EXPECT_EQ(recovered.stats().journal_records, 3u);
+}
+
+TEST_F(PersistTest, ExistingJournalWithoutRecoverIsUsageError) {
+  { Persistence persist(config()); }
+  EXPECT_THROW(Persistence{config()}, UsageError);
+}
+
+TEST_F(PersistTest, RecoverWithoutJournalIsUsageError) {
+  EXPECT_THROW(Persistence{config(/*recover=*/true)}, UsageError);
+}
+
+TEST_F(PersistTest, BeginRunRejectsDivergingSubmissions) {
+  {
+    Persistence persist(config());
+    persist.begin_run({quick_job("a")}, nullptr);
+  }
+  Persistence recovered(config(/*recover=*/true));
+  EXPECT_THROW(recovered.begin_run({quick_job("different")}, nullptr),
+               Error);
+  EXPECT_THROW(recovered.begin_run({}, nullptr), Error);
+}
+
+TEST_F(PersistTest, ExecDigestsMemoizeAcrossRecovery) {
+  core::RunMemo memo;
+  memo.phi = 1.25;
+  memo.mpmd_simulated = 0.5;
+  memo.ticks = 77;
+  {
+    Persistence persist(config());
+    persist.begin_run({quick_job("a")}, nullptr);
+    EXPECT_EQ(persist.find_memo(0, 1), nullptr);
+    persist.journal_exec(0, 1, memo);
+    // Same-session duplicate is an exactly-once violation.
+    EXPECT_THROW(persist.journal_exec(0, 1, memo), Error);
+  }
+  Persistence recovered(config(/*recover=*/true));
+  EXPECT_EQ(recovered.stats().exec_memos, 1u);
+  const core::RunMemo* found = recovered.find_memo(0, 1);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(*found, memo);
+  EXPECT_EQ(recovered.find_memo(0, 2), nullptr);
+  EXPECT_EQ(recovered.find_memo(1, 1), nullptr);
+  EXPECT_EQ(recovered.stats().memo_hits, 1u);
+}
+
+TEST_F(PersistTest, RecoveredOutcomesAreNotReappended) {
+  JobResult result;
+  result.id = "a";
+  result.attempt = 1;
+  {
+    Persistence persist(config());
+    persist.begin_run({quick_job("a")}, nullptr);
+    persist.journal_outcome(result);
+    persist.journal_outcome(result);  // Same key: no second record.
+    EXPECT_EQ(persist.stats().appended_records, 2u);  // job + outcome.
+  }
+  Persistence recovered(config(/*recover=*/true));
+  EXPECT_EQ(recovered.stats().journal_records, 2u);
+  recovered.begin_run({quick_job("a")}, nullptr);
+  recovered.journal_outcome(result);  // Already durable: skipped.
+  EXPECT_EQ(recovered.stats().appended_records, 0u);
+}
+
+// ---- Snapshots --------------------------------------------------------------
+
+TEST_F(PersistTest, SnapshotStandsInForCoveredJournalPrefix) {
+  core::RunMemo memo;
+  memo.ticks = 5;
+  {
+    PersistConfig pc = config();
+    pc.snapshot_every = 2;
+    Persistence persist(pc);
+    persist.begin_run({quick_job("a"), quick_job("b")}, nullptr);
+    persist.journal_exec(0, 1, memo);
+    persist.journal_exec(1, 1, memo);  // Triggers snapshot-4.snap.
+    EXPECT_EQ(persist.stats().snapshots_written, 1u);
+  }
+  ASSERT_TRUE(fs::exists(dir_ / "snapshot-4.snap"));
+
+  // Wreck the journal completely: the snapshot alone must carry the
+  // covered state through recovery.
+  {
+    std::ofstream out(dir_ / "journal.wal",
+                      std::ios::binary | std::ios::in | std::ios::out);
+    out.seekp(static_cast<std::streamoff>(wal::kHeaderBytes) + 2);
+    out.put('\xFF');
+  }
+  Persistence recovered(config(/*recover=*/true));
+  EXPECT_EQ(recovered.stats().snapshot_loaded, 4);
+  EXPECT_EQ(recovered.recovered_jobs().size(), 2u);
+  EXPECT_NE(recovered.find_memo(0, 1), nullptr);
+  EXPECT_NE(recovered.find_memo(1, 1), nullptr);
+}
+
+TEST_F(PersistTest, IncompleteSnapshotIsIgnored) {
+  core::RunMemo memo;
+  {
+    PersistConfig pc = config();
+    pc.snapshot_every = 1;
+    Persistence persist(pc);
+    persist.begin_run({quick_job("a")}, nullptr);
+    persist.journal_exec(0, 1, memo);
+    EXPECT_EQ(persist.stats().snapshots_written, 1u);
+  }
+  // Truncate the snapshot's `end` record away: it must be skipped and
+  // plain journal replay must still recover everything.
+  const fs::path snap = dir_ / "snapshot-2.snap";
+  ASSERT_TRUE(fs::exists(snap));
+  fs::resize_file(snap, fs::file_size(snap) - 4);
+
+  Persistence recovered(config(/*recover=*/true));
+  EXPECT_EQ(recovered.stats().snapshot_loaded, -1);
+  EXPECT_EQ(recovered.recovered_jobs().size(), 1u);
+  EXPECT_NE(recovered.find_memo(0, 1), nullptr);
+}
+
+// ---- Service integration ----------------------------------------------------
+
+TEST_F(PersistTest, JournalingDoesNotChangeTheLedger) {
+  Service plain(fast_config());
+  plain.submit(quick_job("a"));
+  plain.submit(quick_job("b", 5));
+  const ServiceReport baseline = plain.run();
+
+  Persistence persist(config());
+  Service durable(fast_config());
+  durable.submit(quick_job("a"));
+  durable.submit(quick_job("b", 5));
+  durable.attach_persistence(&persist);
+  const ServiceReport journaled = durable.run();
+
+  EXPECT_EQ(journaled.ledger(), baseline.ledger());
+  EXPECT_EQ(journaled.pipeline_runs, baseline.pipeline_runs);
+  EXPECT_EQ(persist.stats().memo_hits, 0u);
+  EXPECT_GT(persist.stats().appended_records, 0u);
+}
+
+TEST_F(PersistTest, CrashMidRunRecoversToIdenticalLedger) {
+  Service plain(fast_config());
+  plain.submit(quick_job("a"));
+  plain.submit(quick_job("b", 5));
+  plain.submit(quick_job("c", 9));
+  const ServiceReport baseline = plain.run();
+
+  wal::CrashPoint crash;
+  crash.arm(5);  // 3 job records + start + exec, then boom.
+  {
+    PersistConfig pc = config();
+    pc.crash = &crash;
+    Persistence persist(pc);
+    Service durable(fast_config());
+    durable.submit(quick_job("a"));
+    durable.submit(quick_job("b", 5));
+    durable.submit(quick_job("c", 9));
+    durable.attach_persistence(&persist);
+    EXPECT_THROW(durable.run(), wal::CrashInjected);
+  }
+
+  Persistence persist(config(/*recover=*/true));
+  Service recovered(fast_config());
+  for (const JobSpec& spec : persist.recovered_jobs()) {
+    recovered.submit(spec);
+  }
+  recovered.attach_persistence(&persist);
+  const ServiceReport report = recovered.run();
+
+  EXPECT_EQ(report.ledger(), baseline.ledger());
+  // Exactly-once: every attempt ran in the pair of processes exactly
+  // once or was re-served from its durable digest.
+  EXPECT_EQ(report.pipeline_runs + persist.stats().memo_hits,
+            baseline.pipeline_runs);
+}
+
+}  // namespace
+}  // namespace paradigm::svc

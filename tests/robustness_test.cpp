@@ -6,7 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <filesystem>
 #include <fstream>
+#include <random>
+#include <set>
 #include <sstream>
 
 #include "calibrate/paramsio.hpp"
@@ -24,6 +27,9 @@
 #include "support/degrade.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
+#include "support/wal.hpp"
+#include "svc/persist.hpp"
+#include "svc/service.hpp"
 
 namespace paradigm {
 namespace {
@@ -461,6 +467,144 @@ TEST(SimulatorBounds, SendOutsideMachineRejected) {
       sim::SendBlock{9, 1, "X", sim::BlockRect{{0, 2}, {0, 2}}});
   sim::Simulator simulator(mc);
   EXPECT_THROW(simulator.run(program), Error);
+}
+
+// ---- corrupted-journal corpus ------------------------------------------------
+//
+// Every seed in tests/fuzz_corpus/wal_seeds.txt drives a deterministic
+// bit-flip pass over a completed service journal; recovery from the
+// corrupted copy must either fail with a structured Error/UsageError
+// or succeed via salvage — and when it succeeds, re-offering the full
+// corpus must reproduce the crash-free ledger byte for byte. A raw
+// crash, a hang, or a silently divergent ledger is the bug class this
+// corpus locks out (DESIGN §12).
+
+namespace fs = std::filesystem;
+
+svc::ServiceConfig wal_fuzz_config() {
+  svc::ServiceConfig config;
+  config.pipeline.calibration_mode = core::CalibrationMode::kStatic;
+  config.pipeline.machine.size = 8;
+  config.pipeline.machine.noise_sigma = 0.0;
+  config.pipeline.solver.max_inner_iterations = 10;
+  config.pipeline.solver.continuation_rounds = 1;
+  config.default_deadline = 200000;
+  config.slots = 2;
+  return config;
+}
+
+std::vector<svc::JobSpec> wal_fuzz_corpus() {
+  std::vector<svc::JobSpec> jobs;
+  for (std::size_t i = 0; i < 10; ++i) {
+    svc::JobSpec spec;
+    spec.id = "f";
+    spec.id += std::to_string(i);
+    spec.seed = 40 + i;
+    spec.nodes = 6 + (i % 3);
+    spec.processors = (i == 4) ? 5 : 8;  // One hard failure in the mix.
+    spec.arrival = i * 10;
+    jobs.push_back(std::move(spec));
+  }
+  return jobs;
+}
+
+svc::ServiceReport run_wal_fuzz_service(svc::Persistence* persist) {
+  svc::Service service(wal_fuzz_config());
+  for (svc::JobSpec& spec : wal_fuzz_corpus()) service.submit(std::move(spec));
+  service.drain_at(2000, 100000);
+  if (persist != nullptr) service.attach_persistence(persist);
+  return service.run();
+}
+
+std::vector<std::uint64_t> wal_corpus_seeds() {
+  std::vector<std::uint64_t> seeds;
+  std::ifstream in(std::string(PARADIGM_FUZZ_CORPUS_DIR) + "/wal_seeds.txt");
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::uint64_t seed = 0;
+    if (fields >> seed) seeds.push_back(seed);
+  }
+  return seeds;
+}
+
+TEST(WalFuzzCorpus, BitFlippedJournalsRecoverStructurally) {
+  const fs::path root =
+      fs::temp_directory_path() / "robustness_wal_fuzz";
+  fs::remove_all(root);
+  fs::create_directories(root);
+
+  // Crash-free baseline: the ledger every successful salvage must
+  // reproduce, and the journal bytes every seed perturbs.
+  const std::string expected = run_wal_fuzz_service(nullptr).ledger();
+  const fs::path clean_dir = root / "clean";
+  {
+    svc::PersistConfig pc;
+    pc.dir = clean_dir.string();
+    pc.snapshot_every = 0;  // Pure journal: every byte is a record byte.
+    svc::Persistence persist(pc);
+    ASSERT_EQ(run_wal_fuzz_service(&persist).ledger(), expected);
+  }
+  std::string clean_bytes;
+  {
+    std::ifstream in(clean_dir / "journal.wal", std::ios::binary);
+    clean_bytes.assign((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(clean_bytes.size(), 64u);
+
+  const std::vector<std::uint64_t> seeds = wal_corpus_seeds();
+  ASSERT_GE(seeds.size(), 12u) << "wal corpus file missing or unreadable";
+
+  for (const std::uint64_t seed : seeds) {
+    SCOPED_TRACE("wal seed " + std::to_string(seed));
+    std::mt19937_64 rng(seed);
+    std::string corrupted = clean_bytes;
+    const std::size_t flips = 1 + seed % 3;
+    for (std::size_t f = 0; f < flips; ++f) {
+      const std::size_t byte = rng() % corrupted.size();
+      corrupted[byte] = static_cast<char>(corrupted[byte] ^ (1u << (rng() % 8)));
+    }
+
+    const fs::path dir = root / ("seed-" + std::to_string(seed));
+    fs::create_directories(dir);
+    {
+      std::ofstream out(dir / "journal.wal",
+                        std::ios::binary | std::ios::trunc);
+      out.write(corrupted.data(),
+                static_cast<std::streamsize>(corrupted.size()));
+    }
+
+    svc::PersistConfig pc;
+    pc.dir = dir.string();
+    pc.recover = true;
+    pc.snapshot_every = 0;
+    try {
+      svc::Persistence persist(pc);
+      // Salvaged open: the surviving prefix plus the re-offered corpus
+      // must land exactly on the crash-free ledger.
+      const svc::ServiceReport recovered = run_wal_fuzz_service(&persist);
+      EXPECT_EQ(recovered.ledger(), expected);
+      std::set<std::string> exec_keys;
+      for (const std::string& record :
+           wal::read_journal(persist.journal_path()).records) {
+        if (record.rfind("exec ", 0) != 0) continue;
+        std::istringstream in(record);
+        std::string tag, index, attempt;
+        in >> tag >> index >> attempt;
+        EXPECT_TRUE(exec_keys.insert(index + "/" + attempt).second)
+            << "duplicate exec digest after salvage: " << record;
+      }
+    } catch (const UsageError&) {
+      // Structured rejection (e.g. a flipped format-version byte).
+    } catch (const Error&) {
+      // Structured rejection (e.g. a flipped header magic byte).
+    }
+    fs::remove_all(dir);
+  }
+  fs::remove_all(root);
 }
 
 }  // namespace

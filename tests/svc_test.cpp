@@ -272,6 +272,30 @@ TEST(Service, FailedProbeReopensBreaker) {
   EXPECT_EQ(report.breaker_opens, 2u);
 }
 
+TEST(Service, ProbeDuringDrainRejectedAsDraining) {
+  // The half-open probe candidate arrives after the breaker cooldown
+  // but while a graceful drain is in effect. Admission checks drain
+  // before the breaker, so the job is rejected as draining — it must
+  // not slip through as a probe into a service that is shutting down.
+  ServiceConfig config = fast_config();
+  config.breaker_threshold = 1;
+  config.breaker_cooldown = 50;
+  Service service(config);
+  JobSpec bad = quick_job("bad", 0);
+  bad.processors = 5;  // Hard failure: opens the breaker at ~t=1.
+  // Arrives at t=60: past the cooldown (open until ~51), past the
+  // drain point — a probe candidate in a draining service.
+  JobSpec probe = quick_job("probe", 60);
+  service.submit(bad);
+  service.submit(probe);
+  service.drain_at(10, 100000);
+  const ServiceReport report = service.run();
+  EXPECT_EQ(find_result(report, "bad").outcome, JobOutcome::kFailed);
+  EXPECT_EQ(find_result(report, "probe").outcome,
+            JobOutcome::kRejectedDraining);
+  EXPECT_EQ(report.breaker_opens, 1u);
+}
+
 // ---- Graceful drain ----------------------------------------------------------
 
 TEST(Service, DrainRejectsArrivalsAndCancelsInFlight) {

@@ -1,0 +1,235 @@
+// WAL unit tests (DESIGN §12): record round-trip, header validation,
+// torn-tail truncation, salvage-prefix reads, version gating, and the
+// deterministic CrashPoint hook.
+#include "support/wal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace paradigm::wal {
+namespace {
+
+namespace fs = std::filesystem;
+using namespace std::string_literals;
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("wal_test_" + std::string(
+                              ::testing::UnitTest::GetInstance()
+                                  ->current_test_info()
+                                  ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    path_ = (dir_ / "test.wal").string();
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string read_raw() const {
+    std::ifstream in(path_, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  }
+
+  void write_raw(const std::string& bytes) const {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+
+  fs::path dir_;
+  std::string path_;
+};
+
+TEST_F(WalTest, Crc32MatchesKnownVector) {
+  const std::string v = "123456789";
+  EXPECT_EQ(crc32(v.data(), v.size()), 0xCBF43926u);
+  EXPECT_EQ(crc32(v.data(), 0), 0u);
+}
+
+TEST_F(WalTest, RoundTripsRecords) {
+  {
+    Writer w = Writer::create(path_);
+    w.append("alpha");
+    w.append("");
+    w.append(std::string(1000, 'x') + "\n\0 binary"s);
+  }
+  const ReadResult r = read_journal(path_);
+  ASSERT_EQ(r.records.size(), 3u);
+  EXPECT_EQ(r.records[0], "alpha");
+  EXPECT_EQ(r.records[1], "");
+  EXPECT_EQ(r.records[2], std::string(1000, 'x') + "\n\0 binary"s);
+  EXPECT_EQ(r.version, kFormatVersion);
+  EXPECT_FALSE(r.salvaged());
+  EXPECT_EQ(r.valid_bytes, r.total_bytes);
+}
+
+TEST_F(WalTest, CreateRefusesExistingNonEmptyJournal) {
+  {
+    Writer w = Writer::create(path_);
+    w.append("one");
+  }
+  EXPECT_THROW(Writer::create(path_), Error);
+}
+
+TEST_F(WalTest, MissingFileIsError) {
+  EXPECT_THROW(read_journal((dir_ / "nope.wal").string()), Error);
+}
+
+TEST_F(WalTest, ShortOrBadHeaderIsError) {
+  write_raw("PDGM");
+  EXPECT_THROW(read_journal(path_), Error);
+  write_raw("NOT-A-WAL-HEADER");
+  EXPECT_THROW(read_journal(path_), Error);
+}
+
+TEST_F(WalTest, CorruptHeaderChecksumIsError) {
+  { Writer w = Writer::create(path_); }
+  std::string raw = read_raw();
+  raw[13] ^= 0x01;  // Header CRC byte.
+  write_raw(raw);
+  EXPECT_THROW(read_journal(path_), Error);
+}
+
+TEST_F(WalTest, NewerFormatVersionIsUsageError) {
+  { Writer w = Writer::create(path_, kFormatVersion + 1); }
+  EXPECT_THROW(read_journal(path_), UsageError);
+  EXPECT_THROW(Writer::open_for_append(path_), UsageError);
+}
+
+TEST_F(WalTest, TornTailIsSalvagedNotFatal) {
+  {
+    Writer w = Writer::create(path_);
+    w.append("kept-1");
+    w.append("kept-2");
+  }
+  const std::string full = read_raw();
+  // Torn mid-payload of a third record: header promises more bytes
+  // than exist.
+  std::string torn = full;
+  torn += std::string("\x28\x00\x00\x00\x00\x00\x00\x00", 8);
+  torn += "only-part";
+  write_raw(torn);
+
+  const ReadResult r = read_journal(path_);
+  ASSERT_EQ(r.records.size(), 2u);
+  EXPECT_EQ(r.records[0], "kept-1");
+  EXPECT_TRUE(r.salvaged());
+  EXPECT_EQ(r.valid_bytes, full.size());
+  EXPECT_NE(r.salvage_detail.find("torn record payload"), std::string::npos);
+}
+
+TEST_F(WalTest, CorruptPayloadStopsAtSalvagePrefix) {
+  {
+    Writer w = Writer::create(path_);
+    w.append("record-zero");
+    w.append("record-one");
+    w.append("record-two");
+  }
+  std::string raw = read_raw();
+  // Flip a byte inside record-one's payload: it and everything after
+  // must be dropped; record-zero survives.
+  const std::size_t target = raw.find("record-one");
+  ASSERT_NE(target, std::string::npos);
+  raw[target] ^= 0x40;
+  write_raw(raw);
+
+  const ReadResult r = read_journal(path_);
+  ASSERT_EQ(r.records.size(), 1u);
+  EXPECT_EQ(r.records[0], "record-zero");
+  EXPECT_TRUE(r.salvaged());
+  EXPECT_NE(r.salvage_detail.find("checksum mismatch"), std::string::npos);
+}
+
+TEST_F(WalTest, ImplausibleLengthPrefixIsSalvage) {
+  {
+    Writer w = Writer::create(path_);
+    w.append("good");
+  }
+  std::string raw = read_raw();
+  raw += std::string("\xFF\xFF\xFF\xFF\x00\x00\x00\x00", 8);
+  write_raw(raw);
+  const ReadResult r = read_journal(path_);
+  ASSERT_EQ(r.records.size(), 1u);
+  EXPECT_TRUE(r.salvaged());
+  EXPECT_NE(r.salvage_detail.find("implausible record length"),
+            std::string::npos);
+}
+
+TEST_F(WalTest, OpenForAppendTruncatesTornTailAndContinues) {
+  {
+    Writer w = Writer::create(path_);
+    w.append("kept");
+  }
+  const std::uint64_t clean_size = fs::file_size(path_);
+  write_raw(read_raw() + "half-written-garbage");
+
+  ReadResult r;
+  {
+    Writer w = Writer::open_for_append(path_, &r);
+    EXPECT_TRUE(r.salvaged());
+    w.append("after-recovery");
+  }
+  EXPECT_GT(fs::file_size(path_), clean_size);
+  const ReadResult reread = read_journal(path_);
+  ASSERT_EQ(reread.records.size(), 2u);
+  EXPECT_EQ(reread.records[0], "kept");
+  EXPECT_EQ(reread.records[1], "after-recovery");
+  EXPECT_FALSE(reread.salvaged());
+}
+
+TEST_F(WalTest, CrashPointTripsAfterExactlyNAppends) {
+  CrashPoint crash;
+  crash.arm(2);
+  Writer w = Writer::create(path_);
+  w.set_crash_point(&crash);
+  w.append("first");
+  w.append("second");
+  EXPECT_THROW(w.append("never-durable"), CrashInjected);
+
+  const ReadResult r = read_journal(path_);
+  ASSERT_EQ(r.records.size(), 2u);
+  EXPECT_FALSE(r.salvaged());  // Clean-boundary crash: no torn bytes.
+}
+
+TEST_F(WalTest, TornCrashLeavesPartialRecordForRecovery) {
+  CrashPoint crash;
+  crash.arm(1, /*torn=*/true);
+  {
+    Writer w = Writer::create(path_);
+    w.set_crash_point(&crash);
+    w.append("durable");
+    EXPECT_THROW(w.append("this-record-tears"), CrashInjected);
+  }
+  const ReadResult r = read_journal(path_);
+  ASSERT_EQ(r.records.size(), 1u);
+  EXPECT_EQ(r.records[0], "durable");
+  EXPECT_TRUE(r.salvaged());  // The partial record is on disk.
+
+  ReadResult reopened;
+  { Writer w = Writer::open_for_append(path_, &reopened); }
+  EXPECT_TRUE(reopened.salvaged());
+  EXPECT_FALSE(read_journal(path_).salvaged());  // Tail now truncated.
+}
+
+TEST_F(WalTest, CrashInjectedCarriesDurableCount) {
+  CrashPoint crash;
+  crash.arm(3);
+  Writer w = Writer::create(path_);
+  w.set_crash_point(&crash);
+  for (int i = 0; i < 3; ++i) w.append("r");
+  try {
+    w.append("boom");
+    FAIL() << "expected CrashInjected";
+  } catch (const CrashInjected& e) {
+    EXPECT_EQ(e.durable_appends(), 3u);
+  }
+}
+
+}  // namespace
+}  // namespace paradigm::wal

@@ -26,8 +26,10 @@
 #include "viz/chrome_trace.hpp"
 #include "codegen/mpmd.hpp"
 #include "sim/simulator.hpp"
+#include "svc/persist.hpp"
 #include "svc/service.hpp"
 #include "support/args.hpp"
+#include "support/wal.hpp"
 #include "support/degrade.hpp"
 #include "support/parallel.hpp"
 #include "support/table.hpp"
@@ -94,10 +96,12 @@ void write_file(const std::string& path, const std::string& content) {
   std::cout << "wrote " << path << "\n";
 }
 
-/// `--serve=<jobfile>`: run the resilient compilation service over a
-/// line-delimited job file (DESIGN §11). Returns the service exit code
-/// (0 clean, 20 rejected/shed, 21 cancelled, 22 failed).
-int run_serve(const ArgParser& args) {
+/// `--serve=<jobfile>` / `--recover`: run the resilient compilation
+/// service (DESIGN §11), optionally under the durability layer
+/// (DESIGN §12). Returns the service exit code (0 clean, 20
+/// rejected/shed, 21 cancelled, 22 failed), upgraded to 24 when a
+/// clean run recovered from a salvaged (torn/corrupt) journal.
+int run_serve(const ArgParser& args, wal::CrashPoint* crash) {
   svc::ServiceConfig config;
   config.queue_capacity = static_cast<std::size_t>(args.get_int("svc-queue"));
   config.slots = static_cast<std::size_t>(args.get_int("svc-slots"));
@@ -133,21 +137,73 @@ int run_serve(const ArgParser& args) {
   svc::JobFile file;
   if (path == "-") {
     file = svc::parse_job_file(std::cin);
-  } else {
+  } else if (!path.empty()) {
     std::ifstream in(path);
     PARADIGM_CHECK(in.good(), "cannot open job file '" << path << "'");
     file = svc::parse_job_file(in);
   }
-  PARADIGM_CHECK(!file.jobs.empty(), "job file '" << path << "' has no jobs");
+
+  // Durability session (DESIGN §12). On --recover the journal is the
+  // authoritative input: its submissions (and drain) are replayed
+  // first, and a job file given alongside appends further work.
+  const bool recover = args.get_flag("recover");
+  std::optional<svc::Persistence> persist;
+  if (!args.get("journal").empty()) {
+    svc::PersistConfig pc;
+    pc.dir = args.get("journal");
+    const std::int64_t every = args.get_int("svc-snapshot-every");
+    PARADIGM_CHECK(every >= 0, "--svc-snapshot-every must be >= 0");
+    pc.snapshot_every = static_cast<std::size_t>(every);
+    pc.recover = recover;
+    pc.crash = crash;
+    persist.emplace(pc);
+  } else if (recover) {
+    throw UsageError("--recover needs --journal=<dir>");
+  }
 
   core::Service service(config);
-  service.submit_all(file);
+  if (persist.has_value() && recover) {
+    for (const svc::JobSpec& spec : persist->recovered_jobs()) {
+      service.submit(spec);
+    }
+    if (persist->recovered_drain().has_value()) {
+      service.drain_at(persist->recovered_drain()->at,
+                       persist->recovered_drain()->grace);
+    }
+    for (const svc::JobSpec& spec : file.jobs) service.submit(spec);
+    if (file.drain && !persist->recovered_drain().has_value()) {
+      service.drain_at(file.drain->at, file.drain->grace);
+    }
+    PARADIGM_CHECK(!persist->recovered_jobs().empty() || !file.jobs.empty(),
+                   "--recover found no journaled jobs and no job file");
+  } else {
+    PARADIGM_CHECK(!file.jobs.empty(),
+                   "job file '" << path << "' has no jobs");
+    service.submit_all(file);
+  }
+  if (persist.has_value()) service.attach_persistence(&*persist);
+
   const core::ServiceReport report = service.run();
   const std::string ledger = report.ledger();
   if (!args.get("svc-ledger").empty()) {
     write_file(args.get("svc-ledger"), ledger);
   }
   std::cout << ledger;
+  if (persist.has_value()) {
+    const svc::PersistStats& stats = persist->stats();
+    std::cout << "# journal records=" << stats.journal_records
+              << " appended=" << stats.appended_records
+              << " memo_hits=" << stats.memo_hits
+              << " pipeline_runs=" << report.pipeline_runs
+              << " snapshots=" << stats.snapshots_written
+              << " salvaged_bytes=" << stats.salvaged_bytes << '\n';
+    if (stats.salvaged_bytes > 0) {
+      std::cout << "# journal salvage: " << stats.salvage_detail << '\n';
+      // A clean outcome that required dropping journal bytes is its own
+      // exit so operators notice the (recovered-from) corruption.
+      if (report.exit_code() == 0) return 24;
+    }
+  }
   return report.exit_code();
 }
 
@@ -247,6 +303,24 @@ int main(int argc, char** argv) {
                   "      across runs and thread counts) | off: append a\n"
                   "      wallclock trailer comment");
   args.add_option("svc-ledger", "", "also write the service ledger here");
+  args.add_option("journal", "",
+                  "durable service mode: write the checksummed write-ahead\n"
+                  "      journal and snapshots into this directory "
+                  "(DESIGN §12)");
+  args.add_flag("recover",
+                "recover a crashed service run from --journal: replay the\n"
+                "      journaled submissions, serve already-durable attempts\n"
+                "      from their digests, and continue; exits 24 instead of\n"
+                "      0 when a torn/corrupt journal tail was salvaged");
+  args.add_option("svc-snapshot-every", "64",
+                  "write a recovery snapshot every N execution digests\n"
+                  "      (0: journal-only recovery)");
+  args.add_option("inject-crash", "-1",
+                  "deterministic fault injection: crash (exit 23) on the\n"
+                  "      N+1-th durable journal append (-1: off)");
+  args.add_flag("inject-crash-torn",
+                "with --inject-crash: leave a torn half-written record\n"
+                "      behind instead of crashing on a clean boundary");
   args.add_flag("help", "show this help");
   args.add_flag("version", "print the version and exit");
 
@@ -258,7 +332,8 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (args.get_flag("version")) {
-      std::cout << "paradigm_cli " << PARADIGM_VERSION << "\n";
+      std::cout << "paradigm_cli " << PARADIGM_VERSION << " (journal format v"
+                << wal::kFormatVersion << ")\n";
       return 0;
     }
 
@@ -276,7 +351,25 @@ int main(int argc, char** argv) {
     const std::int64_t starts = args.get_int("starts");
     PARADIGM_CHECK(starts >= 1, "--starts must be >= 1");
 
-    if (!args.get("serve").empty()) return run_serve(args);
+    const bool durable = !args.get("journal").empty();
+    if (!durable && args.get_flag("recover")) {
+      throw UsageError("--recover needs --journal=<dir>");
+    }
+    const std::int64_t inject = args.get_int("inject-crash");
+    wal::CrashPoint crash;
+    if (inject >= 0) {
+      if (!durable) {
+        throw UsageError("--inject-crash needs --journal=<dir>");
+      }
+      crash.arm(static_cast<std::uint64_t>(inject),
+                args.get_flag("inject-crash-torn"));
+    }
+    if (!args.get("serve").empty() || args.get_flag("recover")) {
+      return run_serve(args, inject >= 0 ? &crash : nullptr);
+    }
+    if (durable) {
+      throw UsageError("--journal only applies to --serve/--recover runs");
+    }
 
     const mdg::Mdg graph = load_program(args);
     const auto p = static_cast<std::uint64_t>(args.get_int("p"));
@@ -438,9 +531,16 @@ int main(int argc, char** argv) {
     return degrade::exit_code(report.degradation);
   } catch (const UsageError& e) {
     // Usage mistakes exit 2: disjoint from hard errors (1), the
-    // degradation codes (10..15), and the service codes (20..22).
+    // degradation codes (10..15), and the service codes (20..24).
     std::cerr << "usage error: " << e.what() << "\n";
     return 2;
+  } catch (const wal::CrashInjected& e) {
+    // Deterministic fault injection tripped: the process "crashed" at
+    // a journal boundary. Everything already appended is durable; a
+    // --recover run continues from it. Own code so harnesses can tell
+    // an injected crash from a real failure.
+    std::cerr << "crash injected: " << e.what() << "\n";
+    return 23;
   } catch (const Error& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
