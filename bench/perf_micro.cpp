@@ -36,6 +36,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -860,6 +861,192 @@ int run_wal_gate(const std::string& out_path) {
   return 0;
 }
 
+// ---- PR8 allocation-cache gate --------------------------------------
+
+/// Zipf(1.1)-style corpus over 32 job templates (inverse CDF, fixed
+/// seed): the reuse-friendly workload the cache is for. With
+/// `all_miss`, every job is its own template — the worst case the
+/// cache must stay out of the way on (key hashing + insert, no reuse).
+std::vector<svc::JobSpec> cache_gate_corpus(bool all_miss,
+                                            std::size_t count) {
+  constexpr std::size_t kTemplates = 32;
+  constexpr double kExponent = 1.1;
+  std::vector<double> cdf(kTemplates);
+  double total = 0.0;
+  for (std::size_t r = 0; r < kTemplates; ++r) {
+    total += std::pow(static_cast<double>(r + 1), -kExponent);
+    cdf[r] = total;
+  }
+  Rng rng(0xcac4eb41ULL);
+  std::vector<svc::JobSpec> jobs;
+  jobs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::size_t rank = i;  // all-miss: unique template per job
+    if (!all_miss) {
+      const double u = rng.uniform() * total;
+      rank = 0;
+      while (rank + 1 < kTemplates && cdf[rank] < u) ++rank;
+    }
+    svc::JobSpec spec;
+    spec.id = "c";
+    spec.id += std::to_string(i);
+    spec.seed = 7000 + rank;
+    spec.nodes = 6 + (rank % 3);
+    spec.processors = (rank % 2 == 0) ? 4 : 8;
+    jobs.push_back(std::move(spec));
+  }
+  return jobs;
+}
+
+svc::ServiceReport run_cache_gate_service(bool cache_on, bool all_miss,
+                                          std::size_t count) {
+  svc::ServiceConfig config;
+  config.pipeline.calibration_mode = core::CalibrationMode::kStatic;
+  config.pipeline.machine.size = 8;
+  config.pipeline.machine.noise_sigma = 0.0;
+  config.pipeline.solver.max_inner_iterations = 20;
+  config.pipeline.solver.continuation_rounds = 1;
+  config.queue_capacity = count + 1;
+  config.slots = 4;
+  config.max_retries = 0;
+  config.cache.enabled = cache_on;
+  svc::Service service(config);
+  for (svc::JobSpec& spec : cache_gate_corpus(all_miss, count)) {
+    service.submit(std::move(spec));
+  }
+  return service.run();
+}
+
+// `perf_micro --cache-gate[=out.json]` measures what the DESIGN §13
+// allocation cache buys and costs: on a 1000-job Zipf(1.1) corpus the
+// cached service must be at least 5x faster end to end (the corpus
+// re-solves 32 templates instead of 1000 jobs), while on a 200-job
+// all-miss corpus the key hashing + admission bookkeeping may cost at
+// most 2%. The cache must also be invisible: the Zipf ledger with the
+// cache on is byte-identical to the ledger with it off. Results go to
+// BENCH_pr8.json.
+int run_cache_gate(const std::string& out_path) {
+  constexpr double kMinSpeedup = 5.0;      // Zipf corpus, cache on vs off
+  constexpr double kMaxMissOverhead = 0.02;  // all-miss corpus
+  constexpr std::size_t kZipfJobs = 1000;
+  constexpr std::size_t kMissJobs = 200;
+  constexpr std::size_t kZipfReps = 5;
+  constexpr std::size_t kMissReps = 9;
+
+  set_thread_count(1);
+
+  const auto zipf_off = [&] {
+    benchmark::DoNotOptimize(run_cache_gate_service(false, false, kZipfJobs));
+  };
+  const auto zipf_on = [&] {
+    benchmark::DoNotOptimize(run_cache_gate_service(true, false, kZipfJobs));
+  };
+  const auto miss_off = [&] {
+    benchmark::DoNotOptimize(run_cache_gate_service(false, true, kMissJobs));
+  };
+  const auto miss_on = [&] {
+    benchmark::DoNotOptimize(run_cache_gate_service(true, true, kMissJobs));
+  };
+
+  zipf_off();  // warmup
+  zipf_on();
+  std::vector<double> zoff, zon;
+  for (std::size_t r = 0; r < kZipfReps; ++r) {
+    zoff.push_back(timed_ns(zipf_off));
+    zon.push_back(timed_ns(zipf_on));
+  }
+  miss_off();  // warmup
+  miss_on();
+  std::vector<double> moff, mon;
+  for (std::size_t r = 0; r < kMissReps; ++r) {
+    moff.push_back(timed_ns(miss_off));
+    mon.push_back(timed_ns(miss_on));
+  }
+  std::sort(zoff.begin(), zoff.end());
+  std::sort(zon.begin(), zon.end());
+  std::sort(moff.begin(), moff.end());
+  std::sort(mon.begin(), mon.end());
+  const double zoff_ns = zoff[zoff.size() / 2];
+  const double zon_ns = zon[zon.size() / 2];
+  const double moff_ns = moff[moff.size() / 2];
+  const double mon_ns = mon[mon.size() / 2];
+  const double speedup = zon_ns > 0.0 ? zoff_ns / zon_ns : 0.0;
+  const double miss_overhead = moff_ns > 0.0 ? mon_ns / moff_ns - 1.0 : 0.0;
+
+  std::cout << "zipf " << kZipfJobs << "-job corpus: cache-off "
+            << zoff_ns / 1e6 << " ms, cache-on " << zon_ns / 1e6 << " ms ("
+            << speedup << "x)\n";
+  std::cout << "all-miss " << kMissJobs << "-job corpus: cache-off "
+            << moff_ns / 1e6 << " ms, cache-on " << mon_ns / 1e6 << " ms ("
+            << miss_overhead * 100.0 << "% overhead)\n";
+
+  // The cache must be invisible in the ledger.
+  const svc::ServiceReport r_off =
+      run_cache_gate_service(false, false, kZipfJobs);
+  const svc::ServiceReport r_on =
+      run_cache_gate_service(true, false, kZipfJobs);
+  const bool identical = r_off.ledger() == r_on.ledger();
+  if (!identical) {
+    std::cerr << "CACHE GATE: the cache changed the service ledger\n";
+  }
+
+  const bool fast_enough = speedup >= kMinSpeedup;
+  const bool cheap_enough = miss_overhead <= kMaxMissOverhead;
+  const bool passed = fast_enough && cheap_enough && identical;
+
+  Json doc = Json::object();
+  doc.set("pr", Json::integer(8));
+  Json gate = Json::object();
+  gate.set("min_speedup", Json::number(kMinSpeedup));
+  gate.set("measured_speedup", Json::number(speedup));
+  gate.set("max_miss_overhead", Json::number(kMaxMissOverhead));
+  gate.set("measured_miss_overhead", Json::number(miss_overhead));
+  gate.set("ledgers_identical", Json::boolean(identical));
+  gate.set("passed", Json::boolean(passed));
+  doc.set("gate", std::move(gate));
+  Json benches = Json::array();
+  Json z = Json::object();
+  z.set("name", Json::string("zipf_corpus"));
+  z.set("jobs", Json::integer(static_cast<std::int64_t>(kZipfJobs)));
+  z.set("cache_off_ns", Json::number(zoff_ns));
+  z.set("cache_on_ns", Json::number(zon_ns));
+  z.set("speedup", Json::number(speedup));
+  z.set("pipeline_runs_cached",
+        Json::integer(static_cast<std::int64_t>(r_on.pipeline_runs)));
+  z.set("cache_hits",
+        Json::integer(static_cast<std::int64_t>(r_on.cache_hits)));
+  z.set("coalesced",
+        Json::integer(static_cast<std::int64_t>(r_on.coalesced)));
+  benches.push_back(std::move(z));
+  Json m = Json::object();
+  m.set("name", Json::string("all_miss_corpus"));
+  m.set("jobs", Json::integer(static_cast<std::int64_t>(kMissJobs)));
+  m.set("cache_off_ns", Json::number(moff_ns));
+  m.set("cache_on_ns", Json::number(mon_ns));
+  m.set("overhead", Json::number(miss_overhead));
+  benches.push_back(std::move(m));
+  doc.set("benchmarks", std::move(benches));
+
+  std::ofstream out(out_path);
+  out << doc.dump() << "\n";
+  std::cout << "wrote " << out_path << "\n";
+
+  if (!fast_enough) {
+    std::cerr << "CACHE SPEEDUP: " << speedup << "x on the Zipf corpus, "
+              << "floor " << kMinSpeedup << "x\n";
+  }
+  if (!cheap_enough) {
+    std::cerr << "CACHE MISS OVERHEAD: " << miss_overhead * 100.0
+              << "% on the all-miss corpus, budget "
+              << kMaxMissOverhead * 100.0 << "%\n";
+  }
+  if (!passed) return 1;
+  std::cout << "gate passed: " << speedup << "x >= " << kMinSpeedup
+            << "x, " << miss_overhead * 100.0 << "% <= "
+            << kMaxMissOverhead * 100.0 << "%\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -894,6 +1081,12 @@ int main(int argc, char** argv) {
       const std::string path =
           eq == std::string::npos ? "BENCH_pr6.json" : arg.substr(eq + 1);
       return run_wal_gate(path);
+    }
+    if (arg.rfind("--cache-gate", 0) == 0) {
+      const std::size_t eq = arg.find('=');
+      const std::string path =
+          eq == std::string::npos ? "BENCH_pr8.json" : arg.substr(eq + 1);
+      return run_cache_gate(path);
     }
   }
   benchmark::Initialize(&argc, argv);

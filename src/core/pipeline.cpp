@@ -205,18 +205,27 @@ void Compiler::run_pipeline(const mdg::Mdg& graph,
   // degradation by definition, so the ladder starts at rung 1 (the
   // multi-start retry on the sanitized model) instead of pretending a
   // pristine rung-0 solve happened.
+  // Warm start (DESIGN §13): honored only when it covers this graph's
+  // node count — a stale or foreign vector degrades to a cold start
+  // rather than an error, because the service hands these over
+  // opportunistically from its allocation cache.
+  const std::span<const double> warm =
+      config_.solver_warm_start.size() == graph.node_count()
+          ? std::span<const double>(config_.solver_warm_start)
+          : std::span<const double>{};
   solver::GuardedAllocation guarded = [&] {
     const obs::PhaseSpan span("compiler", "allocate", 1.0);
     if (!policy.enabled) {
       solver::GuardedAllocation g;
       g.result = solver::ConvexAllocator(solver_config)
-                     .allocate(model, static_cast<double>(p));
+                     .reallocate(model, static_cast<double>(p), warm);
       return g;
     }
     return solver::allocate_with_recovery(
         model, static_cast<double>(p), solver_config, config_.recovery,
         repair ? degrade::DegradationLevel::kMultiStartRetry
-               : degrade::DegradationLevel::kNone);
+               : degrade::DegradationLevel::kNone,
+        warm);
   }();
   log_info("allocation: ", guarded.result.summary());
   append_diagnostics(report.diagnostics, std::move(guarded.diagnostics));

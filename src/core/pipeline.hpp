@@ -54,6 +54,13 @@ struct PipelineConfig {
   degrade::Policy degradation;
   /// Tuning for the ladder rungs that re-run the convex solver.
   solver::RecoveryConfig recovery;
+  /// Warm start for the convex descent (DESIGN §13): when non-empty
+  /// and sized to the finalized graph's node count, the undegraded
+  /// solver rung descends from this allocation instead of the box
+  /// midpoint (ConvexAllocator::reallocate semantics). A size mismatch
+  /// is ignored (cold start). Changes the float trajectory, so runs
+  /// with a warm start are not byte-comparable to cold runs.
+  std::vector<double> solver_warm_start;
   /// Cooperative cancellation (DESIGN §11): when set, the token is
   /// threaded through every stage (solver iterations, PSA placements,
   /// simulator batches) and a tripped checkpoint unwinds

@@ -1,0 +1,44 @@
+#include "cost/hash.hpp"
+
+#include <vector>
+
+#include "support/hashing.hpp"
+
+namespace paradigm::cost {
+
+std::uint64_t hash_value(const MachineParams& params) {
+  return Hasher(0x3ac41eULL)
+      .f64(params.t_ss)
+      .f64(params.t_ps)
+      .f64(params.t_sr)
+      .f64(params.t_pr)
+      .f64(params.t_n)
+      .digest();
+}
+
+std::uint64_t hash_value(const AmdahlParams& params) {
+  return Hasher(0xa3daULL).f64(params.alpha).f64(params.tau).digest();
+}
+
+std::uint64_t hash_value(const KernelKey& key) {
+  return Hasher(0x4e61ULL)
+      .u64(static_cast<std::uint64_t>(key.op))
+      .size(key.rows)
+      .size(key.cols)
+      .size(key.inner)
+      .digest();
+}
+
+std::uint64_t hash_value(const KernelCostTable& table) {
+  std::vector<std::uint64_t> entries;
+  entries.reserve(table.size());
+  for (const auto& [key, params] : table.entries()) {
+    entries.push_back(Hasher(0xe27aULL)
+                          .u64(hash_value(key))
+                          .u64(hash_value(params))
+                          .digest());
+  }
+  return unordered_mix(entries);
+}
+
+}  // namespace paradigm::cost

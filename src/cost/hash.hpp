@@ -1,0 +1,29 @@
+// Content hashing for cost-policy inputs (DESIGN §13).
+//
+// The allocation cache key covers everything run_pipeline's result
+// depends on; the cost-model side of that is the machine's message
+// parameters and the fitted kernel cost table. These hashes are pure
+// functions of the parameter *values* — two tables with the same
+// entries hash equal regardless of insertion order.
+#pragma once
+
+#include <cstdint>
+
+#include "cost/machine.hpp"
+
+namespace paradigm::cost {
+
+/// Digest of the five Table-2 message-cost parameters.
+std::uint64_t hash_value(const MachineParams& params);
+
+/// Digest of one Amdahl parameter pair.
+std::uint64_t hash_value(const AmdahlParams& params);
+
+/// Digest of a kernel key (op + problem shape).
+std::uint64_t hash_value(const KernelKey& key);
+
+/// Order-independent digest of a fitted kernel table: the multiset of
+/// (key, params) entries.
+std::uint64_t hash_value(const KernelCostTable& table);
+
+}  // namespace paradigm::cost

@@ -1,0 +1,155 @@
+#include "mdg/hash.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/hashing.hpp"
+
+namespace paradigm::mdg {
+namespace {
+
+/// Per-transfer signature. Content includes the resolved byte count
+/// and, for named arrays, the array's content (its dimensions and init
+/// tag — the name itself is a label and excluded). Shape keeps only
+/// the redistribution kind.
+std::uint64_t transfer_sig(const Mdg& graph, const Transfer& t,
+                           bool content) {
+  Hasher h(0x7a15ULL);
+  h.u64(t.kind == TransferKind::k1D ? 1 : 2);
+  if (content) {
+    h.size(t.bytes);
+    if (!t.array.empty() && graph.has_array(t.array)) {
+      const ArrayInfo& a = graph.array(t.array);
+      h.size(a.rows).size(a.cols).u64(a.init_tag);
+    }
+  }
+  return h.digest();
+}
+
+/// Per-edge signature: the unordered multiset of its transfers (the
+/// order arrays were listed in add_dependence is not semantic).
+std::uint64_t edge_sig(const Mdg& graph, const Edge& e, bool content) {
+  std::vector<std::uint64_t> transfers;
+  transfers.reserve(e.transfers.size());
+  for (const Transfer& t : e.transfers) {
+    transfers.push_back(transfer_sig(graph, t, content));
+  }
+  return unordered_mix(transfers);
+}
+
+/// Local node signature, before any neighbourhood refinement.
+std::uint64_t node_sig(const Mdg& graph, const Node& n, bool content) {
+  Hasher h(0x90deULL);
+  h.u64(static_cast<std::uint64_t>(n.kind));
+  h.u64(static_cast<std::uint64_t>(n.loop.op));
+  h.u64(static_cast<std::uint64_t>(n.loop.layout));
+  if (content) {
+    h.f64(n.loop.synth_alpha).f64(n.loop.synth_tau);
+    h.size(n.loop.max_processors);
+    // The output array's content (not its name) — this is what the
+    // kernel cost table keys on (rows/cols/inner all derive from the
+    // operand dimensions).
+    if (!n.loop.output.empty() && graph.has_array(n.loop.output)) {
+      const ArrayInfo& out = graph.array(n.loop.output);
+      h.size(out.rows).size(out.cols).u64(out.init_tag);
+    }
+    // Inputs are positional (mul(A, B) != mul(B, A)), so they hash in
+    // order, again by content.
+    h.size(n.loop.inputs.size());
+    for (const std::string& name : n.loop.inputs) {
+      if (graph.has_array(name)) {
+        const ArrayInfo& in = graph.array(name);
+        h.size(in.rows).size(in.cols).u64(in.init_tag);
+      }
+    }
+  }
+  return h.digest();
+}
+
+/// Longest-path depth of the DAG in edges: the number of refinement
+/// rounds needed for every label to absorb its full ancestry.
+std::size_t dag_depth(const Mdg& graph) {
+  std::vector<std::size_t> depth(graph.node_count(), 0);
+  std::size_t deepest = 0;
+  for (const NodeId id : graph.topological_order()) {
+    for (const EdgeId eid : graph.node(id).out_edges) {
+      const Edge& e = graph.edge(eid);
+      depth[e.dst] = std::max(depth[e.dst], depth[id] + 1);
+      deepest = std::max(deepest, depth[e.dst]);
+    }
+  }
+  return deepest;
+}
+
+/// One full digest (content or shape) via WL refinement.
+std::uint64_t digest_variant(const Mdg& graph, bool content) {
+  const std::size_t n = graph.node_count();
+  std::vector<std::uint64_t> edge_sigs(graph.edge_count());
+  for (const Edge& e : graph.edges()) {
+    edge_sigs[e.id] = edge_sig(graph, e, content);
+  }
+  std::vector<std::uint64_t> label(n);
+  for (const Node& node : graph.nodes()) {
+    label[node.id] = node_sig(graph, node, content);
+  }
+
+  const std::size_t rounds = dag_depth(graph);
+  std::vector<std::uint64_t> next(n);
+  std::vector<std::uint64_t> bucket;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    for (const Node& node : graph.nodes()) {
+      Hasher h(label[node.id]);
+      bucket.clear();
+      for (const EdgeId eid : node.in_edges) {
+        bucket.push_back(Hasher(edge_sigs[eid])
+                             .u64(label[graph.edge(eid).src])
+                             .digest());
+      }
+      h.u64(unordered_mix(bucket));
+      bucket.clear();
+      for (const EdgeId eid : node.out_edges) {
+        bucket.push_back(Hasher(edge_sigs[eid])
+                             .u64(label[graph.edge(eid).dst])
+                             .digest());
+      }
+      h.u64(unordered_mix(bucket));
+      next[node.id] = h.digest();
+    }
+    label.swap(next);
+  }
+
+  // The digest is a pure multiset hash: final node labels plus every
+  // edge as a (src label, edge signature, dst label) triple. Node ids
+  // never enter, so any relabeling/reordering of an isomorphic build
+  // produces identical bytes.
+  std::vector<std::uint64_t> parts;
+  parts.reserve(n + graph.edge_count());
+  for (std::size_t i = 0; i < n; ++i) parts.push_back(label[i]);
+  for (const Edge& e : graph.edges()) {
+    parts.push_back(Hasher(0xed9e)
+                        .u64(label[e.src])
+                        .u64(edge_sigs[e.id])
+                        .u64(label[e.dst])
+                        .digest());
+  }
+  return Hasher(content ? 0xc0 : 0x54)
+      .size(n)
+      .size(graph.edge_count())
+      .u64(unordered_mix(parts))
+      .digest();
+}
+
+}  // namespace
+
+MdgDigest content_digest(const Mdg& graph) {
+  PARADIGM_CHECK(graph.finalized(),
+                 "content_digest requires a finalized MDG (transfer byte "
+                 "counts are resolved at finalize)");
+  MdgDigest d;
+  d.content = digest_variant(graph, /*content=*/true);
+  d.shape = digest_variant(graph, /*content=*/false);
+  return d;
+}
+
+}  // namespace paradigm::mdg

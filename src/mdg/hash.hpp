@@ -1,0 +1,52 @@
+// Content-addressed, isomorphism-normalized MDG hashing (DESIGN §13).
+//
+// Two finalized MDGs that describe the same computation must hash
+// equal even when they were *built* differently: nodes added in
+// another order, nodes/arrays spelled with other names, transfers
+// listed in another sequence. Conversely any semantic edit — an Amdahl
+// weight, a transfer byte count, an array dimension, an edge, a
+// per-node processor cap — must change the hash. Names are labels, not
+// semantics, so they never enter the hash; arrays are identified by
+// their content (rows, cols, init tag) at their points of use.
+//
+// The canonical form is computed by Weisfeiler-Leman-style refinement:
+// every node starts from a local content signature and repeatedly
+// absorbs the multiset of (edge signature, neighbour label) pairs on
+// its in- and out-edges, for as many rounds as the DAG is deep, so
+// every label ends up conditioned on its full ancestry and posterity.
+// The graph digest is then a multiset hash of the final node labels
+// plus the (src label, edge signature, dst label) triples — no node id
+// or insertion order survives into it.
+//
+// Two digests are produced in one pass:
+//   content — everything semantic, including numeric weights. Equal
+//             content digests make allocation results reusable as-is
+//             (the memoization key of svc/cache.hpp).
+//   shape   — structure only: node kinds/ops/layouts, edge topology,
+//             transfer kinds; numeric weights (alpha, tau, bytes,
+//             dimensions, caps) excluded. Equal shape digests mark
+//             "same program, perturbed weights" near-misses, whose
+//             cached allocation is a valid solver warm start.
+#pragma once
+
+#include <cstdint>
+
+#include "mdg/mdg.hpp"
+
+namespace paradigm::mdg {
+
+/// The pair of canonical digests of one finalized MDG.
+struct MdgDigest {
+  std::uint64_t content = 0;
+  std::uint64_t shape = 0;
+
+  bool operator==(const MdgDigest&) const = default;
+};
+
+/// Computes both canonical digests. The graph must be finalized (the
+/// digest covers the resolved transfer byte counts and the implicit
+/// START/STOP structure). Deterministic across runs, platforms, and
+/// any relabeling/reordering of an isomorphic graph.
+MdgDigest content_digest(const Mdg& graph);
+
+}  // namespace paradigm::mdg

@@ -614,7 +614,8 @@ GuardedAllocation allocate_with_recovery(const cost::CostModel& model,
                                          double p,
                                          const ConvexAllocatorConfig& config,
                                          const RecoveryConfig& recovery,
-                                         degrade::DegradationLevel start_level) {
+                                         degrade::DegradationLevel start_level,
+                                         std::span<const double> warm_start) {
   using degrade::DegradationLevel;
   using degrade::Diagnostic;
   using degrade::DiagnosticCode;
@@ -626,7 +627,7 @@ GuardedAllocation allocate_with_recovery(const cost::CostModel& model,
   const auto attempt = [&](DegradationLevel rung) -> AllocationResult {
     switch (rung) {
       case DegradationLevel::kNone:
-        return ConvexAllocator(config).allocate(model, p);
+        return ConvexAllocator(config).reallocate(model, p, warm_start);
       case DegradationLevel::kMultiStartRetry: {
         ConvexAllocatorConfig c = config;
         c.num_starts = std::max(c.num_starts + 1, recovery.retry_starts);

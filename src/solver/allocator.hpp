@@ -202,10 +202,16 @@ struct GuardedAllocation {
 /// are recorded as structured diagnostics. The serial rung always
 /// terminates the ladder. Deterministic: rung selection depends only on
 /// value checks, never on time.
+///
+/// `warm_start`, when non-empty, seeds the *undegraded* rung's descent
+/// (ConvexAllocator::reallocate semantics; must cover the graph's node
+/// count). Recovery rungs deliberately ignore it: they exist to escape
+/// a bad basin, and re-seeding them from a neighbor would defeat that.
 GuardedAllocation allocate_with_recovery(
     const cost::CostModel& model, double p,
     const ConvexAllocatorConfig& config = {},
     const RecoveryConfig& recovery = {},
-    degrade::DegradationLevel start_level = degrade::DegradationLevel::kNone);
+    degrade::DegradationLevel start_level = degrade::DegradationLevel::kNone,
+    std::span<const double> warm_start = {});
 
 }  // namespace paradigm::solver

@@ -1,0 +1,99 @@
+// Deterministic 64-bit content hashing (DESIGN §13).
+//
+// The allocation cache keys results by the *content* of their inputs,
+// so the hash must be stable across runs, processes, platforms, and —
+// critically — across semantically irrelevant representation details
+// (node insertion order, label spellings). This header provides the
+// mixing primitives; canonicalization (what to feed the hasher, and in
+// what order) lives with each hashed type (mdg/hash.hpp, cost/hash.hpp,
+// svc/cache.cpp).
+//
+// The mixer is the splitmix64 finalizer — the same bit-specified
+// function support/rng.hpp builds on — folded over the input words, so
+// hashes are reproducible bit-for-bit everywhere a Rng is. Doubles are
+// hashed by their IEEE-754 payload with -0.0 canonicalized to 0.0 and
+// every NaN collapsed to one pattern, so value-equal inputs hash equal.
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace paradigm {
+
+/// Accumulating 64-bit content hasher. Order-sensitive: feed fields in
+/// a canonical order. For order-*insensitive* multisets, hash each
+/// element with a fresh Hasher and combine with unordered_mix.
+class Hasher {
+ public:
+  explicit Hasher(std::uint64_t seed = 0x1c9446da7aULL) : state_(mix(seed)) {}
+
+  Hasher& u64(std::uint64_t v) {
+    state_ = mix(state_ ^ mix(v));
+    return *this;
+  }
+
+  Hasher& i64(std::int64_t v) { return u64(static_cast<std::uint64_t>(v)); }
+
+  Hasher& size(std::size_t v) { return u64(static_cast<std::uint64_t>(v)); }
+
+  Hasher& boolean(bool v) { return u64(v ? 0x1ULL : 0x2ULL); }
+
+  /// IEEE-754 payload hash with -0.0 == 0.0 and all NaNs equal.
+  Hasher& f64(double v) {
+    if (std::isnan(v)) return u64(0x7ff8dead7ff8deadULL);
+    if (v == 0.0) v = 0.0;  // Collapses -0.0.
+    return u64(std::bit_cast<std::uint64_t>(v));
+  }
+
+  /// Length-prefixed so "ab","c" never collides with "a","bc".
+  Hasher& str(std::string_view s) {
+    u64(s.size());
+    std::uint64_t word = 0;
+    std::size_t filled = 0;
+    for (const char c : s) {
+      word |= static_cast<std::uint64_t>(static_cast<unsigned char>(c))
+              << (8 * filled);
+      if (++filled == 8) {
+        u64(word);
+        word = 0;
+        filled = 0;
+      }
+    }
+    if (filled > 0) u64(word);
+    return *this;
+  }
+
+  Hasher& f64_span(std::span<const double> values) {
+    u64(values.size());
+    for (const double v : values) f64(v);
+    return *this;
+  }
+
+  std::uint64_t digest() const { return state_; }
+
+  /// splitmix64 finalizer: the bit-specified avalanche this module (and
+  /// support/rng.hpp) is built on.
+  static std::uint64_t mix(std::uint64_t z) {
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Commutative combiner for multiset hashing: sums the elements'
+/// (pre-mixed) digests, then re-mixes. Permutation-invariant by
+/// construction; the outer mix restores avalanche over the sum.
+inline std::uint64_t unordered_mix(std::span<const std::uint64_t> digests) {
+  std::uint64_t sum = 0x5eedULL + digests.size();
+  for (const std::uint64_t d : digests) sum += Hasher::mix(d);
+  return Hasher::mix(sum);
+}
+
+}  // namespace paradigm

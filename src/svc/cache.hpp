@@ -1,0 +1,162 @@
+// Content-addressed allocation result cache + admission coalescing
+// (DESIGN §13).
+//
+// The pipeline result is a pure function of (MDG, machine, cost
+// policy, solver seed, cancellation envelope), so the service may
+// serve a repeated job from a memoized core::RunMemo instead of
+// re-solving — the same digest the WAL stores, so a cache hit is
+// bit-indistinguishable from a fresh run in the ledger. Three reuse
+// tiers, strongest first:
+//
+//   exact hit  — the full cache key matches and the cached run is
+//                valid under the requesting attempt's tick cap
+//                (memo.ticks < cap, or no cap): the memo replays
+//                directly, no pipeline run.
+//   coalesce   — identical attempts starting at the same instant
+//                (same key *and* cap) run once; every duplicate gets
+//                its own ledger entry and journal records.
+//   warm start — a near-miss (same shape digest, perturbed weights)
+//                seeds the convex descent from the neighbor's cached
+//                allocation (ConvexAllocator::reallocate semantics).
+//                Changes solver float trajectories, so it is opt-in
+//                and excluded from the byte-identity contract.
+//
+// Validity rule: only non-cancelled runs are cached. A completed run
+// that charged T ticks behaves identically under any cap > T, so a
+// hit requires cap == 0 || memo.ticks < cap; the watchdog stall limit
+// is part of the key. Cancelled runs are cap-specific and never enter
+// the cache.
+//
+// All cache state is owned and mutated by the (serial) service event
+// loop, so hit/miss/eviction sequences are deterministic for any
+// thread count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "mdg/hash.hpp"
+
+namespace paradigm::svc {
+
+/// Allocation-cache tuning (ServiceConfig::cache; CLI --cache-*).
+struct CacheConfig {
+  /// Master switch for the result cache (the CLI default is on;
+  /// the library default is off so embedders opt in).
+  bool enabled = false;
+  std::size_t capacity = 1024;  ///< LRU entry bound (>= 1 when enabled).
+  /// Dedup identical same-instant attempts at slot assignment.
+  bool coalesce = true;
+  /// Seed the solver from a same-shape neighbor's allocation on a
+  /// miss. Perturbs solver float trajectories — opt-in, excluded from
+  /// the cache-on/off byte-identity contract.
+  bool warm_start = false;
+};
+
+/// 128-bit content key: two independently seeded digest chains over
+/// the same canonical fields, so accidental collision needs a
+/// simultaneous 64+64-bit coincidence.
+struct CacheKey {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  bool operator==(const CacheKey&) const = default;
+};
+
+struct CacheKeyHash {
+  std::size_t operator()(const CacheKey& k) const {
+    return static_cast<std::size_t>(k.hi ^ (k.lo * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+/// Monotonic reuse accounting (ServiceReport mirrors these; none of
+/// them enter the ledger).
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t warm_starts = 0;
+};
+
+/// One cached run: the durable digest plus the solver's allocation
+/// vector (empty for failed runs — nothing to warm-start from).
+struct CacheEntry {
+  core::RunMemo memo;
+  std::vector<double> allocation;
+  std::uint64_t shape = 0;  ///< Shape key for near-miss indexing.
+};
+
+/// LRU map from CacheKey to CacheEntry with a last-writer shape index
+/// for warm starts. Not thread-safe by design: the service event loop
+/// is its only caller.
+class ResultCache {
+ public:
+  explicit ResultCache(std::size_t capacity);
+
+  /// The entry for `key` valid under `cap` (see validity rule above),
+  /// else null. A hit promotes the entry to most-recently-used. The
+  /// pointer is invalidated by the next insert().
+  const CacheEntry* lookup(const CacheKey& key, std::uint64_t cap);
+
+  /// Inserts (or replaces) the entry, evicting the least-recently-used
+  /// entry when full. Cancelled memos are rejected (no-op): they are
+  /// cap-specific.
+  void insert(const CacheKey& key, std::uint64_t shape, core::RunMemo memo,
+              std::vector<double> allocation);
+
+  /// The most recently *inserted* entry with this shape key, if it is
+  /// still resident — the warm-start neighbor. Null when none was ever
+  /// inserted or the neighbor has been evicted (callers fall back to a
+  /// cold start). Does not promote.
+  const CacheEntry* nearest(std::uint64_t shape) const;
+
+  std::size_t size() const { return order_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  const CacheStats& stats() const { return stats_; }
+
+ private:
+  struct Slot {
+    CacheKey key;
+    CacheEntry entry;
+  };
+  using Order = std::list<Slot>;
+
+  std::size_t capacity_;
+  Order order_;  ///< Front = most recently used.
+  std::unordered_map<CacheKey, Order::iterator, CacheKeyHash> index_;
+  /// shape key -> content key of the last inserted entry with that
+  /// shape. Never cleaned on eviction; staleness is detected at use.
+  std::unordered_map<std::uint64_t, CacheKey> shape_index_;
+  CacheStats stats_;
+};
+
+/// Digest of everything in the base pipeline configuration that the
+/// run result depends on — machine timings (size excluded: it is
+/// job-effective), calibration mode/config/preset, solver tuning,
+/// PSA flags, simulation switch, degradation policy, recovery tuning.
+/// Computed once per service run.
+std::uint64_t policy_digest(const core::PipelineConfig& config);
+
+/// Composes the full cache key for one attempt: the per-run policy
+/// digest, the graph's canonical content digest, and the job-effective
+/// overrides (processors, machine size, watchdog stall limit, attempt
+/// number — retries perturb the solver seed).
+CacheKey job_cache_key(std::uint64_t policy, const mdg::MdgDigest& digest,
+                       std::uint64_t processors, std::uint32_t machine_size,
+                       std::size_t attempt, std::uint64_t stall);
+
+/// The warm-start neighborhood key: like job_cache_key but with the
+/// *shape* digest (weights excluded) and no attempt number, folded to
+/// one word. Jobs with equal shape keys are the "same program,
+/// perturbed weights" near-misses.
+std::uint64_t job_shape_key(std::uint64_t policy,
+                            const mdg::MdgDigest& digest,
+                            std::uint64_t processors,
+                            std::uint32_t machine_size, std::uint64_t stall);
+
+}  // namespace paradigm::svc

@@ -4,8 +4,10 @@
 #include <chrono>
 #include <deque>
 #include <map>
+#include <optional>
 #include <set>
 #include <sstream>
+#include <tuple>
 
 #include "obs/obs.hpp"
 #include "support/error.hpp"
@@ -46,6 +48,13 @@ struct SvcMetrics {
       obs::Registry::global().counter("svc.cancelled_drain");
   obs::Counter& breaker_opens =
       obs::Registry::global().counter("svc.breaker_opens");
+  obs::Counter& cache_hit = obs::Registry::global().counter("svc.cache_hit");
+  obs::Counter& cache_miss =
+      obs::Registry::global().counter("svc.cache_miss");
+  obs::Counter& cache_coalesced =
+      obs::Registry::global().counter("svc.cache_coalesced");
+  obs::Counter& cache_warm_start =
+      obs::Registry::global().counter("svc.cache_warm_start");
   obs::Histogram& queue_depth = obs::Registry::global().histogram(
       "svc.queue_depth", obs::exp_bounds(1.0, 2.0, 10));
   obs::Histogram& job_ticks = obs::Registry::global().histogram(
@@ -82,6 +91,14 @@ struct ArrivalOrder {
 /// the journal stores, so a memoized replay is indistinguishable from
 /// the original execution.
 using Executed = core::RunMemo;
+
+/// A fresh run's digest plus the solver's allocation vector — the
+/// part the result cache keeps for warm-starting near-miss neighbors
+/// (DESIGN §13). Memo/cache replays carry an empty allocation.
+struct ExecOut {
+  Executed memo;
+  std::vector<double> allocation;
+};
 
 /// A slot-occupying attempt with its computed completion time.
 struct Running {
@@ -153,11 +170,14 @@ void Service::drain_at(std::uint64_t at, std::uint64_t grace) {
 namespace {
 
 /// Runs one attempt's pipeline under a fresh cancel token. Pure value
-/// function of (attempt, cap, stall, base pipeline config) — thread
-///-count independent, so batches of these run through parallel_map.
-Executed execute_attempt(const ServiceConfig& config, const Attempt& a,
-                         std::uint64_t cap, std::uint64_t stall) {
-  Executed e;
+/// function of (attempt, cap, stall, warm start, base pipeline config)
+/// — thread-count independent, so batches of these run through
+/// parallel_map.
+ExecOut execute_attempt(const ServiceConfig& config, const Attempt& a,
+                        std::uint64_t cap, std::uint64_t stall,
+                        const std::vector<double>& warm) {
+  ExecOut out;
+  Executed& e = out.memo;
   CancelToken token(cap, stall);
   core::PipelineConfig pc = config.pipeline;
   pc.processors = a.spec.processors;
@@ -165,6 +185,7 @@ Executed execute_attempt(const ServiceConfig& config, const Attempt& a,
     pc.machine.size = static_cast<std::uint32_t>(a.spec.processors);
   }
   pc.cancel = &token;
+  pc.solver_warm_start = warm;
   if (a.attempt > 1) {
     // Retries re-solve from different deterministic starts.
     pc.solver.start_seed +=
@@ -182,12 +203,13 @@ Executed execute_attempt(const ServiceConfig& config, const Attempt& a,
     if (report.cancelled && !report.diagnostics.empty()) {
       e.detail = report.diagnostics.back().detail;
     }
+    out.allocation = report.allocation.allocation;
   } catch (const Error& err) {
     e.failed = true;
     e.detail = err.what();
   }
   e.ticks = token.ticks();
-  return e;
+  return out;
 }
 
 JobOutcome classify(const Executed& e, bool cap_is_drain) {
@@ -239,6 +261,18 @@ ServiceReport Service::run() {
 
   ServiceReport report;
   report.drained = has_drain_;
+
+  // Allocation-reuse layer (DESIGN §13). All cache state is owned by
+  // the serial event loop, so hit/miss/eviction sequences — and with
+  // them the report counters — are deterministic for any thread count.
+  // The policy digest (everything job-invariant the result depends on)
+  // is computed once per run.
+  std::optional<ResultCache> cache;
+  std::uint64_t policy = 0;
+  if (config_.cache.enabled) {
+    cache.emplace(config_.cache.capacity);
+    policy = policy_digest(config_.pipeline);
+  }
 
   // Pending arrivals ordered by (arrival, seq); retries insert new
   // entries with fresh (monotonic) sequence numbers.
@@ -383,6 +417,10 @@ ServiceReport Service::run() {
       std::uint64_t cap = 0;
       std::uint64_t stall = 0;
       bool cap_is_drain = false;
+      bool has_key = false;      ///< Reuse key computed successfully.
+      CacheKey key;              ///< Content key (graph + policy + env).
+      std::uint64_t shape = 0;   ///< Warm-start neighborhood key.
+      std::vector<double> warm;  ///< Warm-start seed (may stay empty).
     };
     std::vector<Prepared> batch;
     while (running.size() + batch.size() < config_.slots &&
@@ -429,44 +467,134 @@ ServiceReport Service::run() {
     if (record) {
       svc_metrics().started.add_unchecked(batch.size());
     }
-    // Split the batch into attempts already durable in the journal
-    // (served from their memoized digest — the exactly-once shortcut)
-    // and attempts that must actually run. Start records land before
-    // the pipeline runs, digests after, so every append is a crash
-    // boundary the recovery soak exercises.
-    std::vector<const Executed*> memos(batch.size(), nullptr);
-    std::vector<std::size_t> to_run;
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      if (persist_ != nullptr) {
-        memos[i] = persist_->find_memo(batch[i].attempt.job_index,
-                                       batch[i].attempt.attempt);
-      }
-      if (memos[i] == nullptr) {
-        if (persist_ != nullptr) {
-          persist_->journal_start(batch[i].attempt.job_index,
-                                  batch[i].attempt.attempt, now,
-                                  batch[i].cap);
+    // Reuse keys (DESIGN §13): canonical graph digest + policy digest
+    // + job-effective overrides. A graph that fails to build is simply
+    // uncacheable — execute_attempt reproduces (and records) the
+    // failure exactly as it would without the cache.
+    if (cache) {
+      for (Prepared& p : batch) {
+        try {
+          const mdg::Mdg graph = build_job_graph(p.attempt.spec);
+          const mdg::MdgDigest digest = mdg::content_digest(graph);
+          std::uint32_t machine_size = config_.pipeline.machine.size;
+          if (machine_size < p.attempt.spec.processors) {
+            machine_size =
+                static_cast<std::uint32_t>(p.attempt.spec.processors);
+          }
+          p.key =
+              job_cache_key(policy, digest, p.attempt.spec.processors,
+                            machine_size, p.attempt.attempt, p.stall);
+          p.shape = job_shape_key(policy, digest, p.attempt.spec.processors,
+                                  machine_size, p.stall);
+          p.has_key = true;
+        } catch (const Error&) {
+          p.has_key = false;
         }
-        to_run.push_back(i);
       }
     }
+    // Resolve each attempt through the reuse tiers, strongest first:
+    // WAL memo (exactly-once replay), then cache hit, then coalesce /
+    // run. Cache hits are journaled exactly like runs — start record
+    // then digest record — so each append is a new crash boundary and
+    // recovery serves the hit as an ordinary WAL memo (DESIGN §12).
+    std::vector<bool> resolved(batch.size(), false);
     std::vector<Executed> executed(batch.size());
-    const std::vector<Executed> fresh = parallel_map<Executed>(
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (persist_ != nullptr) {
+        const Executed* memo = persist_->find_memo(
+            batch[i].attempt.job_index, batch[i].attempt.attempt);
+        if (memo != nullptr) {
+          executed[i] = *memo;
+          resolved[i] = true;
+          continue;
+        }
+      }
+      if (cache && batch[i].has_key) {
+        const CacheEntry* entry = cache->lookup(batch[i].key, batch[i].cap);
+        if (entry != nullptr) {
+          executed[i] = entry->memo;
+          resolved[i] = true;
+          ++report.cache_hits;
+          if (record) svc_metrics().cache_hit.add_unchecked(1);
+          if (persist_ != nullptr) {
+            persist_->journal_start(batch[i].attempt.job_index,
+                                    batch[i].attempt.attempt, now,
+                                    batch[i].cap);
+            persist_->journal_exec(batch[i].attempt.job_index,
+                                   batch[i].attempt.attempt, executed[i]);
+          }
+          continue;
+        }
+        ++report.cache_misses;
+        if (record) svc_metrics().cache_miss.add_unchecked(1);
+        if (config_.cache.warm_start) {
+          const CacheEntry* neighbor = cache->nearest(batch[i].shape);
+          if (neighbor != nullptr && !neighbor->allocation.empty()) {
+            batch[i].warm = neighbor->allocation;
+            ++report.warm_starts;
+            if (record) svc_metrics().cache_warm_start.add_unchecked(1);
+          }
+        }
+      }
+    }
+    // Coalesce identical unresolved attempts: equal content key *and*
+    // equal tick cap run once. Every follower keeps its own journal
+    // records and (below) its own ledger entry — N identical
+    // submissions cost one solve and N entries.
+    std::vector<std::size_t> to_run;
+    std::vector<std::size_t> leader_of(batch.size());
+    std::map<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>,
+             std::size_t>
+        leaders;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      leader_of[i] = i;
+      if (resolved[i]) continue;
+      if (persist_ != nullptr) {
+        persist_->journal_start(batch[i].attempt.job_index,
+                                batch[i].attempt.attempt, now,
+                                batch[i].cap);
+      }
+      if (cache && config_.cache.coalesce && batch[i].has_key) {
+        const auto [it, is_leader] = leaders.emplace(
+            std::make_tuple(batch[i].key.hi, batch[i].key.lo, batch[i].cap),
+            i);
+        if (!is_leader) {
+          leader_of[i] = it->second;
+          ++report.coalesced;
+          if (record) svc_metrics().cache_coalesced.add_unchecked(1);
+          continue;
+        }
+      }
+      to_run.push_back(i);
+    }
+    const std::vector<ExecOut> fresh = parallel_map<ExecOut>(
         to_run.size(), [&](std::size_t k) {
           const std::size_t i = to_run[k];
           return execute_attempt(config_, batch[i].attempt, batch[i].cap,
-                                 batch[i].stall);
+                                 batch[i].stall, batch[i].warm);
         });
     report.pipeline_runs += to_run.size();
     for (std::size_t k = 0; k < to_run.size(); ++k) {
-      executed[to_run[k]] = fresh[k];
+      const std::size_t i = to_run[k];
+      executed[i] = fresh[k].memo;
       if (persist_ != nullptr) {
-        persist_->journal_exec(batch[to_run[k]].attempt.job_index,
-                               batch[to_run[k]].attempt.attempt, fresh[k]);
+        persist_->journal_exec(batch[i].attempt.job_index,
+                               batch[i].attempt.attempt, fresh[k].memo);
+      }
+      if (cache && batch[i].has_key) {
+        cache->insert(batch[i].key, batch[i].shape, fresh[k].memo,
+                      fresh[k].allocation);
       }
     }
+    // Followers share their leader's digest, under their own journal
+    // keys.
     for (std::size_t i = 0; i < batch.size(); ++i) {
-      if (memos[i] != nullptr) executed[i] = *memos[i];
+      if (resolved[i] || leader_of[i] == i) continue;
+      executed[i] = executed[leader_of[i]];
+      if (persist_ != nullptr) {
+        persist_->journal_exec(batch[i].attempt.job_index,
+                               batch[i].attempt.attempt, executed[i]);
+      }
     }
     for (std::size_t i = 0; i < batch.size(); ++i) {
       Running r;

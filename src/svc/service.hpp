@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "core/pipeline.hpp"
+#include "svc/cache.hpp"
 #include "svc/job.hpp"
 
 namespace paradigm::svc {
@@ -64,6 +65,10 @@ struct ServiceConfig {
   /// True: the ledger carries logical time only (byte-comparable across
   /// runs/threads). False: a wallclock trailer comment is appended.
   bool logical_time_only = true;
+  /// Allocation-reuse layer (DESIGN §13): content-addressed result
+  /// cache, same-instant coalescing, opt-in warm starts. Off by
+  /// default at the library level; the CLI enables it.
+  CacheConfig cache;
   /// Base pipeline configuration; processors/machine size and the
   /// cancel token are overridden per job, and the solver start seed is
   /// perturbed per retry attempt.
@@ -85,11 +90,21 @@ struct ServiceReport {
   std::size_t failed = 0;
   std::size_t retries = 0;       ///< Retry attempts scheduled.
   std::size_t breaker_opens = 0;
-  /// Pipeline attempts actually executed this run (memoized replays
-  /// excluded). Not part of the ledger — with persistence, recovery's
-  /// pipeline_runs + memo hits must equal the crash-free run's
-  /// pipeline_runs (the exactly-once accounting, DESIGN §12).
+  /// Pipeline attempts actually executed this run (memoized replays —
+  /// WAL or cache — and coalesced duplicates excluded). Not part of
+  /// the ledger — with persistence, recovery's pipeline_runs +
+  /// cache_hits + WAL memo hits must equal the crash-free run's
+  /// pipeline_runs + cache_hits (the exactly-once accounting,
+  /// DESIGN §12/§13).
   std::size_t pipeline_runs = 0;
+  /// Allocation-reuse accounting (DESIGN §13). Like pipeline_runs,
+  /// none of these enter the ledger: a cache hit replays the exact
+  /// memo a fresh run would produce, so cache-on and cache-off runs
+  /// stay byte-comparable.
+  std::size_t cache_hits = 0;    ///< Attempts served from the cache.
+  std::size_t cache_misses = 0;  ///< Attempts that missed (and ran).
+  std::size_t coalesced = 0;     ///< Duplicates folded into a leader.
+  std::size_t warm_starts = 0;   ///< Misses seeded from a neighbor.
   bool drained = false;          ///< A drain directive was applied.
   double wallclock_ms = -1.0;    ///< < 0: omitted from the ledger.
 

@@ -1,0 +1,229 @@
+// Allocation-cache soak (DESIGN §13, `ctest -L soak`): a 10 000-job
+// corpus drawn Zipf(1.1)-style from 64 job templates is run through the
+// service with the content-addressed cache on and off, at 1 and at 4
+// worker threads. The cache must be *invisible* in the ledger — all
+// four ledgers byte-identical — while the accounting proves the reuse
+// actually happened: at most one pipeline run per distinct template,
+// hit-rate at or above the analytic floor (N − K), and same-instant
+// duplicates coalesced into their batch leader with per-job ledger
+// entries intact. Ledgers of failing runs are archived to
+// $PARADIGM_SOAK_ARTIFACT_DIR.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/parallel.hpp"
+#include "support/rng.hpp"
+#include "svc/service.hpp"
+
+namespace paradigm::svc {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::size_t kJobs = 10000;
+constexpr std::size_t kTemplates = 64;
+constexpr double kZipfExponent = 1.1;
+
+/// The 64 job templates the corpus is drawn from. Each template is a
+/// distinct (seed, nodes, p) triple, so each has a distinct canonical
+/// content digest — the analytic reuse floor below counts templates.
+JobSpec template_job(std::size_t rank) {
+  JobSpec spec;
+  spec.graph = GraphKind::kRandom;
+  spec.seed = 5000 + rank;
+  spec.nodes = 3 + (rank % 3);
+  spec.processors = (rank % 2 == 0) ? 4 : 8;
+  spec.arrival = 0;
+  return spec;
+}
+
+/// Deterministic Zipf(1.1) sampling by inverse CDF over the template
+/// ranks: rank r is drawn with probability ∝ (r+1)^-1.1, so a handful
+/// of hot templates dominate — the workload shape a result cache is
+/// for. The corpus opens with a four-copy burst of the hottest
+/// template (one full slot batch of identical, not-yet-cached jobs):
+/// coalescing — not the cache — is what must fold those, since within
+/// one batch no leader has been inserted yet.
+std::vector<JobSpec> zipf_corpus() {
+  std::vector<double> cdf(kTemplates);
+  double total = 0.0;
+  for (std::size_t r = 0; r < kTemplates; ++r) {
+    total += std::pow(static_cast<double>(r + 1), -kZipfExponent);
+    cdf[r] = total;
+  }
+  Rng rng(0x21bf5eedULL);
+  std::vector<JobSpec> jobs;
+  jobs.reserve(kJobs);
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    std::size_t rank = 0;
+    if (i >= 4) {
+      const double u = rng.uniform() * total;
+      while (rank + 1 < kTemplates && cdf[rank] < u) ++rank;
+    }
+    JobSpec spec = template_job(rank);
+    spec.id = "z";
+    spec.id += std::to_string(i);
+    jobs.push_back(std::move(spec));
+  }
+  return jobs;
+}
+
+/// Cheap deterministic pipeline settings: the cache-off runs execute
+/// all 10 000 pipeline attempts, so each attempt is kept as small as
+/// determinism allows. No deadlines, no retries, queue larger than the
+/// corpus — every job completes, which makes the reuse accounting
+/// exact.
+ServiceConfig soak_config(bool cache_on) {
+  ServiceConfig config;
+  config.pipeline.calibration_mode = core::CalibrationMode::kStatic;
+  config.pipeline.machine.size = 8;
+  config.pipeline.machine.noise_sigma = 0.0;
+  config.pipeline.solver.max_inner_iterations = 6;
+  config.pipeline.solver.continuation_rounds = 1;
+  config.queue_capacity = kJobs + 1;
+  config.slots = 4;
+  config.max_retries = 0;
+  config.cache.enabled = cache_on;
+  config.cache.capacity = 2 * kTemplates;
+  return config;
+}
+
+ServiceReport run_soak(std::size_t threads, bool cache_on) {
+  set_thread_count(threads);
+  Service service(soak_config(cache_on));
+  for (JobSpec& spec : zipf_corpus()) service.submit(std::move(spec));
+  ServiceReport report = service.run();
+  set_thread_count(0);
+  return report;
+}
+
+/// On failure, writes the mismatching ledger next to the reference one
+/// in $PARADIGM_SOAK_ARTIFACT_DIR so the divergence can be diffed
+/// offline (the CI soak stage archives that directory).
+void archive_on_failure(const std::string& tag, const std::string& ledger) {
+  const char* artifact_dir = std::getenv("PARADIGM_SOAK_ARTIFACT_DIR");
+  if (artifact_dir == nullptr || artifact_dir[0] == '\0') return;
+  std::error_code ec;
+  fs::create_directories(artifact_dir, ec);
+  std::ofstream out(fs::path(artifact_dir) / (tag + ".ledger"));
+  out << ledger;
+}
+
+/// Every job id must have exactly one terminal ledger line — coalesced
+/// duplicates share a solve but never a ledger entry.
+void assert_per_job_entries(const std::string& ledger) {
+  std::set<std::string> ids;
+  std::size_t lines = 0;
+  std::istringstream in(ledger);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    ++lines;
+    std::istringstream fields(line);
+    std::string id;
+    fields >> id;
+    EXPECT_TRUE(ids.insert(id).second) << "duplicate ledger line: " << line;
+  }
+  EXPECT_EQ(lines, kJobs);
+  EXPECT_EQ(ids.size(), kJobs);
+}
+
+TEST(CacheSoak, TenThousandJobZipfCorpusHitsFloorAndKeepsLedgerIdentical) {
+  const ServiceReport off1 = run_soak(1, false);
+  const std::string expected = off1.ledger();
+  assert_per_job_entries(expected);
+  ASSERT_EQ(off1.completed + off1.degraded, kJobs)
+      << "corpus must complete cleanly for the reuse floor to be exact";
+  EXPECT_EQ(off1.pipeline_runs, kJobs);
+  EXPECT_EQ(off1.cache_hits + off1.cache_misses + off1.coalesced, 0u);
+
+  const struct {
+    const char* tag;
+    std::size_t threads;
+    bool cache_on;
+  } variants[] = {
+      {"cache-off-t4", 4, false},
+      {"cache-on-t1", 1, true},
+      {"cache-on-t4", 4, true},
+  };
+  for (const auto& v : variants) {
+    SCOPED_TRACE(v.tag);
+    const ServiceReport report = run_soak(v.threads, v.cache_on);
+    const std::string ledger = report.ledger();
+    EXPECT_EQ(ledger, expected)
+        << "the cache must be invisible in the ledger";
+    if (ledger != expected) {
+      archive_on_failure(v.tag, ledger);
+      archive_on_failure("reference-cache-off-t1", expected);
+    }
+    assert_per_job_entries(ledger);
+    if (!v.cache_on) {
+      EXPECT_EQ(report.pipeline_runs, kJobs);
+      continue;
+    }
+    // Reuse accounting: at most one solve per distinct template, so
+    // the served-from-reuse count has the analytic floor N − K.
+    EXPECT_LE(report.pipeline_runs, kTemplates);
+    EXPECT_GE(report.cache_hits + report.coalesced, kJobs - kTemplates);
+    EXPECT_GT(report.cache_hits, 0u);
+    EXPECT_GT(report.coalesced, 0u)
+        << "a Zipf(1.1) corpus at 4 slots must coalesce same-instant "
+           "duplicates";
+    // Every attempt resolves through exactly one tier.
+    EXPECT_EQ(report.cache_hits + report.cache_misses, kJobs);
+    EXPECT_EQ(report.cache_misses, report.pipeline_runs + report.coalesced);
+    EXPECT_EQ(report.warm_starts, 0u) << "warm starts are opt-in";
+  }
+}
+
+/// Warm starts are opt-in because they change solver trajectories (the
+/// ledger is *not* required to match a cold-start run) — but they must
+/// stay deterministic: same corpus, same warm-started ledger, at any
+/// thread count. Pathological graphs degrade and are retried; attempt
+/// 2's content key differs (attempt number) but its *shape* key does
+/// not, so the retry warm-starts from the attempt-1 allocation.
+TEST(CacheSoak, WarmStartsAreDeterministicAcrossThreadCounts) {
+  const auto run_warm = [](std::size_t threads) {
+    set_thread_count(threads);
+    ServiceConfig config = soak_config(true);
+    config.cache.warm_start = true;
+    config.max_retries = 1;
+    config.retry_min_level = degrade::DegradationLevel::kMultiStartRetry;
+    Service service(config);
+    for (std::size_t i = 0; i < 24; ++i) {
+      JobSpec spec;
+      spec.id = "w";
+      spec.id += std::to_string(i);
+      spec.graph = GraphKind::kPathological;
+      spec.seed = i % 12;
+      spec.processors = 8;
+      service.submit(std::move(spec));
+    }
+    ServiceReport report = service.run();
+    set_thread_count(0);
+    return report;
+  };
+  const ServiceReport serial = run_warm(1);
+  const ServiceReport threaded = run_warm(4);
+  EXPECT_GT(serial.retries, 0u)
+      << "the pathological corpus must degrade-and-retry";
+  EXPECT_GT(serial.warm_starts, 0u)
+      << "retries must warm-start from the attempt-1 allocation";
+  EXPECT_EQ(serial.warm_starts, threaded.warm_starts);
+  EXPECT_EQ(serial.ledger(), threaded.ledger());
+  if (serial.ledger() != threaded.ledger()) {
+    archive_on_failure("warm-t1", serial.ledger());
+    archive_on_failure("warm-t4", threaded.ledger());
+  }
+}
+
+}  // namespace
+}  // namespace paradigm::svc

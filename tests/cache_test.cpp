@@ -1,0 +1,322 @@
+// Allocation-cache unit suite (DESIGN §13): the canonical MDG hash
+// (isomorphism-invariant, semantics-sensitive), the cost-policy
+// digests, the LRU result cache's eviction/validity rules, and the
+// warm-start neighbor index (including the evicted-neighbor fallback).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cost/hash.hpp"
+#include "mdg/hash.hpp"
+#include "mdg/random_mdg.hpp"
+#include "svc/cache.hpp"
+
+namespace paradigm {
+namespace {
+
+// ---- canonical MDG hashing ----------------------------------------------
+
+/// The three-loop program A=init, B=init, C=A*B, parameterized by every
+/// label so isomorphic rebuilds can permute node insertion order and
+/// rename everything.
+mdg::Mdg matmul_graph(bool swap_insertion, const std::string& prefix) {
+  mdg::Mdg g;
+  g.add_array(prefix + "A", 64, 64, 1);
+  g.add_array(prefix + "B", 64, 64, 2);
+  g.add_array(prefix + "C", 64, 64, 0);
+  mdg::LoopSpec init_a;
+  init_a.op = mdg::LoopOp::kInit;
+  init_a.output = prefix + "A";
+  init_a.layout = mdg::Layout::kRow;
+  mdg::LoopSpec init_b;
+  init_b.op = mdg::LoopOp::kInit;
+  init_b.output = prefix + "B";
+  init_b.layout = mdg::Layout::kRow;
+  mdg::LoopSpec mul;
+  mul.op = mdg::LoopOp::kMul;
+  mul.inputs = {prefix + "A", prefix + "B"};
+  mul.output = prefix + "C";
+  mul.layout = mdg::Layout::kCol;
+  mdg::NodeId na = 0;
+  mdg::NodeId nb = 0;
+  if (swap_insertion) {
+    nb = g.add_loop(prefix + "second", init_b);
+    na = g.add_loop(prefix + "first", init_a);
+  } else {
+    na = g.add_loop(prefix + "first", init_a);
+    nb = g.add_loop(prefix + "second", init_b);
+  }
+  const mdg::NodeId nc = g.add_loop(prefix + "consumer", mul);
+  if (swap_insertion) {
+    g.add_dependence(nb, nc, {prefix + "B"});
+    g.add_dependence(na, nc, {prefix + "A"});
+  } else {
+    g.add_dependence(na, nc, {prefix + "A"});
+    g.add_dependence(nb, nc, {prefix + "B"});
+  }
+  g.finalize();
+  return g;
+}
+
+TEST(MdgHash, PermutedAndRelabeledBuildsHashEqual) {
+  const mdg::MdgDigest base = mdg::content_digest(matmul_graph(false, ""));
+  const mdg::MdgDigest permuted =
+      mdg::content_digest(matmul_graph(true, ""));
+  const mdg::MdgDigest relabeled =
+      mdg::content_digest(matmul_graph(true, "zz_"));
+  EXPECT_EQ(base, permuted);
+  EXPECT_EQ(base, relabeled);
+  EXPECT_NE(base.content, 0u);
+  EXPECT_NE(base.shape, 0u);
+}
+
+/// Synthetic diamond s -> {m1, m2} -> t, parameterized by weights and
+/// insertion order.
+mdg::Mdg diamond(double alpha1, double tau1, double alpha2, double tau2,
+                 std::size_t bytes, bool swap_insertion,
+                 std::size_t cap_m1 = 0) {
+  mdg::Mdg g;
+  const mdg::NodeId s = g.add_synthetic("s", 0.1, 1.0);
+  mdg::NodeId m1 = 0;
+  mdg::NodeId m2 = 0;
+  if (swap_insertion) {
+    m2 = g.add_synthetic("m2", alpha2, tau2);
+    m1 = g.add_synthetic("m1", alpha1, tau1);
+  } else {
+    m1 = g.add_synthetic("m1", alpha1, tau1);
+    m2 = g.add_synthetic("m2", alpha2, tau2);
+  }
+  const mdg::NodeId t = g.add_synthetic("t", 0.2, 2.0);
+  if (cap_m1 > 0) g.set_processor_cap(m1, cap_m1);
+  g.add_synthetic_dependence(s, m1, bytes);
+  g.add_synthetic_dependence(s, m2, bytes);
+  g.add_synthetic_dependence(m1, t, bytes);
+  g.add_synthetic_dependence(m2, t, bytes);
+  g.finalize();
+  return g;
+}
+
+TEST(MdgHash, SemanticEditsChangeContent) {
+  const mdg::MdgDigest base =
+      mdg::content_digest(diamond(0.1, 4.0, 0.3, 2.0, 1024, false));
+  // Insertion order is not semantic — even with distinct weights.
+  EXPECT_EQ(base,
+            mdg::content_digest(diamond(0.1, 4.0, 0.3, 2.0, 1024, true)));
+  // A weight edit changes content but not shape.
+  const mdg::MdgDigest tau_edit =
+      mdg::content_digest(diamond(0.1, 5.0, 0.3, 2.0, 1024, false));
+  EXPECT_NE(base.content, tau_edit.content);
+  EXPECT_EQ(base.shape, tau_edit.shape);
+  // So does a transfer-size edit.
+  const mdg::MdgDigest byte_edit =
+      mdg::content_digest(diamond(0.1, 4.0, 0.3, 2.0, 2048, false));
+  EXPECT_NE(base.content, byte_edit.content);
+  EXPECT_EQ(base.shape, byte_edit.shape);
+  // And a per-node processor cap.
+  const mdg::MdgDigest cap_edit =
+      mdg::content_digest(diamond(0.1, 4.0, 0.3, 2.0, 1024, false, 2));
+  EXPECT_NE(base.content, cap_edit.content);
+  EXPECT_EQ(base.shape, cap_edit.shape);
+  // Swapping the weights of two topologically symmetric nodes IS an
+  // isomorphism: the multiset of (weight, position) pairs is unchanged.
+  EXPECT_EQ(base,
+            mdg::content_digest(diamond(0.3, 2.0, 0.1, 4.0, 1024, false)));
+}
+
+TEST(MdgHash, StructureEditsChangeShape) {
+  // Chain a -> b -> c vs fork a -> {b, c}: same node multiset,
+  // different topology — both digests must differ.
+  mdg::Mdg chain;
+  {
+    const auto a = chain.add_synthetic("a", 0.1, 1.0);
+    const auto b = chain.add_synthetic("b", 0.1, 1.0);
+    const auto c = chain.add_synthetic("c", 0.1, 1.0);
+    chain.add_synthetic_dependence(a, b, 64);
+    chain.add_synthetic_dependence(b, c, 64);
+    chain.finalize();
+  }
+  mdg::Mdg fork;
+  {
+    const auto a = fork.add_synthetic("a", 0.1, 1.0);
+    const auto b = fork.add_synthetic("b", 0.1, 1.0);
+    const auto c = fork.add_synthetic("c", 0.1, 1.0);
+    fork.add_synthetic_dependence(a, b, 64);
+    fork.add_synthetic_dependence(a, c, 64);
+    fork.finalize();
+  }
+  const mdg::MdgDigest dc = mdg::content_digest(chain);
+  const mdg::MdgDigest df = mdg::content_digest(fork);
+  EXPECT_NE(dc.content, df.content);
+  EXPECT_NE(dc.shape, df.shape);
+
+  // A transfer-kind edit (1D -> 2D) is structural.
+  mdg::Mdg kind;
+  {
+    const auto a = kind.add_synthetic("a", 0.1, 1.0);
+    const auto b = kind.add_synthetic("b", 0.1, 1.0);
+    const auto c = kind.add_synthetic("c", 0.1, 1.0);
+    kind.add_synthetic_dependence(a, b, 64, mdg::TransferKind::k2D);
+    kind.add_synthetic_dependence(b, c, 64);
+    kind.finalize();
+  }
+  const mdg::MdgDigest dk = mdg::content_digest(kind);
+  EXPECT_NE(dc.content, dk.content);
+  EXPECT_NE(dc.shape, dk.shape);
+}
+
+TEST(MdgHash, RandomGraphsRebuildStablyAndSeparate) {
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    mdg::RandomMdgConfig rc;
+    rc.min_nodes = 6;
+    rc.max_nodes = 12;
+    Rng rng1(seed);
+    Rng rng2(seed);
+    const mdg::MdgDigest d1 = mdg::content_digest(random_mdg(rng1, rc));
+    const mdg::MdgDigest d2 = mdg::content_digest(random_mdg(rng2, rc));
+    EXPECT_EQ(d1, d2) << "seed " << seed;
+    Rng rng3(seed + 1000);
+    const mdg::MdgDigest d3 = mdg::content_digest(random_mdg(rng3, rc));
+    EXPECT_NE(d1.content, d3.content) << "seed " << seed;
+  }
+}
+
+// ---- cost-policy hashing -------------------------------------------------
+
+TEST(CostHash, MachineAndKernelParamsAreContentSensitive) {
+  cost::MachineParams m1;
+  cost::MachineParams m2;
+  EXPECT_EQ(cost::hash_value(m1), cost::hash_value(m2));
+  m2.t_ss *= 1.0000001;
+  EXPECT_NE(cost::hash_value(m1), cost::hash_value(m2));
+
+  cost::KernelCostTable t1;
+  cost::KernelCostTable t2;
+  EXPECT_EQ(cost::hash_value(t1), cost::hash_value(t2));
+  cost::KernelKey key;
+  key.op = mdg::LoopOp::kMul;
+  key.rows = 64;
+  key.cols = 64;
+  key.inner = 64;
+  t1.set(key, {0.1, 2.0});
+  EXPECT_NE(cost::hash_value(t1), cost::hash_value(t2));
+  t2.set(key, {0.1, 2.0});
+  EXPECT_EQ(cost::hash_value(t1), cost::hash_value(t2));
+  t2.set(key, {0.1, 2.5});  // Same key, different fit.
+  EXPECT_NE(cost::hash_value(t1), cost::hash_value(t2));
+}
+
+TEST(CostHash, PolicyDigestCoversMachineSolverAndPolicy) {
+  const core::PipelineConfig base;
+  const std::uint64_t d0 = svc::policy_digest(base);
+  EXPECT_EQ(d0, svc::policy_digest(base));  // Pure function.
+
+  core::PipelineConfig machine_edit = base;
+  machine_edit.machine.flop_time *= 2.0;
+  EXPECT_NE(d0, svc::policy_digest(machine_edit));
+
+  core::PipelineConfig solver_edit = base;
+  solver_edit.solver.start_seed ^= 1;
+  EXPECT_NE(d0, svc::policy_digest(solver_edit));
+
+  core::PipelineConfig policy_edit = base;
+  policy_edit.degradation.tau_limit *= 10.0;
+  EXPECT_NE(d0, svc::policy_digest(policy_edit));
+
+  core::PipelineConfig mode_edit = base;
+  mode_edit.calibration_mode = core::CalibrationMode::kStatic;
+  EXPECT_NE(d0, svc::policy_digest(mode_edit));
+
+  core::PipelineConfig sim_edit = base;
+  sim_edit.run_simulation = false;
+  EXPECT_NE(d0, svc::policy_digest(sim_edit));
+
+  // The machine *size* is deliberately job-effective, not policy.
+  core::PipelineConfig size_edit = base;
+  size_edit.machine.size *= 2;
+  EXPECT_EQ(d0, svc::policy_digest(size_edit));
+}
+
+// ---- result cache --------------------------------------------------------
+
+svc::CacheKey key_of(std::uint64_t n) {
+  svc::CacheKey k;
+  k.hi = n;
+  k.lo = ~n;
+  return k;
+}
+
+core::RunMemo memo_of(double phi, std::uint64_t ticks) {
+  core::RunMemo m;
+  m.phi = phi;
+  m.ticks = ticks;
+  return m;
+}
+
+TEST(ResultCache, LruEvictionFollowsRecency) {
+  svc::ResultCache cache(2);
+  cache.insert(key_of(1), 11, memo_of(1.0, 10), {1.0});
+  cache.insert(key_of(2), 22, memo_of(2.0, 10), {2.0});
+  // Touch 1 so 2 becomes the LRU victim.
+  ASSERT_NE(cache.lookup(key_of(1), 0), nullptr);
+  cache.insert(key_of(3), 33, memo_of(3.0, 10), {3.0});
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_NE(cache.lookup(key_of(1), 0), nullptr);
+  EXPECT_EQ(cache.lookup(key_of(2), 0), nullptr);
+  EXPECT_NE(cache.lookup(key_of(3), 0), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ResultCache, CapValidityRule) {
+  svc::ResultCache cache(4);
+  cache.insert(key_of(1), 11, memo_of(1.0, 100), {});
+  // Uncapped and strictly-larger caps serve the memo; a cap the run
+  // would have tripped does not.
+  EXPECT_NE(cache.lookup(key_of(1), 0), nullptr);
+  EXPECT_NE(cache.lookup(key_of(1), 101), nullptr);
+  EXPECT_EQ(cache.lookup(key_of(1), 100), nullptr);
+  EXPECT_EQ(cache.lookup(key_of(1), 50), nullptr);
+}
+
+TEST(ResultCache, CancelledResultsNeverEnter) {
+  svc::ResultCache cache(4);
+  core::RunMemo cancelled = memo_of(0.0, 40);
+  cancelled.cancelled = true;
+  cancelled.reason = CancelReason::kDeadline;
+  cache.insert(key_of(1), 11, cancelled, {});
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.lookup(key_of(1), 0), nullptr);
+}
+
+TEST(ResultCache, WarmStartNeighborAndEvictionFallback) {
+  svc::ResultCache cache(1);
+  cache.insert(key_of(1), 77, memo_of(1.0, 10), {1.0, 2.0, 3.0});
+  const svc::CacheEntry* n = cache.nearest(77);
+  ASSERT_NE(n, nullptr);
+  EXPECT_EQ(n->allocation.size(), 3u);
+  // A different-shape insert evicts the neighbor (capacity 1): the
+  // shape index now points at a ghost and nearest() must report the
+  // cold-start fallback, not a dangling entry.
+  cache.insert(key_of(2), 88, memo_of(2.0, 10), {4.0});
+  EXPECT_EQ(cache.nearest(77), nullptr);
+  ASSERT_NE(cache.nearest(88), nullptr);
+}
+
+TEST(ResultCache, JobKeySeparatesEnvelope) {
+  const mdg::MdgDigest d{123, 456};
+  const svc::CacheKey base = svc::job_cache_key(1, d, 16, 16, 1, 0);
+  EXPECT_EQ(base, svc::job_cache_key(1, d, 16, 16, 1, 0));
+  EXPECT_NE(base, svc::job_cache_key(2, d, 16, 16, 1, 0));  // policy
+  EXPECT_NE(base, svc::job_cache_key(1, d, 32, 32, 1, 0));  // p
+  EXPECT_NE(base, svc::job_cache_key(1, d, 16, 32, 1, 0));  // machine
+  EXPECT_NE(base, svc::job_cache_key(1, d, 16, 16, 2, 0));  // attempt
+  EXPECT_NE(base, svc::job_cache_key(1, d, 16, 16, 1, 9));  // stall
+  const mdg::MdgDigest d2{124, 456};
+  EXPECT_NE(base, svc::job_cache_key(1, d2, 16, 16, 1, 0));  // content
+  // The shape key ignores the content half and the attempt number.
+  EXPECT_EQ(svc::job_shape_key(1, d, 16, 16, 0),
+            svc::job_shape_key(1, d2, 16, 16, 0));
+}
+
+}  // namespace
+}  // namespace paradigm

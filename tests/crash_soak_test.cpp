@@ -239,10 +239,131 @@ class CrashSoak : public ::testing::Test {
   fs::path root_;
 };
 
+// ---- Cache-enabled crash sweep (DESIGN §13) ----------------------------------
+
+/// Compact duplicate-heavy corpus for the cache-enabled sweep: six
+/// distinct templates spread over 24 jobs (same-instant duplicate
+/// bursts for coalescing, staggered repeats for cache hits), plus one
+/// oversized rejection and one deadline-doomed job so non-executing
+/// outcomes stay in the boundary space.
+std::vector<JobSpec> cache_crash_corpus() {
+  std::vector<JobSpec> jobs;
+  for (std::size_t i = 0; i < 24; ++i) {
+    JobSpec spec;
+    spec.id = "k";
+    spec.id += std::to_string(i);
+    // Jobs 0..3 are four identical same-instant copies of template 0
+    // (the coalescing burst); the rest cycle the six templates.
+    const std::size_t tmpl = i < 4 ? 0 : i % 6;
+    spec.seed = 3000 + tmpl;
+    spec.nodes = 5 + tmpl % 3;
+    spec.processors = tmpl < 3 ? 4 : 8;
+    spec.arrival = i < 4 ? 0 : 400 + i * 60;
+    if (i == 20) spec.nodes = 4096;      // Rejected oversized.
+    if (i == 21) spec.deadline = 5;      // Deadline-doomed.
+    jobs.push_back(std::move(spec));
+  }
+  return jobs;
+}
+
+ServiceConfig cache_crash_config() {
+  ServiceConfig config = crash_config();
+  config.slots = 4;
+  config.queue_capacity = 25;
+  config.cache.enabled = true;
+  return config;
+}
+
+ServiceReport run_cached_service(Persistence* persist) {
+  Service service(cache_crash_config());
+  for (JobSpec& spec : cache_crash_corpus()) service.submit(std::move(spec));
+  if (persist != nullptr) service.attach_persistence(persist);
+  return service.run();
+}
+
 TEST_F(CrashSoak, EveryBoundaryRecoversByteIdenticalSerial) { sweep(1); }
 
 TEST_F(CrashSoak, EveryBoundaryRecoversByteIdenticalFourThreads) {
   sweep(4);
+}
+
+/// Cache-enabled crash sweep: with the allocation cache on, journal
+/// appends now include the start/digest records of *cache-hit*
+/// attempts — every one of those is a crash boundary too. After every
+/// crash the recovered ledger must be byte-identical, and exactly-once
+/// extends to the reuse tiers: each baseline attempt is served in
+/// recovery by exactly one of {WAL memo, cache hit, coalesce, fresh
+/// run} (DESIGN §13).
+TEST_F(CrashSoak, CacheHitBoundariesRecoverByteIdentical) {
+  set_thread_count(4);
+  const ServiceReport baseline = run_cached_service(nullptr);
+  const std::string expected = baseline.ledger();
+  assert_unique_ledger_records(expected);
+  // The corpus must exercise every reuse tier or the sweep proves
+  // less than it claims.
+  ASSERT_GT(baseline.cache_hits, 0u);
+  ASSERT_GT(baseline.coalesced, 0u);
+  const std::size_t baseline_served =
+      baseline.pipeline_runs + baseline.cache_hits + baseline.coalesced;
+
+  const fs::path clean_dir = root_ / "cache-clean";
+  wal::CrashPoint probe;
+  {
+    PersistConfig pc;
+    pc.dir = clean_dir.string();
+    pc.snapshot_every = 16;
+    pc.crash = &probe;
+    Persistence persist(pc);
+    const ServiceReport journaled = run_cached_service(&persist);
+    ASSERT_EQ(journaled.ledger(), expected)
+        << "journaling changed the cached ledger";
+    ASSERT_EQ(journaled.cache_hits, baseline.cache_hits);
+    ASSERT_EQ(journaled.coalesced, baseline.coalesced);
+    assert_unique_exec_records(persist.journal_path());
+  }
+  const std::uint64_t total_appends = probe.appends();
+  ASSERT_GT(total_appends, 80u) << "corpus too small to be a soak";
+
+  for (std::uint64_t boundary = 0; boundary < total_appends; ++boundary) {
+    const bool torn = boundary % 3 == 1;
+    const fs::path dir = root_ / ("cache-b" + std::to_string(boundary));
+    SCOPED_TRACE("cache boundary=" + std::to_string(boundary) +
+                 (torn ? " torn" : ""));
+
+    wal::CrashPoint crash;
+    crash.arm(boundary, torn);
+    {
+      PersistConfig pc;
+      pc.dir = dir.string();
+      pc.snapshot_every = 16;
+      pc.crash = &crash;
+      Persistence persist(pc);
+      ASSERT_THROW(run_cached_service(&persist), wal::CrashInjected);
+    }
+
+    PersistConfig pc;
+    pc.dir = dir.string();
+    pc.recover = true;
+    pc.snapshot_every = 16;
+    Persistence persist(pc);
+    const ServiceReport recovered = run_cached_service(&persist);
+
+    EXPECT_EQ(recovered.ledger(), expected);
+    // Extended exactly-once: every slot-served baseline attempt is
+    // re-served by exactly one reuse tier (memoized WAL hits counted).
+    EXPECT_EQ(recovered.pipeline_runs + recovered.cache_hits +
+                  recovered.coalesced + persist.stats().memo_hits,
+              baseline_served);
+    assert_unique_ledger_records(recovered.ledger());
+    assert_unique_exec_records(persist.journal_path());
+
+    if (::testing::Test::HasFailure()) {
+      archive_on_failure(dir, "cache-b" + std::to_string(boundary));
+      FAIL() << "cache crash boundary " << boundary
+             << " failed; journal archived";
+    }
+    fs::remove_all(dir);
+  }
 }
 
 /// The corpus must genuinely exercise the service paths, otherwise the

@@ -6,6 +6,8 @@
 
 #include <sstream>
 
+#include "obs/export.hpp"
+#include "obs/obs.hpp"
 #include "support/error.hpp"
 #include "support/parallel.hpp"
 #include "svc/service.hpp"
@@ -397,6 +399,120 @@ TEST(Service, ExitCodeSeverityOrder) {
   EXPECT_EQ(report.exit_code(), 21);
   report.failed = 1;
   EXPECT_EQ(report.exit_code(), 22);
+}
+
+// ---- Allocation-reuse cache (DESIGN §13) -------------------------------------
+
+TEST(Service, CacheIsInvisibleInTheLedger) {
+  // Same corpus (with repeats), cache on vs off: byte-identical ledger,
+  // but the cached run executes one pipeline attempt per distinct job.
+  const auto run_with = [](bool cache_on) {
+    ServiceConfig config = fast_config();
+    config.queue_capacity = 16;
+    config.slots = 2;
+    config.default_deadline = 0;  // Unlimited: reuse accounting exact.
+    config.cache.enabled = cache_on;
+    Service service(config);
+    for (int i = 0; i < 9; ++i) {
+      JobSpec spec = quick_job("r" + std::to_string(i),
+                               static_cast<std::uint64_t>(i) * 5);
+      spec.seed = static_cast<std::uint64_t>(100 + i % 3);
+      service.submit(spec);
+    }
+    return service.run();
+  };
+  const ServiceReport off = run_with(false);
+  const ServiceReport on = run_with(true);
+  EXPECT_EQ(on.ledger(), off.ledger());
+  EXPECT_EQ(off.pipeline_runs, 9u);
+  EXPECT_EQ(off.cache_hits + off.cache_misses, 0u);
+  // Three distinct seeds → three solves; everything else is reuse.
+  EXPECT_EQ(on.pipeline_runs + on.coalesced, on.cache_misses);
+  EXPECT_LE(on.pipeline_runs, 3u);
+  EXPECT_EQ(on.cache_hits + on.cache_misses, 9u);
+  EXPECT_GE(on.cache_hits + on.coalesced, 6u);
+}
+
+TEST(Service, IdenticalSameInstantJobsCoalesceIntoOneSolve) {
+  // Four identical submissions landing in one slot batch: one solve,
+  // three coalesced followers, four ledger entries.
+  ServiceConfig config = fast_config();
+  config.slots = 4;
+  config.cache.enabled = true;
+  Service service(config);
+  for (int i = 0; i < 4; ++i) {
+    service.submit(quick_job("dup" + std::to_string(i)));
+  }
+  const ServiceReport report = service.run();
+  EXPECT_EQ(report.pipeline_runs, 1u);
+  EXPECT_EQ(report.coalesced, 3u);
+  EXPECT_EQ(report.cache_hits, 0u);
+  EXPECT_EQ(report.cache_misses, 4u);
+  ASSERT_EQ(report.results.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    const JobResult& r = find_result(report, "dup" + std::to_string(i));
+    EXPECT_EQ(r.outcome, JobOutcome::kCompleted);
+    // Followers replay the leader's digest: identical timing.
+    EXPECT_EQ(r.ticks, report.results.front().ticks);
+  }
+}
+
+TEST(Service, CoalescingCanBeDisabledIndependently) {
+  ServiceConfig config = fast_config();
+  config.slots = 4;
+  config.cache.enabled = true;
+  config.cache.coalesce = false;
+  Service service(config);
+  for (int i = 0; i < 4; ++i) {
+    service.submit(quick_job("dup" + std::to_string(i)));
+  }
+  const ServiceReport report = service.run();
+  // Same-instant duplicates all miss (the batch resolves before any
+  // insert), so each runs — but later batches would still hit.
+  EXPECT_EQ(report.coalesced, 0u);
+  EXPECT_EQ(report.pipeline_runs, 4u);
+}
+
+TEST(Service, CacheServesRepeatAcrossBatches) {
+  ServiceConfig config = fast_config();
+  config.slots = 1;
+  config.default_deadline = 0;
+  config.cache.enabled = true;
+  Service service(config);
+  service.submit(quick_job("first", 0));
+  service.submit(quick_job("again", 500000));
+  const ServiceReport report = service.run();
+  EXPECT_EQ(report.pipeline_runs, 1u);
+  EXPECT_EQ(report.cache_hits, 1u);
+  EXPECT_EQ(report.cache_misses, 1u);
+  const JobResult& a = find_result(report, "first");
+  const JobResult& b = find_result(report, "again");
+  EXPECT_EQ(a.ticks, b.ticks);
+  EXPECT_EQ(a.outcome, b.outcome);
+}
+
+TEST(Service, CacheCountersAreVisibleInObsMetrics) {
+  // Reuse must surface in the observability export: hit, miss, and
+  // coalesce counters are touched only when the events occur, so a
+  // cached run with duplicates names all three.
+  obs::reset_all();
+  obs::set_mode(obs::Mode::kLogical);
+  ServiceConfig config = fast_config();
+  config.slots = 2;
+  config.cache.enabled = true;
+  Service service(config);
+  service.submit(quick_job("m0", 0));
+  service.submit(quick_job("m1", 0));   // same-instant duplicate: coalesce
+  JobSpec late = quick_job("m2", 0);
+  late.arrival = 800000;                // later batch: cache hit
+  service.submit(late);
+  (void)service.run();
+  const std::string json = obs::metrics_json();
+  obs::set_mode(obs::Mode::kOff);
+  obs::reset_all();
+  EXPECT_NE(json.find("svc.cache_hit"), std::string::npos);
+  EXPECT_NE(json.find("svc.cache_miss"), std::string::npos);
+  EXPECT_NE(json.find("svc.cache_coalesced"), std::string::npos);
 }
 
 TEST(Service, CoreAliasAndSingleRun) {

@@ -130,16 +130,25 @@ if [[ "$fast" == 0 ]]; then
     -DCMAKE_BUILD_TYPE=Debug \
     -DPARADIGM_SANITIZE=address,undefined
 
-  # Service soak under ASan (DESIGN §11): the 200-job mixed corpus
+  # Service soak under ASan (DESIGN §11/§13): the 200-job mixed corpus
   # takes every cancellation-unwind path (deadline, watchdog, drain,
-  # breaker) — re-run it with leak detection explicitly on so a partial
+  # breaker) and the 10k-job Zipf cache soak takes every reuse tier —
+  # re-run them with leak detection explicitly on so a partial
   # PipelineReport that leaks or touches freed stage state fails here.
+  # Ledgers of diverging cache-soak runs are archived by the harness
+  # into build-ci/artifacts/soak/ for offline diffing.
   current_stage="soak:asan-ubsan"
   echo "=== [asan-ubsan] service soak stage ==="
-  ASAN_OPTIONS=detect_leaks=1 \
+  mkdir -p "$artifacts/soak"
+  PARADIGM_SOAK_ARTIFACT_DIR="$artifacts/soak" \
+    ASAN_OPTIONS=detect_leaks=1 \
     ctest --test-dir build-ci/asan-ubsan -L soak --output-on-failure \
     -j "$jobs"
   archive_ctest_log asan-ubsan
+  if compgen -G "$artifacts/soak/*" > /dev/null; then
+    echo "soak stage archived diverging ledgers:"
+    ls -l "$artifacts/soak"
+  fi
 
   # Recovery stage (DESIGN §12): the crash-at-every-boundary soak and
   # the persistence/recovery unit suite under ASan with leak detection

@@ -122,6 +122,16 @@ int run_serve(const ArgParser& args, wal::CrashPoint* crash) {
                  "--svc-logical-time must be on or off");
   config.logical_time_only = logical == "on";
 
+  // Allocation-reuse layer (DESIGN §13). On by default at the CLI (a
+  // cache hit replays the exact digest a fresh run would produce, so
+  // the ledger is unchanged); --no-cache restores the pre-cache
+  // behaviour bit-for-bit.
+  config.cache.enabled = !args.get_flag("no-cache");
+  const std::int64_t cache_size = args.get_int("cache-size");
+  if (cache_size < 1) throw UsageError("--cache-size must be >= 1");
+  config.cache.capacity = static_cast<std::size_t>(cache_size);
+  config.cache.warm_start = args.get_flag("cache-warm");
+
   // The per-job pipelines inherit the CLI's machine/calibration knobs.
   config.pipeline.machine =
       load_machine(args, static_cast<std::uint32_t>(args.get_int("p")));
@@ -189,6 +199,15 @@ int run_serve(const ArgParser& args, wal::CrashPoint* crash) {
     write_file(args.get("svc-ledger"), ledger);
   }
   std::cout << ledger;
+  if (config.cache.enabled) {
+    // Reuse accounting is a comment *outside* the ledger: the ledger
+    // bytes stay identical with the cache on or off.
+    std::cout << "# cache hits=" << report.cache_hits
+              << " misses=" << report.cache_misses
+              << " coalesced=" << report.coalesced
+              << " warm_starts=" << report.warm_starts
+              << " size=" << config.cache.capacity << '\n';
+  }
   if (persist.has_value()) {
     const svc::PersistStats& stats = persist->stats();
     std::cout << "# journal records=" << stats.journal_records
@@ -303,6 +322,16 @@ int main(int argc, char** argv) {
                   "      across runs and thread counts) | off: append a\n"
                   "      wallclock trailer comment");
   args.add_option("svc-ledger", "", "also write the service ledger here");
+  args.add_option("cache-size", "1024",
+                  "allocation-cache LRU capacity in entries (DESIGN §13)");
+  args.add_flag("no-cache",
+                "disable the content-addressed allocation cache and the\n"
+                "      admission coalescer (the ledger is byte-identical\n"
+                "      either way; only the work differs)");
+  args.add_flag("cache-warm",
+                "warm-start the solver from a same-shape cached neighbor\n"
+                "      on a cache miss (changes solver float trajectories;\n"
+                "      result no longer byte-comparable to cold runs)");
   args.add_option("journal", "",
                   "durable service mode: write the checksummed write-ahead\n"
                   "      journal and snapshots into this directory "
