@@ -784,6 +784,11 @@ int run_wal_gate(const std::string& out_path) {
     svc::PersistConfig pc;
     pc.dir = dir.string();
     pc.snapshot_every = 64;
+    // Pinned to kNever: this gate measures the *journaling* tax
+    // (record formatting + appends) exactly as PR 6 defined it, before
+    // sync policies existed. The fsync tax has its own gate
+    // (--sync-gate, BENCH_pr9.json).
+    pc.sync_policy = wal::SyncPolicy::kNever;
     svc::Persistence persist(pc);
     benchmark::DoNotOptimize(run_wal_gate_service(&persist));
     fs::remove_all(dir);
@@ -818,6 +823,7 @@ int run_wal_gate(const std::string& out_path) {
     svc::PersistConfig pc;
     pc.dir = dir.string();
     pc.snapshot_every = 64;
+    pc.sync_policy = wal::SyncPolicy::kNever;
     svc::Persistence persist(pc);
     ledger_on = run_wal_gate_service(&persist).ledger();
   }
@@ -851,6 +857,118 @@ int run_wal_gate(const std::string& out_path) {
 
   if (!passed) {
     std::cerr << "WAL OVERHEAD: journaling cost " << overhead * 100.0
+              << "% on the 200-job service soak, budget "
+              << kMaxOverhead * 100.0 << "%\n";
+    return 1;
+  }
+  if (!identical) return 1;
+  std::cout << "gate passed: " << overhead * 100.0 << "% <= "
+            << kMaxOverhead * 100.0 << "%\n";
+  return 0;
+}
+
+// ---- PR9 sync-policy gate -------------------------------------------
+
+// The durability contract's price tag (DESIGN §14): --sync-policy=batch
+// fsyncs the journal at every exec-digest commit boundary (plus the
+// snapshot publish protocol), --sync-policy=never not at all. The gate
+// bounds batch's wall-clock overhead over never on the same 200-job
+// soak the PR 6 gate uses, and asserts the ledgers are byte-identical:
+// sync policy decides *when* bytes become power-loss durable, never
+// *what* the service computes. Results go to BENCH_pr9.json.
+int run_sync_gate(const std::string& out_path) {
+  constexpr double kMaxOverhead = 0.05;  // batch fsyncs <= 5%
+  constexpr std::size_t kReps = 7;
+
+  namespace fs = std::filesystem;
+  set_thread_count(1);
+  const fs::path root = fs::temp_directory_path() / "perf_sync_gate";
+  fs::remove_all(root);
+  fs::create_directories(root);
+
+  std::size_t next_dir = 0;
+  const auto run_policy = [&](wal::SyncPolicy policy) {
+    const fs::path dir = root / std::to_string(next_dir++);
+    svc::PersistConfig pc;
+    pc.dir = dir.string();
+    pc.snapshot_every = 64;
+    pc.sync_policy = policy;
+    svc::Persistence persist(pc);
+    benchmark::DoNotOptimize(run_wal_gate_service(&persist));
+    fs::remove_all(dir);
+  };
+
+  run_policy(wal::SyncPolicy::kNever);  // warmup
+  run_policy(wal::SyncPolicy::kBatch);
+  std::vector<double> never_samples, batch_samples;
+  never_samples.reserve(kReps);
+  batch_samples.reserve(kReps);
+  for (std::size_t r = 0; r < kReps; ++r) {
+    never_samples.push_back(
+        timed_ns([&] { run_policy(wal::SyncPolicy::kNever); }));
+    batch_samples.push_back(
+        timed_ns([&] { run_policy(wal::SyncPolicy::kBatch); }));
+  }
+  std::sort(never_samples.begin(), never_samples.end());
+  std::sort(batch_samples.begin(), batch_samples.end());
+  const double never_ns = never_samples[never_samples.size() / 2];
+  const double batch_ns = batch_samples[batch_samples.size() / 2];
+  const double overhead = never_ns > 0.0 ? batch_ns / never_ns - 1.0 : 0.0;
+  const bool passed = overhead <= kMaxOverhead;
+
+  std::cout << "service 200-job soak: sync-policy=never " << never_ns / 1e6
+            << " ms, sync-policy=batch " << batch_ns / 1e6 << " ms ("
+            << overhead * 100.0 << "% overhead)\n";
+
+  // Identity: the commit-boundary fsyncs are pure side effects.
+  std::string ledgers[2];
+  std::uint64_t batch_syncs = 0;
+  const wal::SyncPolicy policies[2] = {wal::SyncPolicy::kNever,
+                                       wal::SyncPolicy::kBatch};
+  for (int i = 0; i < 2; ++i) {
+    const fs::path dir = root / ("identity-" + std::to_string(i));
+    svc::PersistConfig pc;
+    pc.dir = dir.string();
+    pc.snapshot_every = 64;
+    pc.sync_policy = policies[i];
+    svc::Persistence persist(pc);
+    ledgers[i] = run_wal_gate_service(&persist).ledger();
+    if (policies[i] == wal::SyncPolicy::kBatch) {
+      batch_syncs = persist.stats().journal_syncs;
+    }
+  }
+  const bool identical = ledgers[0] == ledgers[1];
+  if (!identical) {
+    std::cerr << "SYNC GATE: the sync policy changed the service ledger\n";
+  }
+  fs::remove_all(root);
+
+  Json doc = Json::object();
+  doc.set("pr", Json::integer(9));
+  Json gate = Json::object();
+  gate.set("max_overhead", Json::number(kMaxOverhead));
+  gate.set("measured_overhead", Json::number(overhead));
+  gate.set("passed", Json::boolean(passed && identical));
+  gate.set("ledgers_identical", Json::boolean(identical));
+  doc.set("gate", std::move(gate));
+  Json benches = Json::array();
+  Json b = Json::object();
+  b.set("name", Json::string("service_soak_sync_policy"));
+  b.set("jobs", Json::integer(200));
+  b.set("never_ns", Json::number(never_ns));
+  b.set("batch_ns", Json::number(batch_ns));
+  b.set("overhead", Json::number(overhead));
+  b.set("batch_journal_syncs", Json::integer(
+      static_cast<std::int64_t>(batch_syncs)));
+  benches.push_back(std::move(b));
+  doc.set("benchmarks", std::move(benches));
+
+  std::ofstream out(out_path);
+  out << doc.dump() << "\n";
+  std::cout << "wrote " << out_path << "\n";
+
+  if (!passed) {
+    std::cerr << "SYNC OVERHEAD: batch fsyncs cost " << overhead * 100.0
               << "% on the 200-job service soak, budget "
               << kMaxOverhead * 100.0 << "%\n";
     return 1;
@@ -1081,6 +1199,12 @@ int main(int argc, char** argv) {
       const std::string path =
           eq == std::string::npos ? "BENCH_pr6.json" : arg.substr(eq + 1);
       return run_wal_gate(path);
+    }
+    if (arg.rfind("--sync-gate", 0) == 0) {
+      const std::size_t eq = arg.find('=');
+      const std::string path =
+          eq == std::string::npos ? "BENCH_pr9.json" : arg.substr(eq + 1);
+      return run_sync_gate(path);
     }
     if (arg.rfind("--cache-gate", 0) == 0) {
       const std::size_t eq = arg.find('=');

@@ -1,0 +1,600 @@
+#include "support/vfs.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace paradigm::vfs {
+namespace {
+
+namespace fs = std::filesystem;
+
+FaultKind kind_from_errno(int err) {
+  switch (err) {
+    case ENOSPC:
+#ifdef EDQUOT
+    case EDQUOT:
+#endif
+    case EFBIG:
+      return FaultKind::kEnospc;
+    case EIO:
+      return FaultKind::kEio;
+    default:
+      return FaultKind::kOther;
+  }
+}
+
+std::string errno_detail(int err) {
+  return std::string(std::strerror(err)) + " (errno " + std::to_string(err) +
+         ")";
+}
+
+/// splitmix64: the seeded choice generator for torn cuts and metadata
+/// commit prefixes. Deterministic and dependency-free.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fnv1a64(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+// ---- RealVfs --------------------------------------------------------
+
+class RealFile : public File {
+ public:
+  RealFile(std::string path, int fd) : File(std::move(path)), fd_(fd) {}
+
+  ~RealFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void append(std::string_view bytes) override {
+    std::size_t written = 0;
+    while (written < bytes.size()) {
+      const ssize_t n =
+          ::write(fd_, bytes.data() + written, bytes.size() - written);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        const int err = errno;
+        const FaultKind kind = written > 0 && kind_from_errno(err) ==
+                                                  FaultKind::kEnospc
+                                   ? FaultKind::kShortWrite
+                                   : kind_from_errno(err);
+        throw StorageError(kind, "append", path_,
+                           errno_detail(err) + " after " +
+                               std::to_string(written) + " of " +
+                               std::to_string(bytes.size()) + " bytes");
+      }
+      written += static_cast<std::size_t>(n);
+    }
+  }
+
+  void sync() override {
+    if (::fsync(fd_) != 0) {
+      throw StorageError(FaultKind::kSyncFailure, "fsync", path_,
+                         errno_detail(errno));
+    }
+  }
+
+  std::uint64_t size() override {
+    struct stat st {};
+    if (::fstat(fd_, &st) != 0) {
+      throw StorageError(FaultKind::kOther, "fstat", path_,
+                         errno_detail(errno));
+    }
+    return static_cast<std::uint64_t>(st.st_size);
+  }
+
+  void truncate(std::uint64_t new_size) override {
+    if (::ftruncate(fd_, static_cast<off_t>(new_size)) != 0) {
+      throw StorageError(kind_from_errno(errno), "truncate", path_,
+                         errno_detail(errno));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+class RealVfs : public Vfs {
+ public:
+  std::unique_ptr<File> create(const std::string& path) override {
+    const int fd = ::open(path.c_str(),
+                          O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0644);
+    if (fd < 0) {
+      throw StorageError(kind_from_errno(errno), "create", path,
+                         errno_detail(errno));
+    }
+    return std::make_unique<RealFile>(path, fd);
+  }
+
+  std::unique_ptr<File> open_append(const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+    if (fd < 0) {
+      throw StorageError(kind_from_errno(errno), "open", path,
+                         errno_detail(errno));
+    }
+    return std::make_unique<RealFile>(path, fd);
+  }
+
+  std::string read_all(const std::string& path) override {
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good()) {
+      throw StorageError(FaultKind::kOther, "read", path, "cannot open");
+    }
+    std::string raw((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+    if (in.bad()) {
+      throw StorageError(FaultKind::kEio, "read", path, "read error");
+    }
+    return raw;
+  }
+
+  std::int64_t file_size(const std::string& path) override {
+    struct stat st {};
+    if (::stat(path.c_str(), &st) != 0) {
+      if (errno == ENOENT || errno == ENOTDIR) return -1;
+      throw StorageError(FaultKind::kOther, "stat", path,
+                         errno_detail(errno));
+    }
+    return static_cast<std::int64_t>(st.st_size);
+  }
+
+  void rename(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      throw StorageError(FaultKind::kRenameFailure, "rename", from,
+                         "to '" + to + "': " + errno_detail(errno));
+    }
+  }
+
+  void remove(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      throw StorageError(kind_from_errno(errno), "remove", path,
+                         errno_detail(errno));
+    }
+  }
+
+  void truncate(const std::string& path, std::uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      throw StorageError(kind_from_errno(errno), "truncate", path,
+                         errno_detail(errno));
+    }
+  }
+
+  std::vector<std::string> list_dir(const std::string& dir) override {
+    std::error_code ec;
+    fs::directory_iterator it(dir, ec);
+    if (ec) {
+      throw StorageError(FaultKind::kOther, "list", dir, ec.message());
+    }
+    std::vector<std::string> names;
+    for (const auto& entry : it) {
+      names.push_back(entry.path().filename().string());
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+
+  void sync_dir(const std::string& dir) override {
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (fd < 0) {
+      throw StorageError(FaultKind::kSyncFailure, "opendir", dir,
+                         errno_detail(errno));
+    }
+    const int rc = ::fsync(fd);
+    const int err = errno;
+    ::close(fd);
+    if (rc != 0) {
+      throw StorageError(FaultKind::kSyncFailure, "fsyncdir", dir,
+                         errno_detail(err));
+    }
+  }
+};
+
+}  // namespace
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kEnospc: return "enospc";
+    case FaultKind::kEio: return "eio";
+    case FaultKind::kShortWrite: return "short-write";
+    case FaultKind::kSyncFailure: return "sync-failure";
+    case FaultKind::kRenameFailure: return "rename-failure";
+    case FaultKind::kOther: return "other";
+  }
+  return "unknown";
+}
+
+const char* to_string(OpRecord::Kind kind) {
+  switch (kind) {
+    case OpRecord::Kind::kCreate: return "create";
+    case OpRecord::Kind::kAppend: return "append";
+    case OpRecord::Kind::kSync: return "sync";
+    case OpRecord::Kind::kRename: return "rename";
+    case OpRecord::Kind::kRemove: return "remove";
+    case OpRecord::Kind::kTruncate: return "truncate";
+    case OpRecord::Kind::kSyncDir: return "syncdir";
+  }
+  return "unknown";
+}
+
+const char* to_string(TailLoss loss) {
+  switch (loss) {
+    case TailLoss::kKeepAll: return "keep-all";
+    case TailLoss::kSyncedOnly: return "synced-only";
+    case TailLoss::kTorn: return "torn";
+  }
+  return "unknown";
+}
+
+StorageError::StorageError(FaultKind kind, std::string op, std::string path,
+                           const std::string& detail)
+    : Error("storage error [" + std::string(to_string(kind)) + "] during " +
+            op + " of '" + path + "': " + detail),
+      kind_(kind),
+      op_(std::move(op)),
+      path_(std::move(path)) {}
+
+Vfs& Vfs::real() {
+  static RealVfs* instance = new RealVfs();  // Leaked: process lifetime.
+  return *instance;
+}
+
+// ---- FaultyVfs ------------------------------------------------------
+
+/// Forwards to a base file, charging the owner's fault plan and
+/// recording every state-changing operation in the op log.
+class FaultyFile : public File {
+ public:
+  FaultyFile(FaultyVfs* owner, std::unique_ptr<File> base)
+      : File(base->path()), owner_(owner), base_(std::move(base)) {}
+
+  void append(std::string_view bytes) override;
+  void sync() override;
+  std::uint64_t size() override { return base_->size(); }
+  void truncate(std::uint64_t new_size) override;
+
+ private:
+  FaultyVfs* owner_;
+  std::unique_ptr<File> base_;
+};
+
+FaultyVfs::FaultyVfs(Vfs& base, FaultPlan plan)
+    : base_(base), plan_(plan) {}
+
+namespace {
+
+/// True when 0-based `index` falls in [after, after + count), written
+/// to survive count == SIZE_MAX (a sticky, never-healing fault).
+bool in_fault_window(std::size_t index, std::int64_t after,
+                     std::size_t count) {
+  return after >= 0 && index >= static_cast<std::size_t>(after) &&
+         index - static_cast<std::size_t>(after) < count;
+}
+
+}  // namespace
+
+std::uint64_t FaultyVfs::charge_append(std::uint64_t n, FaultKind* kind) {
+  *kind = FaultKind::kNone;
+  const std::size_t index = appends_++;
+  if (in_fault_window(index, plan_.fail_append_after,
+                      plan_.append_fail_count)) {
+    *kind = plan_.append_fault;
+    const std::uint64_t partial =
+        *kind == FaultKind::kShortWrite
+            ? static_cast<std::uint64_t>(
+                  static_cast<double>(n) * plan_.short_write_fraction)
+            : 0;
+    bytes_appended_ += partial;
+    return partial;
+  }
+  if (bytes_appended_ + n > plan_.capacity_bytes) {
+    const std::uint64_t partial = plan_.capacity_bytes > bytes_appended_
+                                      ? plan_.capacity_bytes - bytes_appended_
+                                      : 0;
+    *kind = partial > 0 ? FaultKind::kShortWrite : FaultKind::kEnospc;
+    bytes_appended_ += partial;
+    return partial;
+  }
+  bytes_appended_ += n;
+  return n;
+}
+
+bool FaultyVfs::charge_sync() {
+  return in_fault_window(syncs_++, plan_.fail_sync_after,
+                         plan_.sync_fail_count);
+}
+
+bool FaultyVfs::charge_rename() {
+  return in_fault_window(renames_++, plan_.fail_rename_after,
+                         plan_.rename_fail_count);
+}
+
+void FaultyFile::append(std::string_view bytes) {
+  FaultKind kind = FaultKind::kNone;
+  const std::uint64_t allow =
+      owner_->charge_append(bytes.size(), &kind);
+  if (allow > 0) {
+    base_->append(bytes.substr(0, static_cast<std::size_t>(allow)));
+    OpRecord op;
+    op.kind = OpRecord::Kind::kAppend;
+    op.path = path_;
+    op.bytes.assign(bytes.data(), static_cast<std::size_t>(allow));
+    owner_->log_.push_back(std::move(op));
+  }
+  if (kind != FaultKind::kNone) {
+    throw StorageError(kind, "append", path_,
+                       "injected after " + std::to_string(allow) + " of " +
+                           std::to_string(bytes.size()) + " bytes");
+  }
+}
+
+void FaultyFile::sync() {
+  if (owner_->charge_sync()) {
+    // A failed fsync leaves durability of everything since the last
+    // successful sync unknown; nothing is logged as synced.
+    throw StorageError(FaultKind::kSyncFailure, "fsync", path_, "injected");
+  }
+  base_->sync();
+  OpRecord op;
+  op.kind = OpRecord::Kind::kSync;
+  op.path = path_;
+  owner_->log_.push_back(std::move(op));
+}
+
+void FaultyFile::truncate(std::uint64_t new_size) {
+  base_->truncate(new_size);
+  OpRecord op;
+  op.kind = OpRecord::Kind::kTruncate;
+  op.path = path_;
+  op.size = new_size;
+  owner_->log_.push_back(std::move(op));
+}
+
+std::unique_ptr<File> FaultyVfs::create(const std::string& path) {
+  std::unique_ptr<File> base = base_.create(path);
+  OpRecord op;
+  op.kind = OpRecord::Kind::kCreate;
+  op.path = path;
+  log_.push_back(std::move(op));
+  return std::make_unique<FaultyFile>(this, std::move(base));
+}
+
+std::unique_ptr<File> FaultyVfs::open_append(const std::string& path) {
+  return std::make_unique<FaultyFile>(this, base_.open_append(path));
+}
+
+std::string FaultyVfs::read_all(const std::string& path) {
+  return base_.read_all(path);
+}
+
+std::int64_t FaultyVfs::file_size(const std::string& path) {
+  return base_.file_size(path);
+}
+
+void FaultyVfs::rename(const std::string& from, const std::string& to) {
+  if (charge_rename()) {
+    throw StorageError(FaultKind::kRenameFailure, "rename", from,
+                       "to '" + to + "': injected");
+  }
+  base_.rename(from, to);
+  OpRecord op;
+  op.kind = OpRecord::Kind::kRename;
+  op.path = from;
+  op.path2 = to;
+  log_.push_back(std::move(op));
+}
+
+void FaultyVfs::remove(const std::string& path) {
+  base_.remove(path);
+  OpRecord op;
+  op.kind = OpRecord::Kind::kRemove;
+  op.path = path;
+  log_.push_back(std::move(op));
+}
+
+void FaultyVfs::truncate(const std::string& path, std::uint64_t size) {
+  base_.truncate(path, size);
+  OpRecord op;
+  op.kind = OpRecord::Kind::kTruncate;
+  op.path = path;
+  op.size = size;
+  log_.push_back(std::move(op));
+}
+
+std::vector<std::string> FaultyVfs::list_dir(const std::string& dir) {
+  return base_.list_dir(dir);
+}
+
+void FaultyVfs::sync_dir(const std::string& dir) {
+  base_.sync_dir(dir);
+  OpRecord op;
+  op.kind = OpRecord::Kind::kSyncDir;
+  op.path = dir;
+  log_.push_back(std::move(op));
+}
+
+// ---- Crash-state materialization ------------------------------------
+
+namespace {
+
+struct Inode {
+  std::string data;
+  std::uint64_t synced = 0;
+};
+
+/// A metadata operation awaiting its directory fsync.
+struct MetaOp {
+  OpRecord::Kind kind;
+  std::string path;
+  std::string path2;
+  std::size_t inode = 0;  ///< For kCreate.
+};
+
+}  // namespace
+
+CrashState materialize_crash_state(const std::vector<OpRecord>& log,
+                                   std::size_t crash_op, TailLoss loss,
+                                   std::uint64_t seed,
+                                   const std::string& src_root,
+                                   const std::string& dst_root) {
+  PARADIGM_CHECK(crash_op <= log.size(),
+                 "vfs: crash op " << crash_op << " beyond op log size "
+                                  << log.size());
+  std::vector<Inode> inodes;
+  std::map<std::string, std::size_t> names;  ///< Live (current) view.
+  std::vector<MetaOp> committed;
+  std::vector<MetaOp> pending;
+
+  for (std::size_t i = 0; i < crash_op; ++i) {
+    const OpRecord& op = log[i];
+    switch (op.kind) {
+      case OpRecord::Kind::kCreate: {
+        inodes.push_back(Inode{});
+        names[op.path] = inodes.size() - 1;
+        pending.push_back(
+            MetaOp{op.kind, op.path, std::string(), inodes.size() - 1});
+        break;
+      }
+      case OpRecord::Kind::kAppend: {
+        const auto it = names.find(op.path);
+        PARADIGM_CHECK(it != names.end(),
+                       "vfs: append to unknown file '" << op.path
+                                                       << "' in op log");
+        inodes[it->second].data += op.bytes;
+        break;
+      }
+      case OpRecord::Kind::kSync: {
+        const auto it = names.find(op.path);
+        PARADIGM_CHECK(it != names.end(),
+                       "vfs: sync of unknown file '" << op.path
+                                                     << "' in op log");
+        inodes[it->second].synced = inodes[it->second].data.size();
+        break;
+      }
+      case OpRecord::Kind::kTruncate: {
+        const auto it = names.find(op.path);
+        PARADIGM_CHECK(it != names.end(),
+                       "vfs: truncate of unknown file '" << op.path
+                                                         << "' in op log");
+        Inode& node = inodes[it->second];
+        node.data.resize(static_cast<std::size_t>(op.size));
+        node.synced = std::min<std::uint64_t>(node.synced, op.size);
+        break;
+      }
+      case OpRecord::Kind::kRename: {
+        const auto it = names.find(op.path);
+        if (it == names.end()) break;  // Rename of an unlogged file.
+        names[op.path2] = it->second;
+        names.erase(op.path);
+        pending.push_back(MetaOp{op.kind, op.path, op.path2, 0});
+        break;
+      }
+      case OpRecord::Kind::kRemove: {
+        if (names.erase(op.path) > 0) {
+          pending.push_back(MetaOp{op.kind, op.path, std::string(), 0});
+        }
+        break;
+      }
+      case OpRecord::Kind::kSyncDir: {
+        committed.insert(committed.end(), pending.begin(), pending.end());
+        pending.clear();
+        break;
+      }
+    }
+  }
+
+  // Metadata commits in order: a legal surviving state applied some
+  // prefix of the still-pending operations. The seed picks which.
+  const std::size_t meta_kept = pending.empty()
+                                    ? 0
+                                    : static_cast<std::size_t>(
+                                          mix64(seed) % (pending.size() + 1));
+  committed.insert(committed.end(), pending.begin(),
+                   pending.begin() +
+                       static_cast<std::ptrdiff_t>(meta_kept));
+
+  // Rebuild the durable name table from the committed metadata stream.
+  std::map<std::string, std::size_t> durable;
+  for (const MetaOp& op : committed) {
+    switch (op.kind) {
+      case OpRecord::Kind::kCreate:
+        durable[op.path] = op.inode;
+        break;
+      case OpRecord::Kind::kRename: {
+        const auto it = durable.find(op.path);
+        if (it != durable.end()) {
+          durable[op.path2] = it->second;
+          durable.erase(op.path);
+        }
+        break;
+      }
+      case OpRecord::Kind::kRemove:
+        durable.erase(op.path);
+        break;
+      default:
+        break;
+    }
+  }
+
+  namespace fs = std::filesystem;
+  fs::remove_all(dst_root);
+  fs::create_directories(dst_root);
+
+  CrashState state;
+  std::ostringstream desc;
+  desc << "crash_op=" << crash_op << " loss=" << to_string(loss)
+       << " seed=" << seed << " meta=" << meta_kept << "/"
+       << pending.size();
+  std::uint64_t digest = 0xcbf29ce484222325ull;
+  for (const auto& [path, inode_id] : durable) {
+    const Inode& node = inodes[inode_id];
+    std::uint64_t keep = node.data.size();
+    if (loss == TailLoss::kSyncedOnly) {
+      keep = node.synced;
+    } else if (loss == TailLoss::kTorn && node.data.size() > node.synced) {
+      const std::uint64_t unsynced = node.data.size() - node.synced;
+      keep = node.synced + mix64(seed ^ inode_id ^ crash_op) % (unsynced + 1);
+    }
+    PARADIGM_CHECK(path.rfind(src_root, 0) == 0,
+                   "vfs: op-log path '" << path << "' outside src root '"
+                                        << src_root << "'");
+    const std::string dst =
+        dst_root + path.substr(src_root.size());
+    fs::create_directories(fs::path(dst).parent_path());
+    std::ofstream out(dst, std::ios::binary | std::ios::trunc);
+    PARADIGM_CHECK(out.good(), "vfs: cannot materialize '" << dst << "'");
+    out.write(node.data.data(), static_cast<std::streamsize>(keep));
+    out.flush();
+    PARADIGM_CHECK(out.good(), "vfs: short materialization of '" << dst
+                                                                 << "'");
+    desc << " " << path.substr(src_root.size()) << ":" << keep << "/"
+         << node.data.size();
+    digest = fnv1a64(digest, path.data(), path.size());
+    digest = fnv1a64(digest, node.data.data(),
+                     static_cast<std::size_t>(keep));
+  }
+  state.description = desc.str();
+  state.digest = digest;
+  return state;
+}
+
+}  // namespace paradigm::vfs

@@ -1,0 +1,273 @@
+// Minimal file-I/O seam for the durability layer (DESIGN §14).
+//
+// Everything the WAL and the persistence layer do to disk goes through
+// this interface: append, fsync, rename, truncate, size, directory
+// listing and directory fsync. Two backends exist:
+//
+//   * RealVfs — POSIX fd-backed I/O. Every syscall result is checked
+//     and surfaces as a StorageError carrying the operation, the path,
+//     and a structured FaultKind derived from errno. No ignored
+//     std::error_code, no silently-bad ofstream bits.
+//   * FaultyVfs — a deterministic fault-injection wrapper. A seeded
+//     FaultPlan makes the N-th append fail with ENOSPC / EIO / a short
+//     write, the N-th fsync or rename fail, or caps the "device" at a
+//     byte budget. Every operation it forwards is also recorded in an
+//     op log, from which materialize_crash_state() reconstructs the
+//     *legal post-power-loss disk states* at any operation boundary:
+//     data written since the last successful fsync may be dropped,
+//     kept, or torn mid-record, and metadata operations (create,
+//     rename, remove) since the last directory fsync may or may not
+//     have committed — in order, like a journaling filesystem.
+//
+// The power-loss model is deliberately adversarial (strict POSIX): a
+// file fsync makes only that file's *data* durable; file creations,
+// renames and removals become durable only at the enclosing
+// directory's fsync. The ALICE-style checker in
+// tests/storage_fault_test.cpp enumerates these states at every
+// boundary of a service run and proves recovery from each.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace paradigm::vfs {
+
+/// Structured classification of a storage failure. kShortWrite means
+/// some prefix of the requested bytes hit the file before the failure;
+/// the on-disk tail is torn and must be salvaged by the next open.
+enum class FaultKind {
+  kNone = 0,
+  kEnospc,       ///< Device full (ENOSPC/EDQUOT/EFBIG).
+  kEio,          ///< Hard I/O error.
+  kShortWrite,   ///< Partial append then failure; torn tail on disk.
+  kSyncFailure,  ///< fsync failed; durability of prior writes unknown.
+  kRenameFailure,
+  kOther,
+};
+
+const char* to_string(FaultKind kind);
+
+/// Thrown by every Vfs operation that fails. Derives from Error so
+/// existing structured-failure handling still catches it, but carries
+/// the operation, path and kind so the service can route ENOSPC/EIO
+/// into its own degradation path (journal quarantine, bounded retry,
+/// fail-stop exit 25) instead of a generic hard error.
+class StorageError : public Error {
+ public:
+  StorageError(FaultKind kind, std::string op, std::string path,
+               const std::string& detail);
+
+  FaultKind kind() const { return kind_; }
+  const std::string& op() const { return op_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  FaultKind kind_;
+  std::string op_;
+  std::string path_;
+};
+
+/// An open file handle. Append-oriented: the WAL never seeks.
+class File {
+ public:
+  virtual ~File() = default;
+
+  /// Appends `bytes` at the end. Throws StorageError; on
+  /// kShortWrite/kEnospc a prefix may have reached the file.
+  virtual void append(std::string_view bytes) = 0;
+
+  /// Durability barrier for this file's data. Throws StorageError
+  /// (kSyncFailure) when the kernel reports the flush failed.
+  virtual void sync() = 0;
+
+  /// Current size in bytes.
+  virtual std::uint64_t size() = 0;
+
+  /// Shrinks the file to `new_size` (salvage of a torn append).
+  virtual void truncate(std::uint64_t new_size) = 0;
+
+  const std::string& path() const { return path_; }
+
+ protected:
+  explicit File(std::string path) : path_(std::move(path)) {}
+  std::string path_;
+};
+
+/// The file-system seam. All paths are plain strings (absolute or
+/// CWD-relative), exactly what the callers already pass around.
+class Vfs {
+ public:
+  virtual ~Vfs() = default;
+
+  /// Creates (or truncates) a file for appending.
+  virtual std::unique_ptr<File> create(const std::string& path) = 0;
+
+  /// Opens an existing file for appending at its end.
+  virtual std::unique_ptr<File> open_append(const std::string& path) = 0;
+
+  /// Reads the whole file. Throws StorageError when unreadable.
+  virtual std::string read_all(const std::string& path) = 0;
+
+  /// Size of an existing file; -1 when it does not exist. Any other
+  /// failure (e.g. EACCES) throws.
+  virtual std::int64_t file_size(const std::string& path) = 0;
+
+  virtual void rename(const std::string& from, const std::string& to) = 0;
+
+  /// Removes a file; missing files are not an error.
+  virtual void remove(const std::string& path) = 0;
+
+  virtual void truncate(const std::string& path, std::uint64_t size) = 0;
+
+  /// Filenames (not full paths) in `dir`, sorted. Throws StorageError
+  /// when the directory cannot be read — an unreadable journal
+  /// directory must not silently look empty.
+  virtual std::vector<std::string> list_dir(const std::string& dir) = 0;
+
+  /// Durability barrier for directory metadata (creations, renames,
+  /// removals inside `dir`).
+  virtual void sync_dir(const std::string& dir) = 0;
+
+  /// The process-wide real backend.
+  static Vfs& real();
+};
+
+// ---- Deterministic fault injection ----------------------------------
+
+/// One recorded operation; the replay source for crash-state
+/// enumeration. Only operations that change disk state are logged
+/// (reads are not).
+struct OpRecord {
+  enum class Kind {
+    kCreate,
+    kAppend,
+    kSync,
+    kRename,
+    kRemove,
+    kTruncate,
+    kSyncDir,
+  };
+  Kind kind;
+  std::string path;
+  std::string path2;   ///< Rename destination.
+  std::string bytes;   ///< Appended payload (the bytes that hit disk).
+  std::uint64_t size = 0;  ///< Truncate target size.
+};
+
+const char* to_string(OpRecord::Kind kind);
+
+/// Seeded storage-fault schedule. Operation counters are charged per
+/// category across all files of the Vfs (the durability domain), the
+/// same discipline wal::CrashPoint applies to journal appends. A
+/// `*_fail_count` bounds how many consecutive operations fail once the
+/// trigger fires: SIZE_MAX models a persistently failing device
+/// (ENOSPC until space is freed), 1 models a transient error that a
+/// bounded retry can ride out.
+struct FaultPlan {
+  /// Fail the (N+1)-th append (0-based trigger); -1 disarms.
+  std::int64_t fail_append_after = -1;
+  FaultKind append_fault = FaultKind::kEnospc;
+  std::size_t append_fail_count = static_cast<std::size_t>(-1);
+  /// With append_fault == kShortWrite (or capacity exhaustion), the
+  /// failing append first writes this fraction's worth of bytes.
+  double short_write_fraction = 0.5;
+
+  std::int64_t fail_sync_after = -1;
+  std::size_t sync_fail_count = static_cast<std::size_t>(-1);
+
+  std::int64_t fail_rename_after = -1;
+  std::size_t rename_fail_count = static_cast<std::size_t>(-1);
+
+  /// Simulated device capacity in appended bytes: an append that would
+  /// cross it writes the in-budget prefix and fails with kEnospc.
+  std::uint64_t capacity_bytes = static_cast<std::uint64_t>(-1);
+};
+
+/// Fault-injecting, op-logging wrapper over a base Vfs. Not
+/// thread-safe; the durability layer is driven by the serial service
+/// event loop, which is what makes the op log's order meaningful.
+class FaultyVfs : public Vfs {
+ public:
+  explicit FaultyVfs(Vfs& base, FaultPlan plan = FaultPlan{});
+
+  std::unique_ptr<File> create(const std::string& path) override;
+  std::unique_ptr<File> open_append(const std::string& path) override;
+  std::string read_all(const std::string& path) override;
+  std::int64_t file_size(const std::string& path) override;
+  void rename(const std::string& from, const std::string& to) override;
+  void remove(const std::string& path) override;
+  void truncate(const std::string& path, std::uint64_t size) override;
+  std::vector<std::string> list_dir(const std::string& dir) override;
+  void sync_dir(const std::string& dir) override;
+
+  const std::vector<OpRecord>& log() const { return log_; }
+  const FaultPlan& plan() const { return plan_; }
+
+  std::size_t appends() const { return appends_; }
+  std::size_t syncs() const { return syncs_; }
+  std::size_t renames() const { return renames_; }
+  std::uint64_t bytes_appended() const { return bytes_appended_; }
+
+ private:
+  friend class FaultyFile;
+
+  /// Charges one append of `n` bytes. Returns the number of bytes to
+  /// write before failing with `*kind` — n and kNone when it succeeds.
+  std::uint64_t charge_append(std::uint64_t n, FaultKind* kind);
+  bool charge_sync();
+  bool charge_rename();
+
+  Vfs& base_;
+  FaultPlan plan_;
+  std::vector<OpRecord> log_;
+  std::size_t appends_ = 0;
+  std::size_t syncs_ = 0;
+  std::size_t renames_ = 0;
+  std::uint64_t bytes_appended_ = 0;
+};
+
+// ---- Legal post-power-loss state enumeration ------------------------
+
+/// How much of each file's unsynced tail survives the simulated power
+/// loss.
+enum class TailLoss {
+  kKeepAll,     ///< Everything written survived (lucky flush).
+  kSyncedOnly,  ///< Only explicitly fsync'd data survived.
+  kTorn,        ///< Synced prefix plus a seeded cut of the unsynced tail.
+};
+
+const char* to_string(TailLoss loss);
+
+/// One materialized crash state, for dedup and for the archived fault
+/// schedule.
+struct CrashState {
+  std::string description;  ///< Human-readable plan (for artifacts).
+  std::uint64_t digest = 0; ///< Content digest over the surviving files.
+};
+
+/// Reconstructs a legal post-power-loss disk state into `dst_root`.
+///
+/// Replays ops[0, crash_op) against an in-memory inode model: appends
+/// and truncates mutate inode data, file syncs pin each inode's
+/// durable data length, and metadata operations (create/rename/remove)
+/// queue until the next sync_dir commits them *in order*. At the crash
+/// point, `loss` decides each inode's surviving data prefix (seeded
+/// cut for kTorn) and `seed` picks how many of the still-uncommitted
+/// metadata operations made it to disk (a prefix — metadata commits in
+/// order, so any prefix and only a prefix is legal).
+///
+/// Paths under `src_root` are rewritten to `dst_root`; `dst_root` is
+/// wiped first. Returns the materialized state's description + digest
+/// so callers can skip duplicate states.
+CrashState materialize_crash_state(const std::vector<OpRecord>& log,
+                                   std::size_t crash_op, TailLoss loss,
+                                   std::uint64_t seed,
+                                   const std::string& src_root,
+                                   const std::string& dst_root);
+
+}  // namespace paradigm::vfs

@@ -1,9 +1,7 @@
 #include "support/wal.hpp"
 
 #include <array>
-#include <cstdio>
 #include <cstring>
-#include <filesystem>
 
 namespace paradigm::wal {
 namespace {
@@ -49,6 +47,10 @@ std::string record_header(std::string_view payload) {
   return head;
 }
 
+vfs::Vfs& backend(vfs::Vfs* fs) {
+  return fs != nullptr ? *fs : vfs::Vfs::real();
+}
+
 }  // namespace
 
 std::uint32_t crc32(const void* data, std::size_t size) {
@@ -61,18 +63,35 @@ std::uint32_t crc32(const void* data, std::size_t size) {
   return c ^ 0xFFFFFFFFu;
 }
 
+const char* to_string(SyncPolicy policy) {
+  switch (policy) {
+    case SyncPolicy::kAlways: return "always";
+    case SyncPolicy::kBatch: return "batch";
+    case SyncPolicy::kNever: return "never";
+  }
+  return "unknown";
+}
+
+SyncPolicy parse_sync_policy(const std::string& text) {
+  if (text == "always") return SyncPolicy::kAlways;
+  if (text == "batch") return SyncPolicy::kBatch;
+  if (text == "never") return SyncPolicy::kNever;
+  throw UsageError("unknown --sync-policy '" + text +
+                   "' (expected always, batch, or never)");
+}
+
 CrashInjected::CrashInjected(std::uint64_t durable_appends)
     : Error("crash injected after " + std::to_string(durable_appends) +
             " durable journal appends"),
       durable_appends_(durable_appends) {}
 
-ReadResult read_journal(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  PARADIGM_CHECK(in.good(), "wal: cannot open journal '" + path + "'");
-
-  std::string raw((std::istreambuf_iterator<char>(in)),
-                  std::istreambuf_iterator<char>());
-  PARADIGM_CHECK(!in.bad(), "wal: read error on journal '" + path + "'");
+ReadResult read_journal(const std::string& path, vfs::Vfs* fs) {
+  std::string raw;
+  try {
+    raw = backend(fs).read_all(path);
+  } catch (const vfs::StorageError& e) {
+    throw Error("wal: cannot open journal '" + path + "': " + e.what());
+  }
 
   ReadResult result;
   result.total_bytes = raw.size();
@@ -132,40 +151,36 @@ ReadResult read_journal(const std::string& path) {
   return result;
 }
 
-Writer Writer::create(const std::string& path, std::uint32_t version) {
-  std::error_code ec;
-  const auto size = std::filesystem::file_size(path, ec);
-  PARADIGM_CHECK(ec || size == 0,
+Writer Writer::create(const std::string& path, std::uint32_t version,
+                      vfs::Vfs* fs, SyncPolicy policy) {
+  vfs::Vfs& f = backend(fs);
+  const std::int64_t size = f.file_size(path);
+  PARADIGM_CHECK(size <= 0,
                  "wal: refusing to overwrite existing journal '" + path + "'");
 
   Writer writer;
   writer.path_ = path;
-  writer.out_.open(path, std::ios::binary | std::ios::trunc);
-  PARADIGM_CHECK(writer.out_.good(),
-                 "wal: cannot create journal '" + path + "'");
-  const std::string header = make_header(version);
-  writer.out_.write(header.data(),
-                    static_cast<std::streamsize>(header.size()));
-  writer.out_.flush();
-  PARADIGM_CHECK(writer.out_.good(),
-                 "wal: failed writing header to '" + path + "'");
+  writer.policy_ = policy;
+  writer.file_ = f.create(path);
+  writer.file_->append(make_header(version));
+  writer.good_end_ = kHeaderBytes;
+  if (policy != SyncPolicy::kNever) writer.file_->sync();
   return writer;
 }
 
-Writer Writer::open_for_append(const std::string& path, ReadResult* out) {
-  ReadResult read = read_journal(path);
+Writer Writer::open_for_append(const std::string& path, ReadResult* out,
+                               vfs::Vfs* fs, SyncPolicy policy) {
+  vfs::Vfs& f = backend(fs);
+  ReadResult read = read_journal(path, &f);
   if (read.salvaged()) {
-    std::error_code ec;
-    std::filesystem::resize_file(path, read.valid_bytes, ec);
-    PARADIGM_CHECK(!ec, "wal: cannot truncate torn tail of '" + path + "'");
+    f.truncate(path, read.valid_bytes);
   }
 
   Writer writer;
   writer.path_ = path;
-  writer.out_.open(path, std::ios::binary | std::ios::in | std::ios::out |
-                             std::ios::ate);
-  PARADIGM_CHECK(writer.out_.good(),
-                 "wal: cannot reopen journal '" + path + "' for append");
+  writer.policy_ = policy;
+  writer.file_ = f.open_append(path);
+  writer.good_end_ = read.valid_bytes;
   if (out != nullptr) *out = std::move(read);
   return writer;
 }
@@ -180,19 +195,30 @@ void Writer::append(std::string_view payload) {
   if (crash_now) {
     // Torn mode: durably write the record header plus a payload prefix,
     // then crash — recovery must see and truncate exactly this tail.
-    out_.write(head.data(), static_cast<std::streamsize>(head.size()));
-    const std::size_t partial = payload.size() / 2;
-    out_.write(payload.data(), static_cast<std::streamsize>(partial));
-    out_.flush();
+    file_->append(head);
+    file_->append(payload.substr(0, payload.size() / 2));
     throw CrashInjected(crash_->appends());
   }
 
-  out_.write(head.data(), static_cast<std::streamsize>(head.size()));
-  out_.write(payload.data(), static_cast<std::streamsize>(payload.size()));
-  out_.flush();
-  PARADIGM_CHECK(out_.good(),
-                 "wal: append to '" + path_ + "' failed (disk error?)");
+  // One buffer, one write: an injected or real short write then tears
+  // *inside* this record, exactly the tail shape recovery salvages.
+  std::string buf;
+  buf.reserve(head.size() + payload.size());
+  buf.append(head);
+  buf.append(payload);
+  file_->append(buf);
+  good_end_ += buf.size();
   ++appended_;
+  if (policy_ == SyncPolicy::kAlways) file_->sync();
+}
+
+void Writer::sync() { file_->sync(); }
+
+void Writer::truncate_to_good() {
+  const std::uint64_t size = file_->size();
+  if (size != good_end_) {
+    file_->truncate(good_end_);
+  }
 }
 
 }  // namespace paradigm::wal

@@ -1,4 +1,4 @@
-// Append-only, checksummed write-ahead journal (DESIGN §12).
+// Append-only, checksummed write-ahead journal (DESIGN §12, §14).
 //
 // The durability substrate under the compilation service: a journal is
 // a binary file of length-prefixed, CRC32-checksummed records behind a
@@ -20,6 +20,15 @@
 // length, u32 CRC32 over the payload, payload bytes. All integers are
 // little-endian regardless of host.
 //
+// Storage. All I/O goes through the vfs seam (support/vfs.hpp): every
+// write, fsync, truncate and size check either succeeds or throws a
+// StorageError carrying operation + path + fault kind. SyncPolicy
+// states the durability contract explicitly: kAlways fsyncs every
+// append, kBatch leaves fsync placement to the caller's commit
+// boundaries (Writer::sync()), kNever issues no fsync at all — after
+// power loss only what the kernel happened to flush survives, though
+// recovery still salvages the longest valid prefix.
+//
 // Crash injection. CrashPoint is the deterministic fault hook for the
 // durability layer, the same discipline CancelToken applies to compute:
 // a logical counter of durable appends, armed to trip after the N-th.
@@ -30,12 +39,13 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <fstream>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "support/error.hpp"
+#include "support/vfs.hpp"
 
 namespace paradigm::wal {
 
@@ -54,6 +64,19 @@ constexpr std::uint32_t kMaxRecordBytes = 1u << 24;
 
 /// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of `size` bytes.
 std::uint32_t crc32(const void* data, std::size_t size);
+
+/// When the journal issues fsync (the durability contract knob,
+/// `--sync-policy` on the CLI).
+enum class SyncPolicy {
+  kAlways,  ///< fsync after every append: each record survives power loss.
+  kBatch,   ///< fsync at caller-chosen commit boundaries (Writer::sync()).
+  kNever,   ///< no fsync: durable only against process crash, not power loss.
+};
+
+const char* to_string(SyncPolicy policy);
+
+/// Parses "always" / "batch" / "never"; anything else is a UsageError.
+SyncPolicy parse_sync_policy(const std::string& text);
 
 /// Thrown by a Writer whose CrashPoint tripped. Derives from Error so
 /// an unexpected leak still surfaces as a structured failure, but the
@@ -126,39 +149,65 @@ struct ReadResult {
 /// or its header is unreadable/corrupt, and UsageError when the header
 /// carries a format version newer than this build. A torn or corrupt
 /// record tail is NOT an error: reading stops there and the result
-/// carries the salvaged prefix plus the diagnostic.
-ReadResult read_journal(const std::string& path);
+/// carries the salvaged prefix plus the diagnostic. `fs` defaults to
+/// the real backend.
+ReadResult read_journal(const std::string& path, vfs::Vfs* fs = nullptr);
 
-/// Append-side handle. Not copyable; all writes flush before
-/// returning so a record is durable (w.r.t. process crash) once
-/// append() returns.
+/// Append-side handle. Not copyable. Every append reaches the kernel
+/// before returning (the vfs write is unbuffered), so a record is
+/// durable w.r.t. *process* crash once append() returns; durability
+/// against power loss is governed by the SyncPolicy.
 class Writer {
  public:
   /// Creates a fresh journal at `path` (header only). Fails if a
   /// non-empty journal already exists — callers decide overwrite
-  /// policy explicitly. `version` is parameterized for tests.
+  /// policy explicitly. `version` is parameterized for tests. Under
+  /// kAlways/kBatch the header is fsync'd before returning (callers
+  /// still owe the directory fsync that makes the *name* durable).
   static Writer create(const std::string& path,
-                       std::uint32_t version = kFormatVersion);
+                       std::uint32_t version = kFormatVersion,
+                       vfs::Vfs* fs = nullptr,
+                       SyncPolicy policy = SyncPolicy::kBatch);
 
   /// Opens an existing journal for append: verifies the header,
   /// truncates any torn/corrupt tail, and positions at the end of the
   /// valid prefix. When `out` is non-null it receives the verified
   /// records (the replay source for recovery).
   static Writer open_for_append(const std::string& path,
-                                ReadResult* out = nullptr);
+                                ReadResult* out = nullptr,
+                                vfs::Vfs* fs = nullptr,
+                                SyncPolicy policy = SyncPolicy::kBatch);
 
   Writer(Writer&&) = default;
   Writer& operator=(Writer&&) = default;
   Writer(const Writer&) = delete;
   Writer& operator=(const Writer&) = delete;
 
-  /// Appends one checksummed record and flushes. Throws CrashInjected
-  /// when the attached CrashPoint trips (clean: nothing written; torn:
-  /// a partial record written and flushed first).
+  /// Appends one checksummed record (and fsyncs under kAlways).
+  /// Throws CrashInjected when the attached CrashPoint trips (clean:
+  /// nothing written; torn: a partial record written first), and
+  /// StorageError when the write fails — in which case the on-disk
+  /// tail may be torn and truncate_to_good() salvages it.
   void append(std::string_view payload);
+
+  /// Explicit durability barrier (the kBatch commit point). Throws
+  /// StorageError (kSyncFailure) when the kernel reports failure —
+  /// after which durability of everything since the last successful
+  /// sync is unknown.
+  void sync();
+
+  /// Truncates the file back to the last fully-appended record,
+  /// discarding a tail torn by a failed append. Safe to call when
+  /// nothing is torn.
+  void truncate_to_good();
 
   /// Records appended through this Writer (not the on-disk total).
   std::uint64_t appended() const { return appended_; }
+
+  /// Byte offset of the end of the last complete record.
+  std::uint64_t good_end() const { return good_end_; }
+
+  SyncPolicy policy() const { return policy_; }
 
   /// Attaches the deterministic crash hook (not owned; may be null).
   void set_crash_point(CrashPoint* point) { crash_ = point; }
@@ -166,8 +215,10 @@ class Writer {
  private:
   Writer() = default;
 
-  std::ofstream out_;
+  std::unique_ptr<vfs::File> file_;
   std::string path_;
+  SyncPolicy policy_ = SyncPolicy::kBatch;
+  std::uint64_t good_end_ = 0;
   std::uint64_t appended_ = 0;
   CrashPoint* crash_ = nullptr;
 };

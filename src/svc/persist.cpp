@@ -79,13 +79,14 @@ std::int64_t snapshot_cover_of(const fs::path& path) {
 
 Persistence::Persistence(PersistConfig config) : config_(std::move(config)) {
   PARADIGM_CHECK(!config_.dir.empty(), "persist: journal directory required");
+  PARADIGM_CHECK(config_.batch_sync_interval >= 1,
+                 "persist: batch_sync_interval must be >= 1");
   std::error_code ec;
   fs::create_directories(config_.dir, ec);
   PARADIGM_CHECK(!ec, "persist: cannot create journal directory '" +
                           config_.dir + "'");
   const std::string path = journal_path();
-  const auto size = fs::file_size(path, ec);
-  const bool exists = !ec && size > 0;
+  const bool exists = fs().file_size(path) > 0;
 
   if (!config_.recover) {
     if (exists) {
@@ -94,8 +95,14 @@ Persistence::Persistence(PersistConfig config) : config_(std::move(config)) {
           "' -- pass --recover to continue it, or point --journal at a "
           "fresh directory");
     }
-    journal_ = wal::Writer::create(path);
+    journal_ = wal::Writer::create(path, wal::kFormatVersion, &fs(),
+                                   config_.sync_policy);
     journal_->set_crash_point(config_.crash);
+    // The header fsync above made the journal's *data* durable; this
+    // directory fsync makes its *name* durable (DESIGN §14).
+    if (config_.sync_policy != wal::SyncPolicy::kNever) {
+      fs().sync_dir(config_.dir);
+    }
     return;
   }
 
@@ -104,7 +111,8 @@ Persistence::Persistence(PersistConfig config) : config_(std::move(config)) {
   }
   load_snapshot_if_any();
   wal::ReadResult read;
-  journal_ = wal::Writer::open_for_append(path, &read);
+  journal_ = wal::Writer::open_for_append(path, &read, &fs(),
+                                          config_.sync_policy);
   journal_->set_crash_point(config_.crash);
   stats_.format_version = read.version;
   stats_.journal_records = read.records.size();
@@ -135,12 +143,18 @@ std::string Persistence::journal_path() const {
   return (fs::path(config_.dir) / "journal.wal").string();
 }
 
+vfs::Vfs& Persistence::fs() const {
+  return config_.fs != nullptr ? *config_.fs : vfs::Vfs::real();
+}
+
 void Persistence::load_snapshot_if_any() {
+  // An unreadable journal directory throws (StorageError from
+  // list_dir): it must not silently look like "no snapshots".
   std::vector<std::pair<std::int64_t, fs::path>> candidates;
-  std::error_code ec;
-  for (const auto& entry : fs::directory_iterator(config_.dir, ec)) {
-    const std::int64_t cover = snapshot_cover_of(entry.path());
-    if (cover >= 0) candidates.emplace_back(cover, entry.path());
+  for (const std::string& name : fs().list_dir(config_.dir)) {
+    const fs::path entry = fs::path(config_.dir) / name;
+    const std::int64_t cover = snapshot_cover_of(entry);
+    if (cover >= 0) candidates.emplace_back(cover, entry);
   }
   std::sort(candidates.begin(), candidates.end(),
             [](const auto& a, const auto& b) { return a.first > b.first; });
@@ -148,7 +162,13 @@ void Persistence::load_snapshot_if_any() {
   for (const auto& [cover, path] : candidates) {
     wal::ReadResult read;
     try {
-      read = wal::read_journal(path.string());
+      read = wal::read_journal(path.string(), &fs());
+    } catch (const vfs::StorageError& e) {
+      // EIO on a snapshot is survivable — the journal is authoritative;
+      // fall back to an older snapshot or plain replay.
+      log_warn("persist: skipping unreadable snapshot ", path.string(), " (",
+               e.what(), ")");
+      continue;
     } catch (const Error&) {
       continue;  // Unreadable header: ignore, try an older snapshot.
     }
@@ -231,9 +251,68 @@ void Persistence::apply_record(const std::string& payload,
 }
 
 void Persistence::append(const std::string& payload) {
-  journal_->append(payload);
-  ++records_on_disk_;
-  ++stats_.appended_records;
+  PARADIGM_CHECK(!stats_.quarantined,
+                 "persist: journal '" + journal_path() +
+                     "' is quarantined after a storage failure; refusing "
+                     "further appends");
+  // ENOSPC/EIO degradation path (DESIGN §14): salvage the torn tail,
+  // retry a bounded number of times (a transient error rides through),
+  // then quarantine the journal and fail-stop — never run non-durably.
+  constexpr std::size_t kStorageRetries = 2;
+  for (std::size_t attempt = 0;; ++attempt) {
+    try {
+      journal_->append(payload);
+      ++records_on_disk_;
+      ++stats_.appended_records;
+      // Under kAlways the Writer fsync'd inside append(); account it.
+      if (config_.sync_policy == wal::SyncPolicy::kAlways) {
+        ++stats_.journal_syncs;
+      }
+      return;
+    } catch (const vfs::StorageError& e) {
+      if (e.kind() == vfs::FaultKind::kSyncFailure) {
+        // kAlways fsync failed *after* the record's bytes were written:
+        // retrying would duplicate the record, and the kernel may have
+        // dropped the dirty pages anyway. Quarantine immediately.
+        stats_.quarantined = true;
+        throw vfs::StorageError(
+            e.kind(), e.op(), e.path(),
+            std::string("journal quarantined: ") + e.what());
+      }
+      try {
+        journal_->truncate_to_good();
+      } catch (const vfs::StorageError& trunc) {
+        stats_.quarantined = true;
+        throw vfs::StorageError(
+            e.kind(), e.op(), e.path(),
+            std::string("journal quarantined: append failed (") + e.what() +
+                ") and tail salvage failed too (" + trunc.what() + ")");
+      }
+      if (attempt >= kStorageRetries) {
+        stats_.quarantined = true;
+        throw vfs::StorageError(
+            e.kind(), e.op(), e.path(),
+            "journal quarantined after " + std::to_string(kStorageRetries) +
+                " retries; last error: " + e.what());
+      }
+      ++stats_.storage_retries;
+      log_warn("persist: journal append failed (", e.what(), "); retry ",
+               attempt + 1, "/", kStorageRetries);
+    }
+  }
+}
+
+void Persistence::sync_journal() {
+  try {
+    journal_->sync();
+    ++stats_.journal_syncs;
+  } catch (const vfs::StorageError& e) {
+    // After a failed fsync the kernel may have dropped the dirty pages;
+    // retrying the fsync cannot recover them. Quarantine immediately.
+    stats_.quarantined = true;
+    throw vfs::StorageError(e.kind(), e.op(), e.path(),
+                            std::string("journal quarantined: ") + e.what());
+  }
 }
 
 void Persistence::begin_run(const std::vector<JobSpec>& submitted,
@@ -277,6 +356,17 @@ void Persistence::journal_exec(std::size_t job_index, std::size_t attempt,
                      << " (exactly-once violated)");
   append("exec index=" + std::to_string(job_index) +
          " attempt=" + std::to_string(attempt) + " " + memo.encode());
+  // Exec digests are the kBatch commit boundaries, group-committed:
+  // one fsync per batch_sync_interval digests amortizes the barrier
+  // while bounding post-power-loss re-execution to interval-1 jobs.
+  // Losing an unsynced digest is safe — recovery just re-runs the
+  // deterministic attempt (the crash sweep proves the ledger is
+  // byte-identical from any tail loss).
+  if (config_.sync_policy == wal::SyncPolicy::kBatch &&
+      ++execs_since_sync_ >= config_.batch_sync_interval) {
+    sync_journal();
+    execs_since_sync_ = 0;
+  }
   memos_[key] = memo;
   if (config_.snapshot_every > 0 &&
       ++execs_since_snapshot_ >= config_.snapshot_every) {
@@ -307,33 +397,63 @@ void Persistence::write_snapshot() {
   const fs::path final_path =
       fs::path(config_.dir) / ("snapshot-" + std::to_string(cover) + ".snap");
   const fs::path tmp_path = final_path.string() + ".tmp";
-  std::error_code ec;
-  fs::remove(tmp_path, ec);  // A stale tmp from a crashed snapshot.
-  {
-    wal::Writer snap = wal::Writer::create(tmp_path.string());
-    snap.set_crash_point(config_.crash);
-    snap.append("cover records=" + std::to_string(cover));
-    for (const JobSpec& spec : recovered_jobs_) {
-      snap.append(write_job_line(spec));
+  // A snapshot is an optimization over journal replay, never the only
+  // copy — so storage failures here degrade (abandon the snapshot,
+  // keep serving from the journal) instead of quarantining. Injected
+  // CrashInjected still propagates: a crash mid-snapshot is a crash.
+  try {
+    fs().remove(tmp_path.string());  // A stale tmp from a crashed snapshot.
+    {
+      wal::Writer snap = wal::Writer::create(
+          tmp_path.string(), wal::kFormatVersion, &fs(), config_.sync_policy);
+      snap.set_crash_point(config_.crash);
+      snap.append("cover records=" + std::to_string(cover));
+      for (const JobSpec& spec : recovered_jobs_) {
+        snap.append(write_job_line(spec));
+      }
+      if (recovered_drain_.has_value()) {
+        snap.append("drain at=" + std::to_string(recovered_drain_->at) +
+                    " grace=" + std::to_string(recovered_drain_->grace));
+      }
+      for (const auto& [key, memo] : memos_) {
+        snap.append("exec index=" + std::to_string(key.first) +
+                    " attempt=" + std::to_string(key.second) + " " +
+                    memo.encode());
+      }
+      for (const std::string& done : done_outcomes_) {
+        snap.append("done key=" + done);
+      }
+      snap.append("end");
+      // Publish protocol: data fsync, rename, directory fsync — the
+      // snapshot must be fully durable *under its final name* before
+      // recovery may prefer it over journal replay.
+      if (config_.sync_policy != wal::SyncPolicy::kNever) {
+        snap.sync();
+      }
     }
-    if (recovered_drain_.has_value()) {
-      snap.append("drain at=" + std::to_string(recovered_drain_->at) +
-                  " grace=" + std::to_string(recovered_drain_->grace));
+    fs().rename(tmp_path.string(), final_path.string());
+    if (config_.sync_policy != wal::SyncPolicy::kNever) {
+      fs().sync_dir(config_.dir);
     }
-    for (const auto& [key, memo] : memos_) {
-      snap.append("exec index=" + std::to_string(key.first) +
-                  " attempt=" + std::to_string(key.second) + " " +
-                  memo.encode());
+  } catch (const vfs::StorageError& e) {
+    ++stats_.snapshot_failures;
+    log_warn("persist: abandoning snapshot ", final_path.string(), " (",
+             e.what(), "); journal remains authoritative");
+    try {
+      fs().remove(tmp_path.string());
+    } catch (const vfs::StorageError&) {
+      // Best-effort cleanup; a stale .tmp is ignored by recovery.
     }
-    for (const std::string& done : done_outcomes_) {
-      snap.append("done key=" + done);
-    }
-    snap.append("end");
+    return;
   }
-  fs::rename(tmp_path, final_path, ec);
-  PARADIGM_CHECK(!ec, "persist: cannot publish snapshot '" +
-                          final_path.string() + "'");
   ++stats_.snapshots_written;
+}
+
+void Persistence::finalize() {
+  if (!journal_.has_value() || stats_.quarantined) return;
+  if (config_.sync_policy == wal::SyncPolicy::kBatch) {
+    sync_journal();
+  }
 }
 
 }  // namespace paradigm::svc

@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "core/pipeline.hpp"
+#include "support/vfs.hpp"
 #include "support/wal.hpp"
 #include "svc/job.hpp"
 
@@ -57,6 +58,20 @@ struct PersistConfig {
   /// Deterministic crash hook shared by journal and snapshot writers
   /// (not owned; may be null).
   wal::CrashPoint* crash = nullptr;
+  /// When the journal fsyncs (DESIGN §14). kAlways syncs every append;
+  /// kBatch group-commits: one sync per `batch_sync_interval` exec
+  /// digests, plus the snapshot publish protocol and finalize();
+  /// kNever never syncs (power loss may drop the tail, but recovery
+  /// still salvages the longest valid prefix).
+  wal::SyncPolicy sync_policy = wal::SyncPolicy::kBatch;
+  /// kBatch group-commit cadence: fsync after every N-th exec digest.
+  /// Power loss can cost at most N-1 re-executions (the crash sweep
+  /// proves recovery is byte-identical from *any* tail loss, so the
+  /// cadence bounds repeated work, not correctness). Must be >= 1.
+  std::size_t batch_sync_interval = 8;
+  /// Storage backend for every journal/snapshot byte (not owned; null
+  /// means the real filesystem). Tests wire a vfs::FaultyVfs here.
+  vfs::Vfs* fs = nullptr;
 };
 
 /// Durability accounting for reports, tests, and the CLI exit policy.
@@ -70,6 +85,14 @@ struct PersistStats {
   std::size_t memo_hits = 0;          ///< Digests served this run.
   std::uint64_t appended_records = 0; ///< Journal appends this run.
   std::size_t snapshots_written = 0;
+  std::uint64_t journal_syncs = 0;    ///< Explicit fsync barriers issued.
+  std::size_t storage_retries = 0;    ///< Appends retried after salvage.
+  std::size_t snapshot_failures = 0;  ///< Snapshots abandoned to storage
+                                      ///< errors (journal still intact).
+  /// Set when a storage failure exhausted the bounded retries: the
+  /// journal refuses further appends and the service must fail-stop
+  /// (CLI exit 25) rather than run non-durably.
+  bool quarantined = false;
 };
 
 /// One service run's durability session. Construct before Service::run,
@@ -116,15 +139,22 @@ class Persistence {
   const core::RunMemo* find_memo(std::size_t job_index,
                                  std::size_t attempt);
 
+  /// Closes out the run's durability: under kBatch, one final fsync so
+  /// every journaled outcome survives power loss. Called by
+  /// Service::run after the event loop drains; idempotent.
+  void finalize();
+
   const PersistStats& stats() const { return stats_; }
   std::string journal_path() const;
 
  private:
   using ExecKey = std::pair<std::size_t, std::size_t>;
 
+  vfs::Vfs& fs() const;
   void load_snapshot_if_any();
   void apply_record(const std::string& payload, bool from_snapshot);
   void append(const std::string& payload);
+  void sync_journal();
   void write_snapshot();
 
   PersistConfig config_;
@@ -142,6 +172,7 @@ class Persistence {
   std::uint64_t records_on_disk_ = 0;  ///< Valid journal records now.
   std::size_t jobs_journaled_ = 0;     ///< Submits durable (prefix len).
   std::size_t execs_since_snapshot_ = 0;
+  std::size_t execs_since_sync_ = 0;   ///< kBatch group-commit counter.
 };
 
 }  // namespace paradigm::svc

@@ -718,6 +718,11 @@ ServiceReport Service::run() {
   }
 
   report.final_time = now;
+  if (persist_ != nullptr) {
+    // The run's closing durability barrier: under kBatch every
+    // journaled outcome becomes power-loss durable here.
+    persist_->finalize();
+  }
   if (!config_.logical_time_only) {
     report.wallclock_ms =
         std::chrono::duration<double, std::milli>(

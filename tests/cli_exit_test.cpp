@@ -9,6 +9,9 @@
 //   23     durability: deterministic injected crash at a journal append
 //   24     durability: clean result after salvaging a torn/corrupt
 //          journal tail on recovery
+//   25     durability: journal quarantined after a storage failure
+//          (ENOSPC/EIO/short write/failed fsync) survived its bounded
+//          retries — the service fail-stops rather than run non-durably
 //
 // These bands are what scripts and CI key on, so they are locked here
 // by invoking the real binary.
@@ -182,6 +185,111 @@ TEST(CliExit, InjectCrashWithoutJournalIsUsage2) {
   const std::string jobs =
       write_temp_jobs("injnojournal", "job id=a seed=3 nodes=8 p=8\n");
   EXPECT_EQ(run_cli("--serve=" + jobs + " --inject-crash=1"), 2);
+}
+
+TEST(CliExit, StickyEnospcQuarantinesWith25ThenRecoversCleanly) {
+  const std::string jobs = write_temp_jobs(
+      "enospc25", "job id=a seed=3 nodes=8 p=8\njob id=b seed=4 nodes=8 p=8\n");
+  const std::string dir = temp_journal_dir("enospc25");
+  // The device "fills up" at the 5th write and stays full: the bounded
+  // retries cannot ride it out, the journal quarantines, and the
+  // service fail-stops with 25 instead of running non-durably.
+  EXPECT_EQ(run_cli("--serve=" + jobs + " --journal=" + dir +
+                    " --mode=static --noise=0 --inject-storage-fault=enospc:4"),
+            25);
+  // ENOSPC is a clean failure (nothing partial hit the disk), so the
+  // journal needs no salvage: recovery on a healthy disk exits 0.
+  EXPECT_EQ(run_cli("--recover --journal=" + dir + " --mode=static --noise=0"),
+            0);
+}
+
+TEST(CliExit, StickyShortWriteSelfSalvagesBeforeQuarantine) {
+  const std::string jobs = write_temp_jobs(
+      "short25", "job id=a seed=3 nodes=8 p=8\njob id=b seed=4 nodes=8 p=8\n");
+  const std::string dir = temp_journal_dir("short25");
+  EXPECT_EQ(run_cli("--serve=" + jobs + " --journal=" + dir +
+                    " --mode=static --noise=0 --inject-storage-fault=short:4"),
+            25);
+  // Every failed append — including the final one before quarantine —
+  // truncates its own torn tail, so recovery finds a structurally
+  // clean journal: exit 0, not the salvage band 24.
+  EXPECT_EQ(run_cli("--recover --journal=" + dir + " --mode=static --noise=0"),
+            0);
+}
+
+TEST(CliExit, FailedFsyncQuarantinesWith25) {
+  const std::string jobs =
+      write_temp_jobs("sync25", "job id=a seed=3 nodes=8 p=8\n");
+  const std::string dir = temp_journal_dir("sync25");
+  // Sync 0 is the header barrier at create; sync 1 is the first kBatch
+  // commit boundary. A failed fsync is never retried (the kernel may
+  // have dropped the dirty pages), so this quarantines immediately.
+  EXPECT_EQ(run_cli("--serve=" + jobs + " --journal=" + dir +
+                    " --mode=static --noise=0 --inject-storage-fault=sync:1"),
+            25);
+}
+
+TEST(CliExit, SnapshotRenameFaultDegradesToCleanExit) {
+  const std::string jobs = write_temp_jobs(
+      "rename0", "job id=a seed=3 nodes=8 p=8\njob id=b seed=4 nodes=8 p=8\n");
+  const std::string dir = temp_journal_dir("rename0");
+  // Snapshots are an optimization over journal replay: losing every
+  // publish rename degrades (journal stays authoritative), it does not
+  // quarantine — the run still exits clean.
+  EXPECT_EQ(run_cli("--serve=" + jobs + " --journal=" + dir +
+                    " --mode=static --noise=0 --svc-snapshot-every=1"
+                    " --inject-storage-fault=rename"),
+            0);
+  EXPECT_TRUE(std::filesystem::exists(dir + "/journal.wal"));
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    EXPECT_EQ(entry.path().extension(), ".wal")
+        << "no snapshot may survive a failing publish rename: "
+        << entry.path();
+  }
+}
+
+TEST(CliExit, BadSyncPolicyIsUsage2) {
+  EXPECT_EQ(run_cli("--sync-policy=sometimes --mode=static"), 2);
+}
+
+TEST(CliExit, NonDefaultSyncPolicyWithoutJournalIsUsage2) {
+  const std::string jobs =
+      write_temp_jobs("policynj", "job id=a seed=3 nodes=8 p=8\n");
+  EXPECT_EQ(run_cli("--serve=" + jobs + " --sync-policy=never"
+                    " --mode=static --noise=0"),
+            2);
+  EXPECT_EQ(run_cli("--serve=" + jobs + " --sync-policy=always"
+                    " --mode=static --noise=0"),
+            2);
+}
+
+TEST(CliExit, SyncPolicyNeverWithJournalIsAccepted) {
+  const std::string jobs =
+      write_temp_jobs("policyok", "job id=a seed=3 nodes=8 p=8\n");
+  const std::string dir = temp_journal_dir("policyok");
+  EXPECT_EQ(run_cli("--serve=" + jobs + " --journal=" + dir +
+                    " --sync-policy=never --mode=static --noise=0"),
+            0);
+}
+
+TEST(CliExit, InjectStorageFaultWithoutJournalIsUsage2) {
+  const std::string jobs =
+      write_temp_jobs("sfnojournal", "job id=a seed=3 nodes=8 p=8\n");
+  EXPECT_EQ(run_cli("--serve=" + jobs +
+                    " --inject-storage-fault=enospc --mode=static"),
+            2);
+}
+
+TEST(CliExit, MalformedStorageFaultIsUsage2) {
+  const std::string jobs =
+      write_temp_jobs("sfbad", "job id=a seed=3 nodes=8 p=8\n");
+  const std::string dir = temp_journal_dir("sfbad");
+  EXPECT_EQ(run_cli("--serve=" + jobs + " --journal=" + dir +
+                    " --inject-storage-fault=gremlins --mode=static"),
+            2);
+  EXPECT_EQ(run_cli("--serve=" + jobs + " --journal=" + dir +
+                    " --inject-storage-fault=enospc:x --mode=static"),
+            2);
 }
 
 TEST(CliExit, NewerJournalFormatVersionIsUsage2) {

@@ -1,0 +1,196 @@
+// Shared crash-test corpus and helpers (DESIGN §12, §14), used by both
+// crash_soak_test.cpp (process-crash-at-every-boundary sweep) and
+// storage_fault_test.cpp (ALICE-style power-loss / storage-fault
+// sweep). Keeping one definition guarantees the two suites prove their
+// contracts against the *same* 50-job service workload.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/wal.hpp"
+#include "svc/persist.hpp"
+#include "svc/service.hpp"
+
+namespace paradigm::svc {
+
+/// Deterministic mixed corpus (≥50 jobs): clean runs, pathological
+/// graphs (breaker food), oversized submissions, deadline-doomed work,
+/// alternating classes — the same shape as the DESIGN §11 soak, sized
+/// so the crash-at-every-boundary sweep stays tractable.
+inline std::vector<JobSpec> crash_corpus() {
+  std::vector<JobSpec> jobs;
+  for (std::size_t i = 0; i < 50; ++i) {
+    JobSpec spec;
+    spec.id = "c";
+    spec.id += std::to_string(i);
+    spec.seed = 2000 + i;
+    spec.arrival = i * 30;
+    spec.processors = (i % 3 == 0) ? 4 : 8;
+    spec.nodes = 6 + (i % 4);
+    spec.job_class = (i % 4 == 0) ? "alt" : "default";
+    switch (i % 10) {
+      case 3:
+        spec.graph = GraphKind::kPathological;
+        spec.seed = 1 + (i % 7);
+        spec.processors = 5;  // Not a power of two: hard failure, feeds the breaker.
+        spec.arrival = i;     // Early arrival: fails before the drain cutoff.
+        break;
+      case 5:
+        spec.nodes = 4096;  // Rejected oversized.
+        break;
+      case 7:
+        spec.deadline = 20 + (i % 13);  // Deadline-doomed.
+        break;
+      default:
+        break;
+    }
+    jobs.push_back(std::move(spec));
+  }
+  return jobs;
+}
+
+/// Cheap pipeline settings: the sweeps run O(records × jobs) pipeline
+/// attempts, so each attempt is kept as small as determinism allows.
+inline ServiceConfig crash_config() {
+  ServiceConfig config;
+  config.pipeline.calibration_mode = core::CalibrationMode::kStatic;
+  config.pipeline.machine.size = 8;
+  config.pipeline.machine.noise_sigma = 0.0;
+  config.pipeline.solver.max_inner_iterations = 10;
+  config.pipeline.solver.continuation_rounds = 1;
+  config.queue_capacity = 6;
+  config.slots = 2;
+  config.max_nodes = 512;
+  config.default_deadline = 30000;
+  config.max_retries = 1;
+  config.breaker_threshold = 2;
+  config.breaker_cooldown = 400;
+  return config;
+}
+
+inline constexpr std::uint64_t kCrashDrainAt = 1200;
+inline constexpr std::uint64_t kCrashDrainGrace = 6000;
+/// Snapshots land mid-run, so the sweeps also crash inside snapshot
+/// writes and recover through (and from) snapshots. The serial corpus
+/// executes only ~19 pipeline runs (breaker trips and the drain cutoff
+/// eat the rest), so the cadence must sit well below that — at the
+/// historical 24 no snapshot was ever attempted and every
+/// snapshot-publish claim in these sweeps was vacuous.
+inline constexpr std::size_t kCrashSnapshotEvery = 8;
+
+/// Submits the full corpus every run — including recovery runs. The
+/// client re-offering its inputs is the crash-quiescence contract:
+/// Persistence::begin_run prefix-checks them against the journaled
+/// submissions and journals only the not-yet-durable tail, so a crash
+/// mid-submission still recovers to the crash-free ledger.
+inline ServiceReport run_crash_service(Persistence* persist) {
+  Service service(crash_config());
+  for (JobSpec& spec : crash_corpus()) service.submit(std::move(spec));
+  service.drain_at(kCrashDrainAt, kCrashDrainGrace);
+  if (persist != nullptr) service.attach_persistence(persist);
+  return service.run();
+}
+
+/// Compact duplicate-heavy corpus for cache-enabled sweeps: six
+/// distinct templates spread over 24 jobs (same-instant duplicate
+/// bursts for coalescing, staggered repeats for cache hits), plus one
+/// oversized rejection and one deadline-doomed job so non-executing
+/// outcomes stay in the boundary space.
+inline std::vector<JobSpec> cache_crash_corpus() {
+  std::vector<JobSpec> jobs;
+  for (std::size_t i = 0; i < 24; ++i) {
+    JobSpec spec;
+    spec.id = "k";
+    spec.id += std::to_string(i);
+    // Jobs 0..3 are four identical same-instant copies of template 0
+    // (the coalescing burst); the rest cycle the six templates.
+    const std::size_t tmpl = i < 4 ? 0 : i % 6;
+    spec.seed = 3000 + tmpl;
+    spec.nodes = 5 + tmpl % 3;
+    spec.processors = tmpl < 3 ? 4 : 8;
+    spec.arrival = i < 4 ? 0 : 400 + i * 60;
+    if (i == 20) spec.nodes = 4096;      // Rejected oversized.
+    if (i == 21) spec.deadline = 5;      // Deadline-doomed.
+    jobs.push_back(std::move(spec));
+  }
+  return jobs;
+}
+
+inline ServiceConfig cache_crash_config() {
+  ServiceConfig config = crash_config();
+  config.slots = 4;
+  config.queue_capacity = 25;
+  config.cache.enabled = true;
+  return config;
+}
+
+inline ServiceReport run_cached_crash_service(Persistence* persist) {
+  Service service(cache_crash_config());
+  for (JobSpec& spec : cache_crash_corpus()) service.submit(std::move(spec));
+  if (persist != nullptr) service.attach_persistence(persist);
+  return service.run();
+}
+
+/// Asserts the journal holds exactly one exec digest per (job index,
+/// attempt) — the on-disk half of the exactly-once contract.
+inline void assert_unique_exec_records(const std::string& journal_path) {
+  const wal::ReadResult read = wal::read_journal(journal_path);
+  std::set<std::string> exec_keys;
+  for (const std::string& record : read.records) {
+    if (record.rfind("exec ", 0) != 0) continue;
+    std::istringstream in(record);
+    std::string tag, index, attempt;
+    in >> tag >> index >> attempt;
+    const std::string key = index + "/" + attempt;
+    EXPECT_TRUE(exec_keys.insert(key).second)
+        << "duplicate exec digest " << key << " in " << journal_path;
+  }
+}
+
+/// Asserts one terminal ledger record per (id, attempt).
+inline void assert_unique_ledger_records(const std::string& ledger) {
+  std::set<std::string> keys;
+  std::istringstream in(ledger);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string job, attempt;
+    fields >> job >> attempt;
+    EXPECT_TRUE(keys.insert(job + "/" + attempt).second)
+        << "duplicate ledger record: " << line;
+  }
+}
+
+/// On failure, copies the journal directory to the CI artifact
+/// directory (PARADIGM_RECOVERY_ARTIFACT_DIR) so the exact crash
+/// boundary can be replayed offline. `schedule` (optional) is written
+/// alongside as fault-schedule.txt — the seed + per-boundary plan that
+/// produced the failing state, so the artifact alone reproduces it.
+inline void archive_on_failure(const std::filesystem::path& dir,
+                               const std::string& tag,
+                               const std::string& schedule = std::string()) {
+  const char* artifact_dir = std::getenv("PARADIGM_RECOVERY_ARTIFACT_DIR");
+  if (artifact_dir == nullptr || artifact_dir[0] == '\0') return;
+  std::error_code ec;
+  const std::filesystem::path dest = std::filesystem::path(artifact_dir) / tag;
+  std::filesystem::create_directories(dest, ec);
+  std::filesystem::copy(dir, dest,
+                        std::filesystem::copy_options::recursive |
+                            std::filesystem::copy_options::overwrite_existing,
+                        ec);
+  if (!schedule.empty()) {
+    std::ofstream out(dest / "fault-schedule.txt");
+    out << schedule;
+  }
+}
+
+}  // namespace paradigm::svc

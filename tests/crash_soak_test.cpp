@@ -6,16 +6,17 @@
 // exactly-once execution asserted per (job, attempt) from both the
 // service accounting and the journal itself. Journals of failing
 // boundaries are archived to $PARADIGM_RECOVERY_ARTIFACT_DIR.
+//
+// The corpus, config and assertion helpers live in crash_corpus.hpp,
+// shared with the storage-fault sweep (storage_fault_test.cpp).
 #include <gtest/gtest.h>
 
-#include <cstdlib>
 #include <filesystem>
 #include <map>
-#include <set>
 #include <sstream>
 #include <string>
-#include <vector>
 
+#include "crash_corpus.hpp"
 #include "support/parallel.hpp"
 #include "support/wal.hpp"
 #include "svc/persist.hpp"
@@ -25,124 +26,6 @@ namespace paradigm::svc {
 namespace {
 
 namespace fs = std::filesystem;
-
-/// Deterministic mixed corpus (≥50 jobs): clean runs, pathological
-/// graphs (breaker food), oversized submissions, deadline-doomed work,
-/// alternating classes — the same shape as the DESIGN §11 soak, sized
-/// so the crash-at-every-boundary sweep stays tractable.
-std::vector<JobSpec> crash_corpus() {
-  std::vector<JobSpec> jobs;
-  for (std::size_t i = 0; i < 50; ++i) {
-    JobSpec spec;
-    spec.id = "c";
-    spec.id += std::to_string(i);
-    spec.seed = 2000 + i;
-    spec.arrival = i * 30;
-    spec.processors = (i % 3 == 0) ? 4 : 8;
-    spec.nodes = 6 + (i % 4);
-    spec.job_class = (i % 4 == 0) ? "alt" : "default";
-    switch (i % 10) {
-      case 3:
-        spec.graph = GraphKind::kPathological;
-        spec.seed = 1 + (i % 7);
-        spec.processors = 5;  // Not a power of two: hard failure, feeds the breaker.
-        spec.arrival = i;     // Early arrival: fails before the drain cutoff.
-        break;
-      case 5:
-        spec.nodes = 4096;  // Rejected oversized.
-        break;
-      case 7:
-        spec.deadline = 20 + (i % 13);  // Deadline-doomed.
-        break;
-      default:
-        break;
-    }
-    jobs.push_back(std::move(spec));
-  }
-  return jobs;
-}
-
-/// Cheap pipeline settings: the sweep runs O(records × jobs) pipeline
-/// attempts, so each attempt is kept as small as determinism allows.
-ServiceConfig crash_config() {
-  ServiceConfig config;
-  config.pipeline.calibration_mode = core::CalibrationMode::kStatic;
-  config.pipeline.machine.size = 8;
-  config.pipeline.machine.noise_sigma = 0.0;
-  config.pipeline.solver.max_inner_iterations = 10;
-  config.pipeline.solver.continuation_rounds = 1;
-  config.queue_capacity = 6;
-  config.slots = 2;
-  config.max_nodes = 512;
-  config.default_deadline = 30000;
-  config.max_retries = 1;
-  config.breaker_threshold = 2;
-  config.breaker_cooldown = 400;
-  return config;
-}
-
-constexpr std::uint64_t kDrainAt = 1200;
-constexpr std::uint64_t kDrainGrace = 6000;
-/// One snapshot lands mid-run, so the sweep also crashes inside
-/// snapshot writes and recovers through (and from) snapshots.
-constexpr std::size_t kSnapshotEvery = 24;
-
-/// Submits the full corpus every run — including recovery runs. The
-/// client re-offering its inputs is the crash-quiescence contract:
-/// Persistence::begin_run prefix-checks them against the journaled
-/// submissions and journals only the not-yet-durable tail, so a crash
-/// mid-submission still recovers to the crash-free ledger.
-ServiceReport run_service(Persistence* persist) {
-  Service service(crash_config());
-  for (JobSpec& spec : crash_corpus()) service.submit(std::move(spec));
-  service.drain_at(kDrainAt, kDrainGrace);
-  if (persist != nullptr) service.attach_persistence(persist);
-  return service.run();
-}
-
-/// Asserts the journal holds exactly one exec digest per (job index,
-/// attempt) — the on-disk half of the exactly-once contract.
-void assert_unique_exec_records(const std::string& journal_path) {
-  const wal::ReadResult read = wal::read_journal(journal_path);
-  std::set<std::string> exec_keys;
-  for (const std::string& record : read.records) {
-    if (record.rfind("exec ", 0) != 0) continue;
-    std::istringstream in(record);
-    std::string tag, index, attempt;
-    in >> tag >> index >> attempt;
-    const std::string key = index + "/" + attempt;
-    EXPECT_TRUE(exec_keys.insert(key).second)
-        << "duplicate exec digest " << key << " in " << journal_path;
-  }
-}
-
-/// Asserts one terminal ledger record per (id, attempt).
-void assert_unique_ledger_records(const std::string& ledger) {
-  std::set<std::string> keys;
-  std::istringstream in(ledger);
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty() || line[0] == '#') continue;
-    std::istringstream fields(line);
-    std::string job, attempt;
-    fields >> job >> attempt;
-    EXPECT_TRUE(keys.insert(job + "/" + attempt).second)
-        << "duplicate ledger record: " << line;
-  }
-}
-
-/// On failure, copies the journal directory to the CI artifact
-/// directory (PARADIGM_RECOVERY_ARTIFACT_DIR) so the exact crash
-/// boundary can be replayed offline.
-void archive_on_failure(const fs::path& dir, const std::string& tag) {
-  const char* artifact_dir = std::getenv("PARADIGM_RECOVERY_ARTIFACT_DIR");
-  if (artifact_dir == nullptr || artifact_dir[0] == '\0') return;
-  std::error_code ec;
-  const fs::path dest = fs::path(artifact_dir) / tag;
-  fs::create_directories(dest, ec);
-  fs::copy(dir, dest, fs::copy_options::recursive |
-                          fs::copy_options::overwrite_existing, ec);
-}
 
 class CrashSoak : public ::testing::Test {
  protected:
@@ -164,7 +47,7 @@ class CrashSoak : public ::testing::Test {
   void sweep(std::size_t threads) {
     set_thread_count(threads);
 
-    const ServiceReport baseline = run_service(nullptr);
+    const ServiceReport baseline = run_crash_service(nullptr);
     const std::string expected = baseline.ledger();
     assert_unique_ledger_records(expected);
 
@@ -176,10 +59,10 @@ class CrashSoak : public ::testing::Test {
     {
       PersistConfig pc;
       pc.dir = clean_dir.string();
-      pc.snapshot_every = kSnapshotEvery;
+      pc.snapshot_every = kCrashSnapshotEvery;
       pc.crash = &probe;
       Persistence persist(pc);
-      const ServiceReport journaled = run_service(&persist);
+      const ServiceReport journaled = run_crash_service(&persist);
       ASSERT_EQ(journaled.ledger(), expected)
           << "journaling changed the ledger";
       ASSERT_EQ(journaled.pipeline_runs, baseline.pipeline_runs);
@@ -204,18 +87,18 @@ class CrashSoak : public ::testing::Test {
       {
         PersistConfig pc;
         pc.dir = dir.string();
-        pc.snapshot_every = kSnapshotEvery;
+        pc.snapshot_every = kCrashSnapshotEvery;
         pc.crash = &crash;
         Persistence persist(pc);
-        ASSERT_THROW(run_service(&persist), wal::CrashInjected);
+        ASSERT_THROW(run_crash_service(&persist), wal::CrashInjected);
       }
 
       PersistConfig pc;
       pc.dir = dir.string();
       pc.recover = true;
-      pc.snapshot_every = kSnapshotEvery;
+      pc.snapshot_every = kCrashSnapshotEvery;
       Persistence persist(pc);
-      const ServiceReport recovered = run_service(&persist);
+      const ServiceReport recovered = run_crash_service(&persist);
       const std::string ledger = recovered.ledger();
 
       EXPECT_EQ(ledger, expected);
@@ -239,48 +122,6 @@ class CrashSoak : public ::testing::Test {
   fs::path root_;
 };
 
-// ---- Cache-enabled crash sweep (DESIGN §13) ----------------------------------
-
-/// Compact duplicate-heavy corpus for the cache-enabled sweep: six
-/// distinct templates spread over 24 jobs (same-instant duplicate
-/// bursts for coalescing, staggered repeats for cache hits), plus one
-/// oversized rejection and one deadline-doomed job so non-executing
-/// outcomes stay in the boundary space.
-std::vector<JobSpec> cache_crash_corpus() {
-  std::vector<JobSpec> jobs;
-  for (std::size_t i = 0; i < 24; ++i) {
-    JobSpec spec;
-    spec.id = "k";
-    spec.id += std::to_string(i);
-    // Jobs 0..3 are four identical same-instant copies of template 0
-    // (the coalescing burst); the rest cycle the six templates.
-    const std::size_t tmpl = i < 4 ? 0 : i % 6;
-    spec.seed = 3000 + tmpl;
-    spec.nodes = 5 + tmpl % 3;
-    spec.processors = tmpl < 3 ? 4 : 8;
-    spec.arrival = i < 4 ? 0 : 400 + i * 60;
-    if (i == 20) spec.nodes = 4096;      // Rejected oversized.
-    if (i == 21) spec.deadline = 5;      // Deadline-doomed.
-    jobs.push_back(std::move(spec));
-  }
-  return jobs;
-}
-
-ServiceConfig cache_crash_config() {
-  ServiceConfig config = crash_config();
-  config.slots = 4;
-  config.queue_capacity = 25;
-  config.cache.enabled = true;
-  return config;
-}
-
-ServiceReport run_cached_service(Persistence* persist) {
-  Service service(cache_crash_config());
-  for (JobSpec& spec : cache_crash_corpus()) service.submit(std::move(spec));
-  if (persist != nullptr) service.attach_persistence(persist);
-  return service.run();
-}
-
 TEST_F(CrashSoak, EveryBoundaryRecoversByteIdenticalSerial) { sweep(1); }
 
 TEST_F(CrashSoak, EveryBoundaryRecoversByteIdenticalFourThreads) {
@@ -296,7 +137,7 @@ TEST_F(CrashSoak, EveryBoundaryRecoversByteIdenticalFourThreads) {
 /// run} (DESIGN §13).
 TEST_F(CrashSoak, CacheHitBoundariesRecoverByteIdentical) {
   set_thread_count(4);
-  const ServiceReport baseline = run_cached_service(nullptr);
+  const ServiceReport baseline = run_cached_crash_service(nullptr);
   const std::string expected = baseline.ledger();
   assert_unique_ledger_records(expected);
   // The corpus must exercise every reuse tier or the sweep proves
@@ -314,7 +155,7 @@ TEST_F(CrashSoak, CacheHitBoundariesRecoverByteIdentical) {
     pc.snapshot_every = 16;
     pc.crash = &probe;
     Persistence persist(pc);
-    const ServiceReport journaled = run_cached_service(&persist);
+    const ServiceReport journaled = run_cached_crash_service(&persist);
     ASSERT_EQ(journaled.ledger(), expected)
         << "journaling changed the cached ledger";
     ASSERT_EQ(journaled.cache_hits, baseline.cache_hits);
@@ -338,7 +179,7 @@ TEST_F(CrashSoak, CacheHitBoundariesRecoverByteIdentical) {
       pc.snapshot_every = 16;
       pc.crash = &crash;
       Persistence persist(pc);
-      ASSERT_THROW(run_cached_service(&persist), wal::CrashInjected);
+      ASSERT_THROW(run_cached_crash_service(&persist), wal::CrashInjected);
     }
 
     PersistConfig pc;
@@ -346,7 +187,7 @@ TEST_F(CrashSoak, CacheHitBoundariesRecoverByteIdentical) {
     pc.recover = true;
     pc.snapshot_every = 16;
     Persistence persist(pc);
-    const ServiceReport recovered = run_cached_service(&persist);
+    const ServiceReport recovered = run_cached_crash_service(&persist);
 
     EXPECT_EQ(recovered.ledger(), expected);
     // Extended exactly-once: every slot-served baseline attempt is
@@ -369,7 +210,7 @@ TEST_F(CrashSoak, CacheHitBoundariesRecoverByteIdentical) {
 /// The corpus must genuinely exercise the service paths, otherwise the
 /// sweep proves less than it claims.
 TEST_F(CrashSoak, CorpusReachesDiverseOutcomes) {
-  const ServiceReport report = run_service(nullptr);
+  const ServiceReport report = run_crash_service(nullptr);
   std::map<std::string, int> outcomes;
   std::istringstream in(report.ledger());
   std::string line;

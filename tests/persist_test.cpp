@@ -10,6 +10,7 @@
 #include <fstream>
 
 #include "support/error.hpp"
+#include "support/vfs.hpp"
 #include "svc/service.hpp"
 
 namespace paradigm::svc {
@@ -313,6 +314,74 @@ TEST_F(PersistTest, CrashMidRunRecoversToIdenticalLedger) {
   // once or was re-served from its durable digest.
   EXPECT_EQ(report.pipeline_runs + persist.stats().memo_hits,
             baseline.pipeline_runs);
+}
+
+// ---- Storage-failure contract (DESIGN §14) ----------------------------------
+
+TEST_F(PersistTest, QuarantinedJournalRefusesFurtherAppends) {
+  vfs::FaultPlan plan;
+  plan.fail_append_after = 1;  // Header lands; the first record cannot.
+  plan.short_write_fraction = 0.0;
+  vfs::FaultyVfs faulty(vfs::Vfs::real(), plan);
+  PersistConfig pc = config();
+  pc.fs = &faulty;
+  Persistence persist(pc);
+  const std::vector<JobSpec> jobs = {quick_job("a")};
+  EXPECT_THROW(persist.begin_run(jobs, nullptr), vfs::StorageError);
+  EXPECT_TRUE(persist.stats().quarantined);
+  // A quarantined journal is poisoned for the rest of the process:
+  // every further append attempt is a structured refusal, not a write.
+  EXPECT_THROW(persist.begin_run(jobs, nullptr), Error);
+  // finalize() on a quarantined journal is a no-op, not a crash — the
+  // service's unwind path must be able to call it unconditionally.
+  persist.finalize();
+}
+
+TEST_F(PersistTest, FinalizeIsTheClosingBatchBarrier) {
+  const std::vector<JobSpec> jobs = {quick_job("a")};
+  // kBatch: header sync at create, then nothing until finalize().
+  {
+    vfs::FaultyVfs recorder(vfs::Vfs::real());
+    PersistConfig pc = config();
+    pc.fs = &recorder;
+    Persistence persist(pc);
+    const std::size_t create_syncs = recorder.syncs();
+    persist.begin_run(jobs, nullptr);
+    EXPECT_EQ(recorder.syncs(), create_syncs);  // Submits are not synced.
+    persist.finalize();
+    EXPECT_EQ(recorder.syncs(), create_syncs + 1);
+    EXPECT_EQ(persist.stats().journal_syncs, 1u);
+  }
+  fs::remove_all(dir_);
+  fs::create_directories(dir_);
+  // kNever: no sync anywhere, not even at create or finalize.
+  {
+    vfs::FaultyVfs recorder(vfs::Vfs::real());
+    PersistConfig pc = config();
+    pc.fs = &recorder;
+    pc.sync_policy = wal::SyncPolicy::kNever;
+    Persistence persist(pc);
+    persist.begin_run(jobs, nullptr);
+    persist.finalize();
+    EXPECT_EQ(recorder.syncs(), 0u);
+    EXPECT_EQ(persist.stats().journal_syncs, 0u);
+  }
+}
+
+TEST_F(PersistTest, FreshJournalCreationIsDirectoryDurable) {
+  // The journal's *name* must survive power loss too: a fresh create
+  // under a syncing policy ends with a directory fsync.
+  vfs::FaultyVfs recorder(vfs::Vfs::real());
+  PersistConfig pc = config();
+  pc.fs = &recorder;
+  { Persistence persist(pc); }
+  bool saw_dir_sync = false;
+  for (const auto& op : recorder.log()) {
+    if (op.kind == vfs::OpRecord::Kind::kSyncDir && op.path == pc.dir) {
+      saw_dir_sync = true;
+    }
+  }
+  EXPECT_TRUE(saw_dir_sync);
 }
 
 }  // namespace

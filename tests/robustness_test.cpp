@@ -27,6 +27,7 @@
 #include "support/degrade.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
+#include "support/vfs.hpp"
 #include "support/wal.hpp"
 #include "svc/persist.hpp"
 #include "svc/service.hpp"
@@ -601,6 +602,83 @@ TEST(WalFuzzCorpus, BitFlippedJournalsRecoverStructurally) {
       // Structured rejection (e.g. a flipped format-version byte).
     } catch (const Error&) {
       // Structured rejection (e.g. a flipped header magic byte).
+    }
+    fs::remove_all(dir);
+  }
+  fs::remove_all(root);
+}
+
+// Every corpus seed also drives a deterministic *storage fault* pass
+// (DESIGN §14): the seed picks a fault family — clean ENOSPC, a torn
+// short write, or a byte-budget device that tears at capacity — and a
+// trigger point inside the run. The service must either finish or
+// quarantine with a structured StorageError (never crash or hang), and
+// recovery on the healed device must reproduce the crash-free ledger
+// byte for byte with no duplicated exec digest.
+TEST(WalFuzzCorpus, InjectedStorageFaultsQuarantineThenRecover) {
+  const fs::path root = fs::temp_directory_path() / "robustness_storage_fuzz";
+  fs::remove_all(root);
+  fs::create_directories(root);
+
+  const std::string expected = run_wal_fuzz_service(nullptr).ledger();
+  const std::vector<std::uint64_t> seeds = wal_corpus_seeds();
+  ASSERT_GE(seeds.size(), 12u) << "wal corpus file missing or unreadable";
+
+  for (const std::uint64_t seed : seeds) {
+    SCOPED_TRACE("storage seed " + std::to_string(seed));
+    std::mt19937_64 rng(seed);
+    vfs::FaultPlan plan;
+    switch (seed % 3) {
+      case 0:  // Device full, nothing partial on disk.
+        plan.fail_append_after = 5 + static_cast<std::int64_t>(rng() % 60);
+        plan.append_fault = vfs::FaultKind::kEnospc;
+        plan.short_write_fraction = 0.0;
+        break;
+      case 1:  // Short write: a torn record tail to salvage.
+        plan.fail_append_after = 5 + static_cast<std::int64_t>(rng() % 60);
+        plan.append_fault = vfs::FaultKind::kShortWrite;
+        break;
+      default:  // Byte-budget device: tears wherever the budget lands.
+        plan.capacity_bytes = 600 + rng() % 4000;
+        break;
+    }
+    vfs::FaultyVfs faulty(vfs::Vfs::real(), plan);
+
+    const fs::path dir = root / ("seed-" + std::to_string(seed));
+    bool quarantined = false;
+    {
+      svc::PersistConfig pc;
+      pc.dir = dir.string();
+      pc.snapshot_every = 0;
+      pc.fs = &faulty;
+      svc::Persistence persist(pc);
+      try {
+        run_wal_fuzz_service(&persist);
+      } catch (const vfs::StorageError& e) {
+        quarantined = true;
+        EXPECT_TRUE(persist.stats().quarantined) << e.what();
+      }
+    }
+
+    // The device "heals" (space freed / transient EIO gone): recovery
+    // through the real backend replays the durable prefix, re-offers
+    // the corpus, and must land exactly on the crash-free ledger.
+    svc::PersistConfig rc;
+    rc.dir = dir.string();
+    rc.recover = true;
+    rc.snapshot_every = 0;
+    svc::Persistence recovered(rc);
+    EXPECT_EQ(run_wal_fuzz_service(&recovered).ledger(), expected)
+        << (quarantined ? "after quarantine" : "after clean run");
+    std::set<std::string> exec_keys;
+    for (const std::string& record :
+         wal::read_journal(recovered.journal_path()).records) {
+      if (record.rfind("exec ", 0) != 0) continue;
+      std::istringstream in(record);
+      std::string tag, index, attempt;
+      in >> tag >> index >> attempt;
+      EXPECT_TRUE(exec_keys.insert(index + "/" + attempt).second)
+          << "duplicate exec digest after storage-fault recovery: " << record;
     }
     fs::remove_all(dir);
   }

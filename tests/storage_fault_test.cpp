@@ -1,0 +1,388 @@
+// ALICE-style storage-fault sweep (DESIGN §14, `ctest -L recovery`).
+//
+// The crash soak (crash_soak_test.cpp) proves recovery from *process*
+// crashes at clean or torn record boundaries. This suite proves the
+// stronger claim: recovery from every legal *post-power-loss disk
+// state*. A service run over the shared 50-job crash corpus is
+// recorded through a FaultyVfs op log; then, at every operation
+// boundary of that log, every combination of
+//
+//   tail loss      × {kept, synced-only, torn}   (per-file data)
+//   metadata loss  × seeded prefix of uncommitted create/rename/remove
+//
+// is materialized as a real on-disk directory, recovered from, and the
+// recovered ledger must be byte-identical to the crash-free run's with
+// the exactly-once equation conserved — at 1 and 4 worker threads,
+// and with the allocation cache on (extended equation). States are
+// deduplicated by content digest so the sweep stays tractable.
+//
+// The suite also pins the injected-fault degradation contract:
+// transient ENOSPC/EIO/short-writes ride the bounded retry, sticky
+// ones quarantine the journal and fail-stop (StorageError → CLI exit
+// 25), failed snapshot renames degrade without losing durability.
+// Failing states are archived (journal + fault schedule) to
+// $PARADIGM_RECOVERY_ARTIFACT_DIR.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "crash_corpus.hpp"
+#include "support/parallel.hpp"
+#include "support/vfs.hpp"
+#include "support/wal.hpp"
+#include "svc/persist.hpp"
+#include "svc/service.hpp"
+
+namespace paradigm::svc {
+namespace {
+
+namespace fs = std::filesystem;
+
+class StorageFault : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            ("storage_fault_" + std::string(
+                                    ::testing::UnitTest::GetInstance()
+                                        ->current_test_info()
+                                        ->name()));
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+  void TearDown() override {
+    set_thread_count(0);
+    fs::remove_all(root_);
+  }
+
+  /// Recovers a materialized crash state the way an operator would:
+  /// recover from the journal when it is structurally openable, delete
+  /// the stub and start fresh when its header never became durable
+  /// (only possible before the first record was, so nothing is lost),
+  /// start fresh when the journal's very creation was lost.
+  template <typename RunFn>
+  static ServiceReport recover_state(const fs::path& dir, RunFn run,
+                                     PersistStats* stats_out) {
+    const fs::path journal = dir / "journal.wal";
+    bool recover = false;
+    if (fs::exists(journal)) {
+      try {
+        wal::read_journal(journal.string());
+        recover = true;
+      } catch (const Error&) {
+        // Header never durable — predates the first durable record
+        // (the header is fsync'd before any append); delete and restart.
+        fs::remove(journal);
+      }
+    }
+    PersistConfig pc;
+    pc.dir = dir.string();
+    pc.recover = recover;
+    pc.snapshot_every = kCrashSnapshotEvery;
+    pc.batch_sync_interval = 1;
+    Persistence persist(pc);
+    const ServiceReport report = run(&persist);
+    if (stats_out != nullptr) *stats_out = persist.stats();
+    return report;
+  }
+
+  /// Full power-loss state enumeration at one thread count.
+  void sweep(std::size_t threads) {
+    set_thread_count(threads);
+
+    const ServiceReport baseline = run_crash_service(nullptr);
+    const std::string expected = baseline.ledger();
+    assert_unique_ledger_records(expected);
+
+    // Recorded run: all storage traffic through a fault-free FaultyVfs
+    // so the op log captures every append/sync/rename boundary.
+    const fs::path live = root_ / ("live-t" + std::to_string(threads));
+    fs::create_directories(live);
+    vfs::FaultyVfs recorder(vfs::Vfs::real());
+    {
+      PersistConfig pc;
+      pc.dir = live.string();
+      pc.snapshot_every = kCrashSnapshotEvery;
+      // Interval 1 = a commit boundary at *every* exec digest: the
+      // densest legal-state space the enumeration can cover.
+      pc.batch_sync_interval = 1;
+      pc.fs = &recorder;
+      Persistence persist(pc);
+      const ServiceReport journaled = run_crash_service(&persist);
+      ASSERT_EQ(journaled.ledger(), expected)
+          << "recording changed the ledger";
+      ASSERT_GT(persist.stats().journal_syncs, 10u)
+          << "kBatch must sync at exec boundaries";
+    }
+    const std::vector<vfs::OpRecord>& log = recorder.log();
+    ASSERT_GT(log.size(), 200u) << "op log too small to be a sweep";
+
+    const fs::path crashed = root_ / ("crashed-t" + std::to_string(threads));
+    std::set<std::uint64_t> seen;
+    std::size_t recovered_states = 0;
+    constexpr vfs::TailLoss kModes[] = {vfs::TailLoss::kKeepAll,
+                                        vfs::TailLoss::kSyncedOnly,
+                                        vfs::TailLoss::kTorn};
+    for (std::size_t crash_op = 0; crash_op <= log.size(); ++crash_op) {
+      for (const vfs::TailLoss loss : kModes) {
+        const std::uint64_t seed =
+            crash_op * 3 + static_cast<std::uint64_t>(loss);
+        const vfs::CrashState state = vfs::materialize_crash_state(
+            log, crash_op, loss, seed, live.string(), crashed.string());
+        if (!seen.insert(state.digest).second) continue;  // Duplicate state.
+        ++recovered_states;
+        SCOPED_TRACE("threads=" + std::to_string(threads) + " " +
+                     state.description);
+
+        PersistStats stats;
+        const ServiceReport recovered =
+            recover_state(crashed, run_crash_service, &stats);
+        EXPECT_EQ(recovered.ledger(), expected);
+        // Exactly-once survives power loss: every baseline attempt is
+        // served by exactly one of {durable digest, fresh execution}.
+        EXPECT_EQ(recovered.pipeline_runs + stats.memo_hits,
+                  baseline.pipeline_runs);
+        assert_unique_ledger_records(recovered.ledger());
+
+        if (::testing::Test::HasFailure()) {
+          const std::string tag = "storage-t" + std::to_string(threads) +
+                                  "-op" + std::to_string(crash_op);
+          archive_on_failure(crashed, tag,
+                             "seed=" + std::to_string(seed) + "\n" +
+                                 state.description + "\n");
+          FAIL() << "post-power-loss state failed: " << state.description
+                 << "; journal + fault schedule archived";
+        }
+      }
+    }
+    // The sweep must genuinely explore the state space; a collapsed
+    // dedup means the model (or the sync placement) broke.
+    EXPECT_GT(recovered_states, 100u)
+        << "only " << recovered_states << " unique disk states";
+    fs::remove_all(root_ / ("live-t" + std::to_string(threads)));
+  }
+
+  fs::path root_;
+};
+
+TEST_F(StorageFault, EveryPowerLossStateRecoversByteIdenticalSerial) {
+  sweep(1);
+}
+
+TEST_F(StorageFault, EveryPowerLossStateRecoversByteIdenticalFourThreads) {
+  sweep(4);
+}
+
+/// Cache-enabled power-loss sweep: the extended exactly-once equation
+/// (runs + cache_hits + coalesced + memo_hits) must conserve from
+/// every legal post-power-loss state of the duplicate-heavy corpus.
+TEST_F(StorageFault, CachePowerLossStatesConserveExtendedEquation) {
+  set_thread_count(4);
+  const ServiceReport baseline = run_cached_crash_service(nullptr);
+  const std::string expected = baseline.ledger();
+  ASSERT_GT(baseline.cache_hits, 0u);
+  ASSERT_GT(baseline.coalesced, 0u);
+  const std::size_t baseline_served =
+      baseline.pipeline_runs + baseline.cache_hits + baseline.coalesced;
+
+  const fs::path live = root_ / "live-cache";
+  fs::create_directories(live);
+  vfs::FaultyVfs recorder(vfs::Vfs::real());
+  {
+    PersistConfig pc;
+    pc.dir = live.string();
+    pc.snapshot_every = 16;
+    pc.batch_sync_interval = 1;
+    pc.fs = &recorder;
+    Persistence persist(pc);
+    ASSERT_EQ(run_cached_crash_service(&persist).ledger(), expected);
+  }
+  const std::vector<vfs::OpRecord>& log = recorder.log();
+  ASSERT_GT(log.size(), 100u);
+
+  const fs::path crashed = root_ / "crashed-cache";
+  std::set<std::uint64_t> seen;
+  constexpr vfs::TailLoss kModes[] = {vfs::TailLoss::kKeepAll,
+                                      vfs::TailLoss::kSyncedOnly,
+                                      vfs::TailLoss::kTorn};
+  for (std::size_t crash_op = 0; crash_op <= log.size(); ++crash_op) {
+    for (const vfs::TailLoss loss : kModes) {
+      const std::uint64_t seed =
+          crash_op * 3 + static_cast<std::uint64_t>(loss);
+      const vfs::CrashState state = vfs::materialize_crash_state(
+          log, crash_op, loss, seed, live.string(), crashed.string());
+      if (!seen.insert(state.digest).second) continue;
+      SCOPED_TRACE(state.description);
+
+      const fs::path journal = crashed / "journal.wal";
+      bool recover = false;
+      if (fs::exists(journal)) {
+        try {
+          wal::read_journal(journal.string());
+          recover = true;
+        } catch (const Error&) {
+          fs::remove(journal);
+        }
+      }
+      PersistConfig pc;
+      pc.dir = crashed.string();
+      pc.recover = recover;
+      pc.snapshot_every = 16;
+      pc.batch_sync_interval = 1;
+      Persistence persist(pc);
+      const ServiceReport recovered = run_cached_crash_service(&persist);
+
+      EXPECT_EQ(recovered.ledger(), expected);
+      EXPECT_EQ(recovered.pipeline_runs + recovered.cache_hits +
+                    recovered.coalesced + persist.stats().memo_hits,
+                baseline_served);
+
+      if (::testing::Test::HasFailure()) {
+        archive_on_failure(crashed, "cache-op" + std::to_string(crash_op),
+                           "seed=" + std::to_string(seed) + "\n" +
+                               state.description + "\n");
+        FAIL() << "cache power-loss state failed: " << state.description;
+      }
+    }
+  }
+}
+
+// ---- Injected-fault degradation contract ----------------------------
+
+TEST_F(StorageFault, TransientShortWriteRidesTheBoundedRetry) {
+  vfs::FaultPlan plan;
+  plan.fail_append_after = 40;
+  plan.append_fault = vfs::FaultKind::kShortWrite;
+  plan.append_fail_count = 1;  // One torn append, then the disk heals.
+  vfs::FaultyVfs faulty(vfs::Vfs::real(), plan);
+
+  const ServiceReport baseline = run_crash_service(nullptr);
+  const fs::path dir = root_ / "retry";
+  PersistConfig pc;
+  pc.dir = dir.string();
+  pc.snapshot_every = kCrashSnapshotEvery;
+  pc.fs = &faulty;
+  Persistence persist(pc);
+  const ServiceReport report = run_crash_service(&persist);
+
+  // The torn tail was salvaged and the append retried: same ledger,
+  // full durability, no quarantine.
+  EXPECT_EQ(report.ledger(), baseline.ledger());
+  EXPECT_GE(persist.stats().storage_retries, 1u);
+  EXPECT_FALSE(persist.stats().quarantined);
+  assert_unique_exec_records(persist.journal_path());
+}
+
+TEST_F(StorageFault, StickyEnospcQuarantinesThenRecovers) {
+  vfs::FaultPlan plan;
+  plan.fail_append_after = 60;
+  plan.append_fault = vfs::FaultKind::kEnospc;
+  plan.short_write_fraction = 0.0;
+  vfs::FaultyVfs faulty(vfs::Vfs::real(), plan);
+
+  const ServiceReport baseline = run_crash_service(nullptr);
+  const fs::path dir = root_ / "enospc";
+  {
+    PersistConfig pc;
+    pc.dir = dir.string();
+    pc.snapshot_every = kCrashSnapshotEvery;
+    pc.fs = &faulty;
+    Persistence persist(pc);
+    try {
+      run_crash_service(&persist);
+      FAIL() << "sticky ENOSPC must fail-stop";
+    } catch (const vfs::StorageError& e) {
+      EXPECT_EQ(e.kind(), vfs::FaultKind::kEnospc);
+    }
+    EXPECT_TRUE(persist.stats().quarantined);
+    EXPECT_GE(persist.stats().storage_retries, 1u);
+  }
+  // Space freed (no injection): recovery completes from the intact
+  // journal prefix with exactly-once conserved.
+  PersistStats stats;
+  const ServiceReport recovered =
+      recover_state(dir, run_crash_service, &stats);
+  EXPECT_EQ(recovered.ledger(), baseline.ledger());
+  EXPECT_EQ(recovered.pipeline_runs + stats.memo_hits,
+            baseline.pipeline_runs);
+}
+
+TEST_F(StorageFault, SyncFailureQuarantinesImmediately) {
+  vfs::FaultPlan plan;
+  plan.fail_sync_after = 5;
+  vfs::FaultyVfs faulty(vfs::Vfs::real(), plan);
+
+  const fs::path dir = root_ / "syncfail";
+  PersistConfig pc;
+  pc.dir = dir.string();
+  pc.snapshot_every = kCrashSnapshotEvery;
+  // Interval 1 keeps sync #5 a *journal* group commit; at the default
+  // cadence it would land inside a snapshot writer, whose failures
+  // degrade instead of quarantining.
+  pc.batch_sync_interval = 1;
+  pc.fs = &faulty;
+  Persistence persist(pc);
+  try {
+    run_crash_service(&persist);
+    FAIL() << "failed fsync must fail-stop";
+  } catch (const vfs::StorageError& e) {
+    EXPECT_EQ(e.kind(), vfs::FaultKind::kSyncFailure);
+  }
+  EXPECT_TRUE(persist.stats().quarantined);
+  // No retry for fsync: the kernel may have dropped the dirty pages.
+  EXPECT_EQ(persist.stats().storage_retries, 0u);
+}
+
+TEST_F(StorageFault, FailedSnapshotRenameDegradesWithoutDataLoss) {
+  vfs::FaultPlan plan;
+  plan.fail_rename_after = 0;  // Every snapshot publish fails.
+  vfs::FaultyVfs faulty(vfs::Vfs::real(), plan);
+
+  const ServiceReport baseline = run_crash_service(nullptr);
+  const fs::path dir = root_ / "renamefail";
+  PersistConfig pc;
+  pc.dir = dir.string();
+  pc.snapshot_every = kCrashSnapshotEvery;
+  pc.fs = &faulty;
+  Persistence persist(pc);
+  const ServiceReport report = run_crash_service(&persist);
+
+  // Snapshots are an optimization: losing every one of them costs
+  // nothing but replay time. The run completes, durably.
+  EXPECT_EQ(report.ledger(), baseline.ledger());
+  EXPECT_GE(persist.stats().snapshot_failures, 1u);
+  EXPECT_EQ(persist.stats().snapshots_written, 0u);
+  EXPECT_FALSE(persist.stats().quarantined);
+  assert_unique_exec_records(persist.journal_path());
+}
+
+/// Sync policies change *when* data becomes power-loss durable, never
+/// *what* the service computes: the ledger is byte-identical across
+/// always/batch/never.
+TEST_F(StorageFault, SyncPolicyNeverChangesTheLedger) {
+  std::string ledgers[3];
+  const wal::SyncPolicy policies[] = {wal::SyncPolicy::kAlways,
+                                      wal::SyncPolicy::kBatch,
+                                      wal::SyncPolicy::kNever};
+  for (int i = 0; i < 3; ++i) {
+    const fs::path dir = root_ / ("policy-" + std::to_string(i));
+    PersistConfig pc;
+    pc.dir = dir.string();
+    pc.snapshot_every = kCrashSnapshotEvery;
+    pc.sync_policy = policies[i];
+    Persistence persist(pc);
+    ledgers[i] = run_crash_service(&persist).ledger();
+    if (policies[i] == wal::SyncPolicy::kNever) {
+      EXPECT_EQ(persist.stats().journal_syncs, 0u);
+    } else {
+      EXPECT_GT(persist.stats().journal_syncs, 0u);
+    }
+  }
+  EXPECT_EQ(ledgers[0], ledgers[1]);
+  EXPECT_EQ(ledgers[1], ledgers[2]);
+}
+
+}  // namespace
+}  // namespace paradigm::svc

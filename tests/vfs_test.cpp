@@ -1,0 +1,358 @@
+// Unit tests for the storage seam (support/vfs.hpp, DESIGN §14): the
+// real POSIX backend's error surface, the seeded FaultyVfs injections
+// (sticky and transient, short writes, capacity devices, failed
+// fsync/rename), the op log, and the legal-post-power-loss-state
+// materializer's strict-POSIX semantics (file fsync pins data only;
+// metadata commits in order at the directory fsync).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+
+#include "support/vfs.hpp"
+
+namespace paradigm::vfs {
+namespace {
+
+namespace fs = std::filesystem;
+
+class VfsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            ("vfs_test_" + std::string(::testing::UnitTest::GetInstance()
+                                           ->current_test_info()
+                                           ->name()));
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  std::string path(const std::string& name) const {
+    return (root_ / name).string();
+  }
+
+  std::string slurp(const std::string& p) const {
+    std::ifstream in(p, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  }
+
+  fs::path root_;
+};
+
+// ---- RealVfs ---------------------------------------------------------
+
+TEST_F(VfsTest, RealRoundTrip) {
+  Vfs& v = Vfs::real();
+  {
+    auto f = v.create(path("a.bin"));
+    f->append("hello ");
+    f->append("world");
+    f->sync();
+    EXPECT_EQ(f->size(), 11u);
+    f->truncate(5);
+    EXPECT_EQ(f->size(), 5u);
+  }
+  EXPECT_EQ(v.read_all(path("a.bin")), "hello");
+  EXPECT_EQ(v.file_size(path("a.bin")), 5);
+  EXPECT_EQ(v.file_size(path("missing.bin")), -1);
+  v.rename(path("a.bin"), path("b.bin"));
+  EXPECT_EQ(v.file_size(path("a.bin")), -1);
+  EXPECT_EQ(v.read_all(path("b.bin")), "hello");
+  v.remove(path("b.bin"));
+  v.remove(path("b.bin"));  // Missing: not an error.
+  EXPECT_EQ(v.file_size(path("b.bin")), -1);
+  v.sync_dir(root_.string());
+}
+
+TEST_F(VfsTest, RealOpenAppendContinues) {
+  Vfs& v = Vfs::real();
+  { v.create(path("a.bin"))->append("one"); }
+  { v.open_append(path("a.bin"))->append("two"); }
+  EXPECT_EQ(v.read_all(path("a.bin")), "onetwo");
+}
+
+TEST_F(VfsTest, RealErrorsAreStructured) {
+  Vfs& v = Vfs::real();
+  EXPECT_THROW(v.read_all(path("missing.bin")), StorageError);
+  EXPECT_THROW(v.open_append(path("missing.bin")), StorageError);
+  try {
+    v.rename(path("missing.bin"), path("other.bin"));
+    FAIL() << "rename of a missing file must throw";
+  } catch (const StorageError& e) {
+    EXPECT_EQ(e.kind(), FaultKind::kRenameFailure);
+    EXPECT_EQ(e.op(), "rename");
+    EXPECT_NE(std::string(e.what()).find("missing.bin"), std::string::npos);
+  }
+  EXPECT_THROW(v.list_dir(path("no-such-dir")), StorageError);
+}
+
+// ---- FaultyVfs injections -------------------------------------------
+
+TEST_F(VfsTest, StickyEnospcAfterTrigger) {
+  FaultPlan plan;
+  plan.fail_append_after = 2;
+  plan.append_fault = FaultKind::kEnospc;
+  plan.short_write_fraction = 0.0;
+  FaultyVfs v(Vfs::real(), plan);
+  auto f = v.create(path("j.bin"));
+  f->append("aa");
+  f->append("bb");
+  for (int i = 0; i < 3; ++i) {
+    try {
+      f->append("cc");
+      FAIL() << "append " << i << " past the trigger must fail";
+    } catch (const StorageError& e) {
+      EXPECT_EQ(e.kind(), FaultKind::kEnospc);
+    }
+  }
+  // Nothing from the failing appends reached the file.
+  EXPECT_EQ(slurp(path("j.bin")), "aabb");
+}
+
+TEST_F(VfsTest, TransientEioFailsExactlyOnce) {
+  FaultPlan plan;
+  plan.fail_append_after = 1;
+  plan.append_fault = FaultKind::kEio;
+  plan.append_fail_count = 1;
+  plan.short_write_fraction = 0.0;
+  FaultyVfs v(Vfs::real(), plan);
+  auto f = v.create(path("j.bin"));
+  f->append("aa");
+  EXPECT_THROW(f->append("bb"), StorageError);
+  f->append("bb");  // The retry rides through.
+  EXPECT_EQ(slurp(path("j.bin")), "aabb");
+}
+
+TEST_F(VfsTest, ShortWriteLeavesPrefix) {
+  FaultPlan plan;
+  plan.fail_append_after = 0;
+  plan.append_fault = FaultKind::kShortWrite;
+  plan.short_write_fraction = 0.5;
+  FaultyVfs v(Vfs::real(), plan);
+  auto f = v.create(path("j.bin"));
+  try {
+    f->append("0123456789");
+    FAIL() << "short write must throw";
+  } catch (const StorageError& e) {
+    EXPECT_EQ(e.kind(), FaultKind::kShortWrite);
+  }
+  EXPECT_EQ(slurp(path("j.bin")), "01234");  // Torn prefix on disk.
+}
+
+TEST_F(VfsTest, CapacityDeviceTearsAtTheBudget) {
+  FaultPlan plan;
+  plan.capacity_bytes = 7;
+  FaultyVfs v(Vfs::real(), plan);
+  auto f = v.create(path("j.bin"));
+  f->append("0123");  // 4 of 7.
+  try {
+    f->append("4567");  // Would cross: writes 3, fails.
+    FAIL() << "capacity crossing must throw";
+  } catch (const StorageError& e) {
+    EXPECT_EQ(e.kind(), FaultKind::kShortWrite);
+  }
+  EXPECT_EQ(slurp(path("j.bin")), "0123456");
+  // The device stays full: even one byte now fails cleanly.
+  try {
+    f->append("8");
+    FAIL() << "full device must reject";
+  } catch (const StorageError& e) {
+    EXPECT_EQ(e.kind(), FaultKind::kEnospc);
+  }
+}
+
+TEST_F(VfsTest, SyncAndRenameFaults) {
+  FaultPlan plan;
+  plan.fail_sync_after = 1;
+  plan.sync_fail_count = 1;
+  plan.fail_rename_after = 0;
+  FaultyVfs v(Vfs::real(), plan);
+  auto f = v.create(path("j.bin"));
+  f->append("aa");
+  f->sync();                              // Sync 0 passes.
+  EXPECT_THROW(f->sync(), StorageError);  // Sync 1 injected.
+  f->sync();                              // Transient: sync 2 passes.
+  EXPECT_THROW(v.rename(path("j.bin"), path("k.bin")), StorageError);
+  // The failed rename did not happen.
+  EXPECT_EQ(v.file_size(path("j.bin")), 2);
+  EXPECT_EQ(v.file_size(path("k.bin")), -1);
+}
+
+TEST_F(VfsTest, OpLogRecordsStateChanges) {
+  FaultyVfs v(Vfs::real());
+  {
+    auto f = v.create(path("j.bin"));
+    f->append("aa");
+    f->sync();
+  }
+  v.sync_dir(root_.string());
+  v.rename(path("j.bin"), path("k.bin"));
+  v.remove(path("k.bin"));
+  const auto& log = v.log();
+  ASSERT_EQ(log.size(), 6u);
+  EXPECT_EQ(log[0].kind, OpRecord::Kind::kCreate);
+  EXPECT_EQ(log[1].kind, OpRecord::Kind::kAppend);
+  EXPECT_EQ(log[1].bytes, "aa");
+  EXPECT_EQ(log[2].kind, OpRecord::Kind::kSync);
+  EXPECT_EQ(log[3].kind, OpRecord::Kind::kSyncDir);
+  EXPECT_EQ(log[4].kind, OpRecord::Kind::kRename);
+  EXPECT_EQ(log[4].path2, path("k.bin"));
+  EXPECT_EQ(log[5].kind, OpRecord::Kind::kRemove);
+}
+
+// ---- Crash-state materialization ------------------------------------
+
+/// Drives a FaultyVfs, then materializes states from its log. Returns
+/// the surviving content of `name` in the materialized root ("" when
+/// the file does not exist there).
+class MaterializeTest : public VfsTest {
+ protected:
+  std::string dst() const { return (root_ / "crashed").string(); }
+
+  std::string surviving(const std::string& name) const {
+    const fs::path p = fs::path(dst()) / name;
+    if (!fs::exists(p)) return "<missing>";
+    std::ifstream in(p, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  }
+};
+
+TEST_F(MaterializeTest, SyncedOnlyDropsUnsyncedTail) {
+  FaultyVfs v(Vfs::real());
+  const std::string live = (root_ / "live").string();
+  fs::create_directories(live);
+  {
+    auto f = v.create(live + "/j.bin");
+    f->append("durable");
+    f->sync();
+    f->append("-volatile");
+  }
+  v.sync_dir(live);  // Commits the create; the tail stays unsynced.
+
+  const auto& log = v.log();
+  const CrashState keep = materialize_crash_state(
+      log, log.size(), TailLoss::kKeepAll, 1, live, dst() + "/keep");
+  const CrashState synced = materialize_crash_state(
+      log, log.size(), TailLoss::kSyncedOnly, 1, live, dst() + "/synced");
+  EXPECT_NE(keep.digest, synced.digest);
+
+  std::ifstream keep_in(dst() + "/keep/j.bin", std::ios::binary);
+  std::string keep_bytes((std::istreambuf_iterator<char>(keep_in)),
+                         std::istreambuf_iterator<char>());
+  EXPECT_EQ(keep_bytes, "durable-volatile");
+  std::ifstream sync_in(dst() + "/synced/j.bin", std::ios::binary);
+  std::string sync_bytes((std::istreambuf_iterator<char>(sync_in)),
+                         std::istreambuf_iterator<char>());
+  EXPECT_EQ(sync_bytes, "durable");
+}
+
+TEST_F(MaterializeTest, TornCutsInsideTheUnsyncedWindow) {
+  FaultyVfs v(Vfs::real());
+  const std::string live = (root_ / "live").string();
+  fs::create_directories(live);
+  {
+    auto f = v.create(live + "/j.bin");
+    f->append("abcd");
+    f->sync();
+    f->append("efgh");
+  }
+  v.sync_dir(live);
+  const auto& log = v.log();
+  std::set<std::size_t> lengths;
+  for (std::uint64_t seed = 0; seed < 16; ++seed) {
+    materialize_crash_state(log, log.size(), TailLoss::kTorn, seed, live,
+                            dst());
+    const std::string bytes = surviving("j.bin");
+    ASSERT_EQ(bytes.rfind("abcd", 0), 0u)
+        << "synced prefix must always survive, got '" << bytes << "'";
+    ASSERT_LE(bytes.size(), 8u);
+    lengths.insert(bytes.size());
+  }
+  // Seeded cuts must actually explore the window, not collapse to one
+  // point.
+  EXPECT_GT(lengths.size(), 1u);
+}
+
+TEST_F(MaterializeTest, UncommittedRenameMayNotSurvive) {
+  FaultyVfs v(Vfs::real());
+  const std::string live = (root_ / "live").string();
+  fs::create_directories(live);
+  {
+    auto f = v.create(live + "/snap.tmp");
+    f->append("snapshot");
+    f->sync();
+  }
+  v.sync_dir(live);  // Create committed.
+  v.rename(live + "/snap.tmp", live + "/snap.final");
+  // No directory sync after the rename: both outcomes are legal.
+  const auto& log = v.log();
+  bool saw_old = false;
+  bool saw_new = false;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    materialize_crash_state(log, log.size(), TailLoss::kKeepAll, seed, live,
+                            dst());
+    const std::string at_old = surviving("snap.tmp");
+    const std::string at_new = surviving("snap.final");
+    if (at_old == "snapshot") {
+      EXPECT_EQ(at_new, "<missing>");
+      saw_old = true;
+    } else {
+      EXPECT_EQ(at_new, "snapshot");
+      EXPECT_EQ(at_old, "<missing>");
+      saw_new = true;
+    }
+  }
+  EXPECT_TRUE(saw_old) << "some seed must keep the rename uncommitted";
+  EXPECT_TRUE(saw_new) << "some seed must commit the rename";
+}
+
+TEST_F(MaterializeTest, UncommittedCreateMayVanishEntirely) {
+  FaultyVfs v(Vfs::real());
+  const std::string live = (root_ / "live").string();
+  fs::create_directories(live);
+  { v.create(live + "/j.bin")->append("data"); }
+  // No sync_dir at all: the file's very existence is uncommitted.
+  const auto& log = v.log();
+  bool vanished = false;
+  bool survived = false;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    materialize_crash_state(log, log.size(), TailLoss::kKeepAll, seed, live,
+                            dst());
+    if (surviving("j.bin") == "<missing>") vanished = true;
+    else survived = true;
+  }
+  EXPECT_TRUE(vanished);
+  EXPECT_TRUE(survived);
+}
+
+TEST_F(MaterializeTest, DigestDeduplicatesIdenticalStates) {
+  FaultyVfs v(Vfs::real());
+  const std::string live = (root_ / "live").string();
+  fs::create_directories(live);
+  {
+    auto f = v.create(live + "/j.bin");
+    f->append("aa");
+    f->sync();
+  }
+  v.sync_dir(live);
+  const auto& log = v.log();
+  // Everything is synced and committed: all three loss modes and any
+  // seed materialize the same bytes, and the digest says so.
+  const CrashState a = materialize_crash_state(
+      log, log.size(), TailLoss::kKeepAll, 1, live, dst());
+  const CrashState b = materialize_crash_state(
+      log, log.size(), TailLoss::kSyncedOnly, 2, live, dst());
+  const CrashState c = materialize_crash_state(
+      log, log.size(), TailLoss::kTorn, 3, live, dst());
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.digest, c.digest);
+  EXPECT_NE(a.description, "");
+}
+
+}  // namespace
+}  // namespace paradigm::vfs

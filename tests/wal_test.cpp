@@ -1,9 +1,12 @@
 // WAL unit tests (DESIGN §12): record round-trip, header validation,
-// torn-tail truncation, salvage-prefix reads, version gating, and the
-// deterministic CrashPoint hook.
+// torn-tail truncation, salvage-prefix reads, version gating, the
+// deterministic CrashPoint hook, and the sync-policy durability
+// contract (DESIGN §14) exercised through an injected Vfs.
 #include "support/wal.hpp"
 
 #include <gtest/gtest.h>
+
+#include "support/vfs.hpp"
 
 #include <cstdio>
 #include <filesystem>
@@ -229,6 +232,121 @@ TEST_F(WalTest, CrashInjectedCarriesDurableCount) {
   } catch (const CrashInjected& e) {
     EXPECT_EQ(e.durable_appends(), 3u);
   }
+}
+
+TEST_F(WalTest, ParseSyncPolicyAcceptsTheThreeNamesOnly) {
+  EXPECT_EQ(parse_sync_policy("always"), SyncPolicy::kAlways);
+  EXPECT_EQ(parse_sync_policy("batch"), SyncPolicy::kBatch);
+  EXPECT_EQ(parse_sync_policy("never"), SyncPolicy::kNever);
+  EXPECT_THROW(parse_sync_policy("sometimes"), UsageError);
+  EXPECT_THROW(parse_sync_policy(""), UsageError);
+  EXPECT_STREQ(to_string(SyncPolicy::kBatch), "batch");
+}
+
+TEST_F(WalTest, SyncPolicyControlsWhenTheFileIsSynced) {
+  // kAlways: header sync + one sync per append. kNever: zero syncs
+  // ever. kBatch: header sync at create, then only explicit sync().
+  const struct {
+    SyncPolicy policy;
+    std::size_t expect_syncs;
+  } cases[] = {{SyncPolicy::kAlways, 4u},   // header + 3 appends
+               {SyncPolicy::kBatch, 2u},    // header + explicit sync()
+               {SyncPolicy::kNever, 0u}};
+  for (const auto& c : cases) {
+    vfs::FaultyVfs faulty(vfs::Vfs::real());
+    fs::remove(path_);
+    {
+      Writer w = Writer::create(path_, kFormatVersion, &faulty, c.policy);
+      w.append("a");
+      w.append("b");
+      w.append("c");
+      if (c.policy == SyncPolicy::kBatch) w.sync();
+    }
+    EXPECT_EQ(faulty.syncs(), c.expect_syncs)
+        << "policy=" << to_string(c.policy);
+    EXPECT_EQ(read_journal(path_).records.size(), 3u);
+  }
+}
+
+TEST_F(WalTest, ShortWriteTearsInsideTheRecordAndSalvages) {
+  // The record head and payload go down in ONE append, so an injected
+  // short write tears inside the record: read_journal must salvage the
+  // durable prefix and open_for_append must truncate the torn tail.
+  vfs::FaultPlan plan;
+  plan.fail_append_after = 3;  // header, "alpha", "beta" land; then tear.
+  plan.append_fault = vfs::FaultKind::kShortWrite;
+  plan.short_write_fraction = 0.5;
+  vfs::FaultyVfs faulty(vfs::Vfs::real(), plan);
+  {
+    Writer w = Writer::create(path_, kFormatVersion, &faulty,
+                              SyncPolicy::kNever);
+    w.append("alpha");
+    w.append("beta");
+    EXPECT_THROW(w.append("gamma-never-lands"), vfs::StorageError);
+    // good_end() still points at the last complete record; the torn
+    // bytes after it are dead weight the writer can shed itself.
+    EXPECT_LT(w.good_end(), fs::file_size(path_));
+    w.truncate_to_good();
+    EXPECT_EQ(w.good_end(), fs::file_size(path_));
+  }
+  const ReadResult r = read_journal(path_);
+  ASSERT_EQ(r.records.size(), 2u);
+  EXPECT_EQ(r.records[1], "beta");
+  EXPECT_FALSE(r.salvaged());  // truncate_to_good already cleaned up.
+}
+
+TEST_F(WalTest, OpenForAppendSalvagesThroughTheVfsSeam) {
+  {
+    Writer w = Writer::create(path_);
+    w.append("keep");
+  }
+  // Simulate a torn append from a crashed writer: raw garbage tail.
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::app);
+    out << "\xff\xff\xff\xff torn";
+  }
+  vfs::FaultyVfs faulty(vfs::Vfs::real());
+  ReadResult prior;
+  {
+    Writer w = Writer::open_for_append(path_, &prior, &faulty,
+                                       SyncPolicy::kBatch);
+    w.append("appended");
+    w.sync();
+  }
+  EXPECT_TRUE(prior.salvaged());
+  ASSERT_EQ(prior.records.size(), 1u);
+  // The salvage truncation went through the injected Vfs, not around it.
+  bool saw_truncate = false;
+  for (const auto& op : faulty.log()) {
+    if (op.kind == vfs::OpRecord::Kind::kTruncate) saw_truncate = true;
+  }
+  EXPECT_TRUE(saw_truncate);
+  const ReadResult r = read_journal(path_);
+  ASSERT_EQ(r.records.size(), 2u);
+  EXPECT_EQ(r.records[1], "appended");
+  EXPECT_FALSE(r.salvaged());
+}
+
+TEST_F(WalTest, EnospcOnAppendSurfacesAsStructuredStorageError) {
+  vfs::FaultPlan plan;
+  plan.fail_append_after = 2;
+  plan.append_fault = vfs::FaultKind::kEnospc;
+  plan.short_write_fraction = 0.0;
+  vfs::FaultyVfs faulty(vfs::Vfs::real(), plan);
+  Writer w =
+      Writer::create(path_, kFormatVersion, &faulty, SyncPolicy::kNever);
+  w.append("fits");
+  try {
+    w.append("device is full");
+    FAIL() << "append past the device budget must throw";
+  } catch (const vfs::StorageError& e) {
+    EXPECT_EQ(e.kind(), vfs::FaultKind::kEnospc);
+    EXPECT_EQ(e.path(), path_);
+    EXPECT_NE(std::string(e.what()).find("append"), std::string::npos);
+  }
+  // The clean failure wrote nothing: the journal is not even torn.
+  EXPECT_EQ(read_journal(path_).records.size(), 1u);
+  EXPECT_FALSE(read_journal(path_).salvaged());
 }
 
 }  // namespace

@@ -169,6 +169,43 @@ if [[ "$fast" == 0 ]]; then
     ls -l "$artifacts/recovery"
   fi
 
+  # Storage-fault stage (DESIGN §14): the ALICE-style power-loss sweep
+  # and the injected ENOSPC/EIO/short-write/failed-fsync paths already
+  # ran under ASan in the recovery stage above (storage_fault_test and
+  # vfs_test carry the `recovery`/`unit` labels). This stage adds the
+  # one thing injection cannot prove: a REAL kernel-rejected write. The
+  # CLI serves a journaled corpus with its file-size rlimit capped (and
+  # SIGXFSZ ignored, so write() returns EFBIG — the ENOSPC class); the
+  # journal append tears at the cap, the salvage-and-retry path runs
+  # against the real filesystem, and the service must quarantine and
+  # fail-stop with exit 25. On any other outcome the journal and
+  # stderr are archived for replay.
+  current_stage="storage:asan-ubsan"
+  echo "=== [asan-ubsan] real disk-full smoke ==="
+  mkdir -p "$artifacts/storage"
+  smoke_dir=$(mktemp -d)
+  for i in $(seq 0 19); do
+    echo "job id=s$i seed=$((100 + i)) nodes=8 p=8"
+  done > "$smoke_dir/smoke.jobs"
+  smoke_rc=0
+  (
+    trap '' XFSZ
+    ulimit -f 1
+    exec build-ci/asan-ubsan/tools/paradigm_cli \
+      --serve="$smoke_dir/smoke.jobs" --journal="$smoke_dir/journal" \
+      --mode=static --noise=0 >/dev/null 2>"$smoke_dir/stderr.txt"
+  ) || smoke_rc=$?
+  if [[ "$smoke_rc" != 25 ]] \
+      || ! grep -q "storage error" "$smoke_dir/stderr.txt"; then
+    cp -r "$smoke_dir" "$artifacts/storage/disk-full-smoke" || true
+    echo "disk-full smoke: expected exit 25 with a structured storage" \
+      "error, got exit $smoke_rc; artifacts archived to" \
+      "$artifacts/storage/disk-full-smoke" >&2
+    exit 1
+  fi
+  echo "disk-full smoke: quarantined and fail-stopped with exit 25"
+  rm -rf "$smoke_dir"
+
   # Dedicated UBSan configuration (DESIGN §10): the degradation ladder's
   # guarantee is "no UB on hostile inputs", so undefined-behaviour
   # findings must abort the run rather than print and continue. The

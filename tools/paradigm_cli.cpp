@@ -29,6 +29,7 @@
 #include "svc/persist.hpp"
 #include "svc/service.hpp"
 #include "support/args.hpp"
+#include "support/vfs.hpp"
 #include "support/wal.hpp"
 #include "support/degrade.hpp"
 #include "support/parallel.hpp"
@@ -93,14 +94,62 @@ void write_file(const std::string& path, const std::string& content) {
   std::ofstream out(path);
   PARADIGM_CHECK(out.good(), "cannot write '" << path << "'");
   out << content;
+  out.flush();
+  // A full disk surfaces here, not as a silently truncated artifact.
+  PARADIGM_CHECK(out.good(), "failed writing '" << path
+                                                << "' (disk full or I/O "
+                                                   "error?)");
   std::cout << "wrote " << path << "\n";
+}
+
+/// Parses `--inject-storage-fault=<kind>[:N]`: the N+1-th operation of
+/// the faulted category fails (sticky — every later one fails too,
+/// like a really full disk). Kinds: enospc | eio | short | sync |
+/// rename.
+vfs::FaultPlan parse_storage_fault(const std::string& text) {
+  const auto colon = text.find(':');
+  const std::string kind =
+      colon == std::string::npos ? text : text.substr(0, colon);
+  std::int64_t after = 0;
+  if (colon != std::string::npos) {
+    const std::string digits = text.substr(colon + 1);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      throw UsageError("--inject-storage-fault: bad operation count '" +
+                       digits + "' (want <kind>[:N])");
+    }
+    after = static_cast<std::int64_t>(std::stoull(digits));
+  }
+  vfs::FaultPlan plan;
+  if (kind == "enospc") {
+    plan.fail_append_after = after;
+    plan.append_fault = vfs::FaultKind::kEnospc;
+    plan.short_write_fraction = 0.0;  // Clean boundary: nothing partial.
+  } else if (kind == "eio") {
+    plan.fail_append_after = after;
+    plan.append_fault = vfs::FaultKind::kEio;
+    plan.short_write_fraction = 0.0;
+  } else if (kind == "short") {
+    plan.fail_append_after = after;
+    plan.append_fault = vfs::FaultKind::kShortWrite;
+  } else if (kind == "sync") {
+    plan.fail_sync_after = after;
+  } else if (kind == "rename") {
+    plan.fail_rename_after = after;
+  } else {
+    throw UsageError("--inject-storage-fault: unknown kind '" + kind +
+                     "' (enospc | eio | short | sync | rename)");
+  }
+  return plan;
 }
 
 /// `--serve=<jobfile>` / `--recover`: run the resilient compilation
 /// service (DESIGN §11), optionally under the durability layer
-/// (DESIGN §12). Returns the service exit code (0 clean, 20
+/// (DESIGN §12, §14). Returns the service exit code (0 clean, 20
 /// rejected/shed, 21 cancelled, 22 failed), upgraded to 24 when a
-/// clean run recovered from a salvaged (torn/corrupt) journal.
+/// clean run recovered from a salvaged (torn/corrupt) journal; a
+/// quarantined journal (storage failure after bounded retries)
+/// surfaces as StorageError and exits 25 from main.
 int run_serve(const ArgParser& args, wal::CrashPoint* crash) {
   svc::ServiceConfig config;
   config.queue_capacity = static_cast<std::size_t>(args.get_int("svc-queue"));
@@ -158,6 +207,7 @@ int run_serve(const ArgParser& args, wal::CrashPoint* crash) {
   // first, and a job file given alongside appends further work.
   const bool recover = args.get_flag("recover");
   std::optional<svc::Persistence> persist;
+  std::optional<vfs::FaultyVfs> faulty;  // Must outlive `persist`.
   if (!args.get("journal").empty()) {
     svc::PersistConfig pc;
     pc.dir = args.get("journal");
@@ -166,6 +216,12 @@ int run_serve(const ArgParser& args, wal::CrashPoint* crash) {
     pc.snapshot_every = static_cast<std::size_t>(every);
     pc.recover = recover;
     pc.crash = crash;
+    pc.sync_policy = wal::parse_sync_policy(args.get("sync-policy"));
+    if (!args.get("inject-storage-fault").empty()) {
+      faulty.emplace(vfs::Vfs::real(),
+                     parse_storage_fault(args.get("inject-storage-fault")));
+      pc.fs = &*faulty;
+    }
     persist.emplace(pc);
   } else if (recover) {
     throw UsageError("--recover needs --journal=<dir>");
@@ -216,6 +272,11 @@ int run_serve(const ArgParser& args, wal::CrashPoint* crash) {
               << " pipeline_runs=" << report.pipeline_runs
               << " snapshots=" << stats.snapshots_written
               << " salvaged_bytes=" << stats.salvaged_bytes << '\n';
+    std::cout << "# durability policy="
+              << wal::to_string(wal::parse_sync_policy(args.get("sync-policy")))
+              << " syncs=" << stats.journal_syncs
+              << " storage_retries=" << stats.storage_retries
+              << " snapshot_failures=" << stats.snapshot_failures << '\n';
     if (stats.salvaged_bytes > 0) {
       std::cout << "# journal salvage: " << stats.salvage_detail << '\n';
       // A clean outcome that required dropping journal bytes is its own
@@ -350,6 +411,18 @@ int main(int argc, char** argv) {
   args.add_flag("inject-crash-torn",
                 "with --inject-crash: leave a torn half-written record\n"
                 "      behind instead of crashing on a clean boundary");
+  args.add_option("sync-policy", "batch",
+                  "journal fsync contract (DESIGN §14): always (fsync every\n"
+                  "      append) | batch (group commit: one fsync per few\n"
+                  "      exec digests, snapshot publishes, and run end) |\n"
+                  "      never (no fsync; durable against process crash\n"
+                  "      only, not power loss)");
+  args.add_option("inject-storage-fault", "",
+                  "deterministic storage fault injection on the journal\n"
+                  "      device: <kind>[:N] fails the N+1-th operation of\n"
+                  "      that kind and every one after (enospc | eio |\n"
+                  "      short | sync | rename); a quarantined journal\n"
+                  "      fail-stops with exit 25");
   args.add_flag("help", "show this help");
   args.add_flag("version", "print the version and exit");
 
@@ -392,6 +465,16 @@ int main(int argc, char** argv) {
       }
       crash.arm(static_cast<std::uint64_t>(inject),
                 args.get_flag("inject-crash-torn"));
+    }
+    // Validate the sync policy up front (bad values are usage errors
+    // even on non-durable runs); the knob itself only means something
+    // with a journal.
+    wal::parse_sync_policy(args.get("sync-policy"));
+    if (!durable && args.get("sync-policy") != "batch") {
+      throw UsageError("--sync-policy needs --journal=<dir>");
+    }
+    if (!durable && !args.get("inject-storage-fault").empty()) {
+      throw UsageError("--inject-storage-fault needs --journal=<dir>");
     }
     if (!args.get("serve").empty() || args.get_flag("recover")) {
       return run_serve(args, inject >= 0 ? &crash : nullptr);
@@ -570,6 +653,14 @@ int main(int argc, char** argv) {
     // an injected crash from a real failure.
     std::cerr << "crash injected: " << e.what() << "\n";
     return 23;
+  } catch (const vfs::StorageError& e) {
+    // Durability could not be maintained (ENOSPC/EIO past the bounded
+    // retries, failed fsync): the journal is quarantined and the run
+    // fail-stops rather than continuing non-durably. Everything the
+    // journal holds up to the failure is intact; fix the device and
+    // --recover. Own code (25) so operators can alert on storage.
+    std::cerr << "storage error: " << e.what() << "\n";
+    return 25;
   } catch (const Error& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
