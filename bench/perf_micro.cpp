@@ -1165,6 +1165,125 @@ int run_cache_gate(const std::string& out_path) {
   return 0;
 }
 
+// ---- PR10 memory-accounting gate ------------------------------------
+
+/// The PR 6 soak with a byte budget attached: same corpus, same cheap
+/// per-attempt settings, so the delta is purely the DESIGN §15
+/// machinery (footprint estimation, the dispatch gate, per-attempt
+/// MemoryBudget charges).
+svc::ServiceReport run_mem_gate_service(std::uint64_t budget_bytes) {
+  svc::ServiceConfig config;
+  config.pipeline.calibration_mode = core::CalibrationMode::kStatic;
+  config.pipeline.machine.size = 8;
+  config.pipeline.machine.noise_sigma = 0.0;
+  config.pipeline.solver.max_inner_iterations = 10;
+  config.pipeline.solver.continuation_rounds = 1;
+  config.default_deadline = 1000000;
+  config.queue_capacity = 64;
+  config.slots = 4;
+  config.memory.budget_bytes = budget_bytes;
+  svc::Service service(config);
+  for (svc::JobSpec& spec : wal_gate_corpus()) service.submit(std::move(spec));
+  return service.run();
+}
+
+// `perf_micro --mem-gate[=out.json]` measures what the DESIGN §15
+// memory accounting costs when it never bites: the 200-job service
+// soak with budgets off vs a generous (1 TiB) byte budget that keeps
+// the estimator, the dispatch gate, and every per-attempt charge site
+// live without ever constraining a dispatch. The budget is <= 2%, and
+// a budget that never bites must be invisible — the budgeted ledger is
+// byte-identical to the budgets-off one. Results go to BENCH_pr10.json.
+int run_mem_gate(const std::string& out_path) {
+  constexpr double kMaxOverhead = 0.02;  // accounting <= 2%
+  constexpr std::size_t kReps = 7;
+  constexpr std::uint64_t kGenerous = std::uint64_t{1} << 40;
+
+  set_thread_count(1);
+
+  const auto run_off = [&] {
+    benchmark::DoNotOptimize(run_mem_gate_service(0));
+  };
+  const auto run_on = [&] {
+    benchmark::DoNotOptimize(run_mem_gate_service(kGenerous));
+  };
+
+  run_off();  // warmup
+  run_on();
+  std::vector<double> off_samples, on_samples;
+  off_samples.reserve(kReps);
+  on_samples.reserve(kReps);
+  for (std::size_t r = 0; r < kReps; ++r) {
+    off_samples.push_back(timed_ns(run_off));
+    on_samples.push_back(timed_ns(run_on));
+  }
+  std::sort(off_samples.begin(), off_samples.end());
+  std::sort(on_samples.begin(), on_samples.end());
+  const double off_ns = off_samples[off_samples.size() / 2];
+  const double on_ns = on_samples[on_samples.size() / 2];
+  const double overhead = off_ns > 0.0 ? on_ns / off_ns - 1.0 : 0.0;
+
+  std::cout << "service 200-job soak: budget-off " << off_ns / 1e6
+            << " ms, budget-on " << on_ns / 1e6 << " ms ("
+            << overhead * 100.0 << "% overhead)\n";
+
+  // A budget that never bites must not show: no rung tokens, no
+  // brownouts, byte-identical ledger — while the accounting itself
+  // demonstrably ran (nonzero peak and charge count).
+  const svc::ServiceReport r_off = run_mem_gate_service(0);
+  const svc::ServiceReport r_on = run_mem_gate_service(kGenerous);
+  const bool identical = r_off.ledger() == r_on.ledger();
+  const bool accounted = r_on.mem_peak > 0 && r_on.mem_charges > 0 &&
+                         r_on.brownouts == 0 && r_on.over_memory == 0;
+  if (!identical) {
+    std::cerr << "MEM GATE: a generous budget changed the service ledger\n";
+  }
+  if (!accounted) {
+    std::cerr << "MEM GATE: the generous-budget run did not account "
+              << "(peak=" << r_on.mem_peak << " charges=" << r_on.mem_charges
+              << " brownouts=" << r_on.brownouts
+              << " over_memory=" << r_on.over_memory << ")\n";
+  }
+
+  const bool cheap_enough = overhead <= kMaxOverhead;
+  const bool passed = cheap_enough && identical && accounted;
+
+  Json doc = Json::object();
+  doc.set("pr", Json::integer(10));
+  Json gate = Json::object();
+  gate.set("max_overhead", Json::number(kMaxOverhead));
+  gate.set("measured_overhead", Json::number(overhead));
+  gate.set("ledgers_identical", Json::boolean(identical));
+  gate.set("passed", Json::boolean(passed));
+  doc.set("gate", std::move(gate));
+  Json benches = Json::array();
+  Json b = Json::object();
+  b.set("name", Json::string("service_soak_mem"));
+  b.set("jobs", Json::integer(200));
+  b.set("budget_off_ns", Json::number(off_ns));
+  b.set("budget_on_ns", Json::number(on_ns));
+  b.set("overhead", Json::number(overhead));
+  b.set("mem_peak", Json::integer(static_cast<std::int64_t>(r_on.mem_peak)));
+  b.set("mem_charges",
+        Json::integer(static_cast<std::int64_t>(r_on.mem_charges)));
+  benches.push_back(std::move(b));
+  doc.set("benchmarks", std::move(benches));
+
+  std::ofstream out(out_path);
+  out << doc.dump() << "\n";
+  std::cout << "wrote " << out_path << "\n";
+
+  if (!cheap_enough) {
+    std::cerr << "MEM OVERHEAD: accounting cost " << overhead * 100.0
+              << "% on the 200-job service soak, budget "
+              << kMaxOverhead * 100.0 << "%\n";
+  }
+  if (!passed) return 1;
+  std::cout << "gate passed: " << overhead * 100.0 << "% <= "
+            << kMaxOverhead * 100.0 << "%\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1211,6 +1330,12 @@ int main(int argc, char** argv) {
       const std::string path =
           eq == std::string::npos ? "BENCH_pr8.json" : arg.substr(eq + 1);
       return run_cache_gate(path);
+    }
+    if (arg.rfind("--mem-gate", 0) == 0) {
+      const std::size_t eq = arg.find('=');
+      const std::string path =
+          eq == std::string::npos ? "BENCH_pr10.json" : arg.substr(eq + 1);
+      return run_mem_gate(path);
     }
   }
   benchmark::Initialize(&argc, argv);

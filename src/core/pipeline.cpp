@@ -1,5 +1,6 @@
 #include "core/pipeline.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -46,6 +47,8 @@ degrade::DiagnosticCode cancel_code(CancelReason reason) {
       return degrade::DiagnosticCode::kDeadlineExceeded;
     case CancelReason::kWatchdog:
       return degrade::DiagnosticCode::kWatchdogStall;
+    case CancelReason::kMemory:
+      return degrade::DiagnosticCode::kMemoryExhausted;
     case CancelReason::kNone:
     case CancelReason::kExternal:
       break;
@@ -54,6 +57,32 @@ degrade::DiagnosticCode cancel_code(CancelReason reason) {
 }
 
 }  // namespace
+
+std::uint64_t estimate_footprint(std::size_t nodes,
+                                 std::uint32_t machine_size,
+                                 degrade::DegradationLevel level,
+                                 const solver::ConvexAllocatorConfig& solver,
+                                 const solver::RecoveryConfig& recovery) {
+  // Runtime charges are in *finalized*-graph nodes, and finalize()
+  // inserts the dummy START/STOP pair on top of the declared count —
+  // estimate in the same units or every budget is two nodes short.
+  nodes += 2;
+  // A ladder started at `level` can still descend to deeper rungs, but
+  // every deeper rung is strictly thriftier: descent rungs peak at the
+  // widest start count any retry can request, and the analytic rungs
+  // (area-proportional and below) share one allocation-vector cost. So
+  // charging the widest member of the tier dominates the whole run.
+  const bool descent =
+      level <= degrade::DegradationLevel::kSmoothingRestart;
+  const std::size_t starts =
+      std::max<std::size_t>(solver.num_starts + 1, recovery.retry_starts);
+  const std::uint64_t solver_bytes =
+      descent ? footprint::solver_descent_bytes(nodes, starts)
+              : footprint::solver_analytic_bytes(nodes);
+  return footprint::graph_bytes(nodes) + solver_bytes +
+         footprint::psa_bytes(nodes, machine_size) +
+         footprint::sim_bytes(nodes, machine_size);
+}
 
 std::string PipelineReport::summary() const {
   std::ostringstream os;
@@ -157,8 +186,19 @@ void Compiler::run_pipeline(const mdg::Mdg& graph,
   // between jobs, so the copies are per-run).
   solver::ConvexAllocatorConfig solver_config = config_.solver;
   solver_config.cancel = config_.cancel;
+  solver_config.memory = config_.memory;
   sched::PsaConfig psa_config = config_.psa;
   psa_config.cancel = config_.cancel;
+
+  // Memory charge sites (DESIGN §15): the graph + cost-model footprint
+  // is held for the whole run; solver rungs charge per-attempt inside
+  // allocate_with_recovery; PSA and simulator footprints are charged
+  // just before those stages below. All charges sit on the serial
+  // spine, so the charge sequence — and therefore every injected or
+  // real exhaustion point — is deterministic.
+  const MemoryCharge graph_charge(
+      config_.memory, footprint::graph_bytes(graph.node_count()),
+      "pipeline/graph");
 
   // Phase spans sit on the "compiler" track at logical times 0..6 (one
   // slot per pipeline stage, in the paper's Section 1.2 order); in
@@ -223,8 +263,9 @@ void Compiler::run_pipeline(const mdg::Mdg& graph,
     }
     return solver::allocate_with_recovery(
         model, static_cast<double>(p), solver_config, config_.recovery,
-        repair ? degrade::DegradationLevel::kMultiStartRetry
-               : degrade::DegradationLevel::kNone,
+        std::max(config_.dispatch_level,
+                 repair ? degrade::DegradationLevel::kMultiStartRetry
+                        : degrade::DegradationLevel::kNone),
         warm);
   }();
   log_info("allocation: ", guarded.result.summary());
@@ -244,6 +285,10 @@ void Compiler::run_pipeline(const mdg::Mdg& graph,
   // violating schedule is never released — the pipeline descends one
   // recovery rung and reschedules until the invariants hold (the serial
   // rung schedules trivially, so the loop terminates).
+  const MemoryCharge psa_charge(
+      config_.memory,
+      footprint::psa_bytes(graph.node_count(), config_.machine.size),
+      "pipeline/psa");
   std::optional<sched::PsaResult> psa;
   while (true) {
     std::vector<degrade::Diagnostic> violations;
@@ -343,6 +388,10 @@ void Compiler::run_pipeline(const mdg::Mdg& graph,
       return ExecutionOutcome{};
     }
   };
+  const MemoryCharge sim_charge(
+      config_.memory,
+      footprint::sim_bytes(graph.node_count(), config_.machine.size),
+      "pipeline/sim");
   {
     const obs::PhaseSpan span("compiler", "execute_mpmd", 3.0);
     report.mpmd = guarded_execute(report.psa->schedule, "execute/mpmd");
@@ -489,8 +538,11 @@ std::string RunMemo::encode() const {
       << " reason=" << static_cast<int>(reason)
       << " level=" << static_cast<int>(level) << " ticks=" << ticks
       << " phi=" << encode_double(phi)
-      << " sim=" << encode_double(mpmd_simulated)
-      << " detail=" << encode_detail(detail);
+      << " sim=" << encode_double(mpmd_simulated);
+  // Emitted only for browned-out dispatches so budgets-off journals stay
+  // byte-identical to the pre-§15 format.
+  if (rung != 0) out << " rung=" << rung;
+  out << " detail=" << encode_detail(detail);
   return out.str();
 }
 
@@ -519,6 +571,8 @@ RunMemo RunMemo::decode(const std::string& text) {
       memo.phi = decode_double(value);
     } else if (key == "sim") {
       memo.mpmd_simulated = decode_double(value);
+    } else if (key == "rung") {
+      memo.rung = std::stoi(value);
     } else if (key == "detail") {
       memo.detail = decode_detail(value);
       saw_detail = true;

@@ -25,6 +25,7 @@
 #include "solver/allocator.hpp"
 #include "support/cancel.hpp"
 #include "support/degrade.hpp"
+#include "support/memory.hpp"
 
 namespace paradigm::core {
 
@@ -68,6 +69,20 @@ struct PipelineConfig {
   /// report.cancelled set. Null (the default) is byte-identical legacy
   /// behavior. Not owned.
   CancelToken* cancel = nullptr;
+  /// Memory budget (DESIGN §15): when set, the pipeline's dominant
+  /// allocation sites (graph/cost model, solver rungs, PSA, simulator)
+  /// charge closed-form byte costs to this budget before allocating; an
+  /// exhausted charge throws MemoryError (a Cancelled with reason
+  /// kMemory) and unwinds through the partial-report path. Null (the
+  /// default) disables accounting entirely. Not owned; one budget
+  /// serves one attempt at a time (charges stay on the serial spine).
+  MemoryBudget* memory = nullptr;
+  /// Brownout dispatch rung (DESIGN §15): the service re-dispatches a
+  /// job at a deeper recovery rung when memory is tight. The ladder
+  /// then starts at max(dispatch_level, sanitization rung) instead of
+  /// kNone, so the run never allocates the descent workspaces the
+  /// budget cannot hold. kNone (the default) is ordinary dispatch.
+  degrade::DegradationLevel dispatch_level = degrade::DegradationLevel::kNone;
 };
 
 /// One executed schedule: its model prediction and its simulated
@@ -149,6 +164,12 @@ struct RunMemo {
   double phi = 0.0;
   double mpmd_simulated = 0.0;
   std::uint64_t ticks = 0;  ///< Work ticks charged (cancel trip point).
+  /// Dispatch rung (DESIGN §15): the degradation-ladder rung the
+  /// service *dispatched* this attempt at (0 = ordinary dispatch,
+  /// kAreaProportional = brownout). Distinct from `level`, which is the
+  /// rung the run *ended* at. Journaled so recovery re-commits the same
+  /// byte footprint the original dispatch reserved.
+  int rung = 0;
   std::string detail;       ///< Failure/cancel message; empty on success.
 
   /// Digest of a completed (possibly cancelled) report. `ticks` is
@@ -163,6 +184,20 @@ struct RunMemo {
 
   bool operator==(const RunMemo&) const = default;
 };
+
+/// Admission-time footprint estimate (DESIGN §15): the closed-form byte
+/// cost of running an `nodes`-node job on a `machine_size`-rank machine
+/// with the ladder starting at `level`. Built from the same
+/// footprint:: formulas the runtime charge sites use, taking the
+/// *widest* solver configuration any rung at or below `level` can
+/// request (retry rungs raise the start count), so the estimate
+/// structurally dominates what the attempt actually charges — an
+/// admitted job can always run to completion within its reservation.
+std::uint64_t estimate_footprint(std::size_t nodes,
+                                 std::uint32_t machine_size,
+                                 degrade::DegradationLevel level,
+                                 const solver::ConvexAllocatorConfig& solver,
+                                 const solver::RecoveryConfig& recovery);
 
 /// The compiler pipeline. Construct once per machine configuration;
 /// compile_and_run may be called for several MDGs / processor counts.

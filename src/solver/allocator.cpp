@@ -624,13 +624,30 @@ GuardedAllocation allocate_with_recovery(const cost::CostModel& model,
   GuardedAllocation out;
   DegradationLevel level = start_level;
 
+  // Per-rung memory charges (DESIGN §15): each rung reserves exactly
+  // the workspace it will allocate and releases it when it returns, so
+  // rungs never stack and a thriftier rung can succeed where a descent
+  // rung tripped the budget. A MemoryError thrown here derives from
+  // Cancelled and takes the rethrow path below — mid-solve exhaustion
+  // unwinds to the caller instead of walking the ladder, because the
+  // service owns the escalate-or-fail decision.
+  const std::size_t nodes = model.graph().node_count();
   const auto attempt = [&](DegradationLevel rung) -> AllocationResult {
     switch (rung) {
-      case DegradationLevel::kNone:
+      case DegradationLevel::kNone: {
+        const MemoryCharge charge(
+            config.memory,
+            footprint::solver_descent_bytes(nodes, config.num_starts),
+            "solver/descent");
         return ConvexAllocator(config).reallocate(model, p, warm_start);
+      }
       case DegradationLevel::kMultiStartRetry: {
         ConvexAllocatorConfig c = config;
         c.num_starts = std::max(c.num_starts + 1, recovery.retry_starts);
+        const MemoryCharge charge(
+            config.memory,
+            footprint::solver_descent_bytes(nodes, c.num_starts),
+            "solver/retry");
         return ConvexAllocator(c).allocate(model, p);
       }
       case DegradationLevel::kSmoothingRestart: {
@@ -639,15 +656,30 @@ GuardedAllocation allocate_with_recovery(const cost::CostModel& model,
         c.mu_x_initial = recovery.smoothing_mu_x;
         c.mu_t_rel_initial = recovery.smoothing_mu_t_rel;
         c.continuation_rounds += recovery.smoothing_extra_rounds;
+        const MemoryCharge charge(
+            config.memory,
+            footprint::solver_descent_bytes(nodes, c.num_starts),
+            "solver/smoothing");
         return ConvexAllocator(c).allocate(model, p);
       }
-      case DegradationLevel::kAreaProportional:
+      case DegradationLevel::kAreaProportional: {
+        const MemoryCharge charge(config.memory,
+                                  footprint::solver_analytic_bytes(nodes),
+                                  "solver/analytic");
         return area_proportional_allocation(model, p);
-      case DegradationLevel::kHomogeneous:
+      }
+      case DegradationLevel::kHomogeneous: {
+        const MemoryCharge charge(config.memory,
+                                  footprint::solver_analytic_bytes(nodes),
+                                  "solver/analytic");
         return naive_allocation(model, p);
+      }
       case DegradationLevel::kSerial:
         break;
     }
+    const MemoryCharge charge(config.memory,
+                              footprint::solver_analytic_bytes(nodes),
+                              "solver/analytic");
     return serial_node_allocation(model, p);
   };
 

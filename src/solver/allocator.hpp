@@ -26,6 +26,7 @@
 #include "cost/model.hpp"
 #include "support/cancel.hpp"
 #include "support/degrade.hpp"
+#include "support/memory.hpp"
 
 namespace paradigm::solver {
 
@@ -109,6 +110,15 @@ struct ConvexAllocatorConfig {
   /// counts. Null (the default) is byte-identical to the pre-service
   /// solver. Not owned.
   CancelToken* cancel = nullptr;
+
+  /// Memory budget (DESIGN §15): when set, each recovery-ladder rung
+  /// charges its workspace footprint (descent rungs scale with the
+  /// start count; analytic rungs charge one allocation vector) before
+  /// solving, released when the rung returns. An exhausted charge
+  /// throws MemoryError and unwinds like a cancellation. Not hashed by
+  /// the cache's policy digest — accounting never changes the solution.
+  /// Null (the default) disables accounting. Not owned.
+  MemoryBudget* memory = nullptr;
 };
 
 /// Solves the convex allocation problem for `model` on a p-processor

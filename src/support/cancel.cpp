@@ -11,6 +11,7 @@ const char* to_string(CancelReason reason) {
     case CancelReason::kDeadline: return "deadline";
     case CancelReason::kWatchdog: return "watchdog";
     case CancelReason::kExternal: return "external";
+    case CancelReason::kMemory: return "memory";
   }
   return "?";
 }
@@ -32,6 +33,10 @@ Cancelled::Cancelled(CancelReason reason, std::uint64_t ticks,
     : Error(cancelled_message(reason, ticks, where)),
       reason_(reason),
       ticks_(ticks) {}
+
+Cancelled::Cancelled(CancelReason reason, std::uint64_t ticks,
+                     std::string message)
+    : Error(std::move(message)), reason_(reason), ticks_(ticks) {}
 
 void CancelToken::raise(CancelReason reason, const char* where) const {
   throw Cancelled(reason, ticks(), where);

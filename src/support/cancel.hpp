@@ -28,6 +28,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <string>
 
 #include "support/error.hpp"
 
@@ -39,6 +40,7 @@ enum class CancelReason : std::uint8_t {
   kDeadline = 1,  ///< Logical tick budget exhausted.
   kWatchdog = 2,  ///< Stall limit hit with no forward progress.
   kExternal = 3,  ///< cancel() called (drain/shutdown).
+  kMemory = 4,    ///< Memory budget exhausted (support/memory.hpp).
 };
 
 const char* to_string(CancelReason reason);
@@ -53,6 +55,11 @@ class Cancelled : public Error {
 
   CancelReason reason() const { return reason_; }
   std::uint64_t ticks() const { return ticks_; }
+
+ protected:
+  /// For subclasses that carry a richer what() (MemoryError names the
+  /// charge site and the byte accounting); unwind behaviour is shared.
+  Cancelled(CancelReason reason, std::uint64_t ticks, std::string message);
 
  private:
   CancelReason reason_;

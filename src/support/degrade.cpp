@@ -66,6 +66,7 @@ const char* to_string(DiagnosticCode code) {
     case DiagnosticCode::kDeadlineExceeded: return "deadline-exceeded";
     case DiagnosticCode::kWatchdogStall: return "watchdog-stall";
     case DiagnosticCode::kJobCancelled: return "job-cancelled";
+    case DiagnosticCode::kMemoryExhausted: return "memory-exhausted";
   }
   return "?";
 }

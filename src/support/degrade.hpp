@@ -91,6 +91,7 @@ enum class DiagnosticCode {
   kDeadlineExceeded,     ///< Cooperative deadline (tick budget) hit.
   kWatchdogStall,        ///< Watchdog: no forward progress in the limit.
   kJobCancelled,         ///< External cancel (service drain/shutdown).
+  kMemoryExhausted,      ///< Memory budget exhausted (DESIGN §15).
 };
 
 const char* to_string(DiagnosticCode code);

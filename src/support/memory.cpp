@@ -1,0 +1,95 @@
+#include "support/memory.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace paradigm {
+
+namespace {
+
+std::string memory_message(std::uint64_t requested, std::uint64_t used,
+                           std::uint64_t budget, std::uint64_t charge_index,
+                           const char* site, bool injected) {
+  std::ostringstream os;
+  os << "memory budget exhausted at " << site << ": charge #" << charge_index
+     << " of " << requested << " bytes with " << used << "/"
+     << (budget == 0 ? std::string("unlimited") : std::to_string(budget))
+     << " used";
+  if (injected) os << " (injected)";
+  return os.str();
+}
+
+}  // namespace
+
+MemoryError::MemoryError(std::uint64_t requested, std::uint64_t used,
+                         std::uint64_t budget, std::uint64_t charge_index,
+                         const char* site, bool injected)
+    : Cancelled(CancelReason::kMemory, charge_index,
+                memory_message(requested, used, budget, charge_index, site,
+                               injected)),
+      requested_(requested),
+      used_(used),
+      budget_(budget),
+      injected_(injected) {}
+
+MemoryBudget::MemoryBudget(std::uint64_t budget_bytes, MemoryFaultPlan plan)
+    : budget_(budget_bytes), plan_(plan) {}
+
+void MemoryBudget::charge(std::uint64_t bytes, const char* site) {
+  const std::uint64_t index = charges_++;  // 0-based ordinal of this charge.
+  if (plan_.fail_charge_after >= 0 &&
+      index >= static_cast<std::uint64_t>(plan_.fail_charge_after) &&
+      index - static_cast<std::uint64_t>(plan_.fail_charge_after) <
+          plan_.fail_count) {
+    ++faults_;
+    throw MemoryError(bytes, used_, budget_, index + 1, site,
+                      /*injected=*/true);
+  }
+  const std::uint64_t cap = std::min(
+      budget_ == 0 ? static_cast<std::uint64_t>(-1) : budget_,
+      plan_.clamp_bytes);
+  if (bytes > cap - used_) {  // used_ <= cap invariant makes this safe.
+    throw MemoryError(bytes, used_, budget_, index + 1, site,
+                      /*injected=*/false);
+  }
+  used_ += bytes;
+  peak_ = std::max(peak_, used_);
+}
+
+void MemoryBudget::release(std::uint64_t bytes) {
+  used_ -= std::min(bytes, used_);
+}
+
+void MemoryBudget::reset(std::uint64_t budget_bytes) {
+  budget_ = budget_bytes;
+  used_ = 0;
+}
+
+namespace footprint {
+
+std::uint64_t graph_bytes(std::size_t nodes) {
+  return 4096 + static_cast<std::uint64_t>(nodes) * 2560;
+}
+
+std::uint64_t solver_descent_bytes(std::size_t nodes, std::size_t starts) {
+  return 4096 + static_cast<std::uint64_t>(std::max<std::size_t>(starts, 1)) *
+                    static_cast<std::uint64_t>(nodes) * 640;
+}
+
+std::uint64_t solver_analytic_bytes(std::size_t nodes) {
+  return 1024 + static_cast<std::uint64_t>(nodes) * 64;
+}
+
+std::uint64_t psa_bytes(std::size_t nodes, std::uint32_t machine_size) {
+  return 2048 + static_cast<std::uint64_t>(nodes) * 320 +
+         static_cast<std::uint64_t>(machine_size) * 64;
+}
+
+std::uint64_t sim_bytes(std::size_t nodes, std::uint32_t machine_size) {
+  return 4096 + static_cast<std::uint64_t>(machine_size) * 2048 +
+         static_cast<std::uint64_t>(nodes) * 1024;
+}
+
+}  // namespace footprint
+
+}  // namespace paradigm

@@ -1,0 +1,172 @@
+// Deterministic memory accounting and OOM fault injection (DESIGN §15).
+//
+// The pipeline's footprint is dominated by a handful of allocation
+// sites — the MDG + cost-model build, the solver's per-start descent
+// workspaces, the PSA scheduler's ready sets, and the simulator's
+// per-rank event queues. Instead of instrumenting the allocator (which
+// would make exhaustion depend on malloc internals and thread timing),
+// each of those sites *charges* a closed-form byte cost to a scoped
+// MemoryBudget before it allocates. Exhaustion is therefore a pure
+// function of the job and its budget: the same charge trips on any
+// machine, any thread count, any allocator.
+//
+// The seam mirrors vfs.hpp's FaultPlan design (the repo's first
+// fault seam, DESIGN §14): a MemoryFaultPlan makes the N-th charge
+// fail — sticky (a genuinely too-small arena) or transient for K
+// charges (a pressure spike a brownout retry can ride out) — so tests
+// can enumerate every exhaustion point of a corpus without guessing
+// real allocator behaviour.
+//
+// A tripped charge throws MemoryError, which derives from Cancelled
+// (reason kMemory): the stack unwinds through the existing
+// cancellation path — every `catch (const Cancelled&) { throw; }`
+// rethrow site, RAII cleanup, the pipeline facade's partial-report
+// handler — with no new unwind machinery.
+//
+// Budgets are per-attempt and owned by one thread at a time; charges
+// only ever happen on the serial spine of a pipeline run (never inside
+// a parallel region), so the charge sequence is deterministic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "support/cancel.hpp"
+
+namespace paradigm {
+
+/// Seeded OOM schedule, per attempt (every attempt's budget runs the
+/// same plan; the charge counter survives MemoryBudget::reset so a
+/// brownout re-dispatch within an attempt does not restart it).
+/// Mirrors vfs::FaultPlan: a 0-based trigger plus a consecutive-failure
+/// bound. fail_count = SIZE_MAX models an arena that stays exhausted
+/// (only a smaller rung can fit); 1 models a transient spike that the
+/// next, thriftier rung rides out.
+struct MemoryFaultPlan {
+  /// Fail the (N+1)-th charge (0-based trigger); -1 disarms.
+  std::int64_t fail_charge_after = -1;
+  std::size_t fail_count = static_cast<std::size_t>(-1);
+  /// Simulated arena capacity: charges also fail once cumulative used
+  /// bytes would cross this, regardless of the budget.
+  std::uint64_t clamp_bytes = static_cast<std::uint64_t>(-1);
+
+  bool armed() const {
+    return fail_charge_after >= 0 ||
+           clamp_bytes != static_cast<std::uint64_t>(-1);
+  }
+};
+
+/// Thrown by a failed charge. Derives from Cancelled (kMemory) so the
+/// pipeline's cancellation unwind handles it unchanged; carries the
+/// charge-site accounting so the diagnostic names the exhaustion point.
+class MemoryError : public Cancelled {
+ public:
+  MemoryError(std::uint64_t requested, std::uint64_t used,
+              std::uint64_t budget, std::uint64_t charge_index,
+              const char* site, bool injected);
+
+  std::uint64_t requested() const { return requested_; }
+  std::uint64_t used() const { return used_; }
+  std::uint64_t budget() const { return budget_; }
+  bool injected() const { return injected_; }
+
+ private:
+  std::uint64_t requested_;
+  std::uint64_t used_;
+  std::uint64_t budget_;
+  bool injected_;
+};
+
+/// Scoped arena-accounting facade. One per attempt; reset() re-arms it
+/// for the next degradation rung of the same attempt (zeroes the used
+/// bytes, keeps the charge/injection counters so a transient fault
+/// does not re-fire on the retry).
+class MemoryBudget {
+ public:
+  /// `budget_bytes` = 0 means unlimited (accounting + injection only).
+  explicit MemoryBudget(std::uint64_t budget_bytes,
+                        MemoryFaultPlan plan = {});
+
+  MemoryBudget(const MemoryBudget&) = delete;
+  MemoryBudget& operator=(const MemoryBudget&) = delete;
+
+  /// Charges `bytes` at `site` ("pipeline/graph", "solver/descent",
+  /// ...). Throws MemoryError when the fault plan fires or the budget
+  /// (or clamp) would be exceeded. The charge index (the Cancelled
+  /// ticks field) is the 1-based ordinal of this charge across the
+  /// budget's whole life, resets included.
+  void charge(std::uint64_t bytes, const char* site);
+
+  /// Returns previously charged bytes (RAII via MemoryCharge).
+  void release(std::uint64_t bytes);
+
+  /// Re-arms for the next rung: used bytes drop to zero, the budget is
+  /// replaced, charge and injection counters keep counting.
+  void reset(std::uint64_t budget_bytes);
+
+  std::uint64_t budget() const { return budget_; }
+  std::uint64_t used() const { return used_; }
+  std::uint64_t peak() const { return peak_; }
+  std::uint64_t charges() const { return charges_; }
+  std::uint64_t faults_injected() const { return faults_; }
+
+ private:
+  std::uint64_t budget_;
+  MemoryFaultPlan plan_;
+  std::uint64_t used_ = 0;
+  std::uint64_t peak_ = 0;
+  std::uint64_t charges_ = 0;
+  std::uint64_t faults_ = 0;
+};
+
+/// RAII charge: charges on construction (null budget = no-op), releases
+/// on destruction. Movable so a stage can hand its charge to a caller.
+class MemoryCharge {
+ public:
+  MemoryCharge(MemoryBudget* budget, std::uint64_t bytes, const char* site)
+      : budget_(budget), bytes_(bytes) {
+    if (budget_ != nullptr) budget_->charge(bytes_, site);
+  }
+  MemoryCharge(MemoryCharge&& other) noexcept
+      : budget_(other.budget_), bytes_(other.bytes_) {
+    other.budget_ = nullptr;
+  }
+  MemoryCharge(const MemoryCharge&) = delete;
+  MemoryCharge& operator=(const MemoryCharge&) = delete;
+  MemoryCharge& operator=(MemoryCharge&&) = delete;
+  ~MemoryCharge() {
+    if (budget_ != nullptr) budget_->release(bytes_);
+  }
+
+ private:
+  MemoryBudget* budget_;
+  std::uint64_t bytes_;
+};
+
+/// Closed-form byte costs of the dominant allocation sites. The same
+/// formulas back both the runtime charges and the service's admission
+/// estimate (core::estimate_footprint), so the estimate structurally
+/// dominates what a run actually charges. Constants are deliberately
+/// round: this is an accounting unit, not a heap profiler.
+namespace footprint {
+
+/// MDG nodes + edges + the cost model's per-node posynomial terms.
+std::uint64_t graph_bytes(std::size_t nodes);
+
+/// Convex descent: per-start x/gradient/adjoint workspaces.
+std::uint64_t solver_descent_bytes(std::size_t nodes, std::size_t starts);
+
+/// Analytic rungs (area-proportional / homogeneous / serial): one
+/// allocation vector, no descent state.
+std::uint64_t solver_analytic_bytes(std::size_t nodes);
+
+/// PSA list scheduler: ready sets, per-processor timelines.
+std::uint64_t psa_bytes(std::size_t nodes, std::uint32_t machine_size);
+
+/// Discrete-event simulator: per-rank queues + in-flight messages.
+std::uint64_t sim_bytes(std::size_t nodes, std::uint32_t machine_size);
+
+}  // namespace footprint
+
+}  // namespace paradigm

@@ -152,7 +152,7 @@ std::uint64_t policy_digest(const core::PipelineConfig& config) {
 
 CacheKey job_cache_key(std::uint64_t policy, const mdg::MdgDigest& digest,
                        std::uint64_t processors, std::uint32_t machine_size,
-                       std::size_t attempt, std::uint64_t stall) {
+                       std::size_t attempt, std::uint64_t stall, int rung) {
   CacheKey key;
   key.hi = Hasher(0xcac4e41ULL)
                .u64(policy)
@@ -161,6 +161,7 @@ CacheKey job_cache_key(std::uint64_t policy, const mdg::MdgDigest& digest,
                .u64(machine_size)
                .size(attempt)
                .u64(stall)
+               .u64(static_cast<std::uint64_t>(rung))
                .digest();
   key.lo = Hasher(0xcac4e10ULL)
                .u64(digest.content)
@@ -169,6 +170,7 @@ CacheKey job_cache_key(std::uint64_t policy, const mdg::MdgDigest& digest,
                .size(attempt)
                .u64(machine_size)
                .u64(processors)
+               .u64(static_cast<std::uint64_t>(rung))
                .digest();
   return key;
 }

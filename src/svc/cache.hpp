@@ -145,10 +145,13 @@ std::uint64_t policy_digest(const core::PipelineConfig& config);
 /// Composes the full cache key for one attempt: the per-run policy
 /// digest, the graph's canonical content digest, and the job-effective
 /// overrides (processors, machine size, watchdog stall limit, attempt
-/// number — retries perturb the solver seed).
+/// number — retries perturb the solver seed — and the brownout
+/// dispatch rung, DESIGN §15: a rung-3 dispatch answers a different
+/// problem than a rung-0 one, so their results must never alias).
 CacheKey job_cache_key(std::uint64_t policy, const mdg::MdgDigest& digest,
                        std::uint64_t processors, std::uint32_t machine_size,
-                       std::size_t attempt, std::uint64_t stall);
+                       std::size_t attempt, std::uint64_t stall,
+                       int rung = 0);
 
 /// The warm-start neighborhood key: like job_cache_key but with the
 /// *shape* digest (weights excluded) and no attempt number, folded to

@@ -171,6 +171,7 @@ const char* to_string(JobOutcome outcome) {
     case JobOutcome::kCancelledWatchdog: return "cancelled-watchdog";
     case JobOutcome::kCancelledDrain: return "cancelled-drain";
     case JobOutcome::kFailed: return "failed";
+    case JobOutcome::kOverMemory: return "over-memory";
   }
   return "?";
 }
@@ -198,8 +199,10 @@ std::string JobResult::ledger_line() const {
      << " outcome=" << to_string(outcome) << " arrival=" << arrival
      << " start=" << start << " end=" << end << " ticks=" << ticks
      << " level=" << degrade::to_string(degradation) << " phi=" << phi
-     << " sim=" << mpmd_simulated
-     << " retry=" << (retried ? "yes" : "no");
+     << " sim=" << mpmd_simulated;
+  // Budgets-off ledgers carry no rung token (byte-identity, DESIGN §15).
+  if (rung != 0) os << " rung=" << rung;
+  os << " retry=" << (retried ? "yes" : "no");
   if (!detail.empty()) os << " detail=\"" << detail << '"';
   return os.str();
 }

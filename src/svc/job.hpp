@@ -97,6 +97,10 @@ enum class JobOutcome {
   kCancelledWatchdog, ///< No forward progress within the stall limit.
   kCancelledDrain,    ///< Drain grace expired while running.
   kFailed,            ///< The pipeline threw a hard error.
+  kOverMemory,        ///< Memory budget could not fit the job: shed at
+                      ///< admission (estimate exceeds the whole budget)
+                      ///< or exhausted even at the homogeneous rung
+                      ///< (DESIGN §15). CLI exit 26.
 };
 
 const char* to_string(JobOutcome outcome);
@@ -121,6 +125,10 @@ struct JobResult {
   degrade::DegradationLevel degradation = degrade::DegradationLevel::kNone;
   double phi = 0.0;              ///< Allocation Phi (0 if never solved).
   double mpmd_simulated = 0.0;   ///< Simulated MPMD time (0 if not run).
+  /// Brownout dispatch rung (DESIGN §15): the ladder rung the service
+  /// dispatched this attempt at (0 = ordinary dispatch). Appears in the
+  /// ledger only when non-zero, so budgets-off ledgers are unchanged.
+  int rung = 0;
   bool retried = false;          ///< A retry attempt was scheduled.
   std::string detail;            ///< Failure/cancellation detail.
 

@@ -341,10 +341,16 @@ void Persistence::begin_run(const std::vector<JobSpec>& submitted,
 }
 
 void Persistence::journal_start(std::size_t job_index, std::size_t attempt,
-                                std::uint64_t at, std::uint64_t cap) {
-  append("start index=" + std::to_string(job_index) +
-         " attempt=" + std::to_string(attempt) + " at=" + std::to_string(at) +
-         " cap=" + std::to_string(cap));
+                                std::uint64_t at, std::uint64_t cap,
+                                int rung) {
+  std::string record = "start index=" + std::to_string(job_index) +
+                       " attempt=" + std::to_string(attempt) +
+                       " at=" + std::to_string(at) +
+                       " cap=" + std::to_string(cap);
+  // Audit-only token (replay ignores the start body, DESIGN §12), so
+  // appending it cannot break recovery of older journals.
+  if (rung != 0) record += " rung=" + std::to_string(rung);
+  append(record);
 }
 
 void Persistence::journal_exec(std::size_t job_index, std::size_t attempt,

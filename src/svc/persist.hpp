@@ -120,9 +120,11 @@ class Persistence {
                  const DrainSpec* drain);
 
   /// Journals a slot assignment (no replay effect; an audit record and
-  /// a crash boundary inside the start->exec window).
+  /// a crash boundary inside the start->exec window). `rung` is the
+  /// brownout dispatch rung (DESIGN §15); 0 is omitted from the record
+  /// so budgets-off journals are byte-identical to pre-§15 ones.
   void journal_start(std::size_t job_index, std::size_t attempt,
-                     std::uint64_t at, std::uint64_t cap);
+                     std::uint64_t at, std::uint64_t cap, int rung = 0);
 
   /// Journals an execution digest; the exactly-once pivot. Duplicate
   /// (job_index, attempt) keys are an internal error. May write a

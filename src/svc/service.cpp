@@ -55,6 +55,14 @@ struct SvcMetrics {
       obs::Registry::global().counter("svc.cache_coalesced");
   obs::Counter& cache_warm_start =
       obs::Registry::global().counter("svc.cache_warm_start");
+  // Memory-pressure instruments (DESIGN §15).
+  obs::Counter& mem_shed = obs::Registry::global().counter("svc.mem_shed");
+  obs::Counter& mem_brownout =
+      obs::Registry::global().counter("svc.mem_brownout");
+  obs::Counter& mem_unwind =
+      obs::Registry::global().counter("svc.mem_unwind");
+  obs::Counter& mem_deferral =
+      obs::Registry::global().counter("svc.mem_deferral");
   obs::Histogram& queue_depth = obs::Registry::global().histogram(
       "svc.queue_depth", obs::exp_bounds(1.0, 2.0, 10));
   obs::Histogram& job_ticks = obs::Registry::global().histogram(
@@ -98,6 +106,10 @@ using Executed = core::RunMemo;
 struct ExecOut {
   Executed memo;
   std::vector<double> allocation;
+  /// Memory accounting (DESIGN §15), folded into the report serially
+  /// after the parallel batch joins (SvcMetrics is event-loop-only).
+  std::size_t mem_unwinds = 0;   ///< Mid-run OOM escalations.
+  std::uint64_t mem_charges = 0; ///< Budget charges the attempt made.
 };
 
 /// A slot-occupying attempt with its computed completion time.
@@ -108,6 +120,9 @@ struct Running {
   bool cap_is_drain = false;  ///< Tick cap came from the drain grace.
   JobOutcome outcome = JobOutcome::kCompleted;
   Executed executed;
+  /// Bytes this attempt holds against the service memory budget
+  /// (DESIGN §15); released when the completion event fires.
+  std::uint64_t committed = 0;
 };
 
 /// Per-class circuit breaker (DESIGN §11): closed -> open after
@@ -132,14 +147,22 @@ std::string ServiceReport::ledger() const {
      << " degraded=" << degraded << " rejected=" << rejected
      << " shed=" << shed << " cancelled=" << cancelled
      << " failed=" << failed << " retries=" << retries
-     << " breaker_opens=" << breaker_opens
-     << " drained=" << (drained ? "yes" : "no") << " exit=" << exit_code()
+     << " breaker_opens=" << breaker_opens;
+  // Memory tokens only when the events occurred, so budgets-off
+  // ledgers stay byte-identical to the pre-§15 format.
+  if (over_memory > 0) os << " over_memory=" << over_memory;
+  if (brownouts > 0) os << " brownouts=" << brownouts;
+  os << " drained=" << (drained ? "yes" : "no") << " exit=" << exit_code()
      << '\n';
   if (wallclock_ms >= 0.0) os << "# wallclock_ms=" << wallclock_ms << '\n';
   return os.str();
 }
 
 int ServiceReport::exit_code() const {
+  // Memory fail-stop outranks everything: a job that cannot fit even
+  // at the homogeneous rung is a capacity-planning error the operator
+  // must see before any softer failure (DESIGN §15).
+  if (over_memory > 0) return 26;
   if (failed > 0) return 22;
   if (cancelled > 0) return 21;
   if (rejected + shed > 0) return 20;
@@ -170,12 +193,22 @@ void Service::drain_at(std::uint64_t at, std::uint64_t grace) {
 namespace {
 
 /// Runs one attempt's pipeline under a fresh cancel token. Pure value
-/// function of (attempt, cap, stall, warm start, base pipeline config)
-/// — thread-count independent, so batches of these run through
-/// parallel_map.
+/// function of (attempt, cap, stall, warm start, dispatch rung, base
+/// pipeline config) — thread-count independent, so batches of these
+/// run through parallel_map.
+///
+/// Memory contract (DESIGN §15): with accounting or injection on, the
+/// attempt gets a private MemoryBudget sized to its dispatch rung's
+/// footprint estimate. A mid-run exhaustion unwinds through the
+/// Cancelled partial-report path; with brownout enabled the attempt
+/// then escalates — descent rungs jump to the area-proportional rung,
+/// which jumps to homogeneous — re-arming the budget (charge counters
+/// survive, so a transient injected fault does not re-fire). An
+/// exhaustion at the homogeneous rung stands: the memo keeps reason
+/// kMemory and classifies as over-memory (fail-stop, exit 26).
 ExecOut execute_attempt(const ServiceConfig& config, const Attempt& a,
                         std::uint64_t cap, std::uint64_t stall,
-                        const std::vector<double>& warm) {
+                        const std::vector<double>& warm, int rung) {
   ExecOut out;
   Executed& e = out.memo;
   CancelToken token(cap, stall);
@@ -191,22 +224,58 @@ ExecOut execute_attempt(const ServiceConfig& config, const Attempt& a,
     pc.solver.start_seed +=
         0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(a.attempt - 1);
   }
-  try {
-    const mdg::Mdg graph = build_job_graph(a.spec);
-    const core::Compiler compiler(pc);
-    const core::PipelineReport report = compiler.compile_and_run(graph);
-    e.cancelled = report.cancelled;
-    e.reason = report.cancel_reason;
-    e.level = report.degradation;
-    e.phi = report.allocation.phi;
-    e.mpmd_simulated = report.mpmd.simulated;
-    if (report.cancelled && !report.diagnostics.empty()) {
-      e.detail = report.diagnostics.back().detail;
+
+  const bool mem_on =
+      config.memory.budget_bytes > 0 || config.memory.inject.armed();
+  auto level = static_cast<degrade::DegradationLevel>(rung);
+  const auto rung_budget = [&](degrade::DegradationLevel lvl) {
+    // Injection-only mode (no byte budget) accounts but never trips on
+    // bytes: the per-attempt budget stays unlimited.
+    if (config.memory.budget_bytes == 0) return std::uint64_t{0};
+    return core::estimate_footprint(a.spec.nodes, pc.machine.size, lvl,
+                                    config.pipeline.solver,
+                                    config.pipeline.recovery);
+  };
+  std::optional<MemoryBudget> budget;
+  if (mem_on) budget.emplace(rung_budget(level), config.memory.inject);
+
+  while (true) {
+    e = Executed{};
+    e.rung = rung;  // The *dispatch* rung, journaled for replay.
+    out.allocation.clear();
+    pc.memory = budget ? &*budget : nullptr;
+    pc.dispatch_level = level;
+    try {
+      const mdg::Mdg graph = build_job_graph(a.spec);
+      const core::Compiler compiler(pc);
+      const core::PipelineReport report = compiler.compile_and_run(graph);
+      e.cancelled = report.cancelled;
+      e.reason = report.cancel_reason;
+      e.level = report.degradation;
+      e.phi = report.allocation.phi;
+      e.mpmd_simulated = report.mpmd.simulated;
+      if (report.cancelled && !report.diagnostics.empty()) {
+        e.detail = report.diagnostics.back().detail;
+      }
+      out.allocation = report.allocation.allocation;
+    } catch (const Error& err) {
+      e.failed = true;
+      e.detail = err.what();
     }
-    out.allocation = report.allocation.allocation;
-  } catch (const Error& err) {
-    e.failed = true;
-    e.detail = err.what();
+    if (budget) out.mem_charges = budget->charges();
+    if (!e.failed && e.cancelled && e.reason == CancelReason::kMemory &&
+        config.memory.brownout &&
+        level < degrade::DegradationLevel::kHomogeneous) {
+      // Escalate past the whole descent tier: its rungs share one
+      // footprint estimate, so retrying a sibling rung cannot help.
+      level = level <= degrade::DegradationLevel::kSmoothingRestart
+                  ? degrade::DegradationLevel::kAreaProportional
+                  : degrade::DegradationLevel::kHomogeneous;
+      ++out.mem_unwinds;
+      if (budget) budget->reset(rung_budget(level));
+      continue;
+    }
+    break;
   }
   e.ticks = token.ticks();
   return out;
@@ -221,6 +290,10 @@ JobOutcome classify(const Executed& e, bool cap_is_drain) {
                             : JobOutcome::kCancelledDeadline;
       case CancelReason::kWatchdog:
         return JobOutcome::kCancelledWatchdog;
+      case CancelReason::kMemory:
+        // Exhausted even after brownout escalation (or with brownout
+        // off): the job cannot fit, period (DESIGN §15).
+        return JobOutcome::kOverMemory;
       case CancelReason::kNone:
       case CancelReason::kExternal:
         break;
@@ -294,6 +367,26 @@ ServiceReport Service::run() {
   const Rng backoff_base_rng(config_.backoff_seed);
   std::uint64_t now = 0;
 
+  // Memory-pressure state (DESIGN §15), owned by the serial event loop
+  // like all admission state: committed tracks the footprint
+  // reservations of in-flight attempts; the dispatch gate in
+  // start_batch checks arrivals against budget - committed.
+  const bool mem_on = config_.memory.budget_bytes > 0;
+  std::uint64_t committed = 0;
+  const auto estimate_for = [&](const JobSpec& spec,
+                                degrade::DegradationLevel level) {
+    std::uint32_t machine_size = config_.pipeline.machine.size;
+    if (machine_size < spec.processors) {
+      machine_size = static_cast<std::uint32_t>(spec.processors);
+    }
+    return core::estimate_footprint(spec.nodes, machine_size, level,
+                                    config_.pipeline.solver,
+                                    config_.pipeline.recovery);
+  };
+  const auto level_of_rung = [](int rung) {
+    return static_cast<degrade::DegradationLevel>(rung);
+  };
+
   const auto record_result = [&](const Attempt& a, JobOutcome outcome,
                                  std::uint64_t start, std::uint64_t end,
                                  std::uint64_t ticks, const Executed* e,
@@ -312,6 +405,7 @@ ServiceReport Service::run() {
       r.degradation = e->level;
       r.phi = e->phi;
       r.mpmd_simulated = e->mpmd_simulated;
+      r.rung = e->rung;
       r.detail = e->detail;
     }
     switch (outcome) {
@@ -355,14 +449,18 @@ ServiceReport Service::run() {
         ++report.failed;
         if (record) svc_metrics().failed.add_unchecked(1);
         break;
+      case JobOutcome::kOverMemory:
+        ++report.over_memory;
+        if (record) svc_metrics().mem_shed.add_unchecked(1);
+        break;
     }
     if (persist_ != nullptr) persist_->journal_outcome(r);
     report.results.push_back(std::move(r));
   };
 
   // Admission control for one arrival at `now`. Check order is fixed
-  // (draining > oversized > breaker > queue bound) so every rejection
-  // has one deterministic attribution.
+  // (draining > oversized > over-memory > breaker > queue bound) so
+  // every rejection has one deterministic attribution.
   const auto admit = [&](Attempt a) {
     if (has_drain_ && now >= drain_.at) {
       record_result(a, JobOutcome::kRejectedDraining, now, now, 0, nullptr,
@@ -371,6 +469,16 @@ ServiceReport Service::run() {
     }
     if (a.spec.nodes > config_.max_nodes) {
       record_result(a, JobOutcome::kRejectedOversized, now, now, 0, nullptr,
+                    false);
+      return;
+    }
+    // Over-memory shed (DESIGN §15): a job whose *thriftiest* footprint
+    // (the analytic homogeneous rung) exceeds the whole budget can
+    // never be dispatched — shed it structurally at arrival instead of
+    // letting it starve in the queue.
+    if (mem_on && estimate_for(a.spec, degrade::DegradationLevel::kHomogeneous) >
+                      config_.memory.budget_bytes) {
+      record_result(a, JobOutcome::kOverMemory, now, now, 0, nullptr,
                     false);
       return;
     }
@@ -418,11 +526,24 @@ ServiceReport Service::run() {
       std::uint64_t stall = 0;
       bool cap_is_drain = false;
       bool has_key = false;      ///< Reuse key computed successfully.
-      CacheKey key;              ///< Content key (graph + policy + env).
+      mdg::MdgDigest digest;     ///< Canonical graph digest.
+      std::uint32_t machine_size = 0;  ///< Job-effective machine size.
+      CacheKey base_key;         ///< Rung-0 content key (coalescing).
+      CacheKey key;              ///< Dispatch-rung key (lookup/insert).
       std::uint64_t shape = 0;   ///< Warm-start neighborhood key.
       std::vector<double> warm;  ///< Warm-start seed (may stay empty).
+      int rung = 0;              ///< Brownout dispatch rung (§15).
+      std::uint64_t reserved = 0;///< Committed-bytes reservation (§15).
+      bool resolved = false;     ///< Served from WAL memo or cache.
+      bool from_cache = false;   ///< Resolved via cache (journals hit).
+      Executed executed;         ///< The digest (valid when resolved).
     };
     std::vector<Prepared> batch;
+    // Same-batch coalescing leaders popped so far, by (rung-0 key,
+    // cap): a follower is free under the memory gate — it rides its
+    // leader's reservation (§15) and adopts its result below.
+    std::set<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>>
+        batch_leaders;
     while (running.size() + batch.size() < config_.slots &&
            !queue.empty()) {
       Attempt a = std::move(queue.front());
@@ -461,86 +582,170 @@ ServiceReport Service::run() {
           cap_is_drain = true;
         }
       }
-      batch.push_back(Prepared{std::move(a), cap, stall, cap_is_drain});
-    }
-    if (batch.empty()) return;
-    if (record) {
-      svc_metrics().started.add_unchecked(batch.size());
-    }
-    // Reuse keys (DESIGN §13): canonical graph digest + policy digest
-    // + job-effective overrides. A graph that fails to build is simply
-    // uncacheable — execute_attempt reproduces (and records) the
-    // failure exactly as it would without the cache.
-    if (cache) {
-      for (Prepared& p : batch) {
+      Prepared p;
+      p.attempt = std::move(a);
+      p.cap = cap;
+      p.stall = stall;
+      p.cap_is_drain = cap_is_drain;
+      // Reuse keys (DESIGN §13): canonical graph digest + policy
+      // digest + job-effective overrides. A graph that fails to build
+      // is simply uncacheable — execute_attempt reproduces (and
+      // records) the failure exactly as it would without the cache.
+      if (cache) {
         try {
           const mdg::Mdg graph = build_job_graph(p.attempt.spec);
-          const mdg::MdgDigest digest = mdg::content_digest(graph);
-          std::uint32_t machine_size = config_.pipeline.machine.size;
-          if (machine_size < p.attempt.spec.processors) {
-            machine_size =
+          p.digest = mdg::content_digest(graph);
+          p.machine_size = config_.pipeline.machine.size;
+          if (p.machine_size < p.attempt.spec.processors) {
+            p.machine_size =
                 static_cast<std::uint32_t>(p.attempt.spec.processors);
           }
-          p.key =
-              job_cache_key(policy, digest, p.attempt.spec.processors,
-                            machine_size, p.attempt.attempt, p.stall);
-          p.shape = job_shape_key(policy, digest, p.attempt.spec.processors,
-                                  machine_size, p.stall);
+          p.base_key =
+              job_cache_key(policy, p.digest, p.attempt.spec.processors,
+                            p.machine_size, p.attempt.attempt, p.stall);
+          p.key = p.base_key;
+          p.shape = job_shape_key(policy, p.digest,
+                                  p.attempt.spec.processors,
+                                  p.machine_size, p.stall);
           p.has_key = true;
         } catch (const Error&) {
           p.has_key = false;
         }
       }
-    }
-    // Resolve each attempt through the reuse tiers, strongest first:
-    // WAL memo (exactly-once replay), then cache hit, then coalesce /
-    // run. Cache hits are journaled exactly like runs — start record
-    // then digest record — so each append is a new crash boundary and
-    // recovery serves the hit as an ordinary WAL memo (DESIGN §12).
-    std::vector<bool> resolved(batch.size(), false);
-    std::vector<Executed> executed(batch.size());
-    for (std::size_t i = 0; i < batch.size(); ++i) {
+      // Resolve through the reuse tiers, strongest first: WAL memo
+      // (exactly-once replay), then cache hit — both deliberately
+      // *before* the memory gate (§15), so reuse stays free of the
+      // byte budget.
       if (persist_ != nullptr) {
         const Executed* memo = persist_->find_memo(
-            batch[i].attempt.job_index, batch[i].attempt.attempt);
+            p.attempt.job_index, p.attempt.attempt);
         if (memo != nullptr) {
-          executed[i] = *memo;
-          resolved[i] = true;
-          continue;
+          p.executed = *memo;
+          p.resolved = true;
+          p.rung = p.executed.rung;
         }
       }
-      if (cache && batch[i].has_key) {
-        const CacheEntry* entry = cache->lookup(batch[i].key, batch[i].cap);
+      if (!p.resolved && cache && p.has_key) {
+        const CacheEntry* entry = cache->lookup(p.key, p.cap);
         if (entry != nullptr) {
-          executed[i] = entry->memo;
-          resolved[i] = true;
+          p.executed = entry->memo;
+          p.resolved = true;
+          p.from_cache = true;
+          p.rung = p.executed.rung;
+        }
+      }
+      const bool follower =
+          !p.resolved && cache && config_.cache.coalesce && p.has_key &&
+          batch_leaders.count(std::make_tuple(p.base_key.hi, p.base_key.lo,
+                                              p.cap)) > 0;
+      // Memory dispatch gate (§15) for fresh leaders. Resolved
+      // attempts commit their memoized rung's estimate *without* a fit
+      // check: replay must reproduce the original run's
+      // committed-bytes trajectory, and the original dispatch already
+      // fit. Followers ride their leader's reservation.
+      if (mem_on) {
+        if (p.resolved) {
+          p.reserved = estimate_for(p.attempt.spec, level_of_rung(p.rung));
+        } else if (!follower) {
+          const std::uint64_t total = config_.memory.budget_bytes;
+          const std::uint64_t avail =
+              committed < total ? total - committed : 0;
+          const std::uint64_t fresh_cost = estimate_for(
+              p.attempt.spec, degrade::DegradationLevel::kNone);
+          const std::uint64_t analytic_cost = estimate_for(
+              p.attempt.spec, degrade::DegradationLevel::kAreaProportional);
+          if (fresh_cost <= avail) {
+            p.reserved = fresh_cost;
+          } else if (config_.memory.brownout && analytic_cost <= avail) {
+            // Brownout: dispatch at the analytic rung instead of
+            // making the job wait for a full descent reservation.
+            p.rung = static_cast<int>(
+                degrade::DegradationLevel::kAreaProportional);
+            p.reserved = analytic_cost;
+            ++report.brownouts;
+            if (record) svc_metrics().mem_brownout.add_unchecked(1);
+          } else if (committed > 0) {
+            // Defer: head-of-line FIFO blocking until a completion
+            // releases bytes (one is pending whenever committed > 0).
+            queue.push_front(std::move(p.attempt));
+            ++report.mem_deferrals;
+            if (record) svc_metrics().mem_deferral.add_unchecked(1);
+            break;
+          } else {
+            // Empty pool and still no fit: with brownout on this is
+            // unreachable (admission guarantees the analytic rung fits
+            // the whole budget); with it off, the undegraded footprint
+            // is simply too big — structural shed.
+            if (p.attempt.probe) {
+              breakers[p.attempt.spec.job_class].probe_inflight = false;
+            }
+            record_result(p.attempt, JobOutcome::kOverMemory, now, now, 0,
+                          nullptr, false);
+            continue;
+          }
+        }
+        if (!p.resolved && p.rung != 0 && cache && p.has_key) {
+          // A browned-out dispatch answers the rung-r problem: re-key
+          // and probe again so repeated brownouts of the same job hit.
+          p.key = job_cache_key(policy, p.digest,
+                                p.attempt.spec.processors, p.machine_size,
+                                p.attempt.attempt, p.stall, p.rung);
+          const CacheEntry* entry = cache->lookup(p.key, p.cap);
+          if (entry != nullptr) {
+            p.executed = entry->memo;
+            p.resolved = true;
+            p.from_cache = true;
+          }
+        }
+      }
+      if (cache && p.has_key) {
+        if (p.from_cache) {
           ++report.cache_hits;
           if (record) svc_metrics().cache_hit.add_unchecked(1);
-          if (persist_ != nullptr) {
-            persist_->journal_start(batch[i].attempt.job_index,
-                                    batch[i].attempt.attempt, now,
-                                    batch[i].cap);
-            persist_->journal_exec(batch[i].attempt.job_index,
-                                   batch[i].attempt.attempt, executed[i]);
-          }
-          continue;
-        }
-        ++report.cache_misses;
-        if (record) svc_metrics().cache_miss.add_unchecked(1);
-        if (config_.cache.warm_start) {
-          const CacheEntry* neighbor = cache->nearest(batch[i].shape);
-          if (neighbor != nullptr && !neighbor->allocation.empty()) {
-            batch[i].warm = neighbor->allocation;
-            ++report.warm_starts;
-            if (record) svc_metrics().cache_warm_start.add_unchecked(1);
+        } else if (!p.resolved) {
+          ++report.cache_misses;
+          if (record) svc_metrics().cache_miss.add_unchecked(1);
+          if (config_.cache.warm_start) {
+            const CacheEntry* neighbor = cache->nearest(p.shape);
+            if (neighbor != nullptr && !neighbor->allocation.empty()) {
+              p.warm = neighbor->allocation;
+              ++report.warm_starts;
+              if (record) svc_metrics().cache_warm_start.add_unchecked(1);
+            }
           }
         }
       }
+      if (!p.resolved && !follower && cache && config_.cache.coalesce &&
+          p.has_key) {
+        batch_leaders.insert(
+            std::make_tuple(p.base_key.hi, p.base_key.lo, p.cap));
+      }
+      if (p.reserved > 0) {
+        committed += p.reserved;
+        if (committed > report.mem_peak) report.mem_peak = committed;
+      }
+      batch.push_back(std::move(p));
     }
-    // Coalesce identical unresolved attempts: equal content key *and*
-    // equal tick cap run once. Every follower keeps its own journal
-    // records and (below) its own ledger entry — N identical
-    // submissions cost one solve and N entries.
+    if (batch.empty()) return;
+    if (record) {
+      svc_metrics().started.add_unchecked(batch.size());
+    }
+    // Cache hits are journaled exactly like runs — start record then
+    // digest record — so each append is a new crash boundary and
+    // recovery serves the hit as an ordinary WAL memo (DESIGN §12).
+    for (Prepared& p : batch) {
+      if (p.resolved && p.from_cache && persist_ != nullptr) {
+        persist_->journal_start(p.attempt.job_index, p.attempt.attempt,
+                                now, p.cap, p.rung);
+        persist_->journal_exec(p.attempt.job_index, p.attempt.attempt,
+                               p.executed);
+      }
+    }
+    // Coalesce identical unresolved attempts: equal rung-0 content key
+    // *and* equal tick cap run once (the key is rung-independent so a
+    // browned-out leader still collects its followers). Every follower
+    // keeps its own journal records and (below) its own ledger entry —
+    // N identical submissions cost one solve and N entries.
     std::vector<std::size_t> to_run;
     std::vector<std::size_t> leader_of(batch.size());
     std::map<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>,
@@ -548,15 +753,16 @@ ServiceReport Service::run() {
         leaders;
     for (std::size_t i = 0; i < batch.size(); ++i) {
       leader_of[i] = i;
-      if (resolved[i]) continue;
+      if (batch[i].resolved) continue;
       if (persist_ != nullptr) {
         persist_->journal_start(batch[i].attempt.job_index,
                                 batch[i].attempt.attempt, now,
-                                batch[i].cap);
+                                batch[i].cap, batch[i].rung);
       }
       if (cache && config_.cache.coalesce && batch[i].has_key) {
         const auto [it, is_leader] = leaders.emplace(
-            std::make_tuple(batch[i].key.hi, batch[i].key.lo, batch[i].cap),
+            std::make_tuple(batch[i].base_key.hi, batch[i].base_key.lo,
+                            batch[i].cap),
             i);
         if (!is_leader) {
           leader_of[i] = it->second;
@@ -571,12 +777,18 @@ ServiceReport Service::run() {
         to_run.size(), [&](std::size_t k) {
           const std::size_t i = to_run[k];
           return execute_attempt(config_, batch[i].attempt, batch[i].cap,
-                                 batch[i].stall, batch[i].warm);
+                                 batch[i].stall, batch[i].warm,
+                                 batch[i].rung);
         });
     report.pipeline_runs += to_run.size();
     for (std::size_t k = 0; k < to_run.size(); ++k) {
       const std::size_t i = to_run[k];
-      executed[i] = fresh[k].memo;
+      batch[i].executed = fresh[k].memo;
+      report.mem_unwinds += fresh[k].mem_unwinds;
+      report.mem_charges += fresh[k].mem_charges;
+      if (record && fresh[k].mem_unwinds > 0) {
+        svc_metrics().mem_unwind.add_unchecked(fresh[k].mem_unwinds);
+      }
       if (persist_ != nullptr) {
         persist_->journal_exec(batch[i].attempt.job_index,
                                batch[i].attempt.attempt, fresh[k].memo);
@@ -589,11 +801,12 @@ ServiceReport Service::run() {
     // Followers share their leader's digest, under their own journal
     // keys.
     for (std::size_t i = 0; i < batch.size(); ++i) {
-      if (resolved[i] || leader_of[i] == i) continue;
-      executed[i] = executed[leader_of[i]];
+      if (batch[i].resolved || leader_of[i] == i) continue;
+      batch[i].executed = batch[leader_of[i]].executed;
       if (persist_ != nullptr) {
         persist_->journal_exec(batch[i].attempt.job_index,
-                               batch[i].attempt.attempt, executed[i]);
+                               batch[i].attempt.attempt,
+                               batch[i].executed);
       }
     }
     for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -601,7 +814,8 @@ ServiceReport Service::run() {
       r.attempt = std::move(batch[i].attempt);
       r.start = now;
       r.cap_is_drain = batch[i].cap_is_drain;
-      r.executed = executed[i];
+      r.executed = batch[i].executed;
+      r.committed = batch[i].reserved;
       r.outcome = classify(r.executed, r.cap_is_drain);
       r.end = now + duration_of(r.executed, batch[i].cap, r.outcome);
       if (record) {
@@ -615,6 +829,11 @@ ServiceReport Service::run() {
   // Completion processing: breaker transitions, then retry scheduling,
   // then the ledger record.
   const auto complete = [&](Running r) {
+    // Release the attempt's committed-bytes reservation (§15) before
+    // anything else: completions at an instant are processed before
+    // the next start_batch, so freed bytes are immediately
+    // re-dispatchable.
+    committed -= r.committed;
     Breaker& b = breakers[r.attempt.spec.job_class];
     if (is_hard_failure(r.outcome)) {
       if (r.attempt.probe) {

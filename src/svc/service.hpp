@@ -69,6 +69,25 @@ struct ServiceConfig {
   /// cache, same-instant coalescing, opt-in warm starts. Off by
   /// default at the library level; the CLI enables it.
   CacheConfig cache;
+  /// Memory-pressure contract (DESIGN §15). With a non-zero budget the
+  /// service tracks committed bytes per in-flight attempt (the
+  /// core::estimate_footprint reservation), sheds arrivals that cannot
+  /// fit even at the homogeneous rung, defers dispatch while the pool
+  /// is saturated, and — with brownout on — re-dispatches at the
+  /// area-proportional rung instead of rejecting. All decisions happen
+  /// on the serial event loop, so ledgers stay byte-identical across
+  /// thread counts; with budget_bytes = 0 and a disarmed fault plan the
+  /// service is byte-identical to the pre-§15 one.
+  struct MemoryConfig {
+    std::uint64_t budget_bytes = 0;  ///< Total committed-bytes budget
+                                     ///< (0 = accounting off).
+    bool brownout = true;  ///< Re-dispatch deeper instead of shedding.
+    /// Deterministic OOM injection, applied to every attempt's budget
+    /// (support/memory.hpp). Armed plans work with or without a byte
+    /// budget; the CLI requires --mem-budget for --inject-oom.
+    MemoryFaultPlan inject;
+  };
+  MemoryConfig memory;
   /// Base pipeline configuration; processors/machine size and the
   /// cancel token are overridden per job, and the solver start seed is
   /// perturbed per retry attempt.
@@ -105,6 +124,15 @@ struct ServiceReport {
   std::size_t cache_misses = 0;  ///< Attempts that missed (and ran).
   std::size_t coalesced = 0;     ///< Duplicates folded into a leader.
   std::size_t warm_starts = 0;   ///< Misses seeded from a neighbor.
+  /// Memory-pressure accounting (DESIGN §15). over_memory and
+  /// brownouts enter the ledger trailer (only when non-zero, so
+  /// budgets-off ledgers are unchanged); the rest are report-only.
+  std::size_t over_memory = 0;   ///< Jobs shed or fail-stopped on memory.
+  std::size_t brownouts = 0;     ///< Attempts dispatched at a deeper rung.
+  std::size_t mem_unwinds = 0;   ///< Mid-run OOM unwinds that escalated.
+  std::size_t mem_deferrals = 0; ///< Dispatch deferrals (head-of-line).
+  std::uint64_t mem_charges = 0; ///< Total charges across fresh attempts.
+  std::uint64_t mem_peak = 0;    ///< Peak committed bytes.
   bool drained = false;          ///< A drain directive was applied.
   double wallclock_ms = -1.0;    ///< < 0: omitted from the ledger.
 
@@ -116,7 +144,8 @@ struct ServiceReport {
   /// Service exit codes, disjoint from the CLI usage code (2) and the
   /// degradation codes (10..15): 0 when every attempt completed
   /// (possibly degraded), else the worst of 20 (rejected/shed),
-  /// 21 (cancelled), 22 (failed).
+  /// 21 (cancelled), 22 (failed), 26 (memory fail-stop: a job could
+  /// not fit even at the homogeneous rung, DESIGN §15).
   int exit_code() const;
 };
 

@@ -12,6 +12,9 @@
 //   25     durability: journal quarantined after a storage failure
 //          (ENOSPC/EIO/short write/failed fsync) survived its bounded
 //          retries — the service fail-stops rather than run non-durably
+//   26     memory: a job could not fit its byte budget even at the
+//          homogeneous rung (shed at admission or exhausted mid-run),
+//          or a real std::bad_alloc escaped the pipeline
 //
 // These bands are what scripts and CI key on, so they are locked here
 // by invoking the real binary.
@@ -290,6 +293,72 @@ TEST(CliExit, MalformedStorageFaultIsUsage2) {
   EXPECT_EQ(run_cli("--serve=" + jobs + " --journal=" + dir +
                     " --inject-storage-fault=enospc:x --mode=static"),
             2);
+}
+
+// ---- Memory band (DESIGN §15) -----------------------------------------------
+
+TEST(CliExit, ImpossibleMemoryBudgetIs26) {
+  // 1 KiB fits no job even at the homogeneous rung: the arrival is
+  // shed with the structured over-memory outcome and the run
+  // fail-stops with the memory band, not the generic rejection band.
+  const std::string jobs =
+      write_temp_jobs("mem26", "job id=a seed=3 nodes=8 p=8\n");
+  EXPECT_EQ(run_cli("--serve=" + jobs +
+                    " --mode=static --noise=0 --mem-budget=1024"),
+            26);
+}
+
+TEST(CliExit, GenerousMemoryBudgetIsZero) {
+  const std::string jobs =
+      write_temp_jobs("memok", "job id=a seed=3 nodes=8 p=8\n");
+  EXPECT_EQ(run_cli("--serve=" + jobs +
+                    " --mode=static --noise=0 --mem-budget=1073741824"),
+            0);
+}
+
+TEST(CliExit, StickyInjectedOomIs26) {
+  // A sticky OOM from the first charge defeats every escalation rung:
+  // the structured fail-stop, not a crash.
+  const std::string jobs =
+      write_temp_jobs("memoomsticky", "job id=a seed=3 nodes=8 p=8\n");
+  EXPECT_EQ(run_cli("--serve=" + jobs +
+                    " --mode=static --noise=0 --mem-budget=1073741824"
+                    " --inject-oom=1"),
+            26);
+}
+
+TEST(CliExit, TransientInjectedOomDegradesInsteadOfFailing) {
+  // A one-shot OOM at the first charge: brownout escalation unwinds to
+  // the analytic rung and the job still finishes (degraded counts as
+  // clean at the service exit level).
+  const std::string jobs =
+      write_temp_jobs("memoomonce", "job id=a seed=3 nodes=8 p=8\n");
+  EXPECT_EQ(run_cli("--serve=" + jobs +
+                    " --mode=static --noise=0 --mem-budget=1073741824"
+                    " --inject-oom=1:1"),
+            0);
+}
+
+TEST(CliExit, InjectOomWithoutMemBudgetIsUsage2) {
+  // Mirrors the --sync-policy gate: an armed plan that would silently
+  // do nothing without its enabling flag is a usage error.
+  const std::string jobs =
+      write_temp_jobs("oomnobudget", "job id=a seed=3 nodes=8 p=8\n");
+  EXPECT_EQ(run_cli("--serve=" + jobs + " --inject-oom=1 --mode=static"), 2);
+}
+
+TEST(CliExit, MalformedInjectOomIsUsage2) {
+  const std::string jobs =
+      write_temp_jobs("oombad", "job id=a seed=3 nodes=8 p=8\n");
+  const std::string base =
+      "--serve=" + jobs + " --mode=static --mem-budget=1048576 ";
+  EXPECT_EQ(run_cli(base + "--inject-oom=zero"), 2);
+  EXPECT_EQ(run_cli(base + "--inject-oom=0"), 2);  // 1-based index.
+  EXPECT_EQ(run_cli(base + "--inject-oom=2:x"), 2);
+}
+
+TEST(CliExit, MemBudgetWithoutServeIsUsage2) {
+  EXPECT_EQ(run_cli("--mem-budget=1024 --mode=static"), 2);
 }
 
 TEST(CliExit, NewerJournalFormatVersionIsUsage2) {

@@ -1,0 +1,266 @@
+// Memory-pressure chaos soak (DESIGN §15, `ctest -L memory`): mixed
+// job corpora pushed through the service under byte budgets and
+// deterministic OOM injection, at 1 and at 4 worker threads.
+//
+// The §15 contract under test:
+//   * budgets off (and no injection) is a no-op — the ledger is
+//     byte-identical to a run without the memory layer;
+//   * every admission/dispatch/unwind decision happens on the serial
+//     event loop, so budgeted ledgers are byte-identical across
+//     thread counts too;
+//   * pressure degrades structurally — brownout rungs, deferrals,
+//     structured over-memory sheds — never via a crash or a hung
+//     queue, and the outcome conservation equation stays exact;
+//   * injected faults at every charge boundary (the memory analogue
+//     of the §14 storage sweep) escalate or fail stop cleanly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "support/parallel.hpp"
+#include "svc/service.hpp"
+
+namespace paradigm::svc {
+namespace {
+
+/// Deterministic mixed corpus, value-parameterized by index like the
+/// §11 soak: valid jobs, oversized submissions, deadline-doomed work,
+/// and (optionally) pathological graphs whose *actual* node count
+/// dwarfs the declared one — the hostile case for a footprint
+/// estimator.
+std::vector<JobSpec> chaos_corpus(std::size_t count, bool pathological) {
+  std::vector<JobSpec> jobs;
+  for (std::size_t i = 0; i < count; ++i) {
+    JobSpec spec;
+    spec.id = "m" + std::to_string(i);
+    spec.seed = 2000 + i;
+    spec.arrival = i * 40;
+    spec.processors = (i % 3 == 0) ? 4 : 8;
+    spec.nodes = 6 + (i % 5);
+    spec.job_class = (i % 4 == 0) ? "alt" : "default";
+    switch (i % 10) {
+      case 3:
+        if (pathological) {
+          spec.graph = GraphKind::kPathological;
+          spec.seed = 1 + (i % 7);
+        }
+        break;
+      case 5:
+        spec.nodes = 4096;  // Oversized: rejected before the budget.
+        break;
+      case 7:
+        spec.deadline = 20 + (i % 13);  // Deadline-doomed.
+        break;
+      default:
+        break;
+    }
+    jobs.push_back(std::move(spec));
+  }
+  return jobs;
+}
+
+ServiceConfig mem_config() {
+  ServiceConfig config;
+  config.pipeline.calibration_mode = core::CalibrationMode::kStatic;
+  config.pipeline.machine.size = 8;
+  config.pipeline.machine.noise_sigma = 0.0;
+  config.pipeline.solver.max_inner_iterations = 30;
+  config.pipeline.solver.continuation_rounds = 2;
+  config.queue_capacity = 6;
+  config.slots = 4;
+  config.max_nodes = 512;
+  config.default_deadline = 60000;
+  config.max_retries = 1;
+  config.retry_min_level = degrade::DegradationLevel::kAreaProportional;
+  return config;
+}
+
+/// The undegraded (rung-0) footprint of the corpus's largest
+/// non-oversized job, so budgets scale with the estimator instead of
+/// hard-coding byte counts.
+std::uint64_t fresh_estimate(const ServiceConfig& config) {
+  return core::estimate_footprint(10, 8, degrade::DegradationLevel::kNone,
+                                  config.pipeline.solver,
+                                  config.pipeline.recovery);
+}
+
+struct SoakRun {
+  std::string ledger;
+  ServiceReport report;
+};
+
+SoakRun run_chaos(std::size_t threads, std::size_t count, bool pathological,
+                  const ServiceConfig::MemoryConfig& memory) {
+  set_thread_count(threads);
+  ServiceConfig config = mem_config();
+  config.memory = memory;
+  Service service(config);
+  for (JobSpec& spec : chaos_corpus(count, pathological)) {
+    service.submit(std::move(spec));
+  }
+  service.drain_at(count * 36, 30000);
+  SoakRun run;
+  run.report = service.run();
+  run.ledger = run.report.ledger();
+  set_thread_count(0);
+  return run;
+}
+
+/// Every submission reaches exactly one terminal tally — shed and
+/// browned-out work included. A leak here means an outcome was dropped
+/// (or double-counted) somewhere in the §15 paths.
+void expect_conserved(const ServiceReport& report) {
+  EXPECT_EQ(report.completed + report.degraded + report.rejected +
+                report.shed + report.cancelled + report.failed +
+                report.over_memory,
+            report.results.size());
+}
+
+TEST(MemorySoak, BudgetsOffIsByteIdenticalToGenerousBudget) {
+  // Random-only corpus: actual node counts never exceed the declared
+  // ones, so a generous budget must change *nothing* — same ledger
+  // bytes, no rung tokens, no brownouts — while still accounting.
+  ServiceConfig::MemoryConfig off;  // budget_bytes = 0.
+  ServiceConfig::MemoryConfig generous;
+  generous.budget_bytes = std::uint64_t{1} << 40;
+  const SoakRun base = run_chaos(2, 120, false, off);
+  const SoakRun budgeted = run_chaos(2, 120, false, generous);
+  EXPECT_EQ(base.ledger, budgeted.ledger);
+  EXPECT_EQ(base.report.mem_peak, 0u);
+  EXPECT_EQ(base.report.mem_charges, 0u);
+  EXPECT_EQ(budgeted.report.brownouts, 0u);
+  EXPECT_EQ(budgeted.report.over_memory, 0u);
+  EXPECT_GT(budgeted.report.mem_peak, 0u);
+  EXPECT_GT(budgeted.report.mem_charges, 0u);
+  expect_conserved(base.report);
+  expect_conserved(budgeted.report);
+}
+
+TEST(MemorySoak, TightBudgetBrownsOutDeterministically) {
+  ServiceConfig::MemoryConfig tight;
+  // Room for one undegraded dispatch plus change: concurrent arrivals
+  // must brown out to the analytic rung or defer, never crash.
+  tight.budget_bytes = fresh_estimate(mem_config()) * 3 / 2;
+  const SoakRun serial = run_chaos(1, 200, true, tight);
+  const SoakRun parallel = run_chaos(4, 200, true, tight);
+  ASSERT_EQ(serial.ledger, parallel.ledger);
+  expect_conserved(serial.report);
+  EXPECT_GT(serial.report.brownouts, 0u) << serial.ledger;
+  EXPECT_GT(serial.report.mem_deferrals, 0u);
+  // The ledger carries the dispatch rung for browned-out attempts.
+  EXPECT_NE(serial.ledger.find(" rung="), std::string::npos);
+}
+
+TEST(MemorySoak, ImpossibleBudgetShedsEverythingAndFailStops) {
+  ServiceConfig::MemoryConfig impossible;
+  impossible.budget_bytes = 1024;  // Below any job's homogeneous rung.
+  const SoakRun run = run_chaos(2, 60, false, impossible);
+  expect_conserved(run.report);
+  EXPECT_EQ(run.report.completed + run.report.degraded, 0u);
+  EXPECT_GT(run.report.over_memory, 0u);
+  EXPECT_EQ(run.report.exit_code(), 26) << run.ledger;
+  EXPECT_NE(run.ledger.find("over_memory="), std::string::npos);
+}
+
+TEST(MemorySoak, TransientInjectionAtEveryChargeBoundary) {
+  // The §14 storage sweep, transposed to memory: a one-shot injected
+  // OOM at the k-th charge of every attempt, for every boundary an
+  // attempt has (graph, per-rung solver, psa, sim — plus ladder
+  // retries). Each schedule must stay crash-free, conserved, and
+  // byte-identical across thread counts; escalation makes forward
+  // progress because the transient does not re-fire after the unwind.
+  for (std::int64_t k = 0; k < 8; ++k) {
+    ServiceConfig::MemoryConfig mem;
+    mem.budget_bytes = std::uint64_t{1} << 40;
+    mem.inject.fail_charge_after = k;
+    mem.inject.fail_count = 1;
+    const SoakRun serial = run_chaos(1, 60, true, mem);
+    const SoakRun parallel = run_chaos(4, 60, true, mem);
+    ASSERT_EQ(serial.ledger, parallel.ledger) << "charge boundary " << k;
+    expect_conserved(serial.report);
+    // Work still finishes: an injected OOM is an unwind, not an outage.
+    EXPECT_GT(serial.report.completed + serial.report.degraded, 0u)
+        << "charge boundary " << k;
+    if (k == 0) {
+      // The very first charge always exists, so boundary 0 must
+      // actually unwind something.
+      EXPECT_GT(serial.report.mem_unwinds, 0u) << serial.ledger;
+    }
+  }
+}
+
+TEST(MemorySoak, StickyInjectionFailStops) {
+  // A sticky fault from the first charge: every rung of every attempt
+  // trips, so escalation runs out of ladder and the service reports
+  // the structured fail-stop (exit 26) — not a crash, and the doomed
+  // runs still produce conserved ledger records.
+  ServiceConfig::MemoryConfig mem;
+  mem.budget_bytes = std::uint64_t{1} << 40;
+  mem.inject.fail_charge_after = 0;  // Sticky: fail_count defaults to all.
+  const SoakRun serial = run_chaos(1, 60, true, mem);
+  const SoakRun parallel = run_chaos(4, 60, true, mem);
+  ASSERT_EQ(serial.ledger, parallel.ledger);
+  expect_conserved(serial.report);
+  EXPECT_EQ(serial.report.completed + serial.report.degraded, 0u);
+  EXPECT_GT(serial.report.over_memory, 0u);
+  EXPECT_EQ(serial.report.exit_code(), 26);
+}
+
+TEST(MemorySoak, ChaosCorpusLedgerByteIdenticalAcrossThreads) {
+  // The full 500-job overload soak: moderate budget, transient OOM
+  // injection, pathological graphs whose real footprint exceeds their
+  // declared estimate — under 1 and 4 threads. This is the §15
+  // tentpole gate: byte-identical ledgers, exact conservation, and
+  // every pressure path exercised at once.
+  ServiceConfig::MemoryConfig mem;
+  mem.budget_bytes = fresh_estimate(mem_config()) * 5 / 2;
+  mem.inject.fail_charge_after = 2;
+  mem.inject.fail_count = 1;
+  const SoakRun serial = run_chaos(1, 500, true, mem);
+  const SoakRun parallel = run_chaos(4, 500, true, mem);
+  ASSERT_EQ(serial.ledger, parallel.ledger);
+  expect_conserved(serial.report);
+  expect_conserved(parallel.report);
+
+  std::map<std::string, int> outcomes;
+  std::istringstream in(serial.ledger);
+  std::string line;
+  std::size_t result_lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    ++result_lines;
+    const std::size_t pos = line.find("outcome=");
+    ASSERT_NE(pos, std::string::npos) << line;
+    const std::size_t end = line.find(' ', pos);
+    ++outcomes[line.substr(pos + 8, end - pos - 8)];
+  }
+  EXPECT_GE(result_lines, 500u);
+  // Outcome diversity: the soak must genuinely reach the memory paths
+  // alongside the pre-§15 admission/cancellation ones.
+  EXPECT_GT(outcomes["completed"] + outcomes["degraded"], 0) << serial.ledger;
+  EXPECT_GT(outcomes["rejected-oversized"], 0);
+  EXPECT_GT(serial.report.brownouts + serial.report.over_memory, 0u);
+}
+
+TEST(MemorySoak, NoBrownoutDefersOrShedsInsteadOfDegrading) {
+  ServiceConfig::MemoryConfig mem;
+  mem.budget_bytes = fresh_estimate(mem_config()) * 3 / 2;
+  mem.brownout = false;
+  const SoakRun serial = run_chaos(1, 120, false, mem);
+  const SoakRun parallel = run_chaos(4, 120, false, mem);
+  ASSERT_EQ(serial.ledger, parallel.ledger);
+  expect_conserved(serial.report);
+  EXPECT_EQ(serial.report.brownouts, 0u);
+  // With brownout off the pressure valve is head-of-line deferral.
+  EXPECT_GT(serial.report.mem_deferrals, 0u);
+  EXPECT_EQ(serial.ledger.find(" rung="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace paradigm::svc

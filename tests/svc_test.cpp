@@ -161,6 +161,42 @@ TEST(Service, OversizedJobRejected) {
   EXPECT_EQ(find_result(report, "ok").outcome, JobOutcome::kCompleted);
 }
 
+TEST(Service, EqualArrivalBurstRejectsInSubmissionOrder) {
+  // An equal-arrival burst against a tiny queue: same-instant arrivals
+  // are admitted in submission order, so exactly the first
+  // queue_capacity jobs get in and every later one is rejected *in
+  // submission order* — at any thread count. This pins the rejection
+  // ordering contract the ledger's byte-identity rests on.
+  const auto run_burst = [](std::size_t threads) {
+    set_thread_count(threads);
+    ServiceConfig config = fast_config();
+    config.queue_capacity = 2;
+    config.slots = 1;
+    Service service(config);
+    for (int i = 0; i < 10; ++i) {
+      service.submit(quick_job("q" + std::to_string(i), 0));
+    }
+    const ServiceReport report = service.run();
+    set_thread_count(0);
+    return report;
+  };
+  const ServiceReport serial = run_burst(1);
+  const ServiceReport parallel = run_burst(4);
+  ASSERT_EQ(serial.ledger(), parallel.ledger());
+  std::vector<std::string> rejected;
+  for (const JobResult& r : serial.results) {
+    if (r.outcome == JobOutcome::kRejectedQueueFull) {
+      rejected.push_back(r.id);
+    }
+  }
+  const std::vector<std::string> expected = {"q2", "q3", "q4", "q5",
+                                             "q6", "q7", "q8", "q9"};
+  EXPECT_EQ(rejected, expected);
+  EXPECT_EQ(serial.rejected, 8u);
+  EXPECT_EQ(find_result(serial, "q0").outcome, JobOutcome::kCompleted);
+  EXPECT_EQ(find_result(serial, "q1").outcome, JobOutcome::kCompleted);
+}
+
 // ---- Deadlines and the watchdog ----------------------------------------------
 
 TEST(Service, DeadlineCancelsWithPartialAccounting) {
@@ -272,6 +308,45 @@ TEST(Service, FailedProbeReopensBreaker) {
   EXPECT_EQ(find_result(report, "shed-again").outcome,
             JobOutcome::kShedBreaker);
   EXPECT_EQ(report.breaker_opens, 2u);
+}
+
+TEST(Service, FailedProbeReopensWithFreshCooldown) {
+  // A failed half-open probe must re-arm the breaker with a *fresh*
+  // cooldown measured from the probe's failure, not leave the stale
+  // open_until from the original opening behind. With a long cooldown,
+  // an arrival after the original window but inside the re-armed one
+  // must still be shed — a stale deadline would let it through as a
+  // second probe.
+  ServiceConfig config = fast_config();
+  config.breaker_threshold = 1;
+  config.breaker_cooldown = 50000;
+  Service service(config);
+  JobSpec bad1 = quick_job("bad1", 0);
+  bad1.processors = 5;  // Fails fast: opens the breaker at ~t=1.
+  // Past the first cooldown -> the half-open probe; it fails too, so
+  // the breaker re-opens until ~t=110000.
+  JobSpec probe_bad = quick_job("probe-bad", 60000);
+  probe_bad.processors = 5;
+  // Inside the *re-armed* window (but past the original one, which
+  // ended ~t=50001): must be shed, not probed.
+  JobSpec shed_b = quick_job("shed-b", 100000);
+  // Past the re-armed window: the second probe; valid, so the breaker
+  // closes and later work flows normally.
+  JobSpec probe_good = quick_job("probe-good", 200000);
+  JobSpec final_job = quick_job("final", 400000);
+  for (const JobSpec& s : {bad1, probe_bad, shed_b, probe_good, final_job}) {
+    service.submit(s);
+  }
+  const ServiceReport report = service.run();
+  EXPECT_EQ(find_result(report, "bad1").outcome, JobOutcome::kFailed);
+  EXPECT_EQ(find_result(report, "probe-bad").outcome, JobOutcome::kFailed);
+  EXPECT_EQ(find_result(report, "shed-b").outcome,
+            JobOutcome::kShedBreaker);
+  EXPECT_EQ(find_result(report, "probe-good").outcome,
+            JobOutcome::kCompleted);
+  EXPECT_EQ(find_result(report, "final").outcome, JobOutcome::kCompleted);
+  EXPECT_EQ(report.breaker_opens, 2u);
+  EXPECT_EQ(report.shed, 1u);
 }
 
 TEST(Service, ProbeDuringDrainRejectedAsDraining) {

@@ -122,6 +122,47 @@ if compgen -G "$artifacts/fuzz/*" > /dev/null; then
   ls -l "$artifacts/fuzz"
 fi
 
+# Real-OOM smoke (DESIGN §15): injection proves the unwind paths, but
+# only the kernel can prove the terminal band. Run a genuinely
+# allocation-heavy one-shot (Strassen level 4, ~44 MiB peak) under a
+# descending address-space ladder: generous rungs must pass, and the
+# first rung that trips must exit 26 with the structured "memory error"
+# line — never a raw abort, never a different band. Uses the plain
+# build: sanitizer runtimes reserve address space far beyond any
+# realistic `ulimit -v`, so this smoke is meaningless under ASan.
+current_stage="memory-smoke:plain"
+echo "=== [plain] real out-of-memory smoke ==="
+mkdir -p "$artifacts/memory"
+tripped=0
+for kb in 1048576 131072 32768 20480; do
+  mem_rc=0
+  (
+    ulimit -v "$kb"
+    exec build-ci/plain/tools/paradigm_cli \
+      --program=strassen --levels=4 --mode=static --noise=0 --no-sim \
+      >/dev/null 2>"$artifacts/memory/oom-smoke-stderr.txt"
+  ) || mem_rc=$?
+  if [[ "$mem_rc" == 0 ]]; then
+    echo "oom smoke: ulimit -v ${kb} KiB passed cleanly"
+    continue
+  fi
+  if [[ "$mem_rc" != 26 ]] \
+      || ! grep -q "memory error" "$artifacts/memory/oom-smoke-stderr.txt"; then
+    echo "oom smoke: expected exit 26 with a structured memory error at" \
+      "ulimit -v ${kb} KiB, got exit $mem_rc; stderr archived to" \
+      "$artifacts/memory/oom-smoke-stderr.txt" >&2
+    exit 1
+  fi
+  echo "oom smoke: ulimit -v ${kb} KiB fail-stopped with exit 26"
+  tripped=1
+done
+if [[ "$tripped" == 0 ]]; then
+  echo "oom smoke: no ladder rung tripped — the workload no longer" \
+    "exercises the allocation path; tighten the ladder" >&2
+  exit 1
+fi
+rm -f "$artifacts/memory/oom-smoke-stderr.txt"
+
 echo "=== artifacts ==="
 ls -l "$artifacts"
 
@@ -204,6 +245,48 @@ if [[ "$fast" == 0 ]]; then
     exit 1
   fi
   echo "disk-full smoke: quarantined and fail-stopped with exit 25"
+  rm -rf "$smoke_dir"
+
+  # Memory-pressure stage (DESIGN §15): the budget/brownout chaos soak —
+  # OOM injection at every charge boundary, tight-budget brownouts,
+  # sticky-fault fail-stops — re-run under ASan with leak detection on,
+  # so every mid-solve unwind through the charge sites is leak- and
+  # overflow-checked.
+  current_stage="memory:asan-ubsan"
+  echo "=== [asan-ubsan] memory-pressure soak stage ==="
+  ASAN_OPTIONS=detect_leaks=1 \
+    ctest --test-dir build-ci/asan-ubsan -L memory --output-on-failure \
+    -j "$jobs"
+  archive_ctest_log asan-ubsan
+
+  # Structured-pressure smoke: the real binary under ASan must take the
+  # §15 fail-stop band on both structured triggers — an impossible byte
+  # budget (every dispatch sheds over-memory) and a sticky injected OOM
+  # (every rung of every attempt trips) — with exit 26 and the
+  # over_memory tally in the ledger, not a crash or a sanitizer report.
+  current_stage="memory-smoke:asan-ubsan"
+  echo "=== [asan-ubsan] structured memory-pressure smoke ==="
+  smoke_dir=$(mktemp -d)
+  for i in $(seq 0 9); do
+    echo "job id=b$i seed=$((300 + i)) nodes=8 p=8"
+  done > "$smoke_dir/smoke.jobs"
+  for flags in "--mem-budget=1024" "--mem-budget=1073741824 --inject-oom=1"; do
+    smoke_rc=0
+    # shellcheck disable=SC2086 — $flags is a deliberate word split.
+    build-ci/asan-ubsan/tools/paradigm_cli \
+      --serve="$smoke_dir/smoke.jobs" --mode=static --noise=0 $flags \
+      >"$smoke_dir/ledger.txt" 2>"$smoke_dir/stderr.txt" || smoke_rc=$?
+    if [[ "$smoke_rc" != 26 ]] \
+        || ! grep -q "over_memory=" "$smoke_dir/ledger.txt"; then
+      mkdir -p "$artifacts/memory"
+      cp -r "$smoke_dir" "$artifacts/memory/structured-smoke" || true
+      echo "memory smoke ($flags): expected exit 26 with an over_memory" \
+        "ledger tally, got exit $smoke_rc; artifacts archived to" \
+        "$artifacts/memory/structured-smoke" >&2
+      exit 1
+    fi
+    echo "memory smoke ($flags): fail-stopped with exit 26"
+  done
   rm -rf "$smoke_dir"
 
   # Dedicated UBSan configuration (DESIGN §10): the degradation ladder's

@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <new>
 #include <sstream>
 
 #include "calibrate/paramsio.hpp"
@@ -29,6 +30,7 @@
 #include "svc/persist.hpp"
 #include "svc/service.hpp"
 #include "support/args.hpp"
+#include "support/memory.hpp"
 #include "support/vfs.hpp"
 #include "support/wal.hpp"
 #include "support/degrade.hpp"
@@ -143,13 +145,46 @@ vfs::FaultPlan parse_storage_fault(const std::string& text) {
   return plan;
 }
 
+/// Parses `--inject-oom=<N>[:K]`: the N-th memory charge of every
+/// attempt throws an injected MemoryError. Sticky by default (every
+/// later charge fails too, like a machine that stays out of memory);
+/// `:K` limits the fault to K consecutive charges (a transient spike
+/// that brownout escalation can ride out).
+MemoryFaultPlan parse_oom_fault(const std::string& text) {
+  const auto colon = text.find(':');
+  const std::string first =
+      colon == std::string::npos ? text : text.substr(0, colon);
+  if (first.empty() ||
+      first.find_first_not_of("0123456789") != std::string::npos) {
+    throw UsageError("--inject-oom: bad charge index '" + first +
+                     "' (want N[:K], N >= 1)");
+  }
+  const std::uint64_t n = std::stoull(first);
+  if (n < 1) {
+    throw UsageError("--inject-oom: the charge index is 1-based (N >= 1)");
+  }
+  MemoryFaultPlan plan;
+  plan.fail_charge_after = static_cast<std::int64_t>(n - 1);
+  if (colon != std::string::npos) {
+    const std::string digits = text.substr(colon + 1);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      throw UsageError("--inject-oom: bad fault count '" + digits +
+                       "' (want N[:K])");
+    }
+    plan.fail_count = static_cast<std::size_t>(std::stoull(digits));
+  }
+  return plan;
+}
+
 /// `--serve=<jobfile>` / `--recover`: run the resilient compilation
 /// service (DESIGN §11), optionally under the durability layer
 /// (DESIGN §12, §14). Returns the service exit code (0 clean, 20
-/// rejected/shed, 21 cancelled, 22 failed), upgraded to 24 when a
-/// clean run recovered from a salvaged (torn/corrupt) journal; a
-/// quarantined journal (storage failure after bounded retries)
-/// surfaces as StorageError and exits 25 from main.
+/// rejected/shed, 21 cancelled, 22 failed, 26 memory fail-stop),
+/// upgraded to 24 when a clean run recovered from a salvaged
+/// (torn/corrupt) journal; a quarantined journal (storage failure
+/// after bounded retries) surfaces as StorageError and exits 25 from
+/// main.
 int run_serve(const ArgParser& args, wal::CrashPoint* crash) {
   svc::ServiceConfig config;
   config.queue_capacity = static_cast<std::size_t>(args.get_int("svc-queue"));
@@ -180,6 +215,17 @@ int run_serve(const ArgParser& args, wal::CrashPoint* crash) {
   if (cache_size < 1) throw UsageError("--cache-size must be >= 1");
   config.cache.capacity = static_cast<std::size_t>(cache_size);
   config.cache.warm_start = args.get_flag("cache-warm");
+
+  // Memory-pressure contract (DESIGN §15). With the budget at 0 (and
+  // no injection) the accounting is off and the run is byte-identical
+  // to a pre-§15 one.
+  const std::int64_t mem_budget = args.get_int("mem-budget");
+  if (mem_budget < 0) throw UsageError("--mem-budget must be >= 0");
+  config.memory.budget_bytes = static_cast<std::uint64_t>(mem_budget);
+  config.memory.brownout = !args.get_flag("no-brownout");
+  if (!args.get("inject-oom").empty()) {
+    config.memory.inject = parse_oom_fault(args.get("inject-oom"));
+  }
 
   // The per-job pipelines inherit the CLI's machine/calibration knobs.
   config.pipeline.machine =
@@ -263,6 +309,18 @@ int run_serve(const ArgParser& args, wal::CrashPoint* crash) {
               << " coalesced=" << report.coalesced
               << " warm_starts=" << report.warm_starts
               << " size=" << config.cache.capacity << '\n';
+  }
+  if (config.memory.budget_bytes > 0) {
+    // Memory accounting is a comment *outside* the ledger, like the
+    // cache line: only over_memory/brownouts/rung (which change real
+    // outcomes) appear in ledger bytes.
+    std::cout << "# memory budget=" << config.memory.budget_bytes
+              << " peak=" << report.mem_peak
+              << " charges=" << report.mem_charges
+              << " brownouts=" << report.brownouts
+              << " deferrals=" << report.mem_deferrals
+              << " unwinds=" << report.mem_unwinds
+              << " over_memory=" << report.over_memory << '\n';
   }
   if (persist.has_value()) {
     const svc::PersistStats& stats = persist->stats();
@@ -423,6 +481,21 @@ int main(int argc, char** argv) {
                   "      that kind and every one after (enospc | eio |\n"
                   "      short | sync | rename); a quarantined journal\n"
                   "      fail-stops with exit 25");
+  args.add_option("mem-budget", "0",
+                  "serve-mode committed-bytes budget (DESIGN §15): jobs\n"
+                  "      whose footprint cannot fit even at the homogeneous\n"
+                  "      rung are shed, exiting 26; saturated dispatch\n"
+                  "      defers or browns out instead (0: accounting off)");
+  args.add_flag("no-brownout",
+                "with --mem-budget: never re-dispatch at the\n"
+                "      area-proportional rung under pressure — defer while\n"
+                "      the pool drains, shed when even an empty pool cannot\n"
+                "      fit the job");
+  args.add_option("inject-oom", "",
+                  "deterministic OOM injection (needs --mem-budget): N[:K]\n"
+                  "      fails the N-th memory charge of every attempt,\n"
+                  "      sticky by default; :K limits the fault to K\n"
+                  "      consecutive charges (a transient spike)");
   args.add_flag("help", "show this help");
   args.add_flag("version", "print the version and exit");
 
@@ -476,11 +549,21 @@ int main(int argc, char** argv) {
     if (!durable && !args.get("inject-storage-fault").empty()) {
       throw UsageError("--inject-storage-fault needs --journal=<dir>");
     }
+    // An armed OOM plan without a budget would charge nothing (the
+    // seam is only threaded when accounting is on), so reject it up
+    // front — the --sync-policy precedent for knobs that silently do
+    // nothing without their enabling flag.
+    if (!args.get("inject-oom").empty() && args.get_int("mem-budget") == 0) {
+      throw UsageError("--inject-oom needs --mem-budget=<bytes>");
+    }
     if (!args.get("serve").empty() || args.get_flag("recover")) {
       return run_serve(args, inject >= 0 ? &crash : nullptr);
     }
     if (durable) {
       throw UsageError("--journal only applies to --serve/--recover runs");
+    }
+    if (args.get_int("mem-budget") != 0) {
+      throw UsageError("--mem-budget only applies to --serve/--recover runs");
     }
 
     const mdg::Mdg graph = load_program(args);
@@ -643,7 +726,7 @@ int main(int argc, char** argv) {
     return degrade::exit_code(report.degradation);
   } catch (const UsageError& e) {
     // Usage mistakes exit 2: disjoint from hard errors (1), the
-    // degradation codes (10..15), and the service codes (20..24).
+    // degradation codes (10..15), and the service codes (20..26).
     std::cerr << "usage error: " << e.what() << "\n";
     return 2;
   } catch (const wal::CrashInjected& e) {
@@ -661,6 +744,13 @@ int main(int argc, char** argv) {
     // --recover. Own code (25) so operators can alert on storage.
     std::cerr << "storage error: " << e.what() << "\n";
     return 25;
+  } catch (const std::bad_alloc&) {
+    // A real allocation failure escaped every recovery rung: the
+    // process itself is out of memory. Same band (26) as the service's
+    // structured memory fail-stop so operators alert on one code
+    // (DESIGN §15).
+    std::cerr << "memory error: allocation failed (out of memory)\n";
+    return 26;
   } catch (const Error& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
